@@ -1,0 +1,593 @@
+(* Benchmark and experiment harness.
+
+   The paper ("UML 2.0 - Overview and Perspectives in SoC Design", DATE
+   2005) has no tables or figures; DESIGN.md maps its five claims to the
+   experiment suite E1..E10.  For every experiment this harness
+
+     (a) prints the measured report rows recorded in EXPERIMENTS.md, and
+     (b) registers one Bechamel test group with the raw kernels.
+
+   Run: dune exec bench/main.exe            (reports + timings)
+        dune exec bench/main.exe -- quick   (reports only) *)
+
+let sep title =
+  Printf.printf "\n==== %s ====\n%!" title
+
+(* ------------------------------------------------------------------ *)
+(* Shared workloads                                                    *)
+
+let soc_instances n =
+  let catalogue () = Iplib.Cores.catalogue () in
+  let rec take k acc cat =
+    if k = 0 then List.rev acc
+    else
+      match cat with
+      | [] -> take k acc (catalogue ())
+      | core :: rest ->
+        take (k - 1) ((Printf.sprintf "u%d" (n - k), core) :: acc) rest
+  in
+  take n [] (catalogue ())
+
+let pipeline_activity () =
+  Workload.Gen_activity.series_parallel ~seed:42 ~size:20 ~max_width:4
+
+(* ------------------------------------------------------------------ *)
+(* E1: abstraction / expansion factor                                  *)
+
+let e1_report () =
+  sep "E1  model elements vs generated code (expansion factor)";
+  Printf.printf "%-6s %-16s %-14s %-10s\n" "IPs" "model elements"
+    "generated LoC" "expansion";
+  List.iter
+    (fun n ->
+      let instances = soc_instances n in
+      let m = Uml.Model.create (Printf.sprintf "soc%d" n) in
+      let profile = Profiles.Soc_profile.install m in
+      let _c = Iplib.Soc.component m ~profile ~name:"Soc" instances in
+      let elements = Mda.Generate.model_element_count m in
+      let design = Iplib.Soc.design ~name:"soc" instances in
+      let vhdl = Codegen.Vhdl.of_design design in
+      let c_text = Codegen.Cgen.of_model m in
+      let loc = Mda.Generate.loc vhdl + Mda.Generate.loc c_text in
+      Printf.printf "%-6d %-16d %-14d %9.1fx\n" n elements loc
+        (float_of_int loc /. float_of_int elements))
+    [ 2; 4; 8; 16; 32 ]
+
+let e1_tests () =
+  let design = Iplib.Soc.design ~name:"soc" (soc_instances 8) in
+  [
+    Bechamel.Test.make ~name:"e1/vhdl-of-8ip-soc"
+      (Bechamel.Staged.stage (fun () ->
+           ignore (Codegen.Vhdl.of_design design)));
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* E2: executable models — engine vs flat vs RTL equivalence + speed   *)
+
+let e2_machine seed = Workload.Gen_statechart.flat ~seed ~states:10 ~events:4
+
+let e2_equivalent seed =
+  let sm = e2_machine seed in
+  let events = Workload.Gen_statechart.event_sequence ~seed ~length:200 4 in
+  let engine = Statechart.Engine.create sm in
+  Statechart.Engine.start engine;
+  let engine_trace =
+    List.map
+      (fun name ->
+        Statechart.Engine.dispatch engine (Statechart.Event.make name);
+        Statechart.Engine.signature engine)
+      events
+  in
+  match Statechart.Flatten.flatten sm with
+  | Error _ -> false
+  | Ok flat -> (
+    let flat_trace = Statechart.Flatten.simulate flat events in
+    engine_trace = flat_trace
+    &&
+    match Codegen.Fsm_compile.compile flat with
+    | Error _ -> false
+    | Ok hmod ->
+      let sim = Dsim.Sim.create hmod in
+      Dsim.Sim.set_input sim "rst" 1;
+      Dsim.Sim.clock_edge sim "clk";
+      Dsim.Sim.set_input sim "rst" 0;
+      let rtl_trace =
+        List.map
+          (fun ev ->
+            let port = Codegen.Fsm_compile.event_input ev in
+            Dsim.Sim.set_input sim port 1;
+            Dsim.Sim.clock_edge sim "clk";
+            Dsim.Sim.set_input sim port 0;
+            Dsim.Sim.get_enum sim "state")
+          events
+      in
+      rtl_trace = flat_trace)
+
+let e2_report () =
+  sep "E2  in-model execution vs generated RTL (trace equivalence)";
+  let seeds = [ 1; 2; 3; 4; 5; 6; 7; 8; 9; 10 ] in
+  let agree = List.length (List.filter e2_equivalent seeds) in
+  Printf.printf "engine = flat = RTL on %d/%d random machines x 200 events\n"
+    agree (List.length seeds)
+
+let e2_tests () =
+  let sm = e2_machine 1 in
+  let events = Workload.Gen_statechart.event_sequence ~seed:9 ~length:100 4 in
+  let flat =
+    match Statechart.Flatten.flatten sm with
+    | Ok f -> f
+    | Error m -> failwith m
+  in
+  let hmod =
+    match Codegen.Fsm_compile.compile flat with
+    | Ok m -> m
+    | Error m -> failwith m
+  in
+  [
+    Bechamel.Test.make ~name:"e2/engine-100-events"
+      (Bechamel.Staged.stage (fun () ->
+           let engine = Statechart.Engine.create sm in
+           Statechart.Engine.start engine;
+           List.iter
+             (fun name ->
+               Statechart.Engine.dispatch engine (Statechart.Event.make name))
+             events));
+    Bechamel.Test.make ~name:"e2/rtl-100-cycles"
+      (Bechamel.Staged.stage (fun () ->
+           let sim = Dsim.Sim.create hmod in
+           Dsim.Sim.set_input sim "rst" 1;
+           Dsim.Sim.clock_edge sim "clk";
+           Dsim.Sim.set_input sim "rst" 0;
+           List.iter
+             (fun ev ->
+               let port = Codegen.Fsm_compile.event_input ev in
+               Dsim.Sim.set_input sim port 1;
+               Dsim.Sim.clock_edge sim "clk";
+               Dsim.Sim.set_input sim port 0)
+             events));
+  ]
+
+(* xUML system kernel: a two-object relay model, run to quiescence *)
+let relay_model () =
+  let open Uml in
+  let m = Model.create "relay" in
+  let receiver =
+    Classifier.make ~is_active:true
+      ~attributes:
+        [ Classifier.property ~default:(Vspec.of_int 0) "n" Dtype.Integer ]
+      "Receiver"
+  in
+  let s = Smachine.simple_state "S" in
+  let i = Smachine.pseudostate Smachine.Initial in
+  let r_sm =
+    Smachine.make ~context:receiver.Classifier.cl_id "RecvSM"
+      [
+        Smachine.region
+          [ Smachine.Pseudo i; Smachine.State s ]
+          [
+            Smachine.transition ~source:i.Smachine.ps_id
+              ~target:s.Smachine.st_id ();
+            Smachine.transition
+              ~triggers:[ Smachine.Signal_trigger "msg" ]
+              ~effect:"self.n := self.n + 1;" ~kind:Smachine.Internal
+              ~source:s.Smachine.st_id ~target:s.Smachine.st_id ();
+          ];
+      ]
+  in
+  let receiver =
+    { receiver with Classifier.cl_behaviors = [ r_sm.Smachine.sm_id ] }
+  in
+  Model.add m (Model.E_classifier receiver);
+  Model.add m (Model.E_state_machine r_sm);
+  let sender =
+    Classifier.make ~is_active:true
+      ~attributes:
+        [
+          Classifier.property ~default:(Vspec.of_int 0) "i" Dtype.Integer;
+          Classifier.property "peer" (Dtype.Ref receiver.Classifier.cl_id);
+        ]
+      "Sender"
+  in
+  let idle = Smachine.simple_state "Idle" in
+  let burst = Smachine.simple_state "Burst" in
+  let si = Smachine.pseudostate Smachine.Initial in
+  let s_sm =
+    Smachine.make ~context:sender.Classifier.cl_id "SendSM"
+      [
+        Smachine.region
+          [ Smachine.Pseudo si; Smachine.State idle; Smachine.State burst ]
+          [
+            Smachine.transition ~source:si.Smachine.ps_id
+              ~target:idle.Smachine.st_id ();
+            Smachine.transition
+              ~triggers:[ Smachine.Signal_trigger "go" ]
+              ~source:idle.Smachine.st_id ~target:burst.Smachine.st_id ();
+            Smachine.transition ~guard:"self.i < 50"
+              ~effect:"self.i := self.i + 1; send msg() to self.peer;"
+              ~source:burst.Smachine.st_id ~target:burst.Smachine.st_id ();
+            Smachine.transition ~guard:"self.i >= 50"
+              ~effect:"self.i := 0;" ~source:burst.Smachine.st_id
+              ~target:idle.Smachine.st_id ();
+          ];
+      ]
+  in
+  let sender =
+    { sender with Classifier.cl_behaviors = [ s_sm.Smachine.sm_id ] }
+  in
+  Model.add m (Model.E_classifier sender);
+  Model.add m (Model.E_state_machine s_sm);
+  m
+
+let e2_xuml_test () =
+  let m = relay_model () in
+  [
+    Bechamel.Test.make ~name:"e2/xuml-100-routed-signals"
+      (Bechamel.Staged.stage (fun () ->
+           let sys = Xuml.System.create m in
+           let recv = Xuml.System.instantiate sys "Receiver" in
+           let send = Xuml.System.instantiate sys "Sender" in
+           ignore
+             (Asl.Store.set_attr (Xuml.System.store sys) send "peer"
+                (Asl.Value.V_obj recv));
+           Xuml.System.send sys ~to_:send "go";
+           ignore (Xuml.System.run sys)));
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* E3: activity tokens vs Petri nets                                   *)
+
+let e3_report () =
+  sep "E3  activity token runs as Petri occurrence sequences";
+  List.iter
+    (fun width ->
+      let conforming = ref 0 in
+      let steps = ref 0 in
+      for seed = 1 to 10 do
+        let act =
+          Workload.Gen_activity.with_decisions ~seed ~size:(width * 4)
+            ~max_width:width
+        in
+        let r = Activity.Conform.run_and_check ~seed act in
+        if r.Activity.Conform.conforms then incr conforming;
+        steps := !steps + r.Activity.Conform.steps
+      done;
+      Printf.printf
+        "width %-3d: 10/10 activities, %d total firings, conforming runs: %d/10\n"
+        width !steps !conforming)
+    [ 2; 4; 8 ]
+
+let e3_tests () =
+  let act = pipeline_activity () in
+  let net, m0 = Activity.Translate.to_petri act in
+  [
+    Bechamel.Test.make ~name:"e3/token-engine-run"
+      (Bechamel.Staged.stage (fun () ->
+           let engine = Activity.Exec.create act in
+           ignore (Activity.Exec.run ~seed:3 engine)));
+    Bechamel.Test.make ~name:"e3/petri-replay"
+      (Bechamel.Staged.stage (fun () ->
+           ignore
+             (Petri.Analysis.random_occurrence_sequence ~seed:3 ~max_steps:200
+                net m0)));
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* E4: HW/SW interchangeability                                        *)
+
+let e4_report () =
+  sep "E4  one PIM realized as hardware and as software";
+  let act = pipeline_activity () in
+  let g = Hwsw.Taskgraph.of_activity act in
+  let sw = Hwsw.Schedule.run g (Hwsw.Schedule.all_sw g) in
+  let hw = Hwsw.Schedule.run g (Hwsw.Schedule.all_hw g) in
+  Printf.printf
+    "pipeline of %d tasks: SW %d cycles | HW %d cycles (area %d) | speedup %.1fx\n"
+    (List.length g.Hwsw.Taskgraph.tasks)
+    sw.Hwsw.Schedule.makespan hw.Hwsw.Schedule.makespan
+    hw.Hwsw.Schedule.hw_area
+    (float_of_int sw.Hwsw.Schedule.makespan
+    /. float_of_int hw.Hwsw.Schedule.makespan);
+  (* behavioral interchangeability: same machine through both flows *)
+  let agree = e2_equivalent 99 in
+  Printf.printf "same controller behavior in SW engine and generated RTL: %b\n"
+    agree
+
+let e4_tests () =
+  let act = pipeline_activity () in
+  let g = Hwsw.Taskgraph.of_activity act in
+  [
+    Bechamel.Test.make ~name:"e4/schedule-both-sides"
+      (Bechamel.Staged.stage (fun () ->
+           ignore (Hwsw.Schedule.run g (Hwsw.Schedule.all_sw g));
+           ignore (Hwsw.Schedule.run g (Hwsw.Schedule.all_hw g))));
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* E5: MDA reuse and transformation scaling                            *)
+
+(* Fine-grained reuse: fraction of classifier features (attributes,
+   operations) and component ports that survive the mapping unchanged.
+   Element-level reuse marks a whole class "changed" for a single
+   lowered attribute; this measures what actually had to move. *)
+let feature_reuse pim psm =
+  let total = ref 0 in
+  let kept = ref 0 in
+  let count_list equal xs ys =
+    List.iter
+      (fun x ->
+        incr total;
+        if List.exists (equal x) ys then incr kept)
+      xs
+  in
+  Uml.Model.iter
+    (fun e ->
+      match e with
+      | Uml.Model.E_classifier c -> (
+        match Uml.Model.find_classifier psm c.Uml.Classifier.cl_id with
+        | None -> ()
+        | Some c' ->
+          count_list Uml.Classifier.equal_property
+            c.Uml.Classifier.cl_attributes c'.Uml.Classifier.cl_attributes;
+          count_list Uml.Classifier.equal_operation
+            c.Uml.Classifier.cl_operations c'.Uml.Classifier.cl_operations)
+      | Uml.Model.E_component c -> (
+        match Uml.Model.find_component psm c.Uml.Component.cmp_id with
+        | None -> ()
+        | Some c' ->
+          count_list Uml.Component.equal_port c.Uml.Component.cmp_ports
+            c'.Uml.Component.cmp_ports)
+      | _other -> ())
+    pim;
+  if !total = 0 then 1.0 else float_of_int !kept /. float_of_int !total
+
+let e5_report () =
+  sep "E5  PIM -> PSM reuse fraction and scaling";
+  Printf.printf "%-8s %14s %14s %14s %14s\n" "classes" "hw elem reuse"
+    "hw feat reuse" "sw elem reuse" "sw feat reuse";
+  List.iter
+    (fun classes ->
+      let pim = Workload.Gen_model.structural ~seed:7 ~classes in
+      let hw, hw_trace = Mda.Mapping.to_psm Mda.Platform.asic_vhdl pim in
+      let sw, sw_trace = Mda.Mapping.to_psm Mda.Platform.sw_c pim in
+      Printf.printf "%-8d %13.1f%% %13.1f%% %13.1f%% %13.1f%%\n" classes
+        (100. *. Mda.Transform.reuse_fraction hw_trace)
+        (100. *. feature_reuse pim hw)
+        (100. *. Mda.Transform.reuse_fraction sw_trace)
+        (100. *. feature_reuse pim sw))
+    [ 10; 100; 1000 ]
+
+let e5_tests () =
+  let pim = Workload.Gen_model.structural ~seed:7 ~classes:300 in
+  [
+    Bechamel.Test.make ~name:"e5/to-psm-300-classes"
+      (Bechamel.Staged.stage (fun () ->
+           ignore (Mda.Mapping.to_psm Mda.Platform.asic_vhdl pim)));
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* E6: partitioning quality                                            *)
+
+let e6_report () =
+  sep "E6  partitioning: heuristics vs exhaustive (ablation)";
+  Printf.printf "%-4s %-18s %-18s %-18s %-18s\n" "n" "exhaustive"
+    "greedy" "greedy+KL" "annealing";
+  List.iter
+    (fun n ->
+      let g = Workload.Gen_taskgraph.layered ~seed:5 ~tasks:n ~layers:4 in
+      let budget = 600 in
+      let opt = Hwsw.Partition.exhaustive ~budget g in
+      let grd = Hwsw.Partition.greedy ~budget g in
+      let imp = Hwsw.Partition.improve ~budget g in
+      let sa = Hwsw.Partition.annealed ~seed:11 ~budget g in
+      let cell (o : Hwsw.Partition.outcome) =
+        Printf.sprintf "%4d %.2fx %6dev" o.Hwsw.Partition.cost
+          (Hwsw.Partition.quality_ratio ~optimal:opt o)
+          o.Hwsw.Partition.evaluations
+      in
+      Printf.printf "%-4d %-18s %-18s %-18s %-18s\n" n (cell opt) (cell grd)
+        (cell imp) (cell sa))
+    [ 8; 10; 12; 14 ]
+
+let e6_tests () =
+  let g50 = Workload.Gen_taskgraph.layered ~seed:5 ~tasks:50 ~layers:6 in
+  let g12 = Workload.Gen_taskgraph.layered ~seed:5 ~tasks:12 ~layers:4 in
+  [
+    Bechamel.Test.make ~name:"e6/greedy-50-tasks"
+      (Bechamel.Staged.stage (fun () ->
+           ignore (Hwsw.Partition.greedy ~budget:2000 g50)));
+    Bechamel.Test.make ~name:"e6/exhaustive-12-tasks"
+      (Bechamel.Staged.stage (fun () ->
+           ignore (Hwsw.Partition.exhaustive ~budget:600 g12)));
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* E7: XMI round-trip fidelity and throughput                          *)
+
+let e7_report () =
+  sep "E7  XMI round-trip fidelity";
+  List.iter
+    (fun classes ->
+      let m = Workload.Gen_model.structural ~seed:3 ~classes in
+      let text = Xmi.Write.to_string m in
+      let m' = Xmi.Read.model_of_string text in
+      Printf.printf "%-6d classes: %7d bytes, lossless: %b\n" classes
+        (String.length text) (Uml.Model.equal m m'))
+    [ 10; 100; 1000 ]
+
+let e7_tests () =
+  let m = Workload.Gen_model.structural ~seed:3 ~classes:200 in
+  let text = Xmi.Write.to_string m in
+  [
+    Bechamel.Test.make ~name:"e7/export-200-classes"
+      (Bechamel.Staged.stage (fun () -> ignore (Xmi.Write.to_string m)));
+    Bechamel.Test.make ~name:"e7/import-200-classes"
+      (Bechamel.Staged.stage (fun () ->
+           ignore (Xmi.Read.model_of_string text)));
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* E8: statechart engine scaling with hierarchy depth                  *)
+
+let e8_machines () =
+  List.map
+    (fun depth ->
+      (depth,
+       Workload.Gen_statechart.hierarchical ~seed:8 ~depth ~breadth:2
+         ~events:4))
+    [ 1; 2; 3; 4; 5 ]
+
+let e8_report () =
+  sep "E8  run-to-completion throughput vs hierarchy depth";
+  let events = Workload.Gen_statechart.event_sequence ~seed:8 ~length:2000 4 in
+  List.iter
+    (fun (depth, sm) ->
+      let engine = Statechart.Engine.create sm in
+      Statechart.Engine.start engine;
+      let t0 = Sys.time () in
+      List.iter
+        (fun name ->
+          Statechart.Engine.dispatch engine (Statechart.Event.make name))
+        events;
+      let dt = Sys.time () -. t0 in
+      Printf.printf "depth %d: %7.0f events/s (%d vertices)\n" depth
+        (float_of_int (List.length events) /. (dt +. 1e-9))
+        (List.length (Uml.Smachine.all_vertices sm)))
+    (e8_machines ())
+
+let e8_tests () =
+  let events = Workload.Gen_statechart.event_sequence ~seed:8 ~length:200 4 in
+  List.map
+    (fun (depth, sm) ->
+      Bechamel.Test.make
+        ~name:(Printf.sprintf "e8/depth-%d-200-events" depth)
+        (Bechamel.Staged.stage (fun () ->
+             let engine = Statechart.Engine.create sm in
+             Statechart.Engine.start engine;
+             List.iter
+               (fun name ->
+                 Statechart.Engine.dispatch engine (Statechart.Event.make name))
+               events)))
+    (List.filter (fun (d, _) -> d <= 4) (e8_machines ()))
+
+(* ------------------------------------------------------------------ *)
+(* E9: code generation throughput and determinism                      *)
+
+let e9_report () =
+  sep "E9  code generation throughput and determinism";
+  let design = Iplib.Soc.design ~name:"soc" (soc_instances 16) in
+  let emit name f =
+    let t0 = Sys.time () in
+    let reps = 50 in
+    let text = ref "" in
+    for _ = 1 to reps do
+      text := f design
+    done;
+    let dt = Sys.time () -. t0 in
+    let deterministic = f design = !text in
+    Printf.printf "%-10s %7d lines, %8.2f MB/s, deterministic: %b\n" name
+      (Mda.Generate.loc !text)
+      (float_of_int (String.length !text * reps)
+      /. (dt +. 1e-9) /. 1_048_576.)
+      deterministic
+  in
+  emit "vhdl" Codegen.Vhdl.of_design;
+  emit "verilog" Codegen.Verilog.of_design;
+  emit "systemc" Codegen.Systemc.of_design
+
+let e9_tests () =
+  let design = Iplib.Soc.design ~name:"soc" (soc_instances 16) in
+  [
+    Bechamel.Test.make ~name:"e9/vhdl"
+      (Bechamel.Staged.stage (fun () ->
+           ignore (Codegen.Vhdl.of_design design)));
+    Bechamel.Test.make ~name:"e9/verilog"
+      (Bechamel.Staged.stage (fun () ->
+           ignore (Codegen.Verilog.of_design design)));
+    Bechamel.Test.make ~name:"e9/systemc"
+      (Bechamel.Staged.stage (fun () ->
+           ignore (Codegen.Systemc.of_design design)));
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* E10: discrete-event simulation performance                          *)
+
+let e10_flat n =
+  Hdl.Elaborate.flatten (Iplib.Soc.design ~name:"soc" (soc_instances n))
+
+let e10_report () =
+  sep "E10  simulator throughput vs design size";
+  List.iter
+    (fun n ->
+      let flat = e10_flat n in
+      let sim = Dsim.Sim.create flat in
+      Dsim.Sim.set_input sim "rst" 1;
+      Dsim.Sim.clock_edge sim "clk";
+      Dsim.Sim.set_input sim "rst" 0;
+      let cycles = 2000 in
+      let t0 = Sys.time () in
+      Dsim.Sim.run sim ~clock:"clk" ~cycles;
+      let dt = Sys.time () -. t0 in
+      Printf.printf
+        "%2d IPs (%3d processes): %8.0f cycles/s, %9d events, %d deltas\n" n
+        (List.length flat.Hdl.Module_.mod_processes)
+        (float_of_int cycles /. (dt +. 1e-9))
+        (Dsim.Sim.events sim) (Dsim.Sim.delta_cycles sim))
+    [ 4; 8; 16; 32 ]
+
+let e10_tests () =
+  let flat = e10_flat 8 in
+  [
+    Bechamel.Test.make ~name:"e10/8ip-100-cycles"
+      (Bechamel.Staged.stage (fun () ->
+           let sim = Dsim.Sim.create flat in
+           Dsim.Sim.run sim ~clock:"clk" ~cycles:100));
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Bechamel driver                                                     *)
+
+let run_bechamel tests =
+  let open Bechamel in
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |]
+  in
+  let instances = [ Toolkit.Instance.monotonic_clock ] in
+  let cfg =
+    Benchmark.cfg ~limit:1000 ~quota:(Time.second 0.25) ~stabilize:false ()
+  in
+  let raw =
+    Benchmark.all cfg instances
+      (Test.make_grouped ~name:"socuml" tests)
+  in
+  let results = Analyze.all ols Toolkit.Instance.monotonic_clock raw in
+  let rows = Hashtbl.fold (fun name ols acc -> (name, ols) :: acc) results [] in
+  let rows = List.sort (fun (a, _) (b, _) -> String.compare a b) rows in
+  sep "Bechamel timings (monotonic clock, ns/run)";
+  List.iter
+    (fun (name, ols) ->
+      match Analyze.OLS.estimates ols with
+      | Some [ est ] -> Printf.printf "%-28s %12.0f ns/run\n" name est
+      | Some _ | None -> Printf.printf "%-28s (no estimate)\n" name)
+    rows
+
+let () =
+  let quick = Array.exists (fun a -> a = "quick") Sys.argv in
+  e1_report ();
+  e2_report ();
+  e3_report ();
+  e4_report ();
+  e5_report ();
+  e6_report ();
+  e7_report ();
+  e8_report ();
+  e9_report ();
+  e10_report ();
+  if not quick then begin
+    let tests =
+      e1_tests () @ e2_tests () @ e2_xuml_test () @ e3_tests () @ e4_tests ()
+      @ e5_tests () @ e6_tests () @ e7_tests () @ e8_tests () @ e9_tests ()
+      @ e10_tests ()
+    in
+    run_bechamel tests
+  end;
+  print_newline ()

@@ -1,0 +1,340 @@
+(* socuml — command-line front end for the UML-2.0-for-SoC toolchain.
+
+   Subcommands:
+     validate   check a model (.xmi) against the well-formedness rules
+     info       summarize a model's contents
+     gen        generate code (vhdl | verilog | systemc | c) from a model
+     simulate   run a state machine from the model on an event sequence
+     partition  partition a task graph extracted from an activity
+     demo       build the demo SoC, write XMI + VHDL + VCD artifacts *)
+
+open Cmdliner
+
+let load_model path =
+  match Xmi.Read.read_file path with
+  | m -> Ok m
+  | exception Xmi.Read.Import_error msg ->
+    Error (Printf.sprintf "cannot import %s: %s" path msg)
+  | exception Sys_error msg -> Error msg
+
+let model_arg =
+  let doc = "Input model in socuml XMI form." in
+  Arg.(required & pos 0 (some file) None & info [] ~docv:"MODEL" ~doc)
+
+(* --- validate ------------------------------------------------------- *)
+
+let validate_cmd =
+  let run path =
+    match load_model path with
+    | Error msg ->
+      prerr_endline msg;
+      1
+    | Ok m ->
+      let diags = Uml.Wfr.check m in
+      let soc = Profiles.Soc_profile.check m in
+      let rt = Profiles.Rt_profile.check m in
+      let all = diags @ soc @ rt in
+      List.iter (fun d -> print_endline (Uml.Wfr.to_string d)) all;
+      let errors = Uml.Wfr.errors all in
+      Printf.printf "%d diagnostics (%d errors) in %s\n" (List.length all)
+        (List.length errors) (Uml.Model.name m);
+      if errors = [] then 0 else 1
+  in
+  let doc = "Check a model against UML and SoC-profile well-formedness rules." in
+  Cmd.v (Cmd.info "validate" ~doc) Term.(const run $ model_arg)
+
+(* --- info ----------------------------------------------------------- *)
+
+let info_cmd =
+  let run path =
+    match load_model path with
+    | Error msg ->
+      prerr_endline msg;
+      1
+    | Ok m ->
+      Printf.printf "model %s: %d elements\n" (Uml.Model.name m)
+        (Uml.Model.size m);
+      let count label n = if n > 0 then Printf.printf "  %-16s %d\n" label n in
+      count "classifiers" (List.length (Uml.Model.classifiers m));
+      count "components" (List.length (Uml.Model.components m));
+      count "state machines" (List.length (Uml.Model.state_machines m));
+      count "activities" (List.length (Uml.Model.activities m));
+      count "interactions" (List.length (Uml.Model.interactions m));
+      count "use cases" (List.length (Uml.Model.use_cases m));
+      count "packages" (List.length (Uml.Model.packages m));
+      count "profiles" (List.length (Uml.Model.profiles m));
+      count "applications" (List.length (Uml.Model.applications m));
+      count "diagrams" (List.length (Uml.Model.diagrams m));
+      0
+  in
+  let doc = "Summarize a model's contents." in
+  Cmd.v (Cmd.info "info" ~doc) Term.(const run $ model_arg)
+
+(* --- gen ------------------------------------------------------------ *)
+
+let language_arg =
+  let doc = "Target language: vhdl, verilog, systemc or c." in
+  Arg.(
+    required
+    & pos 1 (some (enum [ ("vhdl", "vhdl"); ("verilog", "verilog");
+                          ("systemc", "systemc"); ("c", "c") ])) None
+    & info [] ~docv:"LANG" ~doc)
+
+let gen_cmd =
+  let run path lang =
+    match load_model path with
+    | Error msg ->
+      prerr_endline msg;
+      1
+    | Ok m ->
+      let plat =
+        match lang with
+        | "vhdl" -> Mda.Platform.asic_vhdl
+        | "verilog" -> Mda.Platform.fpga_verilog
+        | "systemc" -> Mda.Platform.virtual_systemc
+        | _c -> Mda.Platform.sw_c
+      in
+      let psm, trace = Mda.Mapping.to_psm plat m in
+      Printf.printf "-- PSM %s (reuse %.0f%%)\n" (Uml.Model.name psm)
+        (100. *. Mda.Transform.reuse_fraction trace);
+      (match Mda.Generate.artifacts plat psm with
+       | [] ->
+         prerr_endline "no generatable content (no compilable state machines)";
+         1
+       | artifacts ->
+         List.iter
+           (fun (file, contents) ->
+             Printf.printf "-- %s (%d lines)\n%s\n" file
+               (Mda.Generate.loc contents) contents)
+           artifacts;
+         0)
+  in
+  let doc = "Run the PIM->PSM mapping and print the generated code." in
+  Cmd.v (Cmd.info "gen" ~doc) Term.(const run $ model_arg $ language_arg)
+
+(* --- simulate --------------------------------------------------------- *)
+
+let events_arg =
+  let doc = "Comma-separated event names to dispatch." in
+  Arg.(value & opt string "" & info [ "events" ] ~docv:"EVENTS" ~doc)
+
+let machine_arg =
+  let doc = "Name of the state machine to run (default: first)." in
+  Arg.(value & opt (some string) None & info [ "machine" ] ~docv:"NAME" ~doc)
+
+let simulate_cmd =
+  let run path machine events =
+    match load_model path with
+    | Error msg ->
+      prerr_endline msg;
+      1
+    | Ok m -> (
+      let machines = Uml.Model.state_machines m in
+      let chosen =
+        match machine with
+        | Some name ->
+          List.find_opt (fun sm -> sm.Uml.Smachine.sm_name = name) machines
+        | None -> (
+          match machines with
+          | sm :: _rest -> Some sm
+          | [] -> None)
+      in
+      match chosen with
+      | None ->
+        prerr_endline "no such state machine in the model";
+        1
+      | Some sm ->
+        let engine = Statechart.Engine.create sm in
+        Statechart.Engine.start engine;
+        Printf.printf "start: %s\n" (Statechart.Engine.signature engine);
+        let names =
+          if events = "" then []
+          else String.split_on_char ',' events
+        in
+        List.iter
+          (fun ev ->
+            Statechart.Engine.dispatch engine (Statechart.Event.make ev);
+            Printf.printf "%s: %s\n" ev (Statechart.Engine.signature engine))
+          names;
+        0)
+  in
+  let doc = "Execute a state machine of the model on an event sequence." in
+  Cmd.v (Cmd.info "simulate" ~doc)
+    Term.(const run $ model_arg $ machine_arg $ events_arg)
+
+(* --- partition --------------------------------------------------------- *)
+
+let budget_arg =
+  let doc = "Hardware area budget." in
+  Arg.(value & opt int 500 & info [ "budget" ] ~docv:"AREA" ~doc)
+
+let partition_cmd =
+  let run path budget =
+    match load_model path with
+    | Error msg ->
+      prerr_endline msg;
+      1
+    | Ok m -> (
+      match Uml.Model.activities m with
+      | [] ->
+        prerr_endline "no activity in the model";
+        1
+      | act :: _rest ->
+        let g = Hwsw.Taskgraph.of_activity act in
+        let greedy = Hwsw.Partition.greedy ~budget g in
+        let improved = Hwsw.Partition.improve ~budget g in
+        let all_sw =
+          (Hwsw.Schedule.run g (Hwsw.Schedule.all_sw g)).Hwsw.Schedule.makespan
+        in
+        Printf.printf "activity %s: %d tasks, all-SW makespan %d\n"
+          act.Uml.Activityg.ac_name
+          (List.length g.Hwsw.Taskgraph.tasks)
+          all_sw;
+        Printf.printf "greedy:   makespan %d, area %d (%d evals)\n"
+          greedy.Hwsw.Partition.cost greedy.Hwsw.Partition.area
+          greedy.Hwsw.Partition.evaluations;
+        Printf.printf "improved: makespan %d, area %d (%d evals)\n"
+          improved.Hwsw.Partition.cost improved.Hwsw.Partition.area
+          improved.Hwsw.Partition.evaluations;
+        List.iter
+          (fun (task, side) ->
+            Printf.printf "  %-12s %s\n" task
+              (match side with
+               | Hwsw.Schedule.Hw -> "HW"
+               | Hwsw.Schedule.Sw -> "SW"))
+          improved.Hwsw.Partition.assignment;
+        0)
+  in
+  let doc = "Extract a task graph from the model's first activity and partition it." in
+  Cmd.v (Cmd.info "partition" ~doc) Term.(const run $ model_arg $ budget_arg)
+
+(* --- demo ------------------------------------------------------------- *)
+
+let out_dir_arg =
+  let doc = "Output directory for demo artifacts." in
+  Arg.(value & opt string "_demo" & info [ "out" ] ~docv:"DIR" ~doc)
+
+let demo_cmd =
+  let run dir =
+    if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
+    let m = Uml.Model.create "demo_soc" in
+    let profile = Profiles.Soc_profile.install m in
+    let instances =
+      [ ("timer0", Iplib.Cores.timer ()); ("gpio0", Iplib.Cores.gpio ());
+        ("fifo0", Iplib.Cores.fifo4 ()) ]
+    in
+    let _soc = Iplib.Soc.component m ~profile ~name:"DemoSoc" instances in
+    (* a behavioral slice too, so analyze/simulate/partition have work *)
+    Uml.Model.add m
+      (Uml.Model.E_activity
+         (Workload.Gen_activity.series_parallel ~seed:42 ~size:12
+            ~max_width:3));
+    let a = Uml.Smachine.simple_state "Off" in
+    let b = Uml.Smachine.simple_state "On" in
+    let init = Uml.Smachine.pseudostate Uml.Smachine.Initial in
+    let region =
+      Uml.Smachine.region
+        [ Uml.Smachine.Pseudo init; Uml.Smachine.State a; Uml.Smachine.State b ]
+        [
+          Uml.Smachine.transition ~source:init.Uml.Smachine.ps_id
+            ~target:a.Uml.Smachine.st_id ();
+          Uml.Smachine.transition
+            ~triggers:[ Uml.Smachine.Signal_trigger "toggle" ]
+            ~source:a.Uml.Smachine.st_id ~target:b.Uml.Smachine.st_id ();
+          Uml.Smachine.transition
+            ~triggers:[ Uml.Smachine.Signal_trigger "toggle" ]
+            ~source:b.Uml.Smachine.st_id ~target:a.Uml.Smachine.st_id ();
+        ]
+    in
+    Uml.Model.add m
+      (Uml.Model.E_state_machine (Uml.Smachine.make "Power" [ region ]));
+    let xmi_path = Filename.concat dir "demo_soc.xmi" in
+    Xmi.Write.write_file m xmi_path;
+    let d = Iplib.Soc.design ~name:"demo_soc" instances in
+    let vhdl_path = Filename.concat dir "demo_soc.vhd" in
+    let oc = open_out vhdl_path in
+    output_string oc (Codegen.Vhdl.of_design d);
+    close_out oc;
+    let flat = Hdl.Elaborate.flatten d in
+    let sim = Dsim.Sim.create flat in
+    let vcd = Dsim.Vcd.create sim in
+    Dsim.Sim.set_input sim "rst" 1;
+    Dsim.Sim.clock_edge sim "clk";
+    Dsim.Sim.set_input sim "rst" 0;
+    Dsim.Sim.set_input sim "timer0_enable" 1;
+    for t = 0 to 19 do
+      Dsim.Sim.clock_edge sim "clk";
+      Dsim.Vcd.sample vcd ~time:t
+    done;
+    let vcd_path = Filename.concat dir "demo_soc.vcd" in
+    Dsim.Vcd.write_file vcd vcd_path;
+    Printf.printf "wrote %s, %s, %s\n" xmi_path vhdl_path vcd_path;
+    Printf.printf "timer count after 20 cycles: %d\n"
+      (Dsim.Sim.get sim "timer0_count");
+    0
+  in
+  let doc = "Build the demo SoC and write XMI, VHDL and VCD artifacts." in
+  Cmd.v (Cmd.info "demo" ~doc) Term.(const run $ out_dir_arg)
+
+(* --- analyze ------------------------------------------------------------ *)
+
+let analyze_cmd =
+  let run path =
+    match load_model path with
+    | Error msg ->
+      prerr_endline msg;
+      1
+    | Ok m -> (
+      match Uml.Model.activities m with
+      | [] ->
+        prerr_endline "no activity in the model";
+        1
+      | activities ->
+        List.iter
+          (fun act ->
+            Printf.printf "activity %s:\n" act.Uml.Activityg.ac_name;
+            let net, m0 = Activity.Translate.to_petri act in
+            Printf.printf "  net: %d places, %d transitions\n"
+              (Petri.Net.place_count net)
+              (Petri.Net.transition_count net);
+            (match Petri.Coverability.is_bounded net m0 with
+             | Some true -> print_endline "  bounded: yes"
+             | Some false ->
+               let r = Petri.Coverability.analyse net m0 in
+               Printf.printf "  bounded: NO (unbounded places: %s)\n"
+                 (String.concat ", " r.Petri.Coverability.unbounded_places)
+             | None -> print_endline "  bounded: unknown (limit reached)");
+            let r = Petri.Analysis.reachable ~limit:5000 net m0 in
+            Printf.printf "  reachable markings: %d%s, deadlocks: %d\n"
+              r.Petri.Analysis.state_count
+              (if r.Petri.Analysis.truncated then "+" else "")
+              (List.length r.Petri.Analysis.deadlocks);
+            let invariants = Petri.Invariant.p_invariants net in
+            Printf.printf "  P-invariants: %d\n" (List.length invariants);
+            (* dead-transition verdicts are only meaningful when the
+               state space was fully explored *)
+            if not r.Petri.Analysis.truncated then begin
+              let dead = Petri.Analysis.dead_transitions ~limit:5000 net m0 in
+              if dead <> [] then
+                Printf.printf "  dead transitions: %s\n"
+                  (String.concat ", " dead)
+            end)
+          activities;
+        0)
+  in
+  let doc =
+    "Translate the model's activities to Petri nets and analyze them \
+     (boundedness, deadlocks, invariants)."
+  in
+  Cmd.v (Cmd.info "analyze" ~doc) Term.(const run $ model_arg)
+
+let main =
+  let doc = "UML 2.0 modeling and MDA toolchain for SoC design" in
+  Cmd.group
+    (Cmd.info "socuml" ~version:"1.0.0" ~doc)
+    [
+      validate_cmd; info_cmd; gen_cmd; simulate_cmd; partition_cmd;
+      analyze_cmd; demo_cmd;
+    ]
+
+let () = exit (Cmd.eval' main)

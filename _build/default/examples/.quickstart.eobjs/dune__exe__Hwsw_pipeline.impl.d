@@ -1,0 +1,1 @@
+examples/hwsw_pipeline.ml: Activityg Hwsw List Model Printf Uml Wfr

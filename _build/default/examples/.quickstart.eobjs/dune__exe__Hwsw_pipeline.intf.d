@@ -1,0 +1,1 @@
+examples/hwsw_pipeline.mli:

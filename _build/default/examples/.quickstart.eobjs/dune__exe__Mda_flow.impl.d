@@ -1,0 +1,1 @@
+examples/mda_flow.ml: Classifier Component Dtype List Mda Model Printf Smachine String Uml

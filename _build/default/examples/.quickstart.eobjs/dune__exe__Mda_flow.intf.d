@@ -1,0 +1,1 @@
+examples/mda_flow.mli:

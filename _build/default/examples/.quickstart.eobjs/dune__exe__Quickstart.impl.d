@@ -1,0 +1,1 @@
+examples/quickstart.ml: Classifier Codegen Dtype Hdl List Model Printf Smachine Statechart String Uml Wfr Xmi

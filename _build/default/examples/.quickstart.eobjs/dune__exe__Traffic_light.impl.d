@@ -1,0 +1,1 @@
+examples/traffic_light.ml: Codegen Dsim List Printf Smachine Statechart String Uml

@@ -1,0 +1,1 @@
+examples/uart_soc.ml: Codegen Dsim Hdl Iplib List Mda Printf Profiles String Uml

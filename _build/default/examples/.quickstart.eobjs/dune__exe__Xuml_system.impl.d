@@ -1,0 +1,1 @@
+examples/xuml_system.ml: Asl Classifier Dtype Interaction List Model Printf Smachine Uml Vspec Wfr Xuml

@@ -1,0 +1,1 @@
+examples/xuml_system.mli:

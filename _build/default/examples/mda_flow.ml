@@ -1,0 +1,140 @@
+(* MDA flow: one platform-independent model (PIM) of a protocol
+   controller, transformed to platform-specific models (PSMs) for four
+   platforms, with full code generation — VHDL, Verilog, SystemC and C
+   from the same source model.  This is §3 of the paper made concrete,
+   including the "code generation for hardware descriptions" it calls
+   for, plus the reuse measurement behind the MDA portability claim.
+
+   Run with: dune exec examples/mda_flow.exe *)
+
+open Uml
+
+(* PIM: an active controller class with a protocol state machine and a
+   companion data class using Real (which the hw mapping lowers). *)
+let build_pim () =
+  let m = Model.create "protocol_ctrl" in
+  let sample =
+    Classifier.make
+      ~attributes:
+        [
+          Classifier.property "value" Dtype.Real;
+          Classifier.property "count" Dtype.Integer;
+        ]
+      ~operations:
+        [
+          Classifier.operation
+            ~params:
+              [
+                Classifier.parameter "x" Dtype.Integer;
+                Classifier.parameter ~direction:Classifier.Return "r"
+                  Dtype.Integer;
+              ]
+            ~body:"self.count := self.count + x; return self.count;"
+            "accumulate";
+        ]
+      "Sample"
+  in
+  Model.add m (Model.E_classifier sample);
+  let ctrl =
+    Classifier.make ~is_active:true
+      ~operations:
+        [ Classifier.operation ~body:"return 1;" "ready" ]
+      "Controller"
+  in
+  Model.add m (Model.E_classifier ctrl);
+  let idle = Smachine.simple_state ~entry:"phase := 0;" "Idle" in
+  let syncing = Smachine.simple_state ~entry:"phase := 1;" "Syncing" in
+  let active = Smachine.simple_state ~entry:"phase := 2;" "Active" in
+  let init = Smachine.pseudostate Smachine.Initial in
+  let region =
+    Smachine.region
+      [
+        Smachine.Pseudo init; Smachine.State idle; Smachine.State syncing;
+        Smachine.State active;
+      ]
+      [
+        Smachine.transition ~source:init.Smachine.ps_id
+          ~target:idle.Smachine.st_id ();
+        Smachine.transition
+          ~triggers:[ Smachine.Signal_trigger "connect" ]
+          ~source:idle.Smachine.st_id ~target:syncing.Smachine.st_id ();
+        Smachine.transition
+          ~triggers:[ Smachine.Signal_trigger "synced" ]
+          ~source:syncing.Smachine.st_id ~target:active.Smachine.st_id ();
+        Smachine.transition
+          ~triggers:[ Smachine.Signal_trigger "disconnect" ]
+          ~source:active.Smachine.st_id ~target:idle.Smachine.st_id ();
+        Smachine.transition
+          ~triggers:[ Smachine.Signal_trigger "disconnect" ]
+          ~source:syncing.Smachine.st_id ~target:idle.Smachine.st_id ();
+      ]
+  in
+  let sm =
+    Smachine.make ~context:ctrl.Classifier.cl_id "ProtocolMachine" [ region ]
+  in
+  Model.add m (Model.E_state_machine sm);
+  let port = Component.port "io" in
+  let comp = Component.make ~ports:[ port ] "CtrlUnit" in
+  Model.add m (Model.E_component comp);
+  m
+
+let () =
+  let pim = build_pim () in
+  Printf.printf "PIM %s: %d elements (%d counting features)\n"
+    (Model.name pim) (Model.size pim)
+    (Mda.Generate.model_element_count pim);
+
+  let platforms =
+    [
+      Mda.Platform.asic_vhdl;
+      Mda.Platform.fpga_verilog;
+      Mda.Platform.virtual_systemc;
+      Mda.Platform.sw_c;
+    ]
+  in
+  print_endline "platform          reuse   changed  artifacts (lines)";
+  List.iter
+    (fun plat ->
+      let psm, trace = Mda.Mapping.to_psm plat pim in
+      let artifacts = Mda.Generate.artifacts plat psm in
+      let total_loc =
+        List.fold_left
+          (fun acc (_f, text) -> acc + Mda.Generate.loc text)
+          0 artifacts
+      in
+      Printf.printf "%-16s %5.0f%%   %7d  %d file(s), %d lines\n"
+        plat.Mda.Platform.plat_name
+        (100. *. Mda.Transform.reuse_fraction trace)
+        (Mda.Transform.changed_count trace)
+        (List.length artifacts) total_loc)
+    platforms;
+
+  (* show a slice of two generated artifacts *)
+  let show plat n =
+    let psm, _trace = Mda.Mapping.to_psm plat pim in
+    match Mda.Generate.artifacts plat psm with
+    | (file, text) :: _rest ->
+      let lines = String.split_on_char '\n' text in
+      let slice = List.filteri (fun i _ -> i < n) lines in
+      Printf.printf "--- %s (first %d lines) ---\n%s\n" file n
+        (String.concat "\n" slice)
+    | [] -> ()
+  in
+  show Mda.Platform.asic_vhdl 16;
+  show Mda.Platform.sw_c 18;
+
+  (* the expansion factor the paper's productivity argument rests on *)
+  let hw_psm, _ = Mda.Mapping.to_psm Mda.Platform.asic_vhdl pim in
+  let sw_psm, _ = Mda.Mapping.to_psm Mda.Platform.sw_c pim in
+  let generated =
+    List.fold_left
+      (fun acc (_f, text) -> acc + Mda.Generate.loc text)
+      0
+      (Mda.Generate.artifacts Mda.Platform.asic_vhdl hw_psm
+      @ Mda.Generate.artifacts Mda.Platform.sw_c sw_psm)
+  in
+  let model_size = Mda.Generate.model_element_count pim in
+  Printf.printf
+    "expansion: %d model elements -> %d generated lines (%.1fx)\n"
+    model_size generated
+    (float_of_int generated /. float_of_int model_size)

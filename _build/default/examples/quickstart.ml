@@ -1,0 +1,74 @@
+(* Quickstart: build a model with the public API, check it, round-trip
+   it through XMI, and generate hardware from its state machine.
+
+   Run with: dune exec examples/quickstart.exe *)
+
+open Uml
+
+let () =
+  (* 1. A model with a class and a state machine (a blinking LED). *)
+  let m = Model.create "quickstart" in
+  let led =
+    Classifier.make
+      ~attributes:[ Classifier.property "on" Dtype.Boolean ]
+      ~operations:
+        [ Classifier.operation ~body:"self.on := not self.on; return self.on;"
+            "toggle" ]
+      "Led"
+  in
+  Model.add m (Model.E_classifier led);
+
+  let off = Smachine.simple_state ~entry:"level := 0;" "Off" in
+  let on = Smachine.simple_state ~entry:"level := 1;" "On" in
+  let init = Smachine.pseudostate Smachine.Initial in
+  let t0 =
+    Smachine.transition ~source:init.Smachine.ps_id ~target:off.Smachine.st_id ()
+  in
+  let t1 =
+    Smachine.transition
+      ~triggers:[ Smachine.Signal_trigger "toggle" ]
+      ~source:off.Smachine.st_id ~target:on.Smachine.st_id ()
+  in
+  let t2 =
+    Smachine.transition
+      ~triggers:[ Smachine.Signal_trigger "toggle" ]
+      ~source:on.Smachine.st_id ~target:off.Smachine.st_id ()
+  in
+  let region =
+    Smachine.region
+      [ Smachine.Pseudo init; Smachine.State off; Smachine.State on ]
+      [ t0; t1; t2 ]
+  in
+  let blink = Smachine.make ~context:led.Classifier.cl_id "Blink" [ region ] in
+  Model.add m (Model.E_state_machine blink);
+
+  (* 2. Well-formedness. *)
+  let diagnostics = Wfr.check m in
+  Printf.printf "well-formedness: %d diagnostics\n" (List.length diagnostics);
+  List.iter (fun d -> print_endline ("  " ^ Wfr.to_string d)) diagnostics;
+
+  (* 3. Execute the model (xUML style). *)
+  let engine = Statechart.Engine.create blink in
+  Statechart.Engine.start engine;
+  Printf.printf "machine starts in: %s\n" (Statechart.Engine.signature engine);
+  Statechart.Engine.dispatch engine (Statechart.Event.make "toggle");
+  Printf.printf "after toggle:      %s\n" (Statechart.Engine.signature engine);
+
+  (* 4. XMI round-trip. *)
+  let text = Xmi.Write.to_string m in
+  let m' = Xmi.Read.model_of_string text in
+  Printf.printf "XMI round-trip equal: %b (%d bytes)\n" (Model.equal m m')
+    (String.length text);
+
+  (* 5. Generate hardware for the state machine. *)
+  (match Statechart.Flatten.flatten blink with
+   | Error reason -> Printf.printf "not flattenable: %s\n" reason
+   | Ok flat -> (
+     match Codegen.Fsm_compile.compile flat with
+     | Error reason -> Printf.printf "not synthesizable: %s\n" reason
+     | Ok hmod ->
+       let design = Hdl.Module_.design ~top:hmod.Hdl.Module_.mod_name [ hmod ] in
+       let vhdl = Codegen.Vhdl.of_design design in
+       Printf.printf "generated VHDL (%d lines):\n%s\n"
+         (List.length (String.split_on_char '\n' vhdl))
+         vhdl))

@@ -1,0 +1,1 @@
+lib/activity/conform.pp.ml: Exec List Petri Printf String Translate

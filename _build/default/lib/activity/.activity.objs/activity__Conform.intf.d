@@ -1,0 +1,1 @@
+lib/activity/conform.pp.mli: Uml

@@ -1,0 +1,1 @@
+lib/activity/exec.pp.ml: Activityg Asl List Map Printf String Translate Uml

@@ -1,0 +1,1 @@
+lib/activity/exec.pp.mli: Asl Uml

@@ -1,0 +1,1 @@
+lib/activity/translate.pp.ml: Activityg Ident List Petri Printf Uml

@@ -1,0 +1,1 @@
+lib/activity/translate.pp.mli: Petri Uml

@@ -1,0 +1,62 @@
+type report = {
+  steps : int;
+  conforms : bool;
+  mismatch : string option;
+}
+
+let check_trace act labels =
+  let net, m0 = Translate.to_petri act in
+  let rec replay m n = function
+    | [] -> (n, Ok m)
+    | label :: rest -> (
+      match Petri.Marking.fire net m label with
+      | Some m' -> replay m' (n + 1) rest
+      | None -> (n, Error label))
+  in
+  match replay m0 0 labels with
+  | n, Ok _m -> { steps = n; conforms = true; mismatch = None }
+  | n, Error label ->
+    {
+      steps = n;
+      conforms = false;
+      mismatch =
+        Some (Printf.sprintf "label %s not enabled in net after %d steps" label n);
+    }
+
+let run_and_check ?seed ?max_steps act =
+  let engine = Exec.create act in
+  let labels = Exec.run ?seed ?max_steps engine in
+  let net, m0 = Translate.to_petri act in
+  let rec replay m = function
+    | [] -> Ok m
+    | label :: rest -> (
+      match Petri.Marking.fire net m label with
+      | Some m' -> replay m' rest
+      | None -> Error label)
+  in
+  match replay m0 labels with
+  | Error label ->
+    {
+      steps = List.length labels;
+      conforms = false;
+      mismatch = Some (Printf.sprintf "label %s not enabled in net" label);
+    }
+  | Ok final_net_marking ->
+    let net_marking = Petri.Marking.to_list final_net_marking in
+    let engine_marking = Exec.tokens engine in
+    if net_marking = engine_marking then
+      { steps = List.length labels; conforms = true; mismatch = None }
+    else
+      {
+        steps = List.length labels;
+        conforms = false;
+        mismatch =
+          Some
+            (Printf.sprintf "final markings differ: net %s vs engine %s"
+               (String.concat ","
+                  (List.map (fun (p, n) -> Printf.sprintf "%s:%d" p n) net_marking))
+               (String.concat ","
+                  (List.map
+                     (fun (p, n) -> Printf.sprintf "%s:%d" p n)
+                     engine_marking)));
+      }

@@ -1,0 +1,57 @@
+(** Token-flow execution engine for activities (UML 2.0 semantics).
+
+    Tokens live on edges.  A node is enabled when every incoming edge
+    offers enough tokens ([weight]); decision and merge nodes are the
+    exception and fire per-edge.  Firing consumes the tokens, runs the
+    node's behavior (ASL action bodies, signal sends) and offers one
+    token on outgoing edges (all of them for fork/actions, exactly one
+    chosen branch for decisions).
+
+    Every firing is labelled with the {!Translate} transition name, so a
+    run is checkable as an occurrence sequence of the translated Petri
+    net — the differential oracle used by tests and experiment E3. *)
+
+type t
+
+val create :
+  ?interp:Asl.Interp.t -> ?self_:Asl.Value.t -> Uml.Activityg.t -> t
+(** The engine starts with tokens as per initial nodes. *)
+
+val activity : t -> Uml.Activityg.t
+val interp : t -> Asl.Interp.t
+
+val tokens : t -> (string * int) list
+(** Current marking as (Petri place name, tokens), sorted; includes
+    unconsumed start places and the done place. *)
+
+val finished : t -> bool
+(** An activity-final node has fired. *)
+
+val stuck : t -> bool
+(** No node is enabled (and not finished). *)
+
+val enabled_firings : t -> string list
+(** Labels of all currently enabled firings, deterministic order. *)
+
+val fire : t -> string -> (unit, string) result
+(** Fire the labelled transition, if enabled. *)
+
+val offer_event : t -> string -> unit
+(** Make an event available for [Accept_event] nodes.  If none is
+    pending, accept nodes do not block (they fire immediately) — the
+    offered-event set only gates nodes when [event_gating] was enabled
+    at creation time via {!set_event_gating}. *)
+
+val set_event_gating : t -> bool -> unit
+
+val run : ?seed:int -> ?max_steps:int -> t -> string list
+(** Run to completion (or stuck/step bound), choosing among enabled
+    firings with a deterministic seeded LCG; returns firing labels in
+    order.  Default [max_steps] is 10_000. *)
+
+val sent_signals : t -> string list
+(** Names of signals emitted by [Send_signal] nodes and ASL [send]
+    statements, oldest first. *)
+
+val output_of : t -> string list
+(** [print] lines produced by action bodies, oldest first. *)

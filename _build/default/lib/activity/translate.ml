@@ -1,0 +1,91 @@
+open Uml
+
+let place_of_edge e = "p_" ^ Ident.to_string e
+let start_place n = "p_start_" ^ Ident.to_string n
+let done_place = "p_done"
+let transition_of_node n = "t_" ^ Ident.to_string n
+
+let decision_branch n e =
+  Printf.sprintf "t_%s__out_%s" (Ident.to_string n) (Ident.to_string e)
+
+let merge_branch n e =
+  Printf.sprintf "t_%s__in_%s" (Ident.to_string n) (Ident.to_string e)
+
+let to_petri (a : Activityg.t) =
+  let open Activityg in
+  let places = ref [] in
+  let transitions = ref [] in
+  let arcs = ref [] in
+  let add_place id name = places := Petri.Net.place ~name id :: !places in
+  let add_transition id name =
+    transitions := Petri.Net.transition ~name id :: !transitions
+  in
+  List.iter
+    (fun e -> add_place (place_of_edge e.ed_id) ("edge " ^ e.ed_id))
+    a.ac_edges;
+  let marked = ref [] in
+  let node_arcs n =
+    let id = node_id n in
+    let ins = incoming a id in
+    let outs = outgoing a id in
+    let consume tn =
+      List.iter
+        (fun e ->
+          arcs := Petri.Net.P_to_t (place_of_edge e.ed_id, tn, e.ed_weight) :: !arcs)
+        ins
+    in
+    let produce tn =
+      List.iter
+        (fun e -> arcs := Petri.Net.T_to_p (tn, place_of_edge e.ed_id, 1) :: !arcs)
+        outs
+    in
+    match n with
+    | Initial_node _ ->
+      let sp = start_place id in
+      add_place sp ("start " ^ node_name n);
+      marked := (sp, 1) :: !marked;
+      let tn = transition_of_node id in
+      add_transition tn (node_name n);
+      arcs := Petri.Net.P_to_t (sp, tn, 1) :: !arcs;
+      produce tn
+    | Decision_node _ ->
+      List.iter
+        (fun out_e ->
+          let tn = decision_branch id out_e.ed_id in
+          add_transition tn (node_name n);
+          consume tn;
+          arcs :=
+            Petri.Net.T_to_p (tn, place_of_edge out_e.ed_id, 1) :: !arcs)
+        outs
+    | Merge_node _ ->
+      List.iter
+        (fun in_e ->
+          let tn = merge_branch id in_e.ed_id in
+          add_transition tn (node_name n);
+          arcs :=
+            Petri.Net.P_to_t (place_of_edge in_e.ed_id, tn, in_e.ed_weight)
+            :: !arcs;
+          produce tn)
+        ins
+    | Activity_final _ ->
+      let tn = transition_of_node id in
+      add_transition tn (node_name n);
+      consume tn;
+      arcs := Petri.Net.T_to_p (tn, done_place, 1) :: !arcs
+    | Flow_final _ ->
+      let tn = transition_of_node id in
+      add_transition tn (node_name n);
+      consume tn
+    | Action _ | Call_behavior _ | Send_signal _ | Accept_event _
+    | Object_node _ | Fork_node _ | Join_node _ ->
+      let tn = transition_of_node id in
+      add_transition tn (node_name n);
+      consume tn;
+      produce tn
+  in
+  add_place done_place "done";
+  List.iter node_arcs a.ac_nodes;
+  let net =
+    Petri.Net.make (List.rev !places) (List.rev !transitions) (List.rev !arcs)
+  in
+  (net, Petri.Marking.of_list !marked)

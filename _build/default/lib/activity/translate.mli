@@ -1,0 +1,36 @@
+(** Structural translation of activities to place/transition nets.
+
+    This realizes the paper's remark that UML 2.0 activity token
+    semantics are "semantically close to high-level Petri Nets": each
+    activity edge becomes a place; each node becomes one or more
+    transitions.  The naming scheme is shared with the token engine
+    ({!Exec}) so that an engine run is literally an occurrence sequence
+    of the translated net:
+
+    - edge [e] → place [p_e];
+    - an initial node [n] additionally gets a start place [p_start_n]
+      marked with one token;
+    - most nodes [n] → a single transition [t_n] consuming every
+      incoming edge place (with the edge weight) and producing one token
+      into every outgoing edge place;
+    - a decision node [n] → one transition [t_n__out_e] per outgoing
+      edge [e]; a merge node → one transition [t_n__in_e] per incoming
+      edge;
+    - an activity-final node feeds a [p_done] place.
+
+    Edge guards are dropped (the net over-approximates the activity);
+    object-node capacity bounds are likewise dropped. *)
+
+val place_of_edge : Uml.Ident.t -> string
+val start_place : Uml.Ident.t -> string
+val done_place : string
+
+val transition_of_node : Uml.Ident.t -> string
+val decision_branch : Uml.Ident.t -> Uml.Ident.t -> string
+(** [decision_branch node out_edge] *)
+
+val merge_branch : Uml.Ident.t -> Uml.Ident.t -> string
+(** [merge_branch node in_edge] *)
+
+val to_petri : Uml.Activityg.t -> Petri.Net.t * Petri.Marking.t
+(** The net and its initial marking (start places of initial nodes). *)

@@ -1,0 +1,1 @@
+lib/asl/ast.pp.ml: List Ppx_deriving_runtime

@@ -1,0 +1,1 @@
+lib/asl/ast.pp.mli: Ppx_deriving_runtime

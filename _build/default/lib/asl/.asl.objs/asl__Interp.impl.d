@@ -1,0 +1,1 @@
+lib/asl/interp.pp.ml: Ast Float Hashtbl List Parser Printf Store String Value

@@ -1,0 +1,1 @@
+lib/asl/interp.pp.mli: Ast Store Value

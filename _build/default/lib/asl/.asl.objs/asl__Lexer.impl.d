@@ -1,0 +1,1 @@
+lib/asl/lexer.pp.ml: Buffer List Ppx_deriving_runtime Printf String

@@ -1,0 +1,1 @@
+lib/asl/lexer.pp.mli: Ppx_deriving_runtime

@@ -1,0 +1,1 @@
+lib/asl/parser.pp.ml: Ast Lexer List Printf

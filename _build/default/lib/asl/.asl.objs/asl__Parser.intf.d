@@ -1,0 +1,1 @@
+lib/asl/parser.pp.mli: Ast Lexer

@@ -1,0 +1,1 @@
+lib/asl/store.pp.ml: Hashtbl List String Value

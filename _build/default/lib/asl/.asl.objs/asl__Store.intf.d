@@ -1,0 +1,1 @@
+lib/asl/store.pp.mli: Value

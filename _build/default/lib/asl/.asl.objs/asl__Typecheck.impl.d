@@ -1,0 +1,1 @@
+lib/asl/typecheck.pp.ml: Ast List Parser Ppx_deriving_runtime Printf

@@ -1,0 +1,1 @@
+lib/asl/typecheck.pp.mli: Ast Ppx_deriving_runtime

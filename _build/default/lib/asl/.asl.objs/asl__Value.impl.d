@@ -1,0 +1,1 @@
+lib/asl/value.pp.ml: Ppx_deriving_runtime Printf

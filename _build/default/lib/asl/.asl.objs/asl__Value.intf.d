@@ -1,0 +1,1 @@
+lib/asl/value.pp.mli: Ppx_deriving_runtime

@@ -1,0 +1,219 @@
+type token =
+  | INT of int
+  | REAL of float
+  | STRING of string
+  | IDENT of string
+  | KW_IF
+  | KW_THEN
+  | KW_ELSE
+  | KW_END
+  | KW_WHILE
+  | KW_DO
+  | KW_FOR
+  | KW_TO
+  | KW_VAR
+  | KW_RETURN
+  | KW_SEND
+  | KW_NEW
+  | KW_DELETE
+  | KW_SELF
+  | KW_TRUE
+  | KW_FALSE
+  | KW_NULL
+  | KW_AND
+  | KW_OR
+  | KW_NOT
+  | KW_MOD
+  | ASSIGN
+  | PLUS
+  | MINUS
+  | STAR
+  | SLASH
+  | AMP
+  | EQ
+  | NE
+  | LT
+  | LE
+  | GT
+  | GE
+  | LPAREN
+  | RPAREN
+  | COMMA
+  | SEMI
+  | DOT
+  | EOF
+[@@deriving eq, show]
+
+exception Lex_error of {
+  position : int;
+  message : string;
+}
+
+let keyword_of = function
+  | "if" -> Some KW_IF
+  | "then" -> Some KW_THEN
+  | "else" -> Some KW_ELSE
+  | "end" -> Some KW_END
+  | "while" -> Some KW_WHILE
+  | "do" -> Some KW_DO
+  | "for" -> Some KW_FOR
+  | "to" -> Some KW_TO
+  | "var" -> Some KW_VAR
+  | "return" -> Some KW_RETURN
+  | "send" -> Some KW_SEND
+  | "new" -> Some KW_NEW
+  | "delete" -> Some KW_DELETE
+  | "self" -> Some KW_SELF
+  | "true" -> Some KW_TRUE
+  | "false" -> Some KW_FALSE
+  | "null" -> Some KW_NULL
+  | "and" -> Some KW_AND
+  | "or" -> Some KW_OR
+  | "not" -> Some KW_NOT
+  | "mod" -> Some KW_MOD
+  | _other -> None
+
+let is_digit c = c >= '0' && c <= '9'
+
+let is_ident_start c =
+  (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_'
+
+let is_ident_char c = is_ident_start c || is_digit c
+
+let tokenize src =
+  let n = String.length src in
+  let rec loop pos acc =
+    if pos >= n then List.rev (EOF :: acc)
+    else
+      let c = src.[pos] in
+      if c = ' ' || c = '\t' || c = '\n' || c = '\r' then loop (pos + 1) acc
+      else if c = '/' && pos + 1 < n && src.[pos + 1] = '/' then
+        let rec skip p = if p < n && src.[p] <> '\n' then skip (p + 1) else p in
+        loop (skip pos) acc
+      else if is_digit c then begin
+        let rec scan p = if p < n && is_digit src.[p] then scan (p + 1) else p in
+        let int_end = scan pos in
+        if
+          int_end < n
+          && src.[int_end] = '.'
+          && int_end + 1 < n
+          && is_digit src.[int_end + 1]
+        then begin
+          let frac_end = scan (int_end + 1) in
+          let lit = String.sub src pos (frac_end - pos) in
+          loop frac_end (REAL (float_of_string lit) :: acc)
+        end
+        else
+          let lit = String.sub src pos (int_end - pos) in
+          loop int_end (INT (int_of_string lit) :: acc)
+      end
+      else if is_ident_start c then begin
+        let rec scan p =
+          if p < n && is_ident_char src.[p] then scan (p + 1) else p
+        in
+        let stop = scan pos in
+        let word = String.sub src pos (stop - pos) in
+        let tok =
+          match keyword_of word with
+          | Some kw -> kw
+          | None -> IDENT word
+        in
+        loop stop (tok :: acc)
+      end
+      else if c = '"' then begin
+        let buf = Buffer.create 16 in
+        let rec scan p =
+          if p >= n then
+            raise (Lex_error { position = pos; message = "unterminated string" })
+          else if src.[p] = '"' then p + 1
+          else if src.[p] = '\\' && p + 1 < n then begin
+            (match src.[p + 1] with
+             | 'n' -> Buffer.add_char buf '\n'
+             | 't' -> Buffer.add_char buf '\t'
+             | other -> Buffer.add_char buf other);
+            scan (p + 2)
+          end
+          else begin
+            Buffer.add_char buf src.[p];
+            scan (p + 1)
+          end
+        in
+        let stop = scan (pos + 1) in
+        loop stop (STRING (Buffer.contents buf) :: acc)
+      end
+      else
+        let two = if pos + 1 < n then String.sub src pos 2 else "" in
+        match two with
+        | ":=" -> loop (pos + 2) (ASSIGN :: acc)
+        | "<>" -> loop (pos + 2) (NE :: acc)
+        | "<=" -> loop (pos + 2) (LE :: acc)
+        | ">=" -> loop (pos + 2) (GE :: acc)
+        | _other -> (
+          match c with
+          | '+' -> loop (pos + 1) (PLUS :: acc)
+          | '-' -> loop (pos + 1) (MINUS :: acc)
+          | '*' -> loop (pos + 1) (STAR :: acc)
+          | '/' -> loop (pos + 1) (SLASH :: acc)
+          | '&' -> loop (pos + 1) (AMP :: acc)
+          | '=' -> loop (pos + 1) (EQ :: acc)
+          | '<' -> loop (pos + 1) (LT :: acc)
+          | '>' -> loop (pos + 1) (GT :: acc)
+          | '(' -> loop (pos + 1) (LPAREN :: acc)
+          | ')' -> loop (pos + 1) (RPAREN :: acc)
+          | ',' -> loop (pos + 1) (COMMA :: acc)
+          | ';' -> loop (pos + 1) (SEMI :: acc)
+          | '.' -> loop (pos + 1) (DOT :: acc)
+          | other ->
+            raise
+              (Lex_error
+                 {
+                   position = pos;
+                   message = Printf.sprintf "unexpected character %C" other;
+                 }))
+  in
+  loop 0 []
+
+let token_name = function
+  | INT i -> string_of_int i
+  | REAL r -> string_of_float r
+  | STRING s -> Printf.sprintf "%S" s
+  | IDENT s -> s
+  | KW_IF -> "if"
+  | KW_THEN -> "then"
+  | KW_ELSE -> "else"
+  | KW_END -> "end"
+  | KW_WHILE -> "while"
+  | KW_DO -> "do"
+  | KW_FOR -> "for"
+  | KW_TO -> "to"
+  | KW_VAR -> "var"
+  | KW_RETURN -> "return"
+  | KW_SEND -> "send"
+  | KW_NEW -> "new"
+  | KW_DELETE -> "delete"
+  | KW_SELF -> "self"
+  | KW_TRUE -> "true"
+  | KW_FALSE -> "false"
+  | KW_NULL -> "null"
+  | KW_AND -> "and"
+  | KW_OR -> "or"
+  | KW_NOT -> "not"
+  | KW_MOD -> "mod"
+  | ASSIGN -> ":="
+  | PLUS -> "+"
+  | MINUS -> "-"
+  | STAR -> "*"
+  | SLASH -> "/"
+  | AMP -> "&"
+  | EQ -> "="
+  | NE -> "<>"
+  | LT -> "<"
+  | LE -> "<="
+  | GT -> ">"
+  | GE -> ">="
+  | LPAREN -> "("
+  | RPAREN -> ")"
+  | COMMA -> ","
+  | SEMI -> ";"
+  | DOT -> "."
+  | EOF -> "<eof>"

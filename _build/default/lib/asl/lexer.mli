@@ -1,0 +1,59 @@
+(** Lexer for the ASL concrete syntax. *)
+
+type token =
+  | INT of int
+  | REAL of float
+  | STRING of string
+  | IDENT of string
+  | KW_IF
+  | KW_THEN
+  | KW_ELSE
+  | KW_END
+  | KW_WHILE
+  | KW_DO
+  | KW_FOR
+  | KW_TO
+  | KW_VAR
+  | KW_RETURN
+  | KW_SEND
+  | KW_NEW
+  | KW_DELETE
+  | KW_SELF
+  | KW_TRUE
+  | KW_FALSE
+  | KW_NULL
+  | KW_AND
+  | KW_OR
+  | KW_NOT
+  | KW_MOD
+  | ASSIGN  (** [:=] *)
+  | PLUS
+  | MINUS
+  | STAR
+  | SLASH
+  | AMP
+  | EQ
+  | NE
+  | LT
+  | LE
+  | GT
+  | GE
+  | LPAREN
+  | RPAREN
+  | COMMA
+  | SEMI
+  | DOT
+  | EOF
+[@@deriving eq, show]
+
+exception Lex_error of {
+  position : int;
+  message : string;
+}
+
+val tokenize : string -> token list
+(** Turn ASL source into a token list terminated by [EOF].  Comments run
+    from ["//"] to end of line.
+    @raise Lex_error on an unexpected character. *)
+
+val token_name : token -> string

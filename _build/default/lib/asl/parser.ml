@@ -1,0 +1,336 @@
+exception Parse_error of {
+  token : Lexer.token;
+  message : string;
+}
+
+type state = { mutable tokens : Lexer.token list }
+
+let fail st message =
+  let token =
+    match st.tokens with
+    | t :: _ -> t
+    | [] -> Lexer.EOF
+  in
+  raise (Parse_error { token; message })
+
+let peek st =
+  match st.tokens with
+  | t :: _ -> t
+  | [] -> Lexer.EOF
+
+let advance st =
+  match st.tokens with
+  | _ :: tl -> st.tokens <- tl
+  | [] -> ()
+
+let expect st tok =
+  if Lexer.equal_token (peek st) tok then advance st
+  else fail st (Printf.sprintf "expected %s" (Lexer.token_name tok))
+
+let expect_ident st =
+  match peek st with
+  | Lexer.IDENT name ->
+    advance st;
+    name
+  | _other -> fail st "expected an identifier"
+
+(* --- expressions ------------------------------------------------- *)
+
+let rec parse_or st =
+  let lhs = parse_and st in
+  let rec loop lhs =
+    match peek st with
+    | Lexer.KW_OR ->
+      advance st;
+      let rhs = parse_and st in
+      loop (Ast.Binop (Ast.Or, lhs, rhs))
+    | _other -> lhs
+  in
+  loop lhs
+
+and parse_and st =
+  let lhs = parse_cmp st in
+  let rec loop lhs =
+    match peek st with
+    | Lexer.KW_AND ->
+      advance st;
+      let rhs = parse_cmp st in
+      loop (Ast.Binop (Ast.And, lhs, rhs))
+    | _other -> lhs
+  in
+  loop lhs
+
+and parse_cmp st =
+  let lhs = parse_add st in
+  let op =
+    match peek st with
+    | Lexer.EQ -> Some Ast.Eq
+    | Lexer.NE -> Some Ast.Ne
+    | Lexer.LT -> Some Ast.Lt
+    | Lexer.LE -> Some Ast.Le
+    | Lexer.GT -> Some Ast.Gt
+    | Lexer.GE -> Some Ast.Ge
+    | _other -> None
+  in
+  match op with
+  | None -> lhs
+  | Some op ->
+    advance st;
+    let rhs = parse_add st in
+    Ast.Binop (op, lhs, rhs)
+
+and parse_add st =
+  let lhs = parse_mul st in
+  let rec loop lhs =
+    match peek st with
+    | Lexer.PLUS ->
+      advance st;
+      loop (Ast.Binop (Ast.Add, lhs, parse_mul st))
+    | Lexer.MINUS ->
+      advance st;
+      loop (Ast.Binop (Ast.Sub, lhs, parse_mul st))
+    | Lexer.AMP ->
+      advance st;
+      loop (Ast.Binop (Ast.Concat, lhs, parse_mul st))
+    | _other -> lhs
+  in
+  loop lhs
+
+and parse_mul st =
+  let lhs = parse_unary st in
+  let rec loop lhs =
+    match peek st with
+    | Lexer.STAR ->
+      advance st;
+      loop (Ast.Binop (Ast.Mul, lhs, parse_unary st))
+    | Lexer.SLASH ->
+      advance st;
+      loop (Ast.Binop (Ast.Div, lhs, parse_unary st))
+    | Lexer.KW_MOD ->
+      advance st;
+      loop (Ast.Binop (Ast.Mod, lhs, parse_unary st))
+    | _other -> lhs
+  in
+  loop lhs
+
+and parse_unary st =
+  match peek st with
+  | Lexer.MINUS ->
+    advance st;
+    Ast.Unop (Ast.Neg, parse_unary st)
+  | Lexer.KW_NOT ->
+    advance st;
+    Ast.Unop (Ast.Not, parse_unary st)
+  | _other -> parse_postfix st
+
+and parse_postfix st =
+  let atom = parse_atom st in
+  let rec loop expr =
+    match peek st with
+    | Lexer.DOT -> (
+      advance st;
+      let name = expect_ident st in
+      match peek st with
+      | Lexer.LPAREN ->
+        advance st;
+        let args = parse_args st in
+        loop (Ast.Call (Some expr, name, args))
+      | _other -> loop (Ast.Attr (expr, name)))
+    | _other -> expr
+  in
+  loop atom
+
+and parse_args st =
+  if Lexer.equal_token (peek st) Lexer.RPAREN then begin
+    advance st;
+    []
+  end
+  else
+    let rec loop acc =
+      let e = parse_or st in
+      match peek st with
+      | Lexer.COMMA ->
+        advance st;
+        loop (e :: acc)
+      | Lexer.RPAREN ->
+        advance st;
+        List.rev (e :: acc)
+      | _other -> fail st "expected ',' or ')' in argument list"
+    in
+    loop []
+
+and parse_atom st =
+  match peek st with
+  | Lexer.INT i ->
+    advance st;
+    Ast.Int_lit i
+  | Lexer.REAL r ->
+    advance st;
+    Ast.Real_lit r
+  | Lexer.STRING s ->
+    advance st;
+    Ast.String_lit s
+  | Lexer.KW_TRUE ->
+    advance st;
+    Ast.Bool_lit true
+  | Lexer.KW_FALSE ->
+    advance st;
+    Ast.Bool_lit false
+  | Lexer.KW_NULL ->
+    advance st;
+    Ast.Null_lit
+  | Lexer.KW_SELF ->
+    advance st;
+    Ast.Self
+  | Lexer.KW_NEW ->
+    advance st;
+    Ast.New (expect_ident st)
+  | Lexer.LPAREN ->
+    advance st;
+    let e = parse_or st in
+    expect st Lexer.RPAREN;
+    e
+  | Lexer.IDENT name -> (
+    advance st;
+    match peek st with
+    | Lexer.LPAREN ->
+      advance st;
+      let args = parse_args st in
+      Ast.Call (None, name, args)
+    | _other -> Ast.Var name)
+  | other -> fail st (Printf.sprintf "unexpected %s" (Lexer.token_name other))
+
+(* --- statements --------------------------------------------------- *)
+
+let rec parse_stmts st stop_tokens =
+  let stops t = List.exists (Lexer.equal_token t) stop_tokens in
+  let rec loop acc =
+    if stops (peek st) then List.rev acc
+    else
+      let s = parse_stmt st in
+      loop (s :: acc)
+  in
+  loop []
+
+and parse_stmt st =
+  match peek st with
+  | Lexer.SEMI ->
+    advance st;
+    Ast.Skip
+  | Lexer.KW_VAR ->
+    advance st;
+    let name = expect_ident st in
+    expect st Lexer.ASSIGN;
+    let e = parse_or st in
+    expect st Lexer.SEMI;
+    Ast.Var_decl (name, e)
+  | Lexer.KW_IF ->
+    advance st;
+    let cond = parse_or st in
+    expect st Lexer.KW_THEN;
+    let then_branch = parse_stmts st [ Lexer.KW_ELSE; Lexer.KW_END ] in
+    let else_branch =
+      if Lexer.equal_token (peek st) Lexer.KW_ELSE then begin
+        advance st;
+        parse_stmts st [ Lexer.KW_END ]
+      end
+      else []
+    in
+    expect st Lexer.KW_END;
+    expect st Lexer.SEMI;
+    Ast.If (cond, then_branch, else_branch)
+  | Lexer.KW_WHILE ->
+    advance st;
+    let cond = parse_or st in
+    expect st Lexer.KW_DO;
+    let body = parse_stmts st [ Lexer.KW_END ] in
+    expect st Lexer.KW_END;
+    expect st Lexer.SEMI;
+    Ast.While (cond, body)
+  | Lexer.KW_FOR ->
+    advance st;
+    let name = expect_ident st in
+    expect st Lexer.ASSIGN;
+    let low = parse_or st in
+    expect st Lexer.KW_TO;
+    let high = parse_or st in
+    expect st Lexer.KW_DO;
+    let body = parse_stmts st [ Lexer.KW_END ] in
+    expect st Lexer.KW_END;
+    expect st Lexer.SEMI;
+    Ast.For (name, low, high, body)
+  | Lexer.KW_RETURN ->
+    advance st;
+    if Lexer.equal_token (peek st) Lexer.SEMI then begin
+      advance st;
+      Ast.Return None
+    end
+    else begin
+      let e = parse_or st in
+      expect st Lexer.SEMI;
+      Ast.Return (Some e)
+    end
+  | Lexer.KW_SEND ->
+    advance st;
+    let signal = expect_ident st in
+    let args =
+      if Lexer.equal_token (peek st) Lexer.LPAREN then begin
+        advance st;
+        parse_args st
+      end
+      else []
+    in
+    let target =
+      if Lexer.equal_token (peek st) Lexer.KW_TO then begin
+        advance st;
+        Some (parse_or st)
+      end
+      else None
+    in
+    expect st Lexer.SEMI;
+    Ast.Send (signal, args, target)
+  | Lexer.KW_DELETE ->
+    advance st;
+    let e = parse_or st in
+    expect st Lexer.SEMI;
+    Ast.Delete e
+  | _other ->
+    (* expression or assignment *)
+    let e = parse_or st in
+    if Lexer.equal_token (peek st) Lexer.ASSIGN then begin
+      advance st;
+      let rhs = parse_or st in
+      expect st Lexer.SEMI;
+      let lv =
+        match e with
+        | Ast.Var name -> Ast.L_var name
+        | Ast.Attr (obj, name) -> Ast.L_attr (obj, name)
+        | _other -> fail st "invalid assignment target"
+      in
+      Ast.Assign (lv, rhs)
+    end
+    else begin
+      expect st Lexer.SEMI;
+      Ast.Expr_stmt e
+    end
+
+let parse_program src =
+  let st = { tokens = Lexer.tokenize src } in
+  let stmts = parse_stmts st [ Lexer.EOF ] in
+  expect st Lexer.EOF;
+  stmts
+
+let parse_expression src =
+  let st = { tokens = Lexer.tokenize src } in
+  let e = parse_or st in
+  expect st Lexer.EOF;
+  e
+
+let error_message = function
+  | Parse_error { token; message } ->
+    Some
+      (Printf.sprintf "ASL parse error near %s: %s" (Lexer.token_name token)
+         message)
+  | Lexer.Lex_error { position; message } ->
+    Some (Printf.sprintf "ASL lex error at offset %d: %s" position message)
+  | _exn -> None

@@ -1,0 +1,19 @@
+(** Recursive-descent parser for ASL.
+
+    Precedence, loosest to tightest:
+    [or] < [and] < comparisons < [& + -] < [* / mod] < unary < postfix
+    ([.attr], [.op(...)]) < atoms. *)
+
+exception Parse_error of {
+  token : Lexer.token;
+  message : string;
+}
+
+val parse_program : string -> Ast.program
+(** Parse a statement sequence (operation body, transition effect).
+    @raise Parse_error / [Lexer.Lex_error] on malformed input. *)
+
+val parse_expression : string -> Ast.expr
+(** Parse a single expression (guard).  Trailing tokens are an error. *)
+
+val error_message : exn -> string option

@@ -1,0 +1,62 @@
+type obj = {
+  obj_class : string;
+  obj_attrs : (string, Value.t) Hashtbl.t;
+  mutable obj_alive : bool;
+}
+
+type t = {
+  mutable next : int;
+  objects : (int, obj) Hashtbl.t;
+}
+
+let create () = { next = 1; objects = Hashtbl.create 64 }
+
+let alloc t ~class_name ~attrs =
+  let r = t.next in
+  t.next <- t.next + 1;
+  let obj_attrs = Hashtbl.create 8 in
+  List.iter (fun (k, v) -> Hashtbl.replace obj_attrs k v) attrs;
+  Hashtbl.replace t.objects r
+    { obj_class = class_name; obj_attrs; obj_alive = true };
+  r
+
+let lookup t r =
+  match Hashtbl.find_opt t.objects r with
+  | Some o when o.obj_alive -> Some o
+  | Some _ | None -> None
+
+let is_alive t r = lookup t r <> None
+
+let class_of t r =
+  match lookup t r with
+  | Some o -> Some o.obj_class
+  | None -> None
+
+let get_attr t r name =
+  match lookup t r with
+  | Some o -> Hashtbl.find_opt o.obj_attrs name
+  | None -> None
+
+let set_attr t r name v =
+  match lookup t r with
+  | Some o ->
+    Hashtbl.replace o.obj_attrs name v;
+    true
+  | None -> false
+
+let delete t r =
+  match lookup t r with
+  | Some o ->
+    o.obj_alive <- false;
+    true
+  | None -> false
+
+let live_count t =
+  Hashtbl.fold (fun _ o n -> if o.obj_alive then n + 1 else n) t.objects 0
+
+let attrs t r =
+  match lookup t r with
+  | Some o ->
+    let l = Hashtbl.fold (fun k v acc -> (k, v) :: acc) o.obj_attrs [] in
+    List.sort (fun (a, _) (b, _) -> String.compare a b) l
+  | None -> []

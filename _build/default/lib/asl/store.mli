@@ -1,0 +1,27 @@
+(** Object store: the heap of class instances manipulated by ASL
+    programs ([new]/[delete], attribute reads and writes). *)
+
+type t
+
+val create : unit -> t
+
+val alloc : t -> class_name:string -> attrs:(string * Value.t) list ->
+  Value.obj_ref
+(** Allocate a live object with initial attribute values. *)
+
+val is_alive : t -> Value.obj_ref -> bool
+val class_of : t -> Value.obj_ref -> string option
+
+val get_attr : t -> Value.obj_ref -> string -> Value.t option
+(** [None] if the object is dead/unknown or has no such attribute. *)
+
+val set_attr : t -> Value.obj_ref -> string -> Value.t -> bool
+(** [false] if the object is dead or unknown; creates the attribute slot
+    otherwise. *)
+
+val delete : t -> Value.obj_ref -> bool
+(** Mark dead; [false] if already dead or unknown. *)
+
+val live_count : t -> int
+val attrs : t -> Value.obj_ref -> (string * Value.t) list
+(** Current attribute values, sorted by name; empty for dead objects. *)

@@ -1,0 +1,20 @@
+(** Runtime values of the ASL interpreter. *)
+
+type obj_ref = int [@@deriving eq, ord, show]
+
+type t =
+  | V_int of int
+  | V_real of float
+  | V_bool of bool
+  | V_string of string
+  | V_null
+  | V_obj of obj_ref
+[@@deriving eq, ord, show]
+
+val to_string : t -> string
+
+val of_vspec : string -> t option
+(** Interpret a literal rendered by {!Uml.Vspec.to_string}-style text:
+    ints, floats, [true]/[false], [null]; anything else is [None]. *)
+
+val type_name : t -> string

@@ -1,0 +1,1 @@
+lib/codegen/cgen.ml: Asl Buffer Classifier Dtype List Model Option Printf String Uml Vspec

@@ -1,0 +1,1 @@
+lib/codegen/fsm_compile.ml: Asl Expr Hdl Htype List Module_ Printf Statechart Stmt String

@@ -1,0 +1,1 @@
+lib/codegen/fsm_compile.mli: Hdl Statechart

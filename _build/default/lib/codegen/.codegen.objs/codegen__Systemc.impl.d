@@ -1,0 +1,1 @@
+lib/codegen/systemc.ml: Buffer Expr Hashtbl Hdl Htype List Module_ Printf Stmt String

@@ -1,0 +1,1 @@
+lib/codegen/testbench.ml: Buffer Fsm_compile Hdl Htype List Module_ Printf String

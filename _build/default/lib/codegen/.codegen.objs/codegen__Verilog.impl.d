@@ -1,0 +1,1 @@
+lib/codegen/verilog.ml: Buffer Expr Hashtbl Hdl Htype List Module_ Printf Stmt String

@@ -1,0 +1,20 @@
+(** C code generation for the software side of a model (xUML-style
+    "complete code generation", §3).
+
+    Classes become structs plus functions: [Class_new] constructors with
+    attribute defaults and one function per operation with its ASL body
+    translated statement-by-statement.  Signals sent with [send] call an
+    extern hook [socuml_emit(const char *signal)]; [print] maps to
+    [printf].
+
+    Supported value types: Integer/Boolean → [int], Real → [double],
+    String → [const char *], class references → struct pointers. *)
+
+val c_type : Uml.Dtype.t -> string
+
+val of_model : Uml.Model.t -> string
+(** One self-contained translation unit for every class in the model.
+    Operations whose bodies fail to parse are emitted as stubs with an
+    explanatory comment (never silently dropped).  Deterministic. *)
+
+val function_name : class_name:string -> op:string -> string

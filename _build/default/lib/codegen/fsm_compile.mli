@@ -1,0 +1,32 @@
+(** Statechart-to-RTL compiler: the "code generation for hardware
+    descriptions" whose feasibility the paper says "still needs to be
+    demonstrated".
+
+    A flattened state machine ({!Statechart.Flatten.t}) becomes a
+    synthesizable FSM module:
+
+    - ports: [clk], [rst] plus one single-cycle strobe input [ev_<name>]
+      per event;
+    - a [state] register of an enum type over the flat state names;
+    - one output register per variable assigned by any ASL effect;
+    - one synchronous process: [case state] with an if-else chain per
+      source state in priority order.
+
+    Compilable ASL subset (anything else is a clean [Error]):
+    guards are boolean expressions over integers, literals and assigned
+    variables; effects are sequences of [x := expr;] assignments.
+    Eventless (completion) transitions are taken one per clock cycle.
+
+    The combination [Flatten.flatten |> compile |> Dsim] versus
+    {!Statechart.Engine} is experiment E2's equivalence check. *)
+
+val state_name : string -> string
+(** Enum literal for a flat state name. *)
+
+val event_input : string -> string
+(** Port name for an event ([ev_<name>]). *)
+
+val compile :
+  ?var_width:int -> Statechart.Flatten.t -> (Hdl.Module_.t, string) result
+(** [var_width] (default 8) is the width of effect-variable output
+    registers. *)

@@ -1,0 +1,250 @@
+open Hdl
+
+let sanitize name =
+  String.map
+    (fun c ->
+      if
+        (c >= 'a' && c <= 'z')
+        || (c >= 'A' && c <= 'Z')
+        || (c >= '0' && c <= '9')
+      then c
+      else '_')
+    name
+
+let cpp_type ty =
+  match ty with
+  | Htype.Bit -> "bool"
+  | Htype.Unsigned w when w <= 1 -> "bool"
+  | Htype.Unsigned w -> Printf.sprintf "sc_uint<%d>" w
+  | Htype.Enum _ -> Printf.sprintf "sc_uint<%d>" (Htype.width ty)
+
+let binop_string = function
+  | Expr.And -> "&"
+  | Expr.Or -> "|"
+  | Expr.Xor -> "^"
+  | Expr.Add -> "+"
+  | Expr.Sub -> "-"
+  | Expr.Mul -> "*"
+  | Expr.Eq -> "=="
+  | Expr.Neq -> "!="
+  | Expr.Lt -> "<"
+  | Expr.Le -> "<="
+  | Expr.Gt -> ">"
+  | Expr.Ge -> ">="
+  | Expr.Shl -> "<<"
+  | Expr.Shr -> ">>"
+
+(* ports are read with .read(); internal signals are plain members *)
+let rec expr_string m (e : Expr.t) =
+  match e with
+  | Expr.Const (v, _ty) -> string_of_int v
+  | Expr.Enum_lit lit -> "S_" ^ sanitize lit
+  | Expr.Ref name -> (
+    match Module_.find_port m name with
+    | Some _ -> Printf.sprintf "%s.read()" (sanitize name)
+    | None -> sanitize name)
+  | Expr.Unop (Expr.Not, e1) -> Printf.sprintf "(~%s)" (expr_string m e1)
+  | Expr.Unop (Expr.Reduce_or, e1) ->
+    Printf.sprintf "(%s != 0)" (expr_string m e1)
+  | Expr.Unop (Expr.Reduce_and, e1) ->
+    Printf.sprintf "(%s.and_reduce())" (expr_string m e1)
+  | Expr.Binop (op, e1, e2) ->
+    Printf.sprintf "(%s %s %s)" (expr_string m e1) (binop_string op)
+      (expr_string m e2)
+  | Expr.Mux (c, a, b) ->
+    Printf.sprintf "(%s ? %s : %s)" (expr_string m c) (expr_string m a)
+      (expr_string m b)
+  | Expr.Slice (e1, hi, lo) ->
+    if hi = lo then Printf.sprintf "%s[%d]" (expr_string m e1) lo
+    else Printf.sprintf "%s.range(%d, %d)" (expr_string m e1) hi lo
+  | Expr.Concat (e1, e2) ->
+    Printf.sprintf "(%s, %s)" (expr_string m e1) (expr_string m e2)
+  | Expr.Resize (e1, _w) -> expr_string m e1
+
+let rec stmt_lines m indent (s : Stmt.t) =
+  let pad = String.make indent ' ' in
+  match s with
+  | Stmt.Null -> [ pad ^ ";" ]
+  | Stmt.Assign (target, e) -> (
+    let rhs = expr_string m e in
+    match Module_.find_port m target with
+    | Some _ ->
+      [ Printf.sprintf "%s%s.write(%s);" pad (sanitize target) rhs ]
+    | None -> [ Printf.sprintf "%s%s = %s;" pad (sanitize target) rhs ])
+  | Stmt.If (c, t_branch, e_branch) ->
+    let then_lines = List.concat_map (stmt_lines m (indent + 2)) t_branch in
+    let else_lines = List.concat_map (stmt_lines m (indent + 2)) e_branch in
+    (Printf.sprintf "%sif (%s) {" pad (expr_string m c) :: then_lines)
+    @ (if else_lines = [] then [ pad ^ "}" ]
+       else ((pad ^ "} else {") :: else_lines) @ [ pad ^ "}" ])
+  | Stmt.Case (sel, branches, default) ->
+    let branch_lines =
+      List.concat_map
+        (fun (choice, body) ->
+          let label =
+            match choice with
+            | Stmt.Ch_int i -> string_of_int i
+            | Stmt.Ch_enum lit -> "S_" ^ sanitize lit
+          in
+          (Printf.sprintf "%s  case %s: {" pad label
+          :: List.concat_map (stmt_lines m (indent + 4)) body)
+          @ [ pad ^ "  } break;" ])
+        branches
+    in
+    let default_lines =
+      match default with
+      | Some body ->
+        ((pad ^ "  default: {")
+        :: List.concat_map (stmt_lines m (indent + 4)) body)
+        @ [ pad ^ "  } break;" ]
+      | None -> [ pad ^ "  default: break;" ]
+    in
+    ((Printf.sprintf "%sswitch ((int)(%s)) {" pad (expr_string m sel))
+     :: branch_lines)
+    @ default_lines
+    @ [ pad ^ "}" ]
+
+let enum_constants m =
+  let tys =
+    List.map (fun p -> p.Module_.port_type) m.Module_.mod_ports
+    @ List.map (fun s -> s.Module_.sig_type) m.Module_.mod_signals
+  in
+  let lits =
+    List.concat_map
+      (fun ty ->
+        match ty with
+        | Htype.Enum lits -> List.mapi (fun i l -> (l, i)) lits
+        | Htype.Bit | Htype.Unsigned _ -> [])
+      tys
+  in
+  let seen = Hashtbl.create 8 in
+  List.filter
+    (fun (l, _) ->
+      if Hashtbl.mem seen l then false
+      else begin
+        Hashtbl.add seen l ();
+        true
+      end)
+    lits
+
+let of_module m =
+  let buf = Buffer.create 2048 in
+  let line fmt = Printf.ksprintf (fun s -> Buffer.add_string buf (s ^ "\n")) fmt in
+  let name = sanitize m.Module_.mod_name in
+  line "SC_MODULE(%s) {" name;
+  List.iter
+    (fun (p : Module_.port) ->
+      let template =
+        match p.Module_.port_dir with
+        | Module_.Input -> "sc_in"
+        | Module_.Output -> "sc_out"
+      in
+      line "  %s<%s> %s;" template (cpp_type p.Module_.port_type)
+        (sanitize p.Module_.port_name))
+    m.Module_.mod_ports;
+  List.iter
+    (fun (l, i) -> line "  static const int S_%s = %d;" (sanitize l) i)
+    (enum_constants m);
+  List.iter
+    (fun (s : Module_.signal) ->
+      line "  %s %s;" (cpp_type s.Module_.sig_type)
+        (sanitize s.Module_.sig_name))
+    m.Module_.mod_signals;
+  List.iter
+    (fun (inst : Module_.instance) ->
+      line "  %s %s;" (sanitize inst.Module_.inst_module)
+        (sanitize inst.Module_.inst_name))
+    m.Module_.mod_instances;
+  line "";
+  (* process methods *)
+  List.iter
+    (fun p ->
+      match p with
+      | Module_.Comb cp ->
+        line "  void %s() {" (sanitize cp.Module_.cp_name);
+        List.iter
+          (fun s -> List.iter (line "%s") (stmt_lines m 4 s))
+          cp.Module_.cp_body;
+        line "  }"
+      | Module_.Seq sp ->
+        line "  void %s() {" (sanitize sp.Module_.sp_name);
+        (match sp.Module_.sp_reset with
+         | Some (rst, reset_body) ->
+           line "    if (%s.read()) {" (sanitize rst);
+           List.iter
+             (fun s -> List.iter (line "%s") (stmt_lines m 6 s))
+             reset_body;
+           line "    } else {";
+           List.iter
+             (fun s -> List.iter (line "%s") (stmt_lines m 6 s))
+             sp.Module_.sp_body;
+           line "    }"
+         | None ->
+           List.iter
+             (fun s -> List.iter (line "%s") (stmt_lines m 4 s))
+             sp.Module_.sp_body);
+        line "  }")
+    m.Module_.mod_processes;
+  line "";
+  (* constructor with sensitivity *)
+  line "  SC_CTOR(%s)%s {" name
+    (match m.Module_.mod_instances with
+     | [] -> ""
+     | instances ->
+       " : "
+       ^ String.concat ", "
+           (List.map
+              (fun (i : Module_.instance) ->
+                Printf.sprintf "%s(\"%s\")" (sanitize i.Module_.inst_name)
+                  (sanitize i.Module_.inst_name))
+              instances));
+  List.iter
+    (fun (inst : Module_.instance) ->
+      List.iter
+        (fun (formal, actual) ->
+          line "    %s.%s(%s);" (sanitize inst.Module_.inst_name)
+            (sanitize formal) (sanitize actual))
+        inst.Module_.inst_conns)
+    m.Module_.mod_instances;
+  List.iter
+    (fun p ->
+      match p with
+      | Module_.Comb cp ->
+        line "    SC_METHOD(%s);" (sanitize cp.Module_.cp_name);
+        let inputs =
+          List.filter
+            (fun n -> Module_.find_port m n <> None)
+            (Stmt.read cp.Module_.cp_body)
+        in
+        if inputs <> [] then
+          line "    sensitive << %s;"
+            (String.concat " << " (List.map sanitize inputs))
+      | Module_.Seq sp ->
+        line "    SC_METHOD(%s);" (sanitize sp.Module_.sp_name);
+        line "    sensitive << %s.pos();" (sanitize sp.Module_.sp_clock))
+    m.Module_.mod_processes;
+  line "  }";
+  line "};";
+  Buffer.contents buf
+
+let of_design d =
+  let emitted = Hashtbl.create 8 in
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf "#include <systemc.h>\n\n";
+  let rec emit name =
+    if not (Hashtbl.mem emitted name) then begin
+      Hashtbl.add emitted name ();
+      match Module_.find_module d name with
+      | None -> ()
+      | Some m ->
+        List.iter
+          (fun (i : Module_.instance) -> emit i.Module_.inst_module)
+          m.Module_.mod_instances;
+        Buffer.add_string buf (of_module m);
+        Buffer.add_char buf '\n'
+    end
+  in
+  List.iter
+    (fun (m : Module_.t) -> emit m.Module_.mod_name)
+    d.Module_.des_modules;
+  Buffer.contents buf

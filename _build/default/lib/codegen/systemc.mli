@@ -1,0 +1,9 @@
+(** SystemC-flavoured C++ generation from the HDL IR.
+
+    Each module becomes an [SC_MODULE] with [sc_in]/[sc_out] ports,
+    clocked [SC_METHOD]s for sequential processes and combinational
+    [SC_METHOD]s with explicit sensitivity.  Deterministic. *)
+
+val of_module : Hdl.Module_.t -> string
+val of_design : Hdl.Module_.design -> string
+(** One header-style translation unit with all modules. *)

@@ -1,0 +1,13 @@
+(** Testbench generation.
+
+    Produces self-contained VHDL testbenches for modules compiled by
+    {!Fsm_compile}: clock/reset generation plus one single-cycle strobe
+    per event in the given scenario — the HDL twin of dispatching the
+    same events to the {!Statechart.Engine}. *)
+
+val vhdl_for_fsm :
+  ?clock_period_ns:int -> Hdl.Module_.t -> events:string list -> string
+(** [vhdl_for_fsm fsm ~events] — the module must follow the
+    {!Fsm_compile} port convention ([clk], [rst], [ev_*] inputs).
+    Events not matching an [ev_*] port are skipped with a comment
+    (never silently dropped).  Deterministic. *)

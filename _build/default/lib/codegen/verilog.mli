@@ -1,0 +1,4 @@
+(** Verilog-2001 code generation from the HDL IR.  Deterministic. *)
+
+val of_module : Hdl.Module_.t -> string
+val of_design : Hdl.Module_.design -> string

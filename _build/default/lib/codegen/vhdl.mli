@@ -1,0 +1,10 @@
+(** VHDL code generation from the HDL IR.
+
+    Emits one entity/architecture pair per module and a complete file
+    per design.  Deterministic: identical designs produce byte-identical
+    text. *)
+
+val of_module : Hdl.Module_.t -> string
+val of_design : Hdl.Module_.design -> string
+(** All modules (dependencies first), each as entity + rtl
+    architecture. *)

@@ -1,0 +1,1 @@
+lib/core/activityg.pp.ml: Dtype Ident List Ppx_deriving_runtime

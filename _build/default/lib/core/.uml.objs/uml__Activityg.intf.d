@@ -1,0 +1,1 @@
+lib/core/activityg.pp.mli: Dtype Ident Ppx_deriving_runtime

@@ -1,0 +1,1 @@
+lib/core/classifier.pp.ml: Dtype Ident List Mult Ppx_deriving_runtime Vspec

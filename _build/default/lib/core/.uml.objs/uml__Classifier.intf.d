@@ -1,0 +1,1 @@
+lib/core/classifier.pp.mli: Dtype Ident Mult Ppx_deriving_runtime Vspec

@@ -1,0 +1,1 @@
+lib/core/component.pp.ml: Ident List Mult Ppx_deriving_runtime

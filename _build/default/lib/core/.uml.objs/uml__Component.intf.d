@@ -1,0 +1,1 @@
+lib/core/component.pp.mli: Ident Mult Ppx_deriving_runtime

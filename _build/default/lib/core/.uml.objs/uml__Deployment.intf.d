@@ -1,0 +1,1 @@
+lib/core/deployment.pp.mli: Ident Ppx_deriving_runtime

@@ -1,0 +1,1 @@
+lib/core/diagram.pp.mli: Ident Ppx_deriving_runtime

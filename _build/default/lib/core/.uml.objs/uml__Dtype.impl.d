@@ -1,0 +1,1 @@
+lib/core/dtype.pp.ml: Ident Ppx_deriving_runtime

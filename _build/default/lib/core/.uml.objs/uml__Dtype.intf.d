@@ -1,0 +1,1 @@
+lib/core/dtype.pp.mli: Ident Ppx_deriving_runtime

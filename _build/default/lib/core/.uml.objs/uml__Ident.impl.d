@@ -1,0 +1,1 @@
+lib/core/ident.pp.ml: Map Ppx_deriving_runtime Printf Set String

@@ -1,0 +1,1 @@
+lib/core/ident.pp.mli: Map Ppx_deriving_runtime Set

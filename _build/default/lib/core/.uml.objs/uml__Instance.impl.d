@@ -1,0 +1,1 @@
+lib/core/instance.pp.ml: Classifier Ident List Mult Ppx_deriving_runtime Vspec

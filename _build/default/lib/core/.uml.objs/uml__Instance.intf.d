@@ -1,0 +1,1 @@
+lib/core/instance.pp.mli: Classifier Ident Ppx_deriving_runtime Vspec

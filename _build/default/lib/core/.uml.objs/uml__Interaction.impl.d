@@ -1,0 +1,1 @@
+lib/core/interaction.pp.ml: Ident List Ppx_deriving_runtime Vspec

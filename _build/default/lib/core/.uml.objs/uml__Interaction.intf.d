@@ -1,0 +1,1 @@
+lib/core/interaction.pp.mli: Ident Ppx_deriving_runtime Vspec

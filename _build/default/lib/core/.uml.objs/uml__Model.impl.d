@@ -1,0 +1,1 @@
+lib/core/model.pp.ml: Activityg Classifier Component Deployment Diagram Format Hashtbl Ident Instance Interaction List Pkg Ppx_deriving_runtime Printf Profile Smachine Usecase

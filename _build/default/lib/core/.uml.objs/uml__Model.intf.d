@@ -1,0 +1,1 @@
+lib/core/model.pp.mli: Activityg Classifier Component Deployment Diagram Format Hashtbl Ident Instance Interaction Pkg Ppx_deriving_runtime Profile Smachine Usecase

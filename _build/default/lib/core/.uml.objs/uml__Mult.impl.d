@@ -1,0 +1,1 @@
+lib/core/mult.pp.ml: Ppx_deriving_runtime Printf

@@ -1,0 +1,1 @@
+lib/core/mult.pp.mli: Ppx_deriving_runtime

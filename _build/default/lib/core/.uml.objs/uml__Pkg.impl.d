@@ -1,0 +1,1 @@
+lib/core/pkg.pp.ml: Ident List Ppx_deriving_runtime String

@@ -1,0 +1,1 @@
+lib/core/pkg.pp.mli: Ident Ppx_deriving_runtime

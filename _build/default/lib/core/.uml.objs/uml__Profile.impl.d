@@ -1,0 +1,1 @@
+lib/core/profile.pp.ml: Dtype Ident List Ppx_deriving_runtime Vspec

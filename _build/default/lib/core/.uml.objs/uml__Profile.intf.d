@@ -1,0 +1,1 @@
+lib/core/profile.pp.mli: Dtype Ident Ppx_deriving_runtime Vspec

@@ -1,0 +1,1 @@
+lib/core/smachine.pp.ml: Ident List Ppx_deriving_runtime

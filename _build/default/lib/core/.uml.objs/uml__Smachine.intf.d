@@ -1,0 +1,1 @@
+lib/core/smachine.pp.mli: Ident Ppx_deriving_runtime

@@ -1,0 +1,1 @@
+lib/core/usecase.pp.ml: Ident List Ppx_deriving_runtime

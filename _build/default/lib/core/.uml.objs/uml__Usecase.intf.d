@@ -1,0 +1,1 @@
+lib/core/usecase.pp.mli: Ident Ppx_deriving_runtime

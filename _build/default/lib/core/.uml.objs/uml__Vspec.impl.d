@@ -1,0 +1,1 @@
+lib/core/vspec.pp.ml: Ppx_deriving_runtime Printf

@@ -1,0 +1,1 @@
+lib/core/vspec.pp.mli: Ppx_deriving_runtime

@@ -1,0 +1,1 @@
+lib/core/wfr.pp.ml: Activityg Classifier Component Deployment Diagram Dtype Format Hashtbl Ident Instance Interaction List Model Mult Pkg Ppx_deriving_runtime Printf Profile Smachine Stdlib Usecase

@@ -1,0 +1,1 @@
+lib/core/wfr.pp.mli: Format Ident Model Ppx_deriving_runtime

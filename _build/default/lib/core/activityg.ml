@@ -1,0 +1,145 @@
+type node =
+  | Action of action
+  | Call_behavior of call_behavior
+  | Send_signal of event_action
+  | Accept_event of event_action
+  | Object_node of object_node
+  | Initial_node of node_head
+  | Activity_final of node_head
+  | Flow_final of node_head
+  | Fork_node of node_head
+  | Join_node of node_head
+  | Decision_node of node_head
+  | Merge_node of node_head
+
+and node_head = {
+  nd_id : Ident.t;
+  nd_name : string;
+}
+
+and action = {
+  act_head : node_head;
+  act_body : string option;
+}
+
+and call_behavior = {
+  cb_head : node_head;
+  cb_behavior : Ident.t;
+}
+
+and event_action = {
+  ev_head : node_head;
+  ev_event : string;
+}
+
+and object_node = {
+  on_head : node_head;
+  on_type : Dtype.t;
+  on_upper_bound : int option;
+}
+[@@deriving eq, ord, show]
+
+type edge_kind =
+  | Control_flow
+  | Object_flow
+[@@deriving eq, ord, show]
+
+type edge = {
+  ed_id : Ident.t;
+  ed_source : Ident.t;
+  ed_target : Ident.t;
+  ed_guard : string option;
+  ed_weight : int;
+  ed_kind : edge_kind;
+}
+[@@deriving eq, ord, show]
+
+type t = {
+  ac_id : Ident.t;
+  ac_name : string;
+  ac_nodes : node list;
+  ac_edges : edge list;
+  ac_context : Ident.t option;
+}
+[@@deriving eq, ord, show]
+
+let node_head = function
+  | Action a -> a.act_head
+  | Call_behavior c -> c.cb_head
+  | Send_signal e | Accept_event e -> e.ev_head
+  | Object_node o -> o.on_head
+  | Initial_node h
+  | Activity_final h
+  | Flow_final h
+  | Fork_node h
+  | Join_node h
+  | Decision_node h
+  | Merge_node h ->
+    h
+
+let node_id n = (node_head n).nd_id
+let node_name n = (node_head n).nd_name
+
+let head ?id name =
+  let nd_id =
+    match id with
+    | Some i -> i
+    | None -> Ident.fresh ~prefix:"an" ()
+  in
+  { nd_id; nd_name = name }
+
+let action ?id ?body name = Action { act_head = head ?id name; act_body = body }
+
+let call_behavior ?id ~behavior name =
+  Call_behavior { cb_head = head ?id name; cb_behavior = behavior }
+
+let send_signal ?id ~event name =
+  Send_signal { ev_head = head ?id name; ev_event = event }
+
+let accept_event ?id ~event name =
+  Accept_event { ev_head = head ?id name; ev_event = event }
+
+let object_node ?id ?upper_bound name ty =
+  Object_node
+    { on_head = head ?id name; on_type = ty; on_upper_bound = upper_bound }
+
+let initial ?id () = Initial_node (head ?id "initial")
+let activity_final ?id () = Activity_final (head ?id "final")
+let flow_final ?id () = Flow_final (head ?id "flow_final")
+let fork ?id name = Fork_node (head ?id name)
+let join ?id name = Join_node (head ?id name)
+let decision ?id name = Decision_node (head ?id name)
+let merge ?id name = Merge_node (head ?id name)
+
+let edge ?id ?guard ?(weight = 1) ?(kind = Control_flow) ~source ~target () =
+  let ed_id =
+    match id with
+    | Some i -> i
+    | None -> Ident.fresh ~prefix:"ae" ()
+  in
+  {
+    ed_id;
+    ed_source = source;
+    ed_target = target;
+    ed_guard = guard;
+    ed_weight = weight;
+    ed_kind = kind;
+  }
+
+let make ?id ?context name nodes edges =
+  let ac_id =
+    match id with
+    | Some i -> i
+    | None -> Ident.fresh ~prefix:"ac" ()
+  in
+  { ac_id; ac_name = name; ac_nodes = nodes; ac_edges = edges;
+    ac_context = context }
+
+let find_node t id =
+  List.find_opt (fun n -> Ident.equal (node_id n) id) t.ac_nodes
+
+let incoming t id =
+  List.filter (fun e -> Ident.equal e.ed_target id) t.ac_edges
+
+let outgoing t id =
+  List.filter (fun e -> Ident.equal e.ed_source id) t.ac_edges

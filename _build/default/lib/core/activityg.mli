@@ -1,0 +1,99 @@
+(** Activities with UML 2.0 token-flow structure.
+
+    The paper highlights that UML 2.0 gives Activity Diagrams token
+    semantics "close to high-level Petri Nets".  This module defines the
+    static graph: executable nodes, object nodes, control nodes, and
+    control/object flow edges with guards and weights.  The token
+    execution engine and the translation to Petri nets live in the
+    [activity] library. *)
+
+type node =
+  | Action of action  (** opaque action with an ASL body *)
+  | Call_behavior of call_behavior  (** invokes another activity *)
+  | Send_signal of event_action
+  | Accept_event of event_action
+  | Object_node of object_node
+  | Initial_node of node_head
+  | Activity_final of node_head
+  | Flow_final of node_head
+  | Fork_node of node_head
+  | Join_node of node_head
+  | Decision_node of node_head
+  | Merge_node of node_head
+
+and node_head = {
+  nd_id : Ident.t;
+  nd_name : string;
+}
+
+and action = {
+  act_head : node_head;
+  act_body : string option;  (** ASL source *)
+}
+
+and call_behavior = {
+  cb_head : node_head;
+  cb_behavior : Ident.t;  (** the called activity *)
+}
+
+and event_action = {
+  ev_head : node_head;
+  ev_event : string;  (** signal name *)
+}
+
+and object_node = {
+  on_head : node_head;
+  on_type : Dtype.t;
+  on_upper_bound : int option;  (** buffer capacity, [None] = unbounded *)
+}
+[@@deriving eq, ord, show]
+
+type edge_kind =
+  | Control_flow
+  | Object_flow
+[@@deriving eq, ord, show]
+
+type edge = {
+  ed_id : Ident.t;
+  ed_source : Ident.t;
+  ed_target : Ident.t;
+  ed_guard : string option;  (** ASL boolean expression *)
+  ed_weight : int;  (** tokens consumed per traversal; default 1 *)
+  ed_kind : edge_kind;
+}
+[@@deriving eq, ord, show]
+
+type t = {
+  ac_id : Ident.t;
+  ac_name : string;
+  ac_nodes : node list;
+  ac_edges : edge list;
+  ac_context : Ident.t option;
+}
+[@@deriving eq, ord, show]
+
+val node_id : node -> Ident.t
+val node_name : node -> string
+
+val action : ?id:Ident.t -> ?body:string -> string -> node
+val call_behavior : ?id:Ident.t -> behavior:Ident.t -> string -> node
+val send_signal : ?id:Ident.t -> event:string -> string -> node
+val accept_event : ?id:Ident.t -> event:string -> string -> node
+val object_node : ?id:Ident.t -> ?upper_bound:int -> string -> Dtype.t -> node
+val initial : ?id:Ident.t -> unit -> node
+val activity_final : ?id:Ident.t -> unit -> node
+val flow_final : ?id:Ident.t -> unit -> node
+val fork : ?id:Ident.t -> string -> node
+val join : ?id:Ident.t -> string -> node
+val decision : ?id:Ident.t -> string -> node
+val merge : ?id:Ident.t -> string -> node
+
+val edge : ?id:Ident.t -> ?guard:string -> ?weight:int -> ?kind:edge_kind ->
+  source:Ident.t -> target:Ident.t -> unit -> edge
+
+val make : ?id:Ident.t -> ?context:Ident.t -> string -> node list ->
+  edge list -> t
+
+val find_node : t -> Ident.t -> node option
+val incoming : t -> Ident.t -> edge list
+val outgoing : t -> Ident.t -> edge list

@@ -1,0 +1,197 @@
+type visibility =
+  | Public
+  | Private
+  | Protected
+  | Package_visibility
+[@@deriving eq, ord, show]
+
+type direction =
+  | In
+  | Out
+  | Inout
+  | Return
+[@@deriving eq, ord, show]
+
+type aggregation =
+  | No_aggregation
+  | Shared
+  | Composite
+[@@deriving eq, ord, show]
+
+type property = {
+  prop_id : Ident.t;
+  prop_name : string;
+  prop_type : Dtype.t;
+  prop_mult : Mult.t;
+  prop_default : Vspec.t option;
+  prop_visibility : visibility;
+  prop_is_static : bool;
+  prop_is_read_only : bool;
+  prop_aggregation : aggregation;
+}
+[@@deriving eq, ord, show]
+
+type parameter = {
+  param_id : Ident.t;
+  param_name : string;
+  param_type : Dtype.t;
+  param_direction : direction;
+  param_default : Vspec.t option;
+}
+[@@deriving eq, ord, show]
+
+type operation = {
+  op_id : Ident.t;
+  op_name : string;
+  op_params : parameter list;
+  op_visibility : visibility;
+  op_is_query : bool;
+  op_is_abstract : bool;
+  op_body : string option;
+}
+[@@deriving eq, ord, show]
+
+type reception = {
+  recv_id : Ident.t;
+  recv_signal : Ident.t;
+}
+[@@deriving eq, ord, show]
+
+type kind =
+  | Class
+  | Interface
+  | Data_type
+  | Primitive_type
+  | Enumeration of string list
+  | Signal
+  | Actor_kind
+[@@deriving eq, ord, show]
+
+type t = {
+  cl_id : Ident.t;
+  cl_name : string;
+  cl_kind : kind;
+  cl_is_abstract : bool;
+  cl_is_active : bool;
+  cl_attributes : property list;
+  cl_operations : operation list;
+  cl_receptions : reception list;
+  cl_generals : Ident.t list;
+  cl_realized : Ident.t list;
+  cl_behaviors : Ident.t list;
+}
+[@@deriving eq, ord, show]
+
+type association_end = {
+  end_property : property;
+  end_navigable : bool;
+}
+[@@deriving eq, ord, show]
+
+type association = {
+  assoc_id : Ident.t;
+  assoc_name : string;
+  assoc_ends : association_end list;
+}
+[@@deriving eq, ord, show]
+
+let make ?id ?(kind = Class) ?(is_abstract = false) ?(is_active = false)
+    ?(attributes = []) ?(operations = []) ?(receptions = []) ?(generals = [])
+    ?(realized = []) ?(behaviors = []) name =
+  let cl_id =
+    match id with
+    | Some i -> i
+    | None -> Ident.fresh ~prefix:"cl" ()
+  in
+  {
+    cl_id;
+    cl_name = name;
+    cl_kind = kind;
+    cl_is_abstract = is_abstract;
+    cl_is_active = is_active;
+    cl_attributes = attributes;
+    cl_operations = operations;
+    cl_receptions = receptions;
+    cl_generals = generals;
+    cl_realized = realized;
+    cl_behaviors = behaviors;
+  }
+
+let property ?id ?(mult = Mult.one) ?default ?(visibility = Public)
+    ?(is_static = false) ?(is_read_only = false)
+    ?(aggregation = No_aggregation) name ty =
+  let prop_id =
+    match id with
+    | Some i -> i
+    | None -> Ident.fresh ~prefix:"pr" ()
+  in
+  {
+    prop_id;
+    prop_name = name;
+    prop_type = ty;
+    prop_mult = mult;
+    prop_default = default;
+    prop_visibility = visibility;
+    prop_is_static = is_static;
+    prop_is_read_only = is_read_only;
+    prop_aggregation = aggregation;
+  }
+
+let parameter ?id ?(direction = In) ?default name ty =
+  let param_id =
+    match id with
+    | Some i -> i
+    | None -> Ident.fresh ~prefix:"pa" ()
+  in
+  {
+    param_id;
+    param_name = name;
+    param_type = ty;
+    param_direction = direction;
+    param_default = default;
+  }
+
+let operation ?id ?(params = []) ?(visibility = Public) ?(is_query = false)
+    ?(is_abstract = false) ?body name =
+  let op_id =
+    match id with
+    | Some i -> i
+    | None -> Ident.fresh ~prefix:"op" ()
+  in
+  {
+    op_id;
+    op_name = name;
+    op_params = params;
+    op_visibility = visibility;
+    op_is_query = is_query;
+    op_is_abstract = is_abstract;
+    op_body = body;
+  }
+
+let binary_association ?id ?(name = "") ~source ~target () =
+  let assoc_id =
+    match id with
+    | Some i -> i
+    | None -> Ident.fresh ~prefix:"as" ()
+  in
+  let make_end (cl, mult, navigable) label =
+    let p = property ~mult label (Dtype.Ref cl) in
+    { end_property = p; end_navigable = navigable }
+  in
+  {
+    assoc_id;
+    assoc_name = name;
+    assoc_ends = [ make_end source "source"; make_end target "target" ];
+  }
+
+let result_type op =
+  let is_return p = p.param_direction = Return in
+  match List.find_opt is_return op.op_params with
+  | Some p -> p.param_type
+  | None -> Dtype.Void
+
+let find_operation cl name =
+  List.find_opt (fun op -> op.op_name = name) cl.cl_operations
+
+let find_attribute cl name =
+  List.find_opt (fun p -> p.prop_name = name) cl.cl_attributes

@@ -1,0 +1,167 @@
+(** Classifiers: classes, interfaces, data types, enumerations, signals.
+
+    This module covers the structural backbone surveyed by the paper's
+    Class Diagram discussion: classes with attributes and operations,
+    interfaces, generalization hierarchies, and binary (or n-ary)
+    associations. *)
+
+type visibility =
+  | Public
+  | Private
+  | Protected
+  | Package_visibility
+[@@deriving eq, ord, show]
+
+type direction =
+  | In
+  | Out
+  | Inout
+  | Return
+[@@deriving eq, ord, show]
+
+type aggregation =
+  | No_aggregation
+  | Shared
+  | Composite
+[@@deriving eq, ord, show]
+
+type property = {
+  prop_id : Ident.t;
+  prop_name : string;
+  prop_type : Dtype.t;
+  prop_mult : Mult.t;
+  prop_default : Vspec.t option;
+  prop_visibility : visibility;
+  prop_is_static : bool;
+  prop_is_read_only : bool;
+  prop_aggregation : aggregation;
+}
+[@@deriving eq, ord, show]
+
+type parameter = {
+  param_id : Ident.t;
+  param_name : string;
+  param_type : Dtype.t;
+  param_direction : direction;
+  param_default : Vspec.t option;
+}
+[@@deriving eq, ord, show]
+
+type operation = {
+  op_id : Ident.t;
+  op_name : string;
+  op_params : parameter list;
+  op_visibility : visibility;
+  op_is_query : bool;
+  op_is_abstract : bool;
+  op_body : string option;  (** ASL source of the method body *)
+}
+[@@deriving eq, ord, show]
+
+type reception = {
+  recv_id : Ident.t;
+  recv_signal : Ident.t;  (** the received signal classifier *)
+}
+[@@deriving eq, ord, show]
+
+type kind =
+  | Class
+  | Interface
+  | Data_type
+  | Primitive_type
+  | Enumeration of string list  (** ordered literal names *)
+  | Signal
+  | Actor_kind  (** actors are classifiers in UML *)
+[@@deriving eq, ord, show]
+
+type t = {
+  cl_id : Ident.t;
+  cl_name : string;
+  cl_kind : kind;
+  cl_is_abstract : bool;
+  cl_is_active : bool;  (** active classes own a classifier behavior *)
+  cl_attributes : property list;
+  cl_operations : operation list;
+  cl_receptions : reception list;
+  cl_generals : Ident.t list;  (** generalization targets *)
+  cl_realized : Ident.t list;  (** realized interfaces *)
+  cl_behaviors : Ident.t list;  (** owned state machines / activities *)
+}
+[@@deriving eq, ord, show]
+
+type association_end = {
+  end_property : property;
+  end_navigable : bool;
+}
+[@@deriving eq, ord, show]
+
+type association = {
+  assoc_id : Ident.t;
+  assoc_name : string;
+  assoc_ends : association_end list;  (** two or more ends *)
+}
+[@@deriving eq, ord, show]
+
+val make :
+  ?id:Ident.t ->
+  ?kind:kind ->
+  ?is_abstract:bool ->
+  ?is_active:bool ->
+  ?attributes:property list ->
+  ?operations:operation list ->
+  ?receptions:reception list ->
+  ?generals:Ident.t list ->
+  ?realized:Ident.t list ->
+  ?behaviors:Ident.t list ->
+  string ->
+  t
+(** [make name] builds a concrete class named [name]; optional arguments
+    override each field. *)
+
+val property :
+  ?id:Ident.t ->
+  ?mult:Mult.t ->
+  ?default:Vspec.t ->
+  ?visibility:visibility ->
+  ?is_static:bool ->
+  ?is_read_only:bool ->
+  ?aggregation:aggregation ->
+  string ->
+  Dtype.t ->
+  property
+(** [property name ty] builds an attribute. *)
+
+val parameter :
+  ?id:Ident.t ->
+  ?direction:direction ->
+  ?default:Vspec.t ->
+  string ->
+  Dtype.t ->
+  parameter
+
+val operation :
+  ?id:Ident.t ->
+  ?params:parameter list ->
+  ?visibility:visibility ->
+  ?is_query:bool ->
+  ?is_abstract:bool ->
+  ?body:string ->
+  string ->
+  operation
+
+val binary_association :
+  ?id:Ident.t ->
+  ?name:string ->
+  source:Ident.t * Mult.t * bool ->
+  target:Ident.t * Mult.t * bool ->
+  unit ->
+  association
+(** [binary_association ~source:(cl, mult, navigable) ~target:... ()]
+    builds a binary association between two classifiers; the end property
+    types are [Dtype.Ref] to the given classifier identifiers. *)
+
+val result_type : operation -> Dtype.t
+(** Type of the [Return] parameter, or [Dtype.Void] if none. *)
+
+val find_operation : t -> string -> operation option
+val find_attribute : t -> string -> property option

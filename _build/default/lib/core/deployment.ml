@@ -1,0 +1,50 @@
+type node_kind =
+  | Node
+  | Device
+  | Execution_environment
+[@@deriving eq, ord, show]
+
+type node = {
+  dn_id : Ident.t;
+  dn_name : string;
+  dn_kind : node_kind;
+  dn_nested : Ident.t list;
+}
+[@@deriving eq, ord, show]
+
+type artifact = {
+  art_id : Ident.t;
+  art_name : string;
+  art_manifests : Ident.t list;
+}
+[@@deriving eq, ord, show]
+
+type deployment = {
+  dep_id : Ident.t;
+  dep_artifact : Ident.t;
+  dep_target : Ident.t;
+}
+[@@deriving eq, ord, show]
+
+type communication_path = {
+  cpath_id : Ident.t;
+  cpath_ends : Ident.t * Ident.t;
+}
+[@@deriving eq, ord, show]
+
+let fresh_or prefix = function
+  | Some i -> i
+  | None -> Ident.fresh ~prefix ()
+
+let node ?id ?(kind = Node) ?(nested = []) name =
+  { dn_id = fresh_or "nd" id; dn_name = name; dn_kind = kind;
+    dn_nested = nested }
+
+let artifact ?id ?(manifests = []) name =
+  { art_id = fresh_or "ar" id; art_name = name; art_manifests = manifests }
+
+let deploy ?id ~artifact ~target () =
+  { dep_id = fresh_or "dp" id; dep_artifact = artifact; dep_target = target }
+
+let communication_path ?id n1 n2 =
+  { cpath_id = fresh_or "cm" id; cpath_ends = (n1, n2) }

@@ -1,0 +1,46 @@
+(** Deployments: nodes, artifacts and their mapping (Deployment
+    Diagrams), describing the "physical deployment of a system". *)
+
+type node_kind =
+  | Node
+  | Device
+  | Execution_environment
+[@@deriving eq, ord, show]
+
+type node = {
+  dn_id : Ident.t;
+  dn_name : string;
+  dn_kind : node_kind;
+  dn_nested : Ident.t list;  (** nested nodes *)
+}
+[@@deriving eq, ord, show]
+
+type artifact = {
+  art_id : Ident.t;
+  art_name : string;
+  art_manifests : Ident.t list;  (** model elements this artifact embodies *)
+}
+[@@deriving eq, ord, show]
+
+type deployment = {
+  dep_id : Ident.t;
+  dep_artifact : Ident.t;
+  dep_target : Ident.t;  (** deployment target node *)
+}
+[@@deriving eq, ord, show]
+
+type communication_path = {
+  cpath_id : Ident.t;
+  cpath_ends : Ident.t * Ident.t;  (** connected nodes *)
+}
+[@@deriving eq, ord, show]
+
+val node : ?id:Ident.t -> ?kind:node_kind -> ?nested:Ident.t list -> string ->
+  node
+
+val artifact : ?id:Ident.t -> ?manifests:Ident.t list -> string -> artifact
+val deploy : ?id:Ident.t -> artifact:Ident.t -> target:Ident.t -> unit ->
+  deployment
+
+val communication_path : ?id:Ident.t -> Ident.t -> Ident.t ->
+  communication_path

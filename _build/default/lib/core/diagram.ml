@@ -1,0 +1,79 @@
+type kind =
+  | Class_diagram
+  | Object_diagram
+  | Package_diagram
+  | Composite_structure_diagram
+  | Component_diagram
+  | Deployment_diagram
+  | Use_case_diagram
+  | Activity_diagram
+  | State_machine_diagram
+  | Sequence_diagram
+  | Communication_diagram
+  | Interaction_overview_diagram
+  | Timing_diagram
+[@@deriving eq, ord, show]
+
+type aspect =
+  | Structural
+  | Behavioral
+  | Physical
+[@@deriving eq, ord, show]
+
+type t = {
+  dg_id : Ident.t;
+  dg_name : string;
+  dg_kind : kind;
+  dg_elements : Ident.t list;
+}
+[@@deriving eq, ord, show]
+
+let all_kinds =
+  [
+    Class_diagram;
+    Object_diagram;
+    Package_diagram;
+    Composite_structure_diagram;
+    Component_diagram;
+    Deployment_diagram;
+    Use_case_diagram;
+    Activity_diagram;
+    State_machine_diagram;
+    Sequence_diagram;
+    Communication_diagram;
+    Interaction_overview_diagram;
+    Timing_diagram;
+  ]
+
+let kind_name = function
+  | Class_diagram -> "Class Diagram"
+  | Object_diagram -> "Object Diagram"
+  | Package_diagram -> "Package Diagram"
+  | Composite_structure_diagram -> "Composite Structure Diagram"
+  | Component_diagram -> "Component Diagram"
+  | Deployment_diagram -> "Deployment Diagram"
+  | Use_case_diagram -> "Use Case Diagram"
+  | Activity_diagram -> "Activity Diagram"
+  | State_machine_diagram -> "State Machine Diagram"
+  | Sequence_diagram -> "Sequence Diagram"
+  | Communication_diagram -> "Communication Diagram"
+  | Interaction_overview_diagram -> "Interaction Overview Diagram"
+  | Timing_diagram -> "Timing Diagram"
+
+let aspect_of = function
+  | Class_diagram | Object_diagram | Package_diagram
+  | Composite_structure_diagram | Component_diagram ->
+    Structural
+  | Deployment_diagram -> Physical
+  | Use_case_diagram | Activity_diagram | State_machine_diagram
+  | Sequence_diagram | Communication_diagram | Interaction_overview_diagram
+  | Timing_diagram ->
+    Behavioral
+
+let make ?id ?(elements = []) kind name =
+  let dg_id =
+    match id with
+    | Some i -> i
+    | None -> Ident.fresh ~prefix:"dg" ()
+  in
+  { dg_id; dg_name = name; dg_kind = kind; dg_elements = elements }

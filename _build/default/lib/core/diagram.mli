@@ -1,0 +1,42 @@
+(** The 13 UML 2.0 diagram kinds.
+
+    "UML 2.0 ... covers 13 diagram types to describe various structural,
+    behavioral and physical aspects of a system."  A diagram here is a
+    named view listing the element identifiers it shows. *)
+
+type kind =
+  | Class_diagram
+  | Object_diagram
+  | Package_diagram
+  | Composite_structure_diagram
+  | Component_diagram
+  | Deployment_diagram
+  | Use_case_diagram
+  | Activity_diagram
+  | State_machine_diagram
+  | Sequence_diagram
+  | Communication_diagram
+  | Interaction_overview_diagram
+  | Timing_diagram
+[@@deriving eq, ord, show]
+
+type aspect =
+  | Structural
+  | Behavioral
+  | Physical
+[@@deriving eq, ord, show]
+
+type t = {
+  dg_id : Ident.t;
+  dg_name : string;
+  dg_kind : kind;
+  dg_elements : Ident.t list;  (** elements shown on the diagram *)
+}
+[@@deriving eq, ord, show]
+
+val all_kinds : kind list
+(** The 13 kinds, in specification order. *)
+
+val kind_name : kind -> string
+val aspect_of : kind -> aspect
+val make : ?id:Ident.t -> ?elements:Ident.t list -> kind -> string -> t

@@ -1,0 +1,22 @@
+type t =
+  | Boolean
+  | Integer
+  | Real
+  | Unlimited_natural
+  | String_type
+  | Ref of Ident.t
+  | Void
+[@@deriving eq, ord, show]
+
+let to_string = function
+  | Boolean -> "Boolean"
+  | Integer -> "Integer"
+  | Real -> "Real"
+  | Unlimited_natural -> "UnlimitedNatural"
+  | String_type -> "String"
+  | Ref id -> Ident.to_string id
+  | Void -> "void"
+
+let is_primitive = function
+  | Boolean | Integer | Real | Unlimited_natural | String_type -> true
+  | Ref _ | Void -> false

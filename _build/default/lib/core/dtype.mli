@@ -1,0 +1,20 @@
+(** Type references.
+
+    A type reference either designates one of the UML primitive types or
+    points (by identifier) to a classifier owned by the model
+    (class, data type, enumeration, interface, signal). *)
+
+type t =
+  | Boolean
+  | Integer
+  | Real
+  | Unlimited_natural
+  | String_type
+  | Ref of Ident.t  (** reference to a model classifier *)
+  | Void  (** absence of a type (e.g. operation without result) *)
+[@@deriving eq, ord, show]
+
+val to_string : t -> string
+(** Primitive type name, or the raw identifier for [Ref]. *)
+
+val is_primitive : t -> bool

@@ -1,0 +1,14 @@
+type t = string [@@deriving eq, ord, show]
+
+let counter = ref 0
+
+let fresh ?(prefix = "e") () =
+  incr counter;
+  Printf.sprintf "%s%06d" prefix !counter
+
+let reset_counter () = counter := 0
+let of_string s = s
+let to_string t = t
+
+module Set = Set.Make (String)
+module Map = Map.Make (String)

@@ -1,0 +1,25 @@
+(** Element identifiers.
+
+    Every model element carries a unique identifier, playing the role of
+    the [xmi:id] attribute in XMI serializations.  Identifiers are opaque
+    strings; [fresh] draws from a deterministic process-wide counter so
+    that repeated runs produce identical models (important for the
+    determinism experiments). *)
+
+type t = string [@@deriving eq, ord, show]
+
+val fresh : ?prefix:string -> unit -> t
+(** [fresh ~prefix ()] returns a new identifier, unique within the
+    process.  The default prefix is ["e"]. *)
+
+val reset_counter : unit -> unit
+(** Reset the generator; only for tests and benches that need identical
+    identifier streams. *)
+
+val of_string : string -> t
+(** Use an externally supplied identifier (e.g. from an XMI file). *)
+
+val to_string : t -> string
+
+module Set : Set.S with type elt = t
+module Map : Map.S with type key = t

@@ -1,0 +1,52 @@
+type slot = {
+  slot_feature : string;
+  slot_values : Vspec.t list;
+}
+[@@deriving eq, ord, show]
+
+type t = {
+  inst_id : Ident.t;
+  inst_name : string;
+  inst_classifier : Ident.t option;
+  inst_slots : slot list;
+}
+[@@deriving eq, ord, show]
+
+type link = {
+  link_id : Ident.t;
+  link_association : Ident.t option;
+  link_ends : Ident.t * Ident.t;
+}
+[@@deriving eq, ord, show]
+
+let make ?id ?classifier ?(slots = []) name =
+  let inst_id =
+    match id with
+    | Some i -> i
+    | None -> Ident.fresh ~prefix:"is" ()
+  in
+  { inst_id; inst_name = name; inst_classifier = classifier;
+    inst_slots = slots }
+
+let slot feature values = { slot_feature = feature; slot_values = values }
+
+let link ?id ?association e1 e2 =
+  let link_id =
+    match id with
+    | Some i -> i
+    | None -> Ident.fresh ~prefix:"lk" ()
+  in
+  { link_id; link_association = association; link_ends = (e1, e2) }
+
+let slot_value inst feature =
+  match List.find_opt (fun s -> s.slot_feature = feature) inst.inst_slots with
+  | Some { slot_values = v :: _; _ } -> Some v
+  | Some { slot_values = []; _ } | None -> None
+
+let conforms_to inst cl =
+  let slot_ok s =
+    match Classifier.find_attribute cl s.slot_feature with
+    | None -> false
+    | Some attr -> Mult.admits attr.Classifier.prop_mult (List.length s.slot_values)
+  in
+  List.for_all slot_ok inst.inst_slots

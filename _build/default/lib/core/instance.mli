@@ -1,0 +1,36 @@
+(** Instance specifications (Object Diagrams) and links.
+
+    "Instances of a Class Diagram are called an Object Diagram and
+    describe how individual class instances (objects) are related." *)
+
+type slot = {
+  slot_feature : string;  (** attribute name *)
+  slot_values : Vspec.t list;
+}
+[@@deriving eq, ord, show]
+
+type t = {
+  inst_id : Ident.t;
+  inst_name : string;
+  inst_classifier : Ident.t option;  (** typing classifier *)
+  inst_slots : slot list;
+}
+[@@deriving eq, ord, show]
+
+type link = {
+  link_id : Ident.t;
+  link_association : Ident.t option;
+  link_ends : Ident.t * Ident.t;  (** connected instances *)
+}
+[@@deriving eq, ord, show]
+
+val make : ?id:Ident.t -> ?classifier:Ident.t -> ?slots:slot list -> string ->
+  t
+
+val slot : string -> Vspec.t list -> slot
+val link : ?id:Ident.t -> ?association:Ident.t -> Ident.t -> Ident.t -> link
+val slot_value : t -> string -> Vspec.t option
+
+val conforms_to : t -> Classifier.t -> bool
+(** Structural conformance: every slot names an attribute of the
+    classifier and the value count respects the attribute multiplicity. *)

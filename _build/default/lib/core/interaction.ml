@@ -1,0 +1,204 @@
+type message_sort =
+  | Synch_call
+  | Asynch_call
+  | Asynch_signal
+  | Reply
+  | Create_message
+  | Delete_message
+[@@deriving eq, ord, show]
+
+type interaction_operator =
+  | Alt
+  | Opt
+  | Loop of int * int option
+  | Par
+  | Strict
+  | Seq
+  | Break
+  | Critical
+  | Neg
+  | Assert
+  | Ignore of string list
+  | Consider of string list
+[@@deriving eq, ord, show]
+
+type lifeline = {
+  ll_id : Ident.t;
+  ll_name : string;
+  ll_represents : Ident.t option;
+}
+[@@deriving eq, ord, show]
+
+type message = {
+  msg_id : Ident.t;
+  msg_name : string;
+  msg_sort : message_sort;
+  msg_from : Ident.t;
+  msg_to : Ident.t;
+  msg_arguments : Vspec.t list;
+}
+[@@deriving eq, ord, show]
+
+type element =
+  | Message of message
+  | Fragment of fragment
+
+and fragment = {
+  fr_id : Ident.t;
+  fr_operator : interaction_operator;
+  fr_operands : operand list;
+}
+
+and operand = {
+  opnd_id : Ident.t;
+  opnd_guard : string option;
+  opnd_body : element list;
+}
+[@@deriving eq, ord, show]
+
+type t = {
+  in_id : Ident.t;
+  in_name : string;
+  in_lifelines : lifeline list;
+  in_body : element list;
+}
+[@@deriving eq, ord, show]
+
+let fresh_or prefix = function
+  | Some i -> i
+  | None -> Ident.fresh ~prefix ()
+
+let lifeline ?id ?represents name =
+  { ll_id = fresh_or "ll" id; ll_name = name; ll_represents = represents }
+
+let message ?id ?(sort = Asynch_signal) ?(arguments = []) ~from_ ~to_ name =
+  {
+    msg_id = fresh_or "ms" id;
+    msg_name = name;
+    msg_sort = sort;
+    msg_from = from_;
+    msg_to = to_;
+    msg_arguments = arguments;
+  }
+
+let fragment ?id operator operands =
+  { fr_id = fresh_or "fr" id; fr_operator = operator; fr_operands = operands }
+
+let operand ?id ?guard body =
+  { opnd_id = fresh_or "od" id; opnd_guard = guard; opnd_body = body }
+
+let make ?id name lifelines body =
+  {
+    in_id = fresh_or "in" id;
+    in_name = name;
+    in_lifelines = lifelines;
+    in_body = body;
+  }
+
+let rec collect_messages acc elems =
+  List.fold_left collect_element acc elems
+
+and collect_element acc = function
+  | Message m -> m :: acc
+  | Fragment f ->
+    let collect_operand acc o = collect_messages acc o.opnd_body in
+    List.fold_left collect_operand acc f.fr_operands
+
+let all_messages t = List.rev (collect_messages [] t.in_body)
+let message_count t = List.length (all_messages t)
+
+let communication_pairs t =
+  let name_of id =
+    match List.find_opt (fun l -> Ident.equal l.ll_id id) t.in_lifelines with
+    | Some l -> l.ll_name
+    | None -> Ident.to_string id
+  in
+  let add acc m =
+    let key = (name_of m.msg_from, name_of m.msg_to) in
+    let rec bump = function
+      | [] -> [ (fst key, snd key, 1) ]
+      | (f, to_, n) :: rest when (f, to_) = key -> (f, to_, n + 1) :: rest
+      | entry :: rest -> entry :: bump rest
+    in
+    bump acc
+  in
+  List.fold_left add [] (all_messages t)
+
+(* Trace enumeration.  A trace is a message list; trace sets are lists of
+   traces, truncated to [max] elements at each combination step. *)
+
+let take n l =
+  let rec loop acc n = function
+    | [] -> List.rev acc
+    | _ :: _ when n = 0 -> List.rev acc
+    | x :: tl -> loop (x :: acc) (n - 1) tl
+  in
+  loop [] n l
+
+let cross max tss1 tss2 =
+  let pairs =
+    List.concat_map (fun t1 -> List.map (fun t2 -> t1 @ t2) tss2) tss1
+  in
+  take max pairs
+
+(* All interleavings of two traces, truncated. *)
+let rec interleave2 max t1 t2 =
+  match t1, t2 with
+  | [], t | t, [] -> [ t ]
+  | x :: xs, y :: ys ->
+    let left = List.map (fun t -> x :: t) (interleave2 max xs t2) in
+    let right = List.map (fun t -> y :: t) (interleave2 max t1 ys) in
+    take max (left @ right)
+
+let rec traces_of_body max elems =
+  List.fold_left
+    (fun acc e -> cross max acc (traces_of_element max e))
+    [ [] ] elems
+
+and traces_of_element max = function
+  | Message m -> [ [ m ] ]
+  | Fragment f -> traces_of_fragment max f
+
+and traces_of_fragment max f =
+  let operand_traces o = traces_of_body max o.opnd_body in
+  match f.fr_operator with
+  | Alt -> take max (List.concat_map operand_traces f.fr_operands)
+  | Opt | Break ->
+    take max ([] :: List.concat_map operand_traces f.fr_operands)
+  | Strict | Seq | Critical | Assert | Ignore _ | Consider _ ->
+    List.fold_left
+      (fun acc o -> cross max acc (operand_traces o))
+      [ [] ] f.fr_operands
+  | Neg -> [ [] ]
+  | Par ->
+    let operand_sets = List.map operand_traces f.fr_operands in
+    let combine tss1 tss2 =
+      let interleaved =
+        List.concat_map
+          (fun t1 -> List.concat_map (fun t2 -> interleave2 max t1 t2) tss2)
+          tss1
+      in
+      take max interleaved
+    in
+    (match operand_sets with
+     | [] -> [ [] ]
+     | first :: rest -> List.fold_left combine first rest)
+  | Loop (min_iter, max_iter) ->
+    let body =
+      List.fold_left
+        (fun acc o -> cross max acc (operand_traces o))
+        [ [] ] f.fr_operands
+    in
+    let upper =
+      match max_iter with
+      | Some u -> u
+      | None -> min_iter + 2 (* unbounded loops sampled a little past min *)
+    in
+    let rec repeat acc k current =
+      let acc = if k >= min_iter then take max (acc @ current) else acc in
+      if k >= upper then acc
+      else repeat acc (k + 1) (cross max current body)
+    in
+    repeat [] 0 [ [] ]
+
+let traces ?(max_traces = 1000) t = traces_of_body max_traces t.in_body

@@ -1,0 +1,101 @@
+(** Interactions: Sequence-Diagram structure with UML 2.0 combined
+    fragments (the MSC-comparable extension the paper highlights).
+
+    An interaction owns lifelines and an ordered body of elements; an
+    element is either a message or a combined fragment whose operands
+    recursively contain bodies.  This tree captures weak sequencing the
+    same way graphical nesting does. *)
+
+type message_sort =
+  | Synch_call
+  | Asynch_call
+  | Asynch_signal
+  | Reply
+  | Create_message
+  | Delete_message
+[@@deriving eq, ord, show]
+
+type interaction_operator =
+  | Alt
+  | Opt
+  | Loop of int * int option  (** min iterations, optional max *)
+  | Par
+  | Strict
+  | Seq  (** weak sequencing *)
+  | Break
+  | Critical
+  | Neg
+  | Assert
+  | Ignore of string list
+  | Consider of string list
+[@@deriving eq, ord, show]
+
+type lifeline = {
+  ll_id : Ident.t;
+  ll_name : string;
+  ll_represents : Ident.t option;  (** classifier or part represented *)
+}
+[@@deriving eq, ord, show]
+
+type message = {
+  msg_id : Ident.t;
+  msg_name : string;
+  msg_sort : message_sort;
+  msg_from : Ident.t;  (** sending lifeline *)
+  msg_to : Ident.t;  (** receiving lifeline *)
+  msg_arguments : Vspec.t list;
+}
+[@@deriving eq, ord, show]
+
+type element =
+  | Message of message
+  | Fragment of fragment
+
+and fragment = {
+  fr_id : Ident.t;
+  fr_operator : interaction_operator;
+  fr_operands : operand list;
+}
+
+and operand = {
+  opnd_id : Ident.t;
+  opnd_guard : string option;  (** ASL boolean expression *)
+  opnd_body : element list;
+}
+[@@deriving eq, ord, show]
+
+type t = {
+  in_id : Ident.t;
+  in_name : string;
+  in_lifelines : lifeline list;
+  in_body : element list;
+}
+[@@deriving eq, ord, show]
+
+val lifeline : ?id:Ident.t -> ?represents:Ident.t -> string -> lifeline
+
+val message : ?id:Ident.t -> ?sort:message_sort -> ?arguments:Vspec.t list ->
+  from_:Ident.t -> to_:Ident.t -> string -> message
+
+val fragment : ?id:Ident.t -> interaction_operator -> operand list -> fragment
+val operand : ?id:Ident.t -> ?guard:string -> element list -> operand
+val make : ?id:Ident.t -> string -> lifeline list -> element list -> t
+
+val all_messages : t -> message list
+(** Every message in document order, descending into fragments. *)
+
+val message_count : t -> int
+
+val communication_pairs : t -> (string * string * int) list
+(** The Communication-Diagram view of the interaction: (sender lifeline
+    name, receiver lifeline name, message count) per connected pair,
+    first-occurrence order.  Counts every message occurrence, inside
+    fragments too. *)
+
+val traces : ?max_traces:int -> t -> message list list
+(** Enumerate the possible message orderings (traces) of the interaction
+    under strict sequencing of bodies: [Alt] contributes one trace set
+    per operand, [Opt] contributes the empty trace too, [Par]
+    interleaves, [Loop (min, max)] repeats.  Guards are ignored (they
+    need an environment).  The result is truncated to [max_traces]
+    (default 1000) to bound combinatorial explosion. *)

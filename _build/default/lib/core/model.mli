@@ -1,0 +1,109 @@
+(** The model container.
+
+    A model owns every element, keyed by identifier, plus stereotype
+    applications and diagrams.  The container is imperative (hash-indexed
+    for O(1) lookup in large models) but preserves insertion order so
+    that serialization and code generation are deterministic. *)
+
+type element =
+  | E_classifier of Classifier.t
+  | E_association of Classifier.association
+  | E_package of Pkg.t
+  | E_state_machine of Smachine.t
+  | E_activity of Activityg.t
+  | E_interaction of Interaction.t
+  | E_use_case of Usecase.t
+  | E_component of Component.t
+  | E_instance of Instance.t
+  | E_link of Instance.link
+  | E_deployment_node of Deployment.node
+  | E_artifact of Deployment.artifact
+  | E_deployment of Deployment.deployment
+  | E_communication_path of Deployment.communication_path
+  | E_profile of Profile.t
+[@@deriving eq, show]
+
+type t
+
+val create : string -> t
+(** [create name] makes an empty model. *)
+
+val name : t -> string
+val set_name : t -> string -> unit
+
+val element_id : element -> Ident.t
+val element_name : element -> string
+val element_kind : element -> string
+(** Metaclass-style name of the variant, e.g. ["Class"],
+    ["StateMachine"]. *)
+
+val add : t -> element -> unit
+(** @raise Invalid_argument on a duplicate identifier. *)
+
+val replace : t -> element -> unit
+(** Replace the element with the same identifier; adds if absent.
+    Insertion order of a replaced element is preserved. *)
+
+val remove : t -> Ident.t -> unit
+val find : t -> Ident.t -> element option
+val mem : t -> Ident.t -> bool
+val elements : t -> element list
+(** All elements in insertion order. *)
+
+val size : t -> int
+val iter : (element -> unit) -> t -> unit
+val fold : ('a -> element -> 'a) -> 'a -> t -> 'a
+
+val classifiers : t -> Classifier.t list
+val components : t -> Component.t list
+val state_machines : t -> Smachine.t list
+val activities : t -> Activityg.t list
+val packages : t -> Pkg.t list
+val interactions : t -> Interaction.t list
+val use_cases : t -> Usecase.t list
+val profiles : t -> Profile.t list
+val instances : t -> Instance.t list
+val associations : t -> Classifier.association list
+
+val find_classifier : t -> Ident.t -> Classifier.t option
+val find_component : t -> Ident.t -> Component.t option
+val find_state_machine : t -> Ident.t -> Smachine.t option
+val find_activity : t -> Ident.t -> Activityg.t option
+
+val classifier_named : t -> string -> Classifier.t option
+val component_named : t -> string -> Component.t option
+
+val add_application : t -> Profile.application -> unit
+val applications : t -> Profile.application list
+val applications_of : t -> Ident.t -> Profile.application list
+(** Stereotype applications attached to the given element. *)
+
+val has_stereotype : t -> Ident.t -> string -> bool
+(** [has_stereotype m elt name]: is a stereotype called [name] (from any
+    applied profile) applied to element [elt]? *)
+
+val stereotype_named : t -> string -> (Profile.t * Profile.stereotype) option
+
+val add_diagram : t -> Diagram.t -> unit
+val diagrams : t -> Diagram.t list
+
+val equal : t -> t -> bool
+(** Deep structural equality: same name, same elements in the same
+    order, same applications and diagrams. *)
+
+val copy : t -> t
+
+val generalization_parents : t -> Ident.t -> Ident.t list
+(** Direct generalization targets of a classifier (empty for other
+    elements). *)
+
+val all_ancestors : t -> Ident.t -> Ident.Set.t
+(** Transitive generalization closure; stops on cycles. *)
+
+val feature_index : t -> (Ident.t, Profile.metaclass) Hashtbl.t
+(** Metaclasses of every *nested* feature (attributes, operations,
+    ports, parts, connectors, states, transitions, activity nodes) keyed
+    by identifier.  Built by one model scan per call; top-level elements
+    are not included. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,192 @@
+type pseudostate_kind =
+  | Initial
+  | Deep_history
+  | Shallow_history
+  | Join
+  | Fork
+  | Junction
+  | Choice
+  | Entry_point
+  | Exit_point
+  | Terminate
+[@@deriving eq, ord, show]
+
+type trigger =
+  | Signal_trigger of string
+  | Time_trigger of int
+  | Any_trigger
+  | Completion
+[@@deriving eq, ord, show]
+
+type transition_kind =
+  | External
+  | Internal
+  | Local
+[@@deriving eq, ord, show]
+
+type vertex =
+  | State of state
+  | Pseudo of pseudostate
+  | Final of final_state
+
+and state = {
+  st_id : Ident.t;
+  st_name : string;
+  st_regions : region list;
+  st_entry : string option;
+  st_exit : string option;
+  st_do : string option;
+  st_deferred : trigger list;
+}
+
+and pseudostate = {
+  ps_id : Ident.t;
+  ps_name : string;
+  ps_kind : pseudostate_kind;
+}
+
+and final_state = {
+  fs_id : Ident.t;
+  fs_name : string;
+}
+
+and region = {
+  rg_id : Ident.t;
+  rg_name : string;
+  rg_vertices : vertex list;
+  rg_transitions : transition list;
+}
+
+and transition = {
+  tr_id : Ident.t;
+  tr_source : Ident.t;
+  tr_target : Ident.t;
+  tr_triggers : trigger list;
+  tr_guard : string option;
+  tr_effect : string option;
+  tr_kind : transition_kind;
+}
+[@@deriving eq, ord, show]
+
+type t = {
+  sm_id : Ident.t;
+  sm_name : string;
+  sm_regions : region list;
+  sm_context : Ident.t option;
+}
+[@@deriving eq, ord, show]
+
+let vertex_id = function
+  | State s -> s.st_id
+  | Pseudo p -> p.ps_id
+  | Final f -> f.fs_id
+
+let vertex_name = function
+  | State s -> s.st_name
+  | Pseudo p -> p.ps_name
+  | Final f -> f.fs_name
+
+let fresh_or prefix = function
+  | Some i -> i
+  | None -> Ident.fresh ~prefix ()
+
+let simple_state ?id ?entry ?exit_ ?do_ ?(deferred = []) name =
+  {
+    st_id = fresh_or "st" id;
+    st_name = name;
+    st_regions = [];
+    st_entry = entry;
+    st_exit = exit_;
+    st_do = do_;
+    st_deferred = deferred;
+  }
+
+let composite_state ?id ?entry ?exit_ ?do_ ?(deferred = []) name regions =
+  {
+    st_id = fresh_or "st" id;
+    st_name = name;
+    st_regions = regions;
+    st_entry = entry;
+    st_exit = exit_;
+    st_do = do_;
+    st_deferred = deferred;
+  }
+
+let pseudostate ?id ?(name = "") kind =
+  { ps_id = fresh_or "ps" id; ps_name = name; ps_kind = kind }
+
+let final ?id ?(name = "final") () =
+  { fs_id = fresh_or "fs" id; fs_name = name }
+
+let transition ?id ?(triggers = []) ?guard ?effect ?(kind = External) ~source
+    ~target () =
+  {
+    tr_id = fresh_or "tr" id;
+    tr_source = source;
+    tr_target = target;
+    tr_triggers = triggers;
+    tr_guard = guard;
+    tr_effect = effect;
+    tr_kind = kind;
+  }
+
+let region ?id ?(name = "") vertices transitions =
+  {
+    rg_id = fresh_or "rg" id;
+    rg_name = name;
+    rg_vertices = vertices;
+    rg_transitions = transitions;
+  }
+
+let make ?id ?context name regions =
+  {
+    sm_id = fresh_or "sm" id;
+    sm_name = name;
+    sm_regions = regions;
+    sm_context = context;
+  }
+
+(* Preorder traversals over the region tree.  Accumulators are built in
+   reverse and flipped once, keeping everything tail-recursive for deep
+   machines. *)
+
+let rec fold_region_vertices acc r =
+  List.fold_left fold_vertex acc r.rg_vertices
+
+and fold_vertex acc v =
+  let acc = v :: acc in
+  match v with
+  | State s -> List.fold_left fold_region_vertices acc s.st_regions
+  | Pseudo _ | Final _ -> acc
+
+let all_vertices sm =
+  List.rev (List.fold_left fold_region_vertices [] sm.sm_regions)
+
+let rec fold_region_transitions acc r =
+  let acc = List.rev_append r.rg_transitions acc in
+  let fold_v acc v =
+    match v with
+    | State s -> List.fold_left fold_region_transitions acc s.st_regions
+    | Pseudo _ | Final _ -> acc
+  in
+  List.fold_left fold_v acc r.rg_vertices
+
+let all_transitions sm =
+  List.rev (List.fold_left fold_region_transitions [] sm.sm_regions)
+
+let rec fold_regions acc r =
+  let acc = r :: acc in
+  let fold_v acc v =
+    match v with
+    | State s -> List.fold_left fold_regions acc s.st_regions
+    | Pseudo _ | Final _ -> acc
+  in
+  List.fold_left fold_v acc r.rg_vertices
+
+let all_regions sm = List.rev (List.fold_left fold_regions [] sm.sm_regions)
+
+let find_vertex sm id =
+  List.find_opt (fun v -> Ident.equal (vertex_id v) id) (all_vertices sm)
+
+let is_composite s = s.st_regions <> []
+let is_orthogonal s = List.length s.st_regions >= 2

@@ -1,0 +1,122 @@
+(** State machines (the UML StateChart variant).
+
+    Structure follows the UML 2.0 superstructure: a state machine owns
+    regions; regions own vertices (states, pseudostates, final states)
+    and transitions.  Composite states own regions recursively, and a
+    state with two or more regions is orthogonal.  Entry/exit/do
+    behaviors, guards and effects are opaque ASL text (see {!Vspec} for
+    the rationale); execution semantics live in the [statechart]
+    library. *)
+
+type pseudostate_kind =
+  | Initial
+  | Deep_history
+  | Shallow_history
+  | Join
+  | Fork
+  | Junction
+  | Choice
+  | Entry_point
+  | Exit_point
+  | Terminate
+[@@deriving eq, ord, show]
+
+type trigger =
+  | Signal_trigger of string  (** named signal or call event *)
+  | Time_trigger of int  (** "after n ticks" relative time event *)
+  | Any_trigger  (** the AnyReceiveEvent *)
+  | Completion  (** completion event of the source state *)
+[@@deriving eq, ord, show]
+
+type transition_kind =
+  | External
+  | Internal
+  | Local
+[@@deriving eq, ord, show]
+
+type vertex =
+  | State of state
+  | Pseudo of pseudostate
+  | Final of final_state
+
+and state = {
+  st_id : Ident.t;
+  st_name : string;
+  st_regions : region list;  (** non-empty for composite states *)
+  st_entry : string option;  (** ASL entry behavior *)
+  st_exit : string option;
+  st_do : string option;
+  st_deferred : trigger list;
+}
+
+and pseudostate = {
+  ps_id : Ident.t;
+  ps_name : string;
+  ps_kind : pseudostate_kind;
+}
+
+and final_state = {
+  fs_id : Ident.t;
+  fs_name : string;
+}
+
+and region = {
+  rg_id : Ident.t;
+  rg_name : string;
+  rg_vertices : vertex list;
+  rg_transitions : transition list;
+}
+
+and transition = {
+  tr_id : Ident.t;
+  tr_source : Ident.t;
+  tr_target : Ident.t;
+  tr_triggers : trigger list;
+  tr_guard : string option;  (** ASL boolean expression *)
+  tr_effect : string option;  (** ASL action text *)
+  tr_kind : transition_kind;
+}
+[@@deriving eq, ord, show]
+
+type t = {
+  sm_id : Ident.t;
+  sm_name : string;
+  sm_regions : region list;
+  sm_context : Ident.t option;  (** owning classifier, if any *)
+}
+[@@deriving eq, ord, show]
+
+val vertex_id : vertex -> Ident.t
+val vertex_name : vertex -> string
+
+val simple_state : ?id:Ident.t -> ?entry:string -> ?exit_:string ->
+  ?do_:string -> ?deferred:trigger list -> string -> state
+(** A leaf state (no regions). *)
+
+val composite_state : ?id:Ident.t -> ?entry:string -> ?exit_:string ->
+  ?do_:string -> ?deferred:trigger list -> string -> region list -> state
+
+val pseudostate : ?id:Ident.t -> ?name:string -> pseudostate_kind -> pseudostate
+val final : ?id:Ident.t -> ?name:string -> unit -> final_state
+
+val transition : ?id:Ident.t -> ?triggers:trigger list -> ?guard:string ->
+  ?effect:string -> ?kind:transition_kind -> source:Ident.t ->
+  target:Ident.t -> unit -> transition
+
+val region : ?id:Ident.t -> ?name:string -> vertex list -> transition list ->
+  region
+
+val make : ?id:Ident.t -> ?context:Ident.t -> string -> region list -> t
+
+val all_vertices : t -> vertex list
+(** Every vertex of the machine, recursively (preorder). *)
+
+val all_transitions : t -> transition list
+(** Every transition owned by any region, recursively. *)
+
+val all_regions : t -> region list
+(** Every region, recursively (preorder: outer before inner). *)
+
+val find_vertex : t -> Ident.t -> vertex option
+val is_orthogonal : state -> bool
+val is_composite : state -> bool

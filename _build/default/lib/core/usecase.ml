@@ -1,0 +1,43 @@
+type t = {
+  uc_id : Ident.t;
+  uc_name : string;
+  uc_subject : Ident.t option;
+  uc_actors : Ident.t list;
+  uc_includes : Ident.t list;
+  uc_extends : extend list;
+}
+
+and extend = {
+  ext_extended : Ident.t;
+  ext_condition : string option;
+}
+[@@deriving eq, ord, show]
+
+let make ?id ?subject ?(actors = []) ?(includes = []) ?(extends = []) name =
+  let uc_id =
+    match id with
+    | Some i -> i
+    | None -> Ident.fresh ~prefix:"uc" ()
+  in
+  {
+    uc_id;
+    uc_name = name;
+    uc_subject = subject;
+    uc_actors = actors;
+    uc_includes = includes;
+    uc_extends = extends;
+  }
+
+let extend ?condition extended = { ext_extended = extended; ext_condition = condition }
+
+let include_closure ~all uc =
+  let find id = List.find_opt (fun u -> Ident.equal u.uc_id id) all in
+  let rec visit seen id =
+    if Ident.Set.mem id seen then seen
+    else
+      let seen = Ident.Set.add id seen in
+      match find id with
+      | None -> seen
+      | Some u -> List.fold_left visit seen u.uc_includes
+  in
+  List.fold_left visit Ident.Set.empty uc.uc_includes

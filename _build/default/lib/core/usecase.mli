@@ -1,0 +1,36 @@
+(** Use cases and actors (Use Case Diagrams).
+
+    The paper notes that behavioral specification "at the highest level
+    often starts by the identification of the use cases ... in terms of
+    involved actors". *)
+
+type t = {
+  uc_id : Ident.t;
+  uc_name : string;
+  uc_subject : Ident.t option;  (** the classifier the use case applies to *)
+  uc_actors : Ident.t list;  (** associated actors *)
+  uc_includes : Ident.t list;  (** included use cases *)
+  uc_extends : extend list;
+}
+
+and extend = {
+  ext_extended : Ident.t;  (** the use case being extended *)
+  ext_condition : string option;  (** ASL boolean condition *)
+}
+[@@deriving eq, ord, show]
+
+val make :
+  ?id:Ident.t ->
+  ?subject:Ident.t ->
+  ?actors:Ident.t list ->
+  ?includes:Ident.t list ->
+  ?extends:extend list ->
+  string ->
+  t
+
+val extend : ?condition:string -> Ident.t -> extend
+
+val include_closure : all:t list -> t -> Ident.Set.t
+(** Transitive closure of the include relation starting at the given use
+    case (excluding itself unless cyclic); used by well-formedness checks
+    to detect include cycles. *)

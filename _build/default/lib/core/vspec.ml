@@ -1,0 +1,22 @@
+type t =
+  | Int_literal of int
+  | Real_literal of float
+  | Bool_literal of bool
+  | String_literal of string
+  | Enum_literal of string
+  | Null_literal
+  | Opaque_expression of string
+[@@deriving eq, ord, show]
+
+let to_string = function
+  | Int_literal i -> string_of_int i
+  | Real_literal r -> string_of_float r
+  | Bool_literal b -> string_of_bool b
+  | String_literal s -> Printf.sprintf "%S" s
+  | Enum_literal s -> s
+  | Null_literal -> "null"
+  | Opaque_expression e -> e
+
+let of_int i = Int_literal i
+let of_bool b = Bool_literal b
+let of_string_value s = String_literal s

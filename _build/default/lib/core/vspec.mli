@@ -1,0 +1,23 @@
+(** Value specifications.
+
+    UML value specifications cover literals and opaque expressions.
+    Opaque expressions hold concrete syntax (here: ASL source text) that
+    is only given meaning by an execution engine, mirroring UML's
+    [OpaqueExpression]. *)
+
+type t =
+  | Int_literal of int
+  | Real_literal of float
+  | Bool_literal of bool
+  | String_literal of string
+  | Enum_literal of string  (** literal name of an enumeration *)
+  | Null_literal
+  | Opaque_expression of string  (** ASL concrete syntax *)
+[@@deriving eq, ord, show]
+
+val to_string : t -> string
+(** Human-readable rendering used by diagnostics and code generators. *)
+
+val of_int : int -> t
+val of_bool : bool -> t
+val of_string_value : string -> t

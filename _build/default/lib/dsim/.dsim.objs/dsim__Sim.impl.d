@@ -1,0 +1,1 @@
+lib/dsim/sim.ml: Expr Hashtbl Hdl Htype List Module_ Printf Stmt String

@@ -1,0 +1,1 @@
+lib/dsim/timing.ml: Buffer Hdl List Printf Sim String

@@ -1,0 +1,1 @@
+lib/dsim/vcd.ml: Buffer Bytes Char Hdl List Printf Sim String

@@ -1,0 +1,52 @@
+(** Discrete-event simulator for flat RTL modules.
+
+    Executes the output of {!Hdl.Elaborate.flatten}: combinational
+    processes settle through delta cycles (re-evaluated until no signal
+    changes); sequential processes sample current values on
+    {!clock_edge} and commit next values atomically, like non-blocking
+    assignment.
+
+    The simulator counts events (process evaluations and effective
+    signal updates) for the performance experiments. *)
+
+exception Simulation_error of string
+
+type t
+
+val create : Hdl.Module_.t -> t
+(** @raise Simulation_error when the module has unresolved names or a
+    combinational loop prevents settling. *)
+
+val module_of : t -> Hdl.Module_.t
+
+val get : t -> string -> int
+(** Current value of a signal or port.
+    @raise Simulation_error for unknown names. *)
+
+val get_enum : t -> string -> string
+(** Current value of an enum-typed signal, as its literal name. *)
+
+val set_input : t -> string -> int -> unit
+(** Drive an input port (masked to the port width); combinational logic
+    settles immediately. *)
+
+val clock_edge : t -> string -> unit
+(** One rising edge of the named clock: run all sequential processes on
+    that clock, commit, settle combinational logic. *)
+
+val cycle : ?inputs:(string * int) list -> t -> string -> unit
+(** [cycle t clk] = apply inputs, then one {!clock_edge}. *)
+
+val run : t -> clock:string -> cycles:int -> unit
+
+val events : t -> int
+(** Total events processed so far. *)
+
+val delta_cycles : t -> int
+(** Total delta cycles used by settling so far. *)
+
+val signals : t -> (string * Hdl.Htype.t) list
+(** All simulated signals (ports first), declaration order. *)
+
+val snapshot : t -> (string * int) list
+(** All current values, sorted by name. *)

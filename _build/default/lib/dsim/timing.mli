@@ -1,0 +1,28 @@
+(** Timing-diagram rendering (UML's 13th diagram type, grounded in the
+    simulator).
+
+    Records selected signals cycle by cycle and renders an ASCII timing
+    diagram: bit signals as waveform lanes, vectors as value lanes with
+    transitions marked.
+
+    {v
+      clk   : _#_#_#_#
+      tick  : ______#_
+      count :  0 1 2 3
+    v} *)
+
+type t
+
+val create : ?signals:string list -> Sim.t -> t
+(** Track the given signals (default: all ports, declaration order).
+    @raise Sim.Simulation_error for unknown names. *)
+
+val sample : t -> unit
+(** Record the current values as the next time step. *)
+
+val length : t -> int
+(** Samples recorded so far. *)
+
+val render : t -> string
+(** The diagram; one lane per signal, one column (or value cell) per
+    sample. *)

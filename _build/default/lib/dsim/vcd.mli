@@ -1,0 +1,17 @@
+(** Value-change-dump (VCD) waveform writer.
+
+    Records snapshots of a running {!Sim} per timestep and renders the
+    standard VCD text format accepted by GTKWave and friends. *)
+
+type t
+
+val create : Sim.t -> t
+(** Register every signal of the simulator. *)
+
+val sample : t -> time:int -> unit
+(** Record current values at the given time (only changes are stored). *)
+
+val render : t -> string
+(** Full VCD file contents. *)
+
+val write_file : t -> string -> unit

@@ -1,0 +1,1 @@
+lib/hdl/check.pp.ml: Expr Hashtbl Htype List Module_ Printf Stmt String

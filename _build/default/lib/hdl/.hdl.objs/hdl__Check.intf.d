@@ -1,0 +1,1 @@
+lib/hdl/check.pp.mli: Expr Htype Module_

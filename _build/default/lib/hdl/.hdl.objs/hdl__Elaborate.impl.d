@@ -1,0 +1,1 @@
+lib/hdl/elaborate.pp.ml: Expr Hashtbl List Module_ Option Printf Stmt

@@ -1,0 +1,1 @@
+lib/hdl/elaborate.pp.mli: Module_

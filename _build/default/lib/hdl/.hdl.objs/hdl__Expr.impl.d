@@ -1,0 +1,1 @@
+lib/hdl/expr.pp.ml: Hashtbl Htype List Ppx_deriving_runtime

@@ -1,0 +1,1 @@
+lib/hdl/expr.pp.mli: Htype Ppx_deriving_runtime

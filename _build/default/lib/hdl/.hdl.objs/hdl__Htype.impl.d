@@ -1,0 +1,1 @@
+lib/hdl/htype.pp.ml: List Ppx_deriving_runtime Printf String

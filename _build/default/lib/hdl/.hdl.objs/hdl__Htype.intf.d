@@ -1,0 +1,1 @@
+lib/hdl/htype.pp.mli: Ppx_deriving_runtime

@@ -1,0 +1,1 @@
+lib/hdl/module_.pp.ml: Htype List Ppx_deriving_runtime Stmt

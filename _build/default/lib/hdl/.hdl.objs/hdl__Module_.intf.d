@@ -1,0 +1,1 @@
+lib/hdl/module_.pp.mli: Htype Ppx_deriving_runtime Stmt

@@ -1,0 +1,1 @@
+lib/hdl/stmt.pp.ml: Expr Hashtbl List Ppx_deriving_runtime

@@ -1,0 +1,1 @@
+lib/hdl/stmt.pp.mli: Expr Ppx_deriving_runtime

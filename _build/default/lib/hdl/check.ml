@@ -1,0 +1,306 @@
+let rec infer_type m (e : Expr.t) =
+  match e with
+  | Expr.Const (_, ty) -> Ok ty
+  | Expr.Enum_lit lit -> (
+    (* find an enum type declaring this literal *)
+    let all_types =
+      List.map (fun p -> p.Module_.port_type) m.Module_.mod_ports
+      @ List.map (fun s -> s.Module_.sig_type) m.Module_.mod_signals
+    in
+    match
+      List.find_opt
+        (fun ty -> Htype.enum_index ty lit <> None)
+        all_types
+    with
+    | Some ty -> Ok ty
+    | None -> Error (Printf.sprintf "unknown enum literal %s" lit))
+  | Expr.Ref name -> (
+    match Module_.declared_type m name with
+    | Some ty -> Ok ty
+    | None -> Error (Printf.sprintf "unresolved signal %s" name))
+  | Expr.Unop (Expr.Not, e1) -> infer_type m e1
+  | Expr.Unop ((Expr.Reduce_or | Expr.Reduce_and), e1) -> (
+    match infer_type m e1 with
+    | Ok _ -> Ok Htype.Bit
+    | Error _ as err -> err)
+  | Expr.Binop (op, e1, e2) -> (
+    match infer_type m e1, infer_type m e2 with
+    | Ok t1, Ok t2 ->
+      if Expr.is_boolean_op op then Ok Htype.Bit
+      else
+        let w = max (Htype.width t1) (Htype.width t2) in
+        (match op with
+         | Expr.And | Expr.Or | Expr.Xor when w = 1 -> Ok Htype.Bit
+         | _other -> Ok (Htype.Unsigned w))
+    | (Error _ as err), _ -> err
+    | _, (Error _ as err) -> err)
+  | Expr.Mux (c, a, b) -> (
+    match infer_type m c, infer_type m a, infer_type m b with
+    | Ok _, Ok ta, Ok tb ->
+      if Htype.width ta >= Htype.width tb then Ok ta else Ok tb
+    | (Error _ as err), _, _ -> err
+    | _, (Error _ as err), _ -> err
+    | _, _, (Error _ as err) -> err)
+  | Expr.Slice (e1, hi, lo) -> (
+    match infer_type m e1 with
+    | Ok _ when hi >= lo && lo >= 0 ->
+      Ok (if hi = lo then Htype.Bit else Htype.Unsigned (hi - lo + 1))
+    | Ok _ -> Error "slice bounds out of order"
+    | Error _ as err -> err)
+  | Expr.Concat (e1, e2) -> (
+    match infer_type m e1, infer_type m e2 with
+    | Ok t1, Ok t2 -> Ok (Htype.Unsigned (Htype.width t1 + Htype.width t2))
+    | (Error _ as err), _ -> err
+    | _, (Error _ as err) -> err)
+  | Expr.Resize (e1, w) -> (
+    match infer_type m e1 with
+    | Ok _ -> Ok (if w = 1 then Htype.Bit else Htype.Unsigned w)
+    | Error _ as err -> err)
+
+let check_expr m errs e =
+  match infer_type m e with
+  | Ok _ -> errs
+  | Error msg -> msg :: errs
+
+let rec check_stmt m errs (s : Stmt.t) =
+  match s with
+  | Stmt.Null -> errs
+  | Stmt.Assign (target, e) -> (
+    let errs = check_expr m errs e in
+    match Module_.declared_type m target with
+    | None -> Printf.sprintf "assignment to unresolved signal %s" target :: errs
+    | Some target_ty -> (
+      match Module_.find_port m target with
+      | Some p when p.Module_.port_dir = Module_.Input ->
+        Printf.sprintf "assignment to input port %s" target :: errs
+      | Some _ | None -> (
+        match infer_type m e with
+        | Error _ -> errs (* already reported *)
+        | Ok ty ->
+          if Htype.width ty <= Htype.width target_ty then errs
+          else
+            Printf.sprintf
+              "width mismatch assigning %d bits to %s (%d bits)"
+              (Htype.width ty) target (Htype.width target_ty)
+            :: errs)))
+  | Stmt.If (cond, t_branch, e_branch) ->
+    let errs = check_expr m errs cond in
+    let errs = List.fold_left (check_stmt m) errs t_branch in
+    List.fold_left (check_stmt m) errs e_branch
+  | Stmt.Case (sel, branches, default) ->
+    let errs = check_expr m errs sel in
+    let errs =
+      List.fold_left
+        (fun errs (choice, body) ->
+          let errs =
+            match choice, infer_type m sel with
+            | Stmt.Ch_enum lit, Ok sel_ty
+              when Htype.enum_index sel_ty lit = None ->
+              Printf.sprintf "case choice %s not a literal of the selector"
+                lit
+              :: errs
+            | (Stmt.Ch_enum _ | Stmt.Ch_int _), (Ok _ | Error _) -> errs
+          in
+          List.fold_left (check_stmt m) errs body)
+        errs branches
+    in
+    (match default with
+     | Some body -> List.fold_left (check_stmt m) errs body
+     | None -> errs)
+
+let drivers m =
+  (* name -> list of process names that assign it *)
+  let tbl = Hashtbl.create 16 in
+  List.iter
+    (fun p ->
+      let names = Stmt.assigned (Module_.process_body p) in
+      let names =
+        match p with
+        | Module_.Seq { sp_reset = Some (_, reset_body); _ } ->
+          names @ Stmt.assigned reset_body
+        | Module_.Seq _ | Module_.Comb _ -> names
+      in
+      List.iter
+        (fun n ->
+          let existing =
+            match Hashtbl.find_opt tbl n with
+            | Some l -> l
+            | None -> []
+          in
+          let pname = Module_.process_name p in
+          if not (List.mem pname existing) then
+            Hashtbl.replace tbl n (pname :: existing))
+        names)
+    m.Module_.mod_processes;
+  tbl
+
+let has_comb_loop m =
+  (* edges: read -> written within each comb process; DFS for a cycle *)
+  let edges = Hashtbl.create 16 in
+  List.iter
+    (fun p ->
+      match p with
+      | Module_.Comb { cp_body; _ } ->
+        let reads = Stmt.read cp_body in
+        let writes = Stmt.assigned cp_body in
+        List.iter
+          (fun r ->
+            let existing =
+              match Hashtbl.find_opt edges r with
+              | Some l -> l
+              | None -> []
+            in
+            Hashtbl.replace edges r (writes @ existing))
+          reads
+      | Module_.Seq _ -> ())
+    m.Module_.mod_processes;
+  let visiting = Hashtbl.create 16 in
+  let done_ = Hashtbl.create 16 in
+  let rec dfs n =
+    if Hashtbl.mem done_ n then false
+    else if Hashtbl.mem visiting n then true
+    else begin
+      Hashtbl.add visiting n ();
+      let succ =
+        match Hashtbl.find_opt edges n with
+        | Some l -> l
+        | None -> []
+      in
+      let cyclic = List.exists dfs succ in
+      Hashtbl.remove visiting n;
+      Hashtbl.add done_ n ();
+      cyclic
+    end
+  in
+  Hashtbl.fold (fun n _ acc -> acc || dfs n) edges false
+
+let check_module m =
+  let errs = [] in
+  (* duplicate declarations *)
+  let names =
+    List.map (fun p -> p.Module_.port_name) m.Module_.mod_ports
+    @ List.map (fun s -> s.Module_.sig_name) m.Module_.mod_signals
+  in
+  let seen = Hashtbl.create 16 in
+  let errs =
+    List.fold_left
+      (fun errs n ->
+        if Hashtbl.mem seen n then
+          Printf.sprintf "duplicate declaration of %s in %s" n
+            m.Module_.mod_name
+          :: errs
+        else begin
+          Hashtbl.add seen n ();
+          errs
+        end)
+      errs names
+  in
+  let errs =
+    List.fold_left
+      (fun errs p ->
+        let errs =
+          List.fold_left (check_stmt m) errs (Module_.process_body p)
+        in
+        match p with
+        | Module_.Seq sp ->
+          let errs =
+            match Module_.declared_type m sp.Module_.sp_clock with
+            | Some Htype.Bit -> errs
+            | Some _ ->
+              Printf.sprintf "clock %s of process %s is not a bit"
+                sp.Module_.sp_clock sp.Module_.sp_name
+              :: errs
+            | None ->
+              Printf.sprintf "unresolved clock %s in process %s"
+                sp.Module_.sp_clock sp.Module_.sp_name
+              :: errs
+          in
+          (match sp.Module_.sp_reset with
+           | Some (rst, body) ->
+             let errs = List.fold_left (check_stmt m) errs body in
+             (match Module_.declared_type m rst with
+              | Some Htype.Bit -> errs
+              | Some _ ->
+                Printf.sprintf "reset %s is not a bit" rst :: errs
+              | None -> Printf.sprintf "unresolved reset %s" rst :: errs)
+           | None -> errs)
+        | Module_.Comb _ -> errs)
+      errs m.Module_.mod_processes
+  in
+  (* multiple drivers *)
+  let errs =
+    Hashtbl.fold
+      (fun n procs errs ->
+        if List.length procs > 1 then
+          Printf.sprintf "signal %s driven by multiple processes (%s) in %s"
+            n
+            (String.concat ", " procs)
+            m.Module_.mod_name
+          :: errs
+        else errs)
+      (drivers m) errs
+  in
+  let errs =
+    if has_comb_loop m then
+      Printf.sprintf "combinational loop in module %s" m.Module_.mod_name
+      :: errs
+    else errs
+  in
+  List.rev errs
+
+let check_design d =
+  let errs = List.concat_map check_module d.Module_.des_modules in
+  let errs =
+    match Module_.find_module d d.Module_.des_top with
+    | Some _ -> errs
+    | None ->
+      errs @ [ Printf.sprintf "top module %s not found" d.Module_.des_top ]
+  in
+  let check_instance (m : Module_.t) errs (inst : Module_.instance) =
+    match Module_.find_module d inst.Module_.inst_module with
+    | None ->
+      Printf.sprintf "instance %s references unknown module %s"
+        inst.Module_.inst_name inst.Module_.inst_module
+      :: errs
+    | Some target ->
+      let errs =
+        List.fold_left
+          (fun errs (formal, actual) ->
+            let errs =
+              match Module_.find_port target formal with
+              | Some _ -> errs
+              | None ->
+                Printf.sprintf "instance %s connects unknown port %s of %s"
+                  inst.Module_.inst_name formal inst.Module_.inst_module
+                :: errs
+            in
+            match Module_.declared_type m actual with
+            | Some _ -> errs
+            | None ->
+              Printf.sprintf "instance %s connects unresolved signal %s"
+                inst.Module_.inst_name actual
+              :: errs)
+          errs inst.Module_.inst_conns
+      in
+      (* every input of the target must be connected *)
+      List.fold_left
+        (fun errs (p : Module_.port) ->
+          if
+            p.Module_.port_dir = Module_.Input
+            && not
+                 (List.mem_assoc p.Module_.port_name inst.Module_.inst_conns)
+          then
+            Printf.sprintf "instance %s leaves input %s of %s unconnected"
+              inst.Module_.inst_name p.Module_.port_name
+              inst.Module_.inst_module
+            :: errs
+          else errs)
+        errs target.Module_.mod_ports
+  in
+  let errs =
+    List.fold_left
+      (fun errs m ->
+        List.fold_left (check_instance m) errs m.Module_.mod_instances)
+      errs d.Module_.des_modules
+  in
+  errs

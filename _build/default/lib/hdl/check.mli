@@ -1,0 +1,17 @@
+(** Static checks over RTL designs: name resolution, driver rules,
+    width compatibility, instance wiring, combinational loops. *)
+
+val infer_type : Module_.t -> Expr.t -> (Htype.t, string) result
+(** Infer the type of an expression in a module's name scope.
+    Arithmetic joins to the wider operand; comparisons and reductions
+    yield [Bit]; [Concat] adds widths. *)
+
+val check_module : Module_.t -> string list
+(** Diagnostics local to one module (no instance resolution). *)
+
+val check_design : Module_.design -> string list
+(** All module diagnostics plus instance wiring and hierarchy checks.
+    Empty list = clean. *)
+
+val has_comb_loop : Module_.t -> bool
+(** Combinational cycle through the module's [Comb] processes. *)

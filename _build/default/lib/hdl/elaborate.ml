@@ -1,0 +1,142 @@
+exception Elaboration_error of string
+
+let err fmt = Printf.ksprintf (fun m -> raise (Elaboration_error m)) fmt
+
+let rec subst_expr map (e : Expr.t) =
+  match e with
+  | Expr.Const _ | Expr.Enum_lit _ -> e
+  | Expr.Ref name -> (
+    match Hashtbl.find_opt map name with
+    | Some n -> Expr.Ref n
+    | None -> e)
+  | Expr.Unop (op, e1) -> Expr.Unop (op, subst_expr map e1)
+  | Expr.Binop (op, e1, e2) ->
+    Expr.Binop (op, subst_expr map e1, subst_expr map e2)
+  | Expr.Mux (c, a, b) ->
+    Expr.Mux (subst_expr map c, subst_expr map a, subst_expr map b)
+  | Expr.Slice (e1, hi, lo) -> Expr.Slice (subst_expr map e1, hi, lo)
+  | Expr.Concat (e1, e2) -> Expr.Concat (subst_expr map e1, subst_expr map e2)
+  | Expr.Resize (e1, w) -> Expr.Resize (subst_expr map e1, w)
+
+let rec subst_stmt map (s : Stmt.t) =
+  match s with
+  | Stmt.Null -> Stmt.Null
+  | Stmt.Assign (target, e) ->
+    let target =
+      match Hashtbl.find_opt map target with
+      | Some n -> n
+      | None -> target
+    in
+    Stmt.Assign (target, subst_expr map e)
+  | Stmt.If (c, t_branch, e_branch) ->
+    Stmt.If
+      ( subst_expr map c,
+        List.map (subst_stmt map) t_branch,
+        List.map (subst_stmt map) e_branch )
+  | Stmt.Case (sel, branches, default) ->
+    Stmt.Case
+      ( subst_expr map sel,
+        List.map (fun (c, body) -> (c, List.map (subst_stmt map) body)) branches,
+        Option.map (List.map (subst_stmt map)) default )
+
+(* Inline [m] under path prefix [prefix]; [bindings] maps m's port names
+   to enclosing flat signal names.  Returns flat signals and processes. *)
+let rec inline d depth prefix (m : Module_.t) bindings =
+  if depth > 64 then err "instance nesting too deep (recursion?)";
+  let map = Hashtbl.create 16 in
+  List.iter (fun (formal, actual) -> Hashtbl.replace map formal actual) bindings;
+  let local_name n = if prefix = "" then n else prefix ^ "." ^ n in
+  (* unconnected ports become local signals *)
+  let port_signals =
+    List.filter_map
+      (fun (p : Module_.port) ->
+        if Hashtbl.mem map p.Module_.port_name then None
+        else begin
+          let flat = local_name p.Module_.port_name in
+          Hashtbl.replace map p.Module_.port_name flat;
+          Some (Module_.signal flat p.Module_.port_type)
+        end)
+      m.Module_.mod_ports
+  in
+  let local_signals =
+    List.map
+      (fun (s : Module_.signal) ->
+        let flat = local_name s.Module_.sig_name in
+        Hashtbl.replace map s.Module_.sig_name flat;
+        { s with Module_.sig_name = flat })
+      m.Module_.mod_signals
+  in
+  let rename_process p =
+    match p with
+    | Module_.Seq sp ->
+      let clock =
+        match Hashtbl.find_opt map sp.Module_.sp_clock with
+        | Some n -> n
+        | None -> sp.Module_.sp_clock
+      in
+      let reset =
+        Option.map
+          (fun (rst, body) ->
+            let rst =
+              match Hashtbl.find_opt map rst with
+              | Some n -> n
+              | None -> rst
+            in
+            (rst, List.map (subst_stmt map) body))
+          sp.Module_.sp_reset
+      in
+      Module_.Seq
+        {
+          Module_.sp_name = local_name sp.Module_.sp_name;
+          sp_clock = clock;
+          sp_reset = reset;
+          sp_body = List.map (subst_stmt map) sp.Module_.sp_body;
+        }
+    | Module_.Comb cp ->
+      Module_.Comb
+        {
+          Module_.cp_name = local_name cp.Module_.cp_name;
+          cp_body = List.map (subst_stmt map) cp.Module_.cp_body;
+        }
+  in
+  let processes = List.map rename_process m.Module_.mod_processes in
+  let sub_results =
+    List.map
+      (fun (inst : Module_.instance) ->
+        match Module_.find_module d inst.Module_.inst_module with
+        | None ->
+          err "instance %s: unknown module %s" inst.Module_.inst_name
+            inst.Module_.inst_module
+        | Some target ->
+          let sub_bindings =
+            List.map
+              (fun (formal, actual) ->
+                match Hashtbl.find_opt map actual with
+                | Some flat -> (formal, flat)
+                | None ->
+                  err "instance %s: connection %s -> %s unresolved"
+                    inst.Module_.inst_name formal actual)
+              inst.Module_.inst_conns
+          in
+          inline d (depth + 1)
+            (local_name inst.Module_.inst_name)
+            target sub_bindings)
+      m.Module_.mod_instances
+  in
+  let sub_signals = List.concat_map fst sub_results in
+  let sub_processes = List.concat_map snd sub_results in
+  (port_signals @ local_signals @ sub_signals, processes @ sub_processes)
+
+let flatten d =
+  match Module_.find_module d d.Module_.des_top with
+  | None -> err "top module %s not found" d.Module_.des_top
+  | Some top ->
+    (* top ports stay ports of the flat module *)
+    let bindings =
+      List.map
+        (fun (p : Module_.port) -> (p.Module_.port_name, p.Module_.port_name))
+        top.Module_.mod_ports
+    in
+    let signals, processes = inline d 0 "" top bindings in
+    Module_.make ~ports:top.Module_.mod_ports ~signals ~processes
+      (top.Module_.mod_name ^ "_flat")

@@ -1,0 +1,13 @@
+(** Hierarchy elaboration: inline every instance into one flat module.
+
+    Instance-local names are prefixed with the instance path
+    ([u_core.u_fifo.head]); port connections become wire aliases
+    resolved by substitution, so the flat module contains only
+    processes over flat signals — the form the discrete-event simulator
+    executes. *)
+
+exception Elaboration_error of string
+
+val flatten : Module_.design -> Module_.t
+(** @raise Elaboration_error on unknown modules, dangling connections or
+    instance recursion. *)

@@ -1,0 +1,80 @@
+type unop =
+  | Not
+  | Reduce_or
+  | Reduce_and
+[@@deriving eq, ord, show]
+
+type binop =
+  | And
+  | Or
+  | Xor
+  | Add
+  | Sub
+  | Mul
+  | Eq
+  | Neq
+  | Lt
+  | Le
+  | Gt
+  | Ge
+  | Shl
+  | Shr
+[@@deriving eq, ord, show]
+
+type t =
+  | Const of int * Htype.t
+  | Enum_lit of string
+  | Ref of string
+  | Unop of unop * t
+  | Binop of binop * t * t
+  | Mux of t * t * t
+  | Slice of t * int * int
+  | Concat of t * t
+  | Resize of t * int
+[@@deriving eq, ord, show]
+
+let zero = Const (0, Htype.Bit)
+let one = Const (1, Htype.Bit)
+let of_bool b = if b then one else zero
+let of_int ?width n =
+  let ty =
+    match width with
+    | Some w -> Htype.Unsigned w
+    | None -> Htype.Unsigned (max 1 (if n = 0 then 1 else
+        let rec bits v = if v = 0 then 0 else 1 + bits (v lsr 1) in
+        bits n))
+  in
+  Const (n, ty)
+
+let ( &&: ) a b = Binop (And, a, b)
+let ( ||: ) a b = Binop (Or, a, b)
+let ( ==: ) a b = Binop (Eq, a, b)
+let ( <>: ) a b = Binop (Neq, a, b)
+let ( +: ) a b = Binop (Add, a, b)
+let ( -: ) a b = Binop (Sub, a, b)
+
+let refs e =
+  let seen = Hashtbl.create 8 in
+  let out = ref [] in
+  let rec go = function
+    | Const _ | Enum_lit _ -> ()
+    | Ref name ->
+      if not (Hashtbl.mem seen name) then begin
+        Hashtbl.add seen name ();
+        out := name :: !out
+      end
+    | Unop (_, e1) | Slice (e1, _, _) | Resize (e1, _) -> go e1
+    | Binop (_, e1, e2) | Concat (e1, e2) ->
+      go e1;
+      go e2
+    | Mux (c, a, b) ->
+      go c;
+      go a;
+      go b
+  in
+  go e;
+  List.rev !out
+
+let is_boolean_op = function
+  | Eq | Neq | Lt | Le | Gt | Ge -> true
+  | And | Or | Xor | Add | Sub | Mul | Shl | Shr -> false

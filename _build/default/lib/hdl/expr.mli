@@ -1,0 +1,53 @@
+(** RTL expressions. *)
+
+type unop =
+  | Not  (** bitwise complement *)
+  | Reduce_or
+  | Reduce_and
+[@@deriving eq, ord, show]
+
+type binop =
+  | And
+  | Or
+  | Xor
+  | Add
+  | Sub
+  | Mul
+  | Eq
+  | Neq
+  | Lt
+  | Le
+  | Gt
+  | Ge
+  | Shl
+  | Shr
+[@@deriving eq, ord, show]
+
+type t =
+  | Const of int * Htype.t
+  | Enum_lit of string
+  | Ref of string  (** signal, port or variable name *)
+  | Unop of unop * t
+  | Binop of binop * t * t
+  | Mux of t * t * t  (** [Mux (cond, if_true, if_false)] *)
+  | Slice of t * int * int  (** [Slice (e, hi, lo)] *)
+  | Concat of t * t
+  | Resize of t * int  (** zero-extend / truncate to width *)
+[@@deriving eq, ord, show]
+
+val zero : t
+val one : t
+val of_bool : bool -> t
+val of_int : ?width:int -> int -> t
+val ( &&: ) : t -> t -> t
+val ( ||: ) : t -> t -> t
+val ( ==: ) : t -> t -> t
+val ( <>: ) : t -> t -> t
+val ( +: ) : t -> t -> t
+val ( -: ) : t -> t -> t
+
+val refs : t -> string list
+(** Free signal names, each once, first-occurrence order. *)
+
+val is_boolean_op : binop -> bool
+(** Comparison operators yield a single bit. *)

@@ -1,0 +1,36 @@
+type t =
+  | Bit
+  | Unsigned of int
+  | Enum of string list
+[@@deriving eq, ord, show]
+
+(* bits needed to represent values 0 .. n-1 *)
+let bits_for n =
+  let rec go bits capacity = if capacity >= n then bits else go (bits + 1) (capacity * 2) in
+  go 1 2
+
+let width = function
+  | Bit -> 1
+  | Unsigned w -> w
+  | Enum lits -> bits_for (List.length lits)
+
+let max_value = function
+  | Bit -> 1
+  | Unsigned w -> (1 lsl w) - 1
+  | Enum lits -> max 0 (List.length lits - 1)
+
+let to_string = function
+  | Bit -> "bit"
+  | Unsigned w -> Printf.sprintf "unsigned(%d)" w
+  | Enum lits -> Printf.sprintf "enum{%s}" (String.concat "," lits)
+
+let enum_index t lit =
+  match t with
+  | Enum lits ->
+    let rec find i = function
+      | [] -> None
+      | l :: _rest when l = lit -> Some i
+      | _l :: rest -> find (i + 1) rest
+    in
+    find 0 lits
+  | Bit | Unsigned _ -> None

@@ -1,0 +1,19 @@
+(** Hardware value types. *)
+
+type t =
+  | Bit
+  | Unsigned of int  (** bit vector of the given width, unsigned *)
+  | Enum of string list  (** symbolic FSM state types *)
+[@@deriving eq, ord, show]
+
+val width : t -> int
+(** Bits needed to represent a value ([Enum] is ceil-log2 of the literal
+    count, minimum 1). *)
+
+val max_value : t -> int
+(** Largest representable value: 1 for [Bit], [2^w - 1] for vectors,
+    [n-1] for an [Enum] with [n] literals. *)
+
+val to_string : t -> string
+val enum_index : t -> string -> int option
+(** Position of a literal in an [Enum]; [None] otherwise. *)

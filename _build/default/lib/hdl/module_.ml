@@ -1,0 +1,102 @@
+type port_dir =
+  | Input
+  | Output
+[@@deriving eq, ord, show]
+
+type port = {
+  port_name : string;
+  port_dir : port_dir;
+  port_type : Htype.t;
+}
+[@@deriving eq, ord, show]
+
+type signal = {
+  sig_name : string;
+  sig_type : Htype.t;
+  sig_init : int option;
+}
+[@@deriving eq, ord, show]
+
+type process =
+  | Seq of seq_process
+  | Comb of comb_process
+
+and seq_process = {
+  sp_name : string;
+  sp_clock : string;
+  sp_reset : (string * Stmt.t list) option;
+  sp_body : Stmt.t list;
+}
+
+and comb_process = {
+  cp_name : string;
+  cp_body : Stmt.t list;
+}
+[@@deriving eq, ord, show]
+
+type instance = {
+  inst_name : string;
+  inst_module : string;
+  inst_conns : (string * string) list;
+}
+[@@deriving eq, ord, show]
+
+type t = {
+  mod_name : string;
+  mod_ports : port list;
+  mod_signals : signal list;
+  mod_processes : process list;
+  mod_instances : instance list;
+}
+[@@deriving eq, ord, show]
+
+type design = {
+  des_modules : t list;
+  des_top : string;
+}
+[@@deriving eq, ord, show]
+
+let input port_name port_type = { port_name; port_dir = Input; port_type }
+let output port_name port_type = { port_name; port_dir = Output; port_type }
+let signal ?init sig_name sig_type = { sig_name; sig_type; sig_init = init }
+
+let seq_process ?reset ~name ~clock body =
+  Seq { sp_name = name; sp_clock = clock; sp_reset = reset; sp_body = body }
+
+let comb_process ~name body = Comb { cp_name = name; cp_body = body }
+
+let make ?(ports = []) ?(signals = []) ?(processes = []) ?(instances = [])
+    name =
+  {
+    mod_name = name;
+    mod_ports = ports;
+    mod_signals = signals;
+    mod_processes = processes;
+    mod_instances = instances;
+  }
+
+let design ~top modules = { des_modules = modules; des_top = top }
+
+let find_module d name =
+  List.find_opt (fun m -> m.mod_name = name) d.des_modules
+
+let find_port m name = List.find_opt (fun p -> p.port_name = name) m.mod_ports
+
+let find_signal m name =
+  List.find_opt (fun s -> s.sig_name = name) m.mod_signals
+
+let declared_type m name =
+  match find_port m name with
+  | Some p -> Some p.port_type
+  | None -> (
+    match find_signal m name with
+    | Some s -> Some s.sig_type
+    | None -> None)
+
+let process_name = function
+  | Seq p -> p.sp_name
+  | Comb p -> p.cp_name
+
+let process_body = function
+  | Seq p -> p.sp_body
+  | Comb p -> p.cp_body

@@ -1,0 +1,83 @@
+(** RTL modules and designs. *)
+
+type port_dir =
+  | Input
+  | Output
+[@@deriving eq, ord, show]
+
+type port = {
+  port_name : string;
+  port_dir : port_dir;
+  port_type : Htype.t;
+}
+[@@deriving eq, ord, show]
+
+type signal = {
+  sig_name : string;
+  sig_type : Htype.t;
+  sig_init : int option;  (** reset/initial value *)
+}
+[@@deriving eq, ord, show]
+
+type process =
+  | Seq of seq_process
+  | Comb of comb_process
+
+and seq_process = {
+  sp_name : string;
+  sp_clock : string;  (** rising-edge clock signal *)
+  sp_reset : (string * Stmt.t list) option;
+      (** synchronous reset signal and reset body *)
+  sp_body : Stmt.t list;
+}
+
+and comb_process = {
+  cp_name : string;
+  cp_body : Stmt.t list;  (** sensitivity list inferred from reads *)
+}
+[@@deriving eq, ord, show]
+
+type instance = {
+  inst_name : string;
+  inst_module : string;
+  inst_conns : (string * string) list;  (** formal port -> actual signal *)
+}
+[@@deriving eq, ord, show]
+
+type t = {
+  mod_name : string;
+  mod_ports : port list;
+  mod_signals : signal list;
+  mod_processes : process list;
+  mod_instances : instance list;
+}
+[@@deriving eq, ord, show]
+
+type design = {
+  des_modules : t list;
+  des_top : string;
+}
+[@@deriving eq, ord, show]
+
+val input : string -> Htype.t -> port
+val output : string -> Htype.t -> port
+val signal : ?init:int -> string -> Htype.t -> signal
+
+val seq_process : ?reset:string * Stmt.t list -> name:string -> clock:string ->
+  Stmt.t list -> process
+
+val comb_process : name:string -> Stmt.t list -> process
+
+val make : ?ports:port list -> ?signals:signal list ->
+  ?processes:process list -> ?instances:instance list -> string -> t
+
+val design : top:string -> t list -> design
+val find_module : design -> string -> t option
+val find_port : t -> string -> port option
+val find_signal : t -> string -> signal option
+
+val declared_type : t -> string -> Htype.t option
+(** Type of a name, whether port or internal signal. *)
+
+val process_name : process -> string
+val process_body : process -> Stmt.t list

@@ -1,0 +1,60 @@
+type case_choice =
+  | Ch_int of int
+  | Ch_enum of string
+[@@deriving eq, ord, show]
+
+type t =
+  | Assign of string * Expr.t
+  | If of Expr.t * t list * t list
+  | Case of Expr.t * (case_choice * t list) list * t list option
+  | Null
+[@@deriving eq, ord, show]
+
+let dedup names =
+  let seen = Hashtbl.create 8 in
+  List.filter
+    (fun n ->
+      if Hashtbl.mem seen n then false
+      else begin
+        Hashtbl.add seen n ();
+        true
+      end)
+    names
+
+let rec assigned_one acc = function
+  | Assign (name, _) -> name :: acc
+  | If (_, t_branch, e_branch) ->
+    let acc = List.fold_left assigned_one acc t_branch in
+    List.fold_left assigned_one acc e_branch
+  | Case (_, branches, default) ->
+    let acc =
+      List.fold_left
+        (fun acc (_, body) -> List.fold_left assigned_one acc body)
+        acc branches
+    in
+    (match default with
+     | Some body -> List.fold_left assigned_one acc body
+     | None -> acc)
+  | Null -> acc
+
+let assigned stmts = dedup (List.rev (List.fold_left assigned_one [] stmts))
+
+let rec read_one acc = function
+  | Assign (_, e) -> List.rev_append (Expr.refs e) acc
+  | If (cond, t_branch, e_branch) ->
+    let acc = List.rev_append (Expr.refs cond) acc in
+    let acc = List.fold_left read_one acc t_branch in
+    List.fold_left read_one acc e_branch
+  | Case (sel, branches, default) ->
+    let acc = List.rev_append (Expr.refs sel) acc in
+    let acc =
+      List.fold_left
+        (fun acc (_, body) -> List.fold_left read_one acc body)
+        acc branches
+    in
+    (match default with
+     | Some body -> List.fold_left read_one acc body
+     | None -> acc)
+  | Null -> acc
+
+let read stmts = dedup (List.rev (List.fold_left read_one [] stmts))

@@ -1,0 +1,21 @@
+(** Sequential statements inside processes. *)
+
+type case_choice =
+  | Ch_int of int
+  | Ch_enum of string
+[@@deriving eq, ord, show]
+
+type t =
+  | Assign of string * Expr.t  (** signal assignment *)
+  | If of Expr.t * t list * t list
+  | Case of Expr.t * (case_choice * t list) list * t list option
+      (** selector, branches, optional default branch *)
+  | Null
+[@@deriving eq, ord, show]
+
+val assigned : t list -> string list
+(** Signals assigned anywhere in a statement list, each once. *)
+
+val read : t list -> string list
+(** Signals read (in conditions, selectors, right-hand sides), each
+    once. *)

@@ -1,0 +1,1 @@
+lib/hwsw/alloc.pp.ml: Deployment Ident List Model Schedule Taskgraph Uml

@@ -1,0 +1,1 @@
+lib/hwsw/alloc.pp.mli: Schedule Taskgraph Uml

@@ -1,0 +1,1 @@
+lib/hwsw/partition.pp.ml: Array List Printf Schedule Taskgraph

@@ -1,0 +1,1 @@
+lib/hwsw/partition.pp.mli: Schedule Taskgraph

@@ -1,0 +1,1 @@
+lib/hwsw/schedule.pp.ml: Hashtbl List Ppx_deriving_runtime String Taskgraph

@@ -1,0 +1,1 @@
+lib/hwsw/schedule.pp.mli: Ppx_deriving_runtime Taskgraph

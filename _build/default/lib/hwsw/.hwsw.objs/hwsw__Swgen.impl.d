@@ -1,0 +1,1 @@
+lib/hwsw/swgen.pp.ml: Buffer Hashtbl List Printf Schedule String Taskgraph

@@ -1,0 +1,1 @@
+lib/hwsw/swgen.pp.mli: Schedule Taskgraph

@@ -1,0 +1,1 @@
+lib/hwsw/taskgraph.pp.ml: Hashtbl List Ppx_deriving_runtime Printf Set String Uml

@@ -1,0 +1,1 @@
+lib/hwsw/taskgraph.pp.mli: Ppx_deriving_runtime Uml

@@ -1,0 +1,60 @@
+open Uml
+
+(* Find the deployment-target node of the artifact manifesting the
+   given element, if any. *)
+let target_node_of m element_id =
+  let artifacts =
+    List.filter_map
+      (fun e ->
+        match e with
+        | Model.E_artifact a
+          when List.exists (Ident.equal element_id) a.Deployment.art_manifests
+          ->
+          Some a
+        | _other -> None)
+      (Model.elements m)
+  in
+  let deployments =
+    List.filter_map
+      (fun e ->
+        match e with
+        | Model.E_deployment d -> Some d
+        | _other -> None)
+      (Model.elements m)
+  in
+  List.find_map
+    (fun (a : Deployment.artifact) ->
+      List.find_map
+        (fun (d : Deployment.deployment) ->
+          if Ident.equal d.Deployment.dep_artifact a.Deployment.art_id then
+            match Model.find m d.Deployment.dep_target with
+            | Some (Model.E_deployment_node n) -> Some n
+            | Some _ | None -> None
+          else None)
+        deployments)
+    artifacts
+
+let side_of_node (n : Deployment.node) =
+  match n.Deployment.dn_kind with
+  | Deployment.Device -> Schedule.Hw
+  | Deployment.Execution_environment | Deployment.Node -> Schedule.Sw
+
+let of_deployment m g =
+  List.map
+    (fun (t : Taskgraph.task) ->
+      let side =
+        match target_node_of m (Ident.of_string t.Taskgraph.task_id) with
+        | Some n -> side_of_node n
+        | None -> Schedule.Sw
+      in
+      (t.Taskgraph.task_id, side))
+    g.Taskgraph.tasks
+
+let deployment_report m g =
+  List.map
+    (fun (t : Taskgraph.task) ->
+      match target_node_of m (Ident.of_string t.Taskgraph.task_id) with
+      | Some n ->
+        (t.Taskgraph.task_id, side_of_node n, Some n.Deployment.dn_name)
+      | None -> (t.Taskgraph.task_id, Schedule.Sw, None))
+    g.Taskgraph.tasks

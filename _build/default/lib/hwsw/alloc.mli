@@ -1,0 +1,17 @@
+(** Deployment-driven partitioning.
+
+    The paper's Deployment Diagrams describe "the physical deployment of
+    a system"; here they drive the HW/SW split: a task is assigned to
+    hardware when an artifact manifesting its activity node is deployed
+    onto a [Device] node, to software when deployed onto an
+    [ExecutionEnvironment] (or generic [Node]).  Undeployed tasks
+    default to software. *)
+
+val of_deployment :
+  Uml.Model.t -> Taskgraph.t -> Schedule.assignment
+(** Derive an assignment for a task graph extracted from one of the
+    model's activities (task ids are activity-node identifiers). *)
+
+val deployment_report :
+  Uml.Model.t -> Taskgraph.t -> (string * Schedule.side * string option) list
+(** Per task: (task id, side, deployment-target node name when any). *)

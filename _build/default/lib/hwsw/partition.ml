@@ -1,0 +1,207 @@
+type outcome = {
+  assignment : Schedule.assignment;
+  cost : int;
+  area : int;
+  evaluations : int;
+}
+
+let evaluate g assignment =
+  let r = Schedule.run g assignment in
+  (r.Schedule.makespan, r.Schedule.hw_area)
+
+let exhaustive ?(max_tasks = 20) ~budget g =
+  let n = List.length g.Taskgraph.tasks in
+  if n > max_tasks then
+    invalid_arg
+      (Printf.sprintf "Partition.exhaustive: %d tasks exceeds limit %d" n
+         max_tasks);
+  let ids = List.map (fun t -> t.Taskgraph.task_id) g.Taskgraph.tasks in
+  let best = ref None in
+  let evaluations = ref 0 in
+  let total = 1 lsl n in
+  for mask = 0 to total - 1 do
+    let assignment =
+      List.mapi
+        (fun i id ->
+          (id, if (mask lsr i) land 1 = 1 then Schedule.Hw else Schedule.Sw))
+        ids
+    in
+    let cost, area = evaluate g assignment in
+    incr evaluations;
+    if area <= budget then begin
+      match !best with
+      | Some (best_cost, _, _) when best_cost <= cost -> ()
+      | Some _ | None -> best := Some (cost, area, assignment)
+    end
+  done;
+  match !best with
+  | Some (cost, area, assignment) ->
+    { assignment; cost; area; evaluations = !evaluations }
+  | None ->
+    (* all-SW is always feasible (area 0) and enumerated; unreachable *)
+    assert false
+
+let greedy ~budget g =
+  (* start all-software; move the best speedup-per-area task to HW while
+     the budget allows and the makespan improves *)
+  let evaluations = ref 0 in
+  let eval a =
+    incr evaluations;
+    evaluate g a
+  in
+  let rec loop assignment cost area =
+    let candidates =
+      List.filter_map
+        (fun (t : Taskgraph.task) ->
+          if Schedule.side_of assignment t.Taskgraph.task_id = Schedule.Hw
+          then None
+          else if area + t.Taskgraph.hw_area > budget then None
+          else
+            let moved =
+              (t.Taskgraph.task_id, Schedule.Hw)
+              :: List.remove_assoc t.Taskgraph.task_id assignment
+            in
+            let cost', area' = eval moved in
+            if cost' < cost then Some (cost', area', moved) else None)
+        g.Taskgraph.tasks
+    in
+    match candidates with
+    | [] -> (assignment, cost, area)
+    | _nonempty ->
+      let best_cost, best_area, best_assignment =
+        List.fold_left
+          (fun (bc, ba, bassign) (c, a, assign) ->
+            if c < bc then (c, a, assign) else (bc, ba, bassign))
+          (List.hd candidates |> fun (c, a, assign) -> (c, a, assign))
+          (List.tl candidates)
+      in
+      loop best_assignment best_cost best_area
+  in
+  let start = Schedule.all_sw g in
+  let cost0, area0 = eval start in
+  let assignment, cost, area = loop start cost0 area0 in
+  { assignment; cost; area; evaluations = !evaluations }
+
+let improve ?start ?(max_passes = 8) ~budget g =
+  let evaluations = ref 0 in
+  let eval a =
+    incr evaluations;
+    evaluate g a
+  in
+  let initial =
+    match start with
+    | Some a -> a
+    | None ->
+      let o = greedy ~budget g in
+      evaluations := !evaluations + o.evaluations;
+      o.assignment
+  in
+  let flip assignment id =
+    let current = Schedule.side_of assignment id in
+    let flipped =
+      match current with
+      | Schedule.Sw -> Schedule.Hw
+      | Schedule.Hw -> Schedule.Sw
+    in
+    (id, flipped) :: List.remove_assoc id assignment
+  in
+  let rec pass n assignment cost area =
+    if n >= max_passes then (assignment, cost, area)
+    else begin
+      let improved = ref false in
+      let current = ref (assignment, cost, area) in
+      (* single-flip moves *)
+      List.iter
+        (fun (t : Taskgraph.task) ->
+          let a, c, _ar = !current in
+          let candidate = flip a t.Taskgraph.task_id in
+          let c', ar' = eval candidate in
+          if ar' <= budget && c' < c then begin
+            current := (candidate, c', ar');
+            improved := true
+          end)
+        g.Taskgraph.tasks;
+      (* KL-style pair swaps: move one task off HW and another onto it,
+         useful when the budget blocks every single move *)
+      List.iter
+        (fun (t1 : Taskgraph.task) ->
+          List.iter
+            (fun (t2 : Taskgraph.task) ->
+              let a, c, _ar = !current in
+              let s1 = Schedule.side_of a t1.Taskgraph.task_id in
+              let s2 = Schedule.side_of a t2.Taskgraph.task_id in
+              if s1 = Schedule.Hw && s2 = Schedule.Sw then begin
+                let candidate = flip (flip a t1.Taskgraph.task_id) t2.Taskgraph.task_id in
+                let c', ar' = eval candidate in
+                if ar' <= budget && c' < c then begin
+                  current := (candidate, c', ar');
+                  improved := true
+                end
+              end)
+            g.Taskgraph.tasks)
+        g.Taskgraph.tasks;
+      let a, c, ar = !current in
+      if !improved then pass (n + 1) a c ar else (a, c, ar)
+    end
+  in
+  let cost0, area0 = eval initial in
+  let assignment, cost, area = pass 0 initial cost0 area0 in
+  { assignment; cost; area; evaluations = !evaluations }
+
+let annealed ?(seed = 1) ?(iterations = 2000) ~budget g =
+  let evaluations = ref 0 in
+  let eval a =
+    incr evaluations;
+    evaluate g a
+  in
+  let state = ref (seed land 0x3FFFFFFF) in
+  let next_float () =
+    state := ((!state * 1103515245) + 12345) land 0x3FFFFFFF;
+    float_of_int !state /. float_of_int 0x40000000
+  in
+  let next_int bound =
+    state := ((!state * 1103515245) + 12345) land 0x3FFFFFFF;
+    !state mod bound
+  in
+  let tasks = Array.of_list g.Taskgraph.tasks in
+  let n = Array.length tasks in
+  let flip assignment id =
+    let flipped =
+      match Schedule.side_of assignment id with
+      | Schedule.Sw -> Schedule.Hw
+      | Schedule.Hw -> Schedule.Sw
+    in
+    (id, flipped) :: List.remove_assoc id assignment
+  in
+  let current = ref (Schedule.all_sw g) in
+  let current_cost, current_area = eval !current in
+  let cost = ref current_cost in
+  let area = ref current_area in
+  let best = ref (!current, !cost, !area) in
+  let temperature = ref (float_of_int !cost /. 5.0 +. 1.0) in
+  for _ = 1 to iterations do
+    if n > 0 then begin
+      let id = tasks.(next_int n).Taskgraph.task_id in
+      let candidate = flip !current id in
+      let c', a' = eval candidate in
+      if a' <= budget then begin
+        let delta = float_of_int (c' - !cost) in
+        let accept =
+          delta <= 0.0 || next_float () < exp (-.delta /. !temperature)
+        in
+        if accept then begin
+          current := candidate;
+          cost := c';
+          area := a';
+          let _, bc, _ = !best in
+          if c' < bc then best := (candidate, c', a')
+        end
+      end
+    end;
+    temperature := !temperature *. 0.998
+  done;
+  let assignment, cost, area = !best in
+  { assignment; cost; area; evaluations = !evaluations }
+
+let quality_ratio ~optimal o =
+  if optimal.cost = 0 then 1.0 else float_of_int o.cost /. float_of_int optimal.cost

@@ -1,0 +1,39 @@
+(** HW/SW partitioning under an area budget.
+
+    Objective: minimize the scheduled makespan subject to
+    [hw_area <= budget].  Three algorithms share the objective so that
+    experiment E6 can compare solution quality and runtime:
+
+    - {!exhaustive}: optimal, enumerates all feasible assignments
+      (guarded to small graphs);
+    - {!greedy}: speedup-per-area ratio, single pass;
+    - {!improve}: Kernighan–Lin-style single-move hill climbing on top
+      of any starting assignment, deterministic pass structure. *)
+
+type outcome = {
+  assignment : Schedule.assignment;
+  cost : int;  (** makespan of the scheduled assignment *)
+  area : int;
+  evaluations : int;  (** schedules evaluated (work measure) *)
+}
+
+val exhaustive : ?max_tasks:int -> budget:int -> Taskgraph.t -> outcome
+(** @raise Invalid_argument when the graph exceeds [max_tasks]
+    (default 20). *)
+
+val greedy : budget:int -> Taskgraph.t -> outcome
+
+val improve :
+  ?start:Schedule.assignment -> ?max_passes:int -> budget:int ->
+  Taskgraph.t -> outcome
+(** Defaults: start = greedy's result, 8 passes. *)
+
+val annealed :
+  ?seed:int -> ?iterations:int -> budget:int -> Taskgraph.t -> outcome
+(** Simulated annealing with a deterministic LCG (default seed 1,
+    2000 iterations): random single flips, Metropolis acceptance with
+    geometric cooling, infeasible moves rejected.  Returns the best
+    feasible assignment seen. *)
+
+val quality_ratio : optimal:outcome -> outcome -> float
+(** [cost / optimal.cost]; 1.0 = optimal. *)

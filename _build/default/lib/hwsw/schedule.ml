@@ -1,0 +1,92 @@
+type side =
+  | Sw
+  | Hw
+[@@deriving eq, ord, show]
+
+type assignment = (string * side) list
+
+type slot = {
+  slot_task : string;
+  slot_side : side;
+  slot_start : int;
+  slot_finish : int;
+}
+[@@deriving eq, show]
+
+type result = {
+  makespan : int;
+  slots : slot list;
+  hw_area : int;
+}
+[@@deriving eq, show]
+
+let side_of assignment id =
+  match List.assoc_opt id assignment with
+  | Some s -> s
+  | None -> Sw
+
+let run g assignment =
+  let order = Taskgraph.topological_order g in
+  let finish_times = Hashtbl.create 16 in
+  let cpu_free = ref 0 in
+  let slots = ref [] in
+  let area = ref 0 in
+  List.iter
+    (fun id ->
+      let t =
+        match Taskgraph.find_task g id with
+        | Some t -> t
+        | None -> assert false
+      in
+      let my_side = side_of assignment id in
+      let duration =
+        match my_side with
+        | Sw -> t.Taskgraph.sw_time
+        | Hw -> t.Taskgraph.hw_time
+      in
+      if my_side = Hw then area := !area + t.Taskgraph.hw_area;
+      let data_ready =
+        List.fold_left
+          (fun acc (e : Taskgraph.edge) ->
+            let pred_finish =
+              match Hashtbl.find_opt finish_times e.Taskgraph.edge_from with
+              | Some f -> f
+              | None -> 0
+            in
+            let cross =
+              if side_of assignment e.Taskgraph.edge_from <> my_side then
+                e.Taskgraph.comm
+              else 0
+            in
+            max acc (pred_finish + cross))
+          0
+          (Taskgraph.predecessors g id)
+      in
+      let start =
+        match my_side with
+        | Sw -> max data_ready !cpu_free
+        | Hw -> data_ready
+      in
+      let finish = start + duration in
+      if my_side = Sw then cpu_free := finish;
+      Hashtbl.replace finish_times id finish;
+      slots :=
+        { slot_task = id; slot_side = my_side; slot_start = start;
+          slot_finish = finish }
+        :: !slots)
+    order;
+  let slots =
+    List.sort
+      (fun a b ->
+        match compare a.slot_start b.slot_start with
+        | 0 -> String.compare a.slot_task b.slot_task
+        | c -> c)
+      !slots
+  in
+  let makespan =
+    List.fold_left (fun acc s -> max acc s.slot_finish) 0 slots
+  in
+  { makespan; slots; hw_area = !area }
+
+let all_sw g = List.map (fun t -> (t.Taskgraph.task_id, Sw)) g.Taskgraph.tasks
+let all_hw g = List.map (fun t -> (t.Taskgraph.task_id, Hw)) g.Taskgraph.tasks

@@ -1,0 +1,36 @@
+(** List scheduling of a partitioned task graph.
+
+    Model: software tasks share a single CPU (sequential); each
+    hardware task runs on its own unit (fully parallel); an edge whose
+    endpoints live on different sides adds its communication cost to
+    the data-ready time. *)
+
+type side =
+  | Sw
+  | Hw
+[@@deriving eq, ord, show]
+
+type assignment = (string * side) list
+(** task id -> side; tasks not listed default to [Sw]. *)
+
+type slot = {
+  slot_task : string;
+  slot_side : side;
+  slot_start : int;
+  slot_finish : int;
+}
+[@@deriving eq, show]
+
+type result = {
+  makespan : int;
+  slots : slot list;  (** start-time order *)
+  hw_area : int;  (** total area of hardware-assigned tasks *)
+}
+[@@deriving eq, show]
+
+val side_of : assignment -> string -> side
+val run : Taskgraph.t -> assignment -> result
+(** Deterministic list schedule in topological order. *)
+
+val all_sw : Taskgraph.t -> assignment
+val all_hw : Taskgraph.t -> assignment

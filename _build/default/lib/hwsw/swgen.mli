@@ -1,0 +1,13 @@
+(** Software synthesis from a partitioned schedule.
+
+    Generates the C skeleton of the codesign result: software tasks run
+    on the CPU in schedule order; hardware tasks are started and awaited
+    through accelerator hooks.  This is the artifact a downstream user
+    compiles against their HAL ([hw_start]/[hw_wait] externs). *)
+
+val c_of_schedule :
+  ?name:string -> Taskgraph.t -> Schedule.result -> string
+(** Deterministic; one [run_<name>] function executing the slots in
+    start-time order.  SW tasks call [task_<id>()] (declared extern);
+    HW tasks call [hw_start("<id>")] at their start slot and
+    [hw_wait("<id>")] where a software successor first needs them. *)

@@ -1,0 +1,160 @@
+type task = {
+  task_id : string;
+  task_name : string;
+  sw_time : int;
+  hw_time : int;
+  hw_area : int;
+}
+[@@deriving eq, ord, show]
+
+type edge = {
+  edge_from : string;
+  edge_to : string;
+  comm : int;
+}
+[@@deriving eq, ord, show]
+
+type t = {
+  tasks : task list;
+  edges : edge list;
+}
+[@@deriving eq, show]
+
+let task ?name ~sw_time ~hw_time ~hw_area task_id =
+  let task_name =
+    match name with
+    | Some n -> n
+    | None -> task_id
+  in
+  { task_id; task_name; sw_time; hw_time; hw_area }
+
+let edge ?(comm = 1) edge_from edge_to = { edge_from; edge_to; comm }
+
+let find_task g id = List.find_opt (fun t -> t.task_id = id) g.tasks
+let predecessors g id = List.filter (fun e -> e.edge_to = id) g.edges
+let successors g id = List.filter (fun e -> e.edge_from = id) g.edges
+
+let topological_order g =
+  let in_degree = Hashtbl.create 16 in
+  List.iter (fun t -> Hashtbl.replace in_degree t.task_id 0) g.tasks;
+  List.iter
+    (fun e ->
+      match Hashtbl.find_opt in_degree e.edge_to with
+      | Some d -> Hashtbl.replace in_degree e.edge_to (d + 1)
+      | None -> ())
+    g.edges;
+  let rec loop acc remaining =
+    let ready, rest =
+      List.partition
+        (fun t -> Hashtbl.find in_degree t.task_id = 0)
+        remaining
+    in
+    match ready with
+    | [] ->
+      if rest = [] then List.rev acc
+      else invalid_arg "Taskgraph: dependency cycle"
+    | _nonempty ->
+      List.iter
+        (fun t ->
+          List.iter
+            (fun e ->
+              match Hashtbl.find_opt in_degree e.edge_to with
+              | Some d -> Hashtbl.replace in_degree e.edge_to (d - 1)
+              | None -> ())
+            (successors g t.task_id))
+        ready;
+      loop (List.rev_append (List.map (fun t -> t.task_id) ready) acc) rest
+  in
+  loop [] g.tasks
+
+let make tasks edges =
+  let module S = Set.Make (String) in
+  let ids =
+    List.fold_left
+      (fun s t ->
+        if S.mem t.task_id s then
+          invalid_arg (Printf.sprintf "Taskgraph: duplicate task %s" t.task_id)
+        else S.add t.task_id s)
+      S.empty tasks
+  in
+  List.iter
+    (fun t ->
+      if t.sw_time < 0 || t.hw_time < 0 || t.hw_area < 0 then
+        invalid_arg "Taskgraph: negative cost")
+    tasks;
+  List.iter
+    (fun e ->
+      if not (S.mem e.edge_from ids) then
+        invalid_arg (Printf.sprintf "Taskgraph: unknown task %s" e.edge_from);
+      if not (S.mem e.edge_to ids) then
+        invalid_arg (Printf.sprintf "Taskgraph: unknown task %s" e.edge_to);
+      if e.comm < 0 then invalid_arg "Taskgraph: negative communication cost")
+    edges;
+  let g = { tasks; edges } in
+  let _order = topological_order g in
+  g
+
+(* deterministic pseudo-costs from a name *)
+let default_costs name =
+  let h = Hashtbl.hash name in
+  let sw = 20 + (h mod 80) in
+  let hw = 2 + (h mod 9) in
+  let area = 50 + ((h / 7) mod 200) in
+  (sw, hw, area)
+
+let of_activity ?(costs = default_costs) (a : Uml.Activityg.t) =
+  let mk_task = task in
+  let mk_edge = edge in
+  let mk_graph = make in
+  let open Uml.Activityg in
+  let is_task n =
+    match n with
+    | Action _ | Call_behavior _ | Send_signal _ | Accept_event _ -> true
+    | Object_node _ | Initial_node _ | Activity_final _ | Flow_final _
+    | Fork_node _ | Join_node _ | Decision_node _ | Merge_node _ ->
+      false
+  in
+  let task_nodes = List.filter is_task a.ac_nodes in
+  let tasks =
+    List.map
+      (fun n ->
+        let name = node_name n in
+        let sw, hw, area = costs name in
+        mk_task ~name ~sw_time:sw ~hw_time:hw ~hw_area:area
+          (Uml.Ident.to_string (node_id n)))
+      task_nodes
+  in
+  (* edges: reachability between task nodes through control nodes *)
+  let task_ids =
+    List.map (fun n -> Uml.Ident.to_string (node_id n)) task_nodes
+  in
+  let is_task_id id = List.mem (Uml.Ident.to_string id) task_ids in
+  let rec reach_tasks seen id =
+    if List.exists (Uml.Ident.equal id) seen then []
+    else
+      let seen = id :: seen in
+      List.concat_map
+        (fun e ->
+          if is_task_id e.ed_target then [ e.ed_target ]
+          else reach_tasks seen e.ed_target)
+        (outgoing a id)
+  in
+  let edges =
+    List.concat_map
+      (fun n ->
+        let src = node_id n in
+        let targets = reach_tasks [] src in
+        (* dedup *)
+        let seen = Hashtbl.create 4 in
+        List.filter_map
+          (fun tgt ->
+            let tgt_s = Uml.Ident.to_string tgt in
+            if Hashtbl.mem seen tgt_s then None
+            else begin
+              Hashtbl.add seen tgt_s ();
+              Some (mk_edge (Uml.Ident.to_string src) tgt_s)
+            end)
+          targets)
+      task_nodes
+  in
+  mk_graph tasks edges

@@ -1,0 +1,51 @@
+(** Task graphs for hardware/software partitioning.
+
+    Each task carries a software execution time, a hardware execution
+    time, and a hardware area cost; edges carry communication volumes
+    that cost extra latency when they cross the HW/SW boundary. *)
+
+type task = {
+  task_id : string;
+  task_name : string;
+  sw_time : int;  (** cycles when executed on the CPU *)
+  hw_time : int;  (** cycles when implemented in hardware *)
+  hw_area : int;  (** area units when implemented in hardware *)
+}
+[@@deriving eq, ord, show]
+
+type edge = {
+  edge_from : string;
+  edge_to : string;
+  comm : int;  (** extra latency when the edge crosses the boundary *)
+}
+[@@deriving eq, ord, show]
+
+type t = {
+  tasks : task list;
+  edges : edge list;
+}
+[@@deriving eq, show]
+
+val make : task list -> edge list -> t
+(** @raise Invalid_argument on duplicate task ids, unknown edge
+    endpoints, negative costs, or a dependency cycle. *)
+
+val task : ?name:string -> sw_time:int -> hw_time:int -> hw_area:int ->
+  string -> task
+
+val edge : ?comm:int -> string -> string -> edge
+
+val find_task : t -> string -> task option
+val predecessors : t -> string -> edge list
+val successors : t -> string -> edge list
+
+val topological_order : t -> string list
+(** Deterministic (stable w.r.t. declaration order). *)
+
+val of_activity :
+  ?costs:(string -> int * int * int) -> Uml.Activityg.t -> t
+(** Extract a task graph from an activity: every executable node
+    (actions, behaviors, signal actions) becomes a task; control-flow
+    reachability through pure control nodes becomes edges.  [costs]
+    maps a node name to (sw_time, hw_time, hw_area); the default derives
+    deterministic pseudo-costs from the name. *)

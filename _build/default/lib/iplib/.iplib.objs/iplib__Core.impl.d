@@ -1,0 +1,1 @@
+lib/iplib/core.ml: Hdl List Profiles Uml

@@ -1,0 +1,1 @@
+lib/iplib/core.mli: Hdl Uml

@@ -1,0 +1,1 @@
+lib/iplib/cores.ml: Core Cores2 Expr Hdl Htype List Module_ Printf Stmt Uml

@@ -1,0 +1,1 @@
+lib/iplib/cores.mli: Core

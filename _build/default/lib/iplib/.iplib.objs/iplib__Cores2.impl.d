@@ -1,0 +1,1 @@
+lib/iplib/cores2.ml: Core Expr Hdl Htype List Module_ Stmt Uml

@@ -1,0 +1,1 @@
+lib/iplib/cores2.mli: Core

@@ -1,0 +1,1 @@
+lib/iplib/soc.ml: Core Hashtbl Hdl Htype List Module_ Profiles Uml

@@ -1,0 +1,1 @@
+lib/iplib/soc.mli: Core Hdl Uml

@@ -1,0 +1,28 @@
+type t = {
+  ip_name : string;
+  ip_component : Uml.Component.t;
+  ip_module : Hdl.Module_.t;
+  ip_area : int;
+}
+
+let register m ~profile core =
+  Uml.Model.add m (Uml.Model.E_component core.ip_component);
+  let cid = core.ip_component.Uml.Component.cmp_id in
+  Profiles.Soc_profile.apply m ~profile ~stereotype:"ip" cid;
+  Profiles.Soc_profile.apply m ~profile ~stereotype:"hwModule"
+    ~values:[ ("area", Uml.Vspec.Int_literal core.ip_area) ]
+    cid;
+  List.iter
+    (fun (p : Uml.Component.port) ->
+      if p.Uml.Component.port_name = "clk" then
+        Profiles.Soc_profile.apply m ~profile ~stereotype:"clock"
+          p.Uml.Component.port_id
+      else if p.Uml.Component.port_name = "rst" then
+        Profiles.Soc_profile.apply m ~profile ~stereotype:"reset"
+          p.Uml.Component.port_id)
+    core.ip_component.Uml.Component.cmp_ports
+
+let port_names core =
+  List.map
+    (fun (p : Hdl.Module_.port) -> p.Hdl.Module_.port_name)
+    core.ip_module.Hdl.Module_.mod_ports

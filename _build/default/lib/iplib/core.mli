@@ -1,0 +1,22 @@
+(** IP cores: paired UML component models and RTL implementations.
+
+    Each core carries the two views the paper wants interchangeable: a
+    UML component (ports, interfaces, stereotypes) for model-level
+    integration and an {!Hdl.Module_.t} body for synthesis/simulation —
+    "seamless integration of existing IP" (§4). *)
+
+type t = {
+  ip_name : string;
+  ip_component : Uml.Component.t;
+  ip_module : Hdl.Module_.t;
+  ip_area : int;  (** gate estimate for the «hwModule» area tag *)
+}
+
+val register :
+  Uml.Model.t -> profile:Uml.Profile.t -> t -> unit
+(** Add the component to the model and apply «ip» and «hwModule»
+    stereotypes (with the area tag) plus «clock»/«reset» on the [clk] /
+    [rst] ports.  The profile must be the SoC profile. *)
+
+val port_names : t -> string list
+(** RTL port names, declaration order. *)

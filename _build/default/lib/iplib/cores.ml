@@ -1,0 +1,526 @@
+open Hdl
+
+(* Component views mirror the RTL ports; hardware data ports carry no
+   UML interface (they are «hwPort»-style pins). *)
+let component_of_module name (m : Module_.t) =
+  let ports =
+    List.map
+      (fun (p : Module_.port) -> Uml.Component.port p.Module_.port_name)
+      m.Module_.mod_ports
+  in
+  Uml.Component.make ~ports name
+
+let make_core ?(area = 100) name m =
+  {
+    Core.ip_name = name;
+    ip_component = component_of_module name m;
+    ip_module = m;
+    ip_area = area;
+  }
+
+let clk_rst = [ Module_.input "clk" Htype.Bit; Module_.input "rst" Htype.Bit ]
+
+(* --- timer ------------------------------------------------------------ *)
+
+let timer ?(width = 8) () =
+  let maxv = (1 lsl width) - 1 in
+  let m =
+    Module_.make
+      ~ports:
+        (clk_rst
+        @ [
+            Module_.input "enable" Htype.Bit;
+            Module_.output "tick" Htype.Bit;
+            Module_.output "count" (Htype.Unsigned width);
+          ])
+      ~signals:[ Module_.signal ~init:0 "cnt" (Htype.Unsigned width) ]
+      ~processes:
+        [
+          Module_.seq_process
+            ~reset:("rst", [ Stmt.Assign ("cnt", Expr.of_int ~width 0) ])
+            ~name:"p_count" ~clock:"clk"
+            [
+              Stmt.If
+                ( Expr.(Ref "enable" ==: one),
+                  [ Stmt.Assign ("cnt", Expr.(Ref "cnt" +: of_int 1)) ],
+                  [] );
+            ];
+          Module_.comb_process ~name:"p_out"
+            [
+              Stmt.Assign ("count", Expr.Ref "cnt");
+              Stmt.Assign
+                ("tick", Expr.(Ref "cnt" ==: of_int ~width maxv));
+            ];
+        ]
+      "timer"
+  in
+  make_core ~area:(40 * width) "timer" m
+
+(* --- gpio ------------------------------------------------------------- *)
+
+let gpio ?(width = 8) () =
+  let m =
+    Module_.make
+      ~ports:
+        (clk_rst
+        @ [
+            Module_.input "we" Htype.Bit;
+            Module_.input "din" (Htype.Unsigned width);
+            Module_.output "dout" (Htype.Unsigned width);
+          ])
+      ~signals:[ Module_.signal ~init:0 "r" (Htype.Unsigned width) ]
+      ~processes:
+        [
+          Module_.seq_process
+            ~reset:("rst", [ Stmt.Assign ("r", Expr.of_int ~width 0) ])
+            ~name:"p_reg" ~clock:"clk"
+            [
+              Stmt.If
+                ( Expr.(Ref "we" ==: one),
+                  [ Stmt.Assign ("r", Expr.Ref "din") ],
+                  [] );
+            ];
+          Module_.comb_process ~name:"p_out"
+            [ Stmt.Assign ("dout", Expr.Ref "r") ];
+        ]
+      "gpio"
+  in
+  make_core ~area:(12 * width) "gpio" m
+
+(* --- fifo (depth 4, shift register) ------------------------------------ *)
+
+let fifo4 ?(width = 8) () =
+  let slot i = Printf.sprintf "s%d" i in
+  let shift_down =
+    [
+      Stmt.Assign (slot 0, Expr.Ref (slot 1));
+      Stmt.Assign (slot 1, Expr.Ref (slot 2));
+      Stmt.Assign (slot 2, Expr.Ref (slot 3));
+    ]
+  in
+  let write_at idx value =
+    Stmt.Case
+      ( Expr.Ref "cnt",
+        List.map
+          (fun i -> (Stmt.Ch_int i, [ Stmt.Assign (slot (i + idx), value) ]))
+          [ 0; 1; 2; 3 ],
+        Some [] )
+  in
+  (* write_at uses cnt as index; with idx = -1 for simultaneous rd+wr the
+     incoming word lands at cnt-1 after the shift *)
+  let wr = Expr.(Ref "wr" ==: one) in
+  let rd = Expr.(Ref "rd" ==: one) in
+  let can_read = Expr.(Binop (Expr.Gt, Ref "cnt", of_int 0)) in
+  let can_write = Expr.(Binop (Expr.Lt, Ref "cnt", of_int 4)) in
+  let body =
+    [
+      Stmt.If
+        ( Expr.(wr &&: rd &&: can_read),
+          shift_down
+          @ [
+              (* after shifting, the new word goes to position cnt-1 *)
+              Stmt.Case
+                ( Expr.Ref "cnt",
+                  [
+                    (Stmt.Ch_int 1, [ Stmt.Assign (slot 0, Expr.Ref "din") ]);
+                    (Stmt.Ch_int 2, [ Stmt.Assign (slot 1, Expr.Ref "din") ]);
+                    (Stmt.Ch_int 3, [ Stmt.Assign (slot 2, Expr.Ref "din") ]);
+                    (Stmt.Ch_int 4, [ Stmt.Assign (slot 3, Expr.Ref "din") ]);
+                  ],
+                  Some [] );
+            ],
+          [
+            Stmt.If
+              ( Expr.(wr &&: can_write),
+                [
+                  write_at 0 (Expr.Ref "din");
+                  Stmt.Assign ("cnt", Expr.(Ref "cnt" +: of_int 1));
+                ],
+                [
+                  Stmt.If
+                    ( Expr.(rd &&: can_read),
+                      shift_down
+                      @ [ Stmt.Assign ("cnt", Expr.(Ref "cnt" -: of_int 1)) ],
+                      [] );
+                ] );
+          ] );
+    ]
+  in
+  let m =
+    Module_.make
+      ~ports:
+        (clk_rst
+        @ [
+            Module_.input "wr" Htype.Bit;
+            Module_.input "din" (Htype.Unsigned width);
+            Module_.input "rd" Htype.Bit;
+            Module_.output "dout" (Htype.Unsigned width);
+            Module_.output "empty" Htype.Bit;
+            Module_.output "full" Htype.Bit;
+          ])
+      ~signals:
+        (Module_.signal ~init:0 "cnt" (Htype.Unsigned 3)
+        :: List.map
+             (fun i -> Module_.signal ~init:0 (slot i) (Htype.Unsigned width))
+             [ 0; 1; 2; 3 ])
+      ~processes:
+        [
+          Module_.seq_process
+            ~reset:
+              ( "rst",
+                Stmt.Assign ("cnt", Expr.of_int ~width:3 0)
+                :: List.map
+                     (fun i -> Stmt.Assign (slot i, Expr.of_int ~width 0))
+                     [ 0; 1; 2; 3 ] )
+            ~name:"p_fifo" ~clock:"clk" body;
+          Module_.comb_process ~name:"p_out"
+            [
+              Stmt.Assign ("dout", Expr.Ref (slot 0));
+              Stmt.Assign ("empty", Expr.(Ref "cnt" ==: of_int ~width:3 0));
+              Stmt.Assign ("full", Expr.(Ref "cnt" ==: of_int ~width:3 4));
+            ];
+        ]
+      "fifo4"
+  in
+  make_core ~area:(60 * width) "fifo4" m
+
+(* --- uart tx ----------------------------------------------------------- *)
+
+let uart_states = [ "IDLE"; "START"; "DATA"; "STOP" ]
+
+let uart_tx () =
+  let state_ty = Htype.Enum uart_states in
+  let m =
+    Module_.make
+      ~ports:
+        (clk_rst
+        @ [
+            Module_.input "start" Htype.Bit;
+            Module_.input "data" (Htype.Unsigned 8);
+            Module_.output "txd" Htype.Bit;
+            Module_.output "busy" Htype.Bit;
+          ])
+      ~signals:
+        [
+          Module_.signal ~init:0 "state" state_ty;
+          Module_.signal ~init:0 "shift" (Htype.Unsigned 8);
+          Module_.signal ~init:0 "bitcnt" (Htype.Unsigned 4);
+        ]
+      ~processes:
+        [
+          Module_.seq_process
+            ~reset:
+              ( "rst",
+                [
+                  Stmt.Assign ("state", Expr.Enum_lit "IDLE");
+                  Stmt.Assign ("shift", Expr.of_int ~width:8 0);
+                  Stmt.Assign ("bitcnt", Expr.of_int ~width:4 0);
+                ] )
+            ~name:"p_tx" ~clock:"clk"
+            [
+              Stmt.Case
+                ( Expr.Ref "state",
+                  [
+                    ( Stmt.Ch_enum "IDLE",
+                      [
+                        Stmt.If
+                          ( Expr.(Ref "start" ==: one),
+                            [
+                              Stmt.Assign ("shift", Expr.Ref "data");
+                              Stmt.Assign ("bitcnt", Expr.of_int ~width:4 0);
+                              Stmt.Assign ("state", Expr.Enum_lit "START");
+                            ],
+                            [] );
+                      ] );
+                    ( Stmt.Ch_enum "START",
+                      [ Stmt.Assign ("state", Expr.Enum_lit "DATA") ] );
+                    ( Stmt.Ch_enum "DATA",
+                      [
+                        Stmt.Assign
+                          ("shift", Expr.Binop (Expr.Shr, Expr.Ref "shift", Expr.of_int 1));
+                        Stmt.Assign ("bitcnt", Expr.(Ref "bitcnt" +: of_int 1));
+                        Stmt.If
+                          ( Expr.(Ref "bitcnt" ==: of_int ~width:4 7),
+                            [ Stmt.Assign ("state", Expr.Enum_lit "STOP") ],
+                            [] );
+                      ] );
+                    ( Stmt.Ch_enum "STOP",
+                      [ Stmt.Assign ("state", Expr.Enum_lit "IDLE") ] );
+                  ],
+                  None );
+            ];
+          Module_.comb_process ~name:"p_txd"
+            [
+              Stmt.Case
+                ( Expr.Ref "state",
+                  [
+                    (Stmt.Ch_enum "IDLE", [ Stmt.Assign ("txd", Expr.one) ]);
+                    (Stmt.Ch_enum "START", [ Stmt.Assign ("txd", Expr.zero) ]);
+                    ( Stmt.Ch_enum "DATA",
+                      [ Stmt.Assign ("txd", Expr.Slice (Expr.Ref "shift", 0, 0)) ] );
+                    (Stmt.Ch_enum "STOP", [ Stmt.Assign ("txd", Expr.one) ]);
+                  ],
+                  Some [ Stmt.Assign ("txd", Expr.one) ] );
+              Stmt.Assign
+                ( "busy",
+                  Expr.Unop
+                    (Expr.Not, Expr.(Ref "state" ==: Enum_lit "IDLE")) );
+            ];
+        ]
+      "uart_tx"
+  in
+  make_core ~area:350 "uart_tx" m
+
+(* --- uart rx ----------------------------------------------------------- *)
+
+let uart_rx () =
+  let state_ty = Htype.Enum uart_states in
+  let m =
+    Module_.make
+      ~ports:
+        (clk_rst
+        @ [
+            Module_.input "rxd" Htype.Bit;
+            Module_.output "data" (Htype.Unsigned 8);
+            Module_.output "valid" Htype.Bit;
+          ])
+      ~signals:
+        [
+          Module_.signal ~init:0 "state" state_ty;
+          Module_.signal ~init:0 "shift" (Htype.Unsigned 8);
+          Module_.signal ~init:0 "bitcnt" (Htype.Unsigned 4);
+          Module_.signal ~init:0 "valid_r" Htype.Bit;
+        ]
+      ~processes:
+        [
+          Module_.seq_process
+            ~reset:
+              ( "rst",
+                [
+                  Stmt.Assign ("state", Expr.Enum_lit "IDLE");
+                  Stmt.Assign ("shift", Expr.of_int ~width:8 0);
+                  Stmt.Assign ("bitcnt", Expr.of_int ~width:4 0);
+                  Stmt.Assign ("valid_r", Expr.zero);
+                ] )
+            ~name:"p_rx" ~clock:"clk"
+            [
+              Stmt.Assign ("valid_r", Expr.zero);
+              Stmt.Case
+                ( Expr.Ref "state",
+                  [
+                    ( Stmt.Ch_enum "IDLE",
+                      [
+                        Stmt.If
+                          ( Expr.(Ref "rxd" ==: zero),
+                            [
+                              Stmt.Assign ("bitcnt", Expr.of_int ~width:4 0);
+                              Stmt.Assign ("state", Expr.Enum_lit "DATA");
+                            ],
+                            [] );
+                      ] );
+                    ( Stmt.Ch_enum "START",
+                      [ Stmt.Assign ("state", Expr.Enum_lit "DATA") ] );
+                    ( Stmt.Ch_enum "DATA",
+                      [
+                        (* LSB first: incoming bit lands in bit 7, rest
+                           shift right *)
+                        Stmt.Assign
+                          ( "shift",
+                            Expr.Binop
+                              ( Expr.Or,
+                                Expr.Binop
+                                  (Expr.Shl, Expr.Resize (Expr.Ref "rxd", 8),
+                                   Expr.of_int 7),
+                                Expr.Binop
+                                  (Expr.Shr, Expr.Ref "shift", Expr.of_int 1)
+                              ) );
+                        Stmt.Assign ("bitcnt", Expr.(Ref "bitcnt" +: of_int 1));
+                        Stmt.If
+                          ( Expr.(Ref "bitcnt" ==: of_int ~width:4 7),
+                            [ Stmt.Assign ("state", Expr.Enum_lit "STOP") ],
+                            [] );
+                      ] );
+                    ( Stmt.Ch_enum "STOP",
+                      [
+                        Stmt.Assign ("valid_r", Expr.one);
+                        Stmt.Assign ("state", Expr.Enum_lit "IDLE");
+                      ] );
+                  ],
+                  None );
+            ];
+          Module_.comb_process ~name:"p_out"
+            [
+              Stmt.Assign ("data", Expr.Ref "shift");
+              Stmt.Assign ("valid", Expr.Ref "valid_r");
+            ];
+        ]
+      "uart_rx"
+  in
+  make_core ~area:320 "uart_rx" m
+
+(* --- round-robin arbiter ------------------------------------------------ *)
+
+let arbiter2 () =
+  let req0 = Expr.(Ref "req0" ==: one) in
+  let req1 = Expr.(Ref "req1" ==: one) in
+  let last1 = Expr.(Ref "last" ==: one) in
+  let gnt0_cond =
+    Expr.(req0 &&: (Unop (Expr.Not, req1) ||: last1))
+  in
+  let gnt1_cond =
+    Expr.(req1 &&: (Unop (Expr.Not, req0) ||: Unop (Expr.Not, last1)))
+  in
+  let m =
+    Module_.make
+      ~ports:
+        (clk_rst
+        @ [
+            Module_.input "req0" Htype.Bit;
+            Module_.input "req1" Htype.Bit;
+            Module_.output "gnt0" Htype.Bit;
+            Module_.output "gnt1" Htype.Bit;
+          ])
+      ~signals:[ Module_.signal ~init:1 "last" Htype.Bit ]
+      ~processes:
+        [
+          Module_.comb_process ~name:"p_grant"
+            [
+              Stmt.Assign ("gnt0", Expr.Mux (gnt0_cond, Expr.one, Expr.zero));
+              Stmt.Assign ("gnt1", Expr.Mux (gnt1_cond, Expr.one, Expr.zero));
+            ];
+          Module_.seq_process
+            ~reset:("rst", [ Stmt.Assign ("last", Expr.one) ])
+            ~name:"p_last" ~clock:"clk"
+            [
+              Stmt.If
+                ( Expr.(Ref "gnt0" ==: one),
+                  [ Stmt.Assign ("last", Expr.zero) ],
+                  [
+                    Stmt.If
+                      ( Expr.(Ref "gnt1" ==: one),
+                        [ Stmt.Assign ("last", Expr.one) ],
+                        [] );
+                  ] );
+            ];
+        ]
+      "arbiter2"
+  in
+  make_core ~area:80 "arbiter2" m
+
+(* --- register file ------------------------------------------------------ *)
+
+let regfile4 ?(width = 8) () =
+  let reg i = Printf.sprintf "r%d" i in
+  let m =
+    Module_.make
+      ~ports:
+        (clk_rst
+        @ [
+            Module_.input "we" Htype.Bit;
+            Module_.input "addr" (Htype.Unsigned 2);
+            Module_.input "wdata" (Htype.Unsigned width);
+            Module_.output "rdata" (Htype.Unsigned width);
+          ])
+      ~signals:
+        (List.map
+           (fun i -> Module_.signal ~init:0 (reg i) (Htype.Unsigned width))
+           [ 0; 1; 2; 3 ])
+      ~processes:
+        [
+          Module_.seq_process
+            ~reset:
+              ( "rst",
+                List.map
+                  (fun i -> Stmt.Assign (reg i, Expr.of_int ~width 0))
+                  [ 0; 1; 2; 3 ] )
+            ~name:"p_write" ~clock:"clk"
+            [
+              Stmt.If
+                ( Expr.(Ref "we" ==: one),
+                  [
+                    Stmt.Case
+                      ( Expr.Ref "addr",
+                        List.map
+                          (fun i ->
+                            (Stmt.Ch_int i,
+                             [ Stmt.Assign (reg i, Expr.Ref "wdata") ]))
+                          [ 0; 1; 2; 3 ],
+                        None );
+                  ],
+                  [] );
+            ];
+          Module_.comb_process ~name:"p_read"
+            [
+              Stmt.Case
+                ( Expr.Ref "addr",
+                  List.map
+                    (fun i ->
+                      (Stmt.Ch_int i, [ Stmt.Assign ("rdata", Expr.Ref (reg i)) ]))
+                    [ 0; 1; 2; 3 ],
+                  Some [ Stmt.Assign ("rdata", Expr.of_int ~width 0) ] );
+            ];
+        ]
+      "regfile4"
+  in
+  make_core ~area:(4 * 10 * width) "regfile4" m
+
+(* --- bus ---------------------------------------------------------------- *)
+
+let bus2 ?(width = 8) () =
+  let sel0 = Expr.Binop (Expr.Lt, Expr.Ref "m_addr", Expr.of_int ~width:8 0x80) in
+  let m =
+    Module_.make
+      ~ports:
+        (clk_rst
+        @ [
+            Module_.input "m_addr" (Htype.Unsigned 8);
+            Module_.input "m_wdata" (Htype.Unsigned width);
+            Module_.input "m_we" Htype.Bit;
+            Module_.input "s0_rdata" (Htype.Unsigned width);
+            Module_.input "s1_rdata" (Htype.Unsigned width);
+            Module_.output "m_rdata" (Htype.Unsigned width);
+            Module_.output "s0_we" Htype.Bit;
+            Module_.output "s0_wdata" (Htype.Unsigned width);
+            Module_.output "s1_we" Htype.Bit;
+            Module_.output "s1_wdata" (Htype.Unsigned width);
+          ])
+      ~processes:
+        [
+          Module_.comb_process ~name:"p_decode"
+            [
+              Stmt.Assign ("s0_wdata", Expr.Ref "m_wdata");
+              Stmt.Assign ("s1_wdata", Expr.Ref "m_wdata");
+              Stmt.Assign
+                ( "s0_we",
+                  Expr.Mux
+                    (Expr.(Binop (Expr.And, Ref "m_we", sel0)), Expr.one,
+                     Expr.zero) );
+              Stmt.Assign
+                ( "s1_we",
+                  Expr.Mux
+                    ( Expr.(
+                        Binop (Expr.And, Ref "m_we", Unop (Expr.Not, sel0))),
+                      Expr.one, Expr.zero ) );
+              Stmt.Assign
+                ( "m_rdata",
+                  Expr.Mux (sel0, Expr.Ref "s0_rdata", Expr.Ref "s1_rdata") );
+            ];
+        ]
+      "bus2"
+  in
+  make_core ~area:(20 * width) "bus2" m
+
+let catalogue () =
+  [
+    timer ();
+    gpio ();
+    fifo4 ();
+    uart_tx ();
+    uart_rx ();
+    arbiter2 ();
+    regfile4 ();
+    bus2 ();
+    Cores2.dma ();
+    Cores2.irq_ctrl ();
+    Cores2.watchdog ();
+  ]

@@ -1,0 +1,37 @@
+(** The core catalogue: FIFO, timer, GPIO, UART (tx/rx), round-robin
+    arbiter, register file, address-decoding bus.
+
+    Every constructor returns a fresh {!Core.t} (fresh identifiers) so
+    multiple instances can coexist in one model.  All RTL bodies pass
+    {!Hdl.Check.check_module} and simulate in [dsim]. *)
+
+val timer : ?width:int -> unit -> Core.t
+(** Free-running counter with [enable]; [tick] pulses on wrap. *)
+
+val gpio : ?width:int -> unit -> Core.t
+(** Write-enabled output register. *)
+
+val fifo4 : ?width:int -> unit -> Core.t
+(** Depth-4 shift-register FIFO with [empty]/[full]/simultaneous
+    read+write semantics. *)
+
+val uart_tx : unit -> Core.t
+(** 8N1 transmitter, one cycle per bit: [start]/[data] in, [txd]/[busy]
+    out. *)
+
+val uart_rx : unit -> Core.t
+(** Matching receiver: [rxd] in, [data]/[valid] out. *)
+
+val arbiter2 : unit -> Core.t
+(** Two-requester round-robin arbiter. *)
+
+val regfile4 : ?width:int -> unit -> Core.t
+(** Four-entry register file: [we]/[addr]/[wdata] write port, [rdata]
+    combinational read. *)
+
+val bus2 : ?width:int -> unit -> Core.t
+(** One master, two memory-mapped slaves split at address 0x80:
+    combinational write steering and read-back mux. *)
+
+val catalogue : unit -> Core.t list
+(** One fresh instance of every core, including the {!Cores2} batch. *)

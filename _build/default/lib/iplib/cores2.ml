@@ -1,0 +1,241 @@
+open Hdl
+
+let clk_rst = [ Module_.input "clk" Htype.Bit; Module_.input "rst" Htype.Bit ]
+
+let dma ?(width = 8) () =
+  let states = [ "D_IDLE"; "D_COPY"; "D_DONE" ] in
+  let state_ty = Htype.Enum states in
+  let m =
+    Module_.make
+      ~ports:
+        (clk_rst
+        @ [
+            Module_.input "start" Htype.Bit;
+            Module_.input "len" (Htype.Unsigned 4);
+            Module_.input "src_data" (Htype.Unsigned width);
+            Module_.output "src_addr" (Htype.Unsigned 4);
+            Module_.output "dst_addr" (Htype.Unsigned 4);
+            Module_.output "dst_data" (Htype.Unsigned width);
+            Module_.output "dst_we" Htype.Bit;
+            Module_.output "busy" Htype.Bit;
+            Module_.output "done_" Htype.Bit;
+          ])
+      ~signals:
+        [
+          Module_.signal ~init:0 "state" state_ty;
+          Module_.signal ~init:0 "idx" (Htype.Unsigned 4);
+          Module_.signal ~init:0 "count" (Htype.Unsigned 4);
+        ]
+      ~processes:
+        [
+          Module_.seq_process
+            ~reset:
+              ( "rst",
+                [
+                  Stmt.Assign ("state", Expr.Enum_lit "D_IDLE");
+                  Stmt.Assign ("idx", Expr.of_int ~width:4 0);
+                  Stmt.Assign ("count", Expr.of_int ~width:4 0);
+                ] )
+            ~name:"p_dma" ~clock:"clk"
+            [
+              Stmt.Case
+                ( Expr.Ref "state",
+                  [
+                    ( Stmt.Ch_enum "D_IDLE",
+                      [
+                        Stmt.If
+                          ( Expr.(Ref "start" ==: one),
+                            [
+                              Stmt.Assign ("idx", Expr.of_int ~width:4 0);
+                              Stmt.Assign ("count", Expr.Ref "len");
+                              Stmt.Assign ("state", Expr.Enum_lit "D_COPY");
+                            ],
+                            [] );
+                      ] );
+                    ( Stmt.Ch_enum "D_COPY",
+                      [
+                        Stmt.Assign ("idx", Expr.(Ref "idx" +: of_int 1));
+                        Stmt.If
+                          ( Expr.(Binop
+                                    ( Expr.Ge,
+                                      Ref "idx" +: of_int 1,
+                                      Ref "count" )),
+                            [ Stmt.Assign ("state", Expr.Enum_lit "D_DONE") ],
+                            [] );
+                      ] );
+                    ( Stmt.Ch_enum "D_DONE",
+                      [ Stmt.Assign ("state", Expr.Enum_lit "D_IDLE") ] );
+                  ],
+                  None );
+            ];
+          Module_.comb_process ~name:"p_out"
+            [
+              Stmt.Assign ("src_addr", Expr.Ref "idx");
+              Stmt.Assign ("dst_addr", Expr.Ref "idx");
+              Stmt.Assign ("dst_data", Expr.Ref "src_data");
+              Stmt.Assign
+                ( "dst_we",
+                  Expr.Mux
+                    ( Expr.(Ref "state" ==: Enum_lit "D_COPY"),
+                      Expr.one, Expr.zero ) );
+              Stmt.Assign
+                ( "busy",
+                  Expr.Mux
+                    ( Expr.(Ref "state" ==: Enum_lit "D_COPY"),
+                      Expr.one, Expr.zero ) );
+              Stmt.Assign
+                ( "done_",
+                  Expr.Mux
+                    ( Expr.(Ref "state" ==: Enum_lit "D_DONE"),
+                      Expr.one, Expr.zero ) );
+            ];
+        ]
+      "dma"
+  in
+  {
+    Core.ip_name = "dma";
+    ip_component =
+      (let ports =
+         List.map
+           (fun (p : Module_.port) -> Uml.Component.port p.Module_.port_name)
+           m.Module_.mod_ports
+       in
+       Uml.Component.make ~ports "dma");
+    ip_module = m;
+    ip_area = 80 * width;
+  }
+
+let irq_ctrl () =
+  let m =
+    Module_.make
+      ~ports:
+        (clk_rst
+        @ [
+            Module_.input "irq_in" (Htype.Unsigned 4);
+            Module_.input "mask_we" Htype.Bit;
+            Module_.input "mask_in" (Htype.Unsigned 4);
+            Module_.output "irq_out" Htype.Bit;
+            Module_.output "irq_id" (Htype.Unsigned 2);
+          ])
+      ~signals:
+        [
+          Module_.signal ~init:0xF "mask" (Htype.Unsigned 4);
+          Module_.signal ~init:0 "pending" (Htype.Unsigned 4);
+        ]
+      ~processes:
+        [
+          Module_.seq_process
+            ~reset:
+              ( "rst",
+                [
+                  Stmt.Assign ("mask", Expr.of_int ~width:4 0xF);
+                  Stmt.Assign ("pending", Expr.of_int ~width:4 0);
+                ] )
+            ~name:"p_regs" ~clock:"clk"
+            [
+              Stmt.If
+                ( Expr.(Ref "mask_we" ==: one),
+                  [ Stmt.Assign ("mask", Expr.Ref "mask_in") ],
+                  [] );
+              Stmt.Assign
+                ( "pending",
+                  Expr.Binop (Expr.And, Expr.Ref "irq_in", Expr.Ref "mask") );
+            ];
+          Module_.comb_process ~name:"p_out"
+            [
+              Stmt.Assign
+                ("irq_out", Expr.Unop (Expr.Reduce_or, Expr.Ref "pending"));
+              (* priority encoder: lowest line wins *)
+              Stmt.If
+                ( Expr.(Slice (Ref "pending", 0, 0) ==: one),
+                  [ Stmt.Assign ("irq_id", Expr.of_int ~width:2 0) ],
+                  [
+                    Stmt.If
+                      ( Expr.(Slice (Ref "pending", 1, 1) ==: one),
+                        [ Stmt.Assign ("irq_id", Expr.of_int ~width:2 1) ],
+                        [
+                          Stmt.If
+                            ( Expr.(Slice (Ref "pending", 2, 2) ==: one),
+                              [
+                                Stmt.Assign
+                                  ("irq_id", Expr.of_int ~width:2 2);
+                              ],
+                              [
+                                Stmt.Assign
+                                  ("irq_id", Expr.of_int ~width:2 3);
+                              ] );
+                        ] );
+                  ] );
+            ];
+        ]
+      "irq_ctrl"
+  in
+  {
+    Core.ip_name = "irq_ctrl";
+    ip_component =
+      (let ports =
+         List.map
+           (fun (p : Module_.port) -> Uml.Component.port p.Module_.port_name)
+           m.Module_.mod_ports
+       in
+       Uml.Component.make ~ports "irq_ctrl");
+    ip_module = m;
+    ip_area = 120;
+  }
+
+let watchdog ?(width = 8) () =
+  let maxv = (1 lsl width) - 1 in
+  let m =
+    Module_.make
+      ~ports:
+        (clk_rst
+        @ [
+            Module_.input "kick" Htype.Bit;
+            Module_.output "bite" Htype.Bit;
+          ])
+      ~signals:
+        [
+          Module_.signal ~init:0 "wd_cnt" (Htype.Unsigned width);
+          Module_.signal ~init:0 "bitten" Htype.Bit;
+        ]
+      ~processes:
+        [
+          Module_.seq_process
+            ~reset:
+              ( "rst",
+                [
+                  Stmt.Assign ("wd_cnt", Expr.of_int ~width 0);
+                  Stmt.Assign ("bitten", Expr.zero);
+                ] )
+            ~name:"p_wd" ~clock:"clk"
+            [
+              Stmt.If
+                ( Expr.(Ref "kick" ==: one),
+                  [ Stmt.Assign ("wd_cnt", Expr.of_int ~width 0) ],
+                  [
+                    Stmt.If
+                      ( Expr.(Ref "wd_cnt" ==: of_int ~width maxv),
+                        [ Stmt.Assign ("bitten", Expr.one) ],
+                        [
+                          Stmt.Assign
+                            ("wd_cnt", Expr.(Ref "wd_cnt" +: of_int 1));
+                        ] );
+                  ] );
+            ];
+          Module_.comb_process ~name:"p_out"
+            [ Stmt.Assign ("bite", Expr.Ref "bitten") ];
+        ]
+      "watchdog"
+  in
+  {
+    Core.ip_name = "watchdog";
+    ip_component =
+      (let ports =
+         List.map
+           (fun (p : Module_.port) -> Uml.Component.port p.Module_.port_name)
+           m.Module_.mod_ports
+       in
+       Uml.Component.make ~ports "watchdog");
+    ip_module = m;
+    ip_area = 30 * width;
+  }

@@ -1,0 +1,17 @@
+(** Second batch of IP cores: DMA engine and interrupt controller. *)
+
+val dma : ?width:int -> unit -> Core.t
+(** Mem-to-mem DMA: programmed with [len] (up to 15 beats), kicked with
+    [start]; reads [src_data] at [src_addr], drives
+    [dst_addr]/[dst_data]/[dst_we] one beat per cycle; [busy] while
+    copying, [done_] pulses on completion. *)
+
+val irq_ctrl : unit -> Core.t
+(** Four-line level-sensitive interrupt controller with a mask
+    register: [irq_in(4)], masked by [mask] (written via
+    [mask_we]/[mask_in]); [irq_out] is the OR of unmasked pending
+    lines, [irq_id] the lowest pending line number. *)
+
+val watchdog : ?width:int -> unit -> Core.t
+(** Watchdog timer: counts up every cycle; a [kick] resets the count;
+    [bite] asserts (and stays) once the counter saturates. *)

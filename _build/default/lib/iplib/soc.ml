@@ -1,0 +1,81 @@
+open Hdl
+
+let design ~name instances =
+  let modules =
+    (* dedup per module name: two FIFO instances share one module *)
+    let seen = Hashtbl.create 8 in
+    List.filter_map
+      (fun (_inst, core) ->
+        let mname = core.Core.ip_module.Module_.mod_name in
+        if Hashtbl.mem seen mname then None
+        else begin
+          Hashtbl.add seen mname ();
+          Some core.Core.ip_module
+        end)
+      instances
+  in
+  let top_ports = ref [ Module_.input "clk" Htype.Bit; Module_.input "rst" Htype.Bit ] in
+  let top_instances =
+    List.map
+      (fun (inst, core) ->
+        let conns =
+          List.map
+            (fun (p : Module_.port) ->
+              match p.Module_.port_name with
+              | "clk" -> ("clk", "clk")
+              | "rst" -> ("rst", "rst")
+              | other ->
+                let top_name = inst ^ "_" ^ other in
+                let port =
+                  match p.Module_.port_dir with
+                  | Module_.Input -> Module_.input top_name p.Module_.port_type
+                  | Module_.Output ->
+                    Module_.output top_name p.Module_.port_type
+                in
+                top_ports := !top_ports @ [ port ];
+                (other, top_name))
+            core.Core.ip_module.Module_.mod_ports
+        in
+        {
+          Module_.inst_name = "u_" ^ inst;
+          inst_module = core.Core.ip_module.Module_.mod_name;
+          inst_conns = conns;
+        })
+      instances
+  in
+  let top =
+    Module_.make ~ports:!top_ports ~instances:top_instances name
+  in
+  Module_.design ~top:name (top :: modules)
+
+let component m ~profile ~name instances =
+  List.iter (fun (_inst, core) -> Core.register m ~profile core) instances;
+  let parts =
+    List.map
+      (fun (inst, core) ->
+        Uml.Component.part inst core.Core.ip_component.Uml.Component.cmp_id)
+      instances
+  in
+  let ports = [ Uml.Component.port "clk"; Uml.Component.port "rst" ] in
+  let comp = Uml.Component.make ~ports ~parts name in
+  Uml.Model.add m (Uml.Model.E_component comp);
+  let total =
+    List.fold_left (fun acc (_i, c) -> acc + c.Core.ip_area) 0 instances
+  in
+  Profiles.Soc_profile.apply m ~profile ~stereotype:"hwModule"
+    ~values:[ ("area", Uml.Vspec.Int_literal total) ]
+    comp.Uml.Component.cmp_id;
+  (match Uml.Component.find_port comp "clk" with
+   | Some p ->
+     Profiles.Soc_profile.apply m ~profile ~stereotype:"clock"
+       p.Uml.Component.port_id
+   | None -> ());
+  (match Uml.Component.find_port comp "rst" with
+   | Some p ->
+     Profiles.Soc_profile.apply m ~profile ~stereotype:"reset"
+       p.Uml.Component.port_id
+   | None -> ());
+  comp
+
+let total_area instances =
+  List.fold_left (fun acc (_i, c) -> acc + c.Core.ip_area) 0 instances

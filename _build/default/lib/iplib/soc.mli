@@ -1,0 +1,19 @@
+(** SoC assembly from IP cores.
+
+    Builds the two synchronized views of a SoC: the RTL design (a top
+    module instantiating every core with a shared clock/reset, all other
+    core ports exposed at the top with instance-prefixed names) and the
+    UML composite component (one part per instance). *)
+
+val design : name:string -> (string * Core.t) list -> Hdl.Module_.design
+(** [(instance_name, core)] pairs.  Core port [p] of instance [u]
+    becomes top-level port [u_p]; [clk]/[rst] are shared. *)
+
+val component :
+  Uml.Model.t -> profile:Uml.Profile.t -> name:string ->
+  (string * Core.t) list -> Uml.Component.t
+(** Registers every core in the model (see {!Core.register}), then adds
+    and returns the enclosing «hwModule» component with one part per
+    instance and shared clock/reset ports. *)
+
+val total_area : (string * Core.t) list -> int

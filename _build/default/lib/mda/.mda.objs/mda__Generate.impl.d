@@ -1,0 +1,1 @@
+lib/mda/generate.ml: Activityg Classifier Codegen Component Hdl Interaction List Model Platform Printf Smachine Statechart String Uml

@@ -1,0 +1,1 @@
+lib/mda/generate.mli: Hdl Platform Uml

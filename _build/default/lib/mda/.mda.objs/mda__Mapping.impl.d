@@ -1,0 +1,1 @@
+lib/mda/mapping.ml: Classifier Component Dtype List Model Platform Printf Transform Uml

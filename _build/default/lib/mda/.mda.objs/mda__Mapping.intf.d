@@ -1,0 +1,1 @@
+lib/mda/mapping.mli: Platform Transform Uml

@@ -1,0 +1,1 @@
+lib/mda/platform.ml: List

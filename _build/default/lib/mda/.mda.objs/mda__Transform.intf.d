@@ -1,0 +1,1 @@
+lib/mda/transform.mli: Uml

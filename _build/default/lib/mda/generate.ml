@@ -1,0 +1,85 @@
+open Uml
+
+type hw_result = {
+  design : Hdl.Module_.design option;
+  compiled : string list;
+  skipped : (string * string) list;
+}
+
+let hw_design m =
+  let compile_machine (sm : Smachine.t) =
+    match Statechart.Flatten.flatten sm with
+    | Error reason -> Error reason
+    | Ok flat -> Codegen.Fsm_compile.compile flat
+  in
+  let compiled, skipped =
+    List.fold_left
+      (fun (ok, bad) sm ->
+        match compile_machine sm with
+        | Ok hmod -> ((sm.Smachine.sm_name, hmod) :: ok, bad)
+        | Error reason -> (ok, (sm.Smachine.sm_name, reason) :: bad))
+      ([], [])
+      (Model.state_machines m)
+  in
+  let compiled = List.rev compiled in
+  let skipped = List.rev skipped in
+  match compiled with
+  | [] -> { design = None; compiled = []; skipped }
+  | (_, first) :: _rest ->
+    let modules = List.map snd compiled in
+    {
+      design =
+        Some (Hdl.Module_.design ~top:first.Hdl.Module_.mod_name modules);
+      compiled = List.map fst compiled;
+      skipped;
+    }
+
+let artifacts plat m =
+  match plat.Platform.plat_language with
+  | "c" -> [ (Model.name m ^ ".c", Codegen.Cgen.of_model m) ]
+  | lang -> (
+    let r = hw_design m in
+    match r.design with
+    | None -> []
+    | Some d -> (
+      match lang with
+      | "vhdl" -> [ (Model.name m ^ ".vhd", Codegen.Vhdl.of_design d) ]
+      | "verilog" -> [ (Model.name m ^ ".v", Codegen.Verilog.of_design d) ]
+      | "systemc" -> [ (Model.name m ^ ".h", Codegen.Systemc.of_design d) ]
+      | other ->
+        invalid_arg (Printf.sprintf "Generate.artifacts: unknown language %s" other)))
+
+let loc text =
+  let lines = String.split_on_char '\n' text in
+  List.length
+    (List.filter (fun l -> String.trim l <> "") lines)
+
+let classifier_feature_count (c : Classifier.t) =
+  List.length c.Classifier.cl_attributes
+  + List.length c.Classifier.cl_operations
+  + List.length c.Classifier.cl_receptions
+
+let model_element_count m =
+  Model.fold
+    (fun acc e ->
+      let features =
+        match e with
+        | Model.E_classifier c -> classifier_feature_count c
+        | Model.E_state_machine sm ->
+          List.length (Smachine.all_vertices sm)
+          + List.length (Smachine.all_transitions sm)
+        | Model.E_activity a ->
+          List.length a.Activityg.ac_nodes + List.length a.Activityg.ac_edges
+        | Model.E_component c ->
+          List.length c.Component.cmp_ports
+          + List.length c.Component.cmp_parts
+          + List.length c.Component.cmp_connectors
+        | Model.E_interaction i -> Interaction.message_count i
+        | Model.E_association _ | Model.E_package _ | Model.E_use_case _
+        | Model.E_instance _ | Model.E_link _ | Model.E_deployment_node _
+        | Model.E_artifact _ | Model.E_deployment _
+        | Model.E_communication_path _ | Model.E_profile _ ->
+          0
+      in
+      acc + 1 + features)
+    0 m

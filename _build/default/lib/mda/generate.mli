@@ -1,0 +1,28 @@
+(** PSM → code: the "complete code generation" step of MDA (§3).
+
+    Hardware: every state machine in the PSM is flattened and compiled
+    to an FSM module; the resulting design is rendered in the platform's
+    language.  Software: the PSM's classes are rendered as C.
+
+    Machines that cannot be flattened/compiled are reported, never
+    silently skipped. *)
+
+type hw_result = {
+  design : Hdl.Module_.design option;  (** [None] when nothing compiled *)
+  compiled : string list;  (** machine names that became modules *)
+  skipped : (string * string) list;  (** machine name, reason *)
+}
+
+val hw_design : Uml.Model.t -> hw_result
+
+val artifacts : Platform.t -> Uml.Model.t -> (string * string) list
+(** (filename, contents) pairs for the platform's language.  Hardware
+    platforms render the compiled design; the software platform renders
+    C for the classes. *)
+
+val loc : string -> int
+(** Non-blank line count — the measure behind experiment E1. *)
+
+val model_element_count : Uml.Model.t -> int
+(** Elements plus owned features (attributes, operations, states,
+    transitions, nodes, edges, ports) — the "model size" of E1. *)

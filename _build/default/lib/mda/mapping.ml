@@ -1,0 +1,113 @@
+open Uml
+
+let lower_real (ty : Dtype.t) =
+  match ty with
+  | Dtype.Real -> (Dtype.Integer, true)
+  | Dtype.Boolean | Dtype.Integer | Dtype.Unlimited_natural
+  | Dtype.String_type | Dtype.Void | Dtype.Ref _ ->
+    (ty, false)
+
+let real_to_fixed_rule =
+  {
+    Transform.rule_name = "real-to-fixed";
+    rule_transform =
+      (fun _pim element ->
+        match element with
+        | Model.E_classifier c ->
+          let changed = ref false in
+          let attributes =
+            List.map
+              (fun (p : Classifier.property) ->
+                let ty, ch = lower_real p.Classifier.prop_type in
+                if ch then changed := true;
+                { p with Classifier.prop_type = ty })
+              c.Classifier.cl_attributes
+          in
+          let operations =
+            List.map
+              (fun (o : Classifier.operation) ->
+                let params =
+                  List.map
+                    (fun (pa : Classifier.parameter) ->
+                      let ty, ch = lower_real pa.Classifier.param_type in
+                      if ch then changed := true;
+                      { pa with Classifier.param_type = ty })
+                    o.Classifier.op_params
+                in
+                { o with Classifier.op_params = params })
+              c.Classifier.cl_operations
+          in
+          if !changed then
+            Some
+              ( [
+                  Model.E_classifier
+                    {
+                      c with
+                      Classifier.cl_attributes = attributes;
+                      cl_operations = operations;
+                    };
+                ],
+                true )
+          else None
+        | _other -> None);
+  }
+
+let add_clock_reset_rule (plat : Platform.t) =
+  {
+    Transform.rule_name = "add-clock-reset";
+    rule_transform =
+      (fun _pim element ->
+        match element with
+        | Model.E_component c ->
+          let has name =
+            List.exists
+              (fun (p : Component.port) -> p.Component.port_name = name)
+              c.Component.cmp_ports
+          in
+          let missing =
+            (if has plat.Platform.plat_clock then []
+             else [ Component.port plat.Platform.plat_clock ])
+            @
+            if has plat.Platform.plat_reset then []
+            else [ Component.port plat.Platform.plat_reset ]
+          in
+          if missing = [] then None
+          else
+            Some
+              ( [
+                  Model.E_component
+                    {
+                      c with
+                      Component.cmp_ports = c.Component.cmp_ports @ missing;
+                    };
+                ],
+                true )
+        | _other -> None);
+  }
+
+let passivate_rule =
+  {
+    Transform.rule_name = "active-to-task";
+    rule_transform =
+      (fun _pim element ->
+        match element with
+        | Model.E_classifier c when c.Classifier.cl_is_active ->
+          Some
+            ([ Model.E_classifier { c with Classifier.cl_is_active = false } ],
+             true)
+        | _other -> None);
+  }
+
+let hw_rules plat = [ real_to_fixed_rule; add_clock_reset_rule plat ]
+let sw_rules _plat = [ passivate_rule ]
+
+let to_psm plat pim =
+  let rules =
+    match plat.Platform.plat_realization with
+    | Platform.Hardware -> hw_rules plat
+    | Platform.Software -> sw_rules plat
+  in
+  let psm_name =
+    Printf.sprintf "%s__%s" (Model.name pim) plat.Platform.plat_name
+  in
+  Transform.run rules ~psm_name pim

@@ -1,0 +1,20 @@
+(** Built-in PIM → PSM mappings.
+
+    Hardware mapping:
+    - [Real] attributes/parameters become [Integer] (fixed-point
+      lowering) — changed;
+    - components gain clock and reset ports named after the platform —
+      changed;
+    - everything else is copied (reused).
+
+    Software mapping:
+    - active classes become passive tasks (a scheduler owns the
+      threads) — changed;
+    - everything else is copied. *)
+
+val hw_rules : Platform.t -> Transform.rule list
+val sw_rules : Platform.t -> Transform.rule list
+
+val to_psm : Platform.t -> Uml.Model.t -> Uml.Model.t * Transform.trace
+(** Apply the realization-appropriate rules; the PSM is named
+    ["<pim>__<platform>"]. *)

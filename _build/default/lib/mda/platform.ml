@@ -1,0 +1,55 @@
+type realization =
+  | Hardware
+  | Software
+
+type t = {
+  plat_name : string;
+  plat_realization : realization;
+  plat_language : string;
+  plat_data_width : int;
+  plat_clock : string;
+  plat_reset : string;
+}
+
+let asic_vhdl =
+  {
+    plat_name = "asic_vhdl";
+    plat_realization = Hardware;
+    plat_language = "vhdl";
+    plat_data_width = 32;
+    plat_clock = "clk";
+    plat_reset = "rst";
+  }
+
+let fpga_verilog =
+  {
+    plat_name = "fpga_verilog";
+    plat_realization = Hardware;
+    plat_language = "verilog";
+    plat_data_width = 32;
+    plat_clock = "clk";
+    plat_reset = "rst";
+  }
+
+let virtual_systemc =
+  {
+    plat_name = "virtual_systemc";
+    plat_realization = Hardware;
+    plat_language = "systemc";
+    plat_data_width = 32;
+    plat_clock = "clk";
+    plat_reset = "rst";
+  }
+
+let sw_c =
+  {
+    plat_name = "sw_c";
+    plat_realization = Software;
+    plat_language = "c";
+    plat_data_width = 32;
+    plat_clock = "";
+    plat_reset = "";
+  }
+
+let all = [ asic_vhdl; fpga_verilog; virtual_systemc; sw_c ]
+let by_name n = List.find_opt (fun p -> p.plat_name = n) all

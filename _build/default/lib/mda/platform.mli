@@ -1,0 +1,26 @@
+(** Platform descriptions for PIM → PSM mappings (§3, MDA).
+
+    A platform names the realization domain (hardware or software), the
+    target language of the final code-generation step, and the
+    platform-specific facts the mapping injects into the PSM. *)
+
+type realization =
+  | Hardware
+  | Software
+
+type t = {
+  plat_name : string;
+  plat_realization : realization;
+  plat_language : string;  (** "vhdl" | "verilog" | "systemc" | "c" *)
+  plat_data_width : int;
+  plat_clock : string;
+  plat_reset : string;
+}
+
+val asic_vhdl : t
+val fpga_verilog : t
+val virtual_systemc : t
+val sw_c : t
+
+val all : t list
+val by_name : string -> t option

@@ -1,0 +1,78 @@
+type trace_entry = {
+  te_rule : string;
+  te_source : Uml.Ident.t;
+  te_results : Uml.Ident.t list;
+  te_changed : bool;
+}
+
+type trace = trace_entry list
+
+type rule = {
+  rule_name : string;
+  rule_transform :
+    Uml.Model.t -> Uml.Model.element -> (Uml.Model.element list * bool) option;
+}
+
+let run rules ~psm_name pim =
+  let psm = Uml.Model.create psm_name in
+  let apply_first element =
+    let rec try_rules = function
+      | [] -> None
+      | r :: rest -> (
+        match r.rule_transform pim element with
+        | Some (results, changed) -> Some (r.rule_name, results, changed)
+        | None -> try_rules rest)
+    in
+    try_rules rules
+  in
+  let trace =
+    Uml.Model.fold
+      (fun acc element ->
+        let source = Uml.Model.element_id element in
+        match apply_first element with
+        | Some (rule_name, results, changed) ->
+          List.iter (Uml.Model.replace psm) results;
+          {
+            te_rule = rule_name;
+            te_source = source;
+            te_results = List.map Uml.Model.element_id results;
+            te_changed = changed;
+          }
+          :: acc
+        | None ->
+          Uml.Model.replace psm element;
+          {
+            te_rule = "copy";
+            te_source = source;
+            te_results = [ source ];
+            te_changed = false;
+          }
+          :: acc)
+      [] pim
+  in
+  (* carry applications/diagrams whose anchors survived *)
+  List.iter
+    (fun (a : Uml.Profile.application) ->
+      if Uml.Model.mem psm a.Uml.Profile.app_element then
+        Uml.Model.add_application psm a)
+    (Uml.Model.applications pim);
+  List.iter
+    (fun (d : Uml.Diagram.t) ->
+      let surviving =
+        List.filter (Uml.Model.mem psm) d.Uml.Diagram.dg_elements
+      in
+      Uml.Model.add_diagram psm { d with Uml.Diagram.dg_elements = surviving })
+    (Uml.Model.diagrams pim);
+  (psm, List.rev trace)
+
+let reuse_fraction trace =
+  match trace with
+  | [] -> 1.0
+  | entries ->
+    let unchanged =
+      List.length (List.filter (fun e -> not e.te_changed) entries)
+    in
+    float_of_int unchanged /. float_of_int (List.length entries)
+
+let changed_count trace =
+  List.length (List.filter (fun e -> e.te_changed) trace)

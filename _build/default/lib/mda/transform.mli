@@ -1,0 +1,34 @@
+(** Rule-based model-to-model transformation with traces.
+
+    A transformation walks the source model in element order; for every
+    element the first applicable rule produces the PSM elements (and
+    says whether they differ from the source); non-matching elements are
+    copied verbatim.  The trace records, per source element, which rule
+    fired and what it produced — the raw data behind the reuse-fraction
+    measurement of experiment E5. *)
+
+type trace_entry = {
+  te_rule : string;  (** ["copy"] for the implicit identity rule *)
+  te_source : Uml.Ident.t;
+  te_results : Uml.Ident.t list;
+  te_changed : bool;
+}
+
+type trace = trace_entry list
+
+type rule = {
+  rule_name : string;
+  rule_transform :
+    Uml.Model.t -> Uml.Model.element -> (Uml.Model.element list * bool) option;
+      (** [rule_transform pim element]: [None] when not applicable;
+          [Some (results, changed)] otherwise. *)
+}
+
+val run : rule list -> psm_name:string -> Uml.Model.t -> Uml.Model.t * trace
+(** Stereotype applications and diagrams are carried over when their
+    target elements survive with the same identifier. *)
+
+val reuse_fraction : trace -> float
+(** Fraction of source elements copied unchanged. *)
+
+val changed_count : trace -> int

@@ -1,0 +1,1 @@
+lib/petri/analysis.pp.ml: List Marking Net Queue Set String

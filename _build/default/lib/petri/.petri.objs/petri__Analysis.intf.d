@@ -1,0 +1,1 @@
+lib/petri/analysis.pp.mli: Marking Net

@@ -1,0 +1,1 @@
+lib/petri/coverability.pp.ml: Hashtbl List Map Marking Net String

@@ -1,0 +1,1 @@
+lib/petri/coverability.pp.mli: Marking Net

@@ -1,0 +1,1 @@
+lib/petri/invariant.pp.ml: Array Hashtbl List Marking Net Ratio

@@ -1,0 +1,1 @@
+lib/petri/invariant.pp.mli: Marking Net

@@ -1,0 +1,1 @@
+lib/petri/marking.pp.ml: Format Int List Map Net String

@@ -1,0 +1,1 @@
+lib/petri/marking.pp.mli: Format Map Net

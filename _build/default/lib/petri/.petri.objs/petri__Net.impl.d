@@ -1,0 +1,1 @@
+lib/petri/net.pp.ml: List Ppx_deriving_runtime Printf Set String

@@ -1,0 +1,1 @@
+lib/petri/net.pp.mli: Ppx_deriving_runtime

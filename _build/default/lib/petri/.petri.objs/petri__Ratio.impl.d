@@ -1,0 +1,1 @@
+lib/petri/ratio.pp.ml: Ppx_deriving_runtime Printf

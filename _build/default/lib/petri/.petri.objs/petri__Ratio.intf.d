@@ -1,0 +1,1 @@
+lib/petri/ratio.pp.mli: Ppx_deriving_runtime

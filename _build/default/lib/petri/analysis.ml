@@ -1,0 +1,100 @@
+type reach_result = {
+  markings : Marking.t list;
+  state_count : int;
+  truncated : bool;
+  deadlocks : Marking.t list;
+}
+
+module MSet = Set.Make (struct
+  type t = Marking.t
+
+  let compare = Marking.compare
+end)
+
+let reachable ?(limit = 10_000) net m0 =
+  let queue = Queue.create () in
+  Queue.push m0 queue;
+  let rec loop seen order deadlocks truncated =
+    if Queue.is_empty queue then (seen, order, deadlocks, truncated)
+    else if MSet.cardinal seen >= limit then (seen, order, deadlocks, true)
+    else
+      let m = Queue.pop queue in
+      if MSet.mem m seen then loop seen order deadlocks truncated
+      else begin
+        let seen = MSet.add m seen in
+        let successors =
+          List.filter_map
+            (fun tn -> Marking.fire net m tn.Net.tn_id)
+            net.Net.transitions
+        in
+        let deadlocks = if successors = [] then m :: deadlocks else deadlocks in
+        List.iter (fun m' -> Queue.push m' queue) successors;
+        loop seen (m :: order) deadlocks truncated
+      end
+  in
+  let _seen, order, deadlocks, truncated =
+    loop MSet.empty [] [] false
+  in
+  let markings = List.rev order in
+  {
+    markings;
+    state_count = List.length markings;
+    truncated;
+    deadlocks = List.rev deadlocks;
+  }
+
+let is_deadlock_free ?limit net m0 =
+  let r = reachable ?limit net m0 in
+  if r.truncated && r.deadlocks = [] then None else Some (r.deadlocks = [])
+
+let bound ?limit net m0 =
+  let r = reachable ?limit net m0 in
+  if r.truncated then None
+  else
+    let max_place m =
+      List.fold_left (fun acc (_, n) -> max acc n) 0 (Marking.to_list m)
+    in
+    Some (List.fold_left (fun acc m -> max acc (max_place m)) 0 r.markings)
+
+let is_k_bounded ?limit k net m0 =
+  match bound ?limit net m0 with
+  | Some b -> Some (b <= k)
+  | None -> None
+
+(* Deterministic linear-congruential choice, so differential tests can
+   replay the same sequence on both engines. *)
+let random_occurrence_sequence ~seed ~max_steps net m0 =
+  let state = ref (seed land 0x3FFFFFFF) in
+  let next_choice bound =
+    state := ((!state * 1103515245) + 12345) land 0x3FFFFFFF;
+    !state mod bound
+  in
+  let rec loop m steps acc =
+    if steps >= max_steps then List.rev acc
+    else
+      match Marking.enabled_transitions net m with
+      | [] -> List.rev acc
+      | enabled ->
+        let pick = List.nth enabled (next_choice (List.length enabled)) in
+        (match Marking.fire net m pick.Net.tn_id with
+         | Some m' -> loop m' (steps + 1) (pick.Net.tn_id :: acc)
+         | None -> List.rev acc)
+  in
+  loop m0 0 []
+
+let dead_transitions ?limit net m0 =
+  let r = reachable ?limit net m0 in
+  let fired =
+    List.fold_left
+      (fun acc m ->
+        List.fold_left
+          (fun acc tn -> tn.Net.tn_id :: acc)
+          acc
+          (Marking.enabled_transitions net m))
+      [] r.markings
+  in
+  let module S = Set.Make (String) in
+  let fired = S.of_list fired in
+  List.filter_map
+    (fun tn -> if S.mem tn.Net.tn_id fired then None else Some tn.Net.tn_id)
+    net.Net.transitions

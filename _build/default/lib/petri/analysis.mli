@@ -1,0 +1,35 @@
+(** Behavioral analysis: reachability, boundedness, deadlocks, and
+    occurrence sequences. *)
+
+type reach_result = {
+  markings : Marking.t list;  (** discovered markings, BFS order *)
+  state_count : int;
+  truncated : bool;  (** hit the exploration limit *)
+  deadlocks : Marking.t list;  (** reachable markings without successors *)
+}
+
+val reachable : ?limit:int -> Net.t -> Marking.t -> reach_result
+(** Breadth-first state-space exploration, up to [limit] states
+    (default 10_000). *)
+
+val is_deadlock_free : ?limit:int -> Net.t -> Marking.t -> bool option
+(** [Some b] when the state space was fully explored, [None] when
+    truncated. *)
+
+val bound : ?limit:int -> Net.t -> Marking.t -> int option
+(** Maximum tokens observed in any single place over the explored state
+    space; [None] when exploration was truncated (the net may be
+    unbounded). *)
+
+val is_k_bounded : ?limit:int -> int -> Net.t -> Marking.t -> bool option
+
+val random_occurrence_sequence :
+  seed:int -> max_steps:int -> Net.t -> Marking.t -> string list
+(** A deterministic pseudo-random firing sequence (for differential
+    testing against the activity engine): repeatedly fires the
+    [seed]-selected enabled transition until none is enabled or
+    [max_steps] were taken. *)
+
+val dead_transitions : ?limit:int -> Net.t -> Marking.t -> string list
+(** Transitions never enabled in the explored state space (L0-live
+    check); conservative when truncated. *)

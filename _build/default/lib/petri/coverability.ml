@@ -1,0 +1,130 @@
+type count =
+  | Fin of int
+  | Omega
+
+type omega_marking = (string * count) list
+
+type result = {
+  nodes : int;
+  unbounded_places : string list;
+  truncated : bool;
+}
+
+module SM = Map.Make (String)
+
+(* internal representation: map with absent = 0 *)
+
+let om_of_marking m =
+  List.fold_left
+    (fun acc (p, n) -> SM.add p (Fin n) acc)
+    SM.empty (Marking.to_list m)
+
+let get om p =
+  match SM.find_opt p om with
+  | Some c -> c
+  | None -> Fin 0
+
+let enabled net om tn =
+  Net.find_transition net tn <> None
+  && List.for_all
+       (fun (p, w) ->
+         match get om p with
+         | Omega -> true
+         | Fin n -> n >= w)
+       (Net.pre net tn)
+
+let fire net om tn =
+  let consume om (p, w) =
+    match get om p with
+    | Omega -> om
+    | Fin n -> SM.add p (Fin (n - w)) om
+  in
+  let produce om (p, w) =
+    match get om p with
+    | Omega -> om
+    | Fin n -> SM.add p (Fin (n + w)) om
+  in
+  let om = List.fold_left consume om (Net.pre net tn) in
+  List.fold_left produce om (Net.post net tn)
+
+(* partial order: om1 <= om2 *)
+let leq om1 om2 places =
+  List.for_all
+    (fun (p : Net.place) ->
+      match get om1 p.Net.pl_id, get om2 p.Net.pl_id with
+      | _, Omega -> true
+      | Omega, Fin _ -> false
+      | Fin a, Fin b -> a <= b)
+    places
+
+let equal_om om1 om2 places =
+  leq om1 om2 places && leq om2 om1 places
+
+(* acceleration: any ancestor strictly below the new marking pushes the
+   strictly larger places to omega *)
+let accelerate ancestors om places =
+  List.fold_left
+    (fun om ancestor ->
+      if leq ancestor om places && not (equal_om ancestor om places) then
+        List.fold_left
+          (fun om (p : Net.place) ->
+            let id = p.Net.pl_id in
+            match get ancestor id, get om id with
+            | Fin a, Fin b when b > a -> SM.add id Omega om
+            | (Fin _ | Omega), (Fin _ | Omega) -> om)
+          om places
+      else om)
+    om ancestors
+
+let analyse ?(limit = 10_000) net m0 =
+  let places = net.Net.places in
+  let seen = ref [] in
+  let omega_places = Hashtbl.create 8 in
+  let truncated = ref false in
+  let node_count = ref 0 in
+  let note_omegas om =
+    SM.iter
+      (fun p c ->
+        match c with
+        | Omega -> Hashtbl.replace omega_places p ()
+        | Fin _ -> ())
+      om
+  in
+  let rec explore ancestors om =
+    if !node_count >= limit then truncated := true
+    else if List.exists (fun s -> equal_om s om places) !seen then ()
+    else begin
+      incr node_count;
+      seen := om :: !seen;
+      note_omegas om;
+      List.iter
+        (fun (tn : Net.transition) ->
+          if enabled net om tn.Net.tn_id then begin
+            let next = fire net om tn.Net.tn_id in
+            let next = accelerate (om :: ancestors) next places in
+            explore (om :: ancestors) next
+          end)
+        net.Net.transitions
+    end
+  in
+  explore [] (om_of_marking m0);
+  let unbounded =
+    List.sort String.compare
+      (Hashtbl.fold (fun p () acc -> p :: acc) omega_places [])
+  in
+  { nodes = !node_count; unbounded_places = unbounded; truncated = !truncated }
+
+let is_bounded ?limit net m0 =
+  let r = analyse ?limit net m0 in
+  if r.unbounded_places <> [] then Some false
+  else if r.truncated then None
+  else Some true
+
+let covers (om : omega_marking) m =
+  let covers_entry p n =
+    match List.assoc_opt p om with
+    | Some Omega -> true
+    | Some (Fin k) -> k >= n
+    | None -> n = 0
+  in
+  List.for_all (fun (p, n) -> covers_entry p n) (Marking.to_list m)

@@ -1,0 +1,164 @@
+let incidence net =
+  let places = Array.of_list net.Net.places in
+  let transitions = Array.of_list net.Net.transitions in
+  let index_of_place =
+    let tbl = Hashtbl.create 16 in
+    Array.iteri (fun i p -> Hashtbl.replace tbl p.Net.pl_id i) places;
+    tbl
+  in
+  let c =
+    Array.make_matrix (Array.length places) (Array.length transitions) 0
+  in
+  Array.iteri
+    (fun j tn ->
+      List.iter
+        (fun (p, w) ->
+          let i = Hashtbl.find index_of_place p in
+          c.(i).(j) <- c.(i).(j) - w)
+        (Net.pre net tn.Net.tn_id);
+      List.iter
+        (fun (p, w) ->
+          let i = Hashtbl.find index_of_place p in
+          c.(i).(j) <- c.(i).(j) + w)
+        (Net.post net tn.Net.tn_id))
+    transitions;
+  c
+
+(* Nullspace basis of an integer matrix (rows x cols) over Q, returned
+   as integer vectors of length [cols].  Standard Gaussian elimination
+   to reduced row echelon form; free columns generate basis vectors. *)
+let nullspace rows cols (a : int array array) =
+  let m = Array.init rows (fun i -> Array.map Ratio.of_int a.(i)) in
+  let pivot_col_of_row = Array.make rows (-1) in
+  let row = ref 0 in
+  for col = 0 to cols - 1 do
+    if !row < rows then begin
+      (* find pivot *)
+      let pivot = ref (-1) in
+      for i = !row to rows - 1 do
+        if !pivot = -1 && not (Ratio.is_zero m.(i).(col)) then pivot := i
+      done;
+      if !pivot >= 0 then begin
+        let p = !pivot in
+        let tmp = m.(p) in
+        m.(p) <- m.(!row);
+        m.(!row) <- tmp;
+        let pv = m.(!row).(col) in
+        for j = 0 to cols - 1 do
+          m.(!row).(j) <- Ratio.div m.(!row).(j) pv
+        done;
+        for i = 0 to rows - 1 do
+          if i <> !row && not (Ratio.is_zero m.(i).(col)) then begin
+            let f = m.(i).(col) in
+            for j = 0 to cols - 1 do
+              m.(i).(j) <- Ratio.sub m.(i).(j) (Ratio.mul f m.(!row).(j))
+            done
+          end
+        done;
+        pivot_col_of_row.(!row) <- col;
+        incr row
+      end
+    end
+  done;
+  let rank = !row in
+  let is_pivot_col = Array.make cols false in
+  for i = 0 to rank - 1 do
+    is_pivot_col.(pivot_col_of_row.(i)) <- true
+  done;
+  let basis = ref [] in
+  for free = cols - 1 downto 0 do
+    if not is_pivot_col.(free) then begin
+      let v = Array.make cols Ratio.zero in
+      v.(free) <- Ratio.one;
+      for i = 0 to rank - 1 do
+        let pc = pivot_col_of_row.(i) in
+        v.(pc) <- Ratio.neg m.(i).(free)
+      done;
+      basis := v :: !basis
+    end
+  done;
+  (* scale each vector to coprime integers, first non-zero positive *)
+  let rec gcd a b = if b = 0 then abs a else gcd b (a mod b) in
+  let to_ints v =
+    let lcm_den =
+      Array.fold_left
+        (fun acc (r : Ratio.t) ->
+          let d = r.Ratio.den in
+          acc / gcd acc d * d)
+        1 v
+    in
+    let ints =
+      Array.map (fun (r : Ratio.t) -> r.Ratio.num * (lcm_den / r.Ratio.den)) v
+    in
+    let g = Array.fold_left (fun acc n -> gcd acc n) 0 ints in
+    let ints = if g > 1 then Array.map (fun n -> n / g) ints else ints in
+    let first_sign =
+      let rec find i =
+        if i >= Array.length ints then 1
+        else if ints.(i) <> 0 then compare ints.(i) 0
+        else find (i + 1)
+      in
+      find 0
+    in
+    if first_sign < 0 then Array.map (fun n -> -n) ints else ints
+  in
+  List.map to_ints !basis
+
+let named_vectors names vectors =
+  List.map
+    (fun v ->
+      List.filteri (fun _i (_, w) -> w <> 0)
+        (List.mapi (fun i name -> (name, v.(i))) names))
+    vectors
+
+let transpose rows cols a =
+  let t = Array.make_matrix cols rows 0 in
+  for i = 0 to rows - 1 do
+    for j = 0 to cols - 1 do
+      t.(j).(i) <- a.(i).(j)
+    done
+  done;
+  t
+
+let p_invariants net =
+  let c = incidence net in
+  let rows = List.length net.Net.places in
+  let cols = List.length net.Net.transitions in
+  if rows = 0 then []
+  else
+    (* x^T C = 0  <=>  C^T x = 0 *)
+    let ct = transpose rows cols c in
+    let basis = nullspace cols rows ct in
+    let names = List.map (fun p -> p.Net.pl_id) net.Net.places in
+    List.filter (fun v -> v <> []) (named_vectors names basis)
+
+let t_invariants net =
+  let c = incidence net in
+  let rows = List.length net.Net.places in
+  let cols = List.length net.Net.transitions in
+  if cols = 0 then []
+  else
+    let basis = nullspace rows cols c in
+    let names = List.map (fun tn -> tn.Net.tn_id) net.Net.transitions in
+    List.filter (fun v -> v <> []) (named_vectors names basis)
+
+let check_p_invariant net inv =
+  let weight p =
+    match List.assoc_opt p inv with
+    | Some w -> w
+    | None -> 0
+  in
+  let change_for tn =
+    let minus =
+      List.fold_left
+        (fun acc (p, w) -> acc - (w * weight p))
+        0 (Net.pre net tn.Net.tn_id)
+    in
+    List.fold_left
+      (fun acc (p, w) -> acc + (w * weight p))
+      minus (Net.post net tn.Net.tn_id)
+  in
+  List.for_all (fun tn -> change_for tn = 0) net.Net.transitions
+
+let invariant_value inv m =
+  List.fold_left (fun acc (p, w) -> acc + (w * Marking.tokens m p)) 0 inv

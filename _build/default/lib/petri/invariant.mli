@@ -1,0 +1,25 @@
+(** Structural invariants from the incidence matrix.
+
+    P-invariants (place weightings conserved by every firing) and
+    T-invariants (firing-count vectors that reproduce a marking) are
+    computed as rational nullspace bases of the incidence matrix,
+    rescaled to integer vectors. *)
+
+val incidence : Net.t -> int array array
+(** [C.(i).(j)] = net token change of place [i] (in [Net.t] place order)
+    when transition [j] (in transition order) fires. *)
+
+val p_invariants : Net.t -> (string * int) list list
+(** Basis of P-invariants; each is a list of (place id, weight) with at
+    least one non-zero weight.  Weights are integers with gcd 1, sign
+    normalized so the first non-zero weight is positive. *)
+
+val t_invariants : Net.t -> (string * int) list list
+(** Basis of T-invariants over transition ids. *)
+
+val check_p_invariant : Net.t -> (string * int) list -> bool
+(** Verify [x^T C = 0] directly. *)
+
+val invariant_value : (string * int) list -> Marking.t -> int
+(** Weighted token sum of a marking under a P-invariant: constant along
+    any occurrence sequence. *)

@@ -1,0 +1,69 @@
+module M = Map.Make (String)
+
+type t = int M.t
+
+let empty = M.empty
+
+let normalize m = M.filter (fun _ n -> n <> 0) m
+
+let of_list l =
+  normalize
+    (List.fold_left
+       (fun m (p, n) ->
+         let current =
+           match M.find_opt p m with
+           | Some c -> c
+           | None -> 0
+         in
+         M.add p (current + n) m)
+       M.empty l)
+
+let to_list m = M.bindings (normalize m)
+
+let tokens m p =
+  match M.find_opt p m with
+  | Some n -> n
+  | None -> 0
+
+let add m p n =
+  let v = tokens m p + n in
+  if v = 0 then M.remove p m else M.add p v m
+
+let total m = M.fold (fun _ n acc -> acc + n) m 0
+let equal m1 m2 = M.equal Int.equal (normalize m1) (normalize m2)
+let compare m1 m2 = M.compare Int.compare (normalize m1) (normalize m2)
+
+let enabled net m tn =
+  Net.find_transition net tn <> None
+  && List.for_all (fun (p, w) -> tokens m p >= w) (Net.pre net tn)
+
+let enabled_transitions net m =
+  List.filter (fun tn -> enabled net m tn.Net.tn_id) net.Net.transitions
+
+let fire net m tn =
+  if not (enabled net m tn) then None
+  else
+    let m = List.fold_left (fun m (p, w) -> add m p (-w)) m (Net.pre net tn) in
+    let m = List.fold_left (fun m (p, w) -> add m p w) m (Net.post net tn) in
+    Some m
+
+let fire_sequence net m seq =
+  let step acc tn =
+    match acc with
+    | None -> None
+    | Some m -> fire net m tn
+  in
+  List.fold_left step (Some m) seq
+
+let pp fmt m =
+  let items = to_list m in
+  Format.fprintf fmt "{";
+  List.iteri
+    (fun i (p, n) ->
+      if i > 0 then Format.fprintf fmt ", ";
+      if n = 1 then Format.fprintf fmt "%s" p
+      else Format.fprintf fmt "%s:%d" p n)
+    items;
+  Format.fprintf fmt "}"
+
+let show m = Format.asprintf "%a" pp m

@@ -1,0 +1,32 @@
+(** Markings: multisets of tokens over places, and the firing rule. *)
+
+module M : Map.S with type key = string
+
+type t = int M.t
+(** Absent keys mean zero tokens. *)
+
+val empty : t
+val of_list : (string * int) list -> t
+val to_list : t -> (string * int) list
+(** Non-zero entries sorted by place id. *)
+
+val tokens : t -> string -> int
+val add : t -> string -> int -> t
+val total : t -> int
+val equal : t -> t -> bool
+val compare : t -> t -> int
+
+val enabled : Net.t -> t -> string -> bool
+(** Is the given transition enabled? *)
+
+val enabled_transitions : Net.t -> t -> Net.transition list
+(** In the net's transition order (deterministic). *)
+
+val fire : Net.t -> t -> string -> t option
+(** [fire net m tn] = successor marking, [None] if not enabled. *)
+
+val fire_sequence : Net.t -> t -> string list -> t option
+(** Fire a sequence of transitions; [None] as soon as one is disabled. *)
+
+val pp : Format.formatter -> t -> unit
+val show : t -> string

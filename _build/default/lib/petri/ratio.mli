@@ -1,0 +1,28 @@
+(** Small exact rationals over native ints, for invariant computation.
+
+    Sufficient for the incidence matrices of model-sized nets; no
+    arbitrary precision (values stay tiny after normalization). *)
+
+type t = private {
+  num : int;
+  den : int;  (** always positive; gcd(num, den) = 1 *)
+}
+[@@deriving eq, show]
+
+val make : int -> int -> t
+(** @raise Division_by_zero when the denominator is zero. *)
+
+val of_int : int -> t
+val zero : t
+val one : t
+val add : t -> t -> t
+val sub : t -> t -> t
+val mul : t -> t -> t
+val div : t -> t -> t
+(** @raise Division_by_zero *)
+
+val neg : t -> t
+val is_zero : t -> bool
+val sign : t -> int
+val to_string : t -> string
+val compare : t -> t -> int

@@ -1,0 +1,1 @@
+lib/profiles/rt_profile.ml: Classifier Dtype Ident List Model Printf Profile Uml Vspec Wfr

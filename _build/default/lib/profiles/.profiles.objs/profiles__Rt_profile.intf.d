@@ -1,0 +1,1 @@
+lib/profiles/rt_profile.mli: Uml

@@ -1,0 +1,1 @@
+lib/profiles/soc_profile.ml: Classifier Component Dtype Ident List Model Printf Profile Uml Vspec Wfr

@@ -1,0 +1,1 @@
+lib/profiles/soc_profile.mli: Uml

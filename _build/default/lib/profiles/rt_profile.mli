@@ -1,0 +1,23 @@
+(** A UML-RT-flavoured real-time profile.
+
+    The paper credits ROOM/UML-RT as the template for profile-based
+    tailoring.  This profile provides:
+
+    - [«capsule»] on classes: an active object communicating only
+      through ports (tags: [priority]);
+    - [«protocol»] on interfaces: a message set exchanged over a
+      connector;
+    - [«rtPort»] on ports (tags: [conjugated] Boolean);
+    - [«periodic»] on operations (tags: [period], [deadline], [wcet]). *)
+
+val profile : unit -> Uml.Profile.t
+val install : Uml.Model.t -> Uml.Profile.t
+val stereotype_names : string list
+
+val apply :
+  Uml.Model.t -> profile:Uml.Profile.t -> stereotype:string ->
+  ?values:(string * Uml.Vspec.t) list -> Uml.Ident.t -> unit
+
+val check : Uml.Model.t -> Uml.Wfr.diagnostic list
+(** [«capsule»] classes must be active; [«periodic»] operations need
+    [period > 0] and [deadline <= period] when both are given. *)

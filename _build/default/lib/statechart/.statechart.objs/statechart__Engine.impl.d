@@ -1,0 +1,1 @@
+lib/statechart/engine.pp.ml: Asl Event Hashtbl Ident List Ppx_deriving_runtime Printf Queue Smachine String Topology Uml

@@ -1,0 +1,1 @@
+lib/statechart/engine.pp.mli: Asl Event Ppx_deriving_runtime Uml

@@ -1,0 +1,1 @@
+lib/statechart/event.pp.ml: Asl List Ppx_deriving_runtime Uml

@@ -1,0 +1,1 @@
+lib/statechart/event.pp.mli: Asl Ppx_deriving_runtime Uml

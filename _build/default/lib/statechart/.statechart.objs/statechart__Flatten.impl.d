@@ -1,0 +1,1 @@
+lib/statechart/flatten.pp.ml: Ident List Ppx_deriving_runtime Printf Set Smachine String Topology Uml

@@ -1,0 +1,1 @@
+lib/statechart/flatten.pp.mli: Ppx_deriving_runtime Uml

@@ -1,0 +1,1 @@
+lib/statechart/topology.pp.ml: Hashtbl Ident List Smachine Uml

@@ -1,0 +1,1 @@
+lib/statechart/topology.pp.mli: Ident Smachine Uml

@@ -1,0 +1,17 @@
+type t = {
+  name : string;
+  args : Asl.Value.t list;
+}
+[@@deriving eq, show]
+
+let make ?(args = []) name = { name; args }
+let completion_name = "__completion"
+let time_name = "__time"
+
+let matches trigger ev =
+  match trigger with
+  | Uml.Smachine.Signal_trigger n -> n = ev.name
+  | Uml.Smachine.Any_trigger ->
+    ev.name <> completion_name && ev.name <> time_name
+  | Uml.Smachine.Time_trigger _ -> false
+  | Uml.Smachine.Completion -> false

@@ -1,0 +1,20 @@
+(** Event instances dispatched to state machines. *)
+
+type t = {
+  name : string;
+  args : Asl.Value.t list;
+}
+[@@deriving eq, show]
+
+val make : ?args:Asl.Value.t list -> string -> t
+
+val matches : Uml.Smachine.trigger -> t -> bool
+(** Does a trigger accept this event?  [Time_trigger] and [Completion]
+    triggers never match external events (they are raised internally by
+    the engine). *)
+
+val completion_name : string
+(** Reserved name of internally generated completion events. *)
+
+val time_name : string
+(** Reserved name of internally generated time events. *)

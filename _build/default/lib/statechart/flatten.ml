@@ -1,0 +1,421 @@
+open Uml
+
+type flat_transition = {
+  ft_source : string;
+  ft_target : string;
+  ft_event : string option;
+  ft_guards : string list;
+  ft_effects : string list;
+  ft_priority : int;
+}
+[@@deriving eq, show]
+
+type t = {
+  fm_name : string;
+  fm_states : string list;
+  fm_initial : string;
+  fm_finals : string list;
+  fm_transitions : flat_transition list;
+}
+[@@deriving eq, show]
+
+exception Unsupported of string
+
+let unsupported fmt = Printf.ksprintf (fun m -> raise (Unsupported m)) fmt
+
+type ctx = {
+  topo : Topology.t;
+}
+
+let check_supported ctx =
+  let sm = Topology.machine ctx.topo in
+  if List.length sm.Smachine.sm_regions <> 1 then
+    unsupported "machine has %d top regions (need exactly 1)"
+      (List.length sm.Smachine.sm_regions);
+  List.iter
+    (fun v ->
+      match v with
+      | Smachine.State s ->
+        if Smachine.is_orthogonal s then
+          unsupported "orthogonal state %s" s.Smachine.st_name;
+        if s.Smachine.st_deferred <> [] then
+          unsupported "deferred events in state %s" s.Smachine.st_name;
+        if s.Smachine.st_do <> None then
+          unsupported "do-activity in state %s" s.Smachine.st_name
+      | Smachine.Pseudo p -> (
+        match p.Smachine.ps_kind with
+        | Smachine.Initial | Smachine.Junction | Smachine.Choice -> ()
+        | Smachine.Deep_history | Smachine.Shallow_history ->
+          unsupported "history pseudostate"
+        | Smachine.Fork | Smachine.Join -> unsupported "fork/join"
+        | Smachine.Entry_point | Smachine.Exit_point ->
+          unsupported "entry/exit point"
+        | Smachine.Terminate -> unsupported "terminate")
+      | Smachine.Final _ -> ())
+    (Smachine.all_vertices sm);
+  List.iter
+    (fun tr ->
+      List.iter
+        (fun trg ->
+          match trg with
+          | Smachine.Time_trigger _ -> unsupported "after-trigger"
+          | Smachine.Any_trigger -> unsupported "any-trigger"
+          | Smachine.Signal_trigger _ | Smachine.Completion -> ())
+        tr.Smachine.tr_triggers)
+    (Smachine.all_transitions sm)
+
+let qualified ctx id =
+  let names =
+    List.map
+      (fun a -> Smachine.vertex_name (Topology.vertex ctx.topo a))
+      (Topology.ancestor_states ctx.topo id)
+    @ [ Smachine.vertex_name (Topology.vertex ctx.topo id) ]
+  in
+  String.concat "." names
+
+let is_leaf_state ctx id =
+  match Topology.vertex ctx.topo id with
+  | Smachine.State s -> not (Smachine.is_composite s)
+  | Smachine.Final _ -> true
+  | Smachine.Pseudo _ -> false
+
+(* Follow default-entry (initial chains) from a vertex down to a leaf,
+   accumulating effects and entry actions.  Also resolves guard-free
+   junction chains on the way. *)
+let rec resolve_entry ctx acc id =
+  match Topology.vertex ctx.topo id with
+  | Smachine.Final _ -> (acc, id)
+  | Smachine.State s ->
+    let acc =
+      match s.Smachine.st_entry with
+      | Some e -> acc @ [ e ]
+      | None -> acc
+    in
+    if Smachine.is_composite s then begin
+      match s.Smachine.st_regions with
+      | [ r ] -> (
+        match Topology.initial_of_region r with
+        | None -> unsupported "composite %s has no initial" s.Smachine.st_name
+        | Some init -> (
+          match Topology.outgoing ctx.topo init.Smachine.ps_id with
+          | [] -> unsupported "initial without outgoing transition"
+          | tr :: _rest ->
+            let acc =
+              match tr.Smachine.tr_effect with
+              | Some e -> acc @ [ e ]
+              | None -> acc
+            in
+            resolve_entry ctx acc tr.Smachine.tr_target))
+      | _other -> unsupported "orthogonal state %s" s.Smachine.st_name
+    end
+    else (acc, id)
+  | Smachine.Pseudo p -> (
+    match p.Smachine.ps_kind with
+    | Smachine.Junction | Smachine.Choice -> (
+      match Topology.outgoing ctx.topo p.Smachine.ps_id with
+      | [ tr ] when tr.Smachine.tr_guard = None ->
+        let acc =
+          match tr.Smachine.tr_effect with
+          | Some e -> acc @ [ e ]
+          | None -> acc
+        in
+        resolve_entry ctx acc tr.Smachine.tr_target
+      | _branches ->
+        unsupported "guarded junction in default-entry chain"
+    )
+    | _other -> unsupported "pseudostate in default-entry chain")
+
+(* Entry actions for entering [target] coming from outside: entries of
+   every ancestor below the scope region, outermost first, then the
+   default-entry chain below the target. *)
+let entry_actions ctx ~scope_region target =
+  let ancestors = Topology.ancestor_states ctx.topo target in
+  let below_scope =
+    List.filter
+      (fun a ->
+        let chain = Topology.region_chain ctx.topo a in
+        match scope_region with
+        | None -> true
+        | Some scope ->
+          (* a is inside scope iff scope appears in a's region chain *)
+          List.exists (Ident.equal scope) chain)
+      ancestors
+  in
+  let ancestor_entries =
+    List.concat_map
+      (fun a ->
+        match Topology.vertex ctx.topo a with
+        | Smachine.State s -> (
+          match s.Smachine.st_entry with
+          | Some e -> [ e ]
+          | None -> [])
+        | Smachine.Pseudo _ | Smachine.Final _ -> [])
+      below_scope
+  in
+  let chain_entries, leaf = resolve_entry ctx [] target in
+  (ancestor_entries @ chain_entries, leaf)
+
+(* Exit actions from leaf [leaf] up to and including [root]. *)
+let exit_actions ctx ~leaf ~root =
+  let chain = leaf :: List.rev (Topology.ancestor_states ctx.topo leaf) in
+  (* chain: leaf, parent, grandparent, ... outermost *)
+  let rec take acc = function
+    | [] -> acc (* root not on chain: exit nothing beyond *)
+    | id :: rest ->
+      let acc =
+        match Topology.vertex ctx.topo id with
+        | Smachine.State s -> (
+          match s.Smachine.st_exit with
+          | Some e -> acc @ [ e ]
+          | None -> acc)
+        | Smachine.Pseudo _ | Smachine.Final _ -> acc
+      in
+      if Ident.equal id root then acc else take acc rest
+  in
+  take [] chain
+
+(* Expand a transition target through junction branches, producing one
+   (guards, effects, final target) alternative per branch. *)
+let rec expand_target ctx guards effects target =
+  match Topology.vertex ctx.topo target with
+  | Smachine.Pseudo p
+    when p.Smachine.ps_kind = Smachine.Junction
+         || p.Smachine.ps_kind = Smachine.Choice ->
+    let branches = Topology.outgoing ctx.topo p.Smachine.ps_id in
+    if branches = [] then unsupported "junction without outgoing transitions";
+    List.concat_map
+      (fun tr ->
+        let guards =
+          match tr.Smachine.tr_guard with
+          | Some g -> guards @ [ g ]
+          | None -> guards
+        in
+        let effects =
+          match tr.Smachine.tr_effect with
+          | Some e -> effects @ [ e ]
+          | None -> effects
+        in
+        expand_target ctx guards effects tr.Smachine.tr_target)
+      branches
+  | Smachine.Pseudo p ->
+    unsupported "unsupported pseudostate target %s"
+      (Smachine.show_pseudostate_kind p.Smachine.ps_kind)
+  | Smachine.State _ | Smachine.Final _ -> [ (guards, effects, target) ]
+
+let flatten_exn sm =
+  let ctx = { topo = Topology.build sm } in
+  check_supported ctx;
+  let all = Smachine.all_vertices sm in
+  let leaves =
+    List.filter_map
+      (fun v ->
+        let id = Smachine.vertex_id v in
+        if is_leaf_state ctx id then Some id else None)
+      all
+  in
+  let finals =
+    List.filter_map
+      (fun v ->
+        match v with
+        | Smachine.Final f -> Some (qualified ctx f.Smachine.fs_id)
+        | Smachine.State _ | Smachine.Pseudo _ -> None)
+      all
+  in
+  (* initial leaf *)
+  let top_region =
+    match sm.Smachine.sm_regions with
+    | [ r ] -> r
+    | _other -> assert false (* checked *)
+  in
+  let init_effects, initial_leaf =
+    match Topology.initial_of_region top_region with
+    | None -> unsupported "machine has no initial pseudostate"
+    | Some init -> (
+      match Topology.outgoing ctx.topo init.Smachine.ps_id with
+      | [] -> unsupported "initial without outgoing transition"
+      | tr :: _rest ->
+        let effects =
+          match tr.Smachine.tr_effect with
+          | Some e -> [ e ]
+          | None -> []
+        in
+        let chain, leaf = resolve_entry ctx effects tr.Smachine.tr_target in
+        (chain, leaf))
+  in
+  let _ = init_effects in
+  (* transitions: for each leaf, transitions of the leaf and of its
+     ancestors apply (inner priority = depth) *)
+  let flat_of_leaf leaf =
+    let sources = leaf :: List.rev (Topology.ancestor_states ctx.topo leaf) in
+    List.concat_map
+      (fun src ->
+        let depth = Topology.depth ctx.topo src in
+        List.concat_map
+          (fun tr ->
+            if
+              Smachine.equal_transition_kind tr.Smachine.tr_kind
+                Smachine.Internal
+            then []
+            else
+              let event =
+                match tr.Smachine.tr_triggers with
+                | [] -> None
+                | Smachine.Signal_trigger n :: _rest -> Some n
+                | Smachine.Completion :: _rest -> None
+                | (Smachine.Time_trigger _ | Smachine.Any_trigger) :: _rest ->
+                  assert false (* checked *)
+              in
+              let scope_region =
+                (* a local transition from a composite into itself scopes
+                   to the region of the target inside the source (same
+                   rule as the execution engine) *)
+                let local_scope =
+                  if
+                    Smachine.equal_transition_kind tr.Smachine.tr_kind
+                      Smachine.Local
+                    && (match Topology.vertex_opt ctx.topo src with
+                        | Some (Smachine.State s) -> Smachine.is_composite s
+                        | Some (Smachine.Pseudo _ | Smachine.Final _) | None ->
+                          false)
+                    && Topology.is_within ctx.topo ~ancestor:src
+                         tr.Smachine.tr_target
+                  then
+                    List.find_opt
+                      (fun rid ->
+                        match Topology.state_of_region ctx.topo rid with
+                        | Some owner -> Ident.equal owner src
+                        | None -> false)
+                      (Topology.region_chain ctx.topo tr.Smachine.tr_target)
+                  else None
+                in
+                match local_scope with
+                | Some _ as s -> s
+                | None -> Topology.lca_region ctx.topo src tr.Smachine.tr_target
+              in
+              let root =
+                (* the exited vertex: the leaf's ancestor-or-self sitting
+                   directly in the scope region *)
+                match scope_region with
+                | None -> src
+                | Some scope ->
+                  if
+                    Ident.equal (Topology.region_of_vertex ctx.topo leaf) scope
+                  then leaf
+                  else (
+                    match
+                      List.find_opt
+                        (fun a ->
+                          Ident.equal
+                            (Topology.region_of_vertex ctx.topo a)
+                            scope)
+                        (Topology.ancestor_states ctx.topo leaf)
+                    with
+                    | Some a -> a
+                    | None -> src)
+              in
+              let exits = exit_actions ctx ~leaf ~root in
+              let base_guards =
+                match tr.Smachine.tr_guard with
+                | Some g -> [ g ]
+                | None -> []
+              in
+              let base_effects =
+                match tr.Smachine.tr_effect with
+                | Some e -> [ e ]
+                | None -> []
+              in
+              let alternatives =
+                expand_target ctx base_guards base_effects
+                  tr.Smachine.tr_target
+              in
+              List.map
+                (fun (guards, effects, target) ->
+                  let entries, target_leaf =
+                    entry_actions ctx ~scope_region target
+                  in
+                  {
+                    ft_source = qualified ctx leaf;
+                    ft_target = qualified ctx target_leaf;
+                    ft_event = event;
+                    ft_guards = guards;
+                    ft_effects = exits @ effects @ entries;
+                    ft_priority = depth;
+                  })
+                alternatives)
+          (Topology.outgoing ctx.topo src))
+      sources
+  in
+  let transitions =
+    List.concat_map
+      (fun leaf ->
+        (* completion sources: final states have no outgoing transitions
+           themselves, but completion transitions of their composite
+           parent apply — handled because parents are in [sources]. *)
+        flat_of_leaf leaf)
+      leaves
+  in
+  let transitions =
+    List.stable_sort
+      (fun a b ->
+        match String.compare a.ft_source b.ft_source with
+        | 0 -> compare b.ft_priority a.ft_priority
+        | c -> c)
+      transitions
+  in
+  {
+    fm_name = sm.Smachine.sm_name;
+    fm_states = List.map (qualified ctx) leaves;
+    fm_initial = qualified ctx initial_leaf;
+    fm_finals = finals;
+    fm_transitions = transitions;
+  }
+
+let flatten sm =
+  match flatten_exn sm with
+  | flat -> Ok flat
+  | exception Unsupported m -> Error m
+
+let events_of t =
+  let module S = Set.Make (String) in
+  let events =
+    List.fold_left
+      (fun s tr ->
+        match tr.ft_event with
+        | Some e -> S.add e s
+        | None -> s)
+      S.empty t.fm_transitions
+  in
+  S.elements events
+
+let simulate ?(eval_guard = fun _g -> true) t events =
+  let applicable state event tr =
+    tr.ft_source = state
+    && tr.ft_event = event
+    && List.for_all eval_guard tr.ft_guards
+  in
+  (* chase eventless transitions to a bounded fixpoint *)
+  let rec settle state budget =
+    if budget = 0 then state
+    else
+      match
+        List.find_opt (fun tr -> applicable state None tr) t.fm_transitions
+      with
+      | Some tr -> settle tr.ft_target (budget - 1)
+      | None -> state
+  in
+  let step state event =
+    match
+      List.find_opt
+        (fun tr -> applicable state (Some event) tr)
+        t.fm_transitions
+    with
+    | Some tr -> settle tr.ft_target 100
+    | None -> state
+  in
+  let rec loop state acc = function
+    | [] -> List.rev acc
+    | ev :: rest ->
+      let state' = step state ev in
+      loop state' (state' :: acc) rest
+  in
+  loop (settle t.fm_initial 100) [] events

@@ -1,0 +1,42 @@
+(** Flattening hierarchical state machines.
+
+    Code generators for hardware targets want a flat machine: one state
+    register, one transition table.  This module lowers a hierarchical
+    machine to that form, composing exit/effect/entry behavior lists and
+    resolving default (initial) entry chains and junction chains.
+
+    Restrictions (reported as [Error _], never silently mis-compiled):
+    orthogonal regions, history, fork/join, entry/exit points, terminate,
+    deferred events and [after n] triggers are not flattenable here —
+    they remain the execution engine's domain. *)
+
+type flat_transition = {
+  ft_source : string;  (** qualified leaf name *)
+  ft_target : string;
+  ft_event : string option;  (** [None] = completion (eventless) *)
+  ft_guards : string list;  (** conjunction of ASL guards *)
+  ft_effects : string list;  (** exit actions, effects, entry actions *)
+  ft_priority : int;  (** depth of the original source; larger wins *)
+}
+[@@deriving eq, show]
+
+type t = {
+  fm_name : string;
+  fm_states : string list;  (** qualified leaf names, deterministic order *)
+  fm_initial : string;
+  fm_finals : string list;
+  fm_transitions : flat_transition list;  (** priority-sorted per source *)
+}
+[@@deriving eq, show]
+
+val flatten : Uml.Smachine.t -> (t, string) result
+
+val events_of : t -> string list
+(** All event names referenced, sorted. *)
+
+val simulate :
+  ?eval_guard:(string -> bool) -> t -> string list -> string list
+(** Flat-machine reference interpreter used for differential testing
+    against {!Engine}: feed event names, get the state name after each
+    event (eventless transitions are chased to a fixpoint, bounded).
+    [eval_guard] decides guards (default: all true). *)

@@ -1,0 +1,1 @@
+lib/sxml/doc.ml: Buffer List String

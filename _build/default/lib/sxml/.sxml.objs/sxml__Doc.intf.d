@@ -1,0 +1,1 @@
+lib/sxml/doc.mli: Buffer

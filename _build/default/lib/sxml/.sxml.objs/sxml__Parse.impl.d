@@ -1,0 +1,1 @@
+lib/sxml/parse.ml: Buffer Char Doc List Printf String

@@ -1,0 +1,1 @@
+lib/sxml/parse.mli: Doc

@@ -1,0 +1,21 @@
+(** XML parser.
+
+    Handwritten recursive-descent parser for the XML subset produced by
+    {!Doc.to_string} and common XMI exporters: prolog, comments, CDATA,
+    DOCTYPE (skipped), elements, attributes (single or double quoted),
+    character and entity references. *)
+
+exception Error of {
+  line : int;
+  column : int;
+  message : string;
+}
+
+val parse_string : ?keep_whitespace:bool -> string -> Doc.t
+(** Parse a complete document and return the root element.
+    Whitespace-only text nodes between elements are dropped unless
+    [keep_whitespace] is set (default [false]).
+    @raise Error on malformed input. *)
+
+val error_message : exn -> string option
+(** Render an [Error]; [None] for other exceptions. *)

@@ -1,0 +1,1 @@
+lib/workload/gen_activity.ml: Activityg Ident List Printf Prng Uml

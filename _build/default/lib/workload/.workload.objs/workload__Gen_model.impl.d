@@ -1,0 +1,1 @@
+lib/workload/gen_model.ml: Classifier Component Dtype List Model Printf Prng Uml

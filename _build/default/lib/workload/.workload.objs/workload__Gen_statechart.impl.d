@@ -1,0 +1,1 @@
+lib/workload/gen_statechart.ml: Array List Printf Prng Smachine Uml

@@ -1,0 +1,1 @@
+lib/workload/gen_taskgraph.ml: Array Hwsw List Printf Prng

@@ -1,0 +1,121 @@
+open Uml
+
+(* A fragment is a subgraph with one entry point and one exit point;
+   composition wires fragments with fresh edges. *)
+type fragment = {
+  fr_nodes : Activityg.node list;
+  fr_edges : Activityg.edge list;
+  fr_entry : Ident.t;  (** node receiving the incoming edge *)
+  fr_exit : Ident.t;  (** node producing the outgoing edge *)
+}
+
+let counter = ref 0
+
+let fresh_action () =
+  incr counter;
+  Activityg.action (Printf.sprintf "a%d" !counter)
+
+let single () =
+  let n = fresh_action () in
+  let id = Activityg.node_id n in
+  { fr_nodes = [ n ]; fr_edges = []; fr_entry = id; fr_exit = id }
+
+let series f1 f2 =
+  let connect =
+    Activityg.edge ~source:f1.fr_exit ~target:f2.fr_entry ()
+  in
+  {
+    fr_nodes = f1.fr_nodes @ f2.fr_nodes;
+    fr_edges = f1.fr_edges @ (connect :: f2.fr_edges);
+    fr_entry = f1.fr_entry;
+    fr_exit = f2.fr_exit;
+  }
+
+let parallel branches =
+  let fork = Activityg.fork "fork" in
+  let join = Activityg.join "join" in
+  let fork_id = Activityg.node_id fork in
+  let join_id = Activityg.node_id join in
+  let edges =
+    List.concat_map
+      (fun f ->
+        [
+          Activityg.edge ~source:fork_id ~target:f.fr_entry ();
+          Activityg.edge ~source:f.fr_exit ~target:join_id ();
+        ]
+        @ f.fr_edges)
+      branches
+  in
+  {
+    fr_nodes = (fork :: join :: List.concat_map (fun f -> f.fr_nodes) branches);
+    fr_edges = edges;
+    fr_entry = fork_id;
+    fr_exit = join_id;
+  }
+
+let alternative branches =
+  let dec = Activityg.decision "dec" in
+  let mrg = Activityg.merge "mrg" in
+  let dec_id = Activityg.node_id dec in
+  let mrg_id = Activityg.node_id mrg in
+  let edges =
+    List.concat_map
+      (fun f ->
+        [
+          Activityg.edge ~source:dec_id ~target:f.fr_entry ();
+          Activityg.edge ~source:f.fr_exit ~target:mrg_id ();
+        ]
+        @ f.fr_edges)
+      branches
+  in
+  {
+    fr_nodes = (dec :: mrg :: List.concat_map (fun f -> f.fr_nodes) branches);
+    fr_edges = edges;
+    fr_entry = dec_id;
+    fr_exit = mrg_id;
+  }
+
+let rec build rng ~decisions budget max_width =
+  if budget <= 1 then single ()
+  else
+    match Prng.int rng (if decisions then 3 else 2) with
+    | 0 ->
+      (* series split *)
+      let left = 1 + Prng.int rng (budget - 1) in
+      series
+        (build rng ~decisions left max_width)
+        (build rng ~decisions (budget - left) max_width)
+    | 1 ->
+      let width = min max_width (max 2 (Prng.int rng max_width + 1)) in
+      let share = max 1 (budget / width) in
+      parallel
+        (List.init width (fun _ -> build rng ~decisions share max_width))
+    | _alternative ->
+      let width = min max_width (max 2 (Prng.int rng max_width + 1)) in
+      let share = max 1 (budget / width) in
+      alternative
+        (List.init width (fun _ -> build rng ~decisions share max_width))
+
+let wrap name f =
+  let init = Activityg.initial () in
+  let final = Activityg.activity_final () in
+  let init_id = Activityg.node_id init in
+  let final_id = Activityg.node_id final in
+  let edges =
+    Activityg.edge ~source:init_id ~target:f.fr_entry ()
+    :: Activityg.edge ~source:f.fr_exit ~target:final_id ()
+    :: f.fr_edges
+  in
+  Activityg.make name (init :: final :: f.fr_nodes) edges
+
+let series_parallel ~seed ~size ~max_width =
+  counter := 0;
+  let rng = Prng.create seed in
+  let f = build rng ~decisions:false size (max 2 max_width) in
+  wrap (Printf.sprintf "sp_%d_%d" size max_width) f
+
+let with_decisions ~seed ~size ~max_width =
+  counter := 0;
+  let rng = Prng.create seed in
+  let f = build rng ~decisions:true size (max 2 max_width) in
+  wrap (Printf.sprintf "spd_%d_%d" size max_width) f

@@ -1,0 +1,17 @@
+(** Random activity generation: series-parallel token-flow graphs.
+
+    Generated activities are sound by construction (one initial node,
+    one activity-final, fork/join balanced), well-formed per
+    {!Uml.Wfr.check}, and guard-free so that the {!Activity} engine and
+    the Petri translation explore the same behavior (experiment E3). *)
+
+val series_parallel :
+  seed:int -> size:int -> max_width:int -> Uml.Activityg.t
+(** Roughly [size] action nodes arranged by recursive series/parallel
+    composition; parallel sections are fork/join bounded by
+    [max_width]. *)
+
+val with_decisions :
+  seed:int -> size:int -> max_width:int -> Uml.Activityg.t
+(** Like {!series_parallel} but some sections become decision/merge
+    alternatives (still guard-free: non-deterministic choice). *)

@@ -1,0 +1,77 @@
+open Uml
+
+let structural ~seed ~classes =
+  let rng = Prng.create seed in
+  let m = Model.create (Printf.sprintf "random_%d_%d" seed classes) in
+  let interface_ids = ref [] in
+  let class_ids = ref [] in
+  let types =
+    [ Dtype.Integer; Dtype.Boolean; Dtype.String_type; Dtype.Real ]
+  in
+  for i = 0 to classes - 1 do
+    if i mod 4 = 0 then begin
+      let ops =
+        List.init
+          (1 + Prng.int rng 3)
+          (fun j ->
+            Classifier.operation
+              ~params:
+                [
+                  Classifier.parameter "arg" (Prng.pick rng types);
+                  Classifier.parameter ~direction:Classifier.Return "result"
+                    (Prng.pick rng types);
+                ]
+              (Printf.sprintf "op_i%d_%d" i j))
+      in
+      let itf =
+        Classifier.make ~kind:Classifier.Interface ~operations:ops
+          (Printf.sprintf "I%d" i)
+      in
+      Model.add m (Model.E_classifier itf);
+      interface_ids := itf.Classifier.cl_id :: !interface_ids
+    end;
+    let attrs =
+      List.init
+        (1 + Prng.int rng 4)
+        (fun j ->
+          Classifier.property
+            (Printf.sprintf "attr%d_%d" i j)
+            (Prng.pick rng types))
+    in
+    let ops =
+      List.init
+        (Prng.int rng 3)
+        (fun j ->
+          Classifier.operation
+            ~body:(Printf.sprintf "return %d;" (Prng.int rng 100))
+            (Printf.sprintf "op%d_%d" i j))
+    in
+    let generals =
+      match !class_ids with
+      | [] -> []
+      | ids -> if Prng.int rng 3 = 0 then [ Prng.pick rng ids ] else []
+    in
+    let realized =
+      match !interface_ids with
+      | [] -> []
+      | ids -> if Prng.bool rng then [ Prng.pick rng ids ] else []
+    in
+    let cl =
+      Classifier.make ~attributes:attrs ~operations:ops ~generals ~realized
+        (Printf.sprintf "C%d" i)
+    in
+    Model.add m (Model.E_classifier cl);
+    class_ids := cl.Classifier.cl_id :: !class_ids;
+    if i mod 8 = 7 && !interface_ids <> [] then begin
+      let provided = [ Prng.pick rng !interface_ids ] in
+      let required =
+        if Prng.bool rng then [ Prng.pick rng !interface_ids ] else []
+      in
+      let port = Component.port ~provided ~required "p0" in
+      let comp =
+        Component.make ~ports:[ port ] (Printf.sprintf "Comp%d" i)
+      in
+      Model.add m (Model.E_component comp)
+    end
+  done;
+  m

@@ -1,0 +1,7 @@
+(** Random structural models (classes, interfaces, components) for the
+    XMI round-trip and transformation-scaling experiments. *)
+
+val structural : seed:int -> classes:int -> Uml.Model.t
+(** [classes] classes with attributes/operations, one interface per
+    four classes, generalizations to earlier classes, one component per
+    eight classes with ports typed by the interfaces.  Well-formed. *)

@@ -1,0 +1,44 @@
+let layered ~seed ~tasks ~layers =
+  let rng = Prng.create seed in
+  let layers = max 1 layers in
+  let layer_of = Array.init tasks (fun i -> i * layers / max 1 tasks) in
+  let task_list =
+    List.init tasks (fun i ->
+        let sw = Prng.range rng 20 120 in
+        let speedup = Prng.range rng 4 10 in
+        let hw = max 1 (sw / speedup) in
+        let area = Prng.range rng 40 240 in
+        Hwsw.Taskgraph.task ~sw_time:sw ~hw_time:hw ~hw_area:area
+          (Printf.sprintf "t%d" i))
+  in
+  let edges = ref [] in
+  for i = 0 to tasks - 1 do
+    if layer_of.(i) > 0 then begin
+      let earlier =
+        List.filteri (fun j _ -> layer_of.(j) < layer_of.(i))
+          (List.init tasks (fun j -> j))
+      in
+      match earlier with
+      | [] -> ()
+      | candidates ->
+        let how_many = 1 + Prng.int rng 2 in
+        for _ = 1 to how_many do
+          let p = Prng.pick rng candidates in
+          let e =
+            Hwsw.Taskgraph.edge
+              ~comm:(Prng.range rng 1 20)
+              (Printf.sprintf "t%d" p)
+              (Printf.sprintf "t%d" i)
+          in
+          if
+            not
+              (List.exists
+                 (fun (x : Hwsw.Taskgraph.edge) ->
+                   x.Hwsw.Taskgraph.edge_from = e.Hwsw.Taskgraph.edge_from
+                   && x.Hwsw.Taskgraph.edge_to = e.Hwsw.Taskgraph.edge_to)
+                 !edges)
+          then edges := e :: !edges
+        done
+    end
+  done;
+  Hwsw.Taskgraph.make task_list (List.rev !edges)

@@ -1,0 +1,8 @@
+(** Random task graphs for partitioning experiments. *)
+
+val layered :
+  seed:int -> tasks:int -> layers:int -> Hwsw.Taskgraph.t
+(** A layered DAG: tasks are spread over [layers]; each task depends on
+    one or two tasks of an earlier layer.  Costs: software time in
+    [20, 120], hardware time 4–10x faster, area in [40, 240],
+    communication in [1, 20]. *)

@@ -1,0 +1,22 @@
+type t = { mutable state : int }
+
+let create seed = { state = (seed * 2654435761) land 0x3FFFFFFF }
+
+let next t =
+  t.state <- ((t.state * 1103515245) + 12345) land 0x3FFFFFFF;
+  t.state
+
+let int t bound =
+  if bound <= 0 then invalid_arg "Prng.int: bound must be positive";
+  next t mod bound
+
+let bool t = int t 2 = 1
+let range t lo hi = lo + int t (hi - lo + 1)
+
+let pick t = function
+  | [] -> invalid_arg "Prng.pick: empty list"
+  | l -> List.nth l (int t (List.length l))
+
+let shuffle t l =
+  let tagged = List.map (fun x -> (next t, x)) l in
+  List.map snd (List.sort (fun (a, _) (b, _) -> compare a b) tagged)

@@ -1,0 +1,20 @@
+(** Deterministic pseudo-random generator for workload synthesis.
+
+    A plain linear-congruential generator: the same seed always produces
+    the same workload, across runs and machines — the substitution rule
+    for the paper's unavailable production designs. *)
+
+type t
+
+val create : int -> t
+val int : t -> int -> int
+(** [int t bound] in [0, bound). @raise Invalid_argument if bound <= 0. *)
+
+val bool : t -> bool
+val range : t -> int -> int -> int
+(** [range t lo hi] inclusive. *)
+
+val pick : t -> 'a list -> 'a
+(** @raise Invalid_argument on an empty list. *)
+
+val shuffle : t -> 'a list -> 'a list

@@ -1,0 +1,1 @@
+lib/xmi/codec.ml: Printf Sxml Uml

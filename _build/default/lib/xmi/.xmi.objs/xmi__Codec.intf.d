@@ -1,0 +1,1 @@
+lib/xmi/codec.mli: Sxml Uml

@@ -1,0 +1,1 @@
+lib/xmi/read.ml: Activityg Classifier Codec Component Deployment Diagram Ident Instance Interaction List Model Option Pkg Printf Profile Smachine String Sxml Uml Usecase

@@ -1,0 +1,1 @@
+lib/xmi/read.mli: Sxml Uml

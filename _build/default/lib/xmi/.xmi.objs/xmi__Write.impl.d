@@ -1,0 +1,1 @@
+lib/xmi/write.ml: Activityg Classifier Codec Component Deployment Diagram Ident Instance Interaction List Model Pkg Profile Smachine String Sxml Uml Usecase

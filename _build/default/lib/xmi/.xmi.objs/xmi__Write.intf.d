@@ -1,0 +1,1 @@
+lib/xmi/write.mli: Sxml Uml

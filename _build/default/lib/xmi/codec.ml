@@ -1,0 +1,128 @@
+exception Decode_error of string
+
+let decode_error fmt = Printf.ksprintf (fun m -> raise (Decode_error m)) fmt
+
+let bool_attr name b = if b then [ (name, "true") ] else []
+
+let opt_attr name = function
+  | Some v -> [ (name, v) ]
+  | None -> []
+
+let int_attr name i = [ (name, string_of_int i) ]
+
+let vspec_attrs prefix (v : Uml.Vspec.t) =
+  let kind = prefix ^ "Kind" in
+  match v with
+  | Uml.Vspec.Int_literal i -> [ (kind, "int"); (prefix, string_of_int i) ]
+  | Uml.Vspec.Real_literal r -> [ (kind, "real"); (prefix, string_of_float r) ]
+  | Uml.Vspec.Bool_literal b -> [ (kind, "bool"); (prefix, string_of_bool b) ]
+  | Uml.Vspec.String_literal s -> [ (kind, "string"); (prefix, s) ]
+  | Uml.Vspec.Enum_literal s -> [ (kind, "enum"); (prefix, s) ]
+  | Uml.Vspec.Null_literal -> [ (kind, "null") ]
+  | Uml.Vspec.Opaque_expression s -> [ (kind, "opaque"); (prefix, s) ]
+
+let vspec_of_attrs prefix e =
+  let kind = prefix ^ "Kind" in
+  match Sxml.Doc.attr e kind with
+  | None -> None
+  | Some k -> (
+    let payload () =
+      match Sxml.Doc.attr e prefix with
+      | Some p -> p
+      | None -> decode_error "missing %s payload for kind %s" prefix k
+    in
+    match k with
+    | "int" -> (
+      match int_of_string_opt (payload ()) with
+      | Some i -> Some (Uml.Vspec.Int_literal i)
+      | None -> decode_error "bad int literal %s" (payload ()))
+    | "real" -> (
+      match float_of_string_opt (payload ()) with
+      | Some r -> Some (Uml.Vspec.Real_literal r)
+      | None -> decode_error "bad real literal %s" (payload ()))
+    | "bool" -> (
+      match payload () with
+      | "true" -> Some (Uml.Vspec.Bool_literal true)
+      | "false" -> Some (Uml.Vspec.Bool_literal false)
+      | other -> decode_error "bad bool literal %s" other)
+    | "string" -> Some (Uml.Vspec.String_literal (payload ()))
+    | "enum" -> Some (Uml.Vspec.Enum_literal (payload ()))
+    | "null" -> Some Uml.Vspec.Null_literal
+    | "opaque" -> Some (Uml.Vspec.Opaque_expression (payload ()))
+    | other -> decode_error "unknown value kind %s" other)
+
+let dtype_attrs name (ty : Uml.Dtype.t) =
+  let kind = name ^ "Kind" in
+  match ty with
+  | Uml.Dtype.Boolean -> [ (kind, "Boolean") ]
+  | Uml.Dtype.Integer -> [ (kind, "Integer") ]
+  | Uml.Dtype.Real -> [ (kind, "Real") ]
+  | Uml.Dtype.Unlimited_natural -> [ (kind, "UnlimitedNatural") ]
+  | Uml.Dtype.String_type -> [ (kind, "String") ]
+  | Uml.Dtype.Void -> []
+  | Uml.Dtype.Ref id -> [ (kind, "ref"); (name, Uml.Ident.to_string id) ]
+
+let dtype_of_attrs name e =
+  let kind = name ^ "Kind" in
+  match Sxml.Doc.attr e kind with
+  | None -> Uml.Dtype.Void
+  | Some "Boolean" -> Uml.Dtype.Boolean
+  | Some "Integer" -> Uml.Dtype.Integer
+  | Some "Real" -> Uml.Dtype.Real
+  | Some "UnlimitedNatural" -> Uml.Dtype.Unlimited_natural
+  | Some "String" -> Uml.Dtype.String_type
+  | Some "ref" -> (
+    match Sxml.Doc.attr e name with
+    | Some id -> Uml.Dtype.Ref (Uml.Ident.of_string id)
+    | None -> decode_error "type ref without target")
+  | Some other -> decode_error "unknown type kind %s" other
+
+let mult_attrs (m : Uml.Mult.t) =
+  let upper =
+    match m.Uml.Mult.upper with
+    | Uml.Mult.Bounded n -> string_of_int n
+    | Uml.Mult.Unbounded -> "*"
+  in
+  [ ("lower", string_of_int m.Uml.Mult.lower); ("upper", upper) ]
+
+let mult_of_attrs e =
+  match Sxml.Doc.attr e "lower", Sxml.Doc.attr e "upper" with
+  | Some lo, Some up -> (
+    let lower =
+      match int_of_string_opt lo with
+      | Some l -> l
+      | None -> decode_error "bad multiplicity lower %s" lo
+    in
+    match up with
+    | "*" -> { Uml.Mult.lower; upper = Uml.Mult.Unbounded }
+    | n -> (
+      match int_of_string_opt n with
+      | Some u -> { Uml.Mult.lower; upper = Uml.Mult.Bounded u }
+      | None -> decode_error "bad multiplicity upper %s" n))
+  | _missing1, _missing2 -> Uml.Mult.one
+
+let get_attr e name =
+  match Sxml.Doc.attr e name with
+  | Some v -> v
+  | None -> decode_error "element <%s> missing attribute %s" e.Sxml.Doc.tag name
+
+let get_bool e name =
+  match Sxml.Doc.attr e name with
+  | Some "true" -> true
+  | Some "false" | None -> false
+  | Some other -> decode_error "bad boolean attribute %s=%s" name other
+
+let get_int e name =
+  match int_of_string_opt (get_attr e name) with
+  | Some i -> i
+  | None -> decode_error "bad integer attribute %s" name
+
+let get_int_opt e name =
+  match Sxml.Doc.attr e name with
+  | None -> None
+  | Some v -> (
+    match int_of_string_opt v with
+    | Some i -> Some i
+    | None -> decode_error "bad integer attribute %s=%s" name v)
+
+let get_opt e name = Sxml.Doc.attr e name

@@ -1,0 +1,34 @@
+(** Shared attribute encodings between {!Write} and {!Read}.
+
+    Values and type references are stored as two attributes
+    ([fooKind] + [foo]) so that every {!Uml.Vspec.t} and {!Uml.Dtype.t}
+    round-trips exactly. *)
+
+exception Decode_error of string
+
+val decode_error : ('a, unit, string, 'b) format4 -> 'a
+
+val bool_attr : string -> bool -> (string * string) list
+(** Empty when false (false is the default on decode). *)
+
+val opt_attr : string -> string option -> (string * string) list
+val int_attr : string -> int -> (string * string) list
+
+val vspec_attrs : string -> Uml.Vspec.t -> (string * string) list
+val vspec_of_attrs : string -> Sxml.Doc.element -> Uml.Vspec.t option
+(** @raise Decode_error on malformed payloads. *)
+
+val dtype_attrs : string -> Uml.Dtype.t -> (string * string) list
+val dtype_of_attrs : string -> Sxml.Doc.element -> Uml.Dtype.t
+(** Defaults to [Void] when absent. *)
+
+val mult_attrs : Uml.Mult.t -> (string * string) list
+val mult_of_attrs : Sxml.Doc.element -> Uml.Mult.t
+
+val get_attr : Sxml.Doc.element -> string -> string
+(** @raise Decode_error when missing. *)
+
+val get_bool : Sxml.Doc.element -> string -> bool
+val get_int : Sxml.Doc.element -> string -> int
+val get_int_opt : Sxml.Doc.element -> string -> int option
+val get_opt : Sxml.Doc.element -> string -> string option

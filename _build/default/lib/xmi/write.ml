@@ -1,0 +1,702 @@
+open Uml
+
+let el = Sxml.Doc.element
+let id_attr id = ("xmi:id", Ident.to_string id)
+let name_attr name = ("name", name)
+let xtype ty = ("xmi:type", "uml:" ^ ty)
+
+(* --- classifiers ----------------------------------------------------- *)
+
+let visibility_string = function
+  | Classifier.Public -> "public"
+  | Classifier.Private -> "private"
+  | Classifier.Protected -> "protected"
+  | Classifier.Package_visibility -> "package"
+
+let direction_string = function
+  | Classifier.In -> "in"
+  | Classifier.Out -> "out"
+  | Classifier.Inout -> "inout"
+  | Classifier.Return -> "return"
+
+let aggregation_string = function
+  | Classifier.No_aggregation -> "none"
+  | Classifier.Shared -> "shared"
+  | Classifier.Composite -> "composite"
+
+let property_xml tag (p : Classifier.property) =
+  let attrs =
+    [ id_attr p.Classifier.prop_id; name_attr p.Classifier.prop_name ]
+    @ Codec.dtype_attrs "type" p.Classifier.prop_type
+    @ Codec.mult_attrs p.Classifier.prop_mult
+    @ (match p.Classifier.prop_default with
+       | Some v -> Codec.vspec_attrs "default" v
+       | None -> [])
+    @ [ ("visibility", visibility_string p.Classifier.prop_visibility) ]
+    @ Codec.bool_attr "isStatic" p.Classifier.prop_is_static
+    @ Codec.bool_attr "isReadOnly" p.Classifier.prop_is_read_only
+    @
+    match p.Classifier.prop_aggregation with
+    | Classifier.No_aggregation -> []
+    | agg -> [ ("aggregation", aggregation_string agg) ]
+  in
+  el ~attrs tag []
+
+let parameter_xml (p : Classifier.parameter) =
+  let attrs =
+    [ id_attr p.Classifier.param_id; name_attr p.Classifier.param_name ]
+    @ Codec.dtype_attrs "type" p.Classifier.param_type
+    @ [ ("direction", direction_string p.Classifier.param_direction) ]
+    @
+    match p.Classifier.param_default with
+    | Some v -> Codec.vspec_attrs "default" v
+    | None -> []
+  in
+  el ~attrs "ownedParameter" []
+
+let operation_xml (o : Classifier.operation) =
+  let attrs =
+    [ id_attr o.Classifier.op_id; name_attr o.Classifier.op_name ]
+    @ [ ("visibility", visibility_string o.Classifier.op_visibility) ]
+    @ Codec.bool_attr "isQuery" o.Classifier.op_is_query
+    @ Codec.bool_attr "isAbstract" o.Classifier.op_is_abstract
+    @ Codec.opt_attr "body" o.Classifier.op_body
+  in
+  el ~attrs "ownedOperation" (List.map parameter_xml o.Classifier.op_params)
+
+let classifier_kind_string = function
+  | Classifier.Class -> "Class"
+  | Classifier.Interface -> "Interface"
+  | Classifier.Data_type -> "DataType"
+  | Classifier.Primitive_type -> "PrimitiveType"
+  | Classifier.Enumeration _ -> "Enumeration"
+  | Classifier.Signal -> "Signal"
+  | Classifier.Actor_kind -> "Actor"
+
+let classifier_xml (c : Classifier.t) =
+  let literal_children =
+    match c.Classifier.cl_kind with
+    | Classifier.Enumeration lits ->
+      List.map (fun l -> el ~attrs:[ name_attr l ] "ownedLiteral" []) lits
+    | Classifier.Class | Classifier.Interface | Classifier.Data_type
+    | Classifier.Primitive_type | Classifier.Signal | Classifier.Actor_kind ->
+      []
+  in
+  let refs tag ids =
+    List.map (fun i -> el ~attrs:[ ("ref", Ident.to_string i) ] tag []) ids
+  in
+  let children =
+    literal_children
+    @ List.map (property_xml "ownedAttribute") c.Classifier.cl_attributes
+    @ List.map operation_xml c.Classifier.cl_operations
+    @ List.map
+        (fun (r : Classifier.reception) ->
+          el
+            ~attrs:
+              [
+                id_attr r.Classifier.recv_id;
+                ("signal", Ident.to_string r.Classifier.recv_signal);
+              ]
+            "ownedReception" [])
+        c.Classifier.cl_receptions
+    @ refs "generalization" c.Classifier.cl_generals
+    @ refs "interfaceRealization" c.Classifier.cl_realized
+    @ refs "ownedBehavior" c.Classifier.cl_behaviors
+  in
+  let attrs =
+    [
+      xtype (classifier_kind_string c.Classifier.cl_kind);
+      id_attr c.Classifier.cl_id;
+      name_attr c.Classifier.cl_name;
+    ]
+    @ Codec.bool_attr "isAbstract" c.Classifier.cl_is_abstract
+    @ Codec.bool_attr "isActive" c.Classifier.cl_is_active
+  in
+  el ~attrs "packagedElement" children
+
+let association_xml (a : Classifier.association) =
+  let end_xml (e : Classifier.association_end) =
+    el
+      ~attrs:(Codec.bool_attr "navigable" e.Classifier.end_navigable)
+      "memberEnd"
+      [ property_xml "endProperty" e.Classifier.end_property ]
+  in
+  el
+    ~attrs:
+      [
+        xtype "Association";
+        id_attr a.Classifier.assoc_id;
+        name_attr a.Classifier.assoc_name;
+      ]
+    "packagedElement"
+    (List.map end_xml a.Classifier.assoc_ends)
+
+(* --- packages -------------------------------------------------------- *)
+
+let package_xml (p : Pkg.t) =
+  let refs tag ids =
+    List.map (fun i -> el ~attrs:[ ("ref", Ident.to_string i) ] tag []) ids
+  in
+  el
+    ~attrs:[ xtype "Package"; id_attr p.Pkg.pkg_id; name_attr p.Pkg.pkg_name ]
+    "packagedElement"
+    (refs "ownedMember" p.Pkg.pkg_owned
+    @ refs "nestedPackage" p.Pkg.pkg_subpackages
+    @ refs "packageImport" p.Pkg.pkg_imports)
+
+(* --- state machines --------------------------------------------------- *)
+
+let pseudostate_kind_string = function
+  | Smachine.Initial -> "initial"
+  | Smachine.Deep_history -> "deepHistory"
+  | Smachine.Shallow_history -> "shallowHistory"
+  | Smachine.Join -> "join"
+  | Smachine.Fork -> "fork"
+  | Smachine.Junction -> "junction"
+  | Smachine.Choice -> "choice"
+  | Smachine.Entry_point -> "entryPoint"
+  | Smachine.Exit_point -> "exitPoint"
+  | Smachine.Terminate -> "terminate"
+
+let trigger_xml (tr : Smachine.trigger) =
+  let attrs =
+    match tr with
+    | Smachine.Signal_trigger n -> [ ("kind", "signal"); ("event", n) ]
+    | Smachine.Time_trigger d -> [ ("kind", "time"); ("after", string_of_int d) ]
+    | Smachine.Any_trigger -> [ ("kind", "any") ]
+    | Smachine.Completion -> [ ("kind", "completion") ]
+  in
+  el ~attrs "trigger" []
+
+let transition_xml (t : Smachine.transition) =
+  let kind =
+    match t.Smachine.tr_kind with
+    | Smachine.External -> "external"
+    | Smachine.Internal -> "internal"
+    | Smachine.Local -> "local"
+  in
+  let attrs =
+    [
+      id_attr t.Smachine.tr_id;
+      ("source", Ident.to_string t.Smachine.tr_source);
+      ("target", Ident.to_string t.Smachine.tr_target);
+      ("kind", kind);
+    ]
+    @ Codec.opt_attr "guard" t.Smachine.tr_guard
+    @ Codec.opt_attr "effect" t.Smachine.tr_effect
+  in
+  el ~attrs "transition" (List.map trigger_xml t.Smachine.tr_triggers)
+
+let rec region_xml (r : Smachine.region) =
+  el
+    ~attrs:[ id_attr r.Smachine.rg_id; name_attr r.Smachine.rg_name ]
+    "region"
+    (List.map vertex_xml r.Smachine.rg_vertices
+    @ List.map transition_xml r.Smachine.rg_transitions)
+
+and vertex_xml = function
+  | Smachine.State s ->
+    let attrs =
+      [ xtype "State"; id_attr s.Smachine.st_id; name_attr s.Smachine.st_name ]
+      @ Codec.opt_attr "entry" s.Smachine.st_entry
+      @ Codec.opt_attr "exit" s.Smachine.st_exit
+      @ Codec.opt_attr "doActivity" s.Smachine.st_do
+    in
+    el ~attrs "subvertex"
+      (List.map
+         (fun tr -> el "deferrableTrigger" [ trigger_xml tr ])
+         s.Smachine.st_deferred
+      @ List.map region_xml s.Smachine.st_regions)
+  | Smachine.Pseudo p ->
+    el
+      ~attrs:
+        [
+          xtype "Pseudostate";
+          id_attr p.Smachine.ps_id;
+          name_attr p.Smachine.ps_name;
+          ("kind", pseudostate_kind_string p.Smachine.ps_kind);
+        ]
+      "subvertex" []
+  | Smachine.Final f ->
+    el
+      ~attrs:
+        [ xtype "FinalState"; id_attr f.Smachine.fs_id;
+          name_attr f.Smachine.fs_name ]
+      "subvertex" []
+
+let state_machine_xml (sm : Smachine.t) =
+  let attrs =
+    [ xtype "StateMachine"; id_attr sm.Smachine.sm_id;
+      name_attr sm.Smachine.sm_name ]
+    @
+    match sm.Smachine.sm_context with
+    | Some c -> [ ("context", Ident.to_string c) ]
+    | None -> []
+  in
+  el ~attrs "packagedElement" (List.map region_xml sm.Smachine.sm_regions)
+
+(* --- activities ------------------------------------------------------- *)
+
+let activity_node_xml (n : Activityg.node) =
+  let head kind extra children =
+    let h =
+      match n with
+      | Activityg.Action a -> a.Activityg.act_head
+      | Activityg.Call_behavior c -> c.Activityg.cb_head
+      | Activityg.Send_signal e | Activityg.Accept_event e ->
+        e.Activityg.ev_head
+      | Activityg.Object_node o -> o.Activityg.on_head
+      | Activityg.Initial_node h
+      | Activityg.Activity_final h
+      | Activityg.Flow_final h
+      | Activityg.Fork_node h
+      | Activityg.Join_node h
+      | Activityg.Decision_node h
+      | Activityg.Merge_node h ->
+        h
+    in
+    el
+      ~attrs:
+        ([ xtype kind; id_attr h.Activityg.nd_id;
+           name_attr h.Activityg.nd_name ]
+        @ extra)
+      "node" children
+  in
+  match n with
+  | Activityg.Action a ->
+    head "OpaqueAction" (Codec.opt_attr "body" a.Activityg.act_body) []
+  | Activityg.Call_behavior c ->
+    head "CallBehaviorAction"
+      [ ("behavior", Ident.to_string c.Activityg.cb_behavior) ]
+      []
+  | Activityg.Send_signal e ->
+    head "SendSignalAction" [ ("event", e.Activityg.ev_event) ] []
+  | Activityg.Accept_event e ->
+    head "AcceptEventAction" [ ("event", e.Activityg.ev_event) ] []
+  | Activityg.Object_node o ->
+    head "CentralBufferNode"
+      (Codec.dtype_attrs "type" o.Activityg.on_type
+      @
+      match o.Activityg.on_upper_bound with
+      | Some b -> [ ("upperBound", string_of_int b) ]
+      | None -> [])
+      []
+  | Activityg.Initial_node _ -> head "InitialNode" [] []
+  | Activityg.Activity_final _ -> head "ActivityFinalNode" [] []
+  | Activityg.Flow_final _ -> head "FlowFinalNode" [] []
+  | Activityg.Fork_node _ -> head "ForkNode" [] []
+  | Activityg.Join_node _ -> head "JoinNode" [] []
+  | Activityg.Decision_node _ -> head "DecisionNode" [] []
+  | Activityg.Merge_node _ -> head "MergeNode" [] []
+
+let activity_edge_xml (e : Activityg.edge) =
+  let kind =
+    match e.Activityg.ed_kind with
+    | Activityg.Control_flow -> "ControlFlow"
+    | Activityg.Object_flow -> "ObjectFlow"
+  in
+  let attrs =
+    [
+      xtype kind;
+      id_attr e.Activityg.ed_id;
+      ("source", Ident.to_string e.Activityg.ed_source);
+      ("target", Ident.to_string e.Activityg.ed_target);
+      ("weight", string_of_int e.Activityg.ed_weight);
+    ]
+    @ Codec.opt_attr "guard" e.Activityg.ed_guard
+  in
+  el ~attrs "edge" []
+
+let activity_xml (a : Activityg.t) =
+  let attrs =
+    [ xtype "Activity"; id_attr a.Activityg.ac_id;
+      name_attr a.Activityg.ac_name ]
+    @
+    match a.Activityg.ac_context with
+    | Some c -> [ ("context", Ident.to_string c) ]
+    | None -> []
+  in
+  el ~attrs "packagedElement"
+    (List.map activity_node_xml a.Activityg.ac_nodes
+    @ List.map activity_edge_xml a.Activityg.ac_edges)
+
+(* --- interactions ------------------------------------------------------ *)
+
+let message_sort_string = function
+  | Interaction.Synch_call -> "synchCall"
+  | Interaction.Asynch_call -> "asynchCall"
+  | Interaction.Asynch_signal -> "asynchSignal"
+  | Interaction.Reply -> "reply"
+  | Interaction.Create_message -> "createMessage"
+  | Interaction.Delete_message -> "deleteMessage"
+
+let operator_attrs = function
+  | Interaction.Alt -> [ ("operator", "alt") ]
+  | Interaction.Opt -> [ ("operator", "opt") ]
+  | Interaction.Loop (mn, mx) ->
+    [ ("operator", "loop"); ("minint", string_of_int mn) ]
+    @ (match mx with
+       | Some m -> [ ("maxint", string_of_int m) ]
+       | None -> [])
+  | Interaction.Par -> [ ("operator", "par") ]
+  | Interaction.Strict -> [ ("operator", "strict") ]
+  | Interaction.Seq -> [ ("operator", "seq") ]
+  | Interaction.Break -> [ ("operator", "break") ]
+  | Interaction.Critical -> [ ("operator", "critical") ]
+  | Interaction.Neg -> [ ("operator", "neg") ]
+  | Interaction.Assert -> [ ("operator", "assert") ]
+  | Interaction.Ignore names ->
+    [ ("operator", "ignore"); ("messages", String.concat "," names) ]
+  | Interaction.Consider names ->
+    [ ("operator", "consider"); ("messages", String.concat "," names) ]
+
+let rec interaction_element_xml = function
+  | Interaction.Message m ->
+    let attrs =
+      [
+        id_attr m.Interaction.msg_id;
+        name_attr m.Interaction.msg_name;
+        ("sort", message_sort_string m.Interaction.msg_sort);
+        ("from", Ident.to_string m.Interaction.msg_from);
+        ("to", Ident.to_string m.Interaction.msg_to);
+      ]
+    in
+    el ~attrs "message"
+      (List.map
+         (fun v -> el ~attrs:(Codec.vspec_attrs "value" v) "argument" [])
+         m.Interaction.msg_arguments)
+  | Interaction.Fragment f ->
+    el
+      ~attrs:(id_attr f.Interaction.fr_id :: operator_attrs f.Interaction.fr_operator)
+      "fragment"
+      (List.map
+         (fun (o : Interaction.operand) ->
+           el
+             ~attrs:
+               (id_attr o.Interaction.opnd_id
+               :: Codec.opt_attr "guard" o.Interaction.opnd_guard)
+             "operand"
+             (List.map interaction_element_xml o.Interaction.opnd_body))
+         f.Interaction.fr_operands)
+
+let interaction_xml (i : Interaction.t) =
+  el
+    ~attrs:
+      [ xtype "Interaction"; id_attr i.Interaction.in_id;
+        name_attr i.Interaction.in_name ]
+    "packagedElement"
+    (List.map
+       (fun (l : Interaction.lifeline) ->
+         el
+           ~attrs:
+             ([ id_attr l.Interaction.ll_id; name_attr l.Interaction.ll_name ]
+             @
+             match l.Interaction.ll_represents with
+             | Some r -> [ ("represents", Ident.to_string r) ]
+             | None -> [])
+           "lifeline" [])
+       i.Interaction.in_lifelines
+    @ List.map interaction_element_xml i.Interaction.in_body)
+
+(* --- use cases ---------------------------------------------------------- *)
+
+let use_case_xml (u : Usecase.t) =
+  let refs tag ids =
+    List.map (fun i -> el ~attrs:[ ("ref", Ident.to_string i) ] tag []) ids
+  in
+  el
+    ~attrs:
+      ([ xtype "UseCase"; id_attr u.Usecase.uc_id; name_attr u.Usecase.uc_name ]
+      @
+      match u.Usecase.uc_subject with
+      | Some s -> [ ("subject", Ident.to_string s) ]
+      | None -> [])
+    "packagedElement"
+    (refs "actorRef" u.Usecase.uc_actors
+    @ refs "include" u.Usecase.uc_includes
+    @ List.map
+        (fun (e : Usecase.extend) ->
+          el
+            ~attrs:
+              (("extendedCase", Ident.to_string e.Usecase.ext_extended)
+              :: Codec.opt_attr "condition" e.Usecase.ext_condition)
+            "extend" [])
+        u.Usecase.uc_extends)
+
+(* --- components ---------------------------------------------------------- *)
+
+let component_xml (c : Component.t) =
+  let port_xml (p : Component.port) =
+    let refs tag ids =
+      List.map (fun i -> el ~attrs:[ ("ref", Ident.to_string i) ] tag []) ids
+    in
+    el
+      ~attrs:
+        ([ id_attr p.Component.port_id; name_attr p.Component.port_name ]
+        @ Codec.bool_attr "isBehavior" p.Component.port_is_behavior)
+      "ownedPort"
+      (refs "provided" p.Component.port_provided
+      @ refs "required" p.Component.port_required)
+  in
+  let part_xml (p : Component.part) =
+    el
+      ~attrs:
+        ([
+           id_attr p.Component.part_id;
+           name_attr p.Component.part_name;
+           ("type", Ident.to_string p.Component.part_type);
+         ]
+        @ Codec.mult_attrs p.Component.part_mult)
+      "ownedPart" []
+  in
+  let connector_xml (conn : Component.connector) =
+    let kind =
+      match conn.Component.conn_kind with
+      | Component.Assembly -> "assembly"
+      | Component.Delegation -> "delegation"
+    in
+    el
+      ~attrs:
+        [
+          id_attr conn.Component.conn_id;
+          name_attr conn.Component.conn_name;
+          ("kind", kind);
+        ]
+      "ownedConnector"
+      (List.map
+         (fun (e : Component.connector_end) ->
+           el
+             ~attrs:
+               (("port", Ident.to_string e.Component.cend_port)
+               ::
+               (match e.Component.cend_part with
+                | Some p -> [ ("part", Ident.to_string p) ]
+                | None -> []))
+             "end" [])
+         conn.Component.conn_ends)
+  in
+  let refs tag ids =
+    List.map (fun i -> el ~attrs:[ ("ref", Ident.to_string i) ] tag []) ids
+  in
+  el
+    ~attrs:
+      [ xtype "Component"; id_attr c.Component.cmp_id;
+        name_attr c.Component.cmp_name ]
+    "packagedElement"
+    (List.map port_xml c.Component.cmp_ports
+    @ List.map part_xml c.Component.cmp_parts
+    @ List.map connector_xml c.Component.cmp_connectors
+    @ refs "realization" c.Component.cmp_realizations
+    @ refs "ownedBehavior" c.Component.cmp_behaviors)
+
+(* --- instances ----------------------------------------------------------- *)
+
+let instance_xml (i : Instance.t) =
+  el
+    ~attrs:
+      ([ xtype "InstanceSpecification"; id_attr i.Instance.inst_id;
+         name_attr i.Instance.inst_name ]
+      @
+      match i.Instance.inst_classifier with
+      | Some c -> [ ("classifier", Ident.to_string c) ]
+      | None -> [])
+    "packagedElement"
+    (List.map
+       (fun (s : Instance.slot) ->
+         el
+           ~attrs:[ ("feature", s.Instance.slot_feature) ]
+           "slot"
+           (List.map
+              (fun v -> el ~attrs:(Codec.vspec_attrs "value" v) "value" [])
+              s.Instance.slot_values))
+       i.Instance.inst_slots)
+
+let link_xml (l : Instance.link) =
+  let e1, e2 = l.Instance.link_ends in
+  el
+    ~attrs:
+      ([
+         xtype "Link";
+         id_attr l.Instance.link_id;
+         ("end1", Ident.to_string e1);
+         ("end2", Ident.to_string e2);
+       ]
+      @
+      match l.Instance.link_association with
+      | Some a -> [ ("association", Ident.to_string a) ]
+      | None -> [])
+    "packagedElement" []
+
+(* --- deployments ----------------------------------------------------------- *)
+
+let node_kind_string = function
+  | Deployment.Node -> "Node"
+  | Deployment.Device -> "Device"
+  | Deployment.Execution_environment -> "ExecutionEnvironment"
+
+let deployment_node_xml (n : Deployment.node) =
+  el
+    ~attrs:
+      [ xtype (node_kind_string n.Deployment.dn_kind);
+        id_attr n.Deployment.dn_id; name_attr n.Deployment.dn_name ]
+    "packagedElement"
+    (List.map
+       (fun i -> el ~attrs:[ ("ref", Ident.to_string i) ] "nestedNode" [])
+       n.Deployment.dn_nested)
+
+let artifact_xml (a : Deployment.artifact) =
+  el
+    ~attrs:
+      [ xtype "Artifact"; id_attr a.Deployment.art_id;
+        name_attr a.Deployment.art_name ]
+    "packagedElement"
+    (List.map
+       (fun i -> el ~attrs:[ ("ref", Ident.to_string i) ] "manifestation" [])
+       a.Deployment.art_manifests)
+
+let deployment_xml (d : Deployment.deployment) =
+  el
+    ~attrs:
+      [
+        xtype "Deployment";
+        id_attr d.Deployment.dep_id;
+        ("artifact", Ident.to_string d.Deployment.dep_artifact);
+        ("target", Ident.to_string d.Deployment.dep_target);
+      ]
+    "packagedElement" []
+
+let communication_path_xml (c : Deployment.communication_path) =
+  let n1, n2 = c.Deployment.cpath_ends in
+  el
+    ~attrs:
+      [
+        xtype "CommunicationPath";
+        id_attr c.Deployment.cpath_id;
+        ("end1", Ident.to_string n1);
+        ("end2", Ident.to_string n2);
+      ]
+    "packagedElement" []
+
+(* --- profiles ----------------------------------------------------------- *)
+
+let metaclass_string (mc : Profile.metaclass) = Profile.metaclass_name mc
+
+let profile_xml (p : Profile.t) =
+  el
+    ~attrs:
+      [ xtype "Profile"; id_attr p.Profile.prof_id;
+        name_attr p.Profile.prof_name ]
+    "packagedElement"
+    (List.map
+       (fun (s : Profile.stereotype) ->
+         el
+           ~attrs:[ id_attr s.Profile.ster_id; name_attr s.Profile.ster_name ]
+           "ownedStereotype"
+           (List.map
+              (fun mc ->
+                el ~attrs:[ ("metaclass", metaclass_string mc) ] "extension" [])
+              s.Profile.ster_extends
+           @ List.map
+               (fun (t : Profile.tag_definition) ->
+                 el
+                   ~attrs:
+                     ([ name_attr t.Profile.tag_name ]
+                     @ Codec.dtype_attrs "type" t.Profile.tag_type
+                     @
+                     match t.Profile.tag_default with
+                     | Some v -> Codec.vspec_attrs "default" v
+                     | None -> [])
+                   "tagDefinition" [])
+               s.Profile.ster_tags))
+       p.Profile.prof_stereotypes)
+
+(* --- top level ------------------------------------------------------------- *)
+
+let element_xml = function
+  | Model.E_classifier c -> classifier_xml c
+  | Model.E_association a -> association_xml a
+  | Model.E_package p -> package_xml p
+  | Model.E_state_machine sm -> state_machine_xml sm
+  | Model.E_activity a -> activity_xml a
+  | Model.E_interaction i -> interaction_xml i
+  | Model.E_use_case u -> use_case_xml u
+  | Model.E_component c -> component_xml c
+  | Model.E_instance i -> instance_xml i
+  | Model.E_link l -> link_xml l
+  | Model.E_deployment_node n -> deployment_node_xml n
+  | Model.E_artifact a -> artifact_xml a
+  | Model.E_deployment d -> deployment_xml d
+  | Model.E_communication_path c -> communication_path_xml c
+  | Model.E_profile p -> profile_xml p
+
+let application_xml (a : Profile.application) =
+  el
+    ~attrs:
+      [
+        ("element", Ident.to_string a.Profile.app_element);
+        ("stereotype", Ident.to_string a.Profile.app_stereotype);
+      ]
+    "stereotypeApplication"
+    (List.map
+       (fun (name, v) ->
+         el ~attrs:(name_attr name :: Codec.vspec_attrs "value" v) "tagValue" [])
+       a.Profile.app_values)
+
+let diagram_kind_string = function
+  | Diagram.Class_diagram -> "class"
+  | Diagram.Object_diagram -> "object"
+  | Diagram.Package_diagram -> "package"
+  | Diagram.Composite_structure_diagram -> "compositeStructure"
+  | Diagram.Component_diagram -> "component"
+  | Diagram.Deployment_diagram -> "deployment"
+  | Diagram.Use_case_diagram -> "useCase"
+  | Diagram.Activity_diagram -> "activity"
+  | Diagram.State_machine_diagram -> "stateMachine"
+  | Diagram.Sequence_diagram -> "sequence"
+  | Diagram.Communication_diagram -> "communication"
+  | Diagram.Interaction_overview_diagram -> "interactionOverview"
+  | Diagram.Timing_diagram -> "timing"
+
+let diagram_xml (d : Diagram.t) =
+  el
+    ~attrs:
+      [
+        id_attr d.Diagram.dg_id;
+        name_attr d.Diagram.dg_name;
+        ("kind", diagram_kind_string d.Diagram.dg_kind);
+      ]
+    "diagram"
+    (List.map
+       (fun i -> el ~attrs:[ ("ref", Ident.to_string i) ] "elementRef" [])
+       d.Diagram.dg_elements)
+
+let to_xml m =
+  let model_el =
+    el
+      ~attrs:[ ("name", Model.name m) ]
+      "uml:Model"
+      (List.map element_xml (Model.elements m))
+  in
+  let applications =
+    el "applications" (List.map application_xml (Model.applications m))
+  in
+  let diagrams = el "diagrams" (List.map diagram_xml (Model.diagrams m)) in
+  el
+    ~attrs:
+      [
+        ("xmlns:xmi", "http://schema.omg.org/spec/XMI/2.1");
+        ("xmlns:uml", "http://schema.omg.org/spec/UML/2.0");
+        ("xmi:version", "2.1");
+      ]
+    "xmi:XMI"
+    [ model_el; applications; diagrams ]
+
+let to_string m = Sxml.Doc.to_string (to_xml m) ^ "\n"
+
+let write_file m path =
+  let oc = open_out path in
+  (match output_string oc (to_string m) with
+   | () -> close_out oc
+   | exception e ->
+     close_out_noerr oc;
+     raise e)

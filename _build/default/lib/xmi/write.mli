@@ -1,0 +1,12 @@
+(** XMI export.
+
+    Serializes a whole {!Uml.Model.t} to an XMI-2.x-style XML document:
+    a [xmi:XMI] root holding a [uml:Model] with [packagedElement]
+    children (one per model element, tagged with [xmi:type] and
+    [xmi:id]), followed by stereotype applications and diagrams.  The
+    encoding is self-contained and lossless: {!Read.model_of_string}
+    returns an equal model. *)
+
+val to_xml : Uml.Model.t -> Sxml.Doc.t
+val to_string : Uml.Model.t -> string
+val write_file : Uml.Model.t -> string -> unit

@@ -1,0 +1,1 @@
+lib/xuml/invariants.ml: Asl Classifier Ident List Model Printf String System Uml

@@ -1,0 +1,1 @@
+lib/xuml/invariants.mli: Asl System Uml

@@ -1,0 +1,1 @@
+lib/xuml/msc.ml: Ident Interaction List Option Printf String System Uml

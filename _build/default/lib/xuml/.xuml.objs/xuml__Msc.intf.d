@@ -1,0 +1,1 @@
+lib/xuml/msc.mli: System Uml

@@ -1,0 +1,1 @@
+lib/xuml/snapshot.ml: Asl Classifier Diagram Hashtbl Instance List Model Option Printf System Uml Vspec

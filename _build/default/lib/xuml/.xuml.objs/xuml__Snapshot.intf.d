@@ -1,0 +1,1 @@
+lib/xuml/snapshot.mli: System Uml

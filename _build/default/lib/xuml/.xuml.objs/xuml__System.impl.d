@@ -1,0 +1,1 @@
+lib/xuml/system.ml: Asl Classifier Dtype Hashtbl Ident List Model Printf Statechart Uml Vspec

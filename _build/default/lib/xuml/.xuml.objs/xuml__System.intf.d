@@ -1,0 +1,1 @@
+lib/xuml/system.mli: Asl Statechart Uml

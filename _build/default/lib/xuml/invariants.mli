@@ -1,0 +1,21 @@
+(** Class invariants, checked against the running system.
+
+    Invariants are modeled as Boolean query operations whose name starts
+    with [inv_] — no metamodel extension needed, and they serialize with
+    the class through XMI.  [check] evaluates every such operation on
+    every live object (inherited invariants included). *)
+
+type violation = {
+  viol_object : string;  (** instance name, e.g. ["Counter#1"] *)
+  viol_invariant : string;  (** operation name *)
+  viol_reason : string;  (** "returned false" or a runtime error *)
+}
+
+val invariant_names : Uml.Model.t -> string -> string list
+(** The [inv_*] operations visible on a class (own + inherited),
+    deterministic order. *)
+
+val check : System.t -> violation list
+(** Violations over all live objects; empty = all invariants hold. *)
+
+val check_object : System.t -> Asl.Value.obj_ref -> violation list

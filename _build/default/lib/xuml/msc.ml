@@ -1,0 +1,109 @@
+open Uml
+
+type verdict = {
+  matched : bool;
+  observed : string list;
+  candidate_traces : int;
+  reason : string option;
+}
+
+let rec is_prefix short long =
+  match short, long with
+  | [], _rest -> true
+  | x :: xs, y :: ys -> x = y && is_prefix xs ys
+  | _ :: _, [] -> false
+
+let stimuli ~lifeline (interaction : Interaction.t) =
+  let ll =
+    List.find_opt
+      (fun l -> l.Interaction.ll_name = lifeline)
+      interaction.Interaction.in_lifelines
+  in
+  match ll with
+  | None -> []
+  | Some ll -> (
+    match Interaction.traces ~max_traces:1 interaction with
+    | trace :: _rest ->
+      List.filter_map
+        (fun (m : Interaction.message) ->
+          if Ident.equal m.Interaction.msg_to ll.Interaction.ll_id then
+            Some m.Interaction.msg_name
+          else None)
+        trace
+    | [] -> [])
+
+let observed_communication sys =
+  let add acc (from_, to_, _name) =
+    match from_, to_ with
+    | Some f, Some t ->
+      let rec bump = function
+        | [] -> [ (f, t, 1) ]
+        | (f', t', n) :: rest when f' = f && t' = t -> (f', t', n + 1) :: rest
+        | entry :: rest -> entry :: bump rest
+      in
+      bump acc
+    | _other -> acc
+  in
+  List.fold_left add [] (System.message_trace sys)
+
+let check ?(bindings = []) ?(partial = false) sys (interaction : Interaction.t) =
+  let object_of_lifeline (ll : Interaction.lifeline) =
+    match List.assoc_opt ll.Interaction.ll_name bindings with
+    | Some obj -> Some obj
+    | None ->
+      (* default: an object with the lifeline's name *)
+      Option.map (fun _ -> ll.Interaction.ll_name)
+        (System.object_of_name sys ll.Interaction.ll_name)
+  in
+  let lifeline_by_id id =
+    List.find_opt
+      (fun ll -> Ident.equal ll.Interaction.ll_id id)
+      interaction.Interaction.in_lifelines
+  in
+  let bound_objects =
+    List.filter_map object_of_lifeline interaction.Interaction.in_lifelines
+  in
+  (* observed messages between bound objects, as (from, to, name) *)
+  let observed =
+    List.filter_map
+      (fun (from_, to_, name) ->
+        match from_, to_ with
+        | Some f, Some t when List.mem f bound_objects && List.mem t bound_objects ->
+          Some (f, t, name)
+        | _other -> None)
+      (System.message_trace sys)
+  in
+  (* expected traces as (from_obj, to_obj, name) triples *)
+  let traces = Interaction.traces interaction in
+  let resolve_msg (m : Interaction.message) =
+    let from_obj =
+      Option.bind (lifeline_by_id m.Interaction.msg_from) object_of_lifeline
+    in
+    let to_obj =
+      Option.bind (lifeline_by_id m.Interaction.msg_to) object_of_lifeline
+    in
+    match from_obj, to_obj with
+    | Some f, Some t -> Some (f, t, m.Interaction.msg_name)
+    | _other -> None
+  in
+  let expected_traces =
+    List.map (fun trace -> List.filter_map resolve_msg trace) traces
+  in
+  let accept expected =
+    if partial then is_prefix observed expected else observed = expected
+  in
+  let matched = List.exists accept expected_traces in
+  {
+    matched;
+    observed = List.map (fun (_, _, n) -> n) observed;
+    candidate_traces = List.length expected_traces;
+    reason =
+      (if matched then None
+       else
+         Some
+           (Printf.sprintf
+              "observed [%s] matches none of %d admissible traces"
+              (String.concat "; "
+                 (List.map (fun (f, t, n) -> f ^ "->" ^ t ^ ":" ^ n) observed))
+              (List.length expected_traces)));
+  }

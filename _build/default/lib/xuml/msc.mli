@@ -1,0 +1,44 @@
+(** Sequence diagrams as test oracles.
+
+    UML 2.0 Sequence Diagrams are "comparable to an SDL Message Sequence
+    Chart" (paper §2) — i.e. they specify the admissible message
+    exchanges of a scenario.  This module checks an executed xUML system
+    against an interaction: the observed inter-object signal trace
+    (restricted to the bound lifelines) must be one of the interaction's
+    traces, or a prefix of one when [partial] is allowed. *)
+
+type verdict = {
+  matched : bool;
+  observed : string list;  (** relevant observed message names, in order *)
+  candidate_traces : int;  (** traces enumerated from the interaction *)
+  reason : string option;  (** why it failed, when it failed *)
+}
+
+val check :
+  ?bindings:(string * string) list ->
+  ?partial:bool ->
+  System.t ->
+  Uml.Interaction.t ->
+  verdict
+(** [check sys interaction] compares {!System.message_trace} with
+    the interaction's traces.
+
+    [bindings] maps lifeline names to object names ("prod" ->
+    "Producer#2"); lifelines without a binding match the object of the
+    same name.  Only observed messages whose sender *and* receiver are
+    bound lifelines are considered (other traffic is ignored, like an
+    [ignore] fragment over everything else).
+
+    [partial] (default [false]) accepts proper prefixes of an admissible
+    trace. *)
+
+val stimuli : lifeline:string -> Uml.Interaction.t -> string list
+(** Scenario-driven testing: the message names received by the given
+    lifeline along the interaction's first trace — the event sequence to
+    dispatch to that object's machine to replay the scenario. *)
+
+val observed_communication :
+  System.t -> (string * string * int) list
+(** The Communication-Diagram view of an executed system: (sender,
+    receiver, message count) per connected object pair, first-occurrence
+    order (unknown endpoints are dropped). *)

@@ -1,0 +1,87 @@
+open Uml
+
+let vspec_of_value = function
+  | Asl.Value.V_int i -> Vspec.Int_literal i
+  | Asl.Value.V_real r -> Vspec.Real_literal r
+  | Asl.Value.V_bool b -> Vspec.Bool_literal b
+  | Asl.Value.V_string s -> Vspec.String_literal s
+  | Asl.Value.V_null -> Vspec.Null_literal
+  | Asl.Value.V_obj r -> Vspec.Opaque_expression (Printf.sprintf "<obj %d>" r)
+
+let to_model ?(name = "snapshot") sys =
+  let m = Model.create name in
+  let source = System.model sys in
+  (* copy the classes so instance classifier references resolve; the
+     snapshot is structural, so owned-behavior references (state
+     machines that stay in the source model) are dropped *)
+  List.iter
+    (fun cl ->
+      Model.add m
+        (Model.E_classifier { cl with Classifier.cl_behaviors = [] }))
+    (Model.classifiers source);
+  let store = System.store sys in
+  let live =
+    List.filter (fun (_n, r) -> Asl.Store.is_alive store r) (System.objects sys)
+  in
+  (* instances, remembering obj ref -> instance id for links *)
+  let inst_of_ref = Hashtbl.create 8 in
+  let instances =
+    List.map
+      (fun (obj_name, r) ->
+        let classifier =
+          Option.bind (Asl.Store.class_of store r) (fun cname ->
+              Option.map
+                (fun c -> c.Classifier.cl_id)
+                (Model.classifier_named source cname))
+        in
+        let slots =
+          List.filter_map
+            (fun (attr, v) ->
+              match v with
+              | Asl.Value.V_obj _ -> None (* becomes a link instead *)
+              | value -> Some (Instance.slot attr [ vspec_of_value value ]))
+            (Asl.Store.attrs store r)
+        in
+        let inst = Instance.make ?classifier ~slots obj_name in
+        Hashtbl.replace inst_of_ref r inst.Instance.inst_id;
+        inst)
+      live
+  in
+  List.iter (fun i -> Model.add m (Model.E_instance i)) instances;
+  (* links from object-valued attributes *)
+  let link_ids =
+    List.concat_map
+      (fun (_obj_name, r) ->
+        List.filter_map
+          (fun (_attr, v) ->
+            match v with
+            | Asl.Value.V_obj target when Hashtbl.mem inst_of_ref target ->
+              let l =
+                Instance.link
+                  (Hashtbl.find inst_of_ref r)
+                  (Hashtbl.find inst_of_ref target)
+              in
+              Model.add m (Model.E_link l);
+              Some l.Instance.link_id
+            | _other -> None)
+          (Asl.Store.attrs store r))
+      live
+  in
+  let shown =
+    List.map (fun (i : Instance.t) -> i.Instance.inst_id) instances @ link_ids
+  in
+  Model.add_diagram m
+    (Diagram.make ~elements:shown Diagram.Object_diagram (name ^ "_objects"));
+  m
+
+let snapshot_conforms sys =
+  let m = to_model sys in
+  List.for_all
+    (fun (i : Instance.t) ->
+      match i.Instance.inst_classifier with
+      | None -> true
+      | Some cid -> (
+        match Model.find_classifier m cid with
+        | Some cl -> Instance.conforms_to i cl
+        | None -> false))
+    (Model.instances m)

@@ -1,0 +1,19 @@
+(** Object-Diagram snapshots of a running system.
+
+    "Instances of a Class Diagram are called an Object Diagram" (paper
+    §2) — this closes the loop: the live object store of an executing
+    xUML system is reflected back into the metamodel as instance
+    specifications (slots from current attribute values) and links (from
+    object-valued attributes), ready for well-formedness checking, XMI
+    export, or diagramming. *)
+
+val to_model : ?name:string -> System.t -> Uml.Model.t
+(** A fresh model containing the system's classes (copied), one
+    [InstanceSpecification] per live object (named as in
+    {!System.objects}), one [Link] per object-valued attribute that
+    points at another live object, and an Object Diagram listing them.
+    Dead (deleted) objects are omitted. *)
+
+val snapshot_conforms : System.t -> bool
+(** Every snapshot instance structurally conforms to its classifier
+    (see {!Uml.Instance.conforms_to}). *)

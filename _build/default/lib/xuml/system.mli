@@ -1,0 +1,80 @@
+(** Executable UML (xUML) system runtime.
+
+    The paper (§3) presents xUML — models made executable through an
+    action language — as the path to "complete system specification".
+    This module is that executor for whole models:
+
+    - every instantiated object of an *active* class whose classifier
+      behavior is a state machine gets its own {!Statechart.Engine};
+    - all objects share one ASL object store and interpreter, so guards
+      and effects see attributes of any object;
+    - operation calls inside ASL dispatch to the operation bodies
+      modeled on the receiving class (with inherited operations resolved
+      through generalization);
+    - [send sig(args) to expr] statements route signal events to the
+      target object's state machine; [send] without a target goes to the
+      sender's own machine;
+    - a run-to-completion scheduler drains all machine pools and the
+      signal traffic between them (round-robin, deterministic).
+
+    Objects of passive classes participate as plain data. *)
+
+type t
+
+exception Xuml_error of string
+
+val create : Uml.Model.t -> t
+(** Build a runtime for a model.  Operation bodies are parsed once;
+    bodies that fail to parse raise {!Xuml_error} naming the operation. *)
+
+val model : t -> Uml.Model.t
+val interp : t -> Asl.Interp.t
+val store : t -> Asl.Store.t
+
+val instantiate : t -> string -> Asl.Value.obj_ref
+(** [instantiate t class_name] creates an object with modeled attribute
+    defaults; if the class is active and owns a state machine behavior,
+    the machine is created and started (entry actions run with [self]
+    bound to the new object).
+    @raise Xuml_error for unknown classes. *)
+
+val object_of_name : t -> string -> Asl.Value.obj_ref option
+(** Instances get remembered under ["<ClassName>#<n>"]; also retrievable
+    by creation order. *)
+
+val objects : t -> (string * Asl.Value.obj_ref) list
+(** All instantiated objects, creation order. *)
+
+val engine_of : t -> Asl.Value.obj_ref -> Statechart.Engine.t option
+(** The state machine engine of an active object, if any. *)
+
+val send : t -> ?args:Asl.Value.t list -> to_:Asl.Value.obj_ref -> string ->
+  unit
+(** Enqueue an external signal to an object's machine.
+    @raise Xuml_error if the object has no machine. *)
+
+val call :
+  t -> self_:Asl.Value.obj_ref -> string -> Asl.Value.t list -> Asl.Value.t
+(** Invoke a modeled operation on an object ([Asl.Value.V_null] for
+    operations without a return). *)
+
+val run : ?max_rounds:int -> t -> int
+(** Run-to-completion over the whole system: repeatedly let every
+    machine drain its pool and deliver the ASL signal outbox, until no
+    machine has pending work (or [max_rounds], default 1000, is hit —
+    then {!Xuml_error} is raised).  Returns the number of events
+    processed. *)
+
+val configuration : t -> (string * string) list
+(** [(object name, machine signature)] for every active object. *)
+
+val output : t -> string list
+(** Collected [print] lines of the shared interpreter. *)
+
+val message_trace : t -> (string option * string option * string) list
+(** Observed inter-object signals, oldest first: (sender object name,
+    receiver object name, signal).  [None] endpoints are signals from or
+    to the outside / passive objects.  This is the observation the MSC
+    conformance checker ({!Msc}) replays against sequence diagrams. *)
+
+val clear_message_trace : t -> unit

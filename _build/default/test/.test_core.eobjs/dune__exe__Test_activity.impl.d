@@ -1,0 +1,1 @@
+test/test_activity.ml: Activity Activityg Alcotest Ident List Petri Printf QCheck QCheck_alcotest Uml Workload

@@ -1,0 +1,1 @@
+test/test_asl.ml: Alcotest Asl List QCheck QCheck_alcotest

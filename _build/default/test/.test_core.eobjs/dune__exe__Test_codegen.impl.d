@@ -1,0 +1,1 @@
+test/test_codegen.ml: Alcotest Classifier Codegen Dsim Dtype Expr Filename Hdl Htype List Model Module_ Printf QCheck QCheck_alcotest Smachine Statechart Stmt String Sys Uml Vspec Workload

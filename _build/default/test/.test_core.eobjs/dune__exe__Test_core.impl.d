@@ -1,0 +1,1 @@
+test/test_core.ml: Activityg Alcotest Classifier Component Diagram Dtype Hashtbl Ident Instance Interaction List Model Mult Pkg Printf Profile QCheck QCheck_alcotest Smachine String Uml Usecase Vspec

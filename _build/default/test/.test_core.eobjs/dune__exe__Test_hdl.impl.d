@@ -1,0 +1,1 @@
+test/test_hdl.ml: Alcotest Check Elaborate Expr Hdl Htype List Module_ Stmt String

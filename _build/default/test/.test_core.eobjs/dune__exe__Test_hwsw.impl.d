@@ -1,0 +1,1 @@
+test/test_hwsw.ml: Activityg Alcotest Deployment Hwsw List Model Printf QCheck QCheck_alcotest String Uml Workload

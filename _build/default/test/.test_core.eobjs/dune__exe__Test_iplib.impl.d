@@ -1,0 +1,1 @@
+test/test_iplib.ml: Alcotest Array Dsim Hdl Iplib List Profiles String Uml

@@ -1,0 +1,1 @@
+test/test_mda.ml: Alcotest Classifier Component Dtype List Mda Model Profiles Smachine Uml

@@ -1,0 +1,1 @@
+test/test_petri.ml: Activity Alcotest Array List Petri QCheck QCheck_alcotest Workload

@@ -1,0 +1,1 @@
+test/test_profiles.ml: Alcotest Classifier Component Dtype List Model Profile Profiles Uml Vspec Wfr

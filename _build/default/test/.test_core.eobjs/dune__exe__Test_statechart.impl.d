@@ -1,0 +1,1 @@
+test/test_statechart.ml: Alcotest Asl List QCheck QCheck_alcotest Smachine Statechart Uml Workload

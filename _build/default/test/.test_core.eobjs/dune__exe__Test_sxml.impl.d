@@ -1,0 +1,1 @@
+test/test_sxml.ml: Alcotest Hashtbl List QCheck QCheck_alcotest Sxml

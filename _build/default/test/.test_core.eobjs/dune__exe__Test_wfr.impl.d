@@ -1,0 +1,1 @@
+test/test_wfr.ml: Activityg Alcotest Classifier Component Deployment Diagram Dtype Ident Instance List Model Pkg Profile QCheck QCheck_alcotest Smachine String Uml Usecase Vspec Wfr Workload

@@ -1,0 +1,1 @@
+test/test_xuml.ml: Alcotest Asl Classifier Diagram Dtype Ident Instance Interaction List Model Printf Smachine Statechart String Uml Vspec Wfr Xmi Xuml

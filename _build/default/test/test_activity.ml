@@ -1,0 +1,249 @@
+(* Tests for the activity token engine, the Petri translation, and
+   their conformance (experiment E3's correctness basis). *)
+
+open Uml
+
+let tc name f = Alcotest.test_case name `Quick f
+let check = Alcotest.check
+
+let e source target = Activityg.edge ~source ~target ()
+let id = Activityg.node_id
+
+(* init -> a -> b -> final *)
+let linear () =
+  let init = Activityg.initial () in
+  let a = Activityg.action "a" in
+  let b = Activityg.action "b" in
+  let fin = Activityg.activity_final () in
+  Activityg.make "linear"
+    [ init; a; b; fin ]
+    [ e (id init) (id a); e (id a) (id b); e (id b) (id fin) ]
+
+(* init -> fork -> (a, b) -> join -> final *)
+let forked () =
+  let init = Activityg.initial () in
+  let fork = Activityg.fork "f" in
+  let a = Activityg.action "a" in
+  let b = Activityg.action "b" in
+  let join = Activityg.join "j" in
+  let fin = Activityg.activity_final () in
+  Activityg.make "forked"
+    [ init; fork; a; b; join; fin ]
+    [
+      e (id init) (id fork); e (id fork) (id a); e (id fork) (id b);
+      e (id a) (id join); e (id b) (id join); e (id join) (id fin);
+    ]
+
+(* init -> decision -> (a | b) -> merge -> final *)
+let branched ?guard_a ?guard_b () =
+  let init = Activityg.initial () in
+  let dec = Activityg.decision "d" in
+  let a = Activityg.action "a" in
+  let b = Activityg.action "b" in
+  let mrg = Activityg.merge "m" in
+  let fin = Activityg.activity_final () in
+  Activityg.make "branched"
+    [ init; dec; a; b; mrg; fin ]
+    [
+      e (id init) (id dec);
+      Activityg.edge ?guard:guard_a ~source:(id dec) ~target:(id a) ();
+      Activityg.edge ?guard:guard_b ~source:(id dec) ~target:(id b) ();
+      e (id a) (id mrg); e (id b) (id mrg); e (id mrg) (id fin);
+    ]
+
+let engine_tests =
+  [
+    tc "linear run fires all nodes once" (fun () ->
+        let engine = Activity.Exec.create (linear ()) in
+        let labels = Activity.Exec.run ~seed:1 engine in
+        check Alcotest.int "four firings" 4 (List.length labels);
+        check Alcotest.bool "finished" true (Activity.Exec.finished engine));
+    tc "finished activity offers no firings" (fun () ->
+        let engine = Activity.Exec.create (linear ()) in
+        let _labels = Activity.Exec.run engine in
+        check Alcotest.int "none" 0
+          (List.length (Activity.Exec.enabled_firings engine)));
+    tc "fork produces parallel tokens, join collects them" (fun () ->
+        let engine = Activity.Exec.create (forked ()) in
+        let labels = Activity.Exec.run ~seed:3 engine in
+        (* init, fork, a, b, join, final = 6 firings *)
+        check Alcotest.int "six" 6 (List.length labels);
+        check Alcotest.bool "finished" true (Activity.Exec.finished engine));
+    tc "after the fork both actions are enabled" (fun () ->
+        let act = forked () in
+        let engine = Activity.Exec.create act in
+        (* fire init then fork by hand *)
+        (match Activity.Exec.enabled_firings engine with
+         | [ l ] -> (
+           check Alcotest.bool "init ok" true (Activity.Exec.fire engine l = Ok ());
+           match Activity.Exec.enabled_firings engine with
+           | [ l2 ] -> (
+             check Alcotest.bool "fork ok" true
+               (Activity.Exec.fire engine l2 = Ok ());
+             check Alcotest.int "two enabled" 2
+               (List.length (Activity.Exec.enabled_firings engine)))
+           | other ->
+             Alcotest.fail
+               (Printf.sprintf "expected single firing, got %d"
+                  (List.length other)))
+         | other ->
+           Alcotest.fail
+             (Printf.sprintf "expected single firing, got %d"
+                (List.length other))));
+    tc "decision takes exactly one branch" (fun () ->
+        let engine = Activity.Exec.create (branched ()) in
+        let labels = Activity.Exec.run ~seed:5 engine in
+        (* init, decision, one action, merge, final = 5 firings *)
+        check Alcotest.int "five" 5 (List.length labels);
+        check Alcotest.bool "finished" true (Activity.Exec.finished engine));
+    tc "guards prune decision branches" (fun () ->
+        let engine =
+          Activity.Exec.create (branched ~guard_a:"false" ~guard_b:"true" ())
+        in
+        let labels = Activity.Exec.run ~seed:2 engine in
+        let act = Activity.Exec.activity engine in
+        let b_node =
+          List.find (fun n -> Activityg.node_name n = "b") act.Activityg.ac_nodes
+        in
+        let b_label = "t_" ^ Ident.to_string (Activityg.node_id b_node) in
+        check Alcotest.bool "b fired" true (List.mem b_label labels));
+    tc "all-false guards leave the activity stuck" (fun () ->
+        let engine =
+          Activity.Exec.create (branched ~guard_a:"false" ~guard_b:"false" ())
+        in
+        let _labels = Activity.Exec.run ~seed:2 engine in
+        check Alcotest.bool "stuck" true (Activity.Exec.stuck engine));
+    tc "weighted edge needs enough tokens" (fun () ->
+        (* a -> (weight 2) b; single token cannot pass *)
+        let init = Activityg.initial () in
+        let a = Activityg.action "a" in
+        let b = Activityg.action "b" in
+        let act =
+          Activityg.make "w"
+            [ init; a; b ]
+            [
+              e (id init) (id a);
+              Activityg.edge ~weight:2 ~source:(id a) ~target:(id b) ();
+            ]
+        in
+        let engine = Activity.Exec.create act in
+        let _labels = Activity.Exec.run engine in
+        check Alcotest.bool "stuck before b" true (Activity.Exec.stuck engine));
+    tc "send_signal is recorded" (fun () ->
+        let init = Activityg.initial () in
+        let s = Activityg.send_signal ~event:"irq" "raise" in
+        let fin = Activityg.activity_final () in
+        let act =
+          Activityg.make "sig" [ init; s; fin ]
+            [ e (id init) (id s); e (id s) (id fin) ]
+        in
+        let engine = Activity.Exec.create act in
+        let _labels = Activity.Exec.run engine in
+        check (Alcotest.list Alcotest.string) "irq" [ "irq" ]
+          (Activity.Exec.sent_signals engine));
+    tc "action bodies execute in the interpreter" (fun () ->
+        let init = Activityg.initial () in
+        let a = Activityg.action ~body:"print(\"ran\");" "a" in
+        let fin = Activityg.activity_final () in
+        let act =
+          Activityg.make "body" [ init; a; fin ]
+            [ e (id init) (id a); e (id a) (id fin) ]
+        in
+        let engine = Activity.Exec.create act in
+        let _labels = Activity.Exec.run engine in
+        check (Alcotest.list Alcotest.string) "output" [ "ran" ]
+          (Activity.Exec.output_of engine));
+    tc "event gating blocks accept nodes" (fun () ->
+        let init = Activityg.initial () in
+        let acc = Activityg.accept_event ~event:"go" "wait" in
+        let fin = Activityg.activity_final () in
+        let act =
+          Activityg.make "gate" [ init; acc; fin ]
+            [ e (id init) (id acc); e (id acc) (id fin) ]
+        in
+        let engine = Activity.Exec.create act in
+        Activity.Exec.set_event_gating engine true;
+        let _labels = Activity.Exec.run engine in
+        check Alcotest.bool "blocked" true (Activity.Exec.stuck engine);
+        Activity.Exec.offer_event engine "go";
+        let _more = Activity.Exec.run engine in
+        check Alcotest.bool "finished" true (Activity.Exec.finished engine));
+  ]
+
+let translation_tests =
+  [
+    tc "structure: places for edges plus start/done" (fun () ->
+        let act = linear () in
+        let net, m0 = Activity.Translate.to_petri act in
+        (* 3 edges + 1 start + done *)
+        check Alcotest.int "places" 5 (Petri.Net.place_count net);
+        check Alcotest.int "transitions" 4 (Petri.Net.transition_count net);
+        check Alcotest.int "initial tokens" 1 (Petri.Marking.total m0));
+    tc "decision expands to one transition per branch" (fun () ->
+        let act = branched () in
+        let net, _m0 = Activity.Translate.to_petri act in
+        (* init, a, b, final + 2 decision branches + 2 merge branches *)
+        check Alcotest.int "transitions" 8 (Petri.Net.transition_count net));
+    tc "translated net reaches done" (fun () ->
+        let act = linear () in
+        let net, m0 = Activity.Translate.to_petri act in
+        let r = Petri.Analysis.reachable net m0 in
+        let done_reached =
+          List.exists
+            (fun m -> Petri.Marking.tokens m Activity.Translate.done_place > 0)
+            r.Petri.Analysis.markings
+        in
+        check Alcotest.bool "done" true done_reached);
+  ]
+
+let conformance_tests =
+  [
+    tc "linear run conforms" (fun () ->
+        let r = Activity.Conform.run_and_check ~seed:1 (linear ()) in
+        check Alcotest.bool "conforms" true r.Activity.Conform.conforms);
+    tc "forked run conforms" (fun () ->
+        let r = Activity.Conform.run_and_check ~seed:7 (forked ()) in
+        check Alcotest.bool "conforms" true r.Activity.Conform.conforms);
+    tc "bogus trace is rejected" (fun () ->
+        let r = Activity.Conform.check_trace (linear ()) [ "t_nonsense" ] in
+        check Alcotest.bool "rejected" false r.Activity.Conform.conforms);
+    QCheck_alcotest.to_alcotest
+      (QCheck.Test.make
+         ~name:"engine runs are occurrence sequences of the net" ~count:40
+         QCheck.(pair (int_range 1 5000) (int_range 1 5000))
+         (fun (seed, run_seed) ->
+           let act =
+             Workload.Gen_activity.series_parallel ~seed ~size:14 ~max_width:3
+           in
+           let r = Activity.Conform.run_and_check ~seed:run_seed act in
+           r.Activity.Conform.conforms));
+    QCheck_alcotest.to_alcotest
+      (QCheck.Test.make ~name:"decision-bearing activities also conform"
+         ~count:40
+         QCheck.(pair (int_range 1 5000) (int_range 1 5000))
+         (fun (seed, run_seed) ->
+           let act =
+             Workload.Gen_activity.with_decisions ~seed ~size:14 ~max_width:3
+           in
+           let r = Activity.Conform.run_and_check ~seed:run_seed act in
+           r.Activity.Conform.conforms));
+    QCheck_alcotest.to_alcotest
+      (QCheck.Test.make
+         ~name:"series-parallel activities always finish" ~count:40
+         QCheck.(pair (int_range 1 5000) (int_range 1 5000))
+         (fun (seed, run_seed) ->
+           let act =
+             Workload.Gen_activity.series_parallel ~seed ~size:12 ~max_width:3
+           in
+           let engine = Activity.Exec.create act in
+           let _labels = Activity.Exec.run ~seed:run_seed engine in
+           Activity.Exec.finished engine));
+  ]
+
+let () =
+  Alcotest.run "activity"
+    [
+      ("engine", engine_tests);
+      ("translation", translation_tests);
+      ("conformance", conformance_tests);
+    ]

@@ -1,0 +1,417 @@
+(* Tests for the code generators: VHDL/Verilog/SystemC emitters, the
+   statechart FSM compiler, and the ASL-to-C generator. *)
+
+open Uml
+
+let tc name f = Alcotest.test_case name `Quick f
+let check = Alcotest.check
+
+let contains hay needle =
+  let nl = String.length needle in
+  let hl = String.length hay in
+  let rec go i = i + nl <= hl && (String.sub hay i nl = needle || go (i + 1)) in
+  go 0
+
+let counter_module () =
+  let open Hdl in
+  Module_.make
+    ~ports:
+      [
+        Module_.input "clk" Htype.Bit;
+        Module_.input "rst" Htype.Bit;
+        Module_.output "q" (Htype.Unsigned 4);
+      ]
+    ~signals:[ Module_.signal ~init:0 "cnt" (Htype.Unsigned 4) ]
+    ~processes:
+      [
+        Module_.seq_process
+          ~reset:("rst", [ Stmt.Assign ("cnt", Expr.of_int ~width:4 0) ])
+          ~name:"p_cnt" ~clock:"clk"
+          [ Stmt.Assign ("cnt", Expr.(Ref "cnt" +: of_int 1)) ];
+        Module_.comb_process ~name:"p_out" [ Stmt.Assign ("q", Expr.Ref "cnt") ];
+      ]
+    "counter"
+
+let emitters_tests =
+  [
+    tc "vhdl has entity/architecture/process" (fun () ->
+        let text = Codegen.Vhdl.of_module (counter_module ()) in
+        check Alcotest.bool "entity" true (contains text "entity counter is");
+        check Alcotest.bool "arch" true
+          (contains text "architecture rtl of counter is");
+        check Alcotest.bool "rising_edge" true (contains text "rising_edge(clk)");
+        check Alcotest.bool "unsigned" true
+          (contains text "unsigned(3 downto 0)"));
+    tc "verilog has module/always" (fun () ->
+        let text = Codegen.Verilog.of_module (counter_module ()) in
+        check Alcotest.bool "module" true (contains text "module counter (");
+        check Alcotest.bool "posedge" true (contains text "always @(posedge clk)");
+        check Alcotest.bool "range" true (contains text "[3:0]"));
+    tc "systemc has SC_MODULE and sensitivity" (fun () ->
+        let text = Codegen.Systemc.of_module (counter_module ()) in
+        check Alcotest.bool "module" true (contains text "SC_MODULE(counter)");
+        check Alcotest.bool "ctor" true (contains text "SC_CTOR(counter)");
+        check Alcotest.bool "clock" true (contains text "sensitive << clk.pos()"));
+    tc "emitters are deterministic" (fun () ->
+        let m = counter_module () in
+        check Alcotest.string "vhdl" (Codegen.Vhdl.of_module m)
+          (Codegen.Vhdl.of_module m);
+        check Alcotest.string "verilog" (Codegen.Verilog.of_module m)
+          (Codegen.Verilog.of_module m);
+        check Alcotest.string "systemc" (Codegen.Systemc.of_module m)
+          (Codegen.Systemc.of_module m));
+    tc "of_design emits dependencies before users" (fun () ->
+        let open Hdl in
+        let sub = counter_module () in
+        let top =
+          Module_.make
+            ~ports:
+              [ Module_.input "clk" Htype.Bit; Module_.input "rst" Htype.Bit ]
+            ~signals:[ Module_.signal "q0" (Htype.Unsigned 4) ]
+            ~instances:
+              [
+                { Module_.inst_name = "u0"; inst_module = "counter";
+                  inst_conns = [ ("clk", "clk"); ("rst", "rst"); ("q", "q0") ] };
+              ]
+            "top"
+        in
+        let d = Module_.design ~top:"top" [ top; sub ] in
+        let text = Codegen.Vhdl.of_design d in
+        let pos needle =
+          let rec go i =
+            if i + String.length needle > String.length text then -1
+            else if String.sub text i (String.length needle) = needle then i
+            else go (i + 1)
+          in
+          go 0
+        in
+        check Alcotest.bool "counter first" true
+          (pos "entity counter" >= 0
+          && pos "entity counter" < pos "entity top"));
+  ]
+
+(* --- FSM compiler --------------------------------------------------------- *)
+
+let simple_machine () =
+  let a = Smachine.simple_state "A" in
+  let b = Smachine.simple_state "B" in
+  let init = Smachine.pseudostate Smachine.Initial in
+  let r =
+    Smachine.region
+      [ Smachine.Pseudo init; Smachine.State a; Smachine.State b ]
+      [
+        Smachine.transition ~source:init.Smachine.ps_id
+          ~target:a.Smachine.st_id ();
+        Smachine.transition
+          ~triggers:[ Smachine.Signal_trigger "go" ]
+          ~effect:"n := 1;" ~source:a.Smachine.st_id ~target:b.Smachine.st_id
+          ();
+        Smachine.transition
+          ~triggers:[ Smachine.Signal_trigger "back" ]
+          ~effect:"n := 0;" ~source:b.Smachine.st_id ~target:a.Smachine.st_id
+          ();
+      ]
+  in
+  Smachine.make "toggler" [ r ]
+
+let flat_of sm =
+  match Statechart.Flatten.flatten sm with
+  | Ok f -> f
+  | Error m -> Alcotest.fail m
+
+let fsm_tests =
+  [
+    tc "compiled FSM passes RTL checks" (fun () ->
+        match Codegen.Fsm_compile.compile (flat_of (simple_machine ())) with
+        | Ok hmod ->
+          check (Alcotest.list Alcotest.string) "clean" []
+            (Hdl.Check.check_module hmod)
+        | Error m -> Alcotest.fail m);
+    tc "compiled FSM behaves like the flat machine" (fun () ->
+        let flat = flat_of (simple_machine ()) in
+        match Codegen.Fsm_compile.compile flat with
+        | Error m -> Alcotest.fail m
+        | Ok hmod ->
+          let sim = Dsim.Sim.create hmod in
+          Dsim.Sim.set_input sim "rst" 1;
+          Dsim.Sim.clock_edge sim "clk";
+          Dsim.Sim.set_input sim "rst" 0;
+          let events = [ "go"; "back"; "go"; "zzz"; "back" ] in
+          let rtl_trace =
+            List.filter_map
+              (fun ev ->
+                let port = Codegen.Fsm_compile.event_input ev in
+                (match Dsim.Sim.get sim port with
+                 | _known -> Dsim.Sim.set_input sim port 1
+                 | exception Dsim.Sim.Simulation_error _ -> ());
+                Dsim.Sim.clock_edge sim "clk";
+                (match Dsim.Sim.get sim port with
+                 | _known -> Dsim.Sim.set_input sim port 0
+                 | exception Dsim.Sim.Simulation_error _ -> ());
+                Some (Dsim.Sim.get_enum sim "state"))
+              events
+          in
+          let flat_trace = Statechart.Flatten.simulate flat events in
+          check (Alcotest.list Alcotest.string) "same" flat_trace rtl_trace);
+    tc "effect variables become outputs" (fun () ->
+        let flat = flat_of (simple_machine ()) in
+        match Codegen.Fsm_compile.compile flat with
+        | Error m -> Alcotest.fail m
+        | Ok hmod ->
+          check Alcotest.bool "n is a port" true
+            (Hdl.Module_.find_port hmod "n" <> None);
+          let sim = Dsim.Sim.create hmod in
+          Dsim.Sim.set_input sim "rst" 1;
+          Dsim.Sim.clock_edge sim "clk";
+          Dsim.Sim.set_input sim "rst" 0;
+          Dsim.Sim.set_input sim (Codegen.Fsm_compile.event_input "go") 1;
+          Dsim.Sim.clock_edge sim "clk";
+          check Alcotest.int "n=1 after go" 1 (Dsim.Sim.get sim "n"));
+    tc "guards over effect variables work in hardware" (fun () ->
+        (* A counts [inc] events in n; [check] reaches B only once n >= 2 *)
+        let a = Smachine.simple_state "A" in
+        let b = Smachine.simple_state "B" in
+        let init = Smachine.pseudostate Smachine.Initial in
+        let r =
+          Smachine.region
+            [ Smachine.Pseudo init; Smachine.State a; Smachine.State b ]
+            [
+              Smachine.transition ~source:init.Smachine.ps_id
+                ~target:a.Smachine.st_id ();
+              Smachine.transition
+                ~triggers:[ Smachine.Signal_trigger "inc" ]
+                ~effect:"n := n + 1;" ~source:a.Smachine.st_id
+                ~target:a.Smachine.st_id ();
+              Smachine.transition
+                ~triggers:[ Smachine.Signal_trigger "check" ]
+                ~guard:"n >= 2" ~source:a.Smachine.st_id
+                ~target:b.Smachine.st_id ();
+            ]
+        in
+        let flat = flat_of (Smachine.make "counterfsm" [ r ]) in
+        match Codegen.Fsm_compile.compile flat with
+        | Error m -> Alcotest.fail m
+        | Ok hmod ->
+          let sim = Dsim.Sim.create hmod in
+          Dsim.Sim.set_input sim "rst" 1;
+          Dsim.Sim.clock_edge sim "clk";
+          Dsim.Sim.set_input sim "rst" 0;
+          let pulse ev =
+            let port = Codegen.Fsm_compile.event_input ev in
+            Dsim.Sim.set_input sim port 1;
+            Dsim.Sim.clock_edge sim "clk";
+            Dsim.Sim.set_input sim port 0
+          in
+          pulse "check";
+          check Alcotest.string "guard blocks at n=0" "A"
+            (Dsim.Sim.get_enum sim "state");
+          pulse "inc";
+          pulse "check";
+          check Alcotest.string "guard blocks at n=1" "A"
+            (Dsim.Sim.get_enum sim "state");
+          pulse "inc";
+          pulse "check";
+          check Alcotest.string "guard passes at n=2" "B"
+            (Dsim.Sim.get_enum sim "state");
+          check Alcotest.int "n output" 2 (Dsim.Sim.get sim "n"));
+    tc "unsupported effects are a clean error" (fun () ->
+        let a = Smachine.simple_state "A" in
+        let init = Smachine.pseudostate Smachine.Initial in
+        let r =
+          Smachine.region
+            [ Smachine.Pseudo init; Smachine.State a ]
+            [
+              Smachine.transition ~source:init.Smachine.ps_id
+                ~target:a.Smachine.st_id ();
+              Smachine.transition
+                ~triggers:[ Smachine.Signal_trigger "go" ]
+                ~effect:"while true do ; end;" ~source:a.Smachine.st_id
+                ~target:a.Smachine.st_id ();
+            ]
+        in
+        let flat = flat_of (Smachine.make "m" [ r ]) in
+        match Codegen.Fsm_compile.compile flat with
+        | Ok _m -> Alcotest.fail "expected Error"
+        | Error _m -> ());
+    QCheck_alcotest.to_alcotest
+      (QCheck.Test.make
+         ~name:"generated machines compile and match the flat simulation"
+         ~count:20
+         QCheck.(pair (int_range 1 3000) (int_range 1 3000))
+         (fun (seed, ev_seed) ->
+           let sm = Workload.Gen_statechart.flat ~seed ~states:5 ~events:3 in
+           let flat =
+             match Statechart.Flatten.flatten sm with
+             | Ok f -> f
+             | Error _ -> QCheck.assume_fail ()
+           in
+           match Codegen.Fsm_compile.compile flat with
+           | Error _m -> false
+           | Ok hmod ->
+             let sim = Dsim.Sim.create hmod in
+             Dsim.Sim.set_input sim "rst" 1;
+             Dsim.Sim.clock_edge sim "clk";
+             Dsim.Sim.set_input sim "rst" 0;
+             let events =
+               Workload.Gen_statechart.event_sequence ~seed:ev_seed
+                 ~length:12 3
+             in
+             let rtl_trace =
+               List.map
+                 (fun ev ->
+                   let port = Codegen.Fsm_compile.event_input ev in
+                   Dsim.Sim.set_input sim port 1;
+                   Dsim.Sim.clock_edge sim "clk";
+                   Dsim.Sim.set_input sim port 0;
+                   Dsim.Sim.get_enum sim "state")
+                 events
+             in
+             rtl_trace = Statechart.Flatten.simulate flat events));
+  ]
+
+(* --- C generator ------------------------------------------------------------ *)
+
+let c_model () =
+  let m = Model.create "sw" in
+  let helper =
+    Classifier.make
+      ~attributes:[ Classifier.property "bias" Dtype.Integer ]
+      ~operations:
+        [
+          Classifier.operation
+            ~params:
+              [
+                Classifier.parameter "x" Dtype.Integer;
+                Classifier.parameter ~direction:Classifier.Return "r"
+                  Dtype.Integer;
+              ]
+            ~body:"return x + self.bias;" "adjust";
+        ]
+      "Helper"
+  in
+  Model.add m (Model.E_classifier helper);
+  let main =
+    Classifier.make
+      ~attributes:
+        [
+          Classifier.property ~default:(Vspec.of_int 10) "acc" Dtype.Integer;
+          Classifier.property "buddy" (Dtype.Ref helper.Classifier.cl_id);
+        ]
+      ~operations:
+        [
+          Classifier.operation
+            ~params:
+              [
+                Classifier.parameter ~direction:Classifier.Return "r"
+                  Dtype.Integer;
+              ]
+            ~body:
+              "var total := 0; for i := 1 to 4 do total := total + i; end; \
+               if total > 5 then self.acc := self.acc + total; end; send \
+               done_sig(); return self.acc;"
+            "step";
+        ]
+      "Main"
+  in
+  Model.add m (Model.E_classifier main);
+  m
+
+let cgen_tests =
+  [
+    tc "generated C declares structs and functions" (fun () ->
+        let text = Codegen.Cgen.of_model (c_model ()) in
+        check Alcotest.bool "struct" true (contains text "struct Main {");
+        check Alcotest.bool "ctor" true (contains text "struct Main *Main_new(void)");
+        check Alcotest.bool "fn" true (contains text "int Main_step(struct Main *self)");
+        check Alcotest.bool "for loop" true (contains text "for (int i = 1; i <= 4; i++)");
+        check Alcotest.bool "send hook" true (contains text "socuml_emit(\"done_sig\")");
+        check Alcotest.bool "default" true (contains text "self->acc = 10;"));
+    tc "method call resolves receiver class" (fun () ->
+        let m = c_model () in
+        let main =
+          match Model.classifier_named m "Main" with
+          | Some c -> c
+          | None -> Alcotest.fail "Main missing"
+        in
+        let with_call =
+          {
+            main with
+            Classifier.cl_operations =
+              [
+                Classifier.operation ~body:"return self.buddy.adjust(1);"
+                  "delegate";
+              ];
+          }
+        in
+        Model.replace m (Model.E_classifier with_call);
+        let text = Codegen.Cgen.of_model m in
+        check Alcotest.bool "dispatch" true
+          (contains text "Helper_adjust(self->buddy, 1)"));
+    tc "unparsable body becomes a stub with a comment" (fun () ->
+        let m = Model.create "m" in
+        Model.add m
+          (Model.E_classifier
+             (Classifier.make
+                ~operations:[ Classifier.operation ~body:"if if" "broken" ]
+                "K"));
+        let text = Codegen.Cgen.of_model m in
+        check Alcotest.bool "stub" true (contains text "body not translated"));
+    tc "c generation is deterministic" (fun () ->
+        let text1 = Codegen.Cgen.of_model (c_model ()) in
+        let text2 = Codegen.Cgen.of_model (c_model ()) in
+        check Alcotest.string "same" text1 text2);
+    tc "generated C compiles with cc when available" (fun () ->
+        if Sys.command "command -v cc > /dev/null 2>&1" <> 0 then ()
+        else begin
+          let text = Codegen.Cgen.of_model (c_model ()) in
+          let dir = Filename.temp_file "socuml" "" in
+          Sys.remove dir;
+          Sys.mkdir dir 0o755;
+          let path = Filename.concat dir "gen.c" in
+          let oc = open_out path in
+          output_string oc text;
+          (* satisfy the extern hook so -fsyntax-only is not needed *)
+          output_string oc "\nvoid socuml_emit(const char *s) { (void)s; }\n";
+          close_out oc;
+          let rc =
+            Sys.command
+              (Printf.sprintf "cc -std=c99 -fsyntax-only -Wall -Werror %s"
+                 (Filename.quote path))
+          in
+          check Alcotest.int "cc accepts" 0 rc
+        end);
+  ]
+
+let testbench_tests =
+  [
+    tc "testbench drives events and skips unknown ones" (fun () ->
+        let flat = flat_of (simple_machine ()) in
+        match Codegen.Fsm_compile.compile flat with
+        | Error m -> Alcotest.fail m
+        | Ok hmod ->
+          let text =
+            Codegen.Testbench.vhdl_for_fsm hmod
+              ~events:[ "go"; "bogus"; "back" ]
+          in
+          check Alcotest.bool "entity" true (contains text "entity toggler_tb is");
+          check Alcotest.bool "dut" true (contains text "entity work.toggler");
+          check Alcotest.bool "go strobe" true (contains text "ev_go <= '1';");
+          check Alcotest.bool "back strobe" true (contains text "ev_back <= '1';");
+          check Alcotest.bool "bogus skipped" true
+            (contains text "-- event bogus: no matching input port"));
+    tc "testbench is deterministic" (fun () ->
+        let flat = flat_of (simple_machine ()) in
+        match Codegen.Fsm_compile.compile flat with
+        | Error m -> Alcotest.fail m
+        | Ok hmod ->
+          check Alcotest.string "same"
+            (Codegen.Testbench.vhdl_for_fsm hmod ~events:[ "go" ])
+            (Codegen.Testbench.vhdl_for_fsm hmod ~events:[ "go" ]));
+  ]
+
+let () =
+  Alcotest.run "codegen"
+    [
+      ("emitters", emitters_tests); ("fsm", fsm_tests); ("cgen", cgen_tests);
+      ("testbench", testbench_tests);
+    ]

@@ -1,0 +1,295 @@
+(* Tests for the hardware IR: types, expressions, static checks,
+   elaboration. *)
+
+open Hdl
+
+let tc name f = Alcotest.test_case name `Quick f
+let check = Alcotest.check
+
+let htype_tests =
+  [
+    tc "widths" (fun () ->
+        check Alcotest.int "bit" 1 (Htype.width Htype.Bit);
+        check Alcotest.int "u8" 8 (Htype.width (Htype.Unsigned 8));
+        check Alcotest.int "enum2" 1 (Htype.width (Htype.Enum [ "A"; "B" ]));
+        check Alcotest.int "enum5" 3
+          (Htype.width (Htype.Enum [ "A"; "B"; "C"; "D"; "E" ])));
+    tc "max values" (fun () ->
+        check Alcotest.int "bit" 1 (Htype.max_value Htype.Bit);
+        check Alcotest.int "u4" 15 (Htype.max_value (Htype.Unsigned 4));
+        check Alcotest.int "enum3" 2
+          (Htype.max_value (Htype.Enum [ "A"; "B"; "C" ])));
+    tc "enum_index" (fun () ->
+        let ty = Htype.Enum [ "A"; "B"; "C" ] in
+        check Alcotest.bool "B" true (Htype.enum_index ty "B" = Some 1);
+        check Alcotest.bool "Z" true (Htype.enum_index ty "Z" = None));
+  ]
+
+let expr_tests =
+  [
+    tc "refs are deduplicated in order" (fun () ->
+        let e =
+          Expr.(Binop (Add, Ref "a", Binop (Add, Ref "b", Ref "a")))
+        in
+        check (Alcotest.list Alcotest.string) "refs" [ "a"; "b" ] (Expr.refs e));
+    tc "of_int picks a minimal width" (fun () ->
+        match Expr.of_int 5 with
+        | Expr.Const (5, Htype.Unsigned 3) -> ()
+        | _other -> Alcotest.fail "expected 3-bit constant");
+    tc "assigned and read over statements" (fun () ->
+        let body =
+          [
+            Stmt.If
+              ( Expr.(Ref "c" ==: one),
+                [ Stmt.Assign ("x", Expr.Ref "y") ],
+                [ Stmt.Assign ("z", Expr.Ref "y") ] );
+          ]
+        in
+        check (Alcotest.list Alcotest.string) "assigned" [ "x"; "z" ]
+          (Stmt.assigned body);
+        check (Alcotest.list Alcotest.string) "read" [ "c"; "y" ]
+          (Stmt.read body));
+  ]
+
+let counter_module () =
+  Module_.make
+    ~ports:
+      [
+        Module_.input "clk" Htype.Bit;
+        Module_.input "rst" Htype.Bit;
+        Module_.output "q" (Htype.Unsigned 4);
+      ]
+    ~signals:[ Module_.signal ~init:0 "cnt" (Htype.Unsigned 4) ]
+    ~processes:
+      [
+        Module_.seq_process
+          ~reset:("rst", [ Stmt.Assign ("cnt", Expr.of_int ~width:4 0) ])
+          ~name:"p_cnt" ~clock:"clk"
+          [ Stmt.Assign ("cnt", Expr.(Ref "cnt" +: of_int 1)) ];
+        Module_.comb_process ~name:"p_out" [ Stmt.Assign ("q", Expr.Ref "cnt") ];
+      ]
+    "counter"
+
+let check_tests =
+  [
+    tc "clean module passes" (fun () ->
+        check (Alcotest.list Alcotest.string) "clean" []
+          (Check.check_module (counter_module ())));
+    tc "type inference" (fun () ->
+        let m = counter_module () in
+        check Alcotest.bool "add widens" true
+          (Check.infer_type m Expr.(Ref "cnt" +: of_int 1)
+          = Ok (Htype.Unsigned 4));
+        check Alcotest.bool "cmp is a bit" true
+          (Check.infer_type m Expr.(Ref "cnt" ==: of_int 3) = Ok Htype.Bit);
+        check Alcotest.bool "unresolved" true
+          (match Check.infer_type m (Expr.Ref "ghost") with
+           | Error _ -> true
+           | Ok _ -> false));
+    tc "unresolved assignment target" (fun () ->
+        let m =
+          Module_.make
+            ~processes:
+              [ Module_.comb_process ~name:"p" [ Stmt.Assign ("ghost", Expr.one) ] ]
+            "m"
+        in
+        check Alcotest.bool "error" true (Check.check_module m <> []));
+    tc "assignment to input rejected" (fun () ->
+        let m =
+          Module_.make
+            ~ports:[ Module_.input "a" Htype.Bit ]
+            ~processes:
+              [ Module_.comb_process ~name:"p" [ Stmt.Assign ("a", Expr.one) ] ]
+            "m"
+        in
+        check Alcotest.bool "error" true (Check.check_module m <> []));
+    tc "width overflow rejected" (fun () ->
+        let m =
+          Module_.make
+            ~signals:
+              [
+                Module_.signal "narrow" (Htype.Unsigned 2);
+                Module_.signal "wide" (Htype.Unsigned 8);
+              ]
+            ~processes:
+              [
+                Module_.comb_process ~name:"p"
+                  [ Stmt.Assign ("narrow", Expr.Ref "wide") ];
+              ]
+            "m"
+        in
+        check Alcotest.bool "error" true (Check.check_module m <> []));
+    tc "multiple drivers rejected" (fun () ->
+        let m =
+          Module_.make
+            ~signals:[ Module_.signal "x" Htype.Bit ]
+            ~processes:
+              [
+                Module_.comb_process ~name:"p1" [ Stmt.Assign ("x", Expr.one) ];
+                Module_.comb_process ~name:"p2" [ Stmt.Assign ("x", Expr.zero) ];
+              ]
+            "m"
+        in
+        check Alcotest.bool "error" true (Check.check_module m <> []));
+    tc "combinational loop detected" (fun () ->
+        let m =
+          Module_.make
+            ~signals:
+              [ Module_.signal "a" Htype.Bit; Module_.signal "b" Htype.Bit ]
+            ~processes:
+              [
+                Module_.comb_process ~name:"p1"
+                  [ Stmt.Assign ("a", Expr.Ref "b") ];
+                Module_.comb_process ~name:"p2"
+                  [ Stmt.Assign ("b", Expr.Ref "a") ];
+              ]
+            "m"
+        in
+        check Alcotest.bool "loop" true (Check.has_comb_loop m);
+        check Alcotest.bool "reported" true
+          (List.exists
+             (fun s ->
+               String.length s >= 13 && String.sub s 0 13 = "combinational")
+             (Check.check_module m)));
+    tc "registered feedback is not a loop" (fun () ->
+        check Alcotest.bool "no loop" false
+          (Check.has_comb_loop (counter_module ())));
+    tc "non-bit clock rejected" (fun () ->
+        let m =
+          Module_.make
+            ~ports:[ Module_.input "clk8" (Htype.Unsigned 8) ]
+            ~signals:[ Module_.signal "x" Htype.Bit ]
+            ~processes:
+              [
+                Module_.seq_process ~name:"p" ~clock:"clk8"
+                  [ Stmt.Assign ("x", Expr.one) ];
+              ]
+            "m"
+        in
+        check Alcotest.bool "error" true (Check.check_module m <> []));
+    tc "design: unknown instance module" (fun () ->
+        let top =
+          Module_.make
+            ~instances:
+              [ { Module_.inst_name = "u0"; inst_module = "ghost";
+                  inst_conns = [] } ]
+            "top"
+        in
+        let d = Module_.design ~top:"top" [ top ] in
+        check Alcotest.bool "error" true (Check.check_design d <> []));
+    tc "design: unconnected input" (fun () ->
+        let sub = Module_.make ~ports:[ Module_.input "a" Htype.Bit ] "sub" in
+        let top =
+          Module_.make
+            ~instances:
+              [ { Module_.inst_name = "u0"; inst_module = "sub";
+                  inst_conns = [] } ]
+            "top"
+        in
+        let d = Module_.design ~top:"top" [ top; sub ] in
+        check Alcotest.bool "error" true (Check.check_design d <> []));
+    tc "design: clean hierarchy passes" (fun () ->
+        let sub = counter_module () in
+        let top =
+          Module_.make
+            ~ports:
+              [ Module_.input "clk" Htype.Bit; Module_.input "rst" Htype.Bit ]
+            ~signals:[ Module_.signal "q0" (Htype.Unsigned 4) ]
+            ~instances:
+              [
+                { Module_.inst_name = "u0"; inst_module = "counter";
+                  inst_conns = [ ("clk", "clk"); ("rst", "rst"); ("q", "q0") ] };
+              ]
+            "top"
+        in
+        let d = Module_.design ~top:"top" [ top; sub ] in
+        check (Alcotest.list Alcotest.string) "clean" [] (Check.check_design d));
+  ]
+
+let elaborate_tests =
+  [
+    tc "flatten prefixes instance signals" (fun () ->
+        let sub = counter_module () in
+        let top =
+          Module_.make
+            ~ports:
+              [ Module_.input "clk" Htype.Bit; Module_.input "rst" Htype.Bit ]
+            ~signals:[ Module_.signal "q0" (Htype.Unsigned 4) ]
+            ~instances:
+              [
+                { Module_.inst_name = "u0"; inst_module = "counter";
+                  inst_conns = [ ("clk", "clk"); ("rst", "rst"); ("q", "q0") ] };
+              ]
+            "top"
+        in
+        let d = Module_.design ~top:"top" [ top; sub ] in
+        let flat = Elaborate.flatten d in
+        check Alcotest.bool "prefixed" true
+          (Module_.find_signal flat "u0.cnt" <> None);
+        check Alcotest.bool "no instances left" true
+          (flat.Module_.mod_instances = []);
+        check Alcotest.int "processes" 2
+          (List.length flat.Module_.mod_processes));
+    tc "nested hierarchy flattens" (fun () ->
+        let leaf = counter_module () in
+        let mid =
+          Module_.make
+            ~ports:
+              [ Module_.input "clk" Htype.Bit; Module_.input "rst" Htype.Bit ]
+            ~signals:[ Module_.signal "q" (Htype.Unsigned 4) ]
+            ~instances:
+              [
+                { Module_.inst_name = "inner"; inst_module = "counter";
+                  inst_conns = [ ("clk", "clk"); ("rst", "rst"); ("q", "q") ] };
+              ]
+            "mid"
+        in
+        let top =
+          Module_.make
+            ~ports:
+              [ Module_.input "clk" Htype.Bit; Module_.input "rst" Htype.Bit ]
+            ~instances:
+              [
+                { Module_.inst_name = "m0"; inst_module = "mid";
+                  inst_conns = [ ("clk", "clk"); ("rst", "rst") ] };
+              ]
+            "top"
+        in
+        let d = Module_.design ~top:"top" [ top; mid; leaf ] in
+        let flat = Elaborate.flatten d in
+        check Alcotest.bool "deep name" true
+          (Module_.find_signal flat "m0.inner.cnt" <> None));
+    tc "flatten rejects unknown module" (fun () ->
+        let top =
+          Module_.make
+            ~instances:
+              [ { Module_.inst_name = "u0"; inst_module = "ghost";
+                  inst_conns = [] } ]
+            "top"
+        in
+        let d = Module_.design ~top:"top" [ top ] in
+        match Elaborate.flatten d with
+        | _flat -> Alcotest.fail "expected Elaboration_error"
+        | exception Elaborate.Elaboration_error _ -> ());
+    tc "flatten rejects recursion" (fun () ->
+        let selfish =
+          Module_.make
+            ~instances:
+              [ { Module_.inst_name = "u"; inst_module = "selfish";
+                  inst_conns = [] } ]
+            "selfish"
+        in
+        let d = Module_.design ~top:"selfish" [ selfish ] in
+        match Elaborate.flatten d with
+        | _flat -> Alcotest.fail "expected Elaboration_error"
+        | exception Elaborate.Elaboration_error _ -> ());
+  ]
+
+let () =
+  Alcotest.run "hdl"
+    [
+      ("htype", htype_tests);
+      ("expr", expr_tests);
+      ("check", check_tests);
+      ("elaborate", elaborate_tests);
+    ]

@@ -1,0 +1,371 @@
+(* Tests for the HW/SW codesign substrate: task graphs, scheduling,
+   partitioning. *)
+
+let tc name f = Alcotest.test_case name `Quick f
+let check = Alcotest.check
+
+let t = Hwsw.Taskgraph.task
+let e = Hwsw.Taskgraph.edge
+
+(* a diamond: src -> (l, r) -> sink *)
+let diamond () =
+  Hwsw.Taskgraph.make
+    [
+      t ~sw_time:10 ~hw_time:2 ~hw_area:100 "src";
+      t ~sw_time:20 ~hw_time:3 ~hw_area:200 "l";
+      t ~sw_time:30 ~hw_time:4 ~hw_area:300 "r";
+      t ~sw_time:10 ~hw_time:2 ~hw_area:100 "sink";
+    ]
+    [ e "src" "l"; e "src" "r"; e "l" "sink"; e "r" "sink" ]
+
+let graph_tests =
+  [
+    tc "topological order respects edges" (fun () ->
+        let order = Hwsw.Taskgraph.topological_order (diamond ()) in
+        let pos x =
+          let rec go i = function
+            | [] -> -1
+            | y :: rest -> if y = x then i else go (i + 1) rest
+          in
+          go 0 order
+        in
+        check Alcotest.bool "src first" true (pos "src" < pos "l");
+        check Alcotest.bool "sink last" true (pos "sink" > pos "r"));
+    tc "cycles are rejected" (fun () ->
+        match
+          Hwsw.Taskgraph.make
+            [
+              t ~sw_time:1 ~hw_time:1 ~hw_area:1 "a";
+              t ~sw_time:1 ~hw_time:1 ~hw_area:1 "b";
+            ]
+            [ e "a" "b"; e "b" "a" ]
+        with
+        | _g -> Alcotest.fail "expected Invalid_argument"
+        | exception Invalid_argument _ -> ());
+    tc "duplicate tasks are rejected" (fun () ->
+        match
+          Hwsw.Taskgraph.make
+            [
+              t ~sw_time:1 ~hw_time:1 ~hw_area:1 "a";
+              t ~sw_time:1 ~hw_time:1 ~hw_area:1 "a";
+            ]
+            []
+        with
+        | _g -> Alcotest.fail "expected Invalid_argument"
+        | exception Invalid_argument _ -> ());
+    tc "unknown edge endpoints are rejected" (fun () ->
+        match
+          Hwsw.Taskgraph.make
+            [ t ~sw_time:1 ~hw_time:1 ~hw_area:1 "a" ]
+            [ e "a" "ghost" ]
+        with
+        | _g -> Alcotest.fail "expected Invalid_argument"
+        | exception Invalid_argument _ -> ());
+    tc "of_activity extracts the pipeline" (fun () ->
+        let open Uml in
+        let init = Activityg.initial () in
+        let a = Activityg.action "a" in
+        let fork = Activityg.fork "f" in
+        let b = Activityg.action "b" in
+        let c = Activityg.action "c" in
+        let join = Activityg.join "j" in
+        let fin = Activityg.activity_final () in
+        let ed s tgt =
+          Activityg.edge ~source:(Activityg.node_id s)
+            ~target:(Activityg.node_id tgt) ()
+        in
+        let act =
+          Activityg.make "p"
+            [ init; a; fork; b; c; join; fin ]
+            [
+              ed init a; ed a fork; ed fork b; ed fork c; ed b join;
+              ed c join; ed join fin;
+            ]
+        in
+        let g = Hwsw.Taskgraph.of_activity act in
+        check Alcotest.int "three tasks" 3
+          (List.length g.Hwsw.Taskgraph.tasks);
+        (* a->b and a->c through the fork *)
+        check Alcotest.int "two edges" 2
+          (List.length g.Hwsw.Taskgraph.edges));
+  ]
+
+let schedule_tests =
+  [
+    tc "all-SW is the sequential sum" (fun () ->
+        let g = diamond () in
+        let r = Hwsw.Schedule.run g (Hwsw.Schedule.all_sw g) in
+        check Alcotest.int "70" 70 r.Hwsw.Schedule.makespan;
+        check Alcotest.int "area 0" 0 r.Hwsw.Schedule.hw_area);
+    tc "all-HW exploits parallelism" (fun () ->
+        let g = diamond () in
+        let r = Hwsw.Schedule.run g (Hwsw.Schedule.all_hw g) in
+        (* src 2 + max(l 3, r 4) + sink 2 = 8 *)
+        check Alcotest.int "8" 8 r.Hwsw.Schedule.makespan;
+        check Alcotest.int "area" 700 r.Hwsw.Schedule.hw_area);
+    tc "cross-boundary edges pay communication" (fun () ->
+        let g =
+          Hwsw.Taskgraph.make
+            [
+              t ~sw_time:10 ~hw_time:1 ~hw_area:10 "a";
+              t ~sw_time:10 ~hw_time:1 ~hw_area:10 "b";
+            ]
+            [ Hwsw.Taskgraph.edge ~comm:5 "a" "b" ]
+        in
+        let mixed = [ ("a", Hwsw.Schedule.Hw); ("b", Hwsw.Schedule.Sw) ] in
+        let r = Hwsw.Schedule.run g mixed in
+        (* a: 1 on hw; comm 5; b starts at 6, finishes 16 *)
+        check Alcotest.int "16" 16 r.Hwsw.Schedule.makespan);
+    tc "slots are consistent" (fun () ->
+        let g = diamond () in
+        let r = Hwsw.Schedule.run g (Hwsw.Schedule.all_sw g) in
+        List.iter
+          (fun (s : Hwsw.Schedule.slot) ->
+            check Alcotest.bool "start<=finish" true
+              (s.Hwsw.Schedule.slot_start <= s.Hwsw.Schedule.slot_finish))
+          r.Hwsw.Schedule.slots;
+        check Alcotest.int "four slots" 4 (List.length r.Hwsw.Schedule.slots));
+  ]
+
+let partition_tests =
+  [
+    tc "exhaustive respects the budget" (fun () ->
+        let g = diamond () in
+        let o = Hwsw.Partition.exhaustive ~budget:300 g in
+        check Alcotest.bool "area ok" true (o.Hwsw.Partition.area <= 300));
+    tc "zero budget forces all-SW" (fun () ->
+        let g = diamond () in
+        let o = Hwsw.Partition.exhaustive ~budget:0 g in
+        check Alcotest.int "sw makespan" 70 o.Hwsw.Partition.cost;
+        check Alcotest.int "area" 0 o.Hwsw.Partition.area);
+    tc "infinite budget reaches all-HW quality" (fun () ->
+        let g = diamond () in
+        let o = Hwsw.Partition.exhaustive ~budget:100_000 g in
+        check Alcotest.int "8" 8 o.Hwsw.Partition.cost);
+    tc "greedy never beats exhaustive" (fun () ->
+        let g = diamond () in
+        let opt = Hwsw.Partition.exhaustive ~budget:400 g in
+        let grd = Hwsw.Partition.greedy ~budget:400 g in
+        check Alcotest.bool "opt <= greedy" true
+          (opt.Hwsw.Partition.cost <= grd.Hwsw.Partition.cost));
+    tc "improve is at least as good as greedy" (fun () ->
+        let g = diamond () in
+        let grd = Hwsw.Partition.greedy ~budget:400 g in
+        let imp = Hwsw.Partition.improve ~budget:400 g in
+        check Alcotest.bool "imp <= greedy" true
+          (imp.Hwsw.Partition.cost <= grd.Hwsw.Partition.cost));
+    tc "exhaustive guards against explosion" (fun () ->
+        let tasks =
+          List.init 25 (fun i ->
+              t ~sw_time:1 ~hw_time:1 ~hw_area:1 (Printf.sprintf "t%d" i))
+        in
+        let g = Hwsw.Taskgraph.make tasks [] in
+        match Hwsw.Partition.exhaustive ~budget:10 g with
+        | _o -> Alcotest.fail "expected Invalid_argument"
+        | exception Invalid_argument _ -> ());
+    tc "annealing respects the budget and is reproducible" (fun () ->
+        let g = diamond () in
+        let a1 = Hwsw.Partition.annealed ~seed:7 ~budget:400 g in
+        let a2 = Hwsw.Partition.annealed ~seed:7 ~budget:400 g in
+        check Alcotest.bool "feasible" true (a1.Hwsw.Partition.area <= 400);
+        check Alcotest.int "deterministic" a1.Hwsw.Partition.cost
+          a2.Hwsw.Partition.cost);
+    tc "annealing never beats the exhaustive optimum" (fun () ->
+        let g = diamond () in
+        let opt = Hwsw.Partition.exhaustive ~budget:400 g in
+        let sa = Hwsw.Partition.annealed ~seed:3 ~budget:400 g in
+        check Alcotest.bool "bounded" true
+          (opt.Hwsw.Partition.cost <= sa.Hwsw.Partition.cost));
+    tc "annealing improves on all-SW when budget allows" (fun () ->
+        let g = diamond () in
+        let all_sw =
+          (Hwsw.Schedule.run g (Hwsw.Schedule.all_sw g)).Hwsw.Schedule.makespan
+        in
+        let sa = Hwsw.Partition.annealed ~seed:3 ~budget:100_000 g in
+        check Alcotest.bool "better than SW" true
+          (sa.Hwsw.Partition.cost < all_sw));
+    tc "quality_ratio of the optimum is 1.0" (fun () ->
+        let g = diamond () in
+        let opt = Hwsw.Partition.exhaustive ~budget:400 g in
+        check (Alcotest.float 0.0001) "one" 1.0
+          (Hwsw.Partition.quality_ratio ~optimal:opt opt));
+    QCheck_alcotest.to_alcotest
+      (QCheck.Test.make
+         ~name:"heuristics are feasible and bounded by the optimum" ~count:25
+         QCheck.(pair (int_range 1 5000) (int_range 0 800))
+         (fun (seed, budget) ->
+           let g = Workload.Gen_taskgraph.layered ~seed ~tasks:8 ~layers:3 in
+           let opt = Hwsw.Partition.exhaustive ~budget g in
+           let grd = Hwsw.Partition.greedy ~budget g in
+           let imp = Hwsw.Partition.improve ~budget g in
+           grd.Hwsw.Partition.area <= budget
+           && imp.Hwsw.Partition.area <= budget
+           && opt.Hwsw.Partition.cost <= grd.Hwsw.Partition.cost
+           && opt.Hwsw.Partition.cost <= imp.Hwsw.Partition.cost));
+    QCheck_alcotest.to_alcotest
+      (QCheck.Test.make
+         ~name:"hardware never slows a task down in this cost model"
+         ~count:25
+         QCheck.(int_range 1 5000)
+         (fun seed ->
+           let g = Workload.Gen_taskgraph.layered ~seed ~tasks:10 ~layers:4 in
+           List.for_all
+             (fun (task : Hwsw.Taskgraph.task) ->
+               task.Hwsw.Taskgraph.hw_time <= task.Hwsw.Taskgraph.sw_time)
+             g.Hwsw.Taskgraph.tasks));
+  ]
+
+(* deployment-driven assignment *)
+let alloc_tests =
+  let open Uml in
+  let deployed_model () =
+    let m = Model.create "m" in
+    let a = Activityg.action "a" in
+    let b = Activityg.action "b" in
+    let init = Activityg.initial () in
+    let fin = Activityg.activity_final () in
+    let ed s tgt =
+      Activityg.edge ~source:(Activityg.node_id s)
+        ~target:(Activityg.node_id tgt) ()
+    in
+    let act =
+      Activityg.make "p" [ init; a; b; fin ]
+        [ ed init a; ed a b; ed b fin ]
+    in
+    Model.add m (Model.E_activity act);
+    (* a is deployed onto an FPGA device, b onto a CPU *)
+    let fpga = Deployment.node ~kind:Deployment.Device "fpga" in
+    let cpu =
+      Deployment.node ~kind:Deployment.Execution_environment "cpu"
+    in
+    Model.add m (Model.E_deployment_node fpga);
+    Model.add m (Model.E_deployment_node cpu);
+    let art_a =
+      Deployment.artifact ~manifests:[ Activityg.node_id a ] "a.bit"
+    in
+    let art_b =
+      Deployment.artifact ~manifests:[ Activityg.node_id b ] "b.elf"
+    in
+    Model.add m (Model.E_artifact art_a);
+    Model.add m (Model.E_artifact art_b);
+    Model.add m
+      (Model.E_deployment
+         (Deployment.deploy ~artifact:art_a.Deployment.art_id
+            ~target:fpga.Deployment.dn_id ()));
+    Model.add m
+      (Model.E_deployment
+         (Deployment.deploy ~artifact:art_b.Deployment.art_id
+            ~target:cpu.Deployment.dn_id ()));
+    (m, act, a, b)
+  in
+  [
+    tc "device deployments become hardware tasks" (fun () ->
+        let m, act, a, b = deployed_model () in
+        let g = Hwsw.Taskgraph.of_activity act in
+        let assignment = Hwsw.Alloc.of_deployment m g in
+        check Alcotest.bool "a on HW" true
+          (Hwsw.Schedule.side_of assignment
+             (Uml.Ident.to_string (Uml.Activityg.node_id a))
+          = Hwsw.Schedule.Hw);
+        check Alcotest.bool "b on SW" true
+          (Hwsw.Schedule.side_of assignment
+             (Uml.Ident.to_string (Uml.Activityg.node_id b))
+          = Hwsw.Schedule.Sw));
+    tc "undeployed tasks default to software" (fun () ->
+        let m = Model.create "m" in
+        let a = Activityg.action "a" in
+        let init = Activityg.initial () in
+        let fin = Activityg.activity_final () in
+        let ed s tgt =
+          Activityg.edge ~source:(Activityg.node_id s)
+            ~target:(Activityg.node_id tgt) ()
+        in
+        let act =
+          Activityg.make "p" [ init; a; fin ] [ ed init a; ed a fin ]
+        in
+        Model.add m (Model.E_activity act);
+        let g = Hwsw.Taskgraph.of_activity act in
+        let assignment = Hwsw.Alloc.of_deployment m g in
+        check Alcotest.bool "SW default" true
+          (List.for_all (fun (_id, s) -> s = Hwsw.Schedule.Sw) assignment));
+    tc "deployment report names the target nodes" (fun () ->
+        let m, act, a, _b = deployed_model () in
+        let g = Hwsw.Taskgraph.of_activity act in
+        let report = Hwsw.Alloc.deployment_report m g in
+        let a_id = Uml.Ident.to_string (Uml.Activityg.node_id a) in
+        match List.find_opt (fun (id, _, _) -> id = a_id) report with
+        | Some (_, side, node) ->
+          check Alcotest.bool "hw" true (side = Hwsw.Schedule.Hw);
+          check (Alcotest.option Alcotest.string) "fpga" (Some "fpga") node
+        | None -> Alcotest.fail "task a missing from report");
+    tc "deployment assignment schedules" (fun () ->
+        let m, act, _a, _b = deployed_model () in
+        let g = Hwsw.Taskgraph.of_activity act in
+        let assignment = Hwsw.Alloc.of_deployment m g in
+        let r = Hwsw.Schedule.run g assignment in
+        check Alcotest.bool "positive makespan" true
+          (r.Hwsw.Schedule.makespan > 0);
+        check Alcotest.bool "some hw area" true (r.Hwsw.Schedule.hw_area > 0));
+  ]
+
+let contains hay needle =
+  let nl = String.length needle in
+  let hl = String.length hay in
+  let rec go i = i + nl <= hl && (String.sub hay i nl = needle || go (i + 1)) in
+  go 0
+
+let swgen_tests =
+  [
+    tc "generated runner orders SW tasks and awaits HW inputs" (fun () ->
+        let g = diamond () in
+        (* l and r in hardware, src/sink in software *)
+        let assignment =
+          [ ("l", Hwsw.Schedule.Hw); ("r", Hwsw.Schedule.Hw) ]
+        in
+        let r = Hwsw.Schedule.run g assignment in
+        let text = Hwsw.Swgen.c_of_schedule ~name:"diamond" g r in
+        check Alcotest.bool "src task" true (contains text "task_src();");
+        check Alcotest.bool "sink task" true (contains text "task_sink();");
+        check Alcotest.bool "hw starts" true (contains text "hw_start(\"l\");");
+        check Alcotest.bool "hw waits" true (contains text "hw_wait(\"l\");");
+        (* the sink must wait for both accelerators before running *)
+        let pos needle =
+          let rec go i =
+            if i + String.length needle > String.length text then -1
+            else if String.sub text i (String.length needle) = needle then i
+            else go (i + 1)
+          in
+          go 0
+        in
+        check Alcotest.bool "wait before sink" true
+          (pos "hw_wait(\"l\");" < pos "task_sink();"
+          && pos "hw_wait(\"r\");" < pos "task_sink();"));
+    tc "all-SW schedule needs no HAL calls" (fun () ->
+        let g = diamond () in
+        let r = Hwsw.Schedule.run g (Hwsw.Schedule.all_sw g) in
+        let text = Hwsw.Swgen.c_of_schedule g r in
+        check Alcotest.bool "no hw_start" false (contains text "hw_start(\"");
+        check Alcotest.bool "all four tasks" true
+          (contains text "task_src();" && contains text "task_l();"
+          && contains text "task_r();" && contains text "task_sink();"));
+    tc "unconsumed hardware results are still awaited" (fun () ->
+        let g =
+          Hwsw.Taskgraph.make
+            [ t ~sw_time:10 ~hw_time:1 ~hw_area:5 "solo" ]
+            []
+        in
+        let r = Hwsw.Schedule.run g [ ("solo", Hwsw.Schedule.Hw) ] in
+        let text = Hwsw.Swgen.c_of_schedule g r in
+        check Alcotest.bool "awaited at end" true
+          (contains text "hw_wait(\"solo\");"));
+  ]
+
+let () =
+  Alcotest.run "hwsw"
+    [
+      ("taskgraph", graph_tests);
+      ("schedule", schedule_tests);
+      ("partition", partition_tests);
+      ("alloc", alloc_tests);
+      ("swgen", swgen_tests);
+    ]

@@ -1,0 +1,199 @@
+(* Tests for the MDA engine: platforms, transformation rules, traces,
+   and generation. *)
+
+open Uml
+
+let tc name f = Alcotest.test_case name `Quick f
+let check = Alcotest.check
+
+let platform_tests =
+  [
+    tc "platform lookup by name" (fun () ->
+        check Alcotest.bool "found" true
+          (Mda.Platform.by_name "asic_vhdl" = Some Mda.Platform.asic_vhdl);
+        check Alcotest.bool "missing" true (Mda.Platform.by_name "zzz" = None));
+    tc "four platforms predefined" (fun () ->
+        check Alcotest.int "count" 4 (List.length Mda.Platform.all));
+  ]
+
+let pim_with_real () =
+  let m = Model.create "pim" in
+  Model.add m
+    (Model.E_classifier
+       (Classifier.make
+          ~attributes:
+            [
+              Classifier.property "gain" Dtype.Real;
+              Classifier.property "count" Dtype.Integer;
+            ]
+          "Filter"));
+  Model.add m (Model.E_classifier (Classifier.make ~is_active:true "Driver"));
+  Model.add m
+    (Model.E_component (Component.make ~ports:[ Component.port "io" ] "Unit"));
+  m
+
+let transform_tests =
+  [
+    tc "identity model is fully reused" (fun () ->
+        let m = Model.create "pim" in
+        Model.add m (Model.E_classifier (Classifier.make "Plain"));
+        let psm, trace =
+          Mda.Mapping.to_psm Mda.Platform.asic_vhdl m
+        in
+        check Alcotest.bool "reuse 1.0" true
+          (Mda.Transform.reuse_fraction trace = 1.0);
+        check Alcotest.int "same size" (Model.size m) (Model.size psm));
+    tc "hw mapping lowers Real to Integer" (fun () ->
+        let psm, trace =
+          Mda.Mapping.to_psm Mda.Platform.asic_vhdl (pim_with_real ())
+        in
+        (match Model.classifier_named psm "Filter" with
+         | Some c -> (
+           match Classifier.find_attribute c "gain" with
+           | Some p ->
+             check Alcotest.bool "integer now" true
+               (p.Classifier.prop_type = Dtype.Integer)
+           | None -> Alcotest.fail "gain missing")
+         | None -> Alcotest.fail "Filter missing");
+        check Alcotest.bool "changes recorded" true
+          (Mda.Transform.changed_count trace >= 2));
+    tc "hw mapping adds clock and reset ports" (fun () ->
+        let psm, _trace =
+          Mda.Mapping.to_psm Mda.Platform.asic_vhdl (pim_with_real ())
+        in
+        match Model.component_named psm "Unit" with
+        | Some c ->
+          check Alcotest.bool "clk" true (Component.find_port c "clk" <> None);
+          check Alcotest.bool "rst" true (Component.find_port c "rst" <> None);
+          check Alcotest.bool "io kept" true
+            (Component.find_port c "io" <> None)
+        | None -> Alcotest.fail "Unit missing");
+    tc "sw mapping passivates active classes" (fun () ->
+        let psm, trace =
+          Mda.Mapping.to_psm Mda.Platform.sw_c (pim_with_real ())
+        in
+        (match Model.classifier_named psm "Driver" with
+         | Some c ->
+           check Alcotest.bool "passive" false c.Classifier.cl_is_active
+         | None -> Alcotest.fail "Driver missing");
+        check Alcotest.int "one change" 1 (Mda.Transform.changed_count trace));
+    tc "psm name mentions platform" (fun () ->
+        let psm, _trace =
+          Mda.Mapping.to_psm Mda.Platform.fpga_verilog (pim_with_real ())
+        in
+        check Alcotest.string "name" "pim__fpga_verilog" (Model.name psm));
+    tc "applications survive when targets survive" (fun () ->
+        let m = pim_with_real () in
+        let profile = Profiles.Soc_profile.install m in
+        let unit_comp =
+          match Model.component_named m "Unit" with
+          | Some c -> c
+          | None -> Alcotest.fail "Unit missing"
+        in
+        Profiles.Soc_profile.apply m ~profile ~stereotype:"hwModule"
+          unit_comp.Component.cmp_id;
+        let psm, _trace = Mda.Mapping.to_psm Mda.Platform.asic_vhdl m in
+        check Alcotest.bool "stereotype kept" true
+          (Model.has_stereotype psm unit_comp.Component.cmp_id "hwModule"));
+    tc "trace links sources to results" (fun () ->
+        let _psm, trace =
+          Mda.Mapping.to_psm Mda.Platform.asic_vhdl (pim_with_real ())
+        in
+        List.iter
+          (fun (e : Mda.Transform.trace_entry) ->
+            check Alcotest.bool "has results" true (e.Mda.Transform.te_results <> []))
+          trace;
+        check Alcotest.int "entry per element" 3 (List.length trace));
+  ]
+
+let machine_model () =
+  let m = Model.create "pim" in
+  let a = Smachine.simple_state "A" in
+  let b = Smachine.simple_state "B" in
+  let init = Smachine.pseudostate Smachine.Initial in
+  let r =
+    Smachine.region
+      [ Smachine.Pseudo init; Smachine.State a; Smachine.State b ]
+      [
+        Smachine.transition ~source:init.Smachine.ps_id
+          ~target:a.Smachine.st_id ();
+        Smachine.transition
+          ~triggers:[ Smachine.Signal_trigger "go" ]
+          ~source:a.Smachine.st_id ~target:b.Smachine.st_id ();
+      ]
+  in
+  Model.add m (Model.E_state_machine (Smachine.make "fsm" [ r ]));
+  m
+
+let generate_tests =
+  [
+    tc "hw_design compiles state machines" (fun () ->
+        let r = Mda.Generate.hw_design (machine_model ()) in
+        check Alcotest.bool "design" true (r.Mda.Generate.design <> None);
+        check (Alcotest.list Alcotest.string) "compiled" [ "fsm" ]
+          r.Mda.Generate.compiled;
+        check Alcotest.int "no skips" 0 (List.length r.Mda.Generate.skipped));
+    tc "unflattenable machines are skipped with a reason" (fun () ->
+        let m = Model.create "pim" in
+        (* orthogonal machine cannot be flattened *)
+        let r1 = Smachine.region [] [] in
+        let r2 = Smachine.region [] [] in
+        let comp = Smachine.composite_state "O" [ r1; r2 ] in
+        let init = Smachine.pseudostate Smachine.Initial in
+        let top =
+          Smachine.region
+            [ Smachine.Pseudo init; Smachine.State comp ]
+            [
+              Smachine.transition ~source:init.Smachine.ps_id
+                ~target:comp.Smachine.st_id ();
+            ]
+        in
+        Model.add m (Model.E_state_machine (Smachine.make "ortho" [ top ]));
+        let r = Mda.Generate.hw_design m in
+        check Alcotest.bool "no design" true (r.Mda.Generate.design = None);
+        check Alcotest.int "skipped" 1 (List.length r.Mda.Generate.skipped));
+    tc "artifacts per platform language" (fun () ->
+        let m = machine_model () in
+        let vhdl = Mda.Generate.artifacts Mda.Platform.asic_vhdl m in
+        let verilog = Mda.Generate.artifacts Mda.Platform.fpga_verilog m in
+        let systemc = Mda.Generate.artifacts Mda.Platform.virtual_systemc m in
+        check Alcotest.int "vhdl files" 1 (List.length vhdl);
+        check Alcotest.int "verilog files" 1 (List.length verilog);
+        check Alcotest.int "systemc files" 1 (List.length systemc);
+        List.iter
+          (fun (_f, text) ->
+            check Alcotest.bool "nonempty" true (Mda.Generate.loc text > 5))
+          (vhdl @ verilog @ systemc));
+    tc "c artifacts for the software platform" (fun () ->
+        let m = Model.create "pim" in
+        Model.add m
+          (Model.E_classifier
+             (Classifier.make
+                ~operations:[ Classifier.operation ~body:"return 1;" "f" ]
+                "K"));
+        match Mda.Generate.artifacts Mda.Platform.sw_c m with
+        | [ (file, text) ] ->
+          check Alcotest.string "name" "pim.c" file;
+          check Alcotest.bool "has struct" true (Mda.Generate.loc text > 5)
+        | _other -> Alcotest.fail "one C file expected");
+    tc "loc counts non-blank lines" (fun () ->
+        check Alcotest.int "three" 3 (Mda.Generate.loc "a\n\nb\n   \nc"));
+    tc "model_element_count includes features" (fun () ->
+        let m = Model.create "m" in
+        Model.add m
+          (Model.E_classifier
+             (Classifier.make
+                ~attributes:[ Classifier.property "x" Dtype.Integer ]
+                ~operations:[ Classifier.operation "f" ]
+                "K"));
+        (* 1 element + 2 features *)
+        check Alcotest.int "count" 3 (Mda.Generate.model_element_count m));
+  ]
+
+let () =
+  Alcotest.run "mda"
+    [
+      ("platform", platform_tests);
+      ("transform", transform_tests);
+      ("generate", generate_tests);
+    ]

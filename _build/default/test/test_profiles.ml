@@ -1,0 +1,175 @@
+(* Tests for the SoC and RT profiles and their specific WFRs. *)
+
+open Uml
+
+let tc name f = Alcotest.test_case name `Quick f
+let check = Alcotest.check
+
+let soc_model () =
+  let m = Model.create "m" in
+  let profile = Profiles.Soc_profile.install m in
+  (m, profile)
+
+let soc_tests =
+  [
+    tc "profile declares the documented stereotypes" (fun () ->
+        let p = Profiles.Soc_profile.profile () in
+        List.iter
+          (fun name ->
+            check Alcotest.bool name true
+              (Profile.find_stereotype p name <> None))
+          Profiles.Soc_profile.stereotype_names);
+    tc "hwModule without clock port is flagged" (fun () ->
+        let m, profile = soc_model () in
+        let comp = Component.make "Naked" in
+        Model.add m (Model.E_component comp);
+        Profiles.Soc_profile.apply m ~profile ~stereotype:"hwModule"
+          comp.Component.cmp_id;
+        let diags = Profiles.Soc_profile.check m in
+        check Alcotest.bool "SOC-01" true
+          (List.exists (fun d -> d.Wfr.diag_rule = "SOC-01") diags));
+    tc "hwModule with one clock passes" (fun () ->
+        let m, profile = soc_model () in
+        let clk = Component.port "clk" in
+        let comp = Component.make ~ports:[ clk ] "Good" in
+        Model.add m (Model.E_component comp);
+        Profiles.Soc_profile.apply m ~profile ~stereotype:"hwModule"
+          comp.Component.cmp_id;
+        Profiles.Soc_profile.apply m ~profile ~stereotype:"clock"
+          clk.Component.port_id;
+        check Alcotest.int "clean" 0
+          (List.length (Profiles.Soc_profile.check m)));
+    tc "two reset ports are flagged" (fun () ->
+        let m, profile = soc_model () in
+        let clk = Component.port "clk" in
+        let r1 = Component.port "rst_a" in
+        let r2 = Component.port "rst_b" in
+        let comp = Component.make ~ports:[ clk; r1; r2 ] "DoubleReset" in
+        Model.add m (Model.E_component comp);
+        Profiles.Soc_profile.apply m ~profile ~stereotype:"hwModule"
+          comp.Component.cmp_id;
+        Profiles.Soc_profile.apply m ~profile ~stereotype:"clock"
+          clk.Component.port_id;
+        Profiles.Soc_profile.apply m ~profile ~stereotype:"reset"
+          r1.Component.port_id;
+        Profiles.Soc_profile.apply m ~profile ~stereotype:"reset"
+          r2.Component.port_id;
+        let diags = Profiles.Soc_profile.check m in
+        check Alcotest.bool "SOC-02" true
+          (List.exists (fun d -> d.Wfr.diag_rule = "SOC-02") diags));
+    tc "non-positive hwPort width is flagged" (fun () ->
+        let m, profile = soc_model () in
+        let port = Component.port "d" in
+        let comp = Component.make ~ports:[ port ] "C" in
+        Model.add m (Model.E_component comp);
+        Profiles.Soc_profile.apply m ~profile ~stereotype:"hwPort"
+          ~values:[ ("width", Vspec.of_int 0) ]
+          port.Component.port_id;
+        let diags = Profiles.Soc_profile.check m in
+        check Alcotest.bool "SOC-03" true
+          (List.exists (fun d -> d.Wfr.diag_rule = "SOC-03") diags));
+    tc "register address collisions are flagged" (fun () ->
+        let m, profile = soc_model () in
+        let r1 = Classifier.property "ctrl" Dtype.Integer in
+        let r2 = Classifier.property "status" Dtype.Integer in
+        let cl = Classifier.make ~attributes:[ r1; r2 ] "Block" in
+        Model.add m (Model.E_classifier cl);
+        Profiles.Soc_profile.apply m ~profile ~stereotype:"register"
+          ~values:[ ("address", Vspec.of_int 4) ]
+          r1.Classifier.prop_id;
+        Profiles.Soc_profile.apply m ~profile ~stereotype:"register"
+          ~values:[ ("address", Vspec.of_int 4) ]
+          r2.Classifier.prop_id;
+        let diags = Profiles.Soc_profile.check m in
+        check Alcotest.bool "SOC-04" true
+          (List.exists (fun d -> d.Wfr.diag_rule = "SOC-04") diags));
+    tc "tag defaults are visible through tag_int" (fun () ->
+        let m, profile = soc_model () in
+        let comp = Component.make "C" in
+        Model.add m (Model.E_component comp);
+        Profiles.Soc_profile.apply m ~profile ~stereotype:"bus"
+          comp.Component.cmp_id;
+        check (Alcotest.option Alcotest.int) "default 32" (Some 32)
+          (Profiles.Soc_profile.tag_int m ~element:comp.Component.cmp_id
+             ~stereotype:"bus" "dataWidth"));
+    tc "hw_modules and sw_tasks filter by stereotype" (fun () ->
+        let m, profile = soc_model () in
+        let comp = Component.make "C" in
+        Model.add m (Model.E_component comp);
+        Profiles.Soc_profile.apply m ~profile ~stereotype:"ip"
+          comp.Component.cmp_id;
+        let cl = Classifier.make "Task" in
+        Model.add m (Model.E_classifier cl);
+        Profiles.Soc_profile.apply m ~profile ~stereotype:"swTask"
+          cl.Classifier.cl_id;
+        check Alcotest.int "hw" 1
+          (List.length (Profiles.Soc_profile.hw_modules m));
+        check Alcotest.int "sw" 1
+          (List.length (Profiles.Soc_profile.sw_tasks m)));
+    tc "apply rejects unknown stereotype names" (fun () ->
+        let m, profile = soc_model () in
+        let comp = Component.make "C" in
+        Model.add m (Model.E_component comp);
+        match
+          Profiles.Soc_profile.apply m ~profile ~stereotype:"ghost"
+            comp.Component.cmp_id
+        with
+        | () -> Alcotest.fail "expected Invalid_argument"
+        | exception Invalid_argument _ -> ());
+  ]
+
+let rt_tests =
+  [
+    tc "capsule must be active" (fun () ->
+        let m = Model.create "m" in
+        let profile = Profiles.Rt_profile.install m in
+        let passive = Classifier.make "P" in
+        Model.add m (Model.E_classifier passive);
+        Profiles.Rt_profile.apply m ~profile ~stereotype:"capsule"
+          passive.Classifier.cl_id;
+        let diags = Profiles.Rt_profile.check m in
+        check Alcotest.bool "RT-01" true
+          (List.exists (fun d -> d.Wfr.diag_rule = "RT-01") diags));
+    tc "active capsule passes" (fun () ->
+        let m = Model.create "m" in
+        let profile = Profiles.Rt_profile.install m in
+        let active = Classifier.make ~is_active:true "A" in
+        Model.add m (Model.E_classifier active);
+        Profiles.Rt_profile.apply m ~profile ~stereotype:"capsule"
+          active.Classifier.cl_id;
+        check Alcotest.int "clean" 0 (List.length (Profiles.Rt_profile.check m)));
+    tc "periodic deadline beyond period is flagged" (fun () ->
+        let m = Model.create "m" in
+        let profile = Profiles.Rt_profile.install m in
+        let op = Classifier.operation "tick" in
+        let cl = Classifier.make ~operations:[ op ] "C" in
+        Model.add m (Model.E_classifier cl);
+        Profiles.Rt_profile.apply m ~profile ~stereotype:"periodic"
+          ~values:[ ("period", Vspec.of_int 10); ("deadline", Vspec.of_int 20) ]
+          op.Classifier.op_id;
+        let diags = Profiles.Rt_profile.check m in
+        check Alcotest.bool "RT-03" true
+          (List.exists (fun d -> d.Wfr.diag_rule = "RT-03") diags));
+    tc "non-positive period is flagged" (fun () ->
+        let m = Model.create "m" in
+        let profile = Profiles.Rt_profile.install m in
+        let op = Classifier.operation "tick" in
+        let cl = Classifier.make ~operations:[ op ] "C" in
+        Model.add m (Model.E_classifier cl);
+        Profiles.Rt_profile.apply m ~profile ~stereotype:"periodic"
+          ~values:[ ("period", Vspec.of_int 0) ]
+          op.Classifier.op_id;
+        let diags = Profiles.Rt_profile.check m in
+        check Alcotest.bool "RT-02" true
+          (List.exists (fun d -> d.Wfr.diag_rule = "RT-02") diags));
+    tc "both profiles coexist in one model" (fun () ->
+        let m = Model.create "m" in
+        let _soc = Profiles.Soc_profile.install m in
+        let _rt = Profiles.Rt_profile.install m in
+        check Alcotest.int "two profiles" 2
+          (List.length (Model.profiles m));
+        check Alcotest.bool "valid" true (Wfr.is_valid m));
+  ]
+
+let () =
+  Alcotest.run "profiles" [ ("soc", soc_tests); ("rt", rt_tests) ]

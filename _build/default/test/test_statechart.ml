@@ -1,0 +1,956 @@
+(* Tests for the StateChart execution engine and the flattener. *)
+
+open Uml
+
+let tc name f = Alcotest.test_case name `Quick f
+let check = Alcotest.check
+
+let ev = Statechart.Event.make
+
+(* small helpers *)
+let sig_tr ?guard ?effect ?(kind = Smachine.External) event source target =
+  Smachine.transition
+    ~triggers:[ Smachine.Signal_trigger event ]
+    ?guard ?effect ~kind ~source ~target ()
+
+let init_tr source target = Smachine.transition ~source ~target ()
+
+(* --- flat machine behavior ---------------------------------------------- *)
+
+let simple_machine () =
+  let a = Smachine.simple_state "A" in
+  let b = Smachine.simple_state "B" in
+  let init = Smachine.pseudostate Smachine.Initial in
+  let r =
+    Smachine.region
+      [ Smachine.Pseudo init; Smachine.State a; Smachine.State b ]
+      [
+        init_tr init.Smachine.ps_id a.Smachine.st_id;
+        sig_tr "go" a.Smachine.st_id b.Smachine.st_id;
+        sig_tr "back" b.Smachine.st_id a.Smachine.st_id;
+      ]
+  in
+  Smachine.make "simple" [ r ]
+
+let flat_tests =
+  [
+    tc "start enters the initial state" (fun () ->
+        let e = Statechart.Engine.create (simple_machine ()) in
+        Statechart.Engine.start e;
+        check Alcotest.bool "A" true (Statechart.Engine.is_in e "A"));
+    tc "events move the configuration" (fun () ->
+        let e = Statechart.Engine.create (simple_machine ()) in
+        Statechart.Engine.start e;
+        Statechart.Engine.dispatch e (ev "go");
+        check Alcotest.bool "B" true (Statechart.Engine.is_in e "B");
+        Statechart.Engine.dispatch e (ev "back");
+        check Alcotest.bool "A" true (Statechart.Engine.is_in e "A"));
+    tc "unknown events are dropped" (fun () ->
+        let e = Statechart.Engine.create (simple_machine ()) in
+        Statechart.Engine.start e;
+        Statechart.Engine.dispatch e (ev "zzz");
+        check Alcotest.bool "A" true (Statechart.Engine.is_in e "A"));
+    tc "trace records steps" (fun () ->
+        let e = Statechart.Engine.create (simple_machine ()) in
+        Statechart.Engine.start e;
+        Statechart.Engine.dispatch e (ev "go");
+        let steps = Statechart.Engine.trace e in
+        check Alcotest.int "start + go" 2 (List.length steps));
+    tc "send enqueues, step drains one" (fun () ->
+        let e = Statechart.Engine.create (simple_machine ()) in
+        Statechart.Engine.start e;
+        Statechart.Engine.send e (ev "go");
+        Statechart.Engine.send e (ev "back");
+        check Alcotest.bool "step1" true (Statechart.Engine.step e);
+        check Alcotest.bool "B" true (Statechart.Engine.is_in e "B");
+        check Alcotest.bool "step2" true (Statechart.Engine.step e);
+        check Alcotest.bool "A" true (Statechart.Engine.is_in e "A");
+        check Alcotest.bool "empty" false (Statechart.Engine.step e));
+  ]
+
+(* --- guards and effects --------------------------------------------------- *)
+
+let guarded_machine () =
+  (* self.x decides which branch fires *)
+  let a = Smachine.simple_state "A" in
+  let b = Smachine.simple_state "B" in
+  let c = Smachine.simple_state "C" in
+  let init = Smachine.pseudostate Smachine.Initial in
+  let r =
+    Smachine.region
+      [
+        Smachine.Pseudo init; Smachine.State a; Smachine.State b;
+        Smachine.State c;
+      ]
+      [
+        init_tr init.Smachine.ps_id a.Smachine.st_id;
+        sig_tr ~guard:"self.x > 0" ~effect:"self.x := self.x - 1;" "go"
+          a.Smachine.st_id b.Smachine.st_id;
+        sig_tr ~guard:"self.x <= 0" "go" a.Smachine.st_id c.Smachine.st_id;
+      ]
+  in
+  Smachine.make "guarded" [ r ]
+
+let engine_with_self x =
+  let store = Asl.Store.create () in
+  let self_ref = Asl.Store.alloc store ~class_name:"Ctx"
+      ~attrs:[ ("x", Asl.Value.V_int x) ] in
+  let interp = Asl.Interp.create store in
+  let e =
+    Statechart.Engine.create ~interp ~self_:(Asl.Value.V_obj self_ref)
+      (guarded_machine ())
+  in
+  (e, store, self_ref)
+
+let guard_tests =
+  [
+    tc "guard selects the true branch" (fun () ->
+        let e, _store, _r = engine_with_self 1 in
+        Statechart.Engine.start e;
+        Statechart.Engine.dispatch e (ev "go");
+        check Alcotest.bool "B" true (Statechart.Engine.is_in e "B"));
+    tc "guard selects the other branch" (fun () ->
+        let e, _store, _r = engine_with_self 0 in
+        Statechart.Engine.start e;
+        Statechart.Engine.dispatch e (ev "go");
+        check Alcotest.bool "C" true (Statechart.Engine.is_in e "C"));
+    tc "effects mutate the context object" (fun () ->
+        let e, store, self_ref = engine_with_self 5 in
+        Statechart.Engine.start e;
+        Statechart.Engine.dispatch e (ev "go");
+        check Alcotest.bool "decremented" true
+          (Asl.Store.get_attr store self_ref "x" = Some (Asl.Value.V_int 4)));
+    tc "event arguments visible in guards" (fun () ->
+        let a = Smachine.simple_state "A" in
+        let b = Smachine.simple_state "B" in
+        let init = Smachine.pseudostate Smachine.Initial in
+        let r =
+          Smachine.region
+            [ Smachine.Pseudo init; Smachine.State a; Smachine.State b ]
+            [
+              init_tr init.Smachine.ps_id a.Smachine.st_id;
+              sig_tr ~guard:"e1 > 10" "go" a.Smachine.st_id b.Smachine.st_id;
+            ]
+        in
+        let e = Statechart.Engine.create (Smachine.make "m" [ r ]) in
+        Statechart.Engine.start e;
+        Statechart.Engine.dispatch e
+          (Statechart.Event.make ~args:[ Asl.Value.V_int 5 ] "go");
+        check Alcotest.bool "still A" true (Statechart.Engine.is_in e "A");
+        Statechart.Engine.dispatch e
+          (Statechart.Event.make ~args:[ Asl.Value.V_int 15 ] "go");
+        check Alcotest.bool "B" true (Statechart.Engine.is_in e "B"));
+    tc "entry/exit/effect order" (fun () ->
+        let a =
+          Smachine.simple_state ~entry:"print(\"enterA\");"
+            ~exit_:"print(\"exitA\");" "A"
+        in
+        let b = Smachine.simple_state ~entry:"print(\"enterB\");" "B" in
+        let init = Smachine.pseudostate Smachine.Initial in
+        let r =
+          Smachine.region
+            [ Smachine.Pseudo init; Smachine.State a; Smachine.State b ]
+            [
+              init_tr init.Smachine.ps_id a.Smachine.st_id;
+              sig_tr ~effect:"print(\"effect\");" "go" a.Smachine.st_id
+                b.Smachine.st_id;
+            ]
+        in
+        let e = Statechart.Engine.create (Smachine.make "m" [ r ]) in
+        Statechart.Engine.start e;
+        Statechart.Engine.dispatch e (ev "go");
+        check
+          (Alcotest.list Alcotest.string)
+          "order"
+          [ "enterA"; "exitA"; "effect"; "enterB" ]
+          (Asl.Interp.output (Statechart.Engine.interp e)));
+  ]
+
+(* --- hierarchy ------------------------------------------------------------ *)
+
+let hierarchical_machine () =
+  let a1 = Smachine.simple_state "A1" in
+  let a2 = Smachine.simple_state "A2" in
+  let ii = Smachine.pseudostate Smachine.Initial in
+  let inner =
+    Smachine.region
+      [ Smachine.Pseudo ii; Smachine.State a1; Smachine.State a2 ]
+      [
+        init_tr ii.Smachine.ps_id a1.Smachine.st_id;
+        sig_tr "next" a1.Smachine.st_id a2.Smachine.st_id;
+        (* inner handler for [shared]: has priority over the outer one *)
+        sig_tr "shared" a1.Smachine.st_id a2.Smachine.st_id;
+      ]
+  in
+  let comp = Smachine.composite_state "Comp" [ inner ] in
+  let out = Smachine.simple_state "Out" in
+  let init = Smachine.pseudostate Smachine.Initial in
+  let top =
+    Smachine.region
+      [ Smachine.Pseudo init; Smachine.State comp; Smachine.State out ]
+      [
+        init_tr init.Smachine.ps_id comp.Smachine.st_id;
+        sig_tr "leave" comp.Smachine.st_id out.Smachine.st_id;
+        sig_tr "shared" comp.Smachine.st_id out.Smachine.st_id;
+      ]
+  in
+  Smachine.make "hier" [ top ]
+
+let hierarchy_tests =
+  [
+    tc "default entry descends" (fun () ->
+        let e = Statechart.Engine.create (hierarchical_machine ()) in
+        Statechart.Engine.start e;
+        check Alcotest.bool "Comp" true (Statechart.Engine.is_in e "Comp");
+        check Alcotest.bool "A1" true (Statechart.Engine.is_in e "A1"));
+    tc "outer transition exits the whole subtree" (fun () ->
+        let e = Statechart.Engine.create (hierarchical_machine ()) in
+        Statechart.Engine.start e;
+        Statechart.Engine.dispatch e (ev "leave");
+        check Alcotest.bool "Out" true (Statechart.Engine.is_in e "Out");
+        check Alcotest.bool "not A1" false (Statechart.Engine.is_in e "A1"));
+    tc "inner transition has priority" (fun () ->
+        let e = Statechart.Engine.create (hierarchical_machine ()) in
+        Statechart.Engine.start e;
+        Statechart.Engine.dispatch e (ev "shared");
+        (* inner A1->A2 must win over outer Comp->Out *)
+        check Alcotest.bool "A2" true (Statechart.Engine.is_in e "A2");
+        check Alcotest.bool "still Comp" true (Statechart.Engine.is_in e "Comp"));
+    tc "outer handler used when inner does not match" (fun () ->
+        let e = Statechart.Engine.create (hierarchical_machine ()) in
+        Statechart.Engine.start e;
+        Statechart.Engine.dispatch e (ev "next");
+        (* now in A2, which has no [shared] handler *)
+        Statechart.Engine.dispatch e (ev "shared");
+        check Alcotest.bool "Out" true (Statechart.Engine.is_in e "Out"));
+    tc "signature is hierarchical" (fun () ->
+        let e = Statechart.Engine.create (hierarchical_machine ()) in
+        Statechart.Engine.start e;
+        check Alcotest.string "sig" "Comp.A1" (Statechart.Engine.signature e));
+  ]
+
+(* --- orthogonal regions ----------------------------------------------------- *)
+
+let orthogonal_machine () =
+  let a1 = Smachine.simple_state "A1" in
+  let a2 = Smachine.simple_state "A2" in
+  let i1 = Smachine.pseudostate Smachine.Initial in
+  let r1 =
+    Smachine.region ~name:"r1"
+      [ Smachine.Pseudo i1; Smachine.State a1; Smachine.State a2 ]
+      [
+        init_tr i1.Smachine.ps_id a1.Smachine.st_id;
+        sig_tr "tick" a1.Smachine.st_id a2.Smachine.st_id;
+      ]
+  in
+  let b1 = Smachine.simple_state "B1" in
+  let b2 = Smachine.simple_state "B2" in
+  let i2 = Smachine.pseudostate Smachine.Initial in
+  let r2 =
+    Smachine.region ~name:"r2"
+      [ Smachine.Pseudo i2; Smachine.State b1; Smachine.State b2 ]
+      [
+        init_tr i2.Smachine.ps_id b1.Smachine.st_id;
+        sig_tr "tick" b1.Smachine.st_id b2.Smachine.st_id;
+      ]
+  in
+  let comp = Smachine.composite_state "Ortho" [ r1; r2 ] in
+  let init = Smachine.pseudostate Smachine.Initial in
+  let top =
+    Smachine.region
+      [ Smachine.Pseudo init; Smachine.State comp ]
+      [ init_tr init.Smachine.ps_id comp.Smachine.st_id ]
+  in
+  Smachine.make "ortho" [ top ]
+
+let orthogonal_tests =
+  [
+    tc "both regions enter their defaults" (fun () ->
+        let e = Statechart.Engine.create (orthogonal_machine ()) in
+        Statechart.Engine.start e;
+        check Alcotest.bool "A1" true (Statechart.Engine.is_in e "A1");
+        check Alcotest.bool "B1" true (Statechart.Engine.is_in e "B1"));
+    tc "one event fires in both regions" (fun () ->
+        let e = Statechart.Engine.create (orthogonal_machine ()) in
+        Statechart.Engine.start e;
+        Statechart.Engine.dispatch e (ev "tick");
+        check Alcotest.bool "A2" true (Statechart.Engine.is_in e "A2");
+        check Alcotest.bool "B2" true (Statechart.Engine.is_in e "B2"));
+    tc "leaf names include both regions" (fun () ->
+        let e = Statechart.Engine.create (orthogonal_machine ()) in
+        Statechart.Engine.start e;
+        check
+          (Alcotest.list Alcotest.string)
+          "leaves" [ "A1"; "B1" ]
+          (Statechart.Engine.active_leaf_names e));
+  ]
+
+(* --- history ------------------------------------------------------------------ *)
+
+let history_machine deep =
+  let kind =
+    if deep then Smachine.Deep_history else Smachine.Shallow_history
+  in
+  (* Comp contains Sub (composite) so deep vs shallow differ *)
+  let s1 = Smachine.simple_state "S1" in
+  let s2 = Smachine.simple_state "S2" in
+  let si = Smachine.pseudostate Smachine.Initial in
+  let sub_region =
+    Smachine.region
+      [ Smachine.Pseudo si; Smachine.State s1; Smachine.State s2 ]
+      [
+        init_tr si.Smachine.ps_id s1.Smachine.st_id;
+        sig_tr "deep_next" s1.Smachine.st_id s2.Smachine.st_id;
+      ]
+  in
+  let sub = Smachine.composite_state "Sub" [ sub_region ] in
+  let first = Smachine.simple_state "First" in
+  let hi = Smachine.pseudostate kind in
+  let ci = Smachine.pseudostate Smachine.Initial in
+  let comp_region =
+    Smachine.region
+      [
+        Smachine.Pseudo ci; Smachine.Pseudo hi; Smachine.State first;
+        Smachine.State sub;
+      ]
+      [
+        init_tr ci.Smachine.ps_id first.Smachine.st_id;
+        sig_tr "enter_sub" first.Smachine.st_id sub.Smachine.st_id;
+      ]
+  in
+  let comp = Smachine.composite_state "Comp" [ comp_region ] in
+  let away = Smachine.simple_state "Away" in
+  let init = Smachine.pseudostate Smachine.Initial in
+  let top =
+    Smachine.region
+      [ Smachine.Pseudo init; Smachine.State comp; Smachine.State away ]
+      [
+        init_tr init.Smachine.ps_id comp.Smachine.st_id;
+        sig_tr "pause" comp.Smachine.st_id away.Smachine.st_id;
+        sig_tr "resume" away.Smachine.st_id hi.Smachine.ps_id;
+      ]
+  in
+  Smachine.make "hist" [ top ]
+
+let history_tests =
+  [
+    tc "shallow history restores direct child, defaults below" (fun () ->
+        let e = Statechart.Engine.create (history_machine false) in
+        Statechart.Engine.start e;
+        Statechart.Engine.dispatch e (ev "enter_sub");
+        Statechart.Engine.dispatch e (ev "deep_next");
+        check Alcotest.bool "S2" true (Statechart.Engine.is_in e "S2");
+        Statechart.Engine.dispatch e (ev "pause");
+        Statechart.Engine.dispatch e (ev "resume");
+        check Alcotest.bool "Sub restored" true (Statechart.Engine.is_in e "Sub");
+        (* shallow: sub-state re-enters via default => S1 *)
+        check Alcotest.bool "S1 (default)" true (Statechart.Engine.is_in e "S1"));
+    tc "deep history restores the leaf" (fun () ->
+        let e = Statechart.Engine.create (history_machine true) in
+        Statechart.Engine.start e;
+        Statechart.Engine.dispatch e (ev "enter_sub");
+        Statechart.Engine.dispatch e (ev "deep_next");
+        Statechart.Engine.dispatch e (ev "pause");
+        Statechart.Engine.dispatch e (ev "resume");
+        check Alcotest.bool "S2 restored" true (Statechart.Engine.is_in e "S2"));
+    tc "history without record uses default" (fun () ->
+        let e = Statechart.Engine.create (history_machine false) in
+        Statechart.Engine.start e;
+        (* pause before ever entering Sub *)
+        Statechart.Engine.dispatch e (ev "pause");
+        Statechart.Engine.dispatch e (ev "resume");
+        check Alcotest.bool "First (default)" true
+          (Statechart.Engine.is_in e "First"));
+  ]
+
+(* --- completion, final, terminate, junctions -------------------------------- *)
+
+let completion_tests =
+  [
+    tc "completion transition fires immediately" (fun () ->
+        let a = Smachine.simple_state "A" in
+        let b = Smachine.simple_state "B" in
+        let init = Smachine.pseudostate Smachine.Initial in
+        let r =
+          Smachine.region
+            [ Smachine.Pseudo init; Smachine.State a; Smachine.State b ]
+            [
+              init_tr init.Smachine.ps_id a.Smachine.st_id;
+              (* trigger-less: completion *)
+              Smachine.transition ~source:a.Smachine.st_id
+                ~target:b.Smachine.st_id ();
+            ]
+        in
+        let e = Statechart.Engine.create (Smachine.make "m" [ r ]) in
+        Statechart.Engine.start e;
+        check Alcotest.bool "B" true (Statechart.Engine.is_in e "B"));
+    tc "composite completes when region reaches final" (fun () ->
+        let a = Smachine.simple_state "A" in
+        let f = Smachine.final () in
+        let ii = Smachine.pseudostate Smachine.Initial in
+        let inner =
+          Smachine.region
+            [ Smachine.Pseudo ii; Smachine.State a; Smachine.Final f ]
+            [
+              init_tr ii.Smachine.ps_id a.Smachine.st_id;
+              sig_tr "finish" a.Smachine.st_id f.Smachine.fs_id;
+            ]
+        in
+        let comp = Smachine.composite_state "Comp" [ inner ] in
+        let done_ = Smachine.simple_state "Done" in
+        let init = Smachine.pseudostate Smachine.Initial in
+        let top =
+          Smachine.region
+            [ Smachine.Pseudo init; Smachine.State comp; Smachine.State done_ ]
+            [
+              init_tr init.Smachine.ps_id comp.Smachine.st_id;
+              Smachine.transition ~source:comp.Smachine.st_id
+                ~target:done_.Smachine.st_id ();
+            ]
+        in
+        let e = Statechart.Engine.create (Smachine.make "m" [ top ]) in
+        Statechart.Engine.start e;
+        check Alcotest.bool "in Comp" true (Statechart.Engine.is_in e "Comp");
+        Statechart.Engine.dispatch e (ev "finish");
+        check Alcotest.bool "Done" true (Statechart.Engine.is_in e "Done"));
+    tc "reaching the top final finishes the machine" (fun () ->
+        let a = Smachine.simple_state "A" in
+        let f = Smachine.final () in
+        let init = Smachine.pseudostate Smachine.Initial in
+        let r =
+          Smachine.region
+            [ Smachine.Pseudo init; Smachine.State a; Smachine.Final f ]
+            [
+              init_tr init.Smachine.ps_id a.Smachine.st_id;
+              sig_tr "end" a.Smachine.st_id f.Smachine.fs_id;
+            ]
+        in
+        let e = Statechart.Engine.create (Smachine.make "m" [ r ]) in
+        Statechart.Engine.start e;
+        Statechart.Engine.dispatch e (ev "end");
+        check Alcotest.bool "finished" true
+          (Statechart.Engine.status e = Statechart.Engine.Finished));
+    tc "terminate halts processing" (fun () ->
+        let a = Smachine.simple_state "A" in
+        let b = Smachine.simple_state "B" in
+        let t = Smachine.pseudostate Smachine.Terminate in
+        let init = Smachine.pseudostate Smachine.Initial in
+        let r =
+          Smachine.region
+            [
+              Smachine.Pseudo init; Smachine.State a; Smachine.State b;
+              Smachine.Pseudo t;
+            ]
+            [
+              init_tr init.Smachine.ps_id a.Smachine.st_id;
+              sig_tr "kill" a.Smachine.st_id t.Smachine.ps_id;
+              sig_tr "go" a.Smachine.st_id b.Smachine.st_id;
+            ]
+        in
+        let e = Statechart.Engine.create (Smachine.make "m" [ r ]) in
+        Statechart.Engine.start e;
+        Statechart.Engine.dispatch e (ev "kill");
+        check Alcotest.bool "terminated" true
+          (Statechart.Engine.status e = Statechart.Engine.Terminated);
+        Statechart.Engine.dispatch e (ev "go");
+        check Alcotest.bool "stays dead" false (Statechart.Engine.is_in e "B"));
+    tc "choice picks the first true branch" (fun () ->
+        let a = Smachine.simple_state "A" in
+        let b = Smachine.simple_state "B" in
+        let c = Smachine.simple_state "C" in
+        let ch = Smachine.pseudostate Smachine.Choice in
+        let init = Smachine.pseudostate Smachine.Initial in
+        let r =
+          Smachine.region
+            [
+              Smachine.Pseudo init; Smachine.Pseudo ch; Smachine.State a;
+              Smachine.State b; Smachine.State c;
+            ]
+            [
+              init_tr init.Smachine.ps_id a.Smachine.st_id;
+              sig_tr "pick" a.Smachine.st_id ch.Smachine.ps_id;
+              Smachine.transition ~guard:"e1 > 0" ~source:ch.Smachine.ps_id
+                ~target:b.Smachine.st_id ();
+              Smachine.transition ~source:ch.Smachine.ps_id
+                ~target:c.Smachine.st_id ();
+            ]
+        in
+        let e = Statechart.Engine.create (Smachine.make "m" [ r ]) in
+        Statechart.Engine.start e;
+        Statechart.Engine.dispatch e
+          (Statechart.Event.make ~args:[ Asl.Value.V_int 1 ] "pick");
+        check Alcotest.bool "B" true (Statechart.Engine.is_in e "B");
+        let e2 = Statechart.Engine.create (Smachine.make "m2" [ r ]) in
+        Statechart.Engine.start e2;
+        Statechart.Engine.dispatch e2
+          (Statechart.Event.make ~args:[ Asl.Value.V_int 0 ] "pick");
+        check Alcotest.bool "C" true (Statechart.Engine.is_in e2 "C"));
+  ]
+
+(* --- fork/join ------------------------------------------------------------- *)
+
+let fork_join_machine () =
+  let a1 = Smachine.simple_state "A1" in
+  let a2 = Smachine.simple_state "A2" in
+  let i1 = Smachine.pseudostate Smachine.Initial in
+  let r1 =
+    Smachine.region
+      [ Smachine.Pseudo i1; Smachine.State a1; Smachine.State a2 ]
+      [
+        init_tr i1.Smachine.ps_id a1.Smachine.st_id;
+        sig_tr "adv" a1.Smachine.st_id a2.Smachine.st_id;
+      ]
+  in
+  let b1 = Smachine.simple_state "B1" in
+  let b2 = Smachine.simple_state "B2" in
+  let i2 = Smachine.pseudostate Smachine.Initial in
+  let r2 =
+    Smachine.region
+      [ Smachine.Pseudo i2; Smachine.State b1; Smachine.State b2 ]
+      [
+        init_tr i2.Smachine.ps_id b1.Smachine.st_id;
+        sig_tr "adv" b1.Smachine.st_id b2.Smachine.st_id;
+      ]
+  in
+  let comp = Smachine.composite_state "P" [ r1; r2 ] in
+  let start = Smachine.simple_state "Start" in
+  let done_ = Smachine.simple_state "Done" in
+  let fork = Smachine.pseudostate Smachine.Fork in
+  let join = Smachine.pseudostate Smachine.Join in
+  let init = Smachine.pseudostate Smachine.Initial in
+  let top =
+    Smachine.region
+      [
+        Smachine.Pseudo init; Smachine.State start; Smachine.State comp;
+        Smachine.State done_; Smachine.Pseudo fork; Smachine.Pseudo join;
+      ]
+      [
+        init_tr init.Smachine.ps_id start.Smachine.st_id;
+        sig_tr "split" start.Smachine.st_id fork.Smachine.ps_id;
+        (* fork targets the non-default states of both regions *)
+        Smachine.transition ~source:fork.Smachine.ps_id
+          ~target:a2.Smachine.st_id ();
+        Smachine.transition ~source:fork.Smachine.ps_id
+          ~target:b2.Smachine.st_id ();
+        (* join from both *)
+        Smachine.transition
+          ~triggers:[ Smachine.Signal_trigger "merge" ]
+          ~source:a2.Smachine.st_id ~target:join.Smachine.ps_id ();
+        Smachine.transition
+          ~triggers:[ Smachine.Signal_trigger "merge" ]
+          ~source:b2.Smachine.st_id ~target:join.Smachine.ps_id ();
+        Smachine.transition ~source:join.Smachine.ps_id
+          ~target:done_.Smachine.st_id ();
+      ]
+  in
+  Smachine.make "forkjoin" [ top ]
+
+let fork_join_tests =
+  [
+    tc "fork enters explicit targets in both regions" (fun () ->
+        let e = Statechart.Engine.create (fork_join_machine ()) in
+        Statechart.Engine.start e;
+        Statechart.Engine.dispatch e (ev "split");
+        check Alcotest.bool "A2" true (Statechart.Engine.is_in e "A2");
+        check Alcotest.bool "B2" true (Statechart.Engine.is_in e "B2"));
+    tc "join fires when all sources are active" (fun () ->
+        let e = Statechart.Engine.create (fork_join_machine ()) in
+        Statechart.Engine.start e;
+        Statechart.Engine.dispatch e (ev "split");
+        Statechart.Engine.dispatch e (ev "merge");
+        check Alcotest.bool "Done" true (Statechart.Engine.is_in e "Done"));
+    tc "join does not fire with a missing source" (fun () ->
+        let e = Statechart.Engine.create (fork_join_machine ()) in
+        Statechart.Engine.start e;
+        (* default entry: A1/B1 — join sources inactive *)
+        Statechart.Engine.dispatch e (ev "merge");
+        check Alcotest.bool "not Done" false (Statechart.Engine.is_in e "Done"));
+  ]
+
+(* --- deferred events and timers ---------------------------------------------- *)
+
+let misc_tests =
+  [
+    tc "deferred events replay after a state change" (fun () ->
+        let a =
+          Smachine.simple_state
+            ~deferred:[ Smachine.Signal_trigger "late" ]
+            "A"
+        in
+        let b = Smachine.simple_state "B" in
+        let c = Smachine.simple_state "C" in
+        let init = Smachine.pseudostate Smachine.Initial in
+        let r =
+          Smachine.region
+            [
+              Smachine.Pseudo init; Smachine.State a; Smachine.State b;
+              Smachine.State c;
+            ]
+            [
+              init_tr init.Smachine.ps_id a.Smachine.st_id;
+              sig_tr "go" a.Smachine.st_id b.Smachine.st_id;
+              sig_tr "late" b.Smachine.st_id c.Smachine.st_id;
+            ]
+        in
+        let e = Statechart.Engine.create (Smachine.make "m" [ r ]) in
+        Statechart.Engine.start e;
+        (* 'late' is deferrable in A: held, then consumed in B *)
+        Statechart.Engine.dispatch e (ev "late");
+        check Alcotest.bool "still A" true (Statechart.Engine.is_in e "A");
+        Statechart.Engine.dispatch e (ev "go");
+        check Alcotest.bool "C after replay" true (Statechart.Engine.is_in e "C"));
+    tc "after-transitions fire on the logical clock" (fun () ->
+        let a = Smachine.simple_state "A" in
+        let b = Smachine.simple_state "B" in
+        let init = Smachine.pseudostate Smachine.Initial in
+        let r =
+          Smachine.region
+            [ Smachine.Pseudo init; Smachine.State a; Smachine.State b ]
+            [
+              init_tr init.Smachine.ps_id a.Smachine.st_id;
+              Smachine.transition
+                ~triggers:[ Smachine.Time_trigger 10 ]
+                ~source:a.Smachine.st_id ~target:b.Smachine.st_id ();
+            ]
+        in
+        let e = Statechart.Engine.create (Smachine.make "m" [ r ]) in
+        Statechart.Engine.start e;
+        Statechart.Engine.advance_time e 5;
+        check Alcotest.bool "still A" true (Statechart.Engine.is_in e "A");
+        Statechart.Engine.advance_time e 5;
+        check Alcotest.bool "B at t=10" true (Statechart.Engine.is_in e "B");
+        check Alcotest.int "clock" 10 (Statechart.Engine.now e));
+    tc "timer canceled when state exited early" (fun () ->
+        let a = Smachine.simple_state "A" in
+        let b = Smachine.simple_state "B" in
+        let c = Smachine.simple_state "C" in
+        let init = Smachine.pseudostate Smachine.Initial in
+        let r =
+          Smachine.region
+            [
+              Smachine.Pseudo init; Smachine.State a; Smachine.State b;
+              Smachine.State c;
+            ]
+            [
+              init_tr init.Smachine.ps_id a.Smachine.st_id;
+              Smachine.transition
+                ~triggers:[ Smachine.Time_trigger 10 ]
+                ~source:a.Smachine.st_id ~target:c.Smachine.st_id ();
+              sig_tr "go" a.Smachine.st_id b.Smachine.st_id;
+            ]
+        in
+        let e = Statechart.Engine.create (Smachine.make "m" [ r ]) in
+        Statechart.Engine.start e;
+        Statechart.Engine.dispatch e (ev "go");
+        Statechart.Engine.advance_time e 20;
+        check Alcotest.bool "B, not C" true
+          (Statechart.Engine.is_in e "B"
+          && not (Statechart.Engine.is_in e "C")));
+    tc "internal transition runs effect without exit" (fun () ->
+        let a =
+          Smachine.simple_state ~entry:"print(\"enter\");"
+            ~exit_:"print(\"exit\");" "A"
+        in
+        let init = Smachine.pseudostate Smachine.Initial in
+        let internal =
+          Smachine.transition
+            ~triggers:[ Smachine.Signal_trigger "poke" ]
+            ~effect:"print(\"poked\");" ~kind:Smachine.Internal
+            ~source:a.Smachine.st_id ~target:a.Smachine.st_id ()
+        in
+        let r =
+          Smachine.region
+            [ Smachine.Pseudo init; Smachine.State a ]
+            [ init_tr init.Smachine.ps_id a.Smachine.st_id; internal ]
+        in
+        let e = Statechart.Engine.create (Smachine.make "m" [ r ]) in
+        Statechart.Engine.start e;
+        Statechart.Engine.dispatch e (ev "poke");
+        check
+          (Alcotest.list Alcotest.string)
+          "no exit/reenter" [ "enter"; "poked" ]
+          (Asl.Interp.output (Statechart.Engine.interp e)));
+    tc "do-activity runs after entry, then the state completes" (fun () ->
+        let a =
+          Smachine.simple_state ~entry:"print(\"entry\");"
+            ~do_:"print(\"doing\");" "A"
+        in
+        let b = Smachine.simple_state "B" in
+        let init = Smachine.pseudostate Smachine.Initial in
+        let r =
+          Smachine.region
+            [ Smachine.Pseudo init; Smachine.State a; Smachine.State b ]
+            [
+              init_tr init.Smachine.ps_id a.Smachine.st_id;
+              (* completion transition: fires once the do has run *)
+              Smachine.transition ~source:a.Smachine.st_id
+                ~target:b.Smachine.st_id ();
+            ]
+        in
+        let e = Statechart.Engine.create (Smachine.make "m" [ r ]) in
+        Statechart.Engine.start e;
+        check Alcotest.bool "B" true (Statechart.Engine.is_in e "B");
+        check
+          (Alcotest.list Alcotest.string)
+          "entry then do" [ "entry"; "doing" ]
+          (Asl.Interp.output (Statechart.Engine.interp e)));
+    tc "flatten rejects do-activities" (fun () ->
+        let a = Smachine.simple_state ~do_:"x := 1;" "A" in
+        let init = Smachine.pseudostate Smachine.Initial in
+        let r =
+          Smachine.region
+            [ Smachine.Pseudo init; Smachine.State a ]
+            [ init_tr init.Smachine.ps_id a.Smachine.st_id ]
+        in
+        match Statechart.Flatten.flatten (Smachine.make "m" [ r ]) with
+        | Ok _f -> Alcotest.fail "should not flatten"
+        | Error _m -> ());
+    tc "external self-transition exits and re-enters" (fun () ->
+        let a =
+          Smachine.simple_state ~entry:"print(\"enter\");"
+            ~exit_:"print(\"exit\");" "A"
+        in
+        let init = Smachine.pseudostate Smachine.Initial in
+        let self_tr =
+          sig_tr "poke" a.Smachine.st_id a.Smachine.st_id
+        in
+        let r =
+          Smachine.region
+            [ Smachine.Pseudo init; Smachine.State a ]
+            [ init_tr init.Smachine.ps_id a.Smachine.st_id; self_tr ]
+        in
+        let e = Statechart.Engine.create (Smachine.make "m" [ r ]) in
+        Statechart.Engine.start e;
+        Statechart.Engine.dispatch e (ev "poke");
+        check
+          (Alcotest.list Alcotest.string)
+          "exit+enter" [ "enter"; "exit"; "enter" ]
+          (Asl.Interp.output (Statechart.Engine.interp e)));
+  ]
+
+(* --- transition kinds and trigger variants ----------------------------------- *)
+
+let kind_machine kind =
+  (* composite C (entry/exit traced) containing A1, A2; a [kind]
+     transition from C itself to A2 *)
+  let a1 = Smachine.simple_state "A1" in
+  let a2 = Smachine.simple_state "A2" in
+  let ii = Smachine.pseudostate Smachine.Initial in
+  let inner =
+    Smachine.region
+      [ Smachine.Pseudo ii; Smachine.State a1; Smachine.State a2 ]
+      [ init_tr ii.Smachine.ps_id a1.Smachine.st_id ]
+  in
+  let comp =
+    Smachine.composite_state ~entry:"print(\"enterC\");"
+      ~exit_:"print(\"exitC\");" "C" [ inner ]
+  in
+  let init = Smachine.pseudostate Smachine.Initial in
+  let top =
+    Smachine.region
+      [ Smachine.Pseudo init; Smachine.State comp ]
+      [
+        init_tr init.Smachine.ps_id comp.Smachine.st_id;
+        Smachine.transition
+          ~triggers:[ Smachine.Signal_trigger "dive" ]
+          ~kind ~source:comp.Smachine.st_id ~target:a2.Smachine.st_id ();
+      ]
+  in
+  Smachine.make "kinds" [ top ]
+
+let kinds_tests =
+  [
+    tc "local transition keeps the composite active" (fun () ->
+        let e = Statechart.Engine.create (kind_machine Smachine.Local) in
+        Statechart.Engine.start e;
+        Statechart.Engine.dispatch e (ev "dive");
+        check Alcotest.bool "A2" true (Statechart.Engine.is_in e "A2");
+        (* local: C must not have been exited/re-entered *)
+        check
+          (Alcotest.list Alcotest.string)
+          "single enter" [ "enterC" ]
+          (Asl.Interp.output (Statechart.Engine.interp e)));
+    tc "external transition re-enters the composite" (fun () ->
+        let e = Statechart.Engine.create (kind_machine Smachine.External) in
+        Statechart.Engine.start e;
+        Statechart.Engine.dispatch e (ev "dive");
+        check Alcotest.bool "A2" true (Statechart.Engine.is_in e "A2");
+        check
+          (Alcotest.list Alcotest.string)
+          "exit and re-enter" [ "enterC"; "exitC"; "enterC" ]
+          (Asl.Interp.output (Statechart.Engine.interp e)));
+    tc "any-trigger matches every signal" (fun () ->
+        let a = Smachine.simple_state "A" in
+        let b = Smachine.simple_state "B" in
+        let init = Smachine.pseudostate Smachine.Initial in
+        let r =
+          Smachine.region
+            [ Smachine.Pseudo init; Smachine.State a; Smachine.State b ]
+            [
+              init_tr init.Smachine.ps_id a.Smachine.st_id;
+              Smachine.transition ~triggers:[ Smachine.Any_trigger ]
+                ~source:a.Smachine.st_id ~target:b.Smachine.st_id ();
+            ]
+        in
+        let e = Statechart.Engine.create (Smachine.make "m" [ r ]) in
+        Statechart.Engine.start e;
+        Statechart.Engine.dispatch e (ev "whatever");
+        check Alcotest.bool "B" true (Statechart.Engine.is_in e "B"));
+    tc "entry point routes into the composite" (fun () ->
+        let a1 = Smachine.simple_state "A1" in
+        let a2 = Smachine.simple_state "A2" in
+        let ii = Smachine.pseudostate Smachine.Initial in
+        let entry = Smachine.pseudostate Smachine.Entry_point in
+        let inner =
+          Smachine.region
+            [
+              Smachine.Pseudo ii; Smachine.Pseudo entry; Smachine.State a1;
+              Smachine.State a2;
+            ]
+            [
+              init_tr ii.Smachine.ps_id a1.Smachine.st_id;
+              Smachine.transition ~source:entry.Smachine.ps_id
+                ~target:a2.Smachine.st_id ();
+            ]
+        in
+        let comp = Smachine.composite_state "C" [ inner ] in
+        let out = Smachine.simple_state "Out" in
+        let init = Smachine.pseudostate Smachine.Initial in
+        let top =
+          Smachine.region
+            [ Smachine.Pseudo init; Smachine.State out; Smachine.State comp ]
+            [
+              init_tr init.Smachine.ps_id out.Smachine.st_id;
+              sig_tr "via_entry" out.Smachine.st_id entry.Smachine.ps_id;
+            ]
+        in
+        let e = Statechart.Engine.create (Smachine.make "m" [ top ]) in
+        Statechart.Engine.start e;
+        Statechart.Engine.dispatch e (ev "via_entry");
+        check Alcotest.bool "A2 via entry point" true
+          (Statechart.Engine.is_in e "A2"));
+    tc "guard failure raises Model_error" (fun () ->
+        let a = Smachine.simple_state "A" in
+        let b = Smachine.simple_state "B" in
+        let init = Smachine.pseudostate Smachine.Initial in
+        let r =
+          Smachine.region
+            [ Smachine.Pseudo init; Smachine.State a; Smachine.State b ]
+            [
+              init_tr init.Smachine.ps_id a.Smachine.st_id;
+              sig_tr ~guard:"1 +" "go" a.Smachine.st_id b.Smachine.st_id;
+            ]
+        in
+        let e = Statechart.Engine.create (Smachine.make "m" [ r ]) in
+        Statechart.Engine.start e;
+        match Statechart.Engine.dispatch e (ev "go") with
+        | () -> Alcotest.fail "expected Model_error"
+        | exception Statechart.Engine.Model_error _ -> ());
+  ]
+
+(* --- flattener --------------------------------------------------------------- *)
+
+let flatten_tests =
+  [
+    tc "flatten simple machine" (fun () ->
+        match Statechart.Flatten.flatten (simple_machine ()) with
+        | Ok flat ->
+          check Alcotest.int "two states" 2
+            (List.length flat.Statechart.Flatten.fm_states);
+          check Alcotest.string "initial" "A"
+            flat.Statechart.Flatten.fm_initial;
+          check
+            (Alcotest.list Alcotest.string)
+            "events" [ "back"; "go" ]
+            (Statechart.Flatten.events_of flat)
+        | Error m -> Alcotest.fail m);
+    tc "flatten rejects orthogonal machines" (fun () ->
+        match Statechart.Flatten.flatten (orthogonal_machine ()) with
+        | Ok _f -> Alcotest.fail "should not flatten"
+        | Error _m -> ());
+    tc "flatten rejects history" (fun () ->
+        match Statechart.Flatten.flatten (history_machine false) with
+        | Ok _f -> Alcotest.fail "should not flatten"
+        | Error _m -> ());
+    tc "flat simulation matches engine on the hierarchy" (fun () ->
+        let sm = hierarchical_machine () in
+        let events = [ "next"; "shared"; "leave" ] in
+        let engine = Statechart.Engine.create sm in
+        Statechart.Engine.start engine;
+        let engine_trace =
+          List.map
+            (fun name ->
+              Statechart.Engine.dispatch engine (ev name);
+              Statechart.Engine.signature engine)
+            events
+        in
+        match Statechart.Flatten.flatten sm with
+        | Error m -> Alcotest.fail m
+        | Ok flat ->
+          let flat_trace = Statechart.Flatten.simulate flat events in
+          check (Alcotest.list Alcotest.string) "same" engine_trace flat_trace);
+    QCheck_alcotest.to_alcotest
+      (QCheck.Test.make ~name:"engine runs are deterministic" ~count:20
+         QCheck.(pair (int_range 1 5000) (int_range 1 5000))
+         (fun (seed, ev_seed) ->
+           let run () =
+             let sm =
+               Workload.Gen_statechart.hierarchical ~seed ~depth:3 ~breadth:2
+                 ~events:3
+             in
+             let engine = Statechart.Engine.create sm in
+             Statechart.Engine.start engine;
+             List.map
+               (fun name ->
+                 Statechart.Engine.dispatch engine (ev name);
+                 Statechart.Engine.signature engine)
+               (Workload.Gen_statechart.event_sequence ~seed:ev_seed
+                  ~length:10 3)
+           in
+           Uml.Ident.reset_counter ();
+           let t1 = run () in
+           Uml.Ident.reset_counter ();
+           let t2 = run () in
+           t1 = t2));
+    QCheck_alcotest.to_alcotest
+      (QCheck.Test.make
+         ~name:"flat simulation matches engine on generated machines"
+         ~count:30
+         QCheck.(pair (int_range 1 5000) (int_range 1 5000))
+         (fun (seed, ev_seed) ->
+           let sm =
+             Workload.Gen_statechart.hierarchical ~seed ~depth:3 ~breadth:2
+               ~events:3
+           in
+           let events =
+             Workload.Gen_statechart.event_sequence ~seed:ev_seed ~length:15 3
+           in
+           let engine = Statechart.Engine.create sm in
+           Statechart.Engine.start engine;
+           let engine_trace =
+             List.map
+               (fun name ->
+                 Statechart.Engine.dispatch engine (ev name);
+                 Statechart.Engine.signature engine)
+               events
+           in
+           match Statechart.Flatten.flatten sm with
+           | Error _m -> false
+           | Ok flat ->
+             engine_trace = Statechart.Flatten.simulate flat events));
+  ]
+
+let () =
+  Alcotest.run "statechart"
+    [
+      ("flat", flat_tests);
+      ("guards", guard_tests);
+      ("hierarchy", hierarchy_tests);
+      ("orthogonal", orthogonal_tests);
+      ("history", history_tests);
+      ("completion", completion_tests);
+      ("fork-join", fork_join_tests);
+      ("misc", misc_tests);
+      ("kinds", kinds_tests);
+      ("flatten", flatten_tests);
+    ]

@@ -1,0 +1,220 @@
+(* Tests for the XML substrate: tree queries, printer, parser,
+   round-trip. *)
+
+let tc name f = Alcotest.test_case name `Quick f
+let check = Alcotest.check
+
+let doc_tests =
+  [
+    tc "attr lookup" (fun () ->
+        match Sxml.Doc.element ~attrs:[ ("a", "1") ] "t" [] with
+        | Sxml.Doc.Element e ->
+          check Alcotest.bool "found" true (Sxml.Doc.attr e "a" = Some "1");
+          check Alcotest.bool "missing" true (Sxml.Doc.attr e "b" = None)
+        | Sxml.Doc.Text _ -> Alcotest.fail "element expected");
+    tc "find_children filters by tag" (fun () ->
+        match
+          Sxml.Doc.element "root"
+            [
+              Sxml.Doc.element "a" [];
+              Sxml.Doc.element "b" [];
+              Sxml.Doc.element "a" [];
+            ]
+        with
+        | Sxml.Doc.Element e ->
+          check Alcotest.int "two" 2 (List.length (Sxml.Doc.find_children e "a"))
+        | Sxml.Doc.Text _ -> Alcotest.fail "element expected");
+    tc "text_content concatenates" (fun () ->
+        match
+          Sxml.Doc.element "t"
+            [ Sxml.Doc.text "a"; Sxml.Doc.element "x" []; Sxml.Doc.text "b" ]
+        with
+        | Sxml.Doc.Element e ->
+          check Alcotest.string "ab" "ab" (Sxml.Doc.text_content e)
+        | Sxml.Doc.Text _ -> Alcotest.fail "element expected");
+    tc "escape handles the five specials" (fun () ->
+        check Alcotest.string "escaped" "&amp;&lt;&gt;&quot;&apos;"
+          (Sxml.Doc.escape "&<>\"'"));
+    tc "equal ignores attribute order" (fun () ->
+        let d1 = Sxml.Doc.element ~attrs:[ ("a", "1"); ("b", "2") ] "t" [] in
+        let d2 = Sxml.Doc.element ~attrs:[ ("b", "2"); ("a", "1") ] "t" [] in
+        check Alcotest.bool "equal" true (Sxml.Doc.equal d1 d2));
+  ]
+
+let parse s = Sxml.Parse.parse_string s
+
+let parser_tests =
+  [
+    tc "simple element" (fun () ->
+        match parse "<a/>" with
+        | Sxml.Doc.Element e -> check Alcotest.string "tag" "a" e.Sxml.Doc.tag
+        | Sxml.Doc.Text _ -> Alcotest.fail "element expected");
+    tc "attributes with both quote styles" (fun () ->
+        match parse "<a x=\"1\" y='2'/>" with
+        | Sxml.Doc.Element e ->
+          check Alcotest.bool "x" true (Sxml.Doc.attr e "x" = Some "1");
+          check Alcotest.bool "y" true (Sxml.Doc.attr e "y" = Some "2")
+        | Sxml.Doc.Text _ -> Alcotest.fail "element expected");
+    tc "nested elements and text" (fun () ->
+        match parse "<a><b>hello</b></a>" with
+        | Sxml.Doc.Element e -> (
+          match Sxml.Doc.find_child e "b" with
+          | Some b ->
+            check Alcotest.string "text" "hello" (Sxml.Doc.text_content b)
+          | None -> Alcotest.fail "child b expected")
+        | Sxml.Doc.Text _ -> Alcotest.fail "element expected");
+    tc "prolog, doctype and comments are skipped" (fun () ->
+        match
+          parse
+            "<?xml version=\"1.0\"?><!DOCTYPE a [<!ELEMENT a ANY>]>\n\
+             <!-- hi --><a/><!-- bye -->"
+        with
+        | Sxml.Doc.Element e -> check Alcotest.string "tag" "a" e.Sxml.Doc.tag
+        | Sxml.Doc.Text _ -> Alcotest.fail "element expected");
+    tc "entities decode" (fun () ->
+        match parse "<a>&lt;x&gt; &amp; &quot;y&quot; &apos;z&apos;</a>" with
+        | Sxml.Doc.Element e ->
+          check Alcotest.string "decoded" "<x> & \"y\" 'z'"
+            (Sxml.Doc.text_content e)
+        | Sxml.Doc.Text _ -> Alcotest.fail "element expected");
+    tc "numeric character references" (fun () ->
+        match parse "<a>&#65;&#x42;</a>" with
+        | Sxml.Doc.Element e ->
+          check Alcotest.string "AB" "AB" (Sxml.Doc.text_content e)
+        | Sxml.Doc.Text _ -> Alcotest.fail "element expected");
+    tc "CDATA preserved verbatim" (fun () ->
+        match parse "<a><![CDATA[<not> &parsed;]]></a>" with
+        | Sxml.Doc.Element e ->
+          check Alcotest.string "raw" "<not> &parsed;" (Sxml.Doc.text_content e)
+        | Sxml.Doc.Text _ -> Alcotest.fail "element expected");
+    tc "entity in attribute value" (fun () ->
+        match parse "<a x=\"1 &amp; 2\"/>" with
+        | Sxml.Doc.Element e ->
+          check Alcotest.bool "decoded" true (Sxml.Doc.attr e "x" = Some "1 & 2")
+        | Sxml.Doc.Text _ -> Alcotest.fail "element expected");
+    tc "whitespace-only text dropped by default" (fun () ->
+        match parse "<a>\n  <b/>\n</a>" with
+        | Sxml.Doc.Element e ->
+          check Alcotest.int "one child" 1 (List.length e.Sxml.Doc.children)
+        | Sxml.Doc.Text _ -> Alcotest.fail "element expected");
+    tc "keep_whitespace retains it" (fun () ->
+        match Sxml.Parse.parse_string ~keep_whitespace:true "<a> <b/> </a>" with
+        | Sxml.Doc.Element e ->
+          check Alcotest.int "three children" 3
+            (List.length e.Sxml.Doc.children)
+        | Sxml.Doc.Text _ -> Alcotest.fail "element expected");
+    tc "mismatched closing tag fails" (fun () ->
+        match parse "<a></b>" with
+        | _doc -> Alcotest.fail "expected parse error"
+        | exception Sxml.Parse.Error _ -> ());
+    tc "trailing content fails" (fun () ->
+        match parse "<a/><b/>" with
+        | _doc -> Alcotest.fail "expected parse error"
+        | exception Sxml.Parse.Error _ -> ());
+    tc "unterminated element fails" (fun () ->
+        match parse "<a><b></b>" with
+        | _doc -> Alcotest.fail "expected parse error"
+        | exception Sxml.Parse.Error _ -> ());
+    tc "error positions are 1-based" (fun () ->
+        match parse "<a>\n<b>oops</a>" with
+        | _doc -> Alcotest.fail "expected parse error"
+        | exception Sxml.Parse.Error { line; _ } ->
+          check Alcotest.int "line 2" 2 line);
+    tc "error_message renders" (fun () ->
+        match parse "<" with
+        | _doc -> Alcotest.fail "expected parse error"
+        | exception e ->
+          check Alcotest.bool "some" true (Sxml.Parse.error_message e <> None));
+  ]
+
+(* random tree round-trip *)
+let gen_tree =
+  let open QCheck.Gen in
+  let name = oneofl [ "a"; "b"; "tag"; "x-y"; "ns:t" ] in
+  let attr_value =
+    oneofl [ "v"; "1 & 2"; "<q>"; "it's"; "\"quoted\""; "plain" ]
+  in
+  let text_value = oneofl [ "hello"; "a<b"; "x&y"; "tail "; " lead" ] in
+  fix
+    (fun self depth ->
+      let attrs =
+        list_size (int_bound 2)
+          (map2 (fun k v -> (k, v)) (oneofl [ "k"; "id"; "w" ]) attr_value)
+      in
+      (* attribute keys must be distinct *)
+      let attrs =
+        map
+          (fun l ->
+            let seen = Hashtbl.create 4 in
+            List.filter
+              (fun (k, _) ->
+                if Hashtbl.mem seen k then false
+                else begin
+                  Hashtbl.add seen k ();
+                  true
+                end)
+              l)
+          attrs
+      in
+      if depth = 0 then
+        map2 (fun t a -> Sxml.Doc.element ~attrs:a t []) name attrs
+      else
+        let child =
+          frequency
+            [ (3, self (depth - 1)); (1, map Sxml.Doc.text text_value) ]
+        in
+        map3
+          (fun t a cs -> Sxml.Doc.element ~attrs:a t cs)
+          name attrs
+          (list_size (int_bound 3) child))
+    2
+
+let roundtrip_tests =
+  [
+    QCheck_alcotest.to_alcotest
+      (QCheck.Test.make ~name:"print-parse round-trip" ~count:200
+         (QCheck.make gen_tree)
+         (fun doc ->
+           (* adjacent text nodes merge on reparse: normalize both sides *)
+           let rec normalize = function
+             | Sxml.Doc.Text _ as t -> t
+             | Sxml.Doc.Element e ->
+               let rec merge = function
+                 | Sxml.Doc.Text a :: Sxml.Doc.Text b :: rest ->
+                   merge (Sxml.Doc.Text (a ^ b) :: rest)
+                 | c :: rest -> normalize c :: merge rest
+                 | [] -> []
+               in
+               Sxml.Doc.element ~attrs:e.Sxml.Doc.attrs e.Sxml.Doc.tag
+                 (merge e.Sxml.Doc.children)
+           in
+           let printed = Sxml.Doc.to_string ~indent:false doc in
+           let reparsed =
+             Sxml.Parse.parse_string ~keep_whitespace:true printed
+           in
+           Sxml.Doc.equal (normalize doc) (normalize reparsed)));
+    QCheck_alcotest.to_alcotest
+      (QCheck.Test.make ~name:"indented print-parse round-trip (no text)"
+         ~count:100
+         (QCheck.make gen_tree)
+         (fun doc ->
+           (* drop text nodes: indentation only round-trips elements *)
+           let rec strip = function
+             | Sxml.Doc.Element e ->
+               Sxml.Doc.element ~attrs:e.Sxml.Doc.attrs e.Sxml.Doc.tag
+                 (List.filter_map
+                    (fun c ->
+                      match c with
+                      | Sxml.Doc.Element _ -> Some (strip c)
+                      | Sxml.Doc.Text _ -> None)
+                    e.Sxml.Doc.children)
+             | Sxml.Doc.Text _ as t -> t
+           in
+           let doc = strip doc in
+           let printed = Sxml.Doc.to_string ~indent:true doc in
+           Sxml.Doc.equal doc (Sxml.Parse.parse_string printed)));
+  ]
+
+let () =
+  Alcotest.run "sxml"
+    [ ("doc", doc_tests); ("parser", parser_tests); ("roundtrip", roundtrip_tests) ]

@@ -1,0 +1,110 @@
+(* Tests for the workload generators: determinism and structural
+   promises (the substitution rule requires replayable synthetic
+   workloads). *)
+
+let tc name f = Alcotest.test_case name `Quick f
+let check = Alcotest.check
+
+let prng_tests =
+  [
+    tc "same seed, same stream" (fun () ->
+        let r1 = Workload.Prng.create 42 in
+        let r2 = Workload.Prng.create 42 in
+        let s1 = List.init 20 (fun _ -> Workload.Prng.int r1 1000) in
+        let s2 = List.init 20 (fun _ -> Workload.Prng.int r2 1000) in
+        check (Alcotest.list Alcotest.int) "equal" s1 s2);
+    tc "different seeds diverge" (fun () ->
+        let r1 = Workload.Prng.create 1 in
+        let r2 = Workload.Prng.create 2 in
+        let s1 = List.init 20 (fun _ -> Workload.Prng.int r1 1000) in
+        let s2 = List.init 20 (fun _ -> Workload.Prng.int r2 1000) in
+        check Alcotest.bool "differ" true (s1 <> s2));
+    tc "int stays within bounds" (fun () ->
+        let r = Workload.Prng.create 7 in
+        for _ = 1 to 200 do
+          let v = Workload.Prng.int r 13 in
+          check Alcotest.bool "bounded" true (v >= 0 && v < 13)
+        done);
+    tc "range is inclusive" (fun () ->
+        let r = Workload.Prng.create 7 in
+        let vs = List.init 300 (fun _ -> Workload.Prng.range r 3 5) in
+        check Alcotest.bool "min" true (List.mem 3 vs);
+        check Alcotest.bool "max" true (List.mem 5 vs);
+        check Alcotest.bool "bounded" true
+          (List.for_all (fun v -> v >= 3 && v <= 5) vs));
+    tc "shuffle is a permutation" (fun () ->
+        let r = Workload.Prng.create 9 in
+        let l = [ 1; 2; 3; 4; 5; 6 ] in
+        check (Alcotest.list Alcotest.int) "same elements" l
+          (List.sort compare (Workload.Prng.shuffle r l)));
+  ]
+
+let generator_tests =
+  [
+    tc "flat generator is deterministic" (fun () ->
+        Uml.Ident.reset_counter ();
+        let a = Workload.Gen_statechart.flat ~seed:5 ~states:4 ~events:2 in
+        Uml.Ident.reset_counter ();
+        let b = Workload.Gen_statechart.flat ~seed:5 ~states:4 ~events:2 in
+        check Alcotest.bool "equal" true (Uml.Smachine.equal a b));
+    tc "flat generator honors sizes" (fun () ->
+        let sm = Workload.Gen_statechart.flat ~seed:1 ~states:7 ~events:3 in
+        let states =
+          List.filter
+            (fun v ->
+              match v with
+              | Uml.Smachine.State _ -> true
+              | Uml.Smachine.Pseudo _ | Uml.Smachine.Final _ -> false)
+            (Uml.Smachine.all_vertices sm)
+        in
+        check Alcotest.int "states" 7 (List.length states);
+        (* one initial + states*events transitions *)
+        check Alcotest.int "transitions" 22
+          (List.length (Uml.Smachine.all_transitions sm)));
+    tc "hierarchical generator nests to depth" (fun () ->
+        let sm =
+          Workload.Gen_statechart.hierarchical ~seed:3 ~depth:3 ~breadth:2
+            ~events:2
+        in
+        (* composite root at depth 0, leaves at depth 3 *)
+        let leaves =
+          List.filter
+            (fun v ->
+              match v with
+              | Uml.Smachine.State s -> not (Uml.Smachine.is_composite s)
+              | Uml.Smachine.Pseudo _ | Uml.Smachine.Final _ -> false)
+            (Uml.Smachine.all_vertices sm)
+        in
+        check Alcotest.int "8 leaves" 8 (List.length leaves));
+    tc "activity generator is deterministic" (fun () ->
+        Uml.Ident.reset_counter ();
+        let a =
+          Workload.Gen_activity.series_parallel ~seed:11 ~size:10 ~max_width:3
+        in
+        Uml.Ident.reset_counter ();
+        let b =
+          Workload.Gen_activity.series_parallel ~seed:11 ~size:10 ~max_width:3
+        in
+        check Alcotest.bool "equal" true (Uml.Activityg.equal a b));
+    tc "task graphs are acyclic with sane costs" (fun () ->
+        let g = Workload.Gen_taskgraph.layered ~seed:2 ~tasks:12 ~layers:4 in
+        check Alcotest.int "tasks" 12 (List.length g.Hwsw.Taskgraph.tasks);
+        (* topological_order raises on cycles; make already checks *)
+        check Alcotest.int "order covers all" 12
+          (List.length (Hwsw.Taskgraph.topological_order g)));
+    tc "event_sequence draws from the alphabet" (fun () ->
+        let evs = Workload.Gen_statechart.event_sequence ~seed:4 ~length:50 3 in
+        let names = Workload.Gen_statechart.event_names 3 in
+        check Alcotest.int "length" 50 (List.length evs);
+        check Alcotest.bool "alphabet" true
+          (List.for_all (fun e -> List.mem e names) evs));
+    tc "structural models scale with the class count" (fun () ->
+        let small = Workload.Gen_model.structural ~seed:1 ~classes:5 in
+        let large = Workload.Gen_model.structural ~seed:1 ~classes:50 in
+        check Alcotest.bool "monotone" true
+          (Uml.Model.size large > Uml.Model.size small));
+  ]
+
+let () =
+  Alcotest.run "workload"
+    [ ("prng", prng_tests); ("generators", generator_tests) ]

@@ -1,0 +1,538 @@
+(* Tests for the xUML system runtime: whole models made executable. *)
+
+open Uml
+
+let tc name f = Alcotest.test_case name `Quick f
+let check = Alcotest.check
+
+(* A producer/consumer model: the producer's machine sends [item]
+   signals to its [peer]; the consumer counts them and acks. *)
+let build_system () =
+  let m = Model.create "pc" in
+  (* Consumer: active class counting items *)
+  let consumer =
+    Classifier.make ~is_active:true
+      ~attributes:
+        [
+          Classifier.property ~default:(Vspec.of_int 0) "received"
+            Dtype.Integer;
+        ]
+      "Consumer"
+  in
+  let waiting = Smachine.simple_state "Waiting" in
+  let c_init = Smachine.pseudostate Smachine.Initial in
+  let c_region =
+    Smachine.region
+      [ Smachine.Pseudo c_init; Smachine.State waiting ]
+      [
+        Smachine.transition ~source:c_init.Smachine.ps_id
+          ~target:waiting.Smachine.st_id ();
+        Smachine.transition
+          ~triggers:[ Smachine.Signal_trigger "item" ]
+          ~effect:"self.received := self.received + e1;"
+          ~kind:Smachine.Internal ~source:waiting.Smachine.st_id
+          ~target:waiting.Smachine.st_id ();
+      ]
+  in
+  let c_machine =
+    Smachine.make ~context:consumer.Classifier.cl_id "ConsumerSM"
+      [ c_region ]
+  in
+  let consumer =
+    { consumer with Classifier.cl_behaviors = [ c_machine.Smachine.sm_id ] }
+  in
+  Model.add m (Model.E_classifier consumer);
+  Model.add m (Model.E_state_machine c_machine);
+  (* Producer: sends three items then stops *)
+  let producer =
+    Classifier.make ~is_active:true
+      ~attributes:
+        [
+          Classifier.property ~default:(Vspec.of_int 0) "sent" Dtype.Integer;
+          Classifier.property "peer"
+            (Dtype.Ref consumer.Classifier.cl_id);
+        ]
+      "Producer"
+  in
+  let idle = Smachine.simple_state "Idle" in
+  let sending = Smachine.simple_state "Sending" in
+  let done_ = Smachine.simple_state "Done" in
+  let p_init = Smachine.pseudostate Smachine.Initial in
+  let p_region =
+    Smachine.region
+      [
+        Smachine.Pseudo p_init; Smachine.State idle; Smachine.State sending;
+        Smachine.State done_;
+      ]
+      [
+        Smachine.transition ~source:p_init.Smachine.ps_id
+          ~target:idle.Smachine.st_id ();
+        Smachine.transition
+          ~triggers:[ Smachine.Signal_trigger "kick" ]
+          ~source:idle.Smachine.st_id ~target:sending.Smachine.st_id ();
+        (* completion loop: send one item per RTC step while sent < 3 *)
+        Smachine.transition ~guard:"self.sent < 3"
+          ~effect:
+            "self.sent := self.sent + 1; send item(self.sent) to self.peer;"
+          ~source:sending.Smachine.st_id ~target:sending.Smachine.st_id ();
+        Smachine.transition ~guard:"self.sent >= 3"
+          ~source:sending.Smachine.st_id ~target:done_.Smachine.st_id ();
+      ]
+  in
+  let p_machine =
+    Smachine.make ~context:producer.Classifier.cl_id "ProducerSM"
+      [ p_region ]
+  in
+  let producer =
+    { producer with Classifier.cl_behaviors = [ p_machine.Smachine.sm_id ] }
+  in
+  Model.add m (Model.E_classifier producer);
+  Model.add m (Model.E_state_machine p_machine);
+  m
+
+let system_tests =
+  [
+    tc "instantiate applies attribute defaults" (fun () ->
+        let sys = Xuml.System.create (build_system ()) in
+        let c = Xuml.System.instantiate sys "Consumer" in
+        check Alcotest.bool "received=0" true
+          (Asl.Store.get_attr (Xuml.System.store sys) c "received"
+          = Some (Asl.Value.V_int 0)));
+    tc "unknown class is an error" (fun () ->
+        let sys = Xuml.System.create (build_system ()) in
+        match Xuml.System.instantiate sys "Ghost" with
+        | _r -> Alcotest.fail "expected Xuml_error"
+        | exception Xuml.System.Xuml_error _ -> ());
+    tc "active objects get running machines" (fun () ->
+        let sys = Xuml.System.create (build_system ()) in
+        let c = Xuml.System.instantiate sys "Consumer" in
+        match Xuml.System.engine_of sys c with
+        | Some engine ->
+          check Alcotest.string "Waiting" "Waiting"
+            (Statechart.Engine.signature engine)
+        | None -> Alcotest.fail "engine expected");
+    tc "producer drives consumer through signals" (fun () ->
+        let sys = Xuml.System.create (build_system ()) in
+        let c = Xuml.System.instantiate sys "Consumer" in
+        let p = Xuml.System.instantiate sys "Producer" in
+        Asl.Store.set_attr (Xuml.System.store sys) p "peer"
+          (Asl.Value.V_obj c)
+        |> ignore;
+        Xuml.System.send sys ~to_:p "kick";
+        let events = Xuml.System.run sys in
+        check Alcotest.bool "worked" true (events > 0);
+        (* producer sent 1+2+3 = 6 *)
+        check Alcotest.bool "received=6" true
+          (Asl.Store.get_attr (Xuml.System.store sys) c "received"
+          = Some (Asl.Value.V_int 6));
+        (* machines ended in the expected states *)
+        let config = Xuml.System.configuration sys in
+        check Alcotest.bool "producer done" true
+          (List.mem ("Producer#2", "Done") config);
+        check Alcotest.bool "consumer waiting" true
+          (List.mem ("Consumer#1", "Waiting") config));
+    tc "objects are listed in creation order" (fun () ->
+        let sys = Xuml.System.create (build_system ()) in
+        let _c = Xuml.System.instantiate sys "Consumer" in
+        let _p = Xuml.System.instantiate sys "Producer" in
+        check
+          (Alcotest.list Alcotest.string)
+          "names" [ "Consumer#1"; "Producer#2" ]
+          (List.map fst (Xuml.System.objects sys));
+        check Alcotest.bool "lookup" true
+          (Xuml.System.object_of_name sys "Consumer#1" <> None));
+    tc "modeled operations are callable" (fun () ->
+        let m = Model.create "ops" in
+        Model.add m
+          (Model.E_classifier
+             (Classifier.make
+                ~attributes:
+                  [ Classifier.property ~default:(Vspec.of_int 5) "x"
+                      Dtype.Integer ]
+                ~operations:
+                  [
+                    Classifier.operation
+                      ~params:[ Classifier.parameter "d" Dtype.Integer ]
+                      ~body:"self.x := self.x + d; return self.x;" "bump";
+                  ]
+                "K"));
+        let sys = Xuml.System.create m in
+        let k = Xuml.System.instantiate sys "K" in
+        let v = Xuml.System.call sys ~self_:k "bump" [ Asl.Value.V_int 3 ] in
+        check Alcotest.bool "8" true (v = Asl.Value.V_int 8));
+    tc "operations are inherited through generalization" (fun () ->
+        let m = Model.create "inherit" in
+        let base =
+          Classifier.make
+            ~operations:
+              [ Classifier.operation ~body:"return 42;" "answer" ]
+            "Base"
+        in
+        Model.add m (Model.E_classifier base);
+        Model.add m
+          (Model.E_classifier
+             (Classifier.make ~generals:[ base.Classifier.cl_id ] "Derived"));
+        let sys = Xuml.System.create m in
+        let d = Xuml.System.instantiate sys "Derived" in
+        check Alcotest.bool "42" true
+          (Xuml.System.call sys ~self_:d "answer" [] = Asl.Value.V_int 42));
+    tc "attributes are inherited" (fun () ->
+        let m = Model.create "inherit2" in
+        let base =
+          Classifier.make
+            ~attributes:
+              [ Classifier.property ~default:(Vspec.of_int 7) "b"
+                  Dtype.Integer ]
+            "Base"
+        in
+        Model.add m (Model.E_classifier base);
+        Model.add m
+          (Model.E_classifier
+             (Classifier.make ~generals:[ base.Classifier.cl_id ] "Derived"));
+        let sys = Xuml.System.create m in
+        let d = Xuml.System.instantiate sys "Derived" in
+        check Alcotest.bool "b=7" true
+          (Asl.Store.get_attr (Xuml.System.store sys) d "b"
+          = Some (Asl.Value.V_int 7)));
+    tc "broken operation bodies fail at create" (fun () ->
+        let m = Model.create "broken" in
+        Model.add m
+          (Model.E_classifier
+             (Classifier.make
+                ~operations:[ Classifier.operation ~body:"if if" "bad" ]
+                "K"));
+        match Xuml.System.create m with
+        | _sys -> Alcotest.fail "expected Xuml_error"
+        | exception Xuml.System.Xuml_error _ -> ());
+    tc "livelocked systems are detected" (fun () ->
+        (* two machines ping-ponging forever *)
+        let m = Model.create "livelock" in
+        let mk_class name =
+          Classifier.make ~is_active:true
+            ~attributes:[ Classifier.property "peer" (Dtype.Ref (Ident.fresh ())) ]
+            name
+        in
+        let a = mk_class "A" in
+        let s = Smachine.simple_state "S" in
+        let init = Smachine.pseudostate Smachine.Initial in
+        let region =
+          Smachine.region
+            [ Smachine.Pseudo init; Smachine.State s ]
+            [
+              Smachine.transition ~source:init.Smachine.ps_id
+                ~target:s.Smachine.st_id ();
+              Smachine.transition
+                ~triggers:[ Smachine.Signal_trigger "ping" ]
+                ~effect:"send ping() to self.peer;"
+                ~source:s.Smachine.st_id ~target:s.Smachine.st_id ();
+            ]
+        in
+        let sm = Smachine.make ~context:a.Classifier.cl_id "PingSM" [ region ] in
+        let a = { a with Classifier.cl_behaviors = [ sm.Smachine.sm_id ] } in
+        Model.add m (Model.E_classifier a);
+        Model.add m (Model.E_state_machine sm);
+        let sys = Xuml.System.create m in
+        let o1 = Xuml.System.instantiate sys "A" in
+        let o2 = Xuml.System.instantiate sys "A" in
+        ignore
+          (Asl.Store.set_attr (Xuml.System.store sys) o1 "peer"
+             (Asl.Value.V_obj o2));
+        ignore
+          (Asl.Store.set_attr (Xuml.System.store sys) o2 "peer"
+             (Asl.Value.V_obj o1));
+        Xuml.System.send sys ~to_:o1 "ping";
+        match Xuml.System.run ~max_rounds:50 sys with
+        | _n -> Alcotest.fail "expected Xuml_error (livelock)"
+        | exception Xuml.System.Xuml_error _ -> ());
+    tc "print output is shared and ordered" (fun () ->
+        let m = Model.create "out" in
+        Model.add m
+          (Model.E_classifier
+             (Classifier.make
+                ~operations:
+                  [ Classifier.operation ~body:"print(\"hello\");" "hi" ]
+                "K"));
+        let sys = Xuml.System.create m in
+        let k = Xuml.System.instantiate sys "K" in
+        let _v = Xuml.System.call sys ~self_:k "hi" [] in
+        check (Alcotest.list Alcotest.string) "out" [ "hello" ]
+          (Xuml.System.output sys));
+  ]
+
+(* --- MSC conformance ---------------------------------------------------- *)
+
+(* interaction: prod sends item, item, item to cons *)
+let expected_interaction ?(names = [ "item"; "item"; "item" ]) () =
+  let prod = Interaction.lifeline "prod" in
+  let cons = Interaction.lifeline "cons" in
+  let body =
+    List.map
+      (fun name ->
+        Interaction.Message
+          (Interaction.message ~from_:prod.Interaction.ll_id
+             ~to_:cons.Interaction.ll_id name))
+      names
+  in
+  Interaction.make "spec" [ prod; cons ] body
+
+let run_producer_consumer () =
+  let sys = Xuml.System.create (build_system ()) in
+  let c = Xuml.System.instantiate sys "Consumer" in
+  let p = Xuml.System.instantiate sys "Producer" in
+  ignore
+    (Asl.Store.set_attr (Xuml.System.store sys) p "peer" (Asl.Value.V_obj c));
+  Xuml.System.send sys ~to_:p "kick";
+  let _events = Xuml.System.run sys in
+  sys
+
+let msc_tests =
+  [
+    tc "message trace records routed signals" (fun () ->
+        let sys = run_producer_consumer () in
+        let items =
+          List.filter
+            (fun (_f, _t, n) -> n = "item")
+            (Xuml.System.message_trace sys)
+        in
+        check Alcotest.int "three items" 3 (List.length items);
+        List.iter
+          (fun (f, t, _n) ->
+            check (Alcotest.option Alcotest.string) "from" (Some "Producer#2") f;
+            check (Alcotest.option Alcotest.string) "to" (Some "Consumer#1") t)
+          items);
+    tc "run conforms to the specified scenario" (fun () ->
+        let sys = run_producer_consumer () in
+        let v =
+          Xuml.Msc.check
+            ~bindings:[ ("prod", "Producer#2"); ("cons", "Consumer#1") ]
+            sys (expected_interaction ())
+        in
+        check Alcotest.bool "matched" true v.Xuml.Msc.matched);
+    tc "wrong message count is rejected" (fun () ->
+        let sys = run_producer_consumer () in
+        let v =
+          Xuml.Msc.check
+            ~bindings:[ ("prod", "Producer#2"); ("cons", "Consumer#1") ]
+            sys (expected_interaction ~names:[ "item"; "item" ] ())
+        in
+        check Alcotest.bool "rejected" false v.Xuml.Msc.matched;
+        check Alcotest.bool "reason" true (v.Xuml.Msc.reason <> None));
+    tc "wrong message name is rejected" (fun () ->
+        let sys = run_producer_consumer () in
+        let v =
+          Xuml.Msc.check
+            ~bindings:[ ("prod", "Producer#2"); ("cons", "Consumer#1") ]
+            sys (expected_interaction ~names:[ "item"; "item"; "bogus" ] ())
+        in
+        check Alcotest.bool "rejected" false v.Xuml.Msc.matched);
+    tc "partial accepts prefixes" (fun () ->
+        let sys = run_producer_consumer () in
+        let v =
+          Xuml.Msc.check ~partial:true
+            ~bindings:[ ("prod", "Producer#2"); ("cons", "Consumer#1") ]
+            sys
+            (expected_interaction
+               ~names:[ "item"; "item"; "item"; "item"; "item" ]
+               ())
+        in
+        check Alcotest.bool "prefix ok" true v.Xuml.Msc.matched);
+    tc "loop fragments admit the repetition" (fun () ->
+        let sys = run_producer_consumer () in
+        let prod = Interaction.lifeline "prod" in
+        let cons = Interaction.lifeline "cons" in
+        let item =
+          Interaction.Message
+            (Interaction.message ~from_:prod.Interaction.ll_id
+               ~to_:cons.Interaction.ll_id "item")
+        in
+        let spec =
+          Interaction.make "loop-spec" [ prod; cons ]
+            [
+              Interaction.Fragment
+                (Interaction.fragment
+                   (Interaction.Loop (1, Some 5))
+                   [ Interaction.operand [ item ] ]);
+            ]
+        in
+        let v =
+          Xuml.Msc.check
+            ~bindings:[ ("prod", "Producer#2"); ("cons", "Consumer#1") ]
+            sys spec
+        in
+        check Alcotest.bool "loop admits 3 items" true v.Xuml.Msc.matched);
+    tc "unrelated traffic is ignored" (fun () ->
+        (* bind only cons; prod side unbound: nothing observable *)
+        let sys = run_producer_consumer () in
+        let cons = Interaction.lifeline "cons" in
+        let spec = Interaction.make "empty-spec" [ cons ] [] in
+        let v =
+          Xuml.Msc.check ~bindings:[ ("cons", "Consumer#1") ] sys spec
+        in
+        check Alcotest.bool "trivially matches" true v.Xuml.Msc.matched);
+    tc "stimuli extracts a lifeline's received events" (fun () ->
+        let spec = expected_interaction () in
+        check
+          (Alcotest.list Alcotest.string)
+          "cons events" [ "item"; "item"; "item" ]
+          (Xuml.Msc.stimuli ~lifeline:"cons" spec);
+        check (Alcotest.list Alcotest.string) "prod events" []
+          (Xuml.Msc.stimuli ~lifeline:"prod" spec));
+    tc "observed communication counts pairs" (fun () ->
+        let sys = run_producer_consumer () in
+        let pairs = Xuml.Msc.observed_communication sys in
+        check Alcotest.bool "producer->consumer x3" true
+          (List.mem ("Producer#2", "Consumer#1", 3) pairs));
+    tc "clear_message_trace resets observation" (fun () ->
+        let sys = run_producer_consumer () in
+        Xuml.System.clear_message_trace sys;
+        check Alcotest.int "empty" 0
+          (List.length (Xuml.System.message_trace sys)));
+  ]
+
+(* --- Object-Diagram snapshots --------------------------------------------- *)
+
+let snapshot_tests =
+  [
+    tc "snapshot captures live objects with slot values" (fun () ->
+        let sys = run_producer_consumer () in
+        let snap = Xuml.Snapshot.to_model sys in
+        check Alcotest.int "two instances" 2
+          (List.length (Model.instances snap));
+        (match
+           List.find_opt
+             (fun (i : Instance.t) -> i.Instance.inst_name = "Consumer#1")
+             (Model.instances snap)
+         with
+         | Some inst ->
+           check Alcotest.bool "received=6" true
+             (Instance.slot_value inst "received" = Some (Vspec.of_int 6))
+         | None -> Alcotest.fail "consumer instance missing"));
+    tc "object-valued attributes become links" (fun () ->
+        let sys = run_producer_consumer () in
+        let snap = Xuml.Snapshot.to_model sys in
+        let links =
+          List.filter_map
+            (fun e ->
+              match e with
+              | Model.E_link l -> Some l
+              | _other -> None)
+            (Model.elements snap)
+        in
+        check Alcotest.int "one link (peer)" 1 (List.length links));
+    tc "snapshot carries an object diagram" (fun () ->
+        let sys = run_producer_consumer () in
+        let snap = Xuml.Snapshot.to_model sys in
+        match Model.diagrams snap with
+        | [ d ] ->
+          check Alcotest.bool "kind" true
+            (d.Diagram.dg_kind = Diagram.Object_diagram);
+          check Alcotest.bool "shows elements" true
+            (d.Diagram.dg_elements <> [])
+        | _other -> Alcotest.fail "one diagram expected");
+    tc "snapshot is well-formed and conformant" (fun () ->
+        let sys = run_producer_consumer () in
+        check Alcotest.bool "conforms" true (Xuml.Snapshot.snapshot_conforms sys);
+        let snap = Xuml.Snapshot.to_model sys in
+        check Alcotest.bool "wfr" true (Wfr.errors (Wfr.check snap) = []));
+    tc "snapshot round-trips through XMI" (fun () ->
+        let sys = run_producer_consumer () in
+        let snap = Xuml.Snapshot.to_model sys in
+        let snap' = Xmi.Read.model_of_string (Xmi.Write.to_string snap) in
+        check Alcotest.bool "lossless" true (Model.equal snap snap'));
+    tc "deleted objects are omitted" (fun () ->
+        let m = Model.create "del" in
+        Model.add m (Model.E_classifier (Classifier.make "K"));
+        let sys = Xuml.System.create m in
+        let k1 = Xuml.System.instantiate sys "K" in
+        let _k2 = Xuml.System.instantiate sys "K" in
+        ignore (Asl.Store.delete (Xuml.System.store sys) k1);
+        let snap = Xuml.Snapshot.to_model sys in
+        check Alcotest.int "one left" 1 (List.length (Model.instances snap)));
+  ]
+
+(* --- invariants ------------------------------------------------------------ *)
+
+let invariant_model () =
+  let m = Model.create "inv" in
+  let base =
+    Classifier.make
+      ~operations:
+        [
+          Classifier.operation ~is_query:true ~body:"return self.x >= 0;"
+            "inv_non_negative";
+        ]
+      ~attributes:[ Classifier.property ~default:(Vspec.of_int 1) "x" Dtype.Integer ]
+      "Base"
+  in
+  Model.add m (Model.E_classifier base);
+  Model.add m
+    (Model.E_classifier
+       (Classifier.make ~generals:[ base.Classifier.cl_id ]
+          ~operations:
+            [
+              Classifier.operation ~is_query:true
+                ~body:"return self.x < 100;" "inv_bounded";
+            ]
+          "Derived"));
+  m
+
+let invariant_tests =
+  [
+    tc "invariant names include inherited ones" (fun () ->
+        let m = invariant_model () in
+        check
+          (Alcotest.list Alcotest.string)
+          "both" [ "inv_bounded"; "inv_non_negative" ]
+          (List.sort compare (Xuml.Invariants.invariant_names m "Derived")));
+    tc "holding invariants report nothing" (fun () ->
+        let sys = Xuml.System.create (invariant_model ()) in
+        let _d = Xuml.System.instantiate sys "Derived" in
+        check Alcotest.int "no violations" 0
+          (List.length (Xuml.Invariants.check sys)));
+    tc "violated invariants are reported with the object" (fun () ->
+        let sys = Xuml.System.create (invariant_model ()) in
+        let d = Xuml.System.instantiate sys "Derived" in
+        ignore
+          (Asl.Store.set_attr (Xuml.System.store sys) d "x"
+             (Asl.Value.V_int (-5)));
+        match Xuml.Invariants.check sys with
+        | [ v ] ->
+          check Alcotest.string "object" "Derived#1" v.Xuml.Invariants.viol_object;
+          check Alcotest.string "invariant" "inv_non_negative"
+            v.Xuml.Invariants.viol_invariant
+        | other ->
+          Alcotest.fail
+            (Printf.sprintf "one violation expected, got %d"
+               (List.length other)));
+    tc "both invariants can fail at once" (fun () ->
+        let sys = Xuml.System.create (invariant_model ()) in
+        let d = Xuml.System.instantiate sys "Derived" in
+        ignore
+          (Asl.Store.set_attr (Xuml.System.store sys) d "x"
+             (Asl.Value.V_int 500));
+        (* x=500 violates inv_bounded only *)
+        check Alcotest.int "one" 1
+          (List.length (Xuml.Invariants.check_object sys d)));
+    tc "non-boolean invariants are themselves violations" (fun () ->
+        let m = Model.create "bad" in
+        Model.add m
+          (Model.E_classifier
+             (Classifier.make
+                ~operations:
+                  [ Classifier.operation ~body:"return 42;" "inv_oops" ]
+                "K"));
+        let sys = Xuml.System.create m in
+        let _k = Xuml.System.instantiate sys "K" in
+        match Xuml.Invariants.check sys with
+        | [ v ] ->
+          check Alcotest.bool "reason mentions Boolean" true
+            (String.length v.Xuml.Invariants.viol_reason > 0)
+        | _other -> Alcotest.fail "one violation expected");
+  ]
+
+let () =
+  Alcotest.run "xuml"
+    [
+      ("system", system_tests); ("msc", msc_tests);
+      ("snapshot", snapshot_tests); ("invariants", invariant_tests);
+    ]
