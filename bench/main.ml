@@ -2,7 +2,7 @@
 
    The paper ("UML 2.0 - Overview and Perspectives in SoC Design", DATE
    2005) has no tables or figures; DESIGN.md maps its five claims to the
-   experiment suite E1..E10.  For every experiment this harness
+   experiment suite E1..E11.  For every experiment this harness
 
      (a) prints the measured report rows recorded in EXPERIMENTS.md, and
      (b) registers one Bechamel test group with the raw kernels.
@@ -544,6 +544,66 @@ let e10_tests () =
   ]
 
 (* ------------------------------------------------------------------ *)
+(* E11: telemetry instrumentation overhead                             *)
+
+let e11_events =
+  lazy (Workload.Gen_statechart.event_sequence ~seed:3 ~length:2000 4)
+
+let e11_dispatch reg =
+  let engine = Statechart.Engine.create ~metrics:reg (e2_machine 1) in
+  Statechart.Engine.start engine;
+  List.iter
+    (fun name ->
+      Statechart.Engine.dispatch engine (Statechart.Event.make name))
+    (Lazy.force e11_events)
+
+let e11_time make_reg =
+  (* best of three runs to damp scheduler noise *)
+  let best = ref infinity in
+  for _ = 1 to 3 do
+    let t0 = Sys.time () in
+    e11_dispatch (make_reg ());
+    let dt = Sys.time () -. t0 in
+    if dt < !best then best := dt
+  done;
+  !best
+
+let e11_report () =
+  sep "E11  telemetry overhead on statechart dispatch (2000 events)";
+  let off = e11_time (fun () -> Telemetry.Metrics.null) in
+  let counters =
+    e11_time (fun () -> Telemetry.Metrics.create ~event_capacity:0 ())
+  in
+  let full = e11_time (fun () -> Telemetry.Metrics.create ()) in
+  let row label dt =
+    Printf.printf "%-24s %8.3f us/event  (%+5.1f%% vs off)\n" label
+      (1e6 *. dt /. 2000.)
+      (100. *. (dt -. off) /. (off +. 1e-9))
+  in
+  row "telemetry off (null)" off;
+  row "live, ring cap 0" counters;
+  row "live, ring cap 4096" full
+
+let e11_tests () =
+  let sm = e2_machine 1 in
+  let events = Workload.Gen_statechart.event_sequence ~seed:3 ~length:200 4 in
+  let dispatch reg =
+    let engine = Statechart.Engine.create ~metrics:reg sm in
+    Statechart.Engine.start engine;
+    List.iter
+      (fun name ->
+        Statechart.Engine.dispatch engine (Statechart.Event.make name))
+      events
+  in
+  [
+    Bechamel.Test.make ~name:"e11/dispatch-200-off"
+      (Bechamel.Staged.stage (fun () -> dispatch Telemetry.Metrics.null));
+    Bechamel.Test.make ~name:"e11/dispatch-200-live"
+      (Bechamel.Staged.stage (fun () ->
+           dispatch (Telemetry.Metrics.create ())));
+  ]
+
+(* ------------------------------------------------------------------ *)
 (* Bechamel driver                                                     *)
 
 let run_bechamel tests =
@@ -582,11 +642,12 @@ let () =
   e8_report ();
   e9_report ();
   e10_report ();
+  e11_report ();
   if not quick then begin
     let tests =
       e1_tests () @ e2_tests () @ e2_xuml_test () @ e3_tests () @ e4_tests ()
       @ e5_tests () @ e6_tests () @ e7_tests () @ e8_tests () @ e9_tests ()
-      @ e10_tests ()
+      @ e10_tests () @ e11_tests ()
     in
     run_bechamel tests
   end;

@@ -5,6 +5,7 @@
      info       summarize a model's contents
      gen        generate code (vhdl | verilog | systemc | c) from a model
      simulate   run a state machine from the model on an event sequence
+     trace      like simulate, but dump the structured telemetry events
      partition  partition a task graph extracted from an activity
      demo       build the demo SoC, write XMI + VHDL + VCD artifacts *)
 
@@ -122,44 +123,107 @@ let machine_arg =
   let doc = "Name of the state machine to run (default: first)." in
   Arg.(value & opt (some string) None & info [ "machine" ] ~docv:"NAME" ~doc)
 
+let metrics_arg =
+  let doc = "Collect telemetry and print the metrics report." in
+  Arg.(value & flag & info [ "metrics" ] ~doc)
+
+let split_events events =
+  if events = "" then [] else String.split_on_char ',' events
+
+let choose_machine m machine =
+  let machines = Uml.Model.state_machines m in
+  match machine with
+  | Some name ->
+    List.find_opt (fun sm -> sm.Uml.Smachine.sm_name = name) machines
+  | None -> (
+    match machines with
+    | sm :: _rest -> Some sm
+    | [] -> None)
+
+(* Run the chosen state machine on the event list; when telemetry is
+   live, also run every activity of the model so one registry covers
+   the statechart, activity and ASL engines. *)
+let run_engines_exn ?(echo = false) reg m sm names =
+  let interp = Asl.Interp.create ~metrics:reg (Asl.Store.create ()) in
+  let engine = Statechart.Engine.create ~interp ~metrics:reg sm in
+  Statechart.Engine.start engine;
+  if echo then
+    Printf.printf "start: %s\n" (Statechart.Engine.signature engine);
+  List.iter
+    (fun ev ->
+      Statechart.Engine.dispatch engine (Statechart.Event.make ev);
+      if echo then
+        Printf.printf "%s: %s\n" ev (Statechart.Engine.signature engine))
+    names;
+  if Telemetry.Metrics.live reg then
+    List.iter
+      (fun act ->
+        let exec = Activity.Exec.create ~metrics:reg act in
+        ignore (Activity.Exec.run ~seed:1 exec))
+      (Uml.Model.activities m)
+
+(* Model-level failures (bad ASL in a guard or effect, broken topology)
+   are user errors, not crashes: print the diagnostic, exit nonzero. *)
+let run_engines ?echo reg m sm names =
+  match run_engines_exn ?echo reg m sm names with
+  | () -> true
+  | exception Statechart.Engine.Model_error msg ->
+    prerr_endline msg;
+    false
+
 let simulate_cmd =
+  let run path machine events metrics =
+    match load_model path with
+    | Error msg ->
+      prerr_endline msg;
+      1
+    | Ok m -> (
+      match choose_machine m machine with
+      | None ->
+        prerr_endline "no such state machine in the model";
+        1
+      | Some sm ->
+        let reg =
+          if metrics then Telemetry.Metrics.create ()
+          else Telemetry.Metrics.null
+        in
+        let ok = run_engines ~echo:true reg m sm (split_events events) in
+        if metrics then print_string (Telemetry.Metrics.report reg);
+        if ok then 0 else 1)
+  in
+  let doc = "Execute a state machine of the model on an event sequence." in
+  Cmd.v (Cmd.info "simulate" ~doc)
+    Term.(const run $ model_arg $ machine_arg $ events_arg $ metrics_arg)
+
+(* --- trace ------------------------------------------------------------- *)
+
+let trace_cmd =
   let run path machine events =
     match load_model path with
     | Error msg ->
       prerr_endline msg;
       1
     | Ok m -> (
-      let machines = Uml.Model.state_machines m in
-      let chosen =
-        match machine with
-        | Some name ->
-          List.find_opt (fun sm -> sm.Uml.Smachine.sm_name = name) machines
-        | None -> (
-          match machines with
-          | sm :: _rest -> Some sm
-          | [] -> None)
-      in
-      match chosen with
+      match choose_machine m machine with
       | None ->
         prerr_endline "no such state machine in the model";
         1
       | Some sm ->
-        let engine = Statechart.Engine.create sm in
-        Statechart.Engine.start engine;
-        Printf.printf "start: %s\n" (Statechart.Engine.signature engine);
-        let names =
-          if events = "" then []
-          else String.split_on_char ',' events
-        in
+        let reg = Telemetry.Metrics.create () in
+        let ok = run_engines reg m sm (split_events events) in
+        let events = Telemetry.Metrics.events reg in
         List.iter
-          (fun ev ->
-            Statechart.Engine.dispatch engine (Statechart.Event.make ev);
-            Printf.printf "%s: %s\n" ev (Statechart.Engine.signature engine))
-          names;
-        0)
+          (fun ev -> print_endline (Telemetry.Metrics.render_event ev))
+          events;
+        Printf.printf "%d events recorded, %d dropped\n" (List.length events)
+          (Telemetry.Metrics.events_dropped reg);
+        if ok then 0 else 1)
   in
-  let doc = "Execute a state machine of the model on an event sequence." in
-  Cmd.v (Cmd.info "simulate" ~doc)
+  let doc =
+    "Run a state machine (and the model's activities) like simulate, \
+     dumping the structured telemetry event log."
+  in
+  Cmd.v (Cmd.info "trace" ~doc)
     Term.(const run $ model_arg $ machine_arg $ events_arg)
 
 (* --- partition --------------------------------------------------------- *)
@@ -279,7 +343,7 @@ let demo_cmd =
 (* --- analyze ------------------------------------------------------------ *)
 
 let analyze_cmd =
-  let run path =
+  let run path metrics =
     match load_model path with
     | Error msg ->
       prerr_endline msg;
@@ -290,6 +354,10 @@ let analyze_cmd =
         prerr_endline "no activity in the model";
         1
       | activities ->
+        let reg =
+          if metrics then Telemetry.Metrics.create ()
+          else Telemetry.Metrics.null
+        in
         List.iter
           (fun act ->
             Printf.printf "activity %s:\n" act.Uml.Activityg.ac_name;
@@ -304,7 +372,7 @@ let analyze_cmd =
                Printf.printf "  bounded: NO (unbounded places: %s)\n"
                  (String.concat ", " r.Petri.Coverability.unbounded_places)
              | None -> print_endline "  bounded: unknown (limit reached)");
-            let r = Petri.Analysis.reachable ~limit:5000 net m0 in
+            let r = Petri.Analysis.reachable ~limit:5000 ~metrics:reg net m0 in
             Printf.printf "  reachable markings: %d%s, deadlocks: %d\n"
               r.Petri.Analysis.state_count
               (if r.Petri.Analysis.truncated then "+" else "")
@@ -320,21 +388,22 @@ let analyze_cmd =
                   (String.concat ", " dead)
             end)
           activities;
+        if metrics then print_string (Telemetry.Metrics.report reg);
         0)
   in
   let doc =
     "Translate the model's activities to Petri nets and analyze them \
      (boundedness, deadlocks, invariants)."
   in
-  Cmd.v (Cmd.info "analyze" ~doc) Term.(const run $ model_arg)
+  Cmd.v (Cmd.info "analyze" ~doc) Term.(const run $ model_arg $ metrics_arg)
 
 let main =
   let doc = "UML 2.0 modeling and MDA toolchain for SoC design" in
   Cmd.group
     (Cmd.info "socuml" ~version:"1.0.0" ~doc)
     [
-      validate_cmd; info_cmd; gen_cmd; simulate_cmd; partition_cmd;
-      analyze_cmd; demo_cmd;
+      validate_cmd; info_cmd; gen_cmd; simulate_cmd; trace_cmd;
+      partition_cmd; analyze_cmd; demo_cmd;
     ]
 
 let () = exit (Cmd.eval' main)

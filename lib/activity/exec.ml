@@ -9,6 +9,9 @@ type t = {
   mutable gating : bool;
   mutable pending_events : string list;
   mutable signals : string list;  (** reverse order *)
+  x_metrics : Telemetry.Metrics.t;
+  m_firings : Telemetry.Metrics.counter;
+  m_token_moves : Telemetry.Metrics.counter;
 }
 
 module SM = Map.Make (String)
@@ -22,11 +25,12 @@ let add_tokens t p n =
   let v = tokens_at t p + n in
   t.marking <- (if v = 0 then SM.remove p t.marking else SM.add p v t.marking)
 
-let create ?interp ?(self_ = Asl.Value.V_null) act =
+let create ?interp ?(self_ = Asl.Value.V_null)
+    ?(metrics = Telemetry.Metrics.null) act =
   let exec_interp =
     match interp with
     | Some i -> i
-    | None -> Asl.Interp.create (Asl.Store.create ())
+    | None -> Asl.Interp.create ~metrics (Asl.Store.create ())
   in
   let t =
     {
@@ -38,6 +42,9 @@ let create ?interp ?(self_ = Asl.Value.V_null) act =
       gating = false;
       pending_events = [];
       signals = [];
+      x_metrics = metrics;
+      m_firings = Telemetry.Metrics.counter metrics "activity.firings";
+      m_token_moves = Telemetry.Metrics.counter metrics "activity.token_moves";
     }
   in
   List.iter
@@ -51,6 +58,7 @@ let create ?interp ?(self_ = Asl.Value.V_null) act =
 
 let activity t = t.act
 let interp t = t.exec_interp
+let metrics t = t.x_metrics
 
 let tokens t =
   List.sort (fun (a, _) (b, _) -> String.compare a b) (SM.bindings t.marking)
@@ -250,6 +258,17 @@ let run_node_behavior t n =
     ()
 
 let apply_firing t f =
+  Telemetry.Metrics.incr t.m_firings;
+  let consumed = List.fold_left (fun acc (_, w) -> acc + w) 0 f.fr_consume in
+  Telemetry.Metrics.incr ~by:(consumed + List.length f.fr_produce)
+    t.m_token_moves;
+  if Telemetry.Metrics.live t.x_metrics then
+    Telemetry.Metrics.event t.x_metrics ~scope:"activity" "fire"
+      [
+        ("label", Telemetry.Metrics.F_str f.fr_label);
+        ("consumed", Telemetry.Metrics.F_int consumed);
+        ("produced", Telemetry.Metrics.F_int (List.length f.fr_produce));
+      ];
   List.iter (fun (p, w) -> add_tokens t p (-w)) f.fr_consume;
   run_node_behavior t f.fr_node;
   List.iter (fun p -> add_tokens t p 1) f.fr_produce;

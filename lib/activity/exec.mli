@@ -14,11 +14,22 @@
 type t
 
 val create :
-  ?interp:Asl.Interp.t -> ?self_:Asl.Value.t -> Uml.Activityg.t -> t
-(** The engine starts with tokens as per initial nodes. *)
+  ?interp:Asl.Interp.t ->
+  ?self_:Asl.Value.t ->
+  ?metrics:Telemetry.Metrics.t ->
+  Uml.Activityg.t ->
+  t
+(** The engine starts with tokens as per initial nodes.  [metrics]
+    (default {!Telemetry.Metrics.null}) receives the
+    [activity.firings] and [activity.token_moves] counters plus one
+    structured ["activity/fire"] event per firing; an internally created
+    interpreter is instrumented with the same registry. *)
 
 val activity : t -> Uml.Activityg.t
 val interp : t -> Asl.Interp.t
+
+val metrics : t -> Telemetry.Metrics.t
+(** The registry supplied at creation time. *)
 
 val tokens : t -> (string * int) list
 (** Current marking as (Petri place name, tokens), sorted; includes

@@ -18,6 +18,10 @@ and t = {
   mutable fuel : int;
   mutable signals : signal_out list;  (** reverse order *)
   mutable out_lines : string list;  (** reverse order *)
+  i_metrics : Telemetry.Metrics.t;
+  m_stmts : Telemetry.Metrics.counter;
+  m_reads : Telemetry.Metrics.counter;
+  m_writes : Telemetry.Metrics.counter;
 }
 
 (* A frame: local variables of one body execution.  [Return] is
@@ -31,7 +35,8 @@ type frame = {
 
 let fail fmt = Printf.ksprintf (fun m -> raise (Runtime_error m)) fmt
 
-let create ?(fuel = 1_000_000) ?resolve ?attr_defaults istore =
+let create ?(fuel = 1_000_000) ?resolve ?attr_defaults
+    ?(metrics = Telemetry.Metrics.null) istore =
   let resolve =
     match resolve with
     | Some r -> r
@@ -50,9 +55,14 @@ let create ?(fuel = 1_000_000) ?resolve ?attr_defaults istore =
     fuel;
     signals = [];
     out_lines = [];
+    i_metrics = metrics;
+    m_stmts = Telemetry.Metrics.counter metrics "asl.statements";
+    m_reads = Telemetry.Metrics.counter metrics "asl.store_reads";
+    m_writes = Telemetry.Metrics.counter metrics "asl.store_writes";
   }
 
 let store t = t.istore
+let metrics t = t.i_metrics
 
 let tick t =
   if t.fuel <= 0 then fail "out of fuel (non-terminating model behavior?)";
@@ -116,6 +126,7 @@ let rec eval_expr t frame (e : Ast.expr) : Value.t =
     Value.V_obj (Store.alloc t.istore ~class_name ~attrs)
   | Ast.Attr (obj_e, attr) -> (
     let r = as_obj t (eval_expr t frame obj_e) in
+    Telemetry.Metrics.incr t.m_reads;
     match Store.get_attr t.istore r attr with
     | Some v -> v
     | None -> fail "object has no attribute %s" attr)
@@ -213,6 +224,7 @@ and exec_block t frame stmts = List.iter (exec_stmt t frame) stmts
 
 and exec_stmt t frame (s : Ast.stmt) =
   tick t;
+  Telemetry.Metrics.incr t.m_stmts;
   match s with
   | Ast.Skip -> ()
   | Ast.Var_decl (name, e) ->
@@ -222,6 +234,7 @@ and exec_stmt t frame (s : Ast.stmt) =
   | Ast.Assign (Ast.L_attr (obj_e, attr), e) ->
     let r = as_obj t (eval_expr t frame obj_e) in
     let v = eval_expr t frame e in
+    Telemetry.Metrics.incr t.m_writes;
     if not (Store.set_attr t.istore r attr v) then
       fail "attribute write on deleted object"
   | Ast.Expr_stmt e ->

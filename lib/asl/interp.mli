@@ -29,14 +29,20 @@ val create :
   ?fuel:int ->
   ?resolve:(string -> string -> method_impl option) ->
   ?attr_defaults:(string -> (string * Value.t) list) ->
+  ?metrics:Telemetry.Metrics.t ->
   Store.t ->
   t
 (** [create store] builds an interpreter.  [fuel] (default 1_000_000)
     bounds the total number of evaluation steps per [run]/[eval] call.
     [resolve class op] supplies operation bodies.  [attr_defaults class]
-    supplies initial attribute values for [new]. *)
+    supplies initial attribute values for [new].  [metrics] (default
+    {!Telemetry.Metrics.null}) receives the [asl.statements],
+    [asl.store_reads] and [asl.store_writes] counters. *)
 
 val store : t -> Store.t
+
+val metrics : t -> Telemetry.Metrics.t
+(** The registry supplied at creation time. *)
 
 val run :
   ?self_:Value.t -> ?params:(string * Value.t) list -> t -> Ast.program ->

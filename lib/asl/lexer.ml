@@ -101,11 +101,29 @@ let tokenize src =
         then begin
           let frac_end = scan (int_end + 1) in
           let lit = String.sub src pos (frac_end - pos) in
-          loop frac_end (REAL (float_of_string lit) :: acc)
+          match float_of_string_opt lit with
+          | Some r -> loop frac_end (REAL r :: acc)
+          | None ->
+            raise
+              (Lex_error
+                 {
+                   position = pos;
+                   message =
+                     Printf.sprintf "real literal %s out of range" lit;
+                 })
         end
         else
           let lit = String.sub src pos (int_end - pos) in
-          loop int_end (INT (int_of_string lit) :: acc)
+          match int_of_string_opt lit with
+          | Some i -> loop int_end (INT i :: acc)
+          | None ->
+            raise
+              (Lex_error
+                 {
+                   position = pos;
+                   message =
+                     Printf.sprintf "integer literal %s out of range" lit;
+                 })
       end
       else if is_ident_start c then begin
         let rec scan p =

@@ -12,6 +12,9 @@ type t = {
   order : (string * Htype.t) list;  (** declaration order *)
   mutable event_count : int;
   mutable delta_count : int;
+  s_metrics : Telemetry.Metrics.t;
+  m_events : Telemetry.Metrics.counter;
+  m_deltas : Telemetry.Metrics.counter;
 }
 
 let mask ty v =
@@ -164,6 +167,7 @@ let write_now t name v =
   if old <> v then begin
     Hashtbl.replace t.values name v;
     t.event_count <- t.event_count + 1;
+    Telemetry.Metrics.incr t.m_events;
     true
   end
   else false
@@ -179,16 +183,18 @@ let settle t =
         match p with
         | Module_.Comb cp ->
           t.event_count <- t.event_count + 1;
+          Telemetry.Metrics.incr t.m_events;
           let write name v = if write_now t name v then changed := true in
           List.iter (exec t write) cp.Module_.cp_body
         | Module_.Seq _ -> ())
       t.m.Module_.mod_processes;
     t.delta_count <- t.delta_count + 1;
+    Telemetry.Metrics.incr t.m_deltas;
     if !changed then loop (rounds + 1)
   in
   loop 0
 
-let create m =
+let create ?(metrics = Telemetry.Metrics.null) m =
   let t =
     {
       m;
@@ -204,6 +210,9 @@ let create m =
             m.Module_.mod_signals;
       event_count = 0;
       delta_count = 0;
+      s_metrics = metrics;
+      m_events = Telemetry.Metrics.counter metrics "dsim.events";
+      m_deltas = Telemetry.Metrics.counter metrics "dsim.delta_cycles";
     }
   in
   let declare name ty init =
@@ -241,6 +250,7 @@ let clock_edge t clock =
       match p with
       | Module_.Seq sp when sp.Module_.sp_clock = clock ->
         t.event_count <- t.event_count + 1;
+        Telemetry.Metrics.incr t.m_events;
         let write name v = Hashtbl.replace pending name v in
         let in_reset =
           match sp.Module_.sp_reset with
@@ -268,6 +278,7 @@ let run t ~clock ~cycles =
 
 let events t = t.event_count
 let delta_cycles t = t.delta_count
+let metrics t = t.s_metrics
 let signals t = t.order
 
 let snapshot t =

@@ -13,9 +13,11 @@ exception Simulation_error of string
 
 type t
 
-val create : Hdl.Module_.t -> t
+val create : ?metrics:Telemetry.Metrics.t -> Hdl.Module_.t -> t
 (** @raise Simulation_error when the module has unresolved names or a
-    combinational loop prevents settling. *)
+    combinational loop prevents settling.  [metrics] (default
+    {!Telemetry.Metrics.null}) receives the [dsim.events] and
+    [dsim.delta_cycles] counters. *)
 
 val module_of : t -> Hdl.Module_.t
 
@@ -44,6 +46,9 @@ val events : t -> int
 
 val delta_cycles : t -> int
 (** Total delta cycles used by settling so far. *)
+
+val metrics : t -> Telemetry.Metrics.t
+(** The registry supplied at creation time. *)
 
 val signals : t -> (string * Hdl.Htype.t) list
 (** All simulated signals (ports first), declaration order. *)

@@ -11,7 +11,8 @@ module MSet = Set.Make (struct
   let compare = Marking.compare
 end)
 
-let reachable ?(limit = 10_000) net m0 =
+let reachable ?(limit = 10_000) ?(metrics = Telemetry.Metrics.null) net m0 =
+  let m_explored = Telemetry.Metrics.counter metrics "petri.markings_explored" in
   let queue = Queue.create () in
   Queue.push m0 queue;
   let rec loop seen order deadlocks truncated =
@@ -22,6 +23,7 @@ let reachable ?(limit = 10_000) net m0 =
       if MSet.mem m seen then loop seen order deadlocks truncated
       else begin
         let seen = MSet.add m seen in
+        Telemetry.Metrics.incr m_explored;
         let successors =
           List.filter_map
             (fun tn -> Marking.fire net m tn.Net.tn_id)

@@ -8,9 +8,12 @@ type reach_result = {
   deadlocks : Marking.t list;  (** reachable markings without successors *)
 }
 
-val reachable : ?limit:int -> Net.t -> Marking.t -> reach_result
+val reachable :
+  ?limit:int -> ?metrics:Telemetry.Metrics.t -> Net.t -> Marking.t ->
+  reach_result
 (** Breadth-first state-space exploration, up to [limit] states
-    (default 10_000). *)
+    (default 10_000).  [metrics] (default {!Telemetry.Metrics.null})
+    receives the [petri.markings_explored] counter. *)
 
 val is_deadlock_free : ?limit:int -> Net.t -> Marking.t -> bool option
 (** [Some b] when the state space was fully explored, [None] when

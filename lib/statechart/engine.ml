@@ -37,13 +37,19 @@ type t = {
   mutable timers : timer list;  (** sorted by due time *)
   mutable completion_sent : Ident.Set.t;
   mutable steps : step_record list;  (** reverse order *)
+  e_metrics : Telemetry.Metrics.t;
+  m_dispatched : Telemetry.Metrics.counter;
+  m_fired : Telemetry.Metrics.counter;
+  m_microsteps : Telemetry.Metrics.counter;
+  g_queue : Telemetry.Metrics.gauge;
 }
 
-let create ?interp ?(self_ = Asl.Value.V_null) sm =
+let create ?interp ?(self_ = Asl.Value.V_null)
+    ?(metrics = Telemetry.Metrics.null) sm =
   let engine_interp =
     match interp with
     | Some i -> i
-    | None -> Asl.Interp.create (Asl.Store.create ())
+    | None -> Asl.Interp.create ~metrics (Asl.Store.create ())
   in
   {
     topo = Topology.build sm;
@@ -59,9 +65,15 @@ let create ?interp ?(self_ = Asl.Value.V_null) sm =
     timers = [];
     completion_sent = Ident.Set.empty;
     steps = [];
+    e_metrics = metrics;
+    m_dispatched = Telemetry.Metrics.counter metrics "statechart.events_dispatched";
+    m_fired = Telemetry.Metrics.counter metrics "statechart.transitions_fired";
+    m_microsteps = Telemetry.Metrics.counter metrics "statechart.rtc_microsteps";
+    g_queue = Telemetry.Metrics.gauge metrics "statechart.queue_depth";
   }
 
 let interp t = t.engine_interp
+let metrics t = t.e_metrics
 let status t = t.engine_status
 let active_ids t = t.config
 let now t = t.clock
@@ -546,6 +558,7 @@ let exit_scope_now t ev tr =
     | None -> ())
 
 let fire_transition t ev (tr : Smachine.transition) =
+  Telemetry.Metrics.incr t.m_fired;
   match tr.Smachine.tr_kind with
   | Smachine.Internal -> run_behavior t ev tr.Smachine.tr_effect
   | Smachine.External | Smachine.Local ->
@@ -624,6 +637,7 @@ let completion_step t =
   | None -> None
   | Some (id, tr) ->
     t.completion_sent <- Ident.Set.add id t.completion_sent;
+    Telemetry.Metrics.incr t.m_microsteps;
     fire_transition t (Event.make Event.completion_name) tr;
     Some tr
 
@@ -640,6 +654,13 @@ let rec completion_cascade t fired budget =
 (* --- run-to-completion step ----------------------------------------- *)
 
 let record_step t ev fired =
+  if Telemetry.Metrics.live t.e_metrics then
+    Telemetry.Metrics.event t.e_metrics ~scope:"statechart" "step"
+      [
+        ("event", Telemetry.Metrics.F_str ev.Event.name);
+        ("fired", Telemetry.Metrics.F_int (List.length fired));
+        ("status", Telemetry.Metrics.F_str (show_status t.engine_status));
+      ];
   t.steps <-
     { sr_event = ev; sr_fired = fired; sr_config = active_leaf_names t }
     :: t.steps
@@ -654,6 +675,7 @@ let is_deferrable t ev =
     t.config
 
 let rtc t ev =
+  Telemetry.Metrics.incr t.m_dispatched;
   let candidates = enabled_transitions t ev in
   let firing = select_firing_set t candidates in
   if firing = [] then begin
@@ -661,6 +683,7 @@ let rtc t ev =
     else record_step t ev []
   end
   else begin
+    Telemetry.Metrics.incr t.m_microsteps;
     List.iter
       (fun tr -> if t.engine_status = Running then fire_transition t ev tr)
       firing;
@@ -683,13 +706,16 @@ let start t =
   let fired = completion_cascade t [] 1000 in
   record_step t ev fired
 
-let send t ev = Queue.push ev t.pool
+let send t ev =
+  Queue.push ev t.pool;
+  Telemetry.Metrics.set_gauge t.g_queue (Queue.length t.pool)
 
 let step t =
   if t.engine_status <> Running then false
   else if Queue.is_empty t.pool then false
   else begin
     let ev = Queue.pop t.pool in
+    Telemetry.Metrics.set_gauge t.g_queue (Queue.length t.pool);
     rtc t ev;
     true
   end

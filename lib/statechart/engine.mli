@@ -36,15 +36,28 @@ exception Model_error of string
 type t
 
 val create :
-  ?interp:Asl.Interp.t -> ?self_:Asl.Value.t -> Uml.Smachine.t -> t
+  ?interp:Asl.Interp.t ->
+  ?self_:Asl.Value.t ->
+  ?metrics:Telemetry.Metrics.t ->
+  Uml.Smachine.t ->
+  t
 (** Build an engine; a fresh interpreter over an empty store is created
-    when none is supplied.  The machine is not started yet. *)
+    when none is supplied (instrumented with [metrics] in that case —
+    a caller-supplied [interp] keeps its own registry).  The machine is
+    not started yet.  [metrics] (default {!Telemetry.Metrics.null})
+    receives [statechart.events_dispatched], [statechart.transitions_fired],
+    [statechart.rtc_microsteps], the [statechart.queue_depth] gauge, and
+    one structured ["statechart/step"] event per processed event. *)
 
 val start : t -> unit
 (** Enter the default configuration (initial transitions, entry
     behaviors, resulting completion cascade). *)
 
 val interp : t -> Asl.Interp.t
+
+val metrics : t -> Telemetry.Metrics.t
+(** The registry supplied at creation time. *)
+
 val status : t -> status
 
 val active_ids : t -> Uml.Ident.Set.t

@@ -93,17 +93,28 @@ let decode_entity st buf =
       else None
     in
     (match numeric with
-     | Some code when code >= 0 && code < 128 ->
-       Buffer.add_char buf (Char.chr code)
      | Some code ->
+       if code < 0 || code > 0x10FFFF then
+         fail st
+           (Printf.sprintf "character reference &%s; is outside Unicode" name);
+       if code >= 0xD800 && code <= 0xDFFF then
+         fail st
+           (Printf.sprintf "character reference &%s; is a surrogate" name);
        (* encode as UTF-8 *)
        let add c = Buffer.add_char buf (Char.chr c) in
-       if code < 0x800 then begin
+       if code < 0x80 then add code
+       else if code < 0x800 then begin
          add (0xC0 lor (code lsr 6));
          add (0x80 lor (code land 0x3F))
        end
-       else begin
+       else if code < 0x10000 then begin
          add (0xE0 lor (code lsr 12));
+         add (0x80 lor ((code lsr 6) land 0x3F));
+         add (0x80 lor (code land 0x3F))
+       end
+       else begin
+         add (0xF0 lor (code lsr 18));
+         add (0x80 lor ((code lsr 12) land 0x3F));
          add (0x80 lor ((code lsr 6) land 0x3F));
          add (0x80 lor (code land 0x3F))
        end

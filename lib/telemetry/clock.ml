@@ -1,0 +1,24 @@
+type t =
+  | Null
+  | Counting of int ref
+  | Manual of int ref
+  | Fn of (unit -> int)
+
+let null = Null
+let counting () = Counting (ref 0)
+let manual () = Manual (ref 0)
+let of_fun f = Fn f
+
+let ticks = function
+  | Null -> 0
+  | Counting r ->
+    let v = !r in
+    incr r;
+    v
+  | Manual r -> !r
+  | Fn f -> f ()
+
+let advance t n =
+  match t with
+  | Manual r -> if n > 0 then r := !r + n
+  | Null | Counting _ | Fn _ -> ()

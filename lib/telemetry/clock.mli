@@ -1,0 +1,29 @@
+(** Pluggable monotonic clocks for telemetry spans and event stamps.
+
+    Telemetry must never make a deterministic engine nondeterministic,
+    so the default clock is a logical one: {!counting} hands out
+    successive integers, which depend only on the sequence of telemetry
+    calls — identical across runs and machines.  Wall-clock time can be
+    injected through {!of_fun} when a caller really wants it. *)
+
+type t
+
+val null : t
+(** Always reads 0; spans all have zero duration. *)
+
+val counting : unit -> t
+(** A fresh logical clock: each read returns 0, 1, 2, … *)
+
+val manual : unit -> t
+(** A clock driven entirely by {!advance}; reads do not move it. *)
+
+val of_fun : (unit -> int) -> t
+(** Wrap an arbitrary tick source (e.g. wall time in microseconds).
+    Determinism is then the caller's problem. *)
+
+val ticks : t -> int
+(** Read the current tick (advancing a {!counting} clock by one). *)
+
+val advance : t -> int -> unit
+(** Move a {!manual} clock forward by [n] ticks ([n >= 0]); a no-op on
+    every other clock kind. *)

@@ -1,0 +1,39 @@
+type 'a t = {
+  buf : 'a option array;
+  cap : int;
+  mutable start : int;  (** index of the oldest retained item *)
+  mutable len : int;
+  mutable dropped : int;
+}
+
+let create cap =
+  if cap < 0 then invalid_arg "Ring.create: negative capacity";
+  { buf = Array.make (max cap 1) None; cap; start = 0; len = 0; dropped = 0 }
+
+let capacity t = t.cap
+let length t = t.len
+let dropped t = t.dropped
+
+let push t x =
+  if t.cap = 0 then t.dropped <- t.dropped + 1
+  else if t.len < t.cap then begin
+    t.buf.((t.start + t.len) mod t.cap) <- Some x;
+    t.len <- t.len + 1
+  end
+  else begin
+    t.buf.(t.start) <- Some x;
+    t.start <- (t.start + 1) mod t.cap;
+    t.dropped <- t.dropped + 1
+  end
+
+let to_list t =
+  List.init t.len (fun i ->
+      match t.buf.((t.start + i) mod t.cap) with
+      | Some x -> x
+      | None -> invalid_arg "Ring.to_list: corrupted buffer")
+
+let clear t =
+  Array.fill t.buf 0 (Array.length t.buf) None;
+  t.start <- 0;
+  t.len <- 0;
+  t.dropped <- 0

@@ -1,0 +1,24 @@
+(** Bounded ring buffer: keeps the most recent [capacity] items.
+
+    Pushing onto a full ring overwrites the oldest item and counts it as
+    dropped, so long-running engines can stream events without unbounded
+    memory growth.  A capacity of 0 drops everything (disabled sink). *)
+
+type 'a t
+
+val create : int -> 'a t
+(** @raise Invalid_argument when capacity is negative. *)
+
+val capacity : 'a t -> int
+val length : 'a t -> int
+
+val dropped : 'a t -> int
+(** Items overwritten (or refused, for capacity 0) so far. *)
+
+val push : 'a t -> 'a -> unit
+
+val to_list : 'a t -> 'a list
+(** Retained items, oldest first. *)
+
+val clear : 'a t -> unit
+(** Empty the buffer and reset the dropped count. *)

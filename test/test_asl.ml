@@ -38,6 +38,21 @@ let lexer_tests =
         match Asl.Lexer.tokenize "@" with
         | _toks -> Alcotest.fail "expected Lex_error"
         | exception Asl.Lexer.Lex_error _ -> ());
+    tc "overflowing integer literal raises Lex_error" (fun () ->
+        match Asl.Lexer.tokenize "x := 123456789012345678901;" with
+        | _toks -> Alcotest.fail "expected Lex_error"
+        | exception Asl.Lexer.Lex_error { position; _ } ->
+          check Alcotest.int "position" 5 position);
+    tc "overflowing real literal raises Lex_error" (fun () ->
+        (* a mantissa far beyond the float range *)
+        let lit = String.make 400 '9' ^ ".0" in
+        match Asl.Lexer.tokenize lit with
+        | [ Asl.Lexer.REAL r; Asl.Lexer.EOF ] ->
+          (* float_of_string saturates to infinity rather than failing;
+             accept either behavior as long as nothing escapes *)
+          check Alcotest.bool "infinite" true (r = infinity)
+        | _toks -> Alcotest.fail "one real token expected"
+        | exception Asl.Lexer.Lex_error _ -> ());
   ]
 
 (* --- parser -------------------------------------------------------------- *)
@@ -368,6 +383,15 @@ let property_tests =
            let store = Asl.Store.create () in
            let interp = Asl.Interp.create store in
            Asl.Interp.eval interp e = Asl.Value.V_int (reference_eval e)));
+    QCheck_alcotest.to_alcotest
+      (QCheck.Test.make ~name:"lexer raises nothing but Lex_error" ~count:1000
+         (QCheck.make
+            QCheck.Gen.(
+              string_size ~gen:(map Char.chr (int_bound 255)) (int_bound 60)))
+         (fun src ->
+           match Asl.Lexer.tokenize src with
+           | _toks -> true
+           | exception Asl.Lexer.Lex_error _ -> true));
   ]
 
 let () =

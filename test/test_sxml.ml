@@ -82,6 +82,24 @@ let parser_tests =
         | Sxml.Doc.Element e ->
           check Alcotest.string "AB" "AB" (Sxml.Doc.text_content e)
         | Sxml.Doc.Text _ -> Alcotest.fail "element expected");
+    tc "astral-plane character reference encodes as 4 UTF-8 bytes" (fun () ->
+        match parse "<a>&#x1F600;</a>" with
+        | Sxml.Doc.Element e ->
+          check Alcotest.string "U+1F600" "\xF0\x9F\x98\x80"
+            (Sxml.Doc.text_content e)
+        | Sxml.Doc.Text _ -> Alcotest.fail "element expected");
+    tc "character reference beyond U+10FFFF fails" (fun () ->
+        match parse "<a>&#x200000;</a>" with
+        | _doc -> Alcotest.fail "expected parse error"
+        | exception Sxml.Parse.Error _ -> ());
+    tc "surrogate character reference fails" (fun () ->
+        match parse "<a>&#xD800;</a>" with
+        | _doc -> Alcotest.fail "expected parse error"
+        | exception Sxml.Parse.Error _ -> ());
+    tc "negative character reference fails" (fun () ->
+        match parse "<a>&#-5;</a>" with
+        | _doc -> Alcotest.fail "expected parse error"
+        | exception Sxml.Parse.Error _ -> ());
     tc "CDATA preserved verbatim" (fun () ->
         match parse "<a><![CDATA[<not> &parsed;]]></a>" with
         | Sxml.Doc.Element e ->
@@ -213,6 +231,16 @@ let roundtrip_tests =
            let doc = strip doc in
            let printed = Sxml.Doc.to_string ~indent:true doc in
            Sxml.Doc.equal doc (Sxml.Parse.parse_string printed)));
+    QCheck_alcotest.to_alcotest
+      (QCheck.Test.make ~name:"parser raises nothing but Parse.Error"
+         ~count:1000
+         (QCheck.make
+            QCheck.Gen.(
+              string_size ~gen:(map Char.chr (int_bound 255)) (int_bound 60)))
+         (fun src ->
+           match Sxml.Parse.parse_string src with
+           | _doc -> true
+           | exception Sxml.Parse.Error _ -> true));
   ]
 
 let () =

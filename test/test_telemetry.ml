@@ -1,0 +1,185 @@
+(* Tests for the telemetry substrate: clocks, ring buffer, metrics
+   registry and report determinism. *)
+
+let tc name f = Alcotest.test_case name `Quick f
+let check = Alcotest.check
+
+let contains hay needle =
+  let n = String.length needle and h = String.length hay in
+  let rec go i = i + n <= h && (String.sub hay i n = needle || go (i + 1)) in
+  go 0
+
+(* --- clocks ------------------------------------------------------------- *)
+
+let clock_tests =
+  [
+    tc "null clock always reads 0" (fun () ->
+        let c = Telemetry.Clock.null in
+        check Alcotest.int "first" 0 (Telemetry.Clock.ticks c);
+        Telemetry.Clock.advance c 5;
+        check Alcotest.int "still" 0 (Telemetry.Clock.ticks c));
+    tc "counting clock advances on read" (fun () ->
+        let c = Telemetry.Clock.counting () in
+        check Alcotest.int "0" 0 (Telemetry.Clock.ticks c);
+        check Alcotest.int "1" 1 (Telemetry.Clock.ticks c);
+        check Alcotest.int "2" 2 (Telemetry.Clock.ticks c));
+    tc "manual clock moves only on advance" (fun () ->
+        let c = Telemetry.Clock.manual () in
+        check Alcotest.int "0" 0 (Telemetry.Clock.ticks c);
+        check Alcotest.int "still 0" 0 (Telemetry.Clock.ticks c);
+        Telemetry.Clock.advance c 7;
+        check Alcotest.int "7" 7 (Telemetry.Clock.ticks c));
+    tc "of_fun wraps an arbitrary source" (fun () ->
+        let n = ref 40 in
+        let c = Telemetry.Clock.of_fun (fun () -> incr n; !n) in
+        check Alcotest.int "41" 41 (Telemetry.Clock.ticks c);
+        check Alcotest.int "42" 42 (Telemetry.Clock.ticks c));
+  ]
+
+(* --- ring buffer -------------------------------------------------------- *)
+
+let ring_tests =
+  [
+    tc "negative capacity rejected" (fun () ->
+        match Telemetry.Ring.create (-1) with
+        | _r -> Alcotest.fail "expected Invalid_argument"
+        | exception Invalid_argument _ -> ());
+    tc "keeps items below capacity, oldest first" (fun () ->
+        let r = Telemetry.Ring.create 4 in
+        List.iter (Telemetry.Ring.push r) [ 1; 2; 3 ];
+        check (Alcotest.list Alcotest.int) "items" [ 1; 2; 3 ]
+          (Telemetry.Ring.to_list r);
+        check Alcotest.int "dropped" 0 (Telemetry.Ring.dropped r));
+    tc "wrap overwrites oldest and counts drops" (fun () ->
+        let r = Telemetry.Ring.create 3 in
+        List.iter (Telemetry.Ring.push r) [ 1; 2; 3; 4; 5 ];
+        check (Alcotest.list Alcotest.int) "items" [ 3; 4; 5 ]
+          (Telemetry.Ring.to_list r);
+        check Alcotest.int "dropped" 2 (Telemetry.Ring.dropped r);
+        check Alcotest.int "length" 3 (Telemetry.Ring.length r));
+    tc "capacity 0 refuses everything" (fun () ->
+        let r = Telemetry.Ring.create 0 in
+        List.iter (Telemetry.Ring.push r) [ 1; 2 ];
+        check (Alcotest.list Alcotest.int) "empty" []
+          (Telemetry.Ring.to_list r);
+        check Alcotest.int "dropped" 2 (Telemetry.Ring.dropped r));
+    tc "clear empties and resets drops" (fun () ->
+        let r = Telemetry.Ring.create 2 in
+        List.iter (Telemetry.Ring.push r) [ 1; 2; 3 ];
+        Telemetry.Ring.clear r;
+        check (Alcotest.list Alcotest.int) "empty" []
+          (Telemetry.Ring.to_list r);
+        check Alcotest.int "dropped" 0 (Telemetry.Ring.dropped r);
+        Telemetry.Ring.push r 9;
+        check (Alcotest.list Alcotest.int) "usable" [ 9 ]
+          (Telemetry.Ring.to_list r));
+  ]
+
+(* --- metrics registry --------------------------------------------------- *)
+
+let metrics_tests =
+  [
+    tc "counter find-or-register and incr" (fun () ->
+        let t = Telemetry.Metrics.create () in
+        let c = Telemetry.Metrics.counter t "a.x" in
+        Telemetry.Metrics.incr c;
+        Telemetry.Metrics.incr ~by:4 c;
+        check Alcotest.int "value" 5 (Telemetry.Metrics.counter_value c);
+        (* same name resolves to the same counter *)
+        let c' = Telemetry.Metrics.counter t "a.x" in
+        Telemetry.Metrics.incr c';
+        check Alcotest.int "shared" 6 (Telemetry.Metrics.counter_value c));
+    tc "gauge tracks last and max" (fun () ->
+        let t = Telemetry.Metrics.create () in
+        let g = Telemetry.Metrics.gauge t "a.depth" in
+        Telemetry.Metrics.set_gauge g 3;
+        Telemetry.Metrics.set_gauge g 7;
+        Telemetry.Metrics.set_gauge g 2;
+        check Alcotest.int "last" 2 (Telemetry.Metrics.gauge_value g);
+        check Alcotest.int "max" 7 (Telemetry.Metrics.gauge_max g));
+    tc "span charges logical ticks, also on exception" (fun () ->
+        let t = Telemetry.Metrics.create () in
+        let v = Telemetry.Metrics.span t "a.work" (fun () -> 41 + 1) in
+        check Alcotest.int "result" 42 v;
+        (match
+           Telemetry.Metrics.span t "a.work" (fun () -> failwith "boom")
+         with
+        | () -> Alcotest.fail "expected Failure"
+        | exception Failure _ -> ());
+        let report = Telemetry.Metrics.report t in
+        check Alcotest.bool "count=2 recorded" true
+          (contains report "count=2"));
+    tc "events are stamped and rendered stably" (fun () ->
+        let t = Telemetry.Metrics.create () in
+        Telemetry.Metrics.event t ~scope:"s" "go"
+          [ ("n", Telemetry.Metrics.F_int 3);
+            ("ok", Telemetry.Metrics.F_bool true);
+            ("who", Telemetry.Metrics.F_str "x") ];
+        match Telemetry.Metrics.events t with
+        | [ ev ] ->
+          check Alcotest.string "rendering" "000000 @0 s/go n=3 ok=true who=x"
+            (Telemetry.Metrics.render_event ev)
+        | _other -> Alcotest.fail "one event expected");
+    tc "event ring drops beyond capacity" (fun () ->
+        let t = Telemetry.Metrics.create ~event_capacity:2 () in
+        for i = 1 to 5 do
+          Telemetry.Metrics.event t ~scope:"s" "e"
+            [ ("i", Telemetry.Metrics.F_int i) ]
+        done;
+        check Alcotest.int "kept" 2 (List.length (Telemetry.Metrics.events t));
+        check Alcotest.int "dropped" 3 (Telemetry.Metrics.events_dropped t));
+    tc "disabled registry records nothing" (fun () ->
+        let t = Telemetry.Metrics.disabled () in
+        check Alcotest.bool "not live" false (Telemetry.Metrics.live t);
+        let c = Telemetry.Metrics.counter t "a.x" in
+        Telemetry.Metrics.incr ~by:10 c;
+        check Alcotest.int "counter" 0 (Telemetry.Metrics.counter_value c);
+        let g = Telemetry.Metrics.gauge t "a.g" in
+        Telemetry.Metrics.set_gauge g 5;
+        check Alcotest.int "gauge" 0 (Telemetry.Metrics.gauge_value g);
+        check Alcotest.int "span result" 9
+          (Telemetry.Metrics.span t "a.s" (fun () -> 9));
+        Telemetry.Metrics.event t ~scope:"s" "e" [];
+        check Alcotest.int "events" 0
+          (List.length (Telemetry.Metrics.events t)));
+  ]
+
+(* --- determinism -------------------------------------------------------- *)
+
+(* Drive a registry with a seeded-PRNG instrument schedule; two runs
+   with the same seed must render byte-identical reports. *)
+let scripted_report seed =
+  let prng = Workload.Prng.create seed in
+  let t = Telemetry.Metrics.create ~event_capacity:8 () in
+  let c = Telemetry.Metrics.counter t "w.count" in
+  let g = Telemetry.Metrics.gauge t "w.level" in
+  for _ = 1 to 50 do
+    match Workload.Prng.int prng 4 with
+    | 0 -> Telemetry.Metrics.incr ~by:(Workload.Prng.int prng 5) c
+    | 1 -> Telemetry.Metrics.set_gauge g (Workload.Prng.int prng 100)
+    | 2 -> Telemetry.Metrics.span t "w.span" (fun () -> ())
+    | _other ->
+      Telemetry.Metrics.event t ~scope:"w" "tick"
+        [ ("v", Telemetry.Metrics.F_int (Workload.Prng.int prng 10)) ]
+  done;
+  Telemetry.Metrics.report t
+  ^ String.concat "\n"
+      (List.map Telemetry.Metrics.render_event (Telemetry.Metrics.events t))
+
+let determinism_tests =
+  [
+    QCheck_alcotest.to_alcotest
+      (QCheck.Test.make ~name:"report is a pure function of the call sequence"
+         ~count:50
+         (QCheck.make QCheck.Gen.(int_bound 10_000))
+         (fun seed -> String.equal (scripted_report seed) (scripted_report seed)));
+  ]
+
+let () =
+  Alcotest.run "telemetry"
+    [
+      ("clock", clock_tests);
+      ("ring", ring_tests);
+      ("metrics", metrics_tests);
+      ("determinism", determinism_tests);
+    ]
