@@ -2,7 +2,7 @@
 
    The paper ("UML 2.0 - Overview and Perspectives in SoC Design", DATE
    2005) has no tables or figures; DESIGN.md maps its five claims to the
-   experiment suite E1..E11.  For every experiment this harness
+   experiment suite E1..E12.  For every experiment this harness
 
      (a) prints the measured report rows recorded in EXPERIMENTS.md, and
      (b) registers one Bechamel test group with the raw kernels.
@@ -604,6 +604,50 @@ let e11_tests () =
   ]
 
 (* ------------------------------------------------------------------ *)
+(* E12: whole-model lint wall-time vs model size                       *)
+
+let e12_model classes =
+  Uml.Ident.reset_counter ();
+  let m = Workload.Gen_model.structural ~seed:7 ~classes in
+  Uml.Model.add m
+    (Uml.Model.E_state_machine
+       (Workload.Gen_statechart.hierarchical ~seed:7 ~depth:3 ~breadth:2
+          ~events:4));
+  Uml.Model.add m
+    (Uml.Model.E_activity
+       (Workload.Gen_activity.with_decisions ~seed:7 ~size:14 ~max_width:3));
+  m
+
+let e12_report () =
+  sep "E12  whole-model lint wall-time vs model size";
+  Printf.printf "%-8s %-10s %-12s %10s %14s\n" "classes" "elements"
+    "diagnostics" "ms" "us/element";
+  List.iter
+    (fun classes ->
+      let m = e12_model classes in
+      let elements = Mda.Generate.model_element_count m in
+      let diags = Lint.Check.check_model m in
+      (* best of three runs to damp scheduler noise *)
+      let best = ref infinity in
+      for _ = 1 to 3 do
+        let t0 = Sys.time () in
+        ignore (Lint.Check.check_model m);
+        let dt = Sys.time () -. t0 in
+        if dt < !best then best := dt
+      done;
+      Printf.printf "%-8d %-10d %-12d %10.2f %14.1f\n" classes elements
+        (List.length diags) (1e3 *. !best)
+        (1e6 *. !best /. float_of_int elements))
+    [ 10; 50; 200; 500 ]
+
+let e12_tests () =
+  let m = e12_model 200 in
+  [
+    Bechamel.Test.make ~name:"e12/lint-200-class-model"
+      (Bechamel.Staged.stage (fun () -> ignore (Lint.Check.check_model m)));
+  ]
+
+(* ------------------------------------------------------------------ *)
 (* Bechamel driver                                                     *)
 
 let run_bechamel tests =
@@ -643,11 +687,12 @@ let () =
   e9_report ();
   e10_report ();
   e11_report ();
+  e12_report ();
   if not quick then begin
     let tests =
       e1_tests () @ e2_tests () @ e2_xuml_test () @ e3_tests () @ e4_tests ()
       @ e5_tests () @ e6_tests () @ e7_tests () @ e8_tests () @ e9_tests ()
-      @ e10_tests () @ e11_tests ()
+      @ e10_tests () @ e11_tests () @ e12_tests ()
     in
     run_bechamel tests
   end;

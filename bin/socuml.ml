@@ -2,6 +2,8 @@
 
    Subcommands:
      validate   check a model (.xmi) against the well-formedness rules
+     lint       whole-model static analysis (ASL, statecharts,
+                activities, components, generated HDL)
      info       summarize a model's contents
      gen        generate code (vhdl | verilog | systemc | c) from a model
      simulate   run a state machine from the model on an event sequence
@@ -24,8 +26,15 @@ let model_arg =
 
 (* --- validate ------------------------------------------------------- *)
 
+let format_arg =
+  let doc = "Output format: $(b,text) or $(b,json)." in
+  Arg.(
+    value
+    & opt (enum [ ("text", `Text); ("json", `Json) ]) `Text
+    & info [ "format" ] ~docv:"FORMAT" ~doc)
+
 let validate_cmd =
-  let run path =
+  let run path format =
     match load_model path with
     | Error msg ->
       prerr_endline msg;
@@ -35,14 +44,80 @@ let validate_cmd =
       let soc = Profiles.Soc_profile.check m in
       let rt = Profiles.Rt_profile.check m in
       let all = diags @ soc @ rt in
-      List.iter (fun d -> print_endline (Uml.Wfr.to_string d)) all;
-      let errors = Uml.Wfr.errors all in
-      Printf.printf "%d diagnostics (%d errors) in %s\n" (List.length all)
-        (List.length errors) (Uml.Model.name m);
-      if errors = [] then 0 else 1
+      (match format with
+       | `Json -> print_string (Lint.Report.to_json ~model:(Uml.Model.name m) all)
+       | `Text ->
+         List.iter (fun d -> print_endline (Uml.Wfr.to_string d)) all;
+         Printf.printf "%d diagnostics (%d errors, %d warnings) in %s\n"
+           (List.length all)
+           (List.length (Uml.Wfr.errors all))
+           (List.length (Uml.Wfr.warnings all))
+           (Uml.Model.name m));
+      if Uml.Wfr.errors all = [] then 0 else 1
   in
   let doc = "Check a model against UML and SoC-profile well-formedness rules." in
-  Cmd.v (Cmd.info "validate" ~doc) Term.(const run $ model_arg)
+  Cmd.v (Cmd.info "validate" ~doc) Term.(const run $ model_arg $ format_arg)
+
+(* --- lint ----------------------------------------------------------- *)
+
+let only_arg =
+  let doc =
+    "Run only the given rules (repeatable, comma-separable).  A value is \
+     a rule code like $(b,SC-03) or a family prefix like $(b,ASL)."
+  in
+  Arg.(value & opt_all string [] & info [ "only" ] ~docv:"RULES" ~doc)
+
+let disable_arg =
+  let doc = "Disable the given rules (repeatable, comma-separable)." in
+  Arg.(value & opt_all string [] & info [ "disable" ] ~docv:"RULES" ~doc)
+
+let no_hdl_arg =
+  let doc = "Skip deriving the HDL design (disables the HDL-* rules)." in
+  Arg.(value & flag & info [ "no-hdl" ] ~doc)
+
+let split_selectors values =
+  List.concat_map
+    (fun v -> List.filter (fun s -> s <> "") (String.split_on_char ',' v))
+    values
+
+let lint_cmd =
+  let run path format only disable no_hdl =
+    match load_model path with
+    | Error msg ->
+      prerr_endline msg;
+      1
+    | Ok m ->
+      let only = split_selectors only and disable = split_selectors disable in
+      let selection =
+        Lint.Rules.selection_of_strings
+          ?only:(match only with [] -> None | l -> Some l)
+          ~disabled:disable ()
+      in
+      List.iter
+        (fun s -> Printf.eprintf "warning: selector %s matches no rule\n" s)
+        (Lint.Rules.unknown_selectors selection);
+      (* The HDL pass runs on the netlist the MDA flow would generate,
+         so lint sees the same design as `gen`. *)
+      let design =
+        if no_hdl then None else (Mda.Generate.hw_design m).Mda.Generate.design
+      in
+      let diags = Lint.Check.check ~selection ?design m in
+      (match format with
+       | `Json ->
+         print_string (Lint.Report.to_json ~model:(Uml.Model.name m) diags)
+       | `Text ->
+         print_string (Lint.Report.to_text ~model:(Uml.Model.name m) diags));
+      if Uml.Wfr.errors diags = [] then 0 else 1
+  in
+  let doc =
+    "Run whole-model static analysis: embedded ASL behaviors, statechart \
+     topology, activity token flow, component wiring, and the generated \
+     HDL design.  Exits nonzero when any error-severity diagnostic is \
+     reported."
+  in
+  Cmd.v (Cmd.info "lint" ~doc)
+    Term.(
+      const run $ model_arg $ format_arg $ only_arg $ disable_arg $ no_hdl_arg)
 
 (* --- info ----------------------------------------------------------- *)
 
@@ -388,12 +463,19 @@ let analyze_cmd =
                   (String.concat ", " dead)
             end)
           activities;
+        let lint = Lint.Check.check_model m in
+        if lint <> [] then begin
+          print_endline "lint:";
+          List.iter
+            (fun d -> Printf.printf "  %s\n" (Uml.Wfr.to_string d))
+            lint
+        end;
         if metrics then print_string (Telemetry.Metrics.report reg);
         0)
   in
   let doc =
     "Translate the model's activities to Petri nets and analyze them \
-     (boundedness, deadlocks, invariants)."
+     (boundedness, deadlocks, invariants, lint)."
   in
   Cmd.v (Cmd.info "analyze" ~doc) Term.(const run $ model_arg $ metrics_arg)
 
@@ -402,7 +484,7 @@ let main =
   Cmd.group
     (Cmd.info "socuml" ~version:"1.0.0" ~doc)
     [
-      validate_cmd; info_cmd; gen_cmd; simulate_cmd; trace_cmd;
+      validate_cmd; lint_cmd; info_cmd; gen_cmd; simulate_cmd; trace_cmd;
       partition_cmd; analyze_cmd; demo_cmd;
     ]
 

@@ -35,8 +35,8 @@ let () =
   (match Hdl.Check.check_design design with
    | [] -> print_endline "RTL checks: clean"
    | problems ->
-     List.iter print_endline problems;
-     exit 1);
+     List.iter (fun d -> print_endline (Hdl.Check.to_string d)) problems;
+     if Hdl.Check.errors problems <> [] then exit 1);
   let vhdl = Codegen.Vhdl.of_design design in
   let verilog = Codegen.Verilog.of_design design in
   Printf.printf "generated %d lines of VHDL, %d lines of Verilog\n"

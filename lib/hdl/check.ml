@@ -1,3 +1,38 @@
+type severity =
+  | Error
+  | Warning
+
+(* Handwritten (no ppx): [open! Ppx_deriving_runtime] would shadow the
+   [Error] constructor with [result]'s. *)
+let equal_severity (a : severity) (b : severity) = a = b
+
+let severity_name = function
+  | Error -> "error"
+  | Warning -> "warning"
+
+type diagnostic = {
+  diag_severity : severity;
+  diag_code : string;
+  diag_message : string;
+}
+
+let equal_diagnostic (a : diagnostic) (b : diagnostic) = a = b
+
+let to_string d =
+  Printf.sprintf "%s(%s): %s"
+    (severity_name d.diag_severity)
+    d.diag_code d.diag_message
+
+let errors ds = List.filter (fun d -> d.diag_severity = Error) ds
+let warnings ds = List.filter (fun d -> d.diag_severity = Warning) ds
+let messages ds = List.map (fun d -> d.diag_message) ds
+
+let diag severity code message =
+  { diag_severity = severity; diag_code = code; diag_message = message }
+
+let err code fmt = Printf.ksprintf (diag Error code) fmt
+let warn code fmt = Printf.ksprintf (diag Warning code) fmt
+
 let rec infer_type m (e : Expr.t) =
   match e with
   | Expr.Const (_, ty) -> Ok ty
@@ -60,7 +95,7 @@ let rec infer_type m (e : Expr.t) =
 let check_expr m errs e =
   match infer_type m e with
   | Ok _ -> errs
-  | Error msg -> msg :: errs
+  | Error msg -> err "HDL-02" "%s in %s" msg m.Module_.mod_name :: errs
 
 let rec check_stmt m errs (s : Stmt.t) =
   match s with
@@ -68,18 +103,19 @@ let rec check_stmt m errs (s : Stmt.t) =
   | Stmt.Assign (target, e) -> (
     let errs = check_expr m errs e in
     match Module_.declared_type m target with
-    | None -> Printf.sprintf "assignment to unresolved signal %s" target :: errs
+    | None ->
+      err "HDL-03" "assignment to unresolved signal %s" target :: errs
     | Some target_ty -> (
       match Module_.find_port m target with
       | Some p when p.Module_.port_dir = Module_.Input ->
-        Printf.sprintf "assignment to input port %s" target :: errs
+        err "HDL-03" "assignment to input port %s" target :: errs
       | Some _ | None -> (
         match infer_type m e with
         | Error _ -> errs (* already reported *)
         | Ok ty ->
           if Htype.width ty <= Htype.width target_ty then errs
           else
-            Printf.sprintf
+            err "HDL-04"
               "width mismatch assigning %d bits to %s (%d bits)"
               (Htype.width ty) target (Htype.width target_ty)
             :: errs)))
@@ -96,7 +132,7 @@ let rec check_stmt m errs (s : Stmt.t) =
             match choice, infer_type m sel with
             | Stmt.Ch_enum lit, Ok sel_ty
               when Htype.enum_index sel_ty lit = None ->
-              Printf.sprintf "case choice %s not a literal of the selector"
+              err "HDL-04" "case choice %s not a literal of the selector"
                 lit
               :: errs
             | (Stmt.Ch_enum _ | Stmt.Ch_int _), (Ok _ | Error _) -> errs
@@ -186,7 +222,7 @@ let check_module m =
     List.fold_left
       (fun errs n ->
         if Hashtbl.mem seen n then
-          Printf.sprintf "duplicate declaration of %s in %s" n
+          err "HDL-01" "duplicate declaration of %s in %s" n
             m.Module_.mod_name
           :: errs
         else begin
@@ -207,11 +243,11 @@ let check_module m =
             match Module_.declared_type m sp.Module_.sp_clock with
             | Some Htype.Bit -> errs
             | Some _ ->
-              Printf.sprintf "clock %s of process %s is not a bit"
+              err "HDL-07" "clock %s of process %s is not a bit"
                 sp.Module_.sp_clock sp.Module_.sp_name
               :: errs
             | None ->
-              Printf.sprintf "unresolved clock %s in process %s"
+              err "HDL-07" "unresolved clock %s in process %s"
                 sp.Module_.sp_clock sp.Module_.sp_name
               :: errs
           in
@@ -221,32 +257,103 @@ let check_module m =
              (match Module_.declared_type m rst with
               | Some Htype.Bit -> errs
               | Some _ ->
-                Printf.sprintf "reset %s is not a bit" rst :: errs
-              | None -> Printf.sprintf "unresolved reset %s" rst :: errs)
+                err "HDL-07" "reset %s is not a bit" rst :: errs
+              | None -> err "HDL-07" "unresolved reset %s" rst :: errs)
            | None -> errs)
         | Module_.Comb _ -> errs)
       errs m.Module_.mod_processes
   in
-  (* multiple drivers *)
+  (* multiple drivers, sorted by signal name for deterministic output *)
   let errs =
-    Hashtbl.fold
-      (fun n procs errs ->
-        if List.length procs > 1 then
-          Printf.sprintf "signal %s driven by multiple processes (%s) in %s"
-            n
-            (String.concat ", " procs)
-            m.Module_.mod_name
-          :: errs
-        else errs)
-      (drivers m) errs
+    let multi =
+      Hashtbl.fold
+        (fun n procs acc ->
+          if List.length procs > 1 then (n, List.sort compare procs) :: acc
+          else acc)
+        (drivers m) []
+    in
+    List.fold_left
+      (fun errs (n, procs) ->
+        err "HDL-05" "signal %s driven by multiple processes (%s) in %s" n
+          (String.concat ", " procs)
+          m.Module_.mod_name
+        :: errs)
+      errs
+      (List.sort compare multi)
   in
   let errs =
     if has_comb_loop m then
-      Printf.sprintf "combinational loop in module %s" m.Module_.mod_name
+      err "HDL-06" "combinational loop in module %s" m.Module_.mod_name
       :: errs
     else errs
   in
   List.rev errs
+
+(* --- dead wires (design level) --------------------------------------- *)
+
+(* Reads and writes of names in a module, counting its instances:
+   an actual wired to an [Output] formal of the instantiated module is
+   written; one wired to an [Input] formal is read. *)
+let dead_wire_diags d (m : Module_.t) =
+  let written = Hashtbl.create 16 in
+  let read = Hashtbl.create 16 in
+  let mark tbl n = Hashtbl.replace tbl n () in
+  List.iter
+    (fun p ->
+      List.iter (mark written) (Stmt.assigned (Module_.process_body p));
+      List.iter (mark read) (Stmt.read (Module_.process_body p));
+      match p with
+      | Module_.Seq sp ->
+        mark read sp.Module_.sp_clock;
+        (match sp.Module_.sp_reset with
+         | Some (rst, body) ->
+           mark read rst;
+           List.iter (mark written) (Stmt.assigned body);
+           List.iter (mark read) (Stmt.read body)
+         | None -> ())
+      | Module_.Comb _ -> ())
+    m.Module_.mod_processes;
+  List.iter
+    (fun (inst : Module_.instance) ->
+      match Module_.find_module d inst.Module_.inst_module with
+      | None -> () (* wiring already reported as HDL-08 *)
+      | Some target ->
+        List.iter
+          (fun (formal, actual) ->
+            match Module_.find_port target formal with
+            | Some p when p.Module_.port_dir = Module_.Output ->
+              mark written actual
+            | Some _ -> mark read actual
+            | None -> ())
+          inst.Module_.inst_conns)
+    m.Module_.mod_instances;
+  let sig_diag acc (s : Module_.signal) =
+    let n = s.Module_.sig_name in
+    let is_written = Hashtbl.mem written n || s.Module_.sig_init <> None in
+    let is_read = Hashtbl.mem read n in
+    if is_read && not is_written then
+      err "HDL-10" "signal %s in %s is read but never driven" n
+        m.Module_.mod_name
+      :: acc
+    else if (not is_read) && not is_written then
+      warn "HDL-11" "signal %s in %s is neither read nor driven" n
+        m.Module_.mod_name
+      :: acc
+    else acc
+  in
+  let port_diag acc (p : Module_.port) =
+    if
+      p.Module_.port_dir = Module_.Output
+      && not (Hashtbl.mem written p.Module_.port_name)
+    then
+      err "HDL-10" "output port %s of %s is never driven"
+        p.Module_.port_name m.Module_.mod_name
+      :: acc
+    else acc
+  in
+  let acc = List.fold_left sig_diag [] m.Module_.mod_signals in
+  let acc = List.fold_left port_diag acc m.Module_.mod_ports in
+  List.rev acc
 
 let check_design d =
   let errs = List.concat_map check_module d.Module_.des_modules in
@@ -254,12 +361,12 @@ let check_design d =
     match Module_.find_module d d.Module_.des_top with
     | Some _ -> errs
     | None ->
-      errs @ [ Printf.sprintf "top module %s not found" d.Module_.des_top ]
+      errs @ [ err "HDL-09" "top module %s not found" d.Module_.des_top ]
   in
   let check_instance (m : Module_.t) errs (inst : Module_.instance) =
     match Module_.find_module d inst.Module_.inst_module with
     | None ->
-      Printf.sprintf "instance %s references unknown module %s"
+      err "HDL-08" "instance %s references unknown module %s"
         inst.Module_.inst_name inst.Module_.inst_module
       :: errs
     | Some target ->
@@ -270,14 +377,14 @@ let check_design d =
               match Module_.find_port target formal with
               | Some _ -> errs
               | None ->
-                Printf.sprintf "instance %s connects unknown port %s of %s"
+                err "HDL-08" "instance %s connects unknown port %s of %s"
                   inst.Module_.inst_name formal inst.Module_.inst_module
                 :: errs
             in
             match Module_.declared_type m actual with
             | Some _ -> errs
             | None ->
-              Printf.sprintf "instance %s connects unresolved signal %s"
+              err "HDL-08" "instance %s connects unresolved signal %s"
                 inst.Module_.inst_name actual
               :: errs)
           errs inst.Module_.inst_conns
@@ -290,7 +397,7 @@ let check_design d =
             && not
                  (List.mem_assoc p.Module_.port_name inst.Module_.inst_conns)
           then
-            Printf.sprintf "instance %s leaves input %s of %s unconnected"
+            err "HDL-08" "instance %s leaves input %s of %s unconnected"
               inst.Module_.inst_name p.Module_.port_name
               inst.Module_.inst_module
             :: errs
@@ -303,4 +410,4 @@ let check_design d =
         List.fold_left (check_instance m) errs m.Module_.mod_instances)
       errs d.Module_.des_modules
   in
-  errs
+  errs @ List.concat_map (dead_wire_diags d) d.Module_.des_modules

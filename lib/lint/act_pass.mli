@@ -1,0 +1,18 @@
+(** The activity lint pass: token-flow analysis through the
+    Activity→Petri translation ({!Activity.Translate}) and the [petri]
+    analyses.
+
+    Rules:
+    - [ACT-01] (error): the activity can reach a stuck marking — tokens
+      remain but no node can fire and no activity-final was reached
+      (e.g. a join whose branches cannot all complete);
+    - [ACT-02] (warning): the token flow is unbounded (tokens accumulate
+      without limit, per Karp–Miller coverability);
+    - [ACT-03] (warning): a node can never fire in any execution.
+
+    Activities whose edges reference unknown nodes are skipped here —
+    reference resolution is {!Uml.Wfr}'s job ([AC-xx]).  Verdicts
+    requiring a complete state space ([ACT-01], [ACT-03]) are suppressed
+    when exploration hits the state limit. *)
+
+val check : Uml.Model.t -> Uml.Wfr.diagnostic list

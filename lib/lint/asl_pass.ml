@@ -1,0 +1,261 @@
+open Uml
+
+(* Diagnostics accumulate in reverse; the driver sorts the final list,
+   so only per-behavior determinism matters here. *)
+
+let parse_failure ~element ~what exn acc =
+  match Asl.Parser.error_message exn with
+  | Some msg ->
+    Model_info.diagf ~code:"ASL-01" ~element "%s does not parse: %s" what msg
+    :: acc
+  | None -> raise exn
+
+let type_errors ~element ~what msgs acc =
+  List.fold_left
+    (fun acc msg ->
+      Model_info.diagf ~code:"ASL-02" ~element "%s: %s" what msg :: acc)
+    acc msgs
+
+(* --- guard side effects (ASL-03) ------------------------------------- *)
+
+(* Static receiver class of an expression, for query-ness lookup.  Uses
+   the typechecker so resolution agrees with ASL-02. *)
+let receiver_class info ~self_class ~env recv =
+  match recv with
+  | None -> self_class
+  | Some r -> (
+    match Asl.Typecheck.check_expression ?self_class ~env info r with
+    | Ok (Asl.Typecheck.T_obj c) -> c
+    | Ok
+        ( Asl.Typecheck.T_int | Asl.Typecheck.T_real | Asl.Typecheck.T_bool
+        | Asl.Typecheck.T_string | Asl.Typecheck.T_null | Asl.Typecheck.T_void
+          )
+    | Error _ ->
+      None)
+
+let rec first_effect m info ~self_class ~env (e : Asl.Ast.expr) =
+  match e with
+  | Asl.Ast.Int_lit _ | Asl.Ast.Real_lit _ | Asl.Ast.Bool_lit _
+  | Asl.Ast.String_lit _ | Asl.Ast.Null_lit | Asl.Ast.Self | Asl.Ast.Var _ ->
+    None
+  | Asl.Ast.New cname -> Some (Printf.sprintf "creates a %s instance" cname)
+  | Asl.Ast.Attr (obj, _attr) -> first_effect m info ~self_class ~env obj
+  | Asl.Ast.Unop (_, e1) -> first_effect m info ~self_class ~env e1
+  | Asl.Ast.Binop (_, e1, e2) -> (
+    match first_effect m info ~self_class ~env e1 with
+    | Some _ as eff -> eff
+    | None -> first_effect m info ~self_class ~env e2)
+  | Asl.Ast.Call (recv, name, args) -> (
+    let sub = (match recv with None -> [] | Some r -> [ r ]) @ args in
+    match List.find_map (first_effect m info ~self_class ~env) sub with
+    | Some _ as eff -> eff
+    | None ->
+      if recv = None && name = "print" then Some "calls print"
+      else (
+        match receiver_class info ~self_class ~env recv with
+        | None -> None
+        | Some cname -> (
+          match
+            List.find_opt
+              (fun c -> c.Classifier.cl_name = cname)
+              (Model.classifiers m)
+          with
+          | None -> None
+          | Some cl -> (
+            match Classifier.find_operation cl name with
+            | Some op when not op.Classifier.op_is_query ->
+              Some
+                (Printf.sprintf "calls non-query operation %s.%s" cname name)
+            | Some _ | None -> None))))
+
+(* --- per-behavior checks --------------------------------------------- *)
+
+let check_guard_src m info ~self_class ~element ~what src acc =
+  match Asl.Parser.parse_expression src with
+  | exception exn -> parse_failure ~element ~what exn acc
+  | ast -> (
+    let acc =
+      match
+        Asl.Typecheck.check_guard ?self_class ~env:Model_info.guard_env info
+          src
+      with
+      | Ok () -> acc
+      | Error msgs -> type_errors ~element ~what msgs acc
+    in
+    match
+      first_effect m info ~self_class ~env:Model_info.guard_env ast
+    with
+    | None -> acc
+    | Some eff ->
+      Model_info.diagf ~code:"ASL-03" ~element "%s %s" what eff :: acc)
+
+let check_program_src info ~env ~self_class ~element ~what src acc =
+  match Asl.Parser.parse_program src with
+  | exception exn -> (parse_failure ~element ~what exn acc, None)
+  | prog -> (
+    match Asl.Typecheck.check_program ?self_class ~env info prog with
+    | Ok () -> (acc, Some prog)
+    | Error msgs -> (type_errors ~element ~what msgs acc, Some prog))
+
+let check_opt f src acc =
+  match src with
+  | None -> acc
+  | Some src -> f src acc
+
+(* --- state machines --------------------------------------------------- *)
+
+let check_state_machine m info (sm : Smachine.t) acc =
+  let self_class = Model_info.self_class m sm.Smachine.sm_context in
+  let env = Model_info.guard_env in
+  let acc =
+    List.fold_left
+      (fun acc (tr : Smachine.transition) ->
+        let element = tr.Smachine.tr_id in
+        let acc =
+          check_opt
+            (check_guard_src m info ~self_class ~element
+               ~what:"transition guard")
+            tr.Smachine.tr_guard acc
+        in
+        check_opt
+          (fun src acc ->
+            fst
+              (check_program_src info ~env ~self_class ~element
+                 ~what:"transition effect" src acc))
+          tr.Smachine.tr_effect acc)
+      acc
+      (Smachine.all_transitions sm)
+  in
+  List.fold_left
+    (fun acc v ->
+      match v with
+      | Smachine.Pseudo _ | Smachine.Final _ -> acc
+      | Smachine.State st ->
+        let element = st.Smachine.st_id in
+        let prog what src acc =
+          fst (check_program_src info ~env ~self_class ~element ~what src acc)
+        in
+        check_opt (prog "state entry behavior") st.Smachine.st_entry acc
+        |> check_opt (prog "state exit behavior") st.Smachine.st_exit
+        |> check_opt (prog "state do behavior") st.Smachine.st_do)
+    acc
+    (Smachine.all_vertices sm)
+
+(* --- operation bodies -------------------------------------------------- *)
+
+let check_classifier m info (cl : Classifier.t) acc =
+  let self_class = Some cl.Classifier.cl_name in
+  List.fold_left
+    (fun acc (op : Classifier.operation) ->
+      match op.Classifier.op_body with
+      | None -> acc
+      | Some src ->
+        let env =
+          List.filter_map
+            (fun (p : Classifier.parameter) ->
+              if p.Classifier.param_direction = Classifier.Return then None
+              else
+                Some
+                  ( p.Classifier.param_name,
+                    Model_info.ty_of_dtype m p.Classifier.param_type ))
+            op.Classifier.op_params
+        in
+        let what =
+          Printf.sprintf "body of %s.%s" cl.Classifier.cl_name
+            op.Classifier.op_name
+        in
+        fst
+          (check_program_src info ~env ~self_class
+             ~element:op.Classifier.op_id ~what src acc))
+    acc cl.Classifier.cl_operations
+
+(* --- activities -------------------------------------------------------- *)
+
+(* Top-level variable bindings a program leaves in the interpreter's
+   shared store, typed under [env] (matches Typecheck's block scoping:
+   nested assignments do not escape). *)
+let program_bindings info ~self_class ~env prog =
+  List.fold_left
+    (fun env (s : Asl.Ast.stmt) ->
+      match s with
+      | Asl.Ast.Var_decl (name, e) | Asl.Ast.Assign (Asl.Ast.L_var name, e)
+        -> (
+        match Asl.Typecheck.check_expression ?self_class ~env info e with
+        | Ok t -> (name, t) :: env
+        | Error _ -> env)
+      | Asl.Ast.Skip
+      | Asl.Ast.Assign (Asl.Ast.L_attr _, _)
+      | Asl.Ast.Expr_stmt _ | Asl.Ast.If _ | Asl.Ast.While _ | Asl.Ast.For _
+      | Asl.Ast.Return _ | Asl.Ast.Send _ | Asl.Ast.Delete _ ->
+        env)
+    env prog
+
+let check_activity m info (ac : Activityg.t) acc =
+  let self_class = Model_info.self_class m ac.Activityg.ac_context in
+  (* Action bodies run against one shared interpreter store, in token
+     order; checking in node order with threaded bindings approximates
+     that. *)
+  let acc, env =
+    List.fold_left
+      (fun (acc, env) node ->
+        match node with
+        | Activityg.Action a -> (
+          match a.Activityg.act_body with
+          | None -> (acc, env)
+          | Some src ->
+            let what =
+              Printf.sprintf "body of action %s"
+                a.Activityg.act_head.Activityg.nd_name
+            in
+            let acc, prog =
+              check_program_src info ~env ~self_class
+                ~element:a.Activityg.act_head.Activityg.nd_id ~what src acc
+            in
+            let env =
+              match prog with
+              | None -> env
+              | Some prog -> program_bindings info ~self_class ~env prog
+            in
+            (acc, env))
+        | Activityg.Call_behavior _ | Activityg.Send_signal _
+        | Activityg.Accept_event _ | Activityg.Object_node _
+        | Activityg.Initial_node _ | Activityg.Activity_final _
+        | Activityg.Flow_final _ | Activityg.Fork_node _
+        | Activityg.Join_node _ | Activityg.Decision_node _
+        | Activityg.Merge_node _ ->
+          (acc, env))
+      (acc, []) ac.Activityg.ac_nodes
+  in
+  List.fold_left
+    (fun acc (e : Activityg.edge) ->
+      match e.Activityg.ed_guard with
+      | None -> acc
+      | Some src -> (
+        match Asl.Parser.parse_expression src with
+        | exception exn ->
+          parse_failure ~element:e.Activityg.ed_id ~what:"edge guard" exn acc
+        | _ast -> (
+          match
+            Asl.Typecheck.check_guard ?self_class ~env info src
+          with
+          | Ok () -> acc
+          | Error msgs ->
+            type_errors ~element:e.Activityg.ed_id ~what:"edge guard" msgs acc
+          )))
+    acc ac.Activityg.ac_edges
+
+let check m =
+  let info = Model_info.class_info_of_model m in
+  let acc =
+    List.fold_left
+      (fun acc sm -> check_state_machine m info sm acc)
+      []
+      (Model.state_machines m)
+  in
+  let acc =
+    List.fold_left (fun acc cl -> check_classifier m info cl acc) acc
+      (Model.classifiers m)
+  in
+  List.fold_left
+    (fun acc ac -> check_activity m info ac acc)
+    acc (Model.activities m)

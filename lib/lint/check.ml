@@ -1,0 +1,23 @@
+let apply selection diags =
+  Model_info.sort
+    (List.filter
+       (fun (d : Uml.Wfr.diagnostic) ->
+         Rules.enabled selection d.Uml.Wfr.diag_rule)
+       diags)
+
+let model_diags m =
+  Asl_pass.check m @ Sc_pass.check m @ Act_pass.check m @ Comp_pass.check m
+
+let check_model ?(selection = Rules.default_selection) m =
+  apply selection (model_diags m)
+
+let check_design ?(selection = Rules.default_selection) design =
+  apply selection (Hdl_pass.check_design design)
+
+let check ?(selection = Rules.default_selection) ?design m =
+  let hdl =
+    match design with
+    | None -> []
+    | Some d -> Hdl_pass.check_design d
+  in
+  apply selection (model_diags m @ hdl)

@@ -1,0 +1,24 @@
+(** The lint driver: run every pass over a model (and optionally a
+    generated HDL design), filter by rule selection, and return one
+    deterministically ordered report.
+
+    Diagnostics reuse the {!Uml.Wfr.diagnostic} shape, so lint output
+    composes with well-formedness output in the CLI. *)
+
+val check_model :
+  ?selection:Rules.selection -> Uml.Model.t -> Uml.Wfr.diagnostic list
+(** ASL, statechart, activity and component passes over the model.
+    Sorted by (rule, element, message). *)
+
+val check_design :
+  ?selection:Rules.selection -> Hdl.Module_.design -> Uml.Wfr.diagnostic list
+(** HDL pass alone, over an already-generated netlist. *)
+
+val check :
+  ?selection:Rules.selection ->
+  ?design:Hdl.Module_.design ->
+  Uml.Model.t ->
+  Uml.Wfr.diagnostic list
+(** Model passes plus, when [design] is given, the HDL pass.  The
+    caller derives the design (e.g. {!Mda.Generate.hw_design}); [lint]
+    itself does not depend on the generators. *)

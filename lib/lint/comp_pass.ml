@@ -1,0 +1,119 @@
+open Uml
+
+(* Resolve a connector end inside [cmp]: the port record, plus the part
+   (None for the containing component itself).  [None] overall when the
+   reference chain is broken (Wfr reports that). *)
+let resolve_end m (cmp : Component.t) (e : Component.connector_end) =
+  match e.Component.cend_part with
+  | None ->
+    Option.map
+      (fun port -> (None, port))
+      (List.find_opt
+         (fun (p : Component.port) ->
+           Ident.equal p.Component.port_id e.Component.cend_port)
+         cmp.Component.cmp_ports)
+  | Some pid -> (
+    match
+      List.find_opt
+        (fun (p : Component.part) -> Ident.equal p.Component.part_id pid)
+        cmp.Component.cmp_parts
+    with
+    | None -> None
+    | Some part -> (
+      match Model.find_component m part.Component.part_type with
+      | None -> None (* class-typed part: no port inventory to check *)
+      | Some inner ->
+        Option.map
+          (fun port -> (Some part, port))
+          (List.find_opt
+             (fun (p : Component.port) ->
+               Ident.equal p.Component.port_id e.Component.cend_port)
+             inner.Component.cmp_ports)))
+
+let intersects a b = List.exists (fun x -> List.exists (Ident.equal x) b) a
+
+(* COMP-01: every required port of every part should be wired. *)
+let check_required_ports m (cmp : Component.t) acc =
+  let connected part_id port_id =
+    List.exists
+      (fun (c : Component.connector) ->
+        List.exists
+          (fun (e : Component.connector_end) ->
+            e.Component.cend_part = Some part_id
+            && Ident.equal e.Component.cend_port port_id)
+          c.Component.conn_ends)
+      cmp.Component.cmp_connectors
+  in
+  List.fold_left
+    (fun acc (part : Component.part) ->
+      match Model.find_component m part.Component.part_type with
+      | None -> acc
+      | Some inner ->
+        List.fold_left
+          (fun acc (port : Component.port) ->
+            if
+              port.Component.port_required <> []
+              && not (connected part.Component.part_id port.Component.port_id)
+            then
+              Model_info.diagf ~code:"COMP-01"
+                ~element:part.Component.part_id
+                "required port %s of part %s in component %s is not \
+                 connected"
+                port.Component.port_name part.Component.part_name
+                cmp.Component.cmp_name
+              :: acc
+            else acc)
+          acc inner.Component.cmp_ports)
+    acc cmp.Component.cmp_parts
+
+let check_connectors m (cmp : Component.t) acc =
+  List.fold_left
+    (fun acc (conn : Component.connector) ->
+      match conn.Component.conn_ends with
+      | [ e1; e2 ] -> (
+        match resolve_end m cmp e1, resolve_end m cmp e2 with
+        | Some (_, p1), Some (_, p2) -> (
+          let prov1 = p1.Component.port_provided
+          and req1 = p1.Component.port_required
+          and prov2 = p2.Component.port_provided
+          and req2 = p2.Component.port_required in
+          match conn.Component.conn_kind with
+          | Component.Assembly ->
+            (* one side must provide what the other requires *)
+            if
+              (prov1 @ req1 <> [] || prov2 @ req2 <> [])
+              && (not (intersects req1 prov2))
+              && not (intersects req2 prov1)
+            then
+              Model_info.diagf ~code:"COMP-02"
+                ~element:conn.Component.conn_id
+                "assembly connector %s in component %s joins ports %s and \
+                 %s with no matching interface"
+                conn.Component.conn_name cmp.Component.cmp_name
+                p1.Component.port_name p2.Component.port_name
+              :: acc
+            else acc
+          | Component.Delegation ->
+            (* outer and inner port should relay the same contract *)
+            if
+              (prov1 @ req1 <> [] || prov2 @ req2 <> [])
+              && (not (intersects prov1 prov2))
+              && not (intersects req1 req2)
+            then
+              Model_info.diagf ~code:"COMP-03"
+                ~element:conn.Component.conn_id
+                "delegation connector %s in component %s joins ports %s \
+                 and %s with no shared interface"
+                conn.Component.conn_name cmp.Component.cmp_name
+                p1.Component.port_name p2.Component.port_name
+              :: acc
+            else acc)
+        | None, _ | _, None -> acc)
+      | _other_arity -> acc (* CO-07 *))
+    acc cmp.Component.cmp_connectors
+
+let check m =
+  List.fold_left
+    (fun acc cmp -> check_required_ports m cmp acc |> check_connectors m cmp)
+    []
+    (Model.components m)

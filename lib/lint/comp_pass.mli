@@ -1,0 +1,16 @@
+(** The component lint pass: wiring of composite structure, beyond the
+    reference-resolution rules ([CO-xx]) in {!Uml.Wfr}.
+
+    Rules:
+    - [COMP-01] (warning): a port of a part with required interfaces has
+      no connector attached inside the containing component;
+    - [COMP-02] (error): an assembly connector joins two ports with no
+      matching interface (nothing one end requires is provided by the
+      other);
+    - [COMP-03] (warning): a delegation connector joins an outer port
+      and an inner port with no shared provided or required interface.
+
+    Ends that do not resolve (unknown part, port, or part type) are
+    skipped here; {!Uml.Wfr} reports them. *)
+
+val check : Uml.Model.t -> Uml.Wfr.diagnostic list

@@ -1,0 +1,12 @@
+let lift (d : Hdl.Check.diagnostic) =
+  {
+    Uml.Wfr.diag_severity =
+      (match d.Hdl.Check.diag_severity with
+       | Hdl.Check.Error -> Uml.Wfr.Error
+       | Hdl.Check.Warning -> Uml.Wfr.Warning);
+    diag_rule = d.Hdl.Check.diag_code;
+    diag_element = None;
+    diag_message = d.Hdl.Check.diag_message;
+  }
+
+let check_design design = List.map lift (Hdl.Check.check_design design)

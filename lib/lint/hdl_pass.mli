@@ -1,0 +1,9 @@
+(** The HDL lint pass: lifts {!Hdl.Check} netlist diagnostics
+    ([HDL-01] … [HDL-11]) into the model-level diagnostic shape.
+
+    The [hdl] library has no UML dependency, so HDL diagnostics carry no
+    element identifier; signal and module names live in the message. *)
+
+val lift : Hdl.Check.diagnostic -> Uml.Wfr.diagnostic
+
+val check_design : Hdl.Module_.design -> Uml.Wfr.diagnostic list

@@ -1,0 +1,79 @@
+open Uml
+
+let summary_line diags =
+  Printf.sprintf "%d diagnostics (%d errors, %d warnings)"
+    (List.length diags)
+    (List.length (Wfr.errors diags))
+    (List.length (Wfr.warnings diags))
+
+let to_text ?model diags =
+  let buf = Buffer.create 256 in
+  (match model with
+   | Some name -> Buffer.add_string buf (Printf.sprintf "lint: %s\n" name)
+   | None -> ());
+  List.iter
+    (fun d ->
+      Buffer.add_string buf (Wfr.to_string d);
+      Buffer.add_char buf '\n')
+    diags;
+  Buffer.add_string buf (summary_line diags);
+  Buffer.add_char buf '\n';
+  Buffer.contents buf
+
+let json_string s =
+  let buf = Buffer.create (String.length s + 2) in
+  Buffer.add_char buf '"';
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | c when Char.code c < 0x20 ->
+        Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.add_char buf '"';
+  Buffer.contents buf
+
+let json_diag (d : Wfr.diagnostic) =
+  let fields =
+    [
+      ("severity",
+       json_string
+         (match d.Wfr.diag_severity with
+          | Wfr.Error -> "error"
+          | Wfr.Warning -> "warning"));
+      ("rule", json_string d.Wfr.diag_rule);
+    ]
+    @ (match d.Wfr.diag_element with
+       | Some id -> [ ("element", json_string (Ident.to_string id)) ]
+       | None -> [])
+    @ [ ("message", json_string d.Wfr.diag_message) ]
+  in
+  "    {"
+  ^ String.concat ", "
+      (List.map (fun (k, v) -> Printf.sprintf "%S: %s" k v) fields)
+  ^ "}"
+
+let to_json ?model diags =
+  let buf = Buffer.create 512 in
+  Buffer.add_string buf "{\n";
+  (match model with
+   | Some name ->
+     Buffer.add_string buf
+       (Printf.sprintf "  \"model\": %s,\n" (json_string name))
+   | None -> ());
+  Buffer.add_string buf
+    (Printf.sprintf "  \"errors\": %d,\n"
+       (List.length (Wfr.errors diags)));
+  Buffer.add_string buf
+    (Printf.sprintf "  \"warnings\": %d,\n"
+       (List.length (Wfr.warnings diags)));
+  Buffer.add_string buf "  \"diagnostics\": [\n";
+  Buffer.add_string buf (String.concat ",\n" (List.map json_diag diags));
+  if diags <> [] then Buffer.add_char buf '\n';
+  Buffer.add_string buf "  ]\n}\n";
+  Buffer.contents buf

@@ -1,0 +1,15 @@
+(** Rendering of diagnostic reports, shared by [socuml lint] and
+    [socuml validate].
+
+    Both renderers are deterministic: identical diagnostics produce
+    byte-identical output. *)
+
+val to_text : ?model:string -> Uml.Wfr.diagnostic list -> string
+(** One {!Uml.Wfr.to_string} line per diagnostic, then a summary line
+    ["N diagnostics (E errors, W warnings)"].  Ends with a newline. *)
+
+val to_json : ?model:string -> Uml.Wfr.diagnostic list -> string
+(** A JSON object with [model] (when given), [errors], [warnings] and a
+    [diagnostics] array of [{severity, rule, element, message}].  Hand
+    rolled — the toolchain ships no JSON library — with full string
+    escaping.  Ends with a newline. *)

@@ -1,0 +1,83 @@
+(* The registry of whole-model lint rules.  Codes are stable: new rules
+   get fresh numbers, retired rules leave gaps. *)
+
+type rule = {
+  rule_code : string;
+  rule_severity : Uml.Wfr.severity;
+  rule_summary : string;
+}
+
+let r code sev summary =
+  { rule_code = code; rule_severity = sev; rule_summary = summary }
+
+let registered =
+  [
+    (* ASL pass: embedded behavior strings. *)
+    r "ASL-01" Uml.Wfr.Error "behavior string fails to parse";
+    r "ASL-02" Uml.Wfr.Error "behavior string fails to typecheck";
+    r "ASL-03" Uml.Wfr.Warning "transition guard has side effects";
+    (* SC pass: statechart behavioral topology. *)
+    r "SC-01" Uml.Wfr.Warning "state unreachable from the initial configuration";
+    r "SC-02" Uml.Wfr.Error "pseudostate cannot reach a stable configuration";
+    r "SC-03" Uml.Wfr.Warning
+      "nondeterministic transitions (same trigger, overlapping guards)";
+    r "SC-04" Uml.Wfr.Warning "composite region has states but no initial";
+    (* ACT pass: activity token flow via the Petri translation. *)
+    r "ACT-01" Uml.Wfr.Error "activity can deadlock before reaching a final";
+    r "ACT-02" Uml.Wfr.Warning "activity token flow is unbounded";
+    r "ACT-03" Uml.Wfr.Warning "activity node can never fire";
+    (* COMP pass: component wiring. *)
+    r "COMP-01" Uml.Wfr.Warning "required port of a part is unconnected";
+    r "COMP-02" Uml.Wfr.Error "assembly connector interfaces do not match";
+    r "COMP-03" Uml.Wfr.Warning "delegation connector interfaces do not match";
+    (* HDL pass: netlist diagnostics lifted from Hdl.Check. *)
+    r "HDL-01" Uml.Wfr.Error "duplicate port or signal declaration";
+    r "HDL-02" Uml.Wfr.Error "expression does not typecheck";
+    r "HDL-03" Uml.Wfr.Error "assignment to an unknown or read-only target";
+    r "HDL-04" Uml.Wfr.Error "width or case-shape mismatch";
+    r "HDL-05" Uml.Wfr.Error "signal driven from multiple processes";
+    r "HDL-06" Uml.Wfr.Error "combinational loop";
+    r "HDL-07" Uml.Wfr.Error "bad clock or reset signal";
+    r "HDL-08" Uml.Wfr.Error "instance wiring error";
+    r "HDL-09" Uml.Wfr.Error "design top module missing";
+    r "HDL-10" Uml.Wfr.Error "signal read or required but never driven";
+    r "HDL-11" Uml.Wfr.Warning "signal neither read nor driven";
+  ]
+
+let all =
+  List.sort (fun a b -> compare a.rule_code b.rule_code) registered
+
+let find code = List.find_opt (fun ru -> ru.rule_code = code) all
+
+type selection = {
+  sel_only : string list option;
+  sel_disabled : string list;
+}
+
+let default_selection = { sel_only = None; sel_disabled = [] }
+
+let selection_of_strings ?only ?(disabled = []) () =
+  { sel_only = only; sel_disabled = disabled }
+
+(* "ASL" matches "ASL-01"; "ASL-01" matches only itself. *)
+let selector_matches selector code =
+  selector = code
+  ||
+  let n = String.length selector in
+  String.length code > n
+  && String.sub code 0 n = selector
+  && code.[n] = '-'
+
+let enabled sel code =
+  let allowed =
+    match sel.sel_only with
+    | None -> true
+    | Some l -> List.exists (fun s -> selector_matches s code) l
+  in
+  allowed && not (List.exists (fun s -> selector_matches s code) sel.sel_disabled)
+
+let unknown_selectors sel =
+  let selectors = (match sel.sel_only with None -> [] | Some l -> l) @ sel.sel_disabled in
+  List.filter
+    (fun s -> not (List.exists (fun ru -> selector_matches s ru.rule_code) all))
+    selectors

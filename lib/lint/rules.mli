@@ -1,0 +1,47 @@
+(** The lint rule registry: every whole-model static-analysis rule with
+    its stable code, default severity and one-line summary.
+
+    Rule codes are stable identifiers (never renumbered, only retired)
+    grouped by pass prefix:
+
+    - [ASL-xx] — embedded behavior strings (guards, effects, bodies);
+    - [SC-xx]  — statechart behavioral topology (beyond the structural
+      [SM-xx] well-formedness rules in {!Uml.Wfr});
+    - [ACT-xx] — activity token-flow analysis via the Petri translation;
+    - [COMP-xx] — component wiring (ports, interfaces, connectors);
+    - [HDL-xx] — netlist checks lifted from {!Hdl.Check}.
+
+    See LINT_RULES.md for the full documented table. *)
+
+type rule = {
+  rule_code : string;  (** e.g. ["ASL-01"] *)
+  rule_severity : Uml.Wfr.severity;  (** default severity *)
+  rule_summary : string;
+}
+
+val all : rule list
+(** Every registered rule, sorted by code.  [HDL-xx] codes mirror the
+    diagnostics emitted by {!Hdl.Check}. *)
+
+val find : string -> rule option
+
+(** Which rules to run.  [sel_only = Some l] restricts to codes matching
+    [l]; [sel_disabled] removes matching codes.  A selector string
+    matches a code when equal to it, or when it is a prefix group such
+    as ["ASL"] or ["HDL"] (matching every code of that family). *)
+type selection = {
+  sel_only : string list option;
+  sel_disabled : string list;
+}
+
+val default_selection : selection
+(** Everything enabled. *)
+
+val selection_of_strings :
+  ?only:string list -> ?disabled:string list -> unit -> selection
+
+val enabled : selection -> string -> bool
+(** Is the rule with this code enabled under the selection? *)
+
+val unknown_selectors : selection -> string list
+(** Selector strings that match no registered rule (likely typos). *)

@@ -1,0 +1,18 @@
+(** The statechart lint pass: behavioral topology of state machines,
+    complementing the local well-formedness rules ([SM-xx]) in
+    {!Uml.Wfr}.
+
+    Rules:
+    - [SC-01] (warning): a state is unreachable from the machine's
+      initial configuration (skipped when the machine has no top-level
+      initial pseudostate);
+    - [SC-02] (error): a transient pseudostate has outgoing transitions
+      but none of its paths through pseudostates reaches a state or
+      final (e.g. a junction cycle);
+    - [SC-03] (warning): two transitions leaving the same state overlap
+      (a shared trigger, with guards absent or identical) — the choice
+      between them is nondeterministic;
+    - [SC-04] (warning): a region owns states but no initial
+      pseudostate, so default entry is undefined. *)
+
+val check : Uml.Model.t -> Uml.Wfr.diagnostic list

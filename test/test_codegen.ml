@@ -125,7 +125,7 @@ let fsm_tests =
         match Codegen.Fsm_compile.compile (flat_of (simple_machine ())) with
         | Ok hmod ->
           check (Alcotest.list Alcotest.string) "clean" []
-            (Hdl.Check.check_module hmod)
+            (Hdl.Check.messages (Hdl.Check.check_module hmod))
         | Error m -> Alcotest.fail m);
     tc "compiled FSM behaves like the flat machine" (fun () ->
         let flat = flat_of (simple_machine ()) in

@@ -74,7 +74,7 @@ let check_tests =
   [
     tc "clean module passes" (fun () ->
         check (Alcotest.list Alcotest.string) "clean" []
-          (Check.check_module (counter_module ())));
+          (Check.messages (Check.check_module (counter_module ()))));
     tc "type inference" (fun () ->
         let m = counter_module () in
         check Alcotest.bool "add widens" true
@@ -150,7 +150,7 @@ let check_tests =
           (List.exists
              (fun s ->
                String.length s >= 13 && String.sub s 0 13 = "combinational")
-             (Check.check_module m)));
+             (Check.messages (Check.check_module m))));
     tc "registered feedback is not a loop" (fun () ->
         check Alcotest.bool "no loop" false
           (Check.has_comb_loop (counter_module ())));
@@ -203,7 +203,8 @@ let check_tests =
             "top"
         in
         let d = Module_.design ~top:"top" [ top; sub ] in
-        check (Alcotest.list Alcotest.string) "clean" [] (Check.check_design d));
+        check (Alcotest.list Alcotest.string) "clean" []
+          (Check.messages (Check.check_design d)));
   ]
 
 let elaborate_tests =

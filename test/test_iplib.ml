@@ -21,7 +21,8 @@ let catalogue_tests =
             | [] -> ()
             | problems ->
               Alcotest.fail
-                (core.Iplib.Core.ip_name ^ ": " ^ String.concat "; " problems))
+                (core.Iplib.Core.ip_name ^ ": "
+                ^ String.concat "; " (Hdl.Check.messages problems)))
           (Iplib.Cores.catalogue ()));
     tc "component ports mirror RTL ports" (fun () ->
         List.iter
@@ -274,7 +275,7 @@ let soc_tests =
         in
         let d = Iplib.Soc.design ~name:"mini" instances in
         check (Alcotest.list Alcotest.string) "clean" []
-          (Hdl.Check.check_design d);
+          (Hdl.Check.messages (Hdl.Check.check_design d));
         let sim = Dsim.Sim.create (Hdl.Elaborate.flatten d) in
         Dsim.Sim.set_input sim "rst" 1;
         Dsim.Sim.clock_edge sim "clk";

@@ -1,0 +1,88 @@
+(* CI gate behind `dune build @lint-demo`: lint the models this repo
+   ships — the demo SoC (rebuilt in-process exactly as `socuml demo`
+   builds it) and a spread of workload-generated models — and fail on
+   any error-severity diagnostic.  Also asserts the report is
+   byte-for-byte deterministic across two runs. *)
+
+open Uml
+
+let failures = ref 0
+
+let complain fmt =
+  Printf.ksprintf
+    (fun msg ->
+      incr failures;
+      Printf.eprintf "lint-demo: %s\n" msg)
+    fmt
+
+let report name diags =
+  let errors = Wfr.errors diags in
+  Printf.printf "%-24s %d diagnostics (%d errors, %d warnings)\n" name
+    (List.length diags) (List.length errors)
+    (List.length (Wfr.warnings diags));
+  List.iter (fun d -> Printf.printf "  %s\n" (Wfr.to_string d)) diags;
+  if errors <> [] then complain "%s has lint errors" name
+
+(* The demo SoC of bin/socuml.ml, model side. *)
+let demo_model () =
+  let m = Model.create "demo_soc" in
+  let profile = Profiles.Soc_profile.install m in
+  let instances =
+    [ ("timer0", Iplib.Cores.timer ()); ("gpio0", Iplib.Cores.gpio ());
+      ("fifo0", Iplib.Cores.fifo4 ()) ]
+  in
+  let _soc = Iplib.Soc.component m ~profile ~name:"DemoSoc" instances in
+  Model.add m
+    (Model.E_activity
+       (Workload.Gen_activity.series_parallel ~seed:42 ~size:12 ~max_width:3));
+  let a = Smachine.simple_state "Off" in
+  let b = Smachine.simple_state "On" in
+  let init = Smachine.pseudostate Smachine.Initial in
+  let region =
+    Smachine.region
+      [ Smachine.Pseudo init; Smachine.State a; Smachine.State b ]
+      [
+        Smachine.transition ~source:init.Smachine.ps_id
+          ~target:a.Smachine.st_id ();
+        Smachine.transition
+          ~triggers:[ Smachine.Signal_trigger "toggle" ]
+          ~source:a.Smachine.st_id ~target:b.Smachine.st_id ();
+        Smachine.transition
+          ~triggers:[ Smachine.Signal_trigger "toggle" ]
+          ~source:b.Smachine.st_id ~target:a.Smachine.st_id ();
+      ]
+  in
+  Model.add m (Model.E_state_machine (Smachine.make "Power" [ region ]));
+  (m, Iplib.Soc.design ~name:"demo_soc" instances)
+
+let () =
+  let m, design = demo_model () in
+  let diags = Lint.Check.check ~design m in
+  report "demo_soc" diags;
+  let again = Lint.Check.check ~design m in
+  if
+    Lint.Report.to_json ~model:"demo_soc" diags
+    <> Lint.Report.to_json ~model:"demo_soc" again
+  then complain "demo_soc lint report is not deterministic";
+
+  (* a seeded workload spread standing in for user models *)
+  List.iter
+    (fun seed ->
+      Ident.reset_counter ();
+      let m = Workload.Gen_model.structural ~seed ~classes:20 in
+      Model.add m
+        (Model.E_state_machine
+           (Workload.Gen_statechart.hierarchical ~seed ~depth:3 ~breadth:2
+              ~events:4));
+      Model.add m
+        (Model.E_activity
+           (Workload.Gen_activity.with_decisions ~seed ~size:14 ~max_width:3));
+      report (Printf.sprintf "workload(seed=%d)" seed)
+        (Lint.Check.check_model m))
+    [ 1; 7; 42 ];
+
+  if !failures > 0 then begin
+    Printf.eprintf "lint-demo: %d failure(s)\n" !failures;
+    exit 1
+  end;
+  print_endline "lint-demo: all models clean of lint errors"
