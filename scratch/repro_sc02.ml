@@ -1,0 +1,41 @@
+open Uml
+
+(* Junction cycle: X -> Y, Y -> X, Y -> S.  Both X and Y stabilize via S,
+   so a correct SC-02 pass reports nothing.  Try many id spellings to
+   cover both Hashtbl.fold evaluation orders. *)
+let try_ids xid yid =
+  let s = Smachine.simple_state ~id:"s" "S" in
+  let x = Smachine.pseudostate ~id:xid ~name:"X" Smachine.Junction in
+  let y = Smachine.pseudostate ~id:yid ~name:"Y" Smachine.Junction in
+  let init = Smachine.pseudostate ~id:"init" Smachine.Initial in
+  let r =
+    Smachine.region ~id:"r0"
+      [ Smachine.State s; Smachine.Pseudo x; Smachine.Pseudo y;
+        Smachine.Pseudo init ]
+      [ Smachine.transition ~id:"t0" ~source:"init" ~target:xid ();
+        Smachine.transition ~id:"t1" ~source:xid ~target:yid ();
+        Smachine.transition ~id:"t2" ~source:yid ~target:xid ();
+        Smachine.transition ~id:"t3" ~source:yid ~target:"s" () ]
+  in
+  let sm = Smachine.make ~id:"sm" "M" [ r ] in
+  let m = Model.create "test" in
+  Model.add m (Model.E_state_machine sm);
+  let diags =
+    List.filter (fun d -> d.Wfr.diag_rule = "SC-02") (Lint.Sc_pass.check m)
+  in
+  if diags <> [] then begin
+    Printf.printf "FALSE POSITIVE with ids (%s,%s):\n" xid yid;
+    List.iter (fun d -> print_endline ("  " ^ Wfr.to_string d)) diags;
+    true
+  end
+  else false
+
+let () =
+  let hits = ref 0 in
+  for i = 0 to 19 do
+    for j = 0 to 19 do
+      let xid = Printf.sprintf "x%d" i and yid = Printf.sprintf "y%d" j in
+      if try_ids xid yid then incr hits
+    done
+  done;
+  Printf.printf "hits: %d / 400\n" !hits
