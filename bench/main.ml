@@ -8,10 +8,62 @@
      (b) registers one Bechamel test group with the raw kernels.
 
    Run: dune exec bench/main.exe            (reports + timings)
-        dune exec bench/main.exe -- quick   (reports only) *)
+        dune exec bench/main.exe -- quick   (reports only)
+        dune exec bench/main.exe -- quick --json out.json
+                                            (+ machine-readable results) *)
 
 let sep title =
   Printf.printf "\n==== %s ====\n%!" title
+
+(* ------------------------------------------------------------------ *)
+(* Machine-readable results (--json <file>)
+
+   Every report records its headline numbers under a stable
+   "eN.metric.variant" key; the file is emitted with keys sorted
+   lexicographically, so the key set and order are byte-deterministic
+   across runs (values of timing metrics naturally vary). *)
+
+let json_entries : (string * string) list ref = ref []
+let record key value = json_entries := (key, value) :: !json_entries
+let record_i key i = record key (string_of_int i)
+let record_b key b = record key (string_of_bool b)
+
+let record_f key v =
+  (* %.6g never produces NaN/inf here (all recorded values are finite),
+     and its exponent form (1e+06) is valid JSON *)
+  record key (Printf.sprintf "%.6g" v)
+
+let json_escape s =
+  let b = Buffer.create (String.length s + 2) in
+  String.iter
+    (fun ch ->
+      match ch with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | c when Char.code c < 0x20 ->
+        Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let write_json path =
+  let entries =
+    List.sort_uniq
+      (fun (a, _) (b, _) -> String.compare a b)
+      !json_entries
+  in
+  let oc = open_out path in
+  output_string oc "{\n";
+  let last = List.length entries - 1 in
+  List.iteri
+    (fun i (k, v) ->
+      Printf.fprintf oc "  \"%s\": %s%s\n" (json_escape k) v
+        (if i < last then "," else ""))
+    entries;
+  output_string oc "}\n";
+  close_out oc;
+  Printf.printf "\nwrote %d result keys to %s\n%!" (List.length entries) path
 
 (* ------------------------------------------------------------------ *)
 (* Shared workloads                                                    *)
@@ -49,8 +101,9 @@ let e1_report () =
       let vhdl = Codegen.Vhdl.of_design design in
       let c_text = Codegen.Cgen.of_model m in
       let loc = Mda.Generate.loc vhdl + Mda.Generate.loc c_text in
-      Printf.printf "%-6d %-16d %-14d %9.1fx\n" n elements loc
-        (float_of_int loc /. float_of_int elements))
+      let expansion = float_of_int loc /. float_of_int elements in
+      Printf.printf "%-6d %-16d %-14d %9.1fx\n" n elements loc expansion;
+      record_f (Printf.sprintf "e1.expansion_factor.ips%02d" n) expansion)
     [ 2; 4; 8; 16; 32 ]
 
 let e1_tests () =
@@ -108,7 +161,9 @@ let e2_report () =
   let seeds = [ 1; 2; 3; 4; 5; 6; 7; 8; 9; 10 ] in
   let agree = List.length (List.filter e2_equivalent seeds) in
   Printf.printf "engine = flat = RTL on %d/%d random machines x 200 events\n"
-    agree (List.length seeds)
+    agree (List.length seeds);
+  record_i "e2.trace_agreement.machines" agree;
+  record_i "e2.trace_agreement.total" (List.length seeds)
 
 let e2_tests () =
   let sm = e2_machine 1 in
@@ -253,7 +308,9 @@ let e3_report () =
       done;
       Printf.printf
         "width %-3d: 10/10 activities, %d total firings, conforming runs: %d/10\n"
-        width !steps !conforming)
+        width !steps !conforming;
+      record_i (Printf.sprintf "e3.conforming_runs.width%d" width) !conforming;
+      record_i (Printf.sprintf "e3.total_firings.width%d" width) !steps)
     [ 2; 4; 8 ]
 
 let e3_tests () =
@@ -287,10 +344,13 @@ let e4_report () =
     hw.Hwsw.Schedule.hw_area
     (float_of_int sw.Hwsw.Schedule.makespan
     /. float_of_int hw.Hwsw.Schedule.makespan);
+  record_i "e4.makespan.sw_cycles" sw.Hwsw.Schedule.makespan;
+  record_i "e4.makespan.hw_cycles" hw.Hwsw.Schedule.makespan;
   (* behavioral interchangeability: same machine through both flows *)
   let agree = e2_equivalent 99 in
   Printf.printf "same controller behavior in SW engine and generated RTL: %b\n"
-    agree
+    agree;
+  record_b "e4.behavior_agreement" agree
 
 let e4_tests () =
   let act = pipeline_activity () in
@@ -353,7 +413,13 @@ let e5_report () =
         (100. *. Mda.Transform.reuse_fraction hw_trace)
         (100. *. feature_reuse pim hw)
         (100. *. Mda.Transform.reuse_fraction sw_trace)
-        (100. *. feature_reuse pim sw))
+        (100. *. feature_reuse pim sw);
+      record_f
+        (Printf.sprintf "e5.hw_feature_reuse.classes%04d" classes)
+        (feature_reuse pim hw);
+      record_f
+        (Printf.sprintf "e5.sw_feature_reuse.classes%04d" classes)
+        (feature_reuse pim sw))
     [ 10; 100; 1000 ]
 
 let e5_tests () =
@@ -385,7 +451,13 @@ let e6_report () =
           o.Hwsw.Partition.evaluations
       in
       Printf.printf "%-4d %-18s %-18s %-18s %-18s\n" n (cell opt) (cell grd)
-        (cell imp) (cell sa))
+        (cell imp) (cell sa);
+      record_f
+        (Printf.sprintf "e6.quality_ratio_greedy.tasks%02d" n)
+        (Hwsw.Partition.quality_ratio ~optimal:opt grd);
+      record_f
+        (Printf.sprintf "e6.quality_ratio_annealed.tasks%02d" n)
+        (Hwsw.Partition.quality_ratio ~optimal:opt sa))
     [ 8; 10; 12; 14 ]
 
 let e6_tests () =
@@ -411,7 +483,10 @@ let e7_report () =
       let text = Xmi.Write.to_string m in
       let m' = Xmi.Read.model_of_string text in
       Printf.printf "%-6d classes: %7d bytes, lossless: %b\n" classes
-        (String.length text) (Uml.Model.equal m m'))
+        (String.length text) (Uml.Model.equal m m');
+      record_b
+        (Printf.sprintf "e7.roundtrip_lossless.classes%04d" classes)
+        (Uml.Model.equal m m'))
     [ 10; 100; 1000 ]
 
 let e7_tests () =
@@ -449,9 +524,10 @@ let e8_report () =
           Statechart.Engine.dispatch engine (Statechart.Event.make name))
         events;
       let dt = Sys.time () -. t0 in
-      Printf.printf "depth %d: %7.0f events/s (%d vertices)\n" depth
-        (float_of_int (List.length events) /. (dt +. 1e-9))
-        (List.length (Uml.Smachine.all_vertices sm)))
+      let rate = float_of_int (List.length events) /. (dt +. 1e-9) in
+      Printf.printf "depth %d: %7.0f events/s (%d vertices)\n" depth rate
+        (List.length (Uml.Smachine.all_vertices sm));
+      record_f (Printf.sprintf "e8.events_per_s.depth%d" depth) rate)
     (e8_machines ())
 
 let e8_tests () =
@@ -484,11 +560,14 @@ let e9_report () =
     done;
     let dt = Sys.time () -. t0 in
     let deterministic = f design = !text in
+    let mb_s =
+      float_of_int (String.length !text * reps) /. (dt +. 1e-9) /. 1_048_576.
+    in
     Printf.printf "%-10s %7d lines, %8.2f MB/s, deterministic: %b\n" name
       (Mda.Generate.loc !text)
-      (float_of_int (String.length !text * reps)
-      /. (dt +. 1e-9) /. 1_048_576.)
-      deterministic
+      mb_s deterministic;
+    record_f (Printf.sprintf "e9.throughput_mb_s.%s" name) mb_s;
+    record_b (Printf.sprintf "e9.deterministic.%s" name) deterministic
   in
   emit "vhdl" Codegen.Vhdl.of_design;
   emit "verilog" Codegen.Verilog.of_design;
@@ -527,11 +606,13 @@ let e10_report () =
       let t0 = Sys.time () in
       Dsim.Sim.run sim ~clock:"clk" ~cycles;
       let dt = Sys.time () -. t0 in
+      let rate = float_of_int cycles /. (dt +. 1e-9) in
       Printf.printf
         "%2d IPs (%3d processes): %8.0f cycles/s, %9d events, %d deltas\n" n
         (List.length flat.Hdl.Module_.mod_processes)
-        (float_of_int cycles /. (dt +. 1e-9))
-        (Dsim.Sim.events sim) (Dsim.Sim.delta_cycles sim))
+        rate
+        (Dsim.Sim.events sim) (Dsim.Sim.delta_cycles sim);
+      record_f (Printf.sprintf "e10.cycles_per_s.ips%02d" n) rate)
     [ 4; 8; 16; 32 ]
 
 let e10_tests () =
@@ -575,14 +656,15 @@ let e11_report () =
     e11_time (fun () -> Telemetry.Metrics.create ~event_capacity:0 ())
   in
   let full = e11_time (fun () -> Telemetry.Metrics.create ()) in
-  let row label dt =
+  let row key label dt =
     Printf.printf "%-24s %8.3f us/event  (%+5.1f%% vs off)\n" label
       (1e6 *. dt /. 2000.)
-      (100. *. (dt -. off) /. (off +. 1e-9))
+      (100. *. (dt -. off) /. (off +. 1e-9));
+    record_f (Printf.sprintf "e11.us_per_event.%s" key) (1e6 *. dt /. 2000.)
   in
-  row "telemetry off (null)" off;
-  row "live, ring cap 0" counters;
-  row "live, ring cap 4096" full
+  row "off" "telemetry off (null)" off;
+  row "ring0" "live, ring cap 0" counters;
+  row "ring4096" "live, ring cap 4096" full
 
 let e11_tests () =
   let sm = e2_machine 1 in
@@ -637,7 +719,11 @@ let e12_report () =
       done;
       Printf.printf "%-8d %-10d %-12d %10.2f %14.1f\n" classes elements
         (List.length diags) (1e3 *. !best)
-        (1e6 *. !best /. float_of_int elements))
+        (1e6 *. !best /. float_of_int elements);
+      record_f (Printf.sprintf "e12.lint_ms.classes%03d" classes)
+        (1e3 *. !best);
+      record_i (Printf.sprintf "e12.diagnostics.classes%03d" classes)
+        (List.length diags))
     [ 10; 50; 200; 500 ]
 
 let e12_tests () =
@@ -645,6 +731,206 @@ let e12_tests () =
   [
     Bechamel.Test.make ~name:"e12/lint-200-class-model"
       (Bechamel.Staged.stage (fun () -> ignore (Lint.Check.check_model m)));
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* E13: compiled execution core vs reference paths                     *)
+
+(* A net of [pairs] independent two-place toggles: place a_i holds a
+   token that t_i_ab moves to b_i and t_i_ba moves back.  The reachable
+   space is the full product, 2^pairs markings, so [pairs = 14] gives a
+   16384-state space that both engines truncate at limit 10_000. *)
+let e13_toggle_net pairs =
+  let a i = Printf.sprintf "a%d" i
+  and b i = Printf.sprintf "b%d" i in
+  let idx = List.init pairs (fun i -> i) in
+  let places =
+    List.concat_map (fun i -> [ Petri.Net.place (a i); Petri.Net.place (b i) ]) idx
+  in
+  let transitions =
+    List.concat_map
+      (fun i ->
+        [
+          Petri.Net.transition (Printf.sprintf "t%d_ab" i);
+          Petri.Net.transition (Printf.sprintf "t%d_ba" i);
+        ])
+      idx
+  in
+  let arcs =
+    List.concat_map
+      (fun i ->
+        let ab = Printf.sprintf "t%d_ab" i
+        and ba = Printf.sprintf "t%d_ba" i in
+        [
+          Petri.Net.P_to_t (a i, ab, 1);
+          Petri.Net.T_to_p (ab, b i, 1);
+          Petri.Net.P_to_t (b i, ba, 1);
+          Petri.Net.T_to_p (ba, a i, 1);
+        ])
+      idx
+  in
+  let net = Petri.Net.make places transitions arcs in
+  let m0 = Petri.Marking.of_list (List.map (fun i -> (a i, 1)) idx) in
+  (net, m0)
+
+(* The historical lint ACT pass over one activity: one reachability
+   exploration for the deadlock question, then dead_transitions, which
+   internally ran a second exploration plus an enabled-scan over every
+   discovered marking. *)
+let e13_lint_reference net m0 =
+  let limit = 4096 in
+  let r1 = Petri.Analysis.reachable_reference ~limit net m0 in
+  let deadlocks = List.length r1.Petri.Analysis.deadlocks in
+  let r2 = Petri.Analysis.reachable_reference ~limit net m0 in
+  let module S = Set.Make (String) in
+  let fired =
+    List.fold_left
+      (fun acc m ->
+        List.fold_left
+          (fun acc tn -> S.add tn.Petri.Net.tn_id acc)
+          acc
+          (Petri.Marking.enabled_transitions net m))
+      S.empty r2.Petri.Analysis.markings
+  in
+  let dead =
+    List.filter
+      (fun tn -> not (S.mem tn.Petri.Net.tn_id fired))
+      net.Petri.Net.transitions
+  in
+  (deadlocks, List.length dead)
+
+let e13_lint_compiled net m0 =
+  let s = Petri.Analysis.explore ~limit:4096 net m0 in
+  ( List.length s.Petri.Analysis.sum_reach.Petri.Analysis.deadlocks,
+    List.length s.Petri.Analysis.sum_dead_transitions )
+
+let e13_time f =
+  (* best of three to damp scheduler noise *)
+  let best = ref infinity in
+  for _ = 1 to 3 do
+    let t0 = Sys.time () in
+    f ();
+    let dt = Sys.time () -. t0 in
+    if dt < !best then best := dt
+  done;
+  !best
+
+let e13_report () =
+  sep "E13  compiled execution core vs reference paths";
+  (* (a) guard evaluation: parse-per-eval vs memoized compilation *)
+  let guard_src = "(x + 3) * 2 > y and not (x * x < y)" in
+  let interp = Asl.Interp.create (Asl.Store.create ()) in
+  let iters = 50_000 in
+  let params i = [ ("x", Asl.Value.V_int (i land 15)); ("y", Asl.Value.V_int 9) ] in
+  let baseline () =
+    for i = 1 to iters do
+      ignore
+        (Asl.Interp.eval ~params:(params i) interp
+           (Asl.Parser.parse_expression guard_src))
+    done
+  in
+  let memoized () =
+    for i = 1 to iters do
+      ignore (Asl.Interp.eval_guard ~params:(params i) interp guard_src)
+    done
+  in
+  let t_base = e13_time baseline in
+  let t_memo = e13_time memoized in
+  let guard_speedup = t_base /. (t_memo +. 1e-9) in
+  Printf.printf
+    "guard eval, %d iters:  parse-per-eval %7.1f ms (%8.0f evals/s)\n" iters
+    (1e3 *. t_base)
+    (float_of_int iters /. (t_base +. 1e-9));
+  Printf.printf
+    "                       memoized       %7.1f ms (%8.0f evals/s)  %5.1fx\n"
+    (1e3 *. t_memo)
+    (float_of_int iters /. (t_memo +. 1e-9))
+    guard_speedup;
+  record_f "e13.guard_evals_per_s.baseline"
+    (float_of_int iters /. (t_base +. 1e-9));
+  record_f "e13.guard_evals_per_s.memoized"
+    (float_of_int iters /. (t_memo +. 1e-9));
+  record_f "e13.speedup.guard_eval" guard_speedup;
+  (* (b) the E12 lint ACT workload shape: per-activity analysis of the
+     standard decision-heavy activity, 25 activities' worth *)
+  let act = Workload.Gen_activity.with_decisions ~seed:7 ~size:14 ~max_width:3 in
+  let net, m0 = Activity.Translate.to_petri act in
+  let sanity_ref = e13_lint_reference net m0 in
+  let sanity_cmp = e13_lint_compiled net m0 in
+  let reps = 25 in
+  let t_lref =
+    e13_time (fun () ->
+        for _ = 1 to reps do
+          ignore (e13_lint_reference net m0)
+        done)
+  in
+  let t_lcmp =
+    e13_time (fun () ->
+        for _ = 1 to reps do
+          ignore (e13_lint_compiled net m0)
+        done)
+  in
+  let lint_speedup = t_lref /. (t_lcmp +. 1e-9) in
+  Printf.printf
+    "lint ACT shape x%d:    reference      %7.1f ms   compiled %7.1f ms  \
+     %5.1fx  (agree: %b)\n"
+    reps (1e3 *. t_lref) (1e3 *. t_lcmp) lint_speedup
+    (sanity_ref = sanity_cmp);
+  record_f "e13.lint_shape_ms.reference" (1e3 *. t_lref);
+  record_f "e13.lint_shape_ms.compiled" (1e3 *. t_lcmp);
+  record_b "e13.lint_shape_agree" (sanity_ref = sanity_cmp);
+  record_f "e13.speedup.lint_shape" lint_speedup;
+  (* (c) a 10k-state reachability exploration *)
+  let tnet, tm0 = e13_toggle_net 14 in
+  let limit = 10_000 in
+  let r_ref = ref 0 and r_cmp = ref 0 in
+  let t_rref =
+    e13_time (fun () ->
+        let r = Petri.Analysis.reachable_reference ~limit tnet tm0 in
+        r_ref := r.Petri.Analysis.state_count)
+  in
+  let t_rcmp =
+    e13_time (fun () ->
+        let r = Petri.Analysis.reachable ~limit tnet tm0 in
+        r_cmp := r.Petri.Analysis.state_count)
+  in
+  let reach_speedup = t_rref /. (t_rcmp +. 1e-9) in
+  Printf.printf
+    "reachability %5d st: reference      %7.1f ms   compiled %7.1f ms  \
+     %5.1fx  (agree: %b)\n"
+    !r_ref (1e3 *. t_rref) (1e3 *. t_rcmp) reach_speedup (!r_ref = !r_cmp);
+  record_i "e13.reach_10k.state_count" !r_cmp;
+  record_f "e13.reach_10k_ms.reference" (1e3 *. t_rref);
+  record_f "e13.reach_10k_ms.compiled" (1e3 *. t_rcmp);
+  record_b "e13.reach_10k_agree" (!r_ref = !r_cmp);
+  record_f "e13.speedup.reachability_10k" reach_speedup
+
+let e13_tests () =
+  let guard_src = "(x + 3) * 2 > y and not (x * x < y)" in
+  let interp = Asl.Interp.create (Asl.Store.create ()) in
+  let params = [ ("x", Asl.Value.V_int 5); ("y", Asl.Value.V_int 9) ] in
+  let act = Workload.Gen_activity.with_decisions ~seed:7 ~size:14 ~max_width:3 in
+  let net, m0 = Activity.Translate.to_petri act in
+  let tnet, tm0 = e13_toggle_net 10 in
+  [
+    Bechamel.Test.make ~name:"e13/guard-parse-per-eval"
+      (Bechamel.Staged.stage (fun () ->
+           ignore
+             (Asl.Interp.eval ~params interp
+                (Asl.Parser.parse_expression guard_src))));
+    Bechamel.Test.make ~name:"e13/guard-memoized"
+      (Bechamel.Staged.stage (fun () ->
+           ignore (Asl.Interp.eval_guard ~params interp guard_src)));
+    Bechamel.Test.make ~name:"e13/lint-shape-reference"
+      (Bechamel.Staged.stage (fun () -> ignore (e13_lint_reference net m0)));
+    Bechamel.Test.make ~name:"e13/lint-shape-compiled"
+      (Bechamel.Staged.stage (fun () -> ignore (e13_lint_compiled net m0)));
+    Bechamel.Test.make ~name:"e13/reach-1024-reference"
+      (Bechamel.Staged.stage (fun () ->
+           ignore (Petri.Analysis.reachable_reference ~limit:2000 tnet tm0)));
+    Bechamel.Test.make ~name:"e13/reach-1024-compiled"
+      (Bechamel.Staged.stage (fun () ->
+           ignore (Petri.Analysis.reachable ~limit:2000 tnet tm0)));
   ]
 
 (* ------------------------------------------------------------------ *)
@@ -674,6 +960,14 @@ let run_bechamel tests =
       | Some _ | None -> Printf.printf "%-28s (no estimate)\n" name)
     rows
 
+let json_target () =
+  let out = ref None in
+  Array.iteri
+    (fun i a -> if a = "--json" && i + 1 < Array.length Sys.argv then
+        out := Some Sys.argv.(i + 1))
+    Sys.argv;
+  !out
+
 let () =
   let quick = Array.exists (fun a -> a = "quick") Sys.argv in
   e1_report ();
@@ -688,12 +982,16 @@ let () =
   e10_report ();
   e11_report ();
   e12_report ();
+  e13_report ();
   if not quick then begin
     let tests =
       e1_tests () @ e2_tests () @ e2_xuml_test () @ e3_tests () @ e4_tests ()
       @ e5_tests () @ e6_tests () @ e7_tests () @ e8_tests () @ e9_tests ()
-      @ e10_tests () @ e11_tests () @ e12_tests ()
+      @ e10_tests () @ e11_tests () @ e12_tests () @ e13_tests ()
     in
     run_bechamel tests
   end;
+  (match json_target () with
+  | Some path -> write_json path
+  | None -> ());
   print_newline ()

@@ -4,16 +4,20 @@ type report = {
   mismatch : string option;
 }
 
+(* Replays run on the compiled net: labels are interned once and each
+   firing is array arithmetic instead of arc-list scans. *)
 let check_trace act labels =
   let net, m0 = Translate.to_petri act in
+  let c = Petri.Compiled.of_net net in
+  let cm0, _residue = Petri.Compiled.split c m0 in
   let rec replay m n = function
     | [] -> (n, Ok m)
     | label :: rest -> (
-      match Petri.Marking.fire net m label with
+      match Petri.Compiled.fire_by_id c m label with
       | Some m' -> replay m' (n + 1) rest
       | None -> (n, Error label))
   in
-  match replay m0 0 labels with
+  match replay cm0 0 labels with
   | n, Ok _m -> { steps = n; conforms = true; mismatch = None }
   | n, Error label ->
     {
@@ -27,22 +31,27 @@ let run_and_check ?seed ?max_steps act =
   let engine = Exec.create act in
   let labels = Exec.run ?seed ?max_steps engine in
   let net, m0 = Translate.to_petri act in
+  let c = Petri.Compiled.of_net net in
+  let cm0, residue = Petri.Compiled.split c m0 in
   let rec replay m = function
     | [] -> Ok m
     | label :: rest -> (
-      match Petri.Marking.fire net m label with
+      match Petri.Compiled.fire_by_id c m label with
       | Some m' -> replay m' rest
       | None -> Error label)
   in
-  match replay m0 labels with
+  match replay cm0 labels with
   | Error label ->
     {
       steps = List.length labels;
       conforms = false;
       mismatch = Some (Printf.sprintf "label %s not enabled in net" label);
     }
-  | Ok final_net_marking ->
-    let net_marking = Petri.Marking.to_list final_net_marking in
+  | Ok final_compiled_marking ->
+    let net_marking =
+      Petri.Marking.to_list
+        (Petri.Compiled.export c residue final_compiled_marking)
+    in
     let engine_marking = Exec.tokens engine in
     if net_marking = engine_marking then
       { steps = List.length labels; conforms = true; mismatch = None }

@@ -25,8 +25,33 @@ let add_tokens t p n =
   let v = tokens_at t p + n in
   t.marking <- (if v = 0 then SM.remove p t.marking else SM.add p v t.marking)
 
+(* Parse all edge guards and action bodies once at engine construction;
+   firing then runs on the memoized compiled forms (parse errors stay
+   captured until the behavior actually evaluates). *)
+let precompile_behaviors (act : Activityg.t) =
+  let opt compile = function
+    | None -> ()
+    | Some src -> ignore (compile src)
+  in
+  List.iter
+    (fun (e : Activityg.edge) -> opt Asl.Compiled.guard e.Activityg.ed_guard)
+    act.Activityg.ac_edges;
+  List.iter
+    (fun n ->
+      match n with
+      | Activityg.Action a -> opt Asl.Compiled.program a.Activityg.act_body
+      | Activityg.Call_behavior _ | Activityg.Send_signal _
+      | Activityg.Accept_event _ | Activityg.Object_node _
+      | Activityg.Initial_node _ | Activityg.Activity_final _
+      | Activityg.Flow_final _ | Activityg.Fork_node _
+      | Activityg.Join_node _ | Activityg.Decision_node _
+      | Activityg.Merge_node _ ->
+        ())
+    act.Activityg.ac_nodes
+
 let create ?interp ?(self_ = Asl.Value.V_null)
     ?(metrics = Telemetry.Metrics.null) act =
+  precompile_behaviors act;
   let exec_interp =
     match interp with
     | Some i -> i
@@ -70,7 +95,10 @@ let offer_event t name = t.pending_events <- t.pending_events @ [ name ]
 let guard_passes t = function
   | None -> true
   | Some src -> (
-    match Asl.Interp.eval_guard ~self_:t.self_ t.exec_interp src with
+    match
+      Asl.Interp.eval_guard_compiled ~self_:t.self_ t.exec_interp
+        (Asl.Compiled.guard src)
+    with
     | b -> b
     | exception Asl.Interp.Runtime_error _ -> false)
 
@@ -234,7 +262,10 @@ let run_node_behavior t n =
     match a.act_body with
     | None -> ()
     | Some src -> (
-      match Asl.Interp.run_source ~self_:t.self_ t.exec_interp src with
+      match
+        Asl.Interp.run_compiled ~self_:t.self_ t.exec_interp
+          (Asl.Compiled.program src)
+      with
       | _result ->
         let sent = Asl.Interp.drain_signals t.exec_interp in
         List.iter

@@ -1,0 +1,31 @@
+type guard = (Ast.expr, string) result
+type program = (Ast.program, string) result
+
+let guards : (string, guard) Hashtbl.t = Hashtbl.create 64
+let programs : (string, program) Hashtbl.t = Hashtbl.create 64
+
+let capture parse src =
+  match parse src with
+  | ast -> Ok ast
+  | exception exn -> (
+    match Parser.error_message exn with
+    | Some m -> Error m
+    | None -> raise exn)
+
+let memoize table parse src =
+  match Hashtbl.find_opt table src with
+  | Some c -> c
+  | None ->
+    let c = capture parse src in
+    Hashtbl.add table src c;
+    c
+
+let guard src = memoize guards Parser.parse_expression src
+let program src = memoize programs Parser.parse_program src
+let guard_result c = c
+let program_result c = c
+let memo_stats () = (Hashtbl.length guards, Hashtbl.length programs)
+
+let clear_memo () =
+  Hashtbl.reset guards;
+  Hashtbl.reset programs

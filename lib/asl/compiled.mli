@@ -1,0 +1,39 @@
+(** Parse-once ASL behaviors.
+
+    The metamodel stores guards and effects as opaque source strings
+    (mirroring UML's [OpaqueBehavior]); historically every evaluation
+    reparsed its string.  This module compiles a source string to its
+    AST exactly once and memoizes the result in a table keyed by the
+    source text, so the statechart and activity engines can dispatch
+    events without ever touching the parser again.
+
+    Parse errors are captured inside the compiled value rather than
+    raised here: a behavior that never runs must not fail at
+    compile/warm-up time, exactly as the parse-per-eval scheme only
+    surfaced errors on evaluation.  {!Interp.eval_guard_compiled} and
+    {!Interp.run_compiled} raise [Interp.Runtime_error] when handed a
+    captured error. *)
+
+type guard
+(** A compiled boolean guard expression (or its captured parse error). *)
+
+type program
+(** A compiled statement sequence (or its captured parse error). *)
+
+val guard : string -> guard
+(** Memoized [Parser.parse_expression]: physically the same compiled
+    value for the same source string. *)
+
+val program : string -> program
+(** Memoized [Parser.parse_program]. *)
+
+val guard_result : guard -> (Ast.expr, string) result
+(** The parse outcome; [Error] carries the rendered parse error. *)
+
+val program_result : program -> (Ast.program, string) result
+
+val memo_stats : unit -> int * int
+(** [(guards, programs)] currently memoized — for tests and benches. *)
+
+val clear_memo : unit -> unit
+(** Drop both memo tables (benchmark cold-start measurements). *)

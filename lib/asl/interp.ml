@@ -293,26 +293,26 @@ let run ?self_ ?params t prog =
   | () -> None
   | exception Returning v -> v
 
+let run_compiled ?self_ ?params t prog =
+  match Compiled.program_result prog with
+  | Ok p -> run ?self_ ?params t p
+  | Error m -> raise (Runtime_error m)
+
 let run_source ?self_ ?params t src =
-  match Parser.parse_program src with
-  | prog -> run ?self_ ?params t prog
-  | exception exn -> (
-    match Parser.error_message exn with
-    | Some m -> raise (Runtime_error m)
-    | None -> raise exn)
+  run_compiled ?self_ ?params t (Compiled.program src)
 
 let eval ?self_ ?params t e =
   t.fuel <- t.initial_fuel;
   let frame = make_frame ?self_ ?params () in
   eval_expr t frame e
 
+let eval_guard_compiled ?self_ ?params t g =
+  match Compiled.guard_result g with
+  | Ok e -> as_bool (eval ?self_ ?params t e)
+  | Error m -> raise (Runtime_error m)
+
 let eval_guard ?self_ ?params t src =
-  match Parser.parse_expression src with
-  | e -> as_bool (eval ?self_ ?params t e)
-  | exception exn -> (
-    match Parser.error_message exn with
-    | Some m -> raise (Runtime_error m)
-    | None -> raise exn)
+  eval_guard_compiled ?self_ ?params t (Compiled.guard src)
 
 let drain_signals t =
   let out = List.rev t.signals in

@@ -53,7 +53,15 @@ val run :
 val run_source :
   ?self_:Value.t -> ?params:(string * Value.t) list -> t -> string ->
   Value.t option
-(** Parse then {!run}. @raise Runtime_error also on parse errors. *)
+(** Parse (memoized via {!Compiled.program}) then {!run}.
+    @raise Runtime_error also on parse errors. *)
+
+val run_compiled :
+  ?self_:Value.t -> ?params:(string * Value.t) list -> t ->
+  Compiled.program -> Value.t option
+(** {!run} a precompiled program.
+    @raise Runtime_error when the compiled value captured a parse
+    error. *)
 
 val eval :
   ?self_:Value.t -> ?params:(string * Value.t) list -> t -> Ast.expr ->
@@ -61,8 +69,15 @@ val eval :
 
 val eval_guard :
   ?self_:Value.t -> ?params:(string * Value.t) list -> t -> string -> bool
-(** Parse and evaluate a boolean guard.
+(** Parse (memoized via {!Compiled.guard}) and evaluate a boolean guard.
     @raise Runtime_error if the result is not a boolean. *)
+
+val eval_guard_compiled :
+  ?self_:Value.t -> ?params:(string * Value.t) list -> t ->
+  Compiled.guard -> bool
+(** Evaluate a precompiled guard.
+    @raise Runtime_error if the result is not a boolean or the compiled
+    value captured a parse error. *)
 
 val drain_signals : t -> signal_out list
 (** Signals emitted since the last drain, oldest first. *)

@@ -37,7 +37,10 @@ let check_activity (ac : Activityg.t) acc =
     (* structurally broken beyond edge resolution; Wfr territory *)
     acc
   | net, m0 ->
-    let reach = Petri.Analysis.reachable ~limit:state_limit net m0 in
+    (* one state-space exploration per activity: ACT-01 (deadlocks) and
+       ACT-03 (dead transitions) both read off the same summary *)
+    let summary = Petri.Analysis.explore ~limit:state_limit net m0 in
+    let reach = summary.Petri.Analysis.sum_reach in
     let acc =
       if reach.Petri.Analysis.truncated then acc
       else
@@ -70,9 +73,7 @@ let check_activity (ac : Activityg.t) acc =
     in
     if reach.Petri.Analysis.truncated then acc
     else
-      let dead =
-        Petri.Analysis.dead_transitions ~limit:state_limit net m0
-      in
+      let dead = summary.Petri.Analysis.sum_dead_transitions in
       List.fold_left
         (fun acc node ->
           let tns = transitions_of_node ac node in

@@ -5,38 +5,52 @@ type reach_result = {
   deadlocks : Marking.t list;
 }
 
+type summary = {
+  sum_reach : reach_result;
+  sum_bound : int option;
+  sum_deadlock_free : bool option;
+  sum_dead_transitions : string list;
+}
+
 module MSet = Set.Make (struct
   type t = Marking.t
 
   let compare = Marking.compare
 end)
 
-let reachable ?(limit = 10_000) ?(metrics = Telemetry.Metrics.null) net m0 =
+let reachable_reference ?(limit = 10_000) ?(metrics = Telemetry.Metrics.null)
+    net m0 =
   let m_explored = Telemetry.Metrics.counter metrics "petri.markings_explored" in
   let queue = Queue.create () in
   Queue.push m0 queue;
-  let rec loop seen order deadlocks truncated =
-    if Queue.is_empty queue then (seen, order, deadlocks, truncated)
-    else if MSet.cardinal seen >= limit then (seen, order, deadlocks, true)
-    else
+  (* [seen] is marked at enqueue time, so the frontier never holds
+     duplicates; [visited] counts popped markings against [limit]. *)
+  let rec loop seen visited order deadlocks =
+    if Queue.is_empty queue then (order, deadlocks, false)
+    else if visited >= limit then (order, deadlocks, true)
+    else begin
       let m = Queue.pop queue in
-      if MSet.mem m seen then loop seen order deadlocks truncated
-      else begin
-        let seen = MSet.add m seen in
-        Telemetry.Metrics.incr m_explored;
-        let successors =
-          List.filter_map
-            (fun tn -> Marking.fire net m tn.Net.tn_id)
-            net.Net.transitions
-        in
-        let deadlocks = if successors = [] then m :: deadlocks else deadlocks in
-        List.iter (fun m' -> Queue.push m' queue) successors;
-        loop seen (m :: order) deadlocks truncated
-      end
+      Telemetry.Metrics.incr m_explored;
+      let successors =
+        List.filter_map
+          (fun tn -> Marking.fire net m tn.Net.tn_id)
+          net.Net.transitions
+      in
+      let deadlocks = if successors = [] then m :: deadlocks else deadlocks in
+      let seen =
+        List.fold_left
+          (fun seen m' ->
+            if MSet.mem m' seen then seen
+            else begin
+              Queue.push m' queue;
+              MSet.add m' seen
+            end)
+          seen successors
+      in
+      loop seen (visited + 1) (m :: order) deadlocks
+    end
   in
-  let _seen, order, deadlocks, truncated =
-    loop MSet.empty [] [] false
-  in
+  let order, deadlocks, truncated = loop (MSet.singleton m0) 0 [] [] in
   let markings = List.rev order in
   {
     markings;
@@ -45,18 +59,48 @@ let reachable ?(limit = 10_000) ?(metrics = Telemetry.Metrics.null) net m0 =
     deadlocks = List.rev deadlocks;
   }
 
-let is_deadlock_free ?limit net m0 =
-  let r = reachable ?limit net m0 in
-  if r.truncated && r.deadlocks = [] then None else Some (r.deadlocks = [])
+let explore ?limit ?metrics net m0 =
+  let c = Compiled.of_net net in
+  let cm0, residue = Compiled.split c m0 in
+  let r = Compiled.reachable ?limit ?metrics c cm0 in
+  let export = Compiled.export c residue in
+  let reach =
+    {
+      markings = List.map export r.Compiled.r_order;
+      state_count = r.Compiled.r_state_count;
+      truncated = r.Compiled.r_truncated;
+      deadlocks = List.map export r.Compiled.r_deadlocks;
+    }
+  in
+  (* Residue places never change, so they contribute a constant to the
+     per-place bound of every visited marking. *)
+  let residue_max =
+    List.fold_left (fun acc (_, n) -> max acc n) 0 residue
+  in
+  let dead =
+    List.filter_map
+      (fun tn ->
+        match Compiled.transition_index c tn.Net.tn_id with
+        | Some ti when not r.Compiled.r_fired.(ti) -> Some tn.Net.tn_id
+        | Some _ | None -> None)
+      net.Net.transitions
+  in
+  {
+    sum_reach = reach;
+    sum_bound =
+      (if reach.truncated then None
+       else Some (max r.Compiled.r_max_tokens residue_max));
+    sum_deadlock_free =
+      (if reach.truncated && reach.deadlocks = [] then None
+       else Some (reach.deadlocks = []));
+    sum_dead_transitions = dead;
+  }
 
-let bound ?limit net m0 =
-  let r = reachable ?limit net m0 in
-  if r.truncated then None
-  else
-    let max_place m =
-      List.fold_left (fun acc (_, n) -> max acc n) 0 (Marking.to_list m)
-    in
-    Some (List.fold_left (fun acc m -> max acc (max_place m)) 0 r.markings)
+let reachable ?limit ?metrics net m0 =
+  (explore ?limit ?metrics net m0).sum_reach
+
+let is_deadlock_free ?limit net m0 = (explore ?limit net m0).sum_deadlock_free
+let bound ?limit net m0 = (explore ?limit net m0).sum_bound
 
 let is_k_bounded ?limit k net m0 =
   match bound ?limit net m0 with
@@ -84,19 +128,4 @@ let random_occurrence_sequence ~seed ~max_steps net m0 =
   in
   loop m0 0 []
 
-let dead_transitions ?limit net m0 =
-  let r = reachable ?limit net m0 in
-  let fired =
-    List.fold_left
-      (fun acc m ->
-        List.fold_left
-          (fun acc tn -> tn.Net.tn_id :: acc)
-          acc
-          (Marking.enabled_transitions net m))
-      [] r.markings
-  in
-  let module S = Set.Make (String) in
-  let fired = S.of_list fired in
-  List.filter_map
-    (fun tn -> if S.mem tn.Net.tn_id fired then None else Some tn.Net.tn_id)
-    net.Net.transitions
+let dead_transitions ?limit net m0 = (explore ?limit net m0).sum_dead_transitions

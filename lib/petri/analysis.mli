@@ -1,5 +1,9 @@
 (** Behavioral analysis: reachability, boundedness, deadlocks, and
-    occurrence sequences. *)
+    occurrence sequences.
+
+    All state-space queries run on the integer-indexed {!Compiled}
+    engine; {!reachable_reference} keeps the original string-keyed BFS
+    as the differential-testing oracle. *)
 
 type reach_result = {
   markings : Marking.t list;  (** discovered markings, BFS order *)
@@ -8,12 +12,38 @@ type reach_result = {
   deadlocks : Marking.t list;  (** reachable markings without successors *)
 }
 
+type summary = {
+  sum_reach : reach_result;
+  sum_bound : int option;
+      (** max tokens in any single place; [None] when truncated *)
+  sum_deadlock_free : bool option;
+      (** [None] when truncated without finding a deadlock *)
+  sum_dead_transitions : string list;
+      (** never enabled in the explored space, in net order;
+          conservative when truncated *)
+}
+
+val explore :
+  ?limit:int -> ?metrics:Telemetry.Metrics.t -> Net.t -> Marking.t -> summary
+(** One compiled breadth-first exploration (up to [limit] states,
+    default 10_000) answering every per-net question at once: clients
+    that need several of reachability, bounds, deadlock-freedom and
+    dead transitions should call this once instead of one query
+    function per answer.  [metrics] receives the
+    [petri.markings_explored] counter. *)
+
 val reachable :
   ?limit:int -> ?metrics:Telemetry.Metrics.t -> Net.t -> Marking.t ->
   reach_result
-(** Breadth-first state-space exploration, up to [limit] states
-    (default 10_000).  [metrics] (default {!Telemetry.Metrics.null})
-    receives the [petri.markings_explored] counter. *)
+(** The {!explore} reachability component. *)
+
+val reachable_reference :
+  ?limit:int -> ?metrics:Telemetry.Metrics.t -> Net.t -> Marking.t ->
+  reach_result
+(** The original map/set-based BFS over string-keyed markings, kept as
+    the reference semantics for differential tests and benchmarks.
+    Agrees with {!reachable} exactly (same markings, same BFS order,
+    same deadlocks and truncation verdict). *)
 
 val is_deadlock_free : ?limit:int -> Net.t -> Marking.t -> bool option
 (** [Some b] when the state space was fully explored, [None] when

@@ -10,109 +10,106 @@ type result = {
   truncated : bool;
 }
 
-module SM = Map.Make (String)
+(* Internal representation: ω-markings as int arrays over the compiled
+   net's dense place indices, with [omega] as the ω sentinel.  Token
+   counts never approach [max_int] — acceleration pushes any strictly
+   growing place to ω long before — so the sentinel is unambiguous. *)
+let omega = max_int
 
-(* internal representation: map with absent = 0 *)
+let hash_om om =
+  Array.fold_left (fun h n -> (h * 31) + n + 1) (Array.length om) om
+  land max_int
 
-let om_of_marking m =
-  List.fold_left
-    (fun acc (p, n) -> SM.add p (Fin n) acc)
-    SM.empty (Marking.to_list m)
+module H = Hashtbl.Make (struct
+  type t = int array
 
-let get om p =
-  match SM.find_opt p om with
-  | Some c -> c
-  | None -> Fin 0
+  let equal (a : int array) b = a = b
+  let hash = hash_om
+end)
 
-let enabled net om tn =
-  Net.find_transition net tn <> None
-  && List.for_all
-       (fun (p, w) ->
-         match get om p with
-         | Omega -> true
-         | Fin n -> n >= w)
-       (Net.pre net tn)
+let enabled c om ti =
+  Array.for_all
+    (fun (p, w) -> om.(p) = omega || om.(p) >= w)
+    (Compiled.pre_arcs c ti)
 
-let fire net om tn =
-  let consume om (p, w) =
-    match get om p with
-    | Omega -> om
-    | Fin n -> SM.add p (Fin (n - w)) om
-  in
-  let produce om (p, w) =
-    match get om p with
-    | Omega -> om
-    | Fin n -> SM.add p (Fin (n + w)) om
-  in
-  let om = List.fold_left consume om (Net.pre net tn) in
-  List.fold_left produce om (Net.post net tn)
+let fire c om ti =
+  let next = Array.copy om in
+  Array.iter
+    (fun (p, w) -> if next.(p) <> omega then next.(p) <- next.(p) - w)
+    (Compiled.pre_arcs c ti);
+  Array.iter
+    (fun (p, w) -> if next.(p) <> omega then next.(p) <- next.(p) + w)
+    (Compiled.post_arcs c ti);
+  next
 
 (* partial order: om1 <= om2 *)
-let leq om1 om2 places =
-  List.for_all
-    (fun (p : Net.place) ->
-      match get om1 p.Net.pl_id, get om2 p.Net.pl_id with
-      | _, Omega -> true
-      | Omega, Fin _ -> false
-      | Fin a, Fin b -> a <= b)
-    places
-
-let equal_om om1 om2 places =
-  leq om1 om2 places && leq om2 om1 places
+let leq om1 om2 =
+  let n = Array.length om1 in
+  let rec check i =
+    i >= n
+    || (om2.(i) = omega || (om1.(i) <> omega && om1.(i) <= om2.(i)))
+       && check (i + 1)
+  in
+  check 0
 
 (* acceleration: any ancestor strictly below the new marking pushes the
-   strictly larger places to omega *)
-let accelerate ancestors om places =
+   strictly larger places to omega.  [om] is fresh (from {!fire} or an
+   earlier copy here), so in-place mutation keeps the reference
+   engine's fold-over-ancestors sequencing. *)
+let accelerate ancestors om =
   List.fold_left
     (fun om ancestor ->
-      if leq ancestor om places && not (equal_om ancestor om places) then
-        List.fold_left
-          (fun om (p : Net.place) ->
-            let id = p.Net.pl_id in
-            match get ancestor id, get om id with
-            | Fin a, Fin b when b > a -> SM.add id Omega om
-            | (Fin _ | Omega), (Fin _ | Omega) -> om)
-          om places
+      if leq ancestor om && om <> ancestor then begin
+        Array.iteri
+          (fun p a ->
+            if a <> omega && om.(p) <> omega && om.(p) > a then
+              om.(p) <- omega)
+          ancestor;
+        om
+      end
       else om)
     om ancestors
 
 let analyse ?(limit = 10_000) net m0 =
-  let places = net.Net.places in
-  let seen = ref [] in
-  let omega_places = Hashtbl.create 8 in
+  let c = Compiled.of_net net in
+  let np = Compiled.place_count c in
+  let nt = Compiled.transition_count c in
+  (* Places unknown to the net are inert under firing and can never
+     reach ω; dropping them reproduces the reference verdicts. *)
+  let cm0, _residue = Compiled.split c m0 in
+  let om0 = Array.init np (Compiled.tokens cm0) in
+  let seen = H.create 256 in
+  let omega_seen = Array.make np false in
   let truncated = ref false in
   let node_count = ref 0 in
   let note_omegas om =
-    SM.iter
-      (fun p c ->
-        match c with
-        | Omega -> Hashtbl.replace omega_places p ()
-        | Fin _ -> ())
-      om
+    Array.iteri (fun p n -> if n = omega then omega_seen.(p) <- true) om
   in
   let rec explore ancestors om =
     if !node_count >= limit then truncated := true
-    else if List.exists (fun s -> equal_om s om places) !seen then ()
+    else if H.mem seen om then ()
     else begin
       incr node_count;
-      seen := om :: !seen;
+      H.replace seen om ();
       note_omegas om;
-      List.iter
-        (fun (tn : Net.transition) ->
-          if enabled net om tn.Net.tn_id then begin
-            let next = fire net om tn.Net.tn_id in
-            let next = accelerate (om :: ancestors) next places in
-            explore (om :: ancestors) next
-          end)
-        net.Net.transitions
+      for ti = 0 to nt - 1 do
+        if enabled c om ti then begin
+          let next = accelerate (om :: ancestors) (fire c om ti) in
+          explore (om :: ancestors) next
+        end
+      done
     end
   in
-  explore [] (om_of_marking m0);
-  let unbounded =
-    List.sort String.compare
-      (Hashtbl.fold (fun p () acc -> p :: acc) omega_places [])
-  in
-  { nodes = !node_count; unbounded_places = unbounded; truncated = !truncated }
+  explore [] om0;
+  let unbounded = ref [] in
+  for p = np - 1 downto 0 do
+    if omega_seen.(p) then unbounded := Compiled.place_id c p :: !unbounded
+  done;
+  {
+    nodes = !node_count;
+    unbounded_places = List.sort String.compare !unbounded;
+    truncated = !truncated;
+  }
 
 let is_bounded ?limit net m0 =
   let r = analyse ?limit net m0 in

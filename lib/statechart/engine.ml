@@ -44,6 +44,31 @@ type t = {
   g_queue : Telemetry.Metrics.gauge;
 }
 
+(* Parse every behavior string of the machine exactly once, at engine
+   construction: dispatch then runs entirely on the memoized compiled
+   forms.  Parse errors are captured, not raised — a guard that never
+   fires must not fail at [create], matching the historical
+   parse-per-dispatch semantics. *)
+let precompile_behaviors sm =
+  let opt compile = function
+    | None -> ()
+    | Some src -> ignore (compile src)
+  in
+  List.iter
+    (fun (tr : Smachine.transition) ->
+      opt Asl.Compiled.guard tr.Smachine.tr_guard;
+      opt Asl.Compiled.program tr.Smachine.tr_effect)
+    (Smachine.all_transitions sm);
+  List.iter
+    (fun v ->
+      match v with
+      | Smachine.State s ->
+        opt Asl.Compiled.program s.Smachine.st_entry;
+        opt Asl.Compiled.program s.Smachine.st_exit;
+        opt Asl.Compiled.program s.Smachine.st_do
+      | Smachine.Pseudo _ | Smachine.Final _ -> ())
+    (Smachine.all_vertices sm)
+
 let create ?interp ?(self_ = Asl.Value.V_null)
     ?(metrics = Telemetry.Metrics.null) sm =
   let engine_interp =
@@ -51,6 +76,7 @@ let create ?interp ?(self_ = Asl.Value.V_null)
     | Some i -> i
     | None -> Asl.Interp.create ~metrics (Asl.Store.create ())
   in
+  precompile_behaviors sm;
   {
     topo = Topology.build sm;
     engine_interp;
@@ -88,8 +114,8 @@ let guard_passes t ev = function
   | None -> true
   | Some src -> (
     match
-      Asl.Interp.eval_guard ~self_:t.self_ ~params:(event_params ev)
-        t.engine_interp src
+      Asl.Interp.eval_guard_compiled ~self_:t.self_ ~params:(event_params ev)
+        t.engine_interp (Asl.Compiled.guard src)
     with
     | b -> b
     | exception Asl.Interp.Runtime_error m ->
@@ -99,8 +125,8 @@ let run_behavior t ev = function
   | None -> ()
   | Some src -> (
     match
-      Asl.Interp.run_source ~self_:t.self_ ~params:(event_params ev)
-        t.engine_interp src
+      Asl.Interp.run_compiled ~self_:t.self_ ~params:(event_params ev)
+        t.engine_interp (Asl.Compiled.program src)
     with
     | _result -> ()
     | exception Asl.Interp.Runtime_error m ->

@@ -1,0 +1,306 @@
+(* Differential tests for the compiled execution core: the
+   integer-indexed Petri engine (Petri.Compiled / Analysis.explore)
+   must agree exactly with the string-keyed reference BFS
+   (Analysis.reachable_reference), and the memoized ASL compilation
+   must leave engine traces byte-identical. *)
+
+let tc name f = Alcotest.test_case name `Quick f
+let check = Alcotest.check
+
+(* ------------------------------------------------------------------ *)
+(* Seeded random nets (deliberately including unbounded and dead-end
+   shapes: source transitions, weight-2 arcs, unreachable tokens) *)
+
+let random_net_and_marking seed =
+  let rng = Workload.Prng.create seed in
+  let np = Workload.Prng.range rng 1 6 in
+  let nt = Workload.Prng.range rng 1 8 in
+  let place i = Printf.sprintf "p%d" i in
+  let places = List.init np (fun i -> Petri.Net.place (place i)) in
+  let transitions =
+    List.init nt (fun i -> Petri.Net.transition (Printf.sprintf "t%d" i))
+  in
+  let arcs =
+    List.concat_map
+      (fun i ->
+        let tn = Printf.sprintf "t%d" i in
+        let pre =
+          List.init (Workload.Prng.int rng 3) (fun _ ->
+              Petri.Net.P_to_t
+                ( place (Workload.Prng.int rng np),
+                  tn,
+                  Workload.Prng.range rng 1 2 ))
+        in
+        let post =
+          List.init (Workload.Prng.int rng 3) (fun _ ->
+              Petri.Net.T_to_p
+                ( tn,
+                  place (Workload.Prng.int rng np),
+                  Workload.Prng.range rng 1 2 ))
+        in
+        pre @ post)
+      (List.init nt (fun i -> i))
+  in
+  let net = Petri.Net.make places transitions arcs in
+  let m0 =
+    Petri.Marking.of_list
+      (List.filter_map
+         (fun i ->
+           let n = Workload.Prng.int rng 3 in
+           if n = 0 then None else Some (place i, n))
+         (List.init np (fun i -> i)))
+  in
+  (net, m0)
+
+let activity_net seed =
+  let act =
+    Workload.Gen_activity.with_decisions ~seed ~size:12 ~max_width:3
+  in
+  Activity.Translate.to_petri act
+
+(* Reference derivations, replicating the historical per-query code on
+   top of the reference BFS. *)
+let reference_bound (r : Petri.Analysis.reach_result) =
+  if r.Petri.Analysis.truncated then None
+  else
+    let max_place m =
+      List.fold_left (fun acc (_, n) -> max acc n) 0 (Petri.Marking.to_list m)
+    in
+    Some
+      (List.fold_left
+         (fun acc m -> max acc (max_place m))
+         0 r.Petri.Analysis.markings)
+
+let reference_deadlock_free (r : Petri.Analysis.reach_result) =
+  if r.Petri.Analysis.truncated && r.Petri.Analysis.deadlocks = [] then None
+  else Some (r.Petri.Analysis.deadlocks = [])
+
+let reference_dead net (r : Petri.Analysis.reach_result) =
+  let module S = Set.Make (String) in
+  let fired =
+    List.fold_left
+      (fun acc m ->
+        List.fold_left
+          (fun acc tn -> S.add tn.Petri.Net.tn_id acc)
+          acc
+          (Petri.Marking.enabled_transitions net m))
+      S.empty r.Petri.Analysis.markings
+  in
+  List.filter_map
+    (fun tn ->
+      if S.mem tn.Petri.Net.tn_id fired then None
+      else Some tn.Petri.Net.tn_id)
+    net.Petri.Net.transitions
+
+let markings_equal a b =
+  List.length a = List.length b && List.for_all2 Petri.Marking.equal a b
+
+let agree ~limit net m0 =
+  let ref_r = Petri.Analysis.reachable_reference ~limit net m0 in
+  let s = Petri.Analysis.explore ~limit net m0 in
+  let r = s.Petri.Analysis.sum_reach in
+  r.Petri.Analysis.state_count = ref_r.Petri.Analysis.state_count
+  && r.Petri.Analysis.truncated = ref_r.Petri.Analysis.truncated
+  && markings_equal r.Petri.Analysis.markings ref_r.Petri.Analysis.markings
+  && markings_equal r.Petri.Analysis.deadlocks ref_r.Petri.Analysis.deadlocks
+  && s.Petri.Analysis.sum_bound = reference_bound ref_r
+  && s.Petri.Analysis.sum_deadlock_free = reference_deadlock_free ref_r
+  && s.Petri.Analysis.sum_dead_transitions = reference_dead net ref_r
+
+let petri_differential_tests =
+  [
+    QCheck_alcotest.to_alcotest
+      (QCheck.Test.make
+         ~name:"compiled = reference on random nets (reach/bound/dead)"
+         ~count:150
+         QCheck.(int_range 1 100_000)
+         (fun seed ->
+           let net, m0 = random_net_and_marking seed in
+           agree ~limit:400 net m0));
+    QCheck_alcotest.to_alcotest
+      (QCheck.Test.make
+         ~name:"compiled = reference on activity translations" ~count:40
+         QCheck.(int_range 1 10_000)
+         (fun seed ->
+           let net, m0 = activity_net seed in
+           agree ~limit:4096 net m0));
+    QCheck_alcotest.to_alcotest
+      (QCheck.Test.make
+         ~name:"replayed occurrence sequences agree marking-for-marking"
+         ~count:100
+         QCheck.(int_range 1 100_000)
+         (fun seed ->
+           let net, m0 = random_net_and_marking seed in
+           let labels =
+             Petri.Analysis.random_occurrence_sequence ~seed ~max_steps:60 net
+               m0
+           in
+           let c = Petri.Compiled.of_net net in
+           let cm0, residue = Petri.Compiled.split c m0 in
+           let rec replay rm cm = function
+             | [] -> Some (rm, cm)
+             | label :: rest -> (
+               match
+                 ( Petri.Marking.fire net rm label,
+                   Petri.Compiled.fire_by_id c cm label )
+               with
+               | Some rm', Some cm' -> replay rm' cm' rest
+               | Some _, None | None, Some _ | None, None -> None)
+           in
+           match replay m0 cm0 labels with
+           | None -> false (* both engines must accept the whole replay *)
+           | Some (rm, cm) ->
+             Petri.Marking.equal rm (Petri.Compiled.export c residue cm)));
+    QCheck_alcotest.to_alcotest
+      (QCheck.Test.make
+         ~name:"coverability verdict consistent with reachability" ~count:40
+         QCheck.(int_range 1 100_000)
+         (fun seed ->
+           let net, m0 = random_net_and_marking seed in
+           let r = Petri.Analysis.reachable_reference ~limit:2000 net m0 in
+           match Petri.Coverability.is_bounded ~limit:50_000 net m0 with
+           | Some false ->
+             (* unbounded nets must overflow plain reachability *)
+             r.Petri.Analysis.truncated
+           | Some true ->
+             (* Karp-Miller termination without omega: the reachable
+                set is finite, though it may exceed our small limit *)
+             true
+           | None -> true));
+  ]
+
+let petri_unit_tests =
+  [
+    tc "frontier holds no duplicates at the limit boundary" (fun () ->
+        (* p -t-> p (self-loop): one reachable marking.  The historical
+           engine enqueued the successor unconditionally, so limit=1
+           reported truncation on a fully explored space. *)
+        let net =
+          Petri.Net.make
+            [ Petri.Net.place "p" ]
+            [ Petri.Net.transition "t" ]
+            [ Petri.Net.P_to_t ("p", "t", 1); Petri.Net.T_to_p ("t", "p", 1) ]
+        in
+        let m0 = Petri.Marking.of_list [ ("p", 1) ] in
+        let r = Petri.Analysis.reachable ~limit:1 net m0 in
+        check Alcotest.bool "not truncated" false r.Petri.Analysis.truncated;
+        check Alcotest.int "one state" 1 r.Petri.Analysis.state_count;
+        let r_ref = Petri.Analysis.reachable_reference ~limit:1 net m0 in
+        check Alcotest.bool "reference agrees" false
+          r_ref.Petri.Analysis.truncated);
+    tc "marking survives the compiled round-trip" (fun () ->
+        let net, _m0 = random_net_and_marking 7 in
+        let c = Petri.Compiled.of_net net in
+        let m =
+          Petri.Marking.of_list [ ("p0", 2); ("alien", 5); ("ghost", 1) ]
+        in
+        let cm, residue = Petri.Compiled.split c m in
+        check Alcotest.bool "round-trip" true
+          (Petri.Marking.equal m (Petri.Compiled.export c residue cm)));
+    tc "fire_by_id rejects unknown transitions" (fun () ->
+        let net, m0 = random_net_and_marking 3 in
+        let c = Petri.Compiled.of_net net in
+        let cm0, _residue = Petri.Compiled.split c m0 in
+        check Alcotest.bool "unknown" true
+          (Petri.Compiled.fire_by_id c cm0 "no_such_transition" = None));
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* ASL compilation: memo behavior and guard differential              *)
+
+let asl_tests =
+  [
+    tc "guard memo returns the same compiled value" (fun () ->
+        let src = "1 + 2 * 3 > 4 and not (5 < 2)" in
+        check Alcotest.bool "physically equal" true
+          (Asl.Compiled.guard src == Asl.Compiled.guard src));
+    tc "program memo returns the same compiled value" (fun () ->
+        let src = "var x := 1; x := x + 1; return x;" in
+        check Alcotest.bool "physically equal" true
+          (Asl.Compiled.program src == Asl.Compiled.program src));
+    tc "parse errors stay latent until evaluation" (fun () ->
+        let g = Asl.Compiled.guard "1 +" in
+        let interp = Asl.Interp.create (Asl.Store.create ()) in
+        match Asl.Interp.eval_guard_compiled interp g with
+        | _b -> Alcotest.fail "expected Runtime_error"
+        | exception Asl.Interp.Runtime_error _ -> ());
+    QCheck_alcotest.to_alcotest
+      (QCheck.Test.make
+         ~name:"eval_guard = eval_guard_compiled on random comparisons"
+         ~count:200
+         QCheck.(triple (int_range (-50) 50) (int_range (-50) 50) bool)
+         (fun (a, b, conj) ->
+           let src =
+             Printf.sprintf "%d < %d %s %d * %d >= 0" a b
+               (if conj then "and" else "or")
+               a b
+           in
+           let interp = Asl.Interp.create (Asl.Store.create ()) in
+           Asl.Interp.eval_guard interp src
+           = Asl.Interp.eval_guard_compiled interp (Asl.Compiled.guard src)));
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Engine trace determinism under precompilation                      *)
+
+let statechart_trace sm events =
+  let engine = Statechart.Engine.create sm in
+  Statechart.Engine.start engine;
+  List.iter
+    (fun name -> Statechart.Engine.dispatch engine (Statechart.Event.make name))
+    events;
+  String.concat "\n"
+    (List.map Statechart.Engine.show_step_record
+       (Statechart.Engine.trace engine))
+
+let engine_tests =
+  [
+    tc "statechart trace is byte-identical across cold and warm memo"
+      (fun () ->
+        let sm =
+          Workload.Gen_statechart.hierarchical ~seed:21 ~depth:3 ~breadth:2
+            ~events:4
+        in
+        let events =
+          Workload.Gen_statechart.event_sequence ~seed:21 ~length:300 4
+        in
+        (* first run parses and fills the memo; the second runs entirely
+           on memoized compiled behaviors *)
+        let cold = statechart_trace sm events in
+        let warm = statechart_trace sm events in
+        check Alcotest.string "byte-identical" cold warm;
+        check Alcotest.bool "non-trivial trace" true
+          (String.length cold > 100));
+    QCheck_alcotest.to_alcotest
+      (QCheck.Test.make
+         ~name:"activity runs stay conforming under compiled replay"
+         ~count:40
+         QCheck.(int_range 1 10_000)
+         (fun seed ->
+           let act =
+             Workload.Gen_activity.with_decisions ~seed ~size:12 ~max_width:3
+           in
+           let r = Activity.Conform.run_and_check ~seed act in
+           r.Activity.Conform.conforms));
+    QCheck_alcotest.to_alcotest
+      (QCheck.Test.make ~name:"activity engine runs are replayable" ~count:40
+         QCheck.(int_range 1 10_000)
+         (fun seed ->
+           let act =
+             Workload.Gen_activity.series_parallel ~seed ~size:10 ~max_width:3
+           in
+           let run () =
+             let e = Activity.Exec.create act in
+             Activity.Exec.run ~seed e
+           in
+           run () = run ()));
+  ]
+
+let () =
+  Alcotest.run "compiled"
+    [
+      ("petri-differential", petri_differential_tests);
+      ("petri-unit", petri_unit_tests);
+      ("asl", asl_tests);
+      ("engines", engine_tests);
+    ]
