@@ -594,24 +594,27 @@ let e10_flat n =
   Hdl.Elaborate.flatten (Iplib.Soc.design ~name:"soc" (soc_instances n))
 
 let e10_report () =
-  sep "E10  simulator throughput vs design size";
+  sep "E10  simulator throughput vs design size (compiled engine)";
   List.iter
     (fun n ->
       let flat = e10_flat n in
-      let sim = Dsim.Sim.create flat in
-      Dsim.Sim.set_input sim "rst" 1;
-      Dsim.Sim.clock_edge sim "clk";
-      Dsim.Sim.set_input sim "rst" 0;
+      let sim = Dsim.Fast.create flat in
+      Dsim.Fast.set_input sim "rst" 1;
+      Dsim.Fast.clock_edge sim "clk";
+      Dsim.Fast.set_input sim "rst" 0;
       let cycles = 2000 in
       let t0 = Sys.time () in
-      Dsim.Sim.run sim ~clock:"clk" ~cycles;
+      Dsim.Fast.run sim ~clock:"clk" ~cycles;
       let dt = Sys.time () -. t0 in
       let rate = float_of_int cycles /. (dt +. 1e-9) in
       Printf.printf
-        "%2d IPs (%3d processes): %8.0f cycles/s, %9d events, %d deltas\n" n
+        "%2d IPs (%3d processes): %8.0f cycles/s, %9d events, %d deltas, \
+         %d evals skipped\n"
+        n
         (List.length flat.Hdl.Module_.mod_processes)
         rate
-        (Dsim.Sim.events sim) (Dsim.Sim.delta_cycles sim);
+        (Dsim.Fast.events sim) (Dsim.Fast.delta_cycles sim)
+        (Dsim.Fast.skipped_evals sim);
       record_f (Printf.sprintf "e10.cycles_per_s.ips%02d" n) rate)
     [ 4; 8; 16; 32 ]
 
@@ -620,8 +623,8 @@ let e10_tests () =
   [
     Bechamel.Test.make ~name:"e10/8ip-100-cycles"
       (Bechamel.Staged.stage (fun () ->
-           let sim = Dsim.Sim.create flat in
-           Dsim.Sim.run sim ~clock:"clk" ~cycles:100));
+           let sim = Dsim.Fast.create flat in
+           Dsim.Fast.run sim ~clock:"clk" ~cycles:100));
   ]
 
 (* ------------------------------------------------------------------ *)
@@ -934,6 +937,62 @@ let e13_tests () =
   ]
 
 (* ------------------------------------------------------------------ *)
+(* E14: compiled netlist engine vs reference interpreter               *)
+
+let e14_run_ref flat cycles =
+  let sim = Dsim.Sim.create flat in
+  Dsim.Sim.set_input sim "rst" 1;
+  Dsim.Sim.clock_edge sim "clk";
+  Dsim.Sim.set_input sim "rst" 0;
+  let t0 = Sys.time () in
+  Dsim.Sim.run sim ~clock:"clk" ~cycles;
+  (Sys.time () -. t0, Dsim.Sim.snapshot sim)
+
+let e14_run_fast flat cycles =
+  let sim = Dsim.Fast.create flat in
+  Dsim.Fast.set_input sim "rst" 1;
+  Dsim.Fast.clock_edge sim "clk";
+  Dsim.Fast.set_input sim "rst" 0;
+  let t0 = Sys.time () in
+  Dsim.Fast.run sim ~clock:"clk" ~cycles;
+  (Sys.time () -. t0, Dsim.Fast.snapshot sim)
+
+let e14_report () =
+  sep "E14  compiled netlist engine vs reference interpreter";
+  List.iter
+    (fun n ->
+      let flat = e10_flat n in
+      let cycles = 2000 in
+      let t_ref, snap_ref = e14_run_ref flat cycles in
+      let t_fast, snap_fast = e14_run_fast flat cycles in
+      let rate_ref = float_of_int cycles /. (t_ref +. 1e-9) in
+      let rate_fast = float_of_int cycles /. (t_fast +. 1e-9) in
+      let speedup = rate_fast /. rate_ref in
+      let agree = snap_ref = snap_fast in
+      Printf.printf
+        "%2d IPs: reference %8.0f cycles/s, compiled %8.0f cycles/s \
+         (%.1fx), snapshots agree: %b\n"
+        n rate_ref rate_fast speedup agree;
+      record_f (Printf.sprintf "e14.cycles_per_s.reference%02d" n) rate_ref;
+      record_f (Printf.sprintf "e14.cycles_per_s.compiled%02d" n) rate_fast;
+      record_f (Printf.sprintf "e14.speedup.ips%02d" n) speedup;
+      record_b (Printf.sprintf "e14.agree.ips%02d" n) agree)
+    [ 4; 8; 16; 32 ]
+
+let e14_tests () =
+  let flat = e10_flat 8 in
+  [
+    Bechamel.Test.make ~name:"e14/8ip-100-cycles-reference"
+      (Bechamel.Staged.stage (fun () ->
+           let sim = Dsim.Sim.create flat in
+           Dsim.Sim.run sim ~clock:"clk" ~cycles:100));
+    Bechamel.Test.make ~name:"e14/8ip-100-cycles-compiled"
+      (Bechamel.Staged.stage (fun () ->
+           let sim = Dsim.Fast.create flat in
+           Dsim.Fast.run sim ~clock:"clk" ~cycles:100));
+  ]
+
+(* ------------------------------------------------------------------ *)
 (* Bechamel driver                                                     *)
 
 let run_bechamel tests =
@@ -983,11 +1042,13 @@ let () =
   e11_report ();
   e12_report ();
   e13_report ();
+  e14_report ();
   if not quick then begin
     let tests =
       e1_tests () @ e2_tests () @ e2_xuml_test () @ e3_tests () @ e4_tests ()
       @ e5_tests () @ e6_tests () @ e7_tests () @ e8_tests () @ e9_tests ()
       @ e10_tests () @ e11_tests () @ e12_tests () @ e13_tests ()
+      @ e14_tests ()
     in
     run_bechamel tests
   end;

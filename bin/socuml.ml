@@ -7,6 +7,7 @@
      info       summarize a model's contents
      gen        generate code (vhdl | verilog | systemc | c) from a model
      simulate   run a state machine from the model on an event sequence
+                (--rtl: as compiled RTL on the discrete-event engine)
      trace      like simulate, but dump the structured telemetry events
      partition  partition a task graph extracted from an activity
      demo       build the demo SoC, write XMI + VHDL + VCD artifacts *)
@@ -246,8 +247,52 @@ let run_engines ?echo reg m sm names =
     prerr_endline msg;
     false
 
+(* --rtl path: compile the machine to a synthesizable FSM and run the
+   event sequence as single-cycle strobes on the compiled
+   discrete-event engine, echoing the state register after each edge
+   in the same format as the statechart path. *)
+let run_rtl_exn reg sm names =
+  match Statechart.Flatten.flatten sm with
+  | Error reason ->
+    prerr_endline reason;
+    false
+  | Ok flat -> (
+    match Codegen.Fsm_compile.compile flat with
+    | Error reason ->
+      prerr_endline reason;
+      false
+    | Ok hmod ->
+      let sim = Dsim.Fast.create ~metrics:reg hmod in
+      Dsim.Fast.set_input sim "rst" 1;
+      Dsim.Fast.clock_edge sim "clk";
+      Dsim.Fast.set_input sim "rst" 0;
+      Printf.printf "start: %s\n" (Dsim.Fast.get_enum sim "state");
+      List.iter
+        (fun ev ->
+          let port = Codegen.Fsm_compile.event_input ev in
+          Dsim.Fast.set_input sim port 1;
+          Dsim.Fast.clock_edge sim "clk";
+          Dsim.Fast.set_input sim port 0;
+          Printf.printf "%s: %s\n" ev (Dsim.Fast.get_enum sim "state"))
+        names;
+      true)
+
+let run_rtl reg sm names =
+  match run_rtl_exn reg sm names with
+  | ok -> ok
+  | exception Dsim.Sim.Simulation_error msg ->
+    prerr_endline msg;
+    false
+
+let rtl_arg =
+  let doc =
+    "Compile the state machine to RTL and run it on the discrete-event \
+     simulator instead of the statechart engine."
+  in
+  Arg.(value & flag & info [ "rtl" ] ~doc)
+
 let simulate_cmd =
-  let run path machine events metrics =
+  let run path machine events metrics rtl =
     match load_model path with
     | Error msg ->
       prerr_endline msg;
@@ -262,13 +307,22 @@ let simulate_cmd =
           if metrics then Telemetry.Metrics.create ()
           else Telemetry.Metrics.null
         in
-        let ok = run_engines ~echo:true reg m sm (split_events events) in
+        let names = split_events events in
+        let ok =
+          if rtl then run_rtl reg sm names
+          else run_engines ~echo:true reg m sm names
+        in
         if metrics then print_string (Telemetry.Metrics.report reg);
         if ok then 0 else 1)
   in
-  let doc = "Execute a state machine of the model on an event sequence." in
+  let doc =
+    "Execute a state machine of the model on an event sequence, either \
+     on the statechart engine or (with $(b,--rtl)) as compiled RTL on \
+     the discrete-event simulator."
+  in
   Cmd.v (Cmd.info "simulate" ~doc)
-    Term.(const run $ model_arg $ machine_arg $ events_arg $ metrics_arg)
+    Term.(
+      const run $ model_arg $ machine_arg $ events_arg $ metrics_arg $ rtl_arg)
 
 (* --- trace ------------------------------------------------------------- *)
 
@@ -395,21 +449,21 @@ let demo_cmd =
     output_string oc (Codegen.Vhdl.of_design d);
     close_out oc;
     let flat = Hdl.Elaborate.flatten d in
-    let sim = Dsim.Sim.create flat in
-    let vcd = Dsim.Vcd.create sim in
-    Dsim.Sim.set_input sim "rst" 1;
-    Dsim.Sim.clock_edge sim "clk";
-    Dsim.Sim.set_input sim "rst" 0;
-    Dsim.Sim.set_input sim "timer0_enable" 1;
+    let sim = Dsim.Fast.create flat in
+    let vcd = Dsim.Vcd.create_fast sim in
+    Dsim.Fast.set_input sim "rst" 1;
+    Dsim.Fast.clock_edge sim "clk";
+    Dsim.Fast.set_input sim "rst" 0;
+    Dsim.Fast.set_input sim "timer0_enable" 1;
     for t = 0 to 19 do
-      Dsim.Sim.clock_edge sim "clk";
+      Dsim.Fast.clock_edge sim "clk";
       Dsim.Vcd.sample vcd ~time:t
     done;
     let vcd_path = Filename.concat dir "demo_soc.vcd" in
     Dsim.Vcd.write_file vcd vcd_path;
     Printf.printf "wrote %s, %s, %s\n" xmi_path vhdl_path vcd_path;
     Printf.printf "timer count after 20 cycles: %d\n"
-      (Dsim.Sim.get sim "timer0_count");
+      (Dsim.Fast.get sim "timer0_count");
     0
   in
   let doc = "Build the demo SoC and write XMI, VHDL and VCD artifacts." in

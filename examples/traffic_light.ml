@@ -91,27 +91,27 @@ let () =
   in
   Printf.printf "flat   : %s\n" (String.concat " " flat_trace);
 
-  (* 3. Generated RTL in the simulator *)
+  (* 3. Generated RTL in the compiled discrete-event simulator *)
   let hmod =
     match Codegen.Fsm_compile.compile flat with
     | Ok m -> m
     | Error reason -> failwith reason
   in
-  let sim = Dsim.Sim.create hmod in
-  Dsim.Sim.set_input sim "rst" 1;
-  Dsim.Sim.clock_edge sim "clk";
-  Dsim.Sim.set_input sim "rst" 0;
+  let sim = Dsim.Fast.create hmod in
+  Dsim.Fast.set_input sim "rst" 1;
+  Dsim.Fast.clock_edge sim "clk";
+  Dsim.Fast.set_input sim "rst" 0;
   let rtl_trace =
     List.map
       (fun ev ->
-        Dsim.Sim.set_input sim (Codegen.Fsm_compile.event_input ev) 1;
-        Dsim.Sim.clock_edge sim "clk";
-        Dsim.Sim.set_input sim (Codegen.Fsm_compile.event_input ev) 0;
-        canonical (Dsim.Sim.get_enum sim "state"))
+        Dsim.Fast.set_input sim (Codegen.Fsm_compile.event_input ev) 1;
+        Dsim.Fast.clock_edge sim "clk";
+        Dsim.Fast.set_input sim (Codegen.Fsm_compile.event_input ev) 0;
+        canonical (Dsim.Fast.get_enum sim "state"))
       scenario
   in
   Printf.printf "rtl    : %s\n" (String.concat " " rtl_trace);
-  Printf.printf "rtl light output: %d\n" (Dsim.Sim.get sim "light");
+  Printf.printf "rtl light output: %d\n" (Dsim.Fast.get sim "light");
 
   let agree = engine_trace = flat_trace && flat_trace = rtl_trace in
   Printf.printf "all three executions agree: %b\n" agree;

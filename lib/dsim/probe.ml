@@ -1,0 +1,5 @@
+type t = {
+  pr_module : Hdl.Module_.t;
+  pr_get : string -> int;
+  pr_signals : (string * Hdl.Htype.t) list;
+}

@@ -10,6 +10,7 @@ type t = {
   types : (string, Htype.t) Hashtbl.t;
   enum_of_lit : (string, int) Hashtbl.t;  (** literal -> index *)
   order : (string * Htype.t) list;  (** declaration order *)
+  snap_order : string list;  (** names sorted, deduplicated *)
   mutable event_count : int;
   mutable delta_count : int;
   s_metrics : Telemetry.Metrics.t;
@@ -17,9 +18,11 @@ type t = {
   m_deltas : Telemetry.Metrics.counter;
 }
 
-let mask ty v =
-  let w = Htype.width ty in
-  if w >= 62 then v else v land ((1 lsl w) - 1)
+(* All-ones mask for a width; [1 lsl w] overflows the native int sign
+   for w >= 62, so wide values use the identity mask (raw ints). *)
+let mask_bits w = if w >= 62 then -1 else (1 lsl w) - 1
+
+let mask ty v = v land mask_bits (Htype.width ty)
 
 let module_of t = t.m
 
@@ -63,15 +66,14 @@ let rec eval t (e : Expr.t) =
   | Expr.Mux (c, a, b) -> if eval t c <> 0 then eval t a else eval t b
   | Expr.Slice (e1, hi, lo) ->
     let v = eval t e1 in
-    let w = hi - lo + 1 in
-    (v lsr lo) land ((1 lsl w) - 1)
+    (v lsr lo) land mask_bits (hi - lo + 1)
   | Expr.Concat (e1, e2) -> (
     let v1 = eval t e1 in
     let v2 = eval t e2 in
     match type_of t e2 with
     | Some ty2 -> (v1 lsl Htype.width ty2) lor mask ty2 v2
     | None -> (v1 lsl 1) lor (v2 land 1))
-  | Expr.Resize (e1, w) -> eval t e1 land ((1 lsl w) - 1)
+  | Expr.Resize (e1, w) -> eval t e1 land mask_bits w
 
 and eval_binop t op e1 e2 =
   let v1 = eval t e1 in
@@ -195,19 +197,22 @@ let settle t =
   loop 0
 
 let create ?(metrics = Telemetry.Metrics.null) m =
+  let order =
+    List.map
+      (fun (p : Module_.port) -> (p.Module_.port_name, p.Module_.port_type))
+      m.Module_.mod_ports
+    @ List.map
+        (fun (s : Module_.signal) -> (s.Module_.sig_name, s.Module_.sig_type))
+        m.Module_.mod_signals
+  in
   let t =
     {
       m;
       values = Hashtbl.create 64;
       types = Hashtbl.create 64;
       enum_of_lit = Hashtbl.create 16;
-      order =
-        List.map
-          (fun (p : Module_.port) -> (p.Module_.port_name, p.Module_.port_type))
-          m.Module_.mod_ports
-        @ List.map
-            (fun (s : Module_.signal) -> (s.Module_.sig_name, s.Module_.sig_type))
-            m.Module_.mod_signals;
+      order;
+      snap_order = List.sort_uniq String.compare (List.map fst order);
       event_count = 0;
       delta_count = 0;
       s_metrics = metrics;
@@ -281,8 +286,15 @@ let delta_cycles t = t.delta_count
 let metrics t = t.s_metrics
 let signals t = t.order
 
+(* [snap_order] is precomputed at [create] (sorted by name, duplicates
+   removed), so a snapshot is one O(n) walk instead of rebuilding and
+   re-sorting the whole table per call. *)
 let snapshot t =
-  let items =
-    Hashtbl.fold (fun name v acc -> (name, v) :: acc) t.values []
-  in
-  List.sort (fun (a, _) (b, _) -> String.compare a b) items
+  List.map (fun name -> (name, declared_value t name)) t.snap_order
+
+let probe t =
+  {
+    Probe.pr_module = t.m;
+    pr_get = (fun name -> declared_value t name);
+    pr_signals = t.order;
+  }

@@ -54,4 +54,8 @@ val signals : t -> (string * Hdl.Htype.t) list
 (** All simulated signals (ports first), declaration order. *)
 
 val snapshot : t -> (string * int) list
-(** All current values, sorted by name. *)
+(** All current values, sorted by name (order precomputed at creation,
+    so each call is a single linear walk). *)
+
+val probe : t -> Probe.t
+(** Read-only view for the {!Vcd} and {!Timing} renderers. *)

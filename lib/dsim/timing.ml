@@ -1,19 +1,19 @@
 type t = {
-  sim : Sim.t;
+  probe : Probe.t;
   tracked : (string * Hdl.Htype.t) list;
   mutable samples : (string * int) list list;  (** reverse order *)
 }
 
-let create ?signals sim =
+let of_probe ?signals probe =
   let tracked =
     match signals with
     | Some names ->
       List.map
         (fun name ->
-          (* validate and fetch the type via the simulator *)
-          let _v = Sim.get sim name in
+          (* validate and fetch the type via the engine *)
+          let _v = probe.Probe.pr_get name in
           let ty =
-            match List.assoc_opt name (Sim.signals sim) with
+            match List.assoc_opt name probe.Probe.pr_signals with
             | Some ty -> ty
             | None -> Hdl.Htype.Bit
           in
@@ -23,13 +23,16 @@ let create ?signals sim =
       List.map
         (fun (p : Hdl.Module_.port) ->
           (p.Hdl.Module_.port_name, p.Hdl.Module_.port_type))
-        (Sim.module_of sim).Hdl.Module_.mod_ports
+        probe.Probe.pr_module.Hdl.Module_.mod_ports
   in
-  { sim; tracked; samples = [] }
+  { probe; tracked; samples = [] }
+
+let create ?signals sim = of_probe ?signals (Sim.probe sim)
+let create_fast ?signals fast = of_probe ?signals (Fast.probe fast)
 
 let sample t =
   let snapshot =
-    List.map (fun (name, _ty) -> (name, Sim.get t.sim name)) t.tracked
+    List.map (fun (name, _ty) -> (name, t.probe.Probe.pr_get name)) t.tracked
   in
   t.samples <- snapshot :: t.samples
 

@@ -1,5 +1,5 @@
 type t = {
-  sim : Sim.t;
+  probe : Probe.t;
   ids : (string * string * Hdl.Htype.t) list;  (** signal, vcd id, type *)
   mutable last : (string * int) list;  (** last sampled values *)
   mutable changes : (int * (string * int) list) list;  (** reverse order *)
@@ -15,15 +15,20 @@ let vcd_id i =
   in
   build i ""
 
-let create sim =
+let of_probe probe =
   let ids =
-    List.mapi (fun i (name, ty) -> (name, vcd_id i, ty)) (Sim.signals sim)
+    List.mapi
+      (fun i (name, ty) -> (name, vcd_id i, ty))
+      probe.Probe.pr_signals
   in
-  { sim; ids; last = []; changes = [] }
+  { probe; ids; last = []; changes = [] }
+
+let create sim = of_probe (Sim.probe sim)
+let create_fast fast = of_probe (Fast.probe fast)
 
 let sample t ~time =
   let current =
-    List.map (fun (name, _, _) -> (name, Sim.get t.sim name)) t.ids
+    List.map (fun (name, _, _) -> (name, t.probe.Probe.pr_get name)) t.ids
   in
   let changed =
     List.filter
@@ -50,7 +55,7 @@ let render t =
   Buffer.add_string buf "$timescale 1ns $end\n";
   Buffer.add_string buf
     (Printf.sprintf "$scope module %s $end\n"
-       (Sim.module_of t.sim).Hdl.Module_.mod_name);
+       t.probe.Probe.pr_module.Hdl.Module_.mod_name);
   List.iter
     (fun (name, id, ty) ->
       let w = Hdl.Htype.width ty in

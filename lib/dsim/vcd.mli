@@ -1,12 +1,22 @@
 (** Value-change-dump (VCD) waveform writer.
 
-    Records snapshots of a running {!Sim} per timestep and renders the
-    standard VCD text format accepted by GTKWave and friends. *)
+    Records snapshots of a running simulation per timestep and renders
+    the standard VCD text format accepted by GTKWave and friends.  The
+    writer reads through an engine-neutral {!Probe}, so it works
+    identically over the reference interpreter ({!Sim}) and the
+    compiled engine ({!Fast}) — two engines simulating the same values
+    render byte-identical dumps. *)
 
 type t
 
 val create : Sim.t -> t
-(** Register every signal of the simulator. *)
+(** Register every signal of the reference simulator. *)
+
+val create_fast : Fast.t -> t
+(** Register every signal of the compiled simulator. *)
+
+val of_probe : Probe.t -> t
+(** Register every signal visible through the probe. *)
 
 val sample : t -> time:int -> unit
 (** Record current values at the given time (only changes are stored). *)
