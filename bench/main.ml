@@ -993,6 +993,107 @@ let e14_tests () =
   ]
 
 (* ------------------------------------------------------------------ *)
+(* E15: fault-injection campaign throughput                            *)
+
+let e15_spec flat =
+  let inputs =
+    List.filter_map
+      (fun (p : Hdl.Module_.port) ->
+        match p.Hdl.Module_.port_dir with
+        | Hdl.Module_.Input ->
+          if p.Hdl.Module_.port_name = "clk" || p.Hdl.Module_.port_name = "rst"
+          then None
+          else Some p.Hdl.Module_.port_name
+        | Hdl.Module_.Output -> None)
+      flat.Hdl.Module_.mod_ports
+  in
+  let cycles = 64 in
+  let rng = Workload.Prng.create 0x15 in
+  let stimulus =
+    List.init cycles (fun c ->
+        ( c,
+          List.filter_map
+            (fun name ->
+              if Workload.Prng.bool rng then
+                Some (name, Workload.Prng.int rng 256)
+              else None)
+            inputs ))
+  in
+  {
+    Fault.Campaign.rs_module = flat;
+    rs_clock = "clk";
+    rs_reset = Some "rst";
+    rs_stimulus = stimulus;
+    rs_cycles = cycles;
+    rs_settle_budget = 1000;
+  }
+
+let e15_plan flat n_faults =
+  let surface =
+    {
+      Fault.Plan.su_signals =
+        List.map
+          (fun (s : Hdl.Module_.signal) ->
+            (s.Hdl.Module_.sig_name, Hdl.Htype.width s.Hdl.Module_.sig_type))
+          flat.Hdl.Module_.mod_signals;
+      su_cycles = 64;
+      su_events = [];
+      su_length = 0;
+      su_places = [];
+      su_steps = 0;
+    }
+  in
+  Fault.Plan.generate ~seed:0x15 ~count:n_faults surface
+
+let e15_report () =
+  sep "E15  fault-injection campaign throughput (compiled RTL engine)";
+  List.iter
+    (fun n ->
+      let flat = e10_flat n in
+      let spec = e15_spec flat in
+      let faults = 24 in
+      let plan = e15_plan flat faults in
+      let t0 = Sys.time () in
+      let report = Fault.Campaign.run ~rtl:spec ~label:"bench" plan in
+      let dt = Sys.time () -. t0 in
+      let t = Fault.Campaign.totals report in
+      (* golden run + one run per injected fault *)
+      let runs = 1 + t.Fault.Campaign.t_injected in
+      let runs_per_s = float_of_int runs /. (dt +. 1e-9) in
+      let faults_per_s =
+        float_of_int t.Fault.Campaign.t_injected /. (dt +. 1e-9)
+      in
+      Printf.printf
+        "%2d IPs: %2d faults -> %6.1f runs/s, %6.1f faults/s \
+         (masked %d, detected %d, silent %d, truncated %d)\n"
+        n t.Fault.Campaign.t_injected runs_per_s faults_per_s
+        t.Fault.Campaign.t_masked t.Fault.Campaign.t_detected
+        t.Fault.Campaign.t_silent t.Fault.Campaign.t_truncated;
+      record_f (Printf.sprintf "e15.runs_per_s.ips%02d" n) runs_per_s;
+      record_f (Printf.sprintf "e15.faults_per_s.ips%02d" n) faults_per_s;
+      record_i (Printf.sprintf "e15.masked.ips%02d" n)
+        t.Fault.Campaign.t_masked;
+      record_i (Printf.sprintf "e15.detected.ips%02d" n)
+        t.Fault.Campaign.t_detected;
+      record_i (Printf.sprintf "e15.silent.ips%02d" n)
+        t.Fault.Campaign.t_silent;
+      record_i (Printf.sprintf "e15.truncated.ips%02d" n)
+        t.Fault.Campaign.t_truncated;
+      record_f (Printf.sprintf "e15.coverage.ips%02d" n)
+        (Fault.Campaign.coverage t))
+    [ 4; 8; 16 ]
+
+let e15_tests () =
+  let flat = e10_flat 4 in
+  let spec = e15_spec flat in
+  let plan = e15_plan flat 8 in
+  [
+    Bechamel.Test.make ~name:"e15/4ip-8-fault-campaign"
+      (Bechamel.Staged.stage (fun () ->
+           ignore (Fault.Campaign.run ~rtl:spec ~label:"bench" plan)));
+  ]
+
+(* ------------------------------------------------------------------ *)
 (* Bechamel driver                                                     *)
 
 let run_bechamel tests =
@@ -1043,12 +1144,13 @@ let () =
   e12_report ();
   e13_report ();
   e14_report ();
+  e15_report ();
   if not quick then begin
     let tests =
       e1_tests () @ e2_tests () @ e2_xuml_test () @ e3_tests () @ e4_tests ()
       @ e5_tests () @ e6_tests () @ e7_tests () @ e8_tests () @ e9_tests ()
       @ e10_tests () @ e11_tests () @ e12_tests () @ e13_tests ()
-      @ e14_tests ()
+      @ e14_tests () @ e15_tests ()
     in
     run_bechamel tests
   end;

@@ -10,20 +10,60 @@
                 (--rtl: as compiled RTL on the discrete-event engine)
      trace      like simulate, but dump the structured telemetry events
      partition  partition a task graph extracted from an activity
+     inject     run a deterministic fault-injection campaign across the
+                RTL, statechart and token execution engines
      demo       build the demo SoC, write XMI + VHDL + VCD artifacts *)
 
 open Cmdliner
 
+(* Hostile inputs (unreadable path, truncated or corrupt XMI, a
+   directory passed as a file) must produce a one-line diagnostic and
+   exit 1 — never an exception trace. *)
 let load_model path =
-  match Xmi.Read.read_file path with
-  | m -> Ok m
+  if not (Sys.file_exists path) then
+    Error (Printf.sprintf "%s: no such file" path)
+  else if Sys.is_directory path then
+    Error (Printf.sprintf "%s: is a directory, not a model file" path)
+  else
+    match Xmi.Read.read_file path with
+    | m -> Ok m
+    | exception Xmi.Read.Import_error msg ->
+      Error (Printf.sprintf "cannot import %s: %s" path msg)
+    | exception Sys_error msg -> Error msg
+    | exception exn ->
+      Error (Printf.sprintf "cannot import %s: %s" path (Printexc.to_string exn))
+
+(* Last-resort guard for every subcommand body: downstream failures on
+   adversarial models (simulation, execution, generation) become
+   diagnostics, not crashes. *)
+let guarded f =
+  match f () with
+  | code -> code
   | exception Xmi.Read.Import_error msg ->
-    Error (Printf.sprintf "cannot import %s: %s" path msg)
-  | exception Sys_error msg -> Error msg
+    prerr_endline msg;
+    1
+  | exception Dsim.Sim.Simulation_error msg ->
+    prerr_endline msg;
+    1
+  | exception Statechart.Engine.Model_error msg ->
+    prerr_endline msg;
+    1
+  | exception Sys_error msg ->
+    prerr_endline msg;
+    1
+  | exception Invalid_argument msg ->
+    prerr_endline msg;
+    1
+  | exception Failure msg ->
+    prerr_endline msg;
+    1
 
 let model_arg =
+  (* deliberately a plain string: existence and file-kind checks live in
+     [load_model], so every subcommand reports bad paths the same way
+     (one line on stderr, exit 1) instead of cmdliner's exit 124 *)
   let doc = "Input model in socuml XMI form." in
-  Arg.(required & pos 0 (some file) None & info [] ~docv:"MODEL" ~doc)
+  Arg.(required & pos 0 (some string) None & info [] ~docv:"MODEL" ~doc)
 
 (* --- validate ------------------------------------------------------- *)
 
@@ -36,6 +76,7 @@ let format_arg =
 
 let validate_cmd =
   let run path format =
+    guarded @@ fun () ->
     match load_model path with
     | Error msg ->
       prerr_endline msg;
@@ -83,6 +124,7 @@ let split_selectors values =
 
 let lint_cmd =
   let run path format only disable no_hdl =
+    guarded @@ fun () ->
     match load_model path with
     | Error msg ->
       prerr_endline msg;
@@ -124,6 +166,7 @@ let lint_cmd =
 
 let info_cmd =
   let run path =
+    guarded @@ fun () ->
     match load_model path with
     | Error msg ->
       prerr_endline msg;
@@ -159,6 +202,7 @@ let language_arg =
 
 let gen_cmd =
   let run path lang =
+    guarded @@ fun () ->
     match load_model path with
     | Error msg ->
       prerr_endline msg;
@@ -293,6 +337,7 @@ let rtl_arg =
 
 let simulate_cmd =
   let run path machine events metrics rtl =
+    guarded @@ fun () ->
     match load_model path with
     | Error msg ->
       prerr_endline msg;
@@ -328,6 +373,7 @@ let simulate_cmd =
 
 let trace_cmd =
   let run path machine events =
+    guarded @@ fun () ->
     match load_model path with
     | Error msg ->
       prerr_endline msg;
@@ -363,6 +409,7 @@ let budget_arg =
 
 let partition_cmd =
   let run path budget =
+    guarded @@ fun () ->
     match load_model path with
     | Error msg ->
       prerr_endline msg;
@@ -409,6 +456,7 @@ let out_dir_arg =
 
 let demo_cmd =
   let run dir =
+    guarded @@ fun () ->
     if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
     let m = Uml.Model.create "demo_soc" in
     let profile = Profiles.Soc_profile.install m in
@@ -473,6 +521,7 @@ let demo_cmd =
 
 let analyze_cmd =
   let run path metrics =
+    guarded @@ fun () ->
     match load_model path with
     | Error msg ->
       prerr_endline msg;
@@ -533,13 +582,213 @@ let analyze_cmd =
   in
   Cmd.v (Cmd.info "analyze" ~doc) Term.(const run $ model_arg $ metrics_arg)
 
+(* --- inject ------------------------------------------------------------ *)
+
+(* The signal-trigger alphabet of a machine, sorted and deduplicated —
+   the stimulus events a fault campaign perturbs. *)
+let machine_event_alphabet (sm : Uml.Smachine.t) =
+  let rec region_events (r : Uml.Smachine.region) =
+    List.concat_map
+      (fun (tr : Uml.Smachine.transition) ->
+        List.filter_map
+          (fun trg ->
+            match trg with
+            | Uml.Smachine.Signal_trigger name -> Some name
+            | Uml.Smachine.Time_trigger _ | Uml.Smachine.Any_trigger
+            | Uml.Smachine.Completion ->
+              None)
+          tr.Uml.Smachine.tr_triggers)
+      r.Uml.Smachine.rg_transitions
+    @ List.concat_map
+        (fun v ->
+          match v with
+          | Uml.Smachine.State s ->
+            List.concat_map region_events s.Uml.Smachine.st_regions
+          | Uml.Smachine.Pseudo _ | Uml.Smachine.Final _ -> [])
+        r.Uml.Smachine.rg_vertices
+  in
+  List.sort_uniq String.compare
+    (List.concat_map region_events sm.Uml.Smachine.sm_regions)
+
+(* Fault targets of a flat RTL module: every port and signal except the
+   clock and reset, with bit widths for bit-flip positions. *)
+let rtl_fault_surface (hmod : Hdl.Module_.t) =
+  let keep name = name <> "clk" && name <> "rst" in
+  List.filter_map
+    (fun (p : Hdl.Module_.port) ->
+      if keep p.Hdl.Module_.port_name then
+        Some (p.Hdl.Module_.port_name, Hdl.Htype.width p.Hdl.Module_.port_type)
+      else None)
+    hmod.Hdl.Module_.mod_ports
+  @ List.map
+      (fun (s : Hdl.Module_.signal) ->
+        (s.Hdl.Module_.sig_name, Hdl.Htype.width s.Hdl.Module_.sig_type))
+      hmod.Hdl.Module_.mod_signals
+
+let seed_arg =
+  let doc = "Campaign seed (fault plan and run choices derive from it)." in
+  Arg.(value & opt int 1 & info [ "seed" ] ~docv:"SEED" ~doc)
+
+let faults_arg =
+  let doc = "Number of faults to plan across the model's domains." in
+  Arg.(value & opt int 12 & info [ "faults" ] ~docv:"N" ~doc)
+
+let inject_cmd =
+  let run path machine seed faults format metrics =
+    guarded @@ fun () ->
+    match load_model path with
+    | Error msg ->
+      prerr_endline msg;
+      1
+    | Ok m ->
+      if faults < 0 then begin
+        prerr_endline "--faults must be non-negative";
+        1
+      end
+      else begin
+        let reg =
+          if metrics then Telemetry.Metrics.create ()
+          else Telemetry.Metrics.null
+        in
+        let stimulus_length = 16 in
+        (* statechart + RTL domains from the chosen state machine *)
+        let sm =
+          match choose_machine m machine with
+          | Some sm when machine_event_alphabet sm <> [] -> Some sm
+          | Some _ | None -> None
+        in
+        let alphabet =
+          match sm with
+          | Some sm -> machine_event_alphabet sm
+          | None -> []
+        in
+        let events =
+          match alphabet with
+          | [] -> []
+          | alphabet ->
+            let rng = Workload.Prng.create (seed lxor 0x5bd1) in
+            List.init stimulus_length (fun _i ->
+                Workload.Prng.pick rng alphabet)
+        in
+        let sc_spec =
+          Option.map
+            (fun sm ->
+              {
+                Fault.Campaign.ss_machine = sm;
+                ss_events = events;
+                ss_budget = 1000;
+              })
+            sm
+        in
+        let rtl_spec =
+          Option.bind sm (fun sm ->
+              match Statechart.Flatten.flatten sm with
+              | Error _reason -> None
+              | Ok flat -> (
+                match Codegen.Fsm_compile.compile flat with
+                | Error _reason -> None
+                | Ok hmod ->
+                  (* one single-cycle strobe per stimulus event: clear
+                     the previous strobe, raise the current one *)
+                  let stimulus =
+                    List.mapi
+                      (fun i ev ->
+                        let clear =
+                          if i = 0 then []
+                          else
+                            [
+                              ( Codegen.Fsm_compile.event_input
+                                  (List.nth events (i - 1)),
+                                0 );
+                            ]
+                        in
+                        ( i,
+                          clear
+                          @ [ (Codegen.Fsm_compile.event_input ev, 1) ] ))
+                      events
+                  in
+                  Some
+                    {
+                      Fault.Campaign.rs_module = hmod;
+                      rs_clock = "clk";
+                      rs_reset = Some "rst";
+                      rs_stimulus = stimulus;
+                      rs_cycles = stimulus_length;
+                      rs_settle_budget = 1000;
+                    }))
+        in
+        (* token domain from the first activity *)
+        let act_spec, net_spec =
+          match Uml.Model.activities m with
+          | [] -> (None, None)
+          | act :: _rest ->
+            let net, m0 = Activity.Translate.to_petri act in
+            ( Some
+                {
+                  Fault.Campaign.ac_activity = act;
+                  ac_choice_seed = seed;
+                  ac_max_steps = 10_000;
+                },
+              Some
+                {
+                  Fault.Campaign.np_net = net;
+                  np_marking = m0;
+                  np_choice_seed = seed;
+                  np_max_steps = 10_000;
+                } )
+        in
+        let surface =
+          {
+            Fault.Plan.su_signals =
+              (match rtl_spec with
+               | Some spec ->
+                 rtl_fault_surface spec.Fault.Campaign.rs_module
+               | None -> []);
+            su_cycles = stimulus_length;
+            su_events = alphabet;
+            su_length = stimulus_length;
+            su_places =
+              (match net_spec with
+               | Some spec ->
+                 List.map
+                   (fun (p : Petri.Net.place) -> p.Petri.Net.pl_id)
+                   spec.Fault.Campaign.np_net.Petri.Net.places
+               | None -> []);
+            su_steps = 32;
+          }
+        in
+        let plan = Fault.Plan.generate ~seed ~count:faults surface in
+        let report =
+          Fault.Campaign.run ~metrics:reg ?rtl:rtl_spec ?statechart:sc_spec
+            ?activity:act_spec ?net:net_spec ~label:(Uml.Model.name m) plan
+        in
+        (match format with
+         | `Text -> print_string (Fault.Campaign.to_text report)
+         | `Json -> print_string (Fault.Campaign.to_json report));
+        if metrics then print_string (Telemetry.Metrics.report reg);
+        0
+      end
+  in
+  let doc =
+    "Run a deterministic fault-injection campaign against the model: a \
+     seeded fault plan perturbs RTL signals on the compiled \
+     discrete-event engine, the event stream feeding the statechart \
+     engine, and token markings of the activity/Petri engines; every \
+     injected run is classified masked / detected / silent / truncated \
+     against the golden run."
+  in
+  Cmd.v (Cmd.info "inject" ~doc)
+    Term.(
+      const run $ model_arg $ machine_arg $ seed_arg $ faults_arg $ format_arg
+      $ metrics_arg)
+
 let main =
   let doc = "UML 2.0 modeling and MDA toolchain for SoC design" in
   Cmd.group
     (Cmd.info "socuml" ~version:"1.0.0" ~doc)
     [
       validate_cmd; lint_cmd; info_cmd; gen_cmd; simulate_cmd; trace_cmd;
-      partition_cmd; analyze_cmd; demo_cmd;
+      partition_cmd; analyze_cmd; inject_cmd; demo_cmd;
     ]
 
 let () = exit (Cmd.eval' main)

@@ -312,23 +312,30 @@ let fire t label =
     Ok ()
   | None -> Error (Printf.sprintf "firing %s not enabled" label)
 
-let run ?(seed = 1) ?(max_steps = 10_000) t =
+let adjust_tokens t place delta =
+  let v = max 0 (tokens_at t place + delta) in
+  t.marking <-
+    (if v = 0 then SM.remove place t.marking else SM.add place v t.marking)
+
+let run_status ?(seed = 1) ?(max_steps = 10_000) t =
   let state = ref (seed land 0x3FFFFFFF) in
   let choose bound =
     state := ((!state * 1103515245) + 12345) land 0x3FFFFFFF;
     !state mod bound
   in
   let rec loop steps acc =
-    if steps >= max_steps then List.rev acc
+    if steps >= max_steps then (List.rev acc, `Exhausted)
     else
       match all_firings t with
-      | [] -> List.rev acc
+      | [] -> (List.rev acc, if t.done_ then `Completed else `Stuck)
       | firings ->
         let f = List.nth firings (choose (List.length firings)) in
         apply_firing t f;
         loop (steps + 1) (f.fr_label :: acc)
   in
   loop 0 []
+
+let run ?seed ?max_steps t = fst (run_status ?seed ?max_steps t)
 
 let sent_signals t = List.rev t.signals
 let output_of t = Asl.Interp.output t.exec_interp

@@ -60,6 +60,22 @@ val run : ?seed:int -> ?max_steps:int -> t -> string list
     firings with a deterministic seeded LCG; returns firing labels in
     order.  Default [max_steps] is 10_000. *)
 
+val run_status :
+  ?seed:int ->
+  ?max_steps:int ->
+  t ->
+  string list * [ `Completed | `Stuck | `Exhausted ]
+(** {!run} with a structured stop verdict: [`Completed] when an
+    activity-final node fired, [`Stuck] when no firing was enabled
+    before that, [`Exhausted] when [max_steps] ran out — the graceful
+    resource guard fault campaigns classify as truncated. *)
+
+val adjust_tokens : t -> string -> int -> unit
+(** Fault-injection hook: add [delta] tokens (may be negative) to a
+    Petri place of the current marking, clamped at zero.  Does not
+    count as engine token traffic — campaigns account for it under
+    their own [fault.*] telemetry. *)
+
 val sent_signals : t -> string list
 (** Names of signals emitted by [Send_signal] nodes and ASL [send]
     statements, oldest first. *)

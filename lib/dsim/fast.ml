@@ -5,6 +5,7 @@ let err fmt = Printf.ksprintf (fun m -> raise (Sim.Simulation_error m)) fmt
 type t = {
   nl : Netlist.t;
   vals : int array;
+  settle_budget : int;
   (* event-driven settling state: which comb processes must re-run *)
   dirty : bool array;
   mutable ndirty : int;
@@ -71,9 +72,22 @@ let settle_levelized t order =
     order;
   count_pass t ~evaluated:!evaluated
 
+(* Signals written by still-dirty processes: the actionable part of a
+   non-settling diagnostic (an injected oscillation names its loop). *)
+let unstable_signals t =
+  let names = ref [] in
+  Array.iteri
+    (fun p (c : Netlist.comb) ->
+      if t.dirty.(p) then
+        Array.iter
+          (fun i -> names := t.nl.Netlist.nl_names.(i) :: !names)
+          c.Netlist.c_writes)
+    t.nl.Netlist.nl_comb;
+  List.sort_uniq String.compare !names
+
 (* Cyclic fallback: evaluate the dirty generation in process order,
-   repeat until quiescent, with the reference engine's 1000-round
-   divergence bound. *)
+   repeat until quiescent, within the configurable round budget
+   (default matches the reference engine's 1000-round bound). *)
 let settle_worklist t =
   let ncomb = Array.length t.nl.Netlist.nl_comb in
   if t.ndirty = 0 then count_pass t ~evaluated:0
@@ -81,7 +95,10 @@ let settle_worklist t =
     let rounds = ref 0 in
     while t.ndirty > 0 do
       incr rounds;
-      if !rounds > 1000 then err "combinational logic did not settle";
+      if !rounds > t.settle_budget then
+        err "combinational logic did not settle after %d rounds (unstable: %s)"
+          t.settle_budget
+          (String.concat ", " (unstable_signals t));
       let k = ref 0 in
       for p = 0 to ncomb - 1 do
         if t.dirty.(p) then begin
@@ -101,7 +118,8 @@ let settle t =
   | Some order -> settle_levelized t order
   | None -> settle_worklist t
 
-let create ?(metrics = Telemetry.Metrics.null) m =
+let create ?(metrics = Telemetry.Metrics.null) ?(settle_budget = 1000) m =
+  if settle_budget <= 0 then invalid_arg "Fast.create: settle_budget <= 0";
   let nl = Netlist.compile m in
   let n = Array.length nl.Netlist.nl_names in
   let ncomb = Array.length nl.Netlist.nl_comb in
@@ -112,6 +130,7 @@ let create ?(metrics = Telemetry.Metrics.null) m =
     {
       nl;
       vals = Array.copy nl.Netlist.nl_init;
+      settle_budget;
       dirty = Array.make (max ncomb 1) true;
       ndirty = ncomb;
       gen = Array.make (max ncomb 1) 0;
@@ -156,6 +175,12 @@ let set_input t name v =
     write_now t i v;
     settle t
   | None -> err "assignment to unknown signal %s" name
+
+(* Same mechanics as [set_input], but meant for fault injection: the
+   target may be any signal, not just an input port.  A forced value on
+   a comb-driven signal only survives until its driver re-evaluates —
+   exactly the transient-fault semantics campaigns want. *)
+let force t name v = set_input t name v
 
 (* Non-blocking semantics: all sequential bodies read pre-edge values;
    writes land in the pending buffer and commit together afterwards

@@ -36,13 +36,18 @@
 
 type t
 
-val create : ?metrics:Telemetry.Metrics.t -> Hdl.Module_.t -> t
+val create :
+  ?metrics:Telemetry.Metrics.t -> ?settle_budget:int -> Hdl.Module_.t -> t
 (** Compile and settle.  [metrics] (default {!Telemetry.Metrics.null})
     receives the [dsim.events], [dsim.delta_cycles] and
-    [dsim.skipped_evals] counters.
+    [dsim.skipped_evals] counters.  [settle_budget] (default 1000)
+    bounds the worklist-fallback rounds per settle for cyclic comb
+    graphs; exceeding it raises a [Sim.Simulation_error] that names the
+    still-unstable signals.
     @raise Sim.Simulation_error when the module has unresolved names or
     unknown enum literals (reported eagerly, at compile time), or when
-    a combinational loop prevents settling. *)
+    a combinational loop prevents settling within the budget.
+    @raise Invalid_argument when [settle_budget <= 0]. *)
 
 val module_of : t -> Hdl.Module_.t
 
@@ -56,6 +61,14 @@ val get_enum : t -> string -> string
 val set_input : t -> string -> int -> unit
 (** Drive an input port (masked to the port width); affected
     combinational logic settles immediately. *)
+
+val force : t -> string -> int -> unit
+(** Fault-injection write: like {!set_input} but intended for any
+    signal, including registers and comb-driven wires.  A forced value
+    on a comb-driven signal only survives until its driver re-evaluates
+    — transient-fault semantics.  Forcing a register flips stored state
+    until the next clock edge overwrites it.
+    @raise Sim.Simulation_error for unknown names. *)
 
 val clock_edge : t -> string -> unit
 (** One rising edge of the named clock: run all sequential processes on

@@ -1,0 +1,526 @@
+type outcome =
+  | Masked
+  | Detected of string
+  | Silent
+  | Truncated of string
+[@@deriving eq, show]
+
+(* --- RTL -------------------------------------------------------------- *)
+
+type rtl_spec = {
+  rs_module : Hdl.Module_.t;
+  rs_clock : string;
+  rs_reset : string option;
+  rs_stimulus : (int * (string * int) list) list;
+  rs_cycles : int;
+  rs_settle_budget : int;
+}
+
+type rtl_run = {
+  rr_snapshots : (string * int) list list;
+  rr_vcd : string;
+  rr_error : string option;
+}
+
+(* Force-based injection: a bit flip XORs the current value once after
+   the target edge; a stuck-at fault re-forces its value after every
+   edge from its start cycle, so downstream logic always reads the
+   faulty level at the observation points. *)
+let inject_rtl sim cycle faults =
+  List.iter
+    (fun f ->
+      match f with
+      | Plan.Bit_flip { fb_signal; fb_cycle; fb_bit } ->
+        if fb_cycle = cycle then
+          Dsim.Fast.force sim fb_signal
+            (Dsim.Fast.get sim fb_signal lxor (1 lsl fb_bit))
+      | Plan.Stuck_at { sa_signal; sa_value; sa_from } ->
+        if sa_from <= cycle then
+          Dsim.Fast.force sim sa_signal (if sa_value = 0 then 0 else -1))
+    faults
+
+let rtl_run ?(metrics = Telemetry.Metrics.null) spec faults =
+  match
+    Dsim.Fast.create ~metrics ~settle_budget:spec.rs_settle_budget
+      spec.rs_module
+  with
+  | exception Dsim.Sim.Simulation_error msg ->
+    { rr_snapshots = []; rr_vcd = ""; rr_error = Some msg }
+  | sim ->
+    let vcd = Dsim.Vcd.create_fast sim in
+    let snapshots = ref [] in
+    let error = ref None in
+    (try
+       (match spec.rs_reset with
+        | Some r ->
+          Dsim.Fast.set_input sim r 1;
+          Dsim.Fast.clock_edge sim spec.rs_clock;
+          Dsim.Fast.set_input sim r 0
+        | None -> ());
+       let c = ref 0 in
+       while !c < spec.rs_cycles && !error = None do
+         let cycle = !c in
+         (match List.assoc_opt cycle spec.rs_stimulus with
+          | Some inputs ->
+            List.iter (fun (n, v) -> Dsim.Fast.set_input sim n v) inputs
+          | None -> ());
+         Dsim.Fast.clock_edge sim spec.rs_clock;
+         inject_rtl sim cycle faults;
+         snapshots := Dsim.Fast.snapshot sim :: !snapshots;
+         Dsim.Vcd.sample vcd ~time:cycle;
+         incr c
+       done
+     with Dsim.Sim.Simulation_error msg -> error := Some msg);
+    {
+      rr_snapshots = List.rev !snapshots;
+      rr_vcd = Dsim.Vcd.render vcd;
+      rr_error = !error;
+    }
+
+let final_snapshot r =
+  match List.rev r.rr_snapshots with
+  | last :: _earlier -> last
+  | [] -> []
+
+let classify_rtl ~golden injected =
+  match injected.rr_error with
+  | Some msg -> Detected msg
+  | None ->
+    if final_snapshot golden = final_snapshot injected then Masked else Silent
+
+(* --- statechart ------------------------------------------------------- *)
+
+type sc_spec = {
+  ss_machine : Uml.Smachine.t;
+  ss_events : string list;
+  ss_budget : int;
+}
+
+type sc_run = {
+  sc_signatures : string list;
+  sc_status : string;
+  sc_error : string option;
+  sc_truncated : bool;
+}
+
+(* Faults index the original stimulus: position i may be dropped,
+   delivered twice, or preceded by a spurious event; spurious indices
+   past the end append.  Out-of-range drop/dup indices are no-ops. *)
+let perturb_events faults events =
+  let n = List.length events in
+  let drops, dups, spurious =
+    List.fold_left
+      (fun (dr, du, sp) f ->
+        match f with
+        | Plan.Drop_event { de_index } -> (de_index :: dr, du, sp)
+        | Plan.Dup_event { du_index } -> (dr, du_index :: du, sp)
+        | Plan.Spurious_event { sp_index; sp_event } ->
+          (dr, du, (sp_index, sp_event) :: sp))
+      ([], [], []) faults
+  in
+  let spurious_at i =
+    List.filter_map
+      (fun (idx, ev) -> if idx = i then Some ev else None)
+      (List.rev spurious)
+  in
+  List.concat
+    (List.mapi
+       (fun i e ->
+         let self =
+           if List.mem i drops then []
+           else if List.mem i dups then [ e; e ]
+           else [ e ]
+         in
+         spurious_at i @ self)
+       events)
+  @ List.filter_map
+      (fun (idx, ev) -> if idx >= n then Some ev else None)
+      (List.rev spurious)
+
+let status_string engine =
+  match Statechart.Engine.status engine with
+  | Statechart.Engine.Running -> "running"
+  | Statechart.Engine.Finished -> "finished"
+  | Statechart.Engine.Terminated -> "terminated"
+
+let sc_run ?(metrics = Telemetry.Metrics.null) spec faults =
+  let events = perturb_events faults spec.ss_events in
+  let engine = Statechart.Engine.create ~metrics spec.ss_machine in
+  let signatures = ref [] in
+  let truncated = ref false in
+  let error = ref None in
+  (try
+     Statechart.Engine.start engine;
+     let rec deliver = function
+       | [] -> ()
+       | ev :: rest ->
+         Statechart.Engine.send engine (Statechart.Event.make ev);
+         (match Statechart.Engine.run_bounded engine ~budget:spec.ss_budget with
+          | `Quiescent _n -> ()
+          | `Exhausted -> truncated := true);
+         signatures := Statechart.Engine.signature engine :: !signatures;
+         if not !truncated then deliver rest
+     in
+     deliver events
+   with Statechart.Engine.Model_error msg -> error := Some msg);
+  {
+    sc_signatures = List.rev !signatures;
+    sc_status = status_string engine;
+    sc_error = !error;
+    sc_truncated = !truncated;
+  }
+
+let final_signature r =
+  match List.rev r.sc_signatures with
+  | last :: _earlier -> last
+  | [] -> ""
+
+let classify_sc ~golden injected =
+  match injected.sc_error with
+  | Some msg -> Detected (Printf.sprintf "model error: %s" msg)
+  | None ->
+    if injected.sc_truncated then Truncated "dispatch budget exhausted"
+    else if golden.sc_status <> injected.sc_status then
+      Detected
+        (Printf.sprintf "status diverged: golden %s, injected %s"
+           golden.sc_status injected.sc_status)
+    else if final_signature golden = final_signature injected then Masked
+    else Silent
+
+(* --- token: activity engine ------------------------------------------- *)
+
+type act_spec = {
+  ac_activity : Uml.Activityg.t;
+  ac_choice_seed : int;
+  ac_max_steps : int;
+}
+
+type act_run = {
+  ar_labels : string list;
+  ar_tokens : (string * int) list;
+  ar_stop : string;
+}
+
+let inject_tokens adjust step faults =
+  List.iter
+    (fun f ->
+      match f with
+      | Plan.Lose_token { lt_place; lt_step } ->
+        if lt_step = step then adjust lt_place (-1)
+      | Plan.Dup_token { dt_place; dt_step } ->
+        if dt_step = step then adjust dt_place 1)
+    faults
+
+let act_run ?(metrics = Telemetry.Metrics.null) spec faults =
+  let exec = Activity.Exec.create ~metrics spec.ac_activity in
+  let rng = Workload.Prng.create spec.ac_choice_seed in
+  let rec loop step acc =
+    inject_tokens (Activity.Exec.adjust_tokens exec) step faults;
+    if step >= spec.ac_max_steps then (List.rev acc, "exhausted")
+    else
+      match Activity.Exec.enabled_firings exec with
+      | [] ->
+        ( List.rev acc,
+          if Activity.Exec.finished exec then "completed" else "stuck" )
+      | labels -> (
+        let label = Workload.Prng.pick rng labels in
+        match Activity.Exec.fire exec label with
+        | Ok () -> loop (step + 1) (label :: acc)
+        | Error msg ->
+          (* unreachable: the label was just enabled; surface it rather
+             than loop *)
+          (List.rev acc, Printf.sprintf "internal: %s" msg))
+  in
+  let labels, stop = loop 0 [] in
+  { ar_labels = labels; ar_tokens = Activity.Exec.tokens exec; ar_stop = stop }
+
+let classify_act ~golden injected =
+  if injected.ar_stop = "exhausted" then Truncated "step budget exhausted"
+  else if golden.ar_stop = "completed" && injected.ar_stop = "stuck" then
+    Detected "deadlock surfaced"
+  else if
+    golden.ar_tokens = injected.ar_tokens && golden.ar_stop = injected.ar_stop
+  then Masked
+  else Silent
+
+(* --- token: Petri net ------------------------------------------------- *)
+
+type net_spec = {
+  np_net : Petri.Net.t;
+  np_marking : Petri.Marking.t;
+  np_choice_seed : int;
+  np_max_steps : int;
+}
+
+type net_run = {
+  nr_fired : string list;
+  nr_markings : (string * int) list list;
+  nr_final : (string * int) list;
+  nr_deadlocked : bool;
+  nr_truncated : bool;
+}
+
+let net_run ?(metrics = Telemetry.Metrics.null) spec faults =
+  let fired_counter = Telemetry.Metrics.counter metrics "petri.fired" in
+  let rng = Workload.Prng.create spec.np_choice_seed in
+  let marking = ref spec.np_marking in
+  let inject step =
+    inject_tokens
+      (fun place delta ->
+        if delta > 0 || Petri.Marking.tokens !marking place > 0 then
+          marking := Petri.Marking.add !marking place delta)
+      step faults
+  in
+  let rec loop step fired markings =
+    inject step;
+    if step >= spec.np_max_steps then (List.rev fired, List.rev markings, false, true)
+    else
+      match Petri.Marking.enabled_transitions spec.np_net !marking with
+      | [] -> (List.rev fired, List.rev markings, true, false)
+      | enabled -> (
+        let tn = Workload.Prng.pick rng enabled in
+        match Petri.Marking.fire spec.np_net !marking tn.Petri.Net.tn_id with
+        | None -> (List.rev fired, List.rev markings, true, false)
+        | Some m' ->
+          Telemetry.Metrics.incr fired_counter;
+          marking := m';
+          loop (step + 1)
+            (tn.Petri.Net.tn_id :: fired)
+            (Petri.Marking.to_list m' :: markings))
+  in
+  let fired, markings, deadlocked, truncated = loop 0 [] [] in
+  {
+    nr_fired = fired;
+    nr_markings = markings;
+    nr_final = Petri.Marking.to_list !marking;
+    nr_deadlocked = deadlocked;
+    nr_truncated = truncated;
+  }
+
+let classify_net spec ~golden injected =
+  if injected.nr_truncated then Truncated "step budget exhausted"
+  else if golden.nr_final = injected.nr_final then Masked
+  else begin
+    let invariants = Petri.Invariant.p_invariants spec.np_net in
+    let g = Petri.Marking.of_list golden.nr_final in
+    let i = Petri.Marking.of_list injected.nr_final in
+    if
+      List.exists
+        (fun inv ->
+          Petri.Invariant.invariant_value inv g
+          <> Petri.Invariant.invariant_value inv i)
+        invariants
+    then Detected "p-invariant violated"
+    else if injected.nr_deadlocked && not golden.nr_deadlocked then
+      Detected "deadlock surfaced"
+    else Silent
+  end
+
+(* --- orchestration ---------------------------------------------------- *)
+
+type run = {
+  run_index : int;
+  run_domain : string;
+  run_fault : Plan.fault;
+  run_outcome : outcome;
+}
+
+type report = {
+  rp_label : string;
+  rp_plan : Plan.t;
+  rp_runs : run list;
+  rp_skipped : (Plan.fault * string) list;
+}
+
+type totals = {
+  t_injected : int;
+  t_masked : int;
+  t_detected : int;
+  t_silent : int;
+  t_truncated : int;
+}
+
+let outcome_counter_suffix = function
+  | Masked -> "masked"
+  | Detected _ -> "detected"
+  | Silent -> "silent"
+  | Truncated _ -> "truncated"
+
+let run ?(metrics = Telemetry.Metrics.null) ?rtl ?statechart ?activity ?net
+    ~label plan =
+  let m_injected = Telemetry.Metrics.counter metrics "fault.injected" in
+  let outcome_counter o =
+    Telemetry.Metrics.counter metrics ("fault." ^ outcome_counter_suffix o)
+  in
+  (* golden runs: once per supplied spec, before any injection *)
+  let golden_rtl = Option.map (fun s -> (s, rtl_run ~metrics s [])) rtl in
+  let golden_sc = Option.map (fun s -> (s, sc_run ~metrics s [])) statechart in
+  let golden_act = Option.map (fun s -> (s, act_run ~metrics s [])) activity in
+  let golden_net = Option.map (fun s -> (s, net_run ~metrics s [])) net in
+  let runs = ref [] in
+  let skipped = ref [] in
+  let record index domain fault outcome =
+    Telemetry.Metrics.incr m_injected;
+    Telemetry.Metrics.incr (outcome_counter outcome);
+    if Telemetry.Metrics.live metrics then
+      Telemetry.Metrics.event metrics ~scope:"fault" "injected"
+        [
+          ("domain", Telemetry.Metrics.F_str domain);
+          ("fault", Telemetry.Metrics.F_str (Plan.fault_to_string fault));
+          ( "outcome",
+            Telemetry.Metrics.F_str (outcome_counter_suffix outcome) );
+        ];
+    runs :=
+      { run_index = index; run_domain = domain; run_fault = fault;
+        run_outcome = outcome }
+      :: !runs
+  in
+  List.iteri
+    (fun index fault ->
+      match fault with
+      | Plan.F_rtl f -> (
+        match golden_rtl with
+        | None -> skipped := (fault, "no rtl domain in this campaign") :: !skipped
+        | Some (spec, golden) ->
+          let outcome =
+            Telemetry.Metrics.span metrics "fault/run" (fun () ->
+                classify_rtl ~golden (rtl_run ~metrics spec [ f ]))
+          in
+          record index "rtl" fault outcome)
+      | Plan.F_statechart f -> (
+        match golden_sc with
+        | None ->
+          skipped := (fault, "no statechart domain in this campaign") :: !skipped
+        | Some (spec, golden) ->
+          let outcome =
+            Telemetry.Metrics.span metrics "fault/run" (fun () ->
+                classify_sc ~golden (sc_run ~metrics spec [ f ]))
+          in
+          record index "statechart" fault outcome)
+      | Plan.F_token f ->
+        let ran = ref false in
+        (match golden_act with
+         | None -> ()
+         | Some (spec, golden) ->
+           ran := true;
+           let outcome =
+             Telemetry.Metrics.span metrics "fault/run" (fun () ->
+                 classify_act ~golden (act_run ~metrics spec [ f ]))
+           in
+           record index "activity" fault outcome);
+        (match golden_net with
+         | None -> ()
+         | Some (spec, golden) ->
+           ran := true;
+           let outcome =
+             Telemetry.Metrics.span metrics "fault/run" (fun () ->
+                 classify_net spec ~golden (net_run ~metrics spec [ f ]))
+           in
+           record index "petri" fault outcome);
+        if not !ran then
+          skipped := (fault, "no token domain in this campaign") :: !skipped)
+    plan.Plan.faults;
+  {
+    rp_label = label;
+    rp_plan = plan;
+    rp_runs = List.rev !runs;
+    rp_skipped = List.rev !skipped;
+  }
+
+let totals report =
+  List.fold_left
+    (fun t r ->
+      let t = { t with t_injected = t.t_injected + 1 } in
+      match r.run_outcome with
+      | Masked -> { t with t_masked = t.t_masked + 1 }
+      | Detected _ -> { t with t_detected = t.t_detected + 1 }
+      | Silent -> { t with t_silent = t.t_silent + 1 }
+      | Truncated _ -> { t with t_truncated = t.t_truncated + 1 })
+    { t_injected = 0; t_masked = 0; t_detected = 0; t_silent = 0;
+      t_truncated = 0 }
+    report.rp_runs
+
+let coverage t =
+  let unmasked = t.t_injected - t.t_masked in
+  if unmasked <= 0 then 1.0 else float_of_int t.t_detected /. float_of_int unmasked
+
+let outcome_to_string = function
+  | Masked -> "masked"
+  | Detected what -> Printf.sprintf "detected (%s)" what
+  | Silent -> "silent"
+  | Truncated what -> Printf.sprintf "truncated (%s)" what
+
+let to_text report =
+  let b = Buffer.create 1024 in
+  let t = totals report in
+  Printf.bprintf b "fault campaign: %s (seed %d, %d faults planned)\n"
+    report.rp_label report.rp_plan.Plan.seed
+    (List.length report.rp_plan.Plan.faults);
+  List.iter
+    (fun r ->
+      Printf.bprintf b "  run %02d %-10s %s -> %s\n" r.run_index r.run_domain
+        (Plan.fault_to_string r.run_fault)
+        (outcome_to_string r.run_outcome))
+    report.rp_runs;
+  List.iter
+    (fun (f, reason) ->
+      Printf.bprintf b "  skip   %s (%s)\n" (Plan.fault_to_string f) reason)
+    report.rp_skipped;
+  Printf.bprintf b
+    "summary: injected=%d masked=%d detected=%d silent=%d truncated=%d\n"
+    t.t_injected t.t_masked t.t_detected t.t_silent t.t_truncated;
+  Printf.bprintf b "coverage: %.1f%% of non-masked faults detected\n"
+    (100. *. coverage t);
+  Buffer.contents b
+
+let json_escape s =
+  let b = Buffer.create (String.length s + 2) in
+  String.iter
+    (fun ch ->
+      match ch with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | c when Char.code c < 0x20 ->
+        Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let to_json report =
+  let b = Buffer.create 1024 in
+  let t = totals report in
+  Printf.bprintf b "{\n  \"label\": \"%s\",\n  \"seed\": %d,\n"
+    (json_escape report.rp_label)
+    report.rp_plan.Plan.seed;
+  Printf.bprintf b "  \"runs\": [";
+  List.iteri
+    (fun i r ->
+      let detail =
+        match r.run_outcome with
+        | Detected what | Truncated what -> what
+        | Masked | Silent -> ""
+      in
+      Printf.bprintf b "%s\n    {\"index\": %d, \"domain\": \"%s\", \
+                        \"fault\": \"%s\", \"outcome\": \"%s\", \
+                        \"detail\": \"%s\"}"
+        (if i = 0 then "" else ",")
+        r.run_index (json_escape r.run_domain)
+        (json_escape (Plan.fault_to_string r.run_fault))
+        (outcome_counter_suffix r.run_outcome)
+        (json_escape detail))
+    report.rp_runs;
+  Printf.bprintf b "\n  ],\n  \"skipped\": [";
+  List.iteri
+    (fun i (f, reason) ->
+      Printf.bprintf b "%s\n    {\"fault\": \"%s\", \"reason\": \"%s\"}"
+        (if i = 0 then "" else ",")
+        (json_escape (Plan.fault_to_string f))
+        (json_escape reason))
+    report.rp_skipped;
+  Printf.bprintf b
+    "\n  ],\n  \"summary\": {\"injected\": %d, \"masked\": %d, \
+     \"detected\": %d, \"silent\": %d, \"truncated\": %d, \
+     \"coverage\": %.6g}\n}\n"
+    t.t_injected t.t_masked t.t_detected t.t_silent t.t_truncated (coverage t);
+  Buffer.contents b

@@ -750,6 +750,18 @@ let run_to_quiescence t =
   let rec loop n = if step t then loop (n + 1) else n in
   loop 0
 
+(* Graceful resource guard for adversarial event streams: same drain
+   loop, but a step budget turns a potential livelock into a structured
+   verdict instead of an unbounded spin. *)
+let run_bounded t ~budget =
+  if budget < 0 then invalid_arg "Engine.run_bounded: negative budget";
+  let rec loop n =
+    if n >= budget then if Queue.is_empty t.pool then `Quiescent n else `Exhausted
+    else if step t then loop (n + 1)
+    else `Quiescent n
+  in
+  loop 0
+
 let dispatch t ev =
   send t ev;
   let _count = run_to_quiescence t in

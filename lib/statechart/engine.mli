@@ -80,6 +80,14 @@ val dispatch : t -> Event.t -> unit
 val run_to_quiescence : t -> int
 (** Dispatch pooled events until empty; returns the number processed. *)
 
+val run_bounded : t -> budget:int -> [ `Quiescent of int | `Exhausted ]
+(** Like {!run_to_quiescence} but with a step budget: [`Quiescent n]
+    when the pool drained after [n] dispatches, [`Exhausted] when the
+    budget ran out with events still pooled — the graceful verdict
+    fault-injection campaigns classify as truncated instead of letting
+    an injected event storm spin the engine unboundedly.
+    @raise Invalid_argument on a negative budget. *)
+
 val now : t -> int
 val advance_time : t -> int -> unit
 (** Advance the logical clock, firing due [after n] transitions (and

@@ -1,0 +1,142 @@
+(* Hostile-input hardening of the socuml CLI: every subcommand driven
+   against corrupt fixtures (missing path, directory-as-file, truncated
+   XMI, garbage bytes, empty file) must print a one-line diagnostic and
+   exit 1 — never an exception trace, never cmdliner's exit 124. *)
+
+let tc name f = Alcotest.test_case name `Quick f
+let check = Alcotest.check
+
+let exe =
+  (* tests execute from the build context's test directory *)
+  let candidates =
+    [ "../bin/socuml.exe"; "_build/default/bin/socuml.exe"; "bin/socuml.exe" ]
+  in
+  match List.find_opt Sys.file_exists candidates with
+  | Some p -> p
+  | None -> Alcotest.fail "socuml.exe not found next to the test binary"
+
+let read_file path =
+  let ic = open_in_bin path in
+  let n = in_channel_length ic in
+  let s = really_input_string ic n in
+  close_in ic;
+  s
+
+let write_file path contents =
+  let oc = open_out_bin path in
+  output_string oc contents;
+  close_out oc;
+  path
+
+let tmp = Filename.get_temp_dir_name ()
+
+(* Run one fully-formed argument list; return (exit_code, stderr). *)
+let run_cli args =
+  let err = Filename.temp_file "socuml_cli" ".err" in
+  let cmd =
+    Printf.sprintf "%s %s >/dev/null 2>%s"
+      (Filename.quote exe)
+      (String.concat " " (List.map Filename.quote args))
+      (Filename.quote err)
+  in
+  let code = Sys.command cmd in
+  let stderr = read_file err in
+  Sys.remove err;
+  (code, stderr)
+
+(* Every subcommand with its required arguments around the model path. *)
+let subcommands model =
+  [
+    [ "validate"; model ]; [ "lint"; model ]; [ "info"; model ];
+    [ "gen"; model; "vhdl" ]; [ "simulate"; model ]; [ "trace"; model ];
+    [ "partition"; model ]; [ "analyze"; model ]; [ "inject"; model ];
+  ]
+
+let assert_graceful label model =
+  List.iter
+    (fun args ->
+      let sub = String.concat " " args in
+      let code, stderr = run_cli args in
+      if code <> 1 then
+        Alcotest.failf "%s on %s: exit %d, want 1 (stderr: %s)" sub label code
+          stderr;
+      if String.trim stderr = "" then
+        Alcotest.failf "%s on %s: no diagnostic on stderr" sub label;
+      let contains hay needle =
+        let nh = String.length hay and nn = String.length needle in
+        let rec at i =
+          i + nn <= nh && (String.sub hay i nn = needle || at (i + 1))
+        in
+        at 0
+      in
+      List.iter
+        (fun marker ->
+          if contains stderr marker then
+            Alcotest.failf "%s on %s: exception trace leaked: %s" sub label
+              stderr)
+        [ "Fatal error"; "Raised at"; "Raised by"; "Called from" ])
+    (subcommands model)
+
+let corrupt_fixture_tests =
+  [
+    tc "nonexistent path" (fun () ->
+        assert_graceful "missing file"
+          (Filename.concat tmp "no_such_model_socuml.xmi"));
+    tc "directory passed as model" (fun () ->
+        let dir = Filename.concat tmp "socuml_cli_dir.xmi" in
+        if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
+        assert_graceful "directory" dir);
+    tc "empty file" (fun () ->
+        assert_graceful "empty file"
+          (write_file (Filename.concat tmp "socuml_cli_empty.xmi") ""));
+    tc "garbage bytes" (fun () ->
+        assert_graceful "garbage"
+          (write_file
+             (Filename.concat tmp "socuml_cli_garbage.xmi")
+             "\x00\xffnot xml at all \x01\x02<<<"));
+    tc "truncated xmi" (fun () ->
+        assert_graceful "truncated"
+          (write_file
+             (Filename.concat tmp "socuml_cli_trunc.xmi")
+             "<?xml version=\"1.0\"?>\n<xmi:XMI xmlns:xmi=\"http://www.omg\
+              .org/XMI\"><uml:Model name=\"t"));
+    tc "well-formed xml that is not a model" (fun () ->
+        assert_graceful "wrong schema"
+          (write_file
+             (Filename.concat tmp "socuml_cli_schema.xmi")
+             "<?xml version=\"1.0\"?><root><child attr=\"1\"/></root>"));
+  ]
+
+(* A healthy model must still work after the hardening: generate the
+   demo SoC once and push it through the read-only subcommands. *)
+let demo_roundtrip_tests =
+  [
+    tc "demo model still passes through every subcommand" (fun () ->
+        let out = Filename.concat tmp "socuml_cli_demo" in
+        let code =
+          Sys.command
+            (Printf.sprintf "%s demo --out %s >/dev/null 2>&1"
+               (Filename.quote exe) (Filename.quote out))
+        in
+        check Alcotest.int "demo exit" 0 code;
+        let model = Filename.concat out "demo_soc.xmi" in
+        List.iter
+          (fun args ->
+            let code, stderr = run_cli args in
+            if code <> 0 then
+              Alcotest.failf "%s: exit %d (stderr: %s)"
+                (String.concat " " args)
+                code stderr)
+          [
+            [ "validate"; model ]; [ "lint"; model ]; [ "info"; model ];
+            [ "analyze"; model ];
+            [ "inject"; model; "--seed"; "1"; "--faults"; "3" ];
+          ]);
+  ]
+
+let () =
+  Alcotest.run "cli"
+    [
+      ("corrupt inputs", corrupt_fixture_tests);
+      ("healthy model", demo_roundtrip_tests);
+    ]

@@ -338,6 +338,32 @@ let engine_tests =
         match Dsim.Fast.create m with
         | _fast -> Alcotest.fail "fast engine should not settle"
         | exception Dsim.Sim.Simulation_error _ -> ());
+    tc "settle budget is configurable and names unstable signals" (fun () ->
+        let m =
+          Module_.make
+            ~signals:[ Module_.signal "x" Htype.Bit ]
+            ~processes:
+              [
+                Module_.comb_process ~name:"p"
+                  [ Stmt.Assign ("x", Expr.Unop (Expr.Not, Expr.Ref "x")) ];
+              ]
+            "osc"
+        in
+        (match Dsim.Fast.create ~settle_budget:7 m with
+         | _fast -> Alcotest.fail "should not settle"
+         | exception Dsim.Sim.Simulation_error msg ->
+           let contains needle =
+             let nh = String.length msg and nn = String.length needle in
+             let rec at i =
+               i + nn <= nh && (String.sub msg i nn = needle || at (i + 1))
+             in
+             at 0
+           in
+           check Alcotest.bool "budget in message" true (contains "7 rounds");
+           check Alcotest.bool "signal named" true (contains "x"));
+        match Dsim.Fast.create ~settle_budget:0 (counter_module ()) with
+        | _fast -> Alcotest.fail "zero budget must be rejected"
+        | exception Invalid_argument _ -> ());
     tc "unknown names and enum literals fail at compile time" (fun () ->
         let ghost_read =
           Module_.make

@@ -1,0 +1,631 @@
+(* Fault-injection campaigns: the empty-plan identity property on every
+   engine family (a campaign with no faults reproduces the golden
+   artifacts byte-for-byte), plan serialization round-trips, same-seed
+   reports are byte-identical, and the outcome classifiers behave on
+   hand-built cases. *)
+
+open Hdl
+
+let tc name f = Alcotest.test_case name `Quick f
+let check = Alcotest.check
+
+(* ------------------------------------------------------------------ *)
+(* Random fixtures (shared shapes with test_dsim_fast) *)
+
+let rand_ty rng =
+  match Workload.Prng.int rng 3 with
+  | 0 -> Htype.Bit
+  | 1 -> Htype.Unsigned (Workload.Prng.range rng 2 8)
+  | _ -> Htype.Unsigned (Workload.Prng.range rng 9 16)
+
+let binops =
+  [
+    Expr.And; Expr.Or; Expr.Xor; Expr.Add; Expr.Sub; Expr.Mul; Expr.Eq;
+    Expr.Neq; Expr.Lt; Expr.Le; Expr.Gt; Expr.Ge; Expr.Shl; Expr.Shr;
+  ]
+
+let rec rand_expr rng avail depth =
+  let leaf () =
+    if Workload.Prng.bool rng then Expr.Ref (Workload.Prng.pick rng avail)
+    else Expr.of_int ~width:8 (Workload.Prng.int rng 256)
+  in
+  if depth <= 0 then leaf ()
+  else (
+    let sub () = rand_expr rng avail (depth - 1) in
+    match Workload.Prng.int rng 8 with
+    | 0 | 1 -> leaf ()
+    | 2 -> Expr.Unop (Expr.Not, sub ())
+    | 3 -> Expr.Mux (sub (), sub (), sub ())
+    | 4 -> Expr.Resize (sub (), Workload.Prng.range rng 1 12)
+    | _n -> Expr.Binop (Workload.Prng.pick rng binops, sub (), sub ()))
+
+let random_module seed =
+  let rng = Workload.Prng.create seed in
+  let inputs =
+    List.init (Workload.Prng.range rng 1 3) (fun i ->
+        (Printf.sprintf "in%d" i, rand_ty rng))
+  in
+  let regs =
+    List.init (Workload.Prng.range rng 1 3) (fun i ->
+        (Printf.sprintf "r%d" i, rand_ty rng))
+  in
+  let base = List.map fst inputs @ List.map fst regs in
+  let n_wire = Workload.Prng.range rng 1 3 in
+  let rec wires acc avail k =
+    if k = 0 then List.rev acc
+    else (
+      let name = Printf.sprintf "w%d" (n_wire - k) in
+      let ty = rand_ty rng in
+      let e = rand_expr rng avail 3 in
+      wires ((name, ty, e) :: acc) (name :: avail) (k - 1))
+  in
+  let ws = wires [] base n_wire in
+  let seq_body =
+    List.map (fun (r, _) -> Stmt.Assign (r, rand_expr rng base 3)) regs
+  in
+  let reset_body =
+    List.map (fun (r, _) -> Stmt.Assign (r, Expr.of_int 0)) regs
+  in
+  Module_.make
+    ~ports:
+      (Module_.input "clk" Htype.Bit
+       :: Module_.input "rst" Htype.Bit
+       :: List.map (fun (n, ty) -> Module_.input n ty) inputs)
+    ~signals:
+      (List.map
+         (fun (n, ty) ->
+           Module_.signal ~init:(Workload.Prng.int rng 16) n ty)
+         regs
+       @ List.map (fun (n, ty, _) -> Module_.signal n ty) ws)
+    ~processes:
+      (Module_.seq_process
+         ~reset:("rst", reset_body)
+         ~name:"p_seq" ~clock:"clk" seq_body
+       :: List.mapi
+            (fun i (n, _, e) ->
+              Module_.comb_process
+                ~name:(Printf.sprintf "p_w%d" i)
+                [ Stmt.Assign (n, e) ])
+            ws)
+    "rand"
+
+let rtl_spec_of_module seed m =
+  let rng = Workload.Prng.create (seed lxor 0x2e2e) in
+  let inputs =
+    List.filter_map
+      (fun (p : Module_.port) ->
+        match p.Module_.port_dir with
+        | Module_.Input ->
+          if p.Module_.port_name = "clk" || p.Module_.port_name = "rst" then
+            None
+          else Some p.Module_.port_name
+        | Module_.Output -> None)
+      m.Module_.mod_ports
+  in
+  let cycles = 12 in
+  let stimulus =
+    List.init cycles (fun c ->
+        ( c,
+          List.filter_map
+            (fun name ->
+              if Workload.Prng.bool rng then
+                Some (name, Workload.Prng.int rng 65536)
+              else None)
+            inputs ))
+  in
+  {
+    Fault.Campaign.rs_module = m;
+    rs_clock = "clk";
+    rs_reset = Some "rst";
+    rs_stimulus = stimulus;
+    rs_cycles = cycles;
+    rs_settle_budget = 1000;
+  }
+
+let random_surface seed =
+  let rng = Workload.Prng.create (seed lxor 0x71c3) in
+  {
+    Fault.Plan.su_signals =
+      List.init (Workload.Prng.range rng 1 4) (fun i ->
+          (Printf.sprintf "s%d" i, Workload.Prng.range rng 1 16));
+    su_cycles = Workload.Prng.range rng 1 20;
+    su_events = Workload.Gen_statechart.event_names (Workload.Prng.range rng 1 4);
+    su_length = Workload.Prng.range rng 1 20;
+    su_places =
+      List.init (Workload.Prng.range rng 1 4) (fun i ->
+          Printf.sprintf "p%d" i);
+    su_steps = Workload.Prng.range rng 1 30;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Plan serialization *)
+
+let qcheck_plan_roundtrip =
+  QCheck_alcotest.to_alcotest
+    (QCheck.Test.make ~count:200 ~name:"plan to_string/of_string round-trips"
+       QCheck.(int_range 0 100_000)
+       (fun seed ->
+         let plan =
+           Fault.Plan.generate ~seed ~count:(seed mod 17) (random_surface seed)
+         in
+         match Fault.Plan.of_string (Fault.Plan.to_string plan) with
+         | Ok plan' -> Fault.Plan.equal plan plan'
+         | Error msg -> Alcotest.failf "parse failed: %s (seed %d)" msg seed))
+
+let plan_tests =
+  [
+    tc "generate is deterministic for a given seed" (fun () ->
+        let s = random_surface 7 in
+        let a = Fault.Plan.generate ~seed:11 ~count:20 s in
+        let b = Fault.Plan.generate ~seed:11 ~count:20 s in
+        check Alcotest.bool "equal plans" true (Fault.Plan.equal a b);
+        let c = Fault.Plan.generate ~seed:12 ~count:20 s in
+        check Alcotest.bool "different seed differs" false
+          (Fault.Plan.equal a c));
+    tc "empty surface yields the empty plan" (fun () ->
+        let s =
+          {
+            Fault.Plan.su_signals = []; su_cycles = 0; su_events = [];
+            su_length = 0; su_places = []; su_steps = 0;
+          }
+        in
+        check Alcotest.bool "empty" true
+          (Fault.Plan.equal (Fault.Plan.generate ~seed:3 ~count:9 s)
+             (Fault.Plan.empty 3));
+        check
+          Alcotest.(list string)
+          "no domains" [] (Fault.Plan.surface_domains s));
+    tc "of_string rejects garbage" (fun () ->
+        (match Fault.Plan.of_string "" with
+         | Ok _ -> Alcotest.fail "empty input accepted"
+         | Error _ -> ());
+        (match Fault.Plan.of_string "fault-plan seed=1\nxyz zap a=1" with
+         | Ok _ -> Alcotest.fail "unknown fault accepted"
+         | Error _ -> ());
+        match Fault.Plan.of_string "fault-plan seed=1\nrtl stuck-at signal=x value=7 from=0" with
+        | Ok _ -> Alcotest.fail "stuck-at 7 accepted"
+        | Error _ -> ());
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Empty-plan identity: a run with no faults reproduces the golden
+   artifacts byte-for-byte, engine family by engine family. *)
+
+let qcheck_identity_rtl =
+  QCheck_alcotest.to_alcotest
+    (QCheck.Test.make ~count:40
+       ~name:"rtl: empty fault list reproduces golden snapshots and VCD"
+       QCheck.(int_range 0 100_000)
+       (fun seed ->
+         let spec = rtl_spec_of_module seed (random_module seed) in
+         let golden = Fault.Campaign.rtl_run spec [] in
+         let injected = Fault.Campaign.rtl_run spec [] in
+         golden.Fault.Campaign.rr_snapshots
+         = injected.Fault.Campaign.rr_snapshots
+         && String.equal golden.Fault.Campaign.rr_vcd
+              injected.Fault.Campaign.rr_vcd
+         && golden.Fault.Campaign.rr_error = injected.Fault.Campaign.rr_error
+         && Fault.Campaign.equal_outcome Fault.Campaign.Masked
+              (Fault.Campaign.classify_rtl ~golden injected)))
+
+let qcheck_identity_statechart =
+  QCheck_alcotest.to_alcotest
+    (QCheck.Test.make ~count:60
+       ~name:"statechart: empty fault list reproduces golden signatures"
+       QCheck.(int_range 0 100_000)
+       (fun seed ->
+         let sm =
+           if seed mod 2 = 0 then
+             Workload.Gen_statechart.flat ~seed ~states:5 ~events:3
+           else
+             Workload.Gen_statechart.hierarchical ~seed ~depth:2 ~breadth:2
+               ~events:3
+         in
+         let spec =
+           {
+             Fault.Campaign.ss_machine = sm;
+             ss_events =
+               Workload.Gen_statechart.event_sequence ~seed ~length:15 3;
+             ss_budget = 1000;
+           }
+         in
+         let golden = Fault.Campaign.sc_run spec [] in
+         let injected = Fault.Campaign.sc_run spec [] in
+         golden = injected
+         && Fault.Campaign.equal_outcome Fault.Campaign.Masked
+              (Fault.Campaign.classify_sc ~golden injected)))
+
+let qcheck_identity_tokens =
+  QCheck_alcotest.to_alcotest
+    (QCheck.Test.make ~count:60
+       ~name:"tokens: empty fault list reproduces golden firings and markings"
+       QCheck.(int_range 0 100_000)
+       (fun seed ->
+         let act =
+           if seed mod 2 = 0 then
+             Workload.Gen_activity.series_parallel ~seed ~size:8 ~max_width:3
+           else
+             Workload.Gen_activity.with_decisions ~seed ~size:8 ~max_width:3
+         in
+         let aspec =
+           {
+             Fault.Campaign.ac_activity = act;
+             ac_choice_seed = seed;
+             ac_max_steps = 10_000;
+           }
+         in
+         let net, m0 = Activity.Translate.to_petri act in
+         let nspec =
+           {
+             Fault.Campaign.np_net = net;
+             np_marking = m0;
+             np_choice_seed = seed;
+             np_max_steps = 10_000;
+           }
+         in
+         let ag = Fault.Campaign.act_run aspec [] in
+         let ai = Fault.Campaign.act_run aspec [] in
+         let ng = Fault.Campaign.net_run nspec [] in
+         let ni = Fault.Campaign.net_run nspec [] in
+         ag = ai && ng = ni
+         && Fault.Campaign.equal_outcome Fault.Campaign.Masked
+              (Fault.Campaign.classify_act ~golden:ag ai)
+         && Fault.Campaign.equal_outcome Fault.Campaign.Masked
+              (Fault.Campaign.classify_net nspec ~golden:ng ni)))
+
+(* ------------------------------------------------------------------ *)
+(* Campaign determinism and accounting *)
+
+let toggle_machine () =
+  Workload.Gen_statechart.flat ~seed:5 ~states:3 ~events:2
+
+let campaign_fixture seed faults =
+  let sm = toggle_machine () in
+  let events = Workload.Gen_statechart.event_sequence ~seed:9 ~length:10 2 in
+  let sc =
+    { Fault.Campaign.ss_machine = sm; ss_events = events; ss_budget = 1000 }
+  in
+  let rtl = rtl_spec_of_module 21 (random_module 21) in
+  let act = Workload.Gen_activity.series_parallel ~seed:4 ~size:8 ~max_width:3 in
+  let aspec =
+    {
+      Fault.Campaign.ac_activity = act;
+      ac_choice_seed = 4;
+      ac_max_steps = 10_000;
+    }
+  in
+  let net, m0 = Activity.Translate.to_petri act in
+  let nspec =
+    {
+      Fault.Campaign.np_net = net;
+      np_marking = m0;
+      np_choice_seed = 4;
+      np_max_steps = 10_000;
+    }
+  in
+  let surface =
+    {
+      Fault.Plan.su_signals =
+        List.map
+          (fun (s : Module_.signal) ->
+            (s.Module_.sig_name, Htype.width s.Module_.sig_type))
+          rtl.Fault.Campaign.rs_module.Module_.mod_signals;
+      su_cycles = rtl.Fault.Campaign.rs_cycles;
+      su_events = Workload.Gen_statechart.event_names 2;
+      su_length = List.length events;
+      su_places =
+        List.map (fun (p : Petri.Net.place) -> p.Petri.Net.pl_id)
+          net.Petri.Net.places;
+      su_steps = 20;
+    }
+  in
+  let plan = Fault.Plan.generate ~seed ~count:faults surface in
+  fun ?metrics () ->
+    Fault.Campaign.run ?metrics ~rtl ~statechart:sc ~activity:aspec ~net:nspec
+      ~label:"fixture" plan
+
+let campaign_tests =
+  [
+    tc "same seed yields byte-identical text and json reports" (fun () ->
+        let go = campaign_fixture 42 15 in
+        let a = go () and b = go () in
+        check Alcotest.string "text" (Fault.Campaign.to_text a)
+          (Fault.Campaign.to_text b);
+        check Alcotest.string "json" (Fault.Campaign.to_json a)
+          (Fault.Campaign.to_json b));
+    tc "empty plan yields no runs and no skips" (fun () ->
+        let go = campaign_fixture 42 0 in
+        let r = go () in
+        check Alcotest.int "runs" 0 (List.length r.Fault.Campaign.rp_runs);
+        check Alcotest.int "skips" 0 (List.length r.Fault.Campaign.rp_skipped);
+        let t = Fault.Campaign.totals r in
+        check Alcotest.int "injected" 0 t.Fault.Campaign.t_injected;
+        check (Alcotest.float 1e-9) "coverage" 1.0 (Fault.Campaign.coverage t));
+    tc "totals add up and drive the telemetry counters" (fun () ->
+        let reg = Telemetry.Metrics.create () in
+        let go = campaign_fixture 3 12 in
+        let r = go ~metrics:reg () in
+        let t = Fault.Campaign.totals r in
+        check Alcotest.int "sum of outcomes"
+          t.Fault.Campaign.t_injected
+          (t.Fault.Campaign.t_masked + t.Fault.Campaign.t_detected
+          + t.Fault.Campaign.t_silent + t.Fault.Campaign.t_truncated);
+        check Alcotest.int "one run per outcome"
+          (List.length r.Fault.Campaign.rp_runs)
+          t.Fault.Campaign.t_injected;
+        let value name =
+          Telemetry.Metrics.counter_value (Telemetry.Metrics.counter reg name)
+        in
+        check Alcotest.int "fault.injected" t.Fault.Campaign.t_injected
+          (value "fault.injected");
+        check Alcotest.int "fault.masked" t.Fault.Campaign.t_masked
+          (value "fault.masked");
+        check Alcotest.int "fault.detected" t.Fault.Campaign.t_detected
+          (value "fault.detected");
+        check Alcotest.int "fault.silent" t.Fault.Campaign.t_silent
+          (value "fault.silent");
+        check Alcotest.int "fault.truncated" t.Fault.Campaign.t_truncated
+          (value "fault.truncated"));
+    tc "token faults run against both token backends" (fun () ->
+        let go = campaign_fixture 8 9 in
+        let r = go () in
+        let domains =
+          List.sort_uniq String.compare
+            (List.map
+               (fun (u : Fault.Campaign.run) -> u.Fault.Campaign.run_domain)
+               r.Fault.Campaign.rp_runs)
+        in
+        check
+          Alcotest.(list string)
+          "all four domains" [ "activity"; "petri"; "rtl"; "statechart" ]
+          domains);
+    tc "faults with no executable domain are skipped with a reason" (fun () ->
+        let plan =
+          {
+            Fault.Plan.seed = 1;
+            faults =
+              [
+                Fault.Plan.F_rtl
+                  (Fault.Plan.Bit_flip
+                     { fb_signal = "x"; fb_cycle = 0; fb_bit = 0 });
+              ];
+          }
+        in
+        let r = Fault.Campaign.run ~label:"none" plan in
+        check Alcotest.int "no runs" 0 (List.length r.Fault.Campaign.rp_runs);
+        check Alcotest.int "one skip" 1
+          (List.length r.Fault.Campaign.rp_skipped));
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Classifier behavior on hand-built cases *)
+
+let counter_module () =
+  Module_.make
+    ~ports:
+      [
+        Module_.input "clk" Htype.Bit;
+        Module_.input "rst" Htype.Bit;
+        Module_.input "en" Htype.Bit;
+        Module_.output "q" (Htype.Unsigned 4);
+      ]
+    ~signals:[ Module_.signal ~init:0 "cnt" (Htype.Unsigned 4) ]
+    ~processes:
+      [
+        Module_.seq_process
+          ~reset:("rst", [ Stmt.Assign ("cnt", Expr.of_int ~width:4 0) ])
+          ~name:"p_cnt" ~clock:"clk"
+          [
+            Stmt.If
+              ( Expr.(Ref "en" ==: one),
+                [ Stmt.Assign ("cnt", Expr.(Ref "cnt" +: of_int 1)) ],
+                [] );
+          ];
+        Module_.comb_process ~name:"p_out" [ Stmt.Assign ("q", Expr.Ref "cnt") ];
+      ]
+    "counter"
+
+let counter_spec () =
+  {
+    Fault.Campaign.rs_module = counter_module ();
+    rs_clock = "clk";
+    rs_reset = Some "rst";
+    rs_stimulus = [ (0, [ ("en", 1) ]) ];
+    rs_cycles = 8;
+    rs_settle_budget = 1000;
+  }
+
+let classify_tests =
+  [
+    tc "rtl bit flip on the counter register is silent corruption" (fun () ->
+        let spec = counter_spec () in
+        let golden = Fault.Campaign.rtl_run spec [] in
+        let injected =
+          Fault.Campaign.rtl_run spec
+            [
+              Fault.Plan.Bit_flip
+                { fb_signal = "cnt"; fb_cycle = 3; fb_bit = 3 };
+            ]
+        in
+        check Alcotest.bool "snapshots differ" false
+          (golden.Fault.Campaign.rr_snapshots
+          = injected.Fault.Campaign.rr_snapshots);
+        check Alcotest.bool "silent" true
+          (Fault.Campaign.equal_outcome Fault.Campaign.Silent
+             (Fault.Campaign.classify_rtl ~golden injected)));
+    tc "rtl bit flip above the signal width is masked" (fun () ->
+        (* en is one bit wide: flipping bit 1 is absorbed by the width
+           mask, the canonical masked single-event upset *)
+        let spec = counter_spec () in
+        let golden = Fault.Campaign.rtl_run spec [] in
+        let injected =
+          Fault.Campaign.rtl_run spec
+            [
+              Fault.Plan.Bit_flip { fb_signal = "en"; fb_cycle = 2; fb_bit = 1 };
+            ]
+        in
+        check Alcotest.bool "vcd identical" true
+          (String.equal golden.Fault.Campaign.rr_vcd
+             injected.Fault.Campaign.rr_vcd);
+        check Alcotest.bool "masked" true
+          (Fault.Campaign.equal_outcome Fault.Campaign.Masked
+             (Fault.Campaign.classify_rtl ~golden injected)));
+    tc "stuck-at-0 on the counter register is detected or silent" (fun () ->
+        let spec = counter_spec () in
+        let golden = Fault.Campaign.rtl_run spec [] in
+        let injected =
+          Fault.Campaign.rtl_run spec
+            [
+              Fault.Plan.Stuck_at
+                { sa_signal = "cnt"; sa_value = 0; sa_from = 0 };
+            ]
+        in
+        check Alcotest.bool "final count frozen" true
+          (match List.rev injected.Fault.Campaign.rr_snapshots with
+           | last :: _ -> List.assoc "cnt" last = 0
+           | [] -> false);
+        check Alcotest.bool "silent" true
+          (Fault.Campaign.equal_outcome Fault.Campaign.Silent
+             (Fault.Campaign.classify_rtl ~golden injected)));
+    tc "petri token loss violates a p-invariant and is detected" (fun () ->
+        (* one-token ring: p0 -> t0 -> p1 -> t1 -> p0; the total token
+           count is a P-invariant, so losing the token is detected *)
+        let net =
+          Petri.Net.make
+            [ Petri.Net.place "p0"; Petri.Net.place "p1" ]
+            [ Petri.Net.transition "t0"; Petri.Net.transition "t1" ]
+            [
+              Petri.Net.P_to_t ("p0", "t0", 1);
+              Petri.Net.T_to_p ("t0", "p1", 1);
+              Petri.Net.P_to_t ("p1", "t1", 1);
+              Petri.Net.T_to_p ("t1", "p0", 1);
+            ]
+        in
+        let spec =
+          {
+            Fault.Campaign.np_net = net;
+            np_marking = Petri.Marking.of_list [ ("p0", 1) ];
+            np_choice_seed = 1;
+            np_max_steps = 10;
+          }
+        in
+        let golden = Fault.Campaign.net_run spec [] in
+        check Alcotest.bool "golden truncates at the step budget" true
+          golden.Fault.Campaign.nr_truncated;
+        let injected =
+          Fault.Campaign.net_run spec
+            [ Fault.Plan.Lose_token { lt_place = "p0"; lt_step = 2 } ]
+        in
+        check Alcotest.bool "injected deadlocks" true
+          injected.Fault.Campaign.nr_deadlocked;
+        match Fault.Campaign.classify_net spec ~golden injected with
+        | Fault.Campaign.Detected _ -> ()
+        | o ->
+          Alcotest.failf "expected detection, got %s"
+            (Fault.Campaign.show_outcome o));
+    tc "activity step budget exhaustion is truncated" (fun () ->
+        let act =
+          Workload.Gen_activity.series_parallel ~seed:2 ~size:10 ~max_width:3
+        in
+        let spec =
+          {
+            Fault.Campaign.ac_activity = act;
+            ac_choice_seed = 2;
+            ac_max_steps = 1;
+          }
+        in
+        let golden = Fault.Campaign.act_run spec [] in
+        check Alcotest.string "stop" "exhausted" golden.Fault.Campaign.ar_stop;
+        match Fault.Campaign.classify_act ~golden golden with
+        | Fault.Campaign.Truncated _ -> ()
+        | o ->
+          Alcotest.failf "expected truncation, got %s"
+            (Fault.Campaign.show_outcome o));
+    tc "dropping every event leaves the statechart behind" (fun () ->
+        let sm = toggle_machine () in
+        let events =
+          Workload.Gen_statechart.event_sequence ~seed:1 ~length:6 2
+        in
+        let spec =
+          {
+            Fault.Campaign.ss_machine = sm;
+            ss_events = events;
+            ss_budget = 1000;
+          }
+        in
+        let golden = Fault.Campaign.sc_run spec [] in
+        let faults =
+          List.mapi
+            (fun i _ -> Fault.Plan.Drop_event { de_index = i })
+            events
+        in
+        let injected = Fault.Campaign.sc_run spec faults in
+        check Alcotest.int "no events delivered" 0
+          (List.length injected.Fault.Campaign.sc_signatures);
+        match Fault.Campaign.classify_sc ~golden injected with
+        | Fault.Campaign.Masked | Fault.Campaign.Silent -> ()
+        | Fault.Campaign.Detected d -> Alcotest.failf "detected: %s" d
+        | Fault.Campaign.Truncated d -> Alcotest.failf "truncated: %s" d);
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Event-stream perturbation unit behavior *)
+
+let perturb_tests =
+  [
+    tc "drop removes exactly the indexed event" (fun () ->
+        check
+          Alcotest.(list string)
+          "drop 1"
+          [ "a"; "c" ]
+          (Fault.Campaign.perturb_events
+             [ Fault.Plan.Drop_event { de_index = 1 } ]
+             [ "a"; "b"; "c" ]));
+    tc "dup delivers the indexed event twice" (fun () ->
+        check
+          Alcotest.(list string)
+          "dup 0"
+          [ "a"; "a"; "b" ]
+          (Fault.Campaign.perturb_events
+             [ Fault.Plan.Dup_event { du_index = 0 } ]
+             [ "a"; "b" ]));
+    tc "spurious inserts before the index, appends past the end" (fun () ->
+        check
+          Alcotest.(list string)
+          "insert at 1"
+          [ "a"; "x"; "b" ]
+          (Fault.Campaign.perturb_events
+             [ Fault.Plan.Spurious_event { sp_index = 1; sp_event = "x" } ]
+             [ "a"; "b" ]);
+        check
+          Alcotest.(list string)
+          "append"
+          [ "a"; "b"; "x" ]
+          (Fault.Campaign.perturb_events
+             [ Fault.Plan.Spurious_event { sp_index = 9; sp_event = "x" } ]
+             [ "a"; "b" ]));
+    tc "out-of-range drop and dup are no-ops" (fun () ->
+        check
+          Alcotest.(list string)
+          "unchanged" [ "a"; "b" ]
+          (Fault.Campaign.perturb_events
+             [
+               Fault.Plan.Drop_event { de_index = 5 };
+               Fault.Plan.Dup_event { du_index = 7 };
+             ]
+             [ "a"; "b" ]));
+  ]
+
+let () =
+  Alcotest.run "fault"
+    [
+      ("plan", qcheck_plan_roundtrip :: plan_tests);
+      ( "identity",
+        [
+          qcheck_identity_rtl; qcheck_identity_statechart;
+          qcheck_identity_tokens;
+        ] );
+      ("campaign", campaign_tests);
+      ("classify", classify_tests);
+      ("perturb", perturb_tests);
+    ]
