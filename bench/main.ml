@@ -1094,6 +1094,97 @@ let e15_tests () =
   ]
 
 (* ------------------------------------------------------------------ *)
+(* E16: multicore scaling of campaigns and reachability                *)
+
+(* Wall clock, not [Sys.time]: domain parallelism never shows up in
+   CPU seconds.  Best of three to damp scheduler noise. *)
+let e16_time f =
+  let best = ref infinity in
+  for _ = 1 to 3 do
+    let t0 = Unix.gettimeofday () in
+    f ();
+    let dt = Unix.gettimeofday () -. t0 in
+    if dt < !best then best := dt
+  done;
+  !best
+
+let e16_report () =
+  sep "E16  multicore scaling (work-stealing pool, byte-identical output)";
+  let flat = e10_flat 8 in
+  let spec = e15_spec flat in
+  let plan = e15_plan flat 24 in
+  let campaign pool = Fault.Campaign.run ?pool ~rtl:spec ~label:"bench" plan in
+  let campaign_text = Fault.Campaign.to_text (campaign None) in
+  let t_campaign_seq = e16_time (fun () -> ignore (campaign None)) in
+  let tnet, tm0 = e13_toggle_net 14 in
+  let reach pool = Petri.Analysis.explore ?pool ~limit:10_000 tnet tm0 in
+  let reach_base = reach None in
+  let t_reach_seq = e16_time (fun () -> ignore (reach None)) in
+  record_f "e16.campaign_ms.jobs01" (1e3 *. t_campaign_seq);
+  record_f "e16.reach_ms.jobs01" (1e3 *. t_reach_seq);
+  Printf.printf
+    "jobs 1: campaign %6.1f ms, reach %6.1f ms (sequential baseline)\n"
+    (1e3 *. t_campaign_seq) (1e3 *. t_reach_seq);
+  List.iter
+    (fun jobs ->
+      Exec.Pool.with_pool ~jobs (fun p ->
+          let pool = Some p in
+          let c_agree =
+            String.equal campaign_text (Fault.Campaign.to_text (campaign pool))
+          in
+          let t_c = e16_time (fun () -> ignore (campaign pool)) in
+          let r = reach pool in
+          let r_agree =
+            r.Petri.Analysis.sum_reach.Petri.Analysis.state_count
+            = reach_base.Petri.Analysis.sum_reach.Petri.Analysis.state_count
+            && r.Petri.Analysis.sum_reach.Petri.Analysis.truncated
+               = reach_base.Petri.Analysis.sum_reach.Petri.Analysis.truncated
+            && List.for_all2 Petri.Marking.equal
+                 r.Petri.Analysis.sum_reach.Petri.Analysis.markings
+                 reach_base.Petri.Analysis.sum_reach.Petri.Analysis.markings
+            && r.Petri.Analysis.sum_dead_transitions
+               = reach_base.Petri.Analysis.sum_dead_transitions
+          in
+          let t_r = e16_time (fun () -> ignore (reach pool)) in
+          Printf.printf
+            "jobs %d: campaign %6.1f ms (%4.2fx, agree %b), reach %6.1f ms \
+             (%4.2fx, agree %b)\n"
+            jobs (1e3 *. t_c)
+            (t_campaign_seq /. (t_c +. 1e-9))
+            c_agree (1e3 *. t_r)
+            (t_reach_seq /. (t_r +. 1e-9))
+            r_agree;
+          record_f (Printf.sprintf "e16.campaign_ms.jobs%02d" jobs)
+            (1e3 *. t_c);
+          record_f
+            (Printf.sprintf "e16.campaign_speedup.jobs%02d" jobs)
+            (t_campaign_seq /. (t_c +. 1e-9));
+          record_b (Printf.sprintf "e16.campaign_agree.jobs%02d" jobs) c_agree;
+          record_f (Printf.sprintf "e16.reach_ms.jobs%02d" jobs) (1e3 *. t_r);
+          record_f
+            (Printf.sprintf "e16.reach_speedup.jobs%02d" jobs)
+            (t_reach_seq /. (t_r +. 1e-9));
+          record_b (Printf.sprintf "e16.reach_agree.jobs%02d" jobs) r_agree))
+    [ 2; 4; 8 ]
+
+let e16_tests () =
+  (* process-lifetime pool: bechamel stages the same closure many
+     times, so the pool must outlive this function *)
+  let pool = Exec.Pool.create ~jobs:4 in
+  let flat = e10_flat 4 in
+  let spec = e15_spec flat in
+  let plan = e15_plan flat 8 in
+  let tnet, tm0 = e13_toggle_net 12 in
+  [
+    Bechamel.Test.make ~name:"e16/campaign-jobs4"
+      (Bechamel.Staged.stage (fun () ->
+           ignore (Fault.Campaign.run ~pool ~rtl:spec ~label:"bench" plan)));
+    Bechamel.Test.make ~name:"e16/reach-4096-jobs4"
+      (Bechamel.Staged.stage (fun () ->
+           ignore (Petri.Analysis.explore ~limit:4096 ~pool tnet tm0)));
+  ]
+
+(* ------------------------------------------------------------------ *)
 (* Bechamel driver                                                     *)
 
 let run_bechamel tests =
@@ -1145,12 +1236,13 @@ let () =
   e13_report ();
   e14_report ();
   e15_report ();
+  e16_report ();
   if not quick then begin
     let tests =
       e1_tests () @ e2_tests () @ e2_xuml_test () @ e3_tests () @ e4_tests ()
       @ e5_tests () @ e6_tests () @ e7_tests () @ e8_tests () @ e9_tests ()
       @ e10_tests () @ e11_tests () @ e12_tests () @ e13_tests ()
-      @ e14_tests () @ e15_tests ()
+      @ e14_tests () @ e15_tests () @ e16_tests ()
     in
     run_bechamel tests
   end;

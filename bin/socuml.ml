@@ -65,6 +65,22 @@ let model_arg =
   let doc = "Input model in socuml XMI form." in
   Arg.(required & pos 0 (some string) None & info [] ~docv:"MODEL" ~doc)
 
+let jobs_arg =
+  let doc =
+    "Worker domains for the parallel phases.  Purely a throughput knob: \
+     every job count produces byte-identical output."
+  in
+  Arg.(value & opt int 1 & info [ "jobs"; "j" ] ~docv:"N" ~doc)
+
+(* Validate --jobs and run the body with a pool (no worker domains when
+   [jobs = 1], so the sequential paths stay exactly as before). *)
+let with_jobs jobs f =
+  if jobs < 1 then begin
+    prerr_endline "--jobs must be at least 1";
+    1
+  end
+  else Exec.Pool.with_pool ~jobs f
+
 (* --- validate ------------------------------------------------------- *)
 
 let format_arg =
@@ -122,45 +138,70 @@ let split_selectors values =
     (fun v -> List.filter (fun s -> s <> "") (String.split_on_char ',' v))
     values
 
+let models_arg =
+  (* plain strings for the same reason as [model_arg] *)
+  let doc = "Input models in socuml XMI form (one or more)." in
+  Arg.(non_empty & pos_all string [] & info [] ~docv:"MODEL" ~doc)
+
 let lint_cmd =
-  let run path format only disable no_hdl =
+  let run paths format only disable no_hdl jobs =
     guarded @@ fun () ->
-    match load_model path with
-    | Error msg ->
-      prerr_endline msg;
-      1
-    | Ok m ->
-      let only = split_selectors only and disable = split_selectors disable in
-      let selection =
-        Lint.Rules.selection_of_strings
-          ?only:(match only with [] -> None | l -> Some l)
-          ~disabled:disable ()
-      in
-      List.iter
-        (fun s -> Printf.eprintf "warning: selector %s matches no rule\n" s)
-        (Lint.Rules.unknown_selectors selection);
-      (* The HDL pass runs on the netlist the MDA flow would generate,
-         so lint sees the same design as `gen`. *)
-      let design =
-        if no_hdl then None else (Mda.Generate.hw_design m).Mda.Generate.design
-      in
-      let diags = Lint.Check.check ~selection ?design m in
-      (match format with
-       | `Json ->
-         print_string (Lint.Report.to_json ~model:(Uml.Model.name m) diags)
-       | `Text ->
-         print_string (Lint.Report.to_text ~model:(Uml.Model.name m) diags));
-      if Uml.Wfr.errors diags = [] then 0 else 1
+    let only = split_selectors only and disable = split_selectors disable in
+    let selection =
+      Lint.Rules.selection_of_strings
+        ?only:(match only with [] -> None | l -> Some l)
+        ~disabled:disable ()
+    in
+    List.iter
+      (fun s -> Printf.eprintf "warning: selector %s matches no rule\n" s)
+      (Lint.Rules.unknown_selectors selection);
+    (* One task per model: load, derive the HDL design (the netlist the
+       MDA flow would generate, so lint sees the same design as `gen`),
+       check, and render off-line; the rendered reports are printed in
+       input order afterwards, so multi-model output never depends on
+       the job count. *)
+    let lint_one path =
+      match load_model path with
+      | Error msg -> Error msg
+      | Ok m ->
+        let design =
+          if no_hdl then None
+          else (Mda.Generate.hw_design m).Mda.Generate.design
+        in
+        let diags = Lint.Check.check ~selection ?design m in
+        let rendered =
+          match format with
+          | `Json -> Lint.Report.to_json ~model:(Uml.Model.name m) diags
+          | `Text -> Lint.Report.to_text ~model:(Uml.Model.name m) diags
+        in
+        Ok (rendered, Uml.Wfr.errors diags <> [])
+    in
+    with_jobs jobs @@ fun pool ->
+    let results = Exec.Pool.map_list pool lint_one paths in
+    let code = ref 0 in
+    List.iter
+      (fun result ->
+        match result with
+        | Error msg ->
+          prerr_endline msg;
+          code := 1
+        | Ok (rendered, has_errors) ->
+          print_string rendered;
+          if has_errors then code := 1)
+      results;
+    !code
   in
   let doc =
     "Run whole-model static analysis: embedded ASL behaviors, statechart \
      topology, activity token flow, component wiring, and the generated \
-     HDL design.  Exits nonzero when any error-severity diagnostic is \
-     reported."
+     HDL design.  Accepts several models (linted in parallel with \
+     $(b,--jobs), reported in argument order).  Exits nonzero when any \
+     error-severity diagnostic is reported."
   in
   Cmd.v (Cmd.info "lint" ~doc)
     Term.(
-      const run $ model_arg $ format_arg $ only_arg $ disable_arg $ no_hdl_arg)
+      const run $ models_arg $ format_arg $ only_arg $ disable_arg
+      $ no_hdl_arg $ jobs_arg)
 
 (* --- info ----------------------------------------------------------- *)
 
@@ -520,7 +561,7 @@ let demo_cmd =
 (* --- analyze ------------------------------------------------------------ *)
 
 let analyze_cmd =
-  let run path metrics =
+  let run path metrics jobs =
     guarded @@ fun () ->
     match load_model path with
     | Error msg ->
@@ -532,6 +573,7 @@ let analyze_cmd =
         prerr_endline "no activity in the model";
         1
       | activities ->
+        with_jobs jobs @@ fun pool ->
         let reg =
           if metrics then Telemetry.Metrics.create ()
           else Telemetry.Metrics.null
@@ -550,7 +592,9 @@ let analyze_cmd =
                Printf.printf "  bounded: NO (unbounded places: %s)\n"
                  (String.concat ", " r.Petri.Coverability.unbounded_places)
              | None -> print_endline "  bounded: unknown (limit reached)");
-            let r = Petri.Analysis.reachable ~limit:5000 ~metrics:reg net m0 in
+            let r =
+              Petri.Analysis.reachable ~limit:5000 ~metrics:reg ~pool net m0
+            in
             Printf.printf "  reachable markings: %d%s, deadlocks: %d\n"
               r.Petri.Analysis.state_count
               (if r.Petri.Analysis.truncated then "+" else "")
@@ -560,7 +604,9 @@ let analyze_cmd =
             (* dead-transition verdicts are only meaningful when the
                state space was fully explored *)
             if not r.Petri.Analysis.truncated then begin
-              let dead = Petri.Analysis.dead_transitions ~limit:5000 net m0 in
+              let dead =
+                Petri.Analysis.dead_transitions ~limit:5000 ~pool net m0
+              in
               if dead <> [] then
                 Printf.printf "  dead transitions: %s\n"
                   (String.concat ", " dead)
@@ -580,7 +626,8 @@ let analyze_cmd =
     "Translate the model's activities to Petri nets and analyze them \
      (boundedness, deadlocks, invariants, lint)."
   in
-  Cmd.v (Cmd.info "analyze" ~doc) Term.(const run $ model_arg $ metrics_arg)
+  Cmd.v (Cmd.info "analyze" ~doc)
+    Term.(const run $ model_arg $ metrics_arg $ jobs_arg)
 
 (* --- inject ------------------------------------------------------------ *)
 
@@ -634,7 +681,7 @@ let faults_arg =
   Arg.(value & opt int 12 & info [ "faults" ] ~docv:"N" ~doc)
 
 let inject_cmd =
-  let run path machine seed faults format metrics =
+  let run path machine seed faults format metrics jobs =
     guarded @@ fun () ->
     match load_model path with
     | Error msg ->
@@ -646,6 +693,7 @@ let inject_cmd =
         1
       end
       else begin
+        with_jobs jobs @@ fun pool ->
         let reg =
           if metrics then Telemetry.Metrics.create ()
           else Telemetry.Metrics.null
@@ -759,8 +807,9 @@ let inject_cmd =
         in
         let plan = Fault.Plan.generate ~seed ~count:faults surface in
         let report =
-          Fault.Campaign.run ~metrics:reg ?rtl:rtl_spec ?statechart:sc_spec
-            ?activity:act_spec ?net:net_spec ~label:(Uml.Model.name m) plan
+          Fault.Campaign.run ~metrics:reg ~pool ?rtl:rtl_spec
+            ?statechart:sc_spec ?activity:act_spec ?net:net_spec
+            ~label:(Uml.Model.name m) plan
         in
         (match format with
          | `Text -> print_string (Fault.Campaign.to_text report)
@@ -780,7 +829,7 @@ let inject_cmd =
   Cmd.v (Cmd.info "inject" ~doc)
     Term.(
       const run $ model_arg $ machine_arg $ seed_arg $ faults_arg $ format_arg
-      $ metrics_arg)
+      $ metrics_arg $ jobs_arg)
 
 let main =
   let doc = "UML 2.0 modeling and MDA toolchain for SoC design" in

@@ -4,6 +4,16 @@ type program = (Ast.program, string) result
 let guards : (string, guard) Hashtbl.t = Hashtbl.create 64
 let programs : (string, program) Hashtbl.t = Hashtbl.create 64
 
+(* The memo tables are process-global and reached from every engine that
+   parses behaviors, including parallel campaign/lint tasks on worker
+   domains — all access goes through this lock.  (Stdlib [Hashtbl] is
+   not domain-safe; unsynchronized concurrent [add]s corrupt it.) *)
+let memo_lock = Mutex.create ()
+
+let locked f =
+  Mutex.lock memo_lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock memo_lock) f
+
 let capture parse src =
   match parse src with
   | ast -> Ok ast
@@ -13,19 +23,28 @@ let capture parse src =
     | None -> raise exn)
 
 let memoize table parse src =
-  match Hashtbl.find_opt table src with
+  match locked (fun () -> Hashtbl.find_opt table src) with
   | Some c -> c
   | None ->
+    (* parse outside the lock: results are pure functions of [src], so
+       two domains racing on a miss just do the work twice and the
+       first insert wins — same value either way *)
     let c = capture parse src in
-    Hashtbl.add table src c;
-    c
+    locked (fun () ->
+        match Hashtbl.find_opt table src with
+        | Some c' -> c'
+        | None ->
+          Hashtbl.add table src c;
+          c)
 
 let guard src = memoize guards Parser.parse_expression src
 let program src = memoize programs Parser.parse_program src
 let guard_result c = c
 let program_result c = c
-let memo_stats () = (Hashtbl.length guards, Hashtbl.length programs)
+let memo_stats () =
+  locked (fun () -> (Hashtbl.length guards, Hashtbl.length programs))
 
 let clear_memo () =
-  Hashtbl.reset guards;
-  Hashtbl.reset programs
+  locked (fun () ->
+      Hashtbl.reset guards;
+      Hashtbl.reset programs)

@@ -51,6 +51,8 @@ let delete t r =
     true
   | None -> false
 
+(* audited: hash-order folds, output-invisible — [live_count] is a
+   commutative sum and [attrs] re-sorts by attribute name *)
 let live_count t =
   Hashtbl.fold (fun _ o n -> if o.obj_alive then n + 1 else n) t.objects 0
 

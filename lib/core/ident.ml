@@ -1,12 +1,16 @@
 type t = string [@@deriving eq, ord, show]
 
-let counter = ref 0
+(* Atomic so parallel tasks (e.g. lint sharded by model, which runs
+   [Mda.Generate] per task) allocate distinct idents without a race.
+   Allocation *order* across domains is unspecified, so anything that
+   must be byte-deterministic either keeps ident allocation on one
+   domain or never lets fresh idents reach its output. *)
+let counter = Atomic.make 0
 
 let fresh ?(prefix = "e") () =
-  incr counter;
-  Printf.sprintf "%s%06d" prefix !counter
+  Printf.sprintf "%s%06d" prefix (Atomic.fetch_and_add counter 1 + 1)
 
-let reset_counter () = counter := 0
+let reset_counter () = Atomic.set counter 0
 let of_string s = s
 let to_string t = t
 

@@ -10,7 +10,10 @@ type t = string [@@deriving eq, ord, show]
 
 val fresh : ?prefix:string -> unit -> t
 (** [fresh ~prefix ()] returns a new identifier, unique within the
-    process.  The default prefix is ["e"]. *)
+    process (domain-safe: the counter is atomic).  The default prefix
+    is ["e"].  Identifier {e values} drawn concurrently from several
+    domains depend on scheduling; deterministic pipelines allocate on
+    one domain or keep fresh idents out of their output. *)
 
 val reset_counter : unit -> unit
 (** Reset the generator; only for tests and benches that need identical

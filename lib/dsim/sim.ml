@@ -267,8 +267,26 @@ let clock_edge t clock =
         if not in_reset then List.iter (exec t write) sp.Module_.sp_body
       | Module_.Seq _ | Module_.Comb _ -> ())
     t.m.Module_.mod_processes;
-  (* commit phase *)
-  Hashtbl.iter (fun name v -> ignore (write_now t name v)) pending;
+  (* commit phase, in declaration order ([t.order]): committing by
+     [Hashtbl.iter] would make the winner of two same-edge writers (and
+     the resulting event/delta counts) depend on hash-table internals.
+     This engine is the oracle [Dsim.Fast] is differentially tested
+     against, so its output must not vary with bucket layout. *)
+  List.iter
+    (fun (name, _ty) ->
+      match Hashtbl.find_opt pending name with
+      | Some v ->
+        ignore (write_now t name v);
+        Hashtbl.remove pending name
+      | None -> ())
+    t.order;
+  (* anything left targets an undeclared signal; surface [write_now]'s
+     diagnostic for the smallest such name *)
+  if Hashtbl.length pending <> 0 then begin
+    let names = Hashtbl.fold (fun name _v acc -> name :: acc) pending [] in
+    let name = List.fold_left min (List.hd names) names in
+    ignore (write_now t name (Hashtbl.find pending name))
+  end;
   settle t
 
 let cycle ?(inputs = []) t clock =

@@ -346,22 +346,21 @@ let outcome_counter_suffix = function
   | Silent -> "silent"
   | Truncated _ -> "truncated"
 
-let run ?(metrics = Telemetry.Metrics.null) ?rtl ?statechart ?activity ?net
-    ~label plan =
+(* One planned fault's worth of work: the runs it produced (domain and
+   outcome, execution order) or the reason it was skipped.  Everything a
+   task touches — engines, PRNGs, the metrics registry it is handed — is
+   task-local, so faults can execute on any domain in any order. *)
+type fault_result =
+  | FR_runs of (string * outcome) list
+  | FR_skipped of string
+
+let exec_fault ~metrics ~golden_rtl ~golden_sc ~golden_act ~golden_net fault =
   let m_injected = Telemetry.Metrics.counter metrics "fault.injected" in
-  let outcome_counter o =
-    Telemetry.Metrics.counter metrics ("fault." ^ outcome_counter_suffix o)
-  in
-  (* golden runs: once per supplied spec, before any injection *)
-  let golden_rtl = Option.map (fun s -> (s, rtl_run ~metrics s [])) rtl in
-  let golden_sc = Option.map (fun s -> (s, sc_run ~metrics s [])) statechart in
-  let golden_act = Option.map (fun s -> (s, act_run ~metrics s [])) activity in
-  let golden_net = Option.map (fun s -> (s, net_run ~metrics s [])) net in
-  let runs = ref [] in
-  let skipped = ref [] in
-  let record index domain fault outcome =
+  let note domain outcome acc =
     Telemetry.Metrics.incr m_injected;
-    Telemetry.Metrics.incr (outcome_counter outcome);
+    Telemetry.Metrics.incr
+      (Telemetry.Metrics.counter metrics
+         ("fault." ^ outcome_counter_suffix outcome));
     if Telemetry.Metrics.live metrics then
       Telemetry.Metrics.event metrics ~scope:"fault" "injected"
         [
@@ -370,56 +369,97 @@ let run ?(metrics = Telemetry.Metrics.null) ?rtl ?statechart ?activity ?net
           ( "outcome",
             Telemetry.Metrics.F_str (outcome_counter_suffix outcome) );
         ];
-    runs :=
-      { run_index = index; run_domain = domain; run_fault = fault;
-        run_outcome = outcome }
-      :: !runs
+    (domain, outcome) :: acc
   in
-  List.iteri
-    (fun index fault ->
-      match fault with
-      | Plan.F_rtl f -> (
-        match golden_rtl with
-        | None -> skipped := (fault, "no rtl domain in this campaign") :: !skipped
-        | Some (spec, golden) ->
-          let outcome =
-            Telemetry.Metrics.span metrics "fault/run" (fun () ->
-                classify_rtl ~golden (rtl_run ~metrics spec [ f ]))
-          in
-          record index "rtl" fault outcome)
-      | Plan.F_statechart f -> (
-        match golden_sc with
-        | None ->
-          skipped := (fault, "no statechart domain in this campaign") :: !skipped
-        | Some (spec, golden) ->
-          let outcome =
-            Telemetry.Metrics.span metrics "fault/run" (fun () ->
-                classify_sc ~golden (sc_run ~metrics spec [ f ]))
-          in
-          record index "statechart" fault outcome)
-      | Plan.F_token f ->
-        let ran = ref false in
-        (match golden_act with
-         | None -> ()
-         | Some (spec, golden) ->
-           ran := true;
-           let outcome =
-             Telemetry.Metrics.span metrics "fault/run" (fun () ->
-                 classify_act ~golden (act_run ~metrics spec [ f ]))
-           in
-           record index "activity" fault outcome);
-        (match golden_net with
-         | None -> ()
-         | Some (spec, golden) ->
-           ran := true;
-           let outcome =
-             Telemetry.Metrics.span metrics "fault/run" (fun () ->
-                 classify_net spec ~golden (net_run ~metrics spec [ f ]))
-           in
-           record index "petri" fault outcome);
-        if not !ran then
-          skipped := (fault, "no token domain in this campaign") :: !skipped)
-    plan.Plan.faults;
+  match fault with
+  | Plan.F_rtl f -> (
+    match golden_rtl with
+    | None -> FR_skipped "no rtl domain in this campaign"
+    | Some (spec, golden) ->
+      let outcome =
+        Telemetry.Metrics.span metrics "fault/run" (fun () ->
+            classify_rtl ~golden (rtl_run ~metrics spec [ f ]))
+      in
+      FR_runs (List.rev (note "rtl" outcome [])))
+  | Plan.F_statechart f -> (
+    match golden_sc with
+    | None -> FR_skipped "no statechart domain in this campaign"
+    | Some (spec, golden) ->
+      let outcome =
+        Telemetry.Metrics.span metrics "fault/run" (fun () ->
+            classify_sc ~golden (sc_run ~metrics spec [ f ]))
+      in
+      FR_runs (List.rev (note "statechart" outcome [])))
+  | Plan.F_token f ->
+    let acc = ref [] in
+    (match golden_act with
+     | None -> ()
+     | Some (spec, golden) ->
+       let outcome =
+         Telemetry.Metrics.span metrics "fault/run" (fun () ->
+             classify_act ~golden (act_run ~metrics spec [ f ]))
+       in
+       acc := note "activity" outcome !acc);
+    (match golden_net with
+     | None -> ()
+     | Some (spec, golden) ->
+       let outcome =
+         Telemetry.Metrics.span metrics "fault/run" (fun () ->
+             classify_net spec ~golden (net_run ~metrics spec [ f ]))
+       in
+       acc := note "petri" outcome !acc);
+    if !acc = [] then FR_skipped "no token domain in this campaign"
+    else FR_runs (List.rev !acc)
+
+let run ?(metrics = Telemetry.Metrics.null) ?pool ?rtl ?statechart ?activity
+    ?net ~label plan =
+  (* registered up front so it reports 0 even for an empty campaign *)
+  let (_ : Telemetry.Metrics.counter) =
+    Telemetry.Metrics.counter metrics "fault.injected"
+  in
+  (* golden runs: once per supplied spec, before any injection, always
+     on the caller's domain and registry *)
+  let golden_rtl = Option.map (fun s -> (s, rtl_run ~metrics s [])) rtl in
+  let golden_sc = Option.map (fun s -> (s, sc_run ~metrics s [])) statechart in
+  let golden_act = Option.map (fun s -> (s, act_run ~metrics s [])) activity in
+  let golden_net = Option.map (fun s -> (s, net_run ~metrics s [])) net in
+  let faults = Array.of_list plan.Plan.faults in
+  let n = Array.length faults in
+  let results = Array.make n (FR_skipped "") in
+  (match pool with
+   | Some p when Exec.Pool.jobs p > 1 && n > 0 ->
+     (* one metrics fork per fault, merged back in plan order, so the
+        merged registry reports byte-for-byte what the sequential branch
+        below would have recorded *)
+     let forks = Array.init n (fun _ -> Telemetry.Metrics.fork metrics) in
+     Exec.Pool.parallel_for p ~n (fun i ->
+         results.(i) <-
+           exec_fault ~metrics:forks.(i) ~golden_rtl ~golden_sc ~golden_act
+             ~golden_net faults.(i));
+     Array.iter
+       (fun child -> Telemetry.Metrics.merge_into ~into:metrics child)
+       forks
+   | Some _ | None ->
+     for i = 0 to n - 1 do
+       results.(i) <-
+         exec_fault ~metrics ~golden_rtl ~golden_sc ~golden_act ~golden_net
+           faults.(i)
+     done);
+  let runs = ref [] in
+  let skipped = ref [] in
+  Array.iteri
+    (fun index result ->
+      match result with
+      | FR_skipped reason -> skipped := (faults.(index), reason) :: !skipped
+      | FR_runs domain_outcomes ->
+        List.iter
+          (fun (domain, outcome) ->
+            runs :=
+              { run_index = index; run_domain = domain;
+                run_fault = faults.(index); run_outcome = outcome }
+              :: !runs)
+          domain_outcomes)
+    results;
   {
     rp_label = label;
     rp_plan = plan;

@@ -169,6 +169,7 @@ type totals = {
 
 val run :
   ?metrics:Telemetry.Metrics.t ->
+  ?pool:Exec.Pool.t ->
   ?rtl:rtl_spec ->
   ?statechart:sc_spec ->
   ?activity:act_spec ->
@@ -182,7 +183,15 @@ val run :
     the [fault.injected] / [fault.masked] / [fault.detected] /
     [fault.silent] / [fault.truncated] counters, one ["fault/run"] span
     per injected run, and one structured ["fault/injected"] event per
-    run when live. *)
+    run when live.
+
+    With [pool] (and [Exec.Pool.jobs pool > 1]) the injected variants
+    are sharded across the pool's domains — golden runs and artifacts
+    are shared read-only, each variant records into a
+    {!Telemetry.Metrics.fork}, and results merge back in plan order.
+    The report and the metrics report are byte-identical at every job
+    count (enforced by [test/test_parallel.ml] and the jobs-4 leg of
+    the [@inject-demo] golden gate). *)
 
 val totals : report -> totals
 

@@ -208,6 +208,8 @@ let has_comb_loop m =
       cyclic
     end
   in
+  (* audited: hash-order fold, but cycle existence is a property of the
+     graph — the boolean is the same whatever order the roots are tried *)
   Hashtbl.fold (fun n _ acc -> acc || dfs n) edges false
 
 let check_module m =
@@ -263,7 +265,10 @@ let check_module m =
         | Module_.Comb _ -> errs)
       errs m.Module_.mod_processes
   in
-  (* multiple drivers, sorted by signal name for deterministic output *)
+  (* audited: the fold over [drivers m] visits signals in hash order,
+     but both the per-signal process list and the (name, procs) pairs
+     are re-sorted below, so diagnostics come out in signal-name order
+     regardless of bucket layout *)
   let errs =
     let multi =
       Hashtbl.fold

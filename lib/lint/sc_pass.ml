@@ -79,6 +79,10 @@ let check_reachability idx (sm : Smachine.t) acc =
       end
     in
     List.iter mark seeds;
+    (* audited: this fold emits diagnostics in hash order, but every
+       caller goes through [Check.apply], whose [Model_info.sort] is a
+       total order on (rule, element, message) — table internals never
+       reach user-visible ordering *)
     Hashtbl.fold
       (fun id v acc ->
         match v with
@@ -125,6 +129,8 @@ let check_stabilization idx (sm : Smachine.t) acc =
         Hashtbl.replace memo id b;
         b
   in
+  (* audited: hash-order fold, neutralized by [Model_info.sort] in
+     [Check.apply] (see the SC-01 pass) *)
   Hashtbl.fold
     (fun id v acc ->
       match v with
@@ -175,6 +181,8 @@ let trigger_name = function
   | Smachine.Completion -> "completion"
 
 let check_nondeterminism idx (_sm : Smachine.t) acc =
+  (* audited: hash-order fold, neutralized by [Model_info.sort] in
+     [Check.apply] (see the SC-01 pass) *)
   Hashtbl.fold
     (fun id v acc ->
       match v with

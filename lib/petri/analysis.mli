@@ -24,16 +24,26 @@ type summary = {
 }
 
 val explore :
-  ?limit:int -> ?metrics:Telemetry.Metrics.t -> Net.t -> Marking.t -> summary
+  ?limit:int ->
+  ?metrics:Telemetry.Metrics.t ->
+  ?pool:Exec.Pool.t ->
+  Net.t ->
+  Marking.t ->
+  summary
 (** One compiled breadth-first exploration (up to [limit] states,
     default 10_000) answering every per-net question at once: clients
     that need several of reachability, bounds, deadlock-freedom and
     dead transitions should call this once instead of one query
     function per answer.  [metrics] receives the
-    [petri.markings_explored] counter. *)
+    [petri.markings_explored] counter.  [pool] shards BFS levels across
+    domains with byte-identical results (see {!Compiled.reachable}). *)
 
 val reachable :
-  ?limit:int -> ?metrics:Telemetry.Metrics.t -> Net.t -> Marking.t ->
+  ?limit:int ->
+  ?metrics:Telemetry.Metrics.t ->
+  ?pool:Exec.Pool.t ->
+  Net.t ->
+  Marking.t ->
   reach_result
 (** The {!explore} reachability component. *)
 
@@ -63,6 +73,7 @@ val random_occurrence_sequence :
     [seed]-selected enabled transition until none is enabled or
     [max_steps] were taken. *)
 
-val dead_transitions : ?limit:int -> Net.t -> Marking.t -> string list
+val dead_transitions :
+  ?limit:int -> ?pool:Exec.Pool.t -> Net.t -> Marking.t -> string list
 (** Transitions never enabled in the explored state space (L0-live
     check); conservative when truncated. *)

@@ -86,10 +86,21 @@ type reach = {
 }
 
 val reachable :
-  ?limit:int -> ?metrics:Telemetry.Metrics.t -> t -> marking -> reach
+  ?limit:int ->
+  ?metrics:Telemetry.Metrics.t ->
+  ?pool:Exec.Pool.t ->
+  t ->
+  marking ->
+  reach
 (** Breadth-first exploration up to [limit] visited markings (default
     10_000), with the visited set marked at *enqueue* time so the
     frontier never holds duplicates.  One pass accumulates everything
     downstream analyses need: deadlocks, the fired-transition bitset and
     the per-place token bound.  [metrics] receives the
-    [petri.markings_explored] counter. *)
+    [petri.markings_explored] counter.
+
+    With [pool] (and more than one job) each BFS level is expanded
+    across the pool's domains and merged back into the visited set
+    sequentially, in frontier order — the result is equal to the
+    single-domain exploration field for field, including BFS order and
+    the truncation verdict (enforced by [test/test_parallel.ml]). *)

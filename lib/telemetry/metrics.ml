@@ -6,6 +6,7 @@ type counter = {
 type gauge = {
   mutable g_last : int;
   mutable g_max : int;
+  mutable g_set : bool;  (** ever written; merge skips untouched gauges *)
   g_on : bool;
 }
 
@@ -76,13 +77,14 @@ let gauge t name =
   match Hashtbl.find_opt t.gauges name with
   | Some g -> g
   | None ->
-    let g = { g_last = 0; g_max = 0; g_on = t.on } in
+    let g = { g_last = 0; g_max = 0; g_set = false; g_on = t.on } in
     Hashtbl.replace t.gauges name g;
     g
 
 let set_gauge g v =
   if g.g_on then begin
     g.g_last <- v;
+    g.g_set <- true;
     if v > g.g_max then g.g_max <- v
   end
 
@@ -128,6 +130,53 @@ let event t ~scope name fields =
 
 let events t = Ring.to_list t.sink
 let events_dropped t = Ring.dropped t.sink
+
+(* --- accumulate-then-merge (parallel fan-out) -------------------------- *)
+
+(* A fork always gets a fresh counting clock: span durations under a
+   counting clock are *relative* (the number of clock reads strictly
+   inside the span), so a task recording into its own fork reproduces
+   exactly the durations it would have recorded into the parent — the
+   property the byte-identical [--jobs N] reports rest on. *)
+let fork t =
+  if not t.on then null
+  else
+    make ~on:true ~clock:(Clock.counting ())
+      ~event_capacity:(Ring.capacity t.sink)
+
+let merge_into ~into src =
+  if into.on && src.on && into != src then begin
+    Hashtbl.iter
+      (fun name (c : counter) ->
+        let dst = counter into name in
+        dst.c_value <- dst.c_value + c.c_value)
+      src.counters;
+    Hashtbl.iter
+      (fun name (g : gauge) ->
+        if g.g_set then begin
+          let dst = gauge into name in
+          dst.g_last <- g.g_last;
+          dst.g_set <- true;
+          if g.g_max > dst.g_max then dst.g_max <- g.g_max
+        end)
+      src.gauges;
+    Hashtbl.iter
+      (fun name (s : span_stat) ->
+        let dst = span_stat into name in
+        dst.s_count <- dst.s_count + s.s_count;
+        dst.s_total <- dst.s_total + s.s_total;
+        if s.s_max > dst.s_max then dst.s_max <- s.s_max)
+      src.spans;
+    (* Events are re-stamped with the destination's sequence (matching
+       what a sequential run would have assigned); ticks stay task-local.
+       Sibling drops carry over so recorded+dropped is conserved. *)
+    List.iter
+      (fun e ->
+        Ring.push into.sink { e with ev_seq = into.seq };
+        into.seq <- into.seq + 1)
+      (Ring.to_list src.sink);
+    Ring.add_dropped into.sink (Ring.dropped src.sink)
+  end
 
 let field_to_string = function
   | F_int i -> string_of_int i

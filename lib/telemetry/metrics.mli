@@ -85,3 +85,28 @@ val render_event : event -> string
 val report : t -> string
 (** The full deterministic metrics report: counters, gauges and spans
     sorted by name, then an event-volume summary line. *)
+
+(** {1 Accumulate-then-merge}
+
+    The parallel fan-outs ({!Fault.Campaign}, {!Petri.Compiled}, the
+    CLI) never share one registry across domains.  Each task records
+    into its own {!fork} and the caller folds the forks back with
+    {!merge_into} in task order — so with a counting clock the merged
+    registry {!report}s byte-for-byte what a sequential run over the
+    same tasks would have produced, at any domain count. *)
+
+val fork : t -> t
+(** A fresh live registry suitable for one parallel task: same event
+    capacity as the parent, its own {!Clock.counting} clock (span
+    durations under a counting clock are relative, so they merge
+    exactly).  Forking a disabled registry returns {!null}. *)
+
+val merge_into : into:t -> t -> unit
+(** [merge_into ~into src] folds a fork back: counters and span
+    statistics add, span/gauge maxima combine, gauges written in [src]
+    overwrite [into]'s last value (call in task order — last writer
+    wins, as it would sequentially), and [src]'s retained events are
+    appended with re-assigned sequence numbers ([src] drop counts carry
+    over, so recorded+dropped is conserved).  Event {e ticks} stay
+    task-local — only event counts, never merged ticks, appear in
+    {!report}.  No-op when either side is disabled. *)

@@ -26,6 +26,8 @@ let push t x =
     t.dropped <- t.dropped + 1
   end
 
+let add_dropped t n = if n > 0 then t.dropped <- t.dropped + n
+
 let to_list t =
   List.init t.len (fun i ->
       match t.buf.((t.start + i) mod t.cap) with

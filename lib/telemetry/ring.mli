@@ -17,6 +17,10 @@ val dropped : 'a t -> int
 
 val push : 'a t -> 'a -> unit
 
+val add_dropped : 'a t -> int -> unit
+(** Account for [n] items dropped elsewhere (e.g. in a forked sibling
+    ring being merged in); leaves the retained items untouched. *)
+
 val to_list : 'a t -> 'a list
 (** Retained items, oldest first. *)
 

@@ -261,20 +261,23 @@ let run ?(max_rounds = 1000) t =
   let rec round n =
     if n >= max_rounds then err "system did not quiesce after %d rounds" n;
     let worked = ref false in
-    Hashtbl.iter
-      (fun _r engine ->
-        let steps = Statechart.Engine.run_to_quiescence engine in
-        if steps > 0 then begin
-          worked := true;
-          total := !total + steps;
-          let sender =
-            Hashtbl.fold
-              (fun r e acc -> if e == engine then Some r else acc)
-              t.engines None
-          in
-          deliver_signals t ~sender ~default_engine:(Some engine)
-        end)
-      t.engines;
+    (* Step engines in instance-creation order.  [Hashtbl.iter] over
+       [t.engines] would let the bucket layout pick the interleaving,
+       and engine steps have cross-object effects (signal delivery, the
+       message log, final configurations) — so the trace, not just its
+       presentation, would depend on table internals. *)
+    List.iter
+      (fun (_name, r) ->
+        match Hashtbl.find_opt t.engines r with
+        | None -> () (* passive object *)
+        | Some engine ->
+          let steps = Statechart.Engine.run_to_quiescence engine in
+          if steps > 0 then begin
+            worked := true;
+            total := !total + steps;
+            deliver_signals t ~sender:(Some r) ~default_engine:(Some engine)
+          end)
+      (List.rev t.instances);
     if !worked then round (n + 1)
   in
   round 0;

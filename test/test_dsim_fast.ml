@@ -101,6 +101,47 @@ let random_module seed =
             ws)
     "rand"
 
+(* Two clocked processes driving the SAME registers on the same edge:
+   process declaration order decides the winner in both engines, and
+   the commit phase must walk declaration order — not hash-table
+   internals — or the engines drift apart (regression for the
+   [Sim.clock_edge] commit-order bug). *)
+let conflicting_writers_module seed =
+  let rng = Workload.Prng.create (seed lxor 0x7a11) in
+  let inputs =
+    List.init (Workload.Prng.range rng 1 3) (fun i ->
+        (Printf.sprintf "in%d" i, rand_ty rng))
+  in
+  let regs =
+    List.init (Workload.Prng.range rng 1 3) (fun i ->
+        (Printf.sprintf "r%d" i, rand_ty rng))
+  in
+  let base = List.map fst inputs @ List.map fst regs in
+  let body () =
+    List.map (fun (r, _) -> Stmt.Assign (r, rand_expr rng base 3)) regs
+  in
+  let reset_body =
+    List.map (fun (r, _) -> Stmt.Assign (r, Expr.of_int 0)) regs
+  in
+  Module_.make
+    ~ports:
+      (Module_.input "clk" Htype.Bit
+       :: Module_.input "rst" Htype.Bit
+       :: List.map (fun (n, ty) -> Module_.input n ty) inputs)
+    ~signals:
+      (List.map
+         (fun (n, ty) ->
+           Module_.signal ~init:(Workload.Prng.int rng 16) n ty)
+         regs)
+    ~processes:
+      [
+        Module_.seq_process
+          ~reset:("rst", reset_body)
+          ~name:"p_seq_a" ~clock:"clk" (body ());
+        Module_.seq_process ~name:"p_seq_b" ~clock:"clk" (body ());
+      ]
+    "conflict"
+
 (* Drive both engines with the identical random stimulus, asserting
    byte-equal snapshots after every step and monotone fast-engine
    counters throughout. *)
@@ -168,6 +209,13 @@ let qcheck_random_modules =
 (* Compiled FSMs (Statechart.Flatten |> Codegen.Fsm_compile) driven by
    random event strobes must agree between the engines too — this is
    the module shape the --rtl CLI path and examples run. *)
+let qcheck_conflicting_writers =
+  QCheck_alcotest.to_alcotest
+    (QCheck.Test.make ~count:60
+       ~name:"conflicting same-edge writers: Fast snapshots byte-equal Sim"
+       QCheck.(int_range 0 100_000)
+       (fun seed -> differential_run seed (conflicting_writers_module seed) 30))
+
 let qcheck_fsm_modules =
   QCheck_alcotest.to_alcotest
     (QCheck.Test.make ~count:30
@@ -535,7 +583,12 @@ let telemetry_tests =
 let () =
   Alcotest.run "dsim_fast"
     [
-      ("differential", [ qcheck_random_modules; qcheck_fsm_modules ]);
+      ( "differential",
+        [
+          qcheck_random_modules;
+          qcheck_conflicting_writers;
+          qcheck_fsm_modules;
+        ] );
       ("engine", engine_tests);
       ("wide", wide_tests);
       ("render", render_tests);

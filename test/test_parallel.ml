@@ -1,0 +1,396 @@
+(* Differential tests for the work-stealing domain pool (Exec.Pool):
+   [--jobs] is a pure throughput knob, so every parallel fan-out in the
+   repo — fault campaigns, state-space exploration — must produce
+   byte-identical reports, summaries and metrics registries at every
+   job count.  Pool unit tests cover scheduling (order preservation,
+   stealing under skew, chunked claims) and the lowest-index exception
+   rule. *)
+
+open Hdl
+
+let tc name f = Alcotest.test_case name `Quick f
+let check = Alcotest.check
+
+(* ------------------------------------------------------------------ *)
+(* Pool unit tests *)
+
+let pool_tests =
+  [
+    tc "create rejects jobs < 1" (fun () ->
+        match Exec.Pool.create ~jobs:0 with
+        | _pool -> Alcotest.fail "jobs:0 accepted"
+        | exception Invalid_argument _ -> ());
+    tc "create clamps to max_jobs" (fun () ->
+        let pool = Exec.Pool.create ~jobs:(Exec.Pool.max_jobs + 37) in
+        Fun.protect
+          ~finally:(fun () -> Exec.Pool.shutdown pool)
+          (fun () ->
+            check Alcotest.int "clamped" Exec.Pool.max_jobs
+              (Exec.Pool.jobs pool)));
+    tc "jobs 1 runs inline in index order" (fun () ->
+        Exec.Pool.with_pool ~jobs:1 (fun pool ->
+            let seen = ref [] in
+            Exec.Pool.parallel_for pool ~n:10 (fun i -> seen := i :: !seen);
+            check
+              Alcotest.(list int)
+              "ascending" [ 0; 1; 2; 3; 4; 5; 6; 7; 8; 9 ]
+              (List.rev !seen)));
+    tc "map_list preserves input order at jobs 4" (fun () ->
+        Exec.Pool.with_pool ~jobs:4 (fun pool ->
+            let xs = List.init 100 (fun i -> i) in
+            check
+              Alcotest.(list int)
+              "squares in order"
+              (List.map (fun i -> i * i) xs)
+              (Exec.Pool.map_list pool (fun i -> i * i) xs);
+            check Alcotest.(list int) "empty" []
+              (Exec.Pool.map_list pool (fun i -> i * i) [])));
+    tc "skewed task sizes: every task runs exactly once" (fun () ->
+        (* The first contiguous block is heavy, the rest trivial —
+           idle participants must steal into the slow block rather
+           than wait on it. *)
+        Exec.Pool.with_pool ~jobs:4 (fun pool ->
+            let n = 64 in
+            let runs = Array.make n 0 in
+            let out = Array.make n 0 in
+            Exec.Pool.parallel_for pool ~n (fun i ->
+                let spins = if i < 16 then 200_000 else 100 in
+                let acc = ref 0 in
+                for k = 1 to spins do
+                  acc := (!acc + k) mod 65521
+                done;
+                runs.(i) <- runs.(i) + 1;
+                out.(i) <- !acc);
+            Array.iteri
+              (fun i r ->
+                if r <> 1 then Alcotest.failf "task %d ran %d times" i r)
+              runs;
+            (* same per-index values as the sequential loop *)
+            Array.iteri
+              (fun i v ->
+                let spins = if i < 16 then 200_000 else 100 in
+                let acc = ref 0 in
+                for k = 1 to spins do
+                  acc := (!acc + k) mod 65521
+                done;
+                check Alcotest.int (Printf.sprintf "task %d" i) !acc v)
+              out));
+    tc "chunked claims still cover every index" (fun () ->
+        Exec.Pool.with_pool ~jobs:4 (fun pool ->
+            let n = 103 in
+            let runs = Array.make n 0 in
+            Exec.Pool.parallel_for ~chunk:7 pool ~n (fun i ->
+                runs.(i) <- runs.(i) + 1);
+            Array.iteri
+              (fun i r ->
+                if r <> 1 then Alcotest.failf "task %d ran %d times" i r)
+              runs));
+    tc "lowest-index exception wins; pool stays usable" (fun () ->
+        Exec.Pool.with_pool ~jobs:4 (fun pool ->
+            (match
+               Exec.Pool.parallel_for pool ~n:32 (fun i ->
+                   if i = 7 || i = 3 then
+                     failwith (Printf.sprintf "task %d" i))
+             with
+            | () -> Alcotest.fail "expected an exception"
+            | exception Failure m -> check Alcotest.string "lowest" "task 3" m);
+            let runs = Array.make 50 0 in
+            Exec.Pool.parallel_for pool ~n:50 (fun i -> runs.(i) <- runs.(i) + 1);
+            Array.iteri
+              (fun i r ->
+                if r <> 1 then
+                  Alcotest.failf "task %d ran %d times after exception" i r)
+              runs));
+    tc "with_pool returns the callback value; shutdown is idempotent" (fun () ->
+        check Alcotest.int "value" 42 (Exec.Pool.with_pool ~jobs:2 (fun _ -> 42));
+        let pool = Exec.Pool.create ~jobs:2 in
+        Exec.Pool.shutdown pool;
+        Exec.Pool.shutdown pool);
+    tc "n = 0 is a no-op" (fun () ->
+        Exec.Pool.with_pool ~jobs:4 (fun pool ->
+            Exec.Pool.parallel_for pool ~n:0 (fun _ ->
+                Alcotest.fail "task ran")));
+  ]
+
+let qcheck_map_determinism =
+  QCheck_alcotest.to_alcotest
+    (QCheck.Test.make ~count:20 ~name:"map_array agrees at jobs 1/2/4/8"
+       QCheck.(pair (int_range 0 100_000) (int_range 0 200))
+       (fun (seed, n) ->
+         let rng = Workload.Prng.create seed in
+         let xs = Array.init n (fun _ -> Workload.Prng.int rng 1_000_000) in
+         let f x = x * 2654435761 land 0xFFFFFF in
+         let expected = Array.map f xs in
+         List.for_all
+           (fun jobs ->
+             Exec.Pool.with_pool ~jobs (fun pool ->
+                 Exec.Pool.map_array pool f xs = expected))
+           [ 1; 2; 4; 8 ]))
+
+(* ------------------------------------------------------------------ *)
+(* Campaign differential: sharded runs must reproduce the sequential
+   report and metrics registry byte-for-byte.  The RTL generator
+   mirrors the one in test_fault (test executables are separate). *)
+
+let rand_ty rng =
+  match Workload.Prng.int rng 3 with
+  | 0 -> Htype.Bit
+  | 1 -> Htype.Unsigned (Workload.Prng.range rng 2 8)
+  | _ -> Htype.Unsigned (Workload.Prng.range rng 9 16)
+
+let binops =
+  [
+    Expr.And; Expr.Or; Expr.Xor; Expr.Add; Expr.Sub; Expr.Mul; Expr.Eq;
+    Expr.Neq; Expr.Lt; Expr.Le; Expr.Gt; Expr.Ge; Expr.Shl; Expr.Shr;
+  ]
+
+let rec rand_expr rng avail depth =
+  let leaf () =
+    if Workload.Prng.bool rng then Expr.Ref (Workload.Prng.pick rng avail)
+    else Expr.of_int ~width:8 (Workload.Prng.int rng 256)
+  in
+  if depth <= 0 then leaf ()
+  else (
+    let sub () = rand_expr rng avail (depth - 1) in
+    match Workload.Prng.int rng 6 with
+    | 0 | 1 -> leaf ()
+    | 2 -> Expr.Unop (Expr.Not, sub ())
+    | 3 -> Expr.Mux (sub (), sub (), sub ())
+    | 4 -> Expr.Resize (sub (), Workload.Prng.range rng 1 12)
+    | _n -> Expr.Binop (Workload.Prng.pick rng binops, sub (), sub ()))
+
+let random_module seed =
+  let rng = Workload.Prng.create seed in
+  let inputs =
+    List.init (Workload.Prng.range rng 1 3) (fun i ->
+        (Printf.sprintf "in%d" i, rand_ty rng))
+  in
+  let regs =
+    List.init (Workload.Prng.range rng 1 3) (fun i ->
+        (Printf.sprintf "r%d" i, rand_ty rng))
+  in
+  let base = List.map fst inputs @ List.map fst regs in
+  let seq_body =
+    List.map (fun (r, _) -> Stmt.Assign (r, rand_expr rng base 3)) regs
+  in
+  let reset_body =
+    List.map (fun (r, _) -> Stmt.Assign (r, Expr.of_int 0)) regs
+  in
+  Module_.make
+    ~ports:
+      (Module_.input "clk" Htype.Bit
+       :: Module_.input "rst" Htype.Bit
+       :: List.map (fun (n, ty) -> Module_.input n ty) inputs)
+    ~signals:
+      (List.map
+         (fun (n, ty) -> Module_.signal ~init:(Workload.Prng.int rng 16) n ty)
+         regs)
+    ~processes:
+      [
+        Module_.seq_process
+          ~reset:("rst", reset_body)
+          ~name:"p_seq" ~clock:"clk" seq_body;
+      ]
+    "rand"
+
+let rtl_spec_of_module seed m =
+  let rng = Workload.Prng.create (seed lxor 0x2e2e) in
+  let inputs =
+    List.filter_map
+      (fun (p : Module_.port) ->
+        match p.Module_.port_dir with
+        | Module_.Input ->
+          if p.Module_.port_name = "clk" || p.Module_.port_name = "rst" then
+            None
+          else Some p.Module_.port_name
+        | Module_.Output -> None)
+      m.Module_.mod_ports
+  in
+  let cycles = 12 in
+  let stimulus =
+    List.init cycles (fun c ->
+        ( c,
+          List.filter_map
+            (fun name ->
+              if Workload.Prng.bool rng then
+                Some (name, Workload.Prng.int rng 65536)
+              else None)
+            inputs ))
+  in
+  {
+    Fault.Campaign.rs_module = m;
+    rs_clock = "clk";
+    rs_reset = Some "rst";
+    rs_stimulus = stimulus;
+    rs_cycles = cycles;
+    rs_settle_budget = 1000;
+  }
+
+(* A campaign over all four engine families, parameterized on the plan
+   seed; returns a closure so each run gets a fresh registry. *)
+let campaign_fixture seed faults =
+  let sm = Workload.Gen_statechart.flat ~seed:5 ~states:3 ~events:2 in
+  let events = Workload.Gen_statechart.event_sequence ~seed:9 ~length:10 2 in
+  let sc =
+    { Fault.Campaign.ss_machine = sm; ss_events = events; ss_budget = 1000 }
+  in
+  let rtl = rtl_spec_of_module seed (random_module seed) in
+  let act =
+    Workload.Gen_activity.series_parallel ~seed:4 ~size:8 ~max_width:3
+  in
+  let aspec =
+    {
+      Fault.Campaign.ac_activity = act;
+      ac_choice_seed = 4;
+      ac_max_steps = 10_000;
+    }
+  in
+  let net, m0 = Activity.Translate.to_petri act in
+  let nspec =
+    {
+      Fault.Campaign.np_net = net;
+      np_marking = m0;
+      np_choice_seed = 4;
+      np_max_steps = 10_000;
+    }
+  in
+  let surface =
+    {
+      Fault.Plan.su_signals =
+        List.map
+          (fun (s : Module_.signal) ->
+            (s.Module_.sig_name, Htype.width s.Module_.sig_type))
+          rtl.Fault.Campaign.rs_module.Module_.mod_signals;
+      su_cycles = rtl.Fault.Campaign.rs_cycles;
+      su_events = Workload.Gen_statechart.event_names 2;
+      su_length = List.length events;
+      su_places =
+        List.map
+          (fun (p : Petri.Net.place) -> p.Petri.Net.pl_id)
+          net.Petri.Net.places;
+      su_steps = 20;
+    }
+  in
+  let plan = Fault.Plan.generate ~seed ~count:faults surface in
+  fun ?metrics ?pool () ->
+    Fault.Campaign.run ?metrics ?pool ~rtl ~statechart:sc ~activity:aspec
+      ~net:nspec ~label:"fixture" plan
+
+let qcheck_campaign_differential =
+  QCheck_alcotest.to_alcotest
+    (QCheck.Test.make ~count:8
+       ~name:"campaign: jobs 4 reports and metrics byte-equal sequential"
+       QCheck.(int_range 0 100_000)
+       (fun seed ->
+         let go = campaign_fixture seed 12 in
+         let m1 =
+           Telemetry.Metrics.create ~clock:(Telemetry.Clock.counting ()) ()
+         in
+         let r1 = go ~metrics:m1 () in
+         let m4 =
+           Telemetry.Metrics.create ~clock:(Telemetry.Clock.counting ()) ()
+         in
+         let r4 =
+           Exec.Pool.with_pool ~jobs:4 (fun pool -> go ~metrics:m4 ~pool ())
+         in
+         String.equal (Fault.Campaign.to_text r1) (Fault.Campaign.to_text r4)
+         && String.equal (Fault.Campaign.to_json r1)
+              (Fault.Campaign.to_json r4)
+         && String.equal (Telemetry.Metrics.report m1)
+              (Telemetry.Metrics.report m4)))
+
+let campaign_pool_tests =
+  [
+    tc "jobs 1 pool takes the sequential path" (fun () ->
+        let go = campaign_fixture 42 15 in
+        let r_none = go () in
+        let r_one = Exec.Pool.with_pool ~jobs:1 (fun pool -> go ~pool ()) in
+        check Alcotest.string "text"
+          (Fault.Campaign.to_text r_none)
+          (Fault.Campaign.to_text r_one));
+    tc "empty plan under a pool still reports zero injections" (fun () ->
+        let go = campaign_fixture 7 0 in
+        let m =
+          Telemetry.Metrics.create ~clock:(Telemetry.Clock.counting ()) ()
+        in
+        let r = Exec.Pool.with_pool ~jobs:4 (fun pool -> go ~metrics:m ~pool ()) in
+        check Alcotest.string "same as sequential"
+          (Fault.Campaign.to_text (go ()))
+          (Fault.Campaign.to_text r));
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Exploration differential: sharded BFS must reproduce the sequential
+   summary exactly — markings in the same BFS order, same truncation
+   verdict, bounds, deadlocks and dead transitions. *)
+
+let markings_equal a b =
+  List.length a = List.length b && List.for_all2 Petri.Marking.equal a b
+
+let summaries_equal (a : Petri.Analysis.summary) (b : Petri.Analysis.summary) =
+  markings_equal a.Petri.Analysis.sum_reach.Petri.Analysis.markings
+    b.Petri.Analysis.sum_reach.Petri.Analysis.markings
+  && a.Petri.Analysis.sum_reach.Petri.Analysis.state_count
+     = b.Petri.Analysis.sum_reach.Petri.Analysis.state_count
+  && a.Petri.Analysis.sum_reach.Petri.Analysis.truncated
+     = b.Petri.Analysis.sum_reach.Petri.Analysis.truncated
+  && markings_equal a.Petri.Analysis.sum_reach.Petri.Analysis.deadlocks
+       b.Petri.Analysis.sum_reach.Petri.Analysis.deadlocks
+  && a.Petri.Analysis.sum_bound = b.Petri.Analysis.sum_bound
+  && a.Petri.Analysis.sum_deadlock_free = b.Petri.Analysis.sum_deadlock_free
+  && a.Petri.Analysis.sum_dead_transitions
+     = b.Petri.Analysis.sum_dead_transitions
+
+let random_net seed =
+  let act =
+    if seed mod 2 = 0 then
+      Workload.Gen_activity.series_parallel ~seed ~size:10 ~max_width:4
+    else Workload.Gen_activity.with_decisions ~seed ~size:10 ~max_width:4
+  in
+  Activity.Translate.to_petri act
+
+let qcheck_explore_differential =
+  QCheck_alcotest.to_alcotest
+    (QCheck.Test.make ~count:30
+       ~name:"explore: pool sharding reproduces the sequential summary"
+       QCheck.(int_range 0 100_000)
+       (fun seed ->
+         let net, m0 = random_net seed in
+         let m1 =
+           Telemetry.Metrics.create ~clock:(Telemetry.Clock.counting ()) ()
+         in
+         let s1 = Petri.Analysis.explore ~metrics:m1 net m0 in
+         let m4 =
+           Telemetry.Metrics.create ~clock:(Telemetry.Clock.counting ()) ()
+         in
+         let s4, d4 =
+           Exec.Pool.with_pool ~jobs:4 (fun pool ->
+               ( Petri.Analysis.explore ~metrics:m4 ~pool net m0,
+                 Petri.Analysis.dead_transitions ~pool net m0 ))
+         in
+         summaries_equal s1 s4
+         && Petri.Analysis.dead_transitions net m0 = d4
+         && String.equal (Telemetry.Metrics.report m1)
+              (Telemetry.Metrics.report m4)))
+
+let qcheck_explore_truncation =
+  QCheck_alcotest.to_alcotest
+    (QCheck.Test.make ~count:30
+       ~name:"explore: truncation point identical under sharding"
+       QCheck.(pair (int_range 0 100_000) (int_range 1 9))
+       (fun (seed, limit) ->
+         let net, m0 = random_net seed in
+         let s1 = Petri.Analysis.explore ~limit net m0 in
+         let s4 =
+           Exec.Pool.with_pool ~jobs:4 (fun pool ->
+               Petri.Analysis.explore ~limit ~pool net m0)
+         in
+         summaries_equal s1 s4))
+
+let () =
+  Alcotest.run "parallel"
+    [
+      ("pool", pool_tests @ [ qcheck_map_determinism ]);
+      ("campaign", campaign_pool_tests @ [ qcheck_campaign_differential ]);
+      ("explore", [ qcheck_explore_differential; qcheck_explore_truncation ]);
+    ]
