@@ -1185,6 +1185,66 @@ let e16_tests () =
   ]
 
 (* ------------------------------------------------------------------ *)
+(* E17: dataflow lint tier cost per model shape                        *)
+
+(* The static-analysis tier must stay cheap enough to run on every
+   lint: measure the ASL/event passes against growing generated models
+   and the netlist clock/reset pass against growing SoC designs.  The
+   finding counts are recorded too — healthy generated models must stay
+   at zero (no spurious fires as the substrate evolves; the defect
+   showcase behind @lint-demo owns the positive direction). *)
+let e17_model classes =
+  Uml.Ident.reset_counter ();
+  let m = Workload.Gen_model.structural ~seed:17 ~classes in
+  Uml.Model.add m
+    (Uml.Model.E_state_machine
+       (Workload.Gen_statechart.hierarchical ~seed:17 ~depth:3 ~breadth:2
+          ~events:4));
+  Uml.Model.add m
+    (Uml.Model.E_activity
+       (Workload.Gen_activity.with_decisions ~seed:17 ~size:classes
+          ~max_width:3));
+  m
+
+let e17_report () =
+  sep "E17  dataflow lint tier cost (ASL abstract interpretation + netlist)";
+  List.iter
+    (fun classes ->
+      let m = e17_model classes in
+      let diags = Lint.Df_pass.check_model m in
+      let t = e16_time (fun () -> ignore (Lint.Df_pass.check_model m)) in
+      Printf.printf "model  %3d classes: %7.2f ms, %d findings\n" classes
+        (1e3 *. t) (List.length diags);
+      record_f (Printf.sprintf "e17.model_ms.classes%03d" classes) (1e3 *. t);
+      record_i
+        (Printf.sprintf "e17.model_findings.classes%03d" classes)
+        (List.length diags))
+    [ 10; 20; 40 ];
+  List.iter
+    (fun ips ->
+      let design = Iplib.Soc.design ~name:"soc" (soc_instances ips) in
+      let diags = Lint.Df_pass.check_design design in
+      let t = e16_time (fun () -> ignore (Lint.Df_pass.check_design design)) in
+      Printf.printf "design %3d IPs:     %7.2f ms, %d findings\n" ips
+        (1e3 *. t) (List.length diags);
+      record_f (Printf.sprintf "e17.netlist_ms.ips%02d" ips) (1e3 *. t);
+      record_i
+        (Printf.sprintf "e17.netlist_findings.ips%02d" ips)
+        (List.length diags))
+    [ 4; 8; 16 ]
+
+let e17_tests () =
+  let m = e17_model 20 in
+  let design = Iplib.Soc.design ~name:"soc" (soc_instances 8) in
+  [
+    Bechamel.Test.make ~name:"e17/dataflow-model-20"
+      (Bechamel.Staged.stage (fun () -> ignore (Lint.Df_pass.check_model m)));
+    Bechamel.Test.make ~name:"e17/dataflow-netlist-8ip"
+      (Bechamel.Staged.stage (fun () ->
+           ignore (Lint.Df_pass.check_design design)));
+  ]
+
+(* ------------------------------------------------------------------ *)
 (* Bechamel driver                                                     *)
 
 let run_bechamel tests =
@@ -1237,12 +1297,13 @@ let () =
   e14_report ();
   e15_report ();
   e16_report ();
+  e17_report ();
   if not quick then begin
     let tests =
       e1_tests () @ e2_tests () @ e2_xuml_test () @ e3_tests () @ e4_tests ()
       @ e5_tests () @ e6_tests () @ e7_tests () @ e8_tests () @ e9_tests ()
       @ e10_tests () @ e11_tests () @ e12_tests () @ e13_tests ()
-      @ e14_tests () @ e15_tests () @ e16_tests ()
+      @ e14_tests () @ e15_tests () @ e16_tests () @ e17_tests ()
     in
     run_bechamel tests
   end;

@@ -138,6 +138,24 @@ let split_selectors values =
     (fun v -> List.filter (fun s -> s <> "") (String.split_on_char ',' v))
     values
 
+let selection_of only disable =
+  let only = split_selectors only and disable = split_selectors disable in
+  Lint.Rules.selection_of_strings
+    ?only:(match only with [] -> None | l -> Some l)
+    ~disabled:disable ()
+
+(* A selector that matches no registered rule is a user error: reject
+   it up front (a silently ignored --only/--disable would lint with a
+   different rule set than the user asked for). *)
+let reject_unknown_selectors selection =
+  match Lint.Rules.unknown_selectors selection with
+  | [] -> Ok ()
+  | unknown ->
+    Error
+      (Printf.sprintf "unknown rule selector%s: %s (see `socuml rules`)"
+         (match unknown with [ _ ] -> "" | _ -> "s")
+         (String.concat ", " unknown))
+
 let models_arg =
   (* plain strings for the same reason as [model_arg] *)
   let doc = "Input models in socuml XMI form (one or more)." in
@@ -146,15 +164,12 @@ let models_arg =
 let lint_cmd =
   let run paths format only disable no_hdl jobs =
     guarded @@ fun () ->
-    let only = split_selectors only and disable = split_selectors disable in
-    let selection =
-      Lint.Rules.selection_of_strings
-        ?only:(match only with [] -> None | l -> Some l)
-        ~disabled:disable ()
-    in
-    List.iter
-      (fun s -> Printf.eprintf "warning: selector %s matches no rule\n" s)
-      (Lint.Rules.unknown_selectors selection);
+    let selection = selection_of only disable in
+    match reject_unknown_selectors selection with
+    | Error msg ->
+      prerr_endline msg;
+      1
+    | Ok () ->
     (* One task per model: load, derive the HDL design (the netlist the
        MDA flow would generate, so lint sees the same design as `gen`),
        check, and render off-line; the rendered reports are printed in
@@ -561,8 +576,14 @@ let demo_cmd =
 (* --- analyze ------------------------------------------------------------ *)
 
 let analyze_cmd =
-  let run path metrics jobs =
+  let run path metrics only disable jobs =
     guarded @@ fun () ->
+    let selection = selection_of only disable in
+    match reject_unknown_selectors selection with
+    | Error msg ->
+      prerr_endline msg;
+      1
+    | Ok () -> (
     match load_model path with
     | Error msg ->
       prerr_endline msg;
@@ -612,7 +633,7 @@ let analyze_cmd =
                   (String.concat ", " dead)
             end)
           activities;
-        let lint = Lint.Check.check_model m in
+        let lint = Lint.Check.check_model ~selection ~metrics:reg m in
         if lint <> [] then begin
           print_endline "lint:";
           List.iter
@@ -620,14 +641,16 @@ let analyze_cmd =
             lint
         end;
         if metrics then print_string (Telemetry.Metrics.report reg);
-        0)
+        0))
   in
   let doc =
     "Translate the model's activities to Petri nets and analyze them \
-     (boundedness, deadlocks, invariants, lint)."
+     (boundedness, deadlocks, invariants, lint).  $(b,--only) and \
+     $(b,--disable) select the lint rules, as for $(b,socuml lint)."
   in
   Cmd.v (Cmd.info "analyze" ~doc)
-    Term.(const run $ model_arg $ metrics_arg $ jobs_arg)
+    Term.(const run $ model_arg $ metrics_arg $ only_arg $ disable_arg
+          $ jobs_arg)
 
 (* --- inject ------------------------------------------------------------ *)
 
@@ -831,13 +854,28 @@ let inject_cmd =
       const run $ model_arg $ machine_arg $ seed_arg $ faults_arg $ format_arg
       $ metrics_arg $ jobs_arg)
 
+let rules_cmd =
+  let run format =
+    guarded @@ fun () ->
+    (match format with
+     | `Text -> print_string (Lint.Report.rules_to_text ())
+     | `Json -> print_string (Lint.Report.rules_to_json ()));
+    0
+  in
+  let doc =
+    "Print the registered lint rule table (code, severity, summary). \
+     The codes listed here are exactly the selectors accepted by \
+     $(b,--only) and $(b,--disable)."
+  in
+  Cmd.v (Cmd.info "rules" ~doc) Term.(const run $ format_arg)
+
 let main =
   let doc = "UML 2.0 modeling and MDA toolchain for SoC design" in
   Cmd.group
     (Cmd.info "socuml" ~version:"1.0.0" ~doc)
     [
       validate_cmd; lint_cmd; info_cmd; gen_cmd; simulate_cmd; trace_cmd;
-      partition_cmd; analyze_cmd; inject_cmd; demo_cmd;
+      partition_cmd; analyze_cmd; inject_cmd; rules_cmd; demo_cmd;
     ]
 
 let () = exit (Cmd.eval' main)

@@ -1,0 +1,29 @@
+(** The ASL dataflow pass: abstract interpretation of every behavior
+    string in a model.
+
+    Reported findings (severities live in the lint registry):
+
+    - [DF-01] a variable may be read before initialization on some
+      path.  The typechecker's block scoping (ASL-02) already rejects
+      reads of names no enclosing block binds; this rule covers the
+      gap between that discipline and the interpreter's flat frames —
+      assignments inside a branch escape at runtime, and activity
+      actions share one store in token order, so a read can be
+      well-typed yet uninitialized on a real path.
+    - [DF-02] a pure store whose value is never read (fresh-frame
+      behaviors only: locals of transition effects, state behaviors
+      and operation bodies die with the frame).
+    - [DF-03] a statement unreachable under constant-folded
+      conditions (code after [return], branches of provably constant
+      conditions, inverted [for] bounds).
+    - [DF-04] a guard (transition or activity edge) that is provably
+      always true or always false.
+
+    Parsing goes through {!Asl.Compiled}, so the parse is paid once
+    and shared with the engines and the ASL lint pass; behaviors that
+    fail to parse are skipped here (ASL-01 owns them). *)
+
+val check : ?metrics:Telemetry.Metrics.t -> Uml.Model.t -> Finding.t list
+(** Deterministically ordered (code, element, message), duplicates
+    collapsed.  Counters: [dataflow.asl.programs], [dataflow.asl.guards],
+    [dataflow.asl.findings]. *)

@@ -1,0 +1,179 @@
+module A = Asl.Ast
+
+type kind =
+  | Entry
+  | Exit
+  | Nop
+  | Stmt of A.stmt
+  | Branch of A.expr
+  | For_head of string * A.expr * A.expr
+
+type node = {
+  n_id : int;
+  n_kind : kind;
+  mutable n_succs : int list;
+  mutable n_preds : int list;
+}
+
+type t = {
+  nodes : node array;
+  entry : int;
+  exit_ : int;
+}
+
+let of_program prog =
+  let acc = ref [] in
+  let next = ref 0 in
+  let alloc kind =
+    let n = { n_id = !next; n_kind = kind; n_succs = []; n_preds = [] } in
+    incr next;
+    acc := n :: !acc;
+    n
+  in
+  let link p s =
+    p.n_succs <- p.n_succs @ [ s.n_id ];
+    s.n_preds <- s.n_preds @ [ p.n_id ]
+  in
+  let entry = alloc Entry in
+  let exit_ = alloc Exit in
+  (* [stmt preds s] wires [s] after the open ends [preds] and returns
+     the new open ends; a [Return] closes them, so whatever follows is
+     allocated without predecessors. *)
+  let rec stmts preds ss = List.fold_left stmt preds ss
+  and stmt preds s =
+    match s with
+    | A.Skip | A.Var_decl _ | A.Assign _ | A.Expr_stmt _ | A.Send _
+    | A.Delete _ ->
+      let n = alloc (Stmt s) in
+      List.iter (fun p -> link p n) preds;
+      [ n ]
+    | A.Return _ ->
+      let n = alloc (Stmt s) in
+      List.iter (fun p -> link p n) preds;
+      link n exit_;
+      []
+    | A.If (c, t, e) ->
+      let b = alloc (Branch c) in
+      List.iter (fun p -> link p b) preds;
+      let th = alloc Nop in
+      let eh = alloc Nop in
+      link b th;
+      link b eh;
+      let t_ends = stmts [ th ] t in
+      let e_ends = stmts [ eh ] e in
+      t_ends @ e_ends
+    | A.While (c, body) ->
+      let b = alloc (Branch c) in
+      List.iter (fun p -> link p b) preds;
+      let bh = alloc Nop in
+      let ah = alloc Nop in
+      link b bh;
+      link b ah;
+      let ends = stmts [ bh ] body in
+      List.iter (fun p -> link p b) ends;
+      [ ah ]
+    | A.For (v, lo, hi, body) ->
+      let f = alloc (For_head (v, lo, hi)) in
+      List.iter (fun p -> link p f) preds;
+      let bh = alloc Nop in
+      let ah = alloc Nop in
+      link f bh;
+      link f ah;
+      let ends = stmts [ bh ] body in
+      List.iter (fun p -> link p f) ends;
+      [ ah ]
+  in
+  let ends = stmts [ entry ] prog in
+  List.iter (fun p -> link p exit_) ends;
+  { nodes = Array.of_list (List.rev !acc); entry = entry.n_id; exit_ = exit_.n_id }
+
+let dedup xs =
+  let seen = Hashtbl.create 8 in
+  List.filter
+    (fun x ->
+      if Hashtbl.mem seen x then false
+      else begin
+        Hashtbl.add seen x ();
+        true
+      end)
+    xs
+
+let expr_vars e =
+  let acc = ref [] in
+  let rec go e =
+    match e with
+    | A.Int_lit _ | A.Real_lit _ | A.Bool_lit _ | A.String_lit _ | A.Null_lit
+    | A.Self | A.New _ ->
+      ()
+    | A.Var x -> acc := x :: !acc
+    | A.Attr (obj, _) -> go obj
+    | A.Unop (_, e1) -> go e1
+    | A.Binop (_, e1, e2) ->
+      go e1;
+      go e2
+    | A.Call (recv, _, args) ->
+      (match recv with
+       | None -> ()
+       | Some r -> go r);
+      List.iter go args
+  in
+  go e;
+  dedup (List.rev !acc)
+
+let uses n =
+  match n.n_kind with
+  | Entry | Exit | Nop -> []
+  | Branch c -> expr_vars c
+  | For_head (_, lo, hi) -> dedup (expr_vars lo @ expr_vars hi)
+  | Stmt s -> (
+    match s with
+    | A.Skip | A.Return None -> []
+    | A.Var_decl (_, e)
+    | A.Assign (A.L_var _, e)
+    | A.Expr_stmt e
+    | A.Return (Some e)
+    | A.Delete e ->
+      expr_vars e
+    | A.Assign (A.L_attr (obj, _), e) -> dedup (expr_vars obj @ expr_vars e)
+    | A.Send (_, args, target) ->
+      dedup
+        (List.concat_map expr_vars args
+        @ (match target with
+           | None -> []
+           | Some t -> expr_vars t))
+    | A.If _ | A.While _ | A.For _ -> [])
+
+let def n =
+  match n.n_kind with
+  | Entry | Exit | Nop | Branch _ -> None
+  | For_head (v, _, _) -> Some v
+  | Stmt s -> (
+    match s with
+    | A.Var_decl (x, _) | A.Assign (A.L_var x, _) -> Some x
+    | A.Skip
+    | A.Assign (A.L_attr _, _)
+    | A.Expr_stmt _ | A.Return _ | A.Send _ | A.Delete _ | A.If _ | A.While _
+    | A.For _ ->
+      None)
+
+let label n =
+  match n.n_kind with
+  | Entry -> "entry"
+  | Exit -> "exit"
+  | Nop -> "join"
+  | Branch _ -> "condition"
+  | For_head (v, _, _) -> Printf.sprintf "for %s" v
+  | Stmt s -> (
+    match s with
+    | A.Skip -> "skip"
+    | A.Var_decl (x, _) -> Printf.sprintf "declaration of %s" x
+    | A.Assign (A.L_var x, _) -> Printf.sprintf "assignment to %s" x
+    | A.Assign (A.L_attr (_, a), _) ->
+      Printf.sprintf "assignment to attribute %s" a
+    | A.Expr_stmt _ -> "expression statement"
+    | A.Return _ -> "return"
+    | A.Send (sg, _, _) -> Printf.sprintf "send %s" sg
+    | A.Delete _ -> "delete"
+    | A.If _ -> "if"
+    | A.While _ -> "while"
+    | A.For _ -> "for")

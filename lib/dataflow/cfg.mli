@@ -1,0 +1,59 @@
+(** Control-flow graphs over ASL programs.
+
+    A program ({!Asl.Ast.program}) is lowered to a small graph whose
+    nodes are straight-line statements, branch conditions and for-loop
+    heads.  Structured statements contribute their condition node plus
+    explicit [Nop] head/join nodes, so every branch arm has a distinct
+    head even when its statement list is empty — the abstract
+    interpreter ({!Absint}) relies on that to prune edges under
+    constant-folded conditions.
+
+    Successor lists are positional for the two-way nodes:
+    [Branch] has successors [then-head; else-head] (a [While] condition
+    is a [Branch] whose else-head is the loop exit, with a back edge
+    from the body), and [For_head] has successors [body-head; after].
+    Statements following a [Return] are allocated but never linked, so
+    they surface as unreachable. *)
+
+type kind =
+  | Entry
+  | Exit
+  | Nop  (** structural head/join, no effect *)
+  | Stmt of Asl.Ast.stmt
+      (** straight-line statement — never [If]/[While]/[For], which
+          lower to [Branch]/[For_head] *)
+  | Branch of Asl.Ast.expr  (** condition; successors [then; else] *)
+  | For_head of string * Asl.Ast.expr * Asl.Ast.expr
+      (** loop variable and bounds; successors [body; after] *)
+
+type node = {
+  n_id : int;
+  n_kind : kind;
+  mutable n_succs : int list;
+      (** positional for [Branch]/[For_head]; append order otherwise *)
+  mutable n_preds : int list;
+}
+
+type t = {
+  nodes : node array;  (** indexed by [n_id], allocation order *)
+  entry : int;
+  exit_ : int;
+}
+
+val of_program : Asl.Ast.program -> t
+(** Total: never raises, whatever the program shape. *)
+
+val expr_vars : Asl.Ast.expr -> string list
+(** Variables read by an expression, each once, first occurrence
+    first.  [self] and attribute names are not variables. *)
+
+val uses : node -> string list
+(** Variables read at the node, each once. *)
+
+val def : node -> string option
+(** The local variable the node assigns ([var x := e] / [x := e], or a
+    for-loop variable); [None] for attribute writes and everything
+    else. *)
+
+val label : node -> string
+(** Short human label for diagnostics, e.g. ["assignment to x"]. *)

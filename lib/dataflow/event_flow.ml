@@ -1,0 +1,143 @@
+open Uml
+module A = Asl.Ast
+module SSet = Set.Make (String)
+
+let rec stmt_sends acc (s : A.stmt) =
+  match s with
+  | A.Send (name, _, _) -> name :: acc
+  | A.If (_, t, e) ->
+    List.fold_left stmt_sends (List.fold_left stmt_sends acc t) e
+  | A.While (_, body) | A.For (_, _, _, body) ->
+    List.fold_left stmt_sends acc body
+  | A.Skip | A.Var_decl _ | A.Assign _ | A.Expr_stmt _ | A.Return _
+  | A.Delete _ ->
+    acc
+
+let program_sends src =
+  match Asl.Compiled.program_result (Asl.Compiled.program src) with
+  | Error _ -> []
+  | Ok prog -> List.rev (List.fold_left stmt_sends [] prog)
+
+(* Distinct names in first-occurrence order, keeping the first anchor. *)
+let firsts pairs =
+  let seen = Hashtbl.create 8 in
+  List.filter
+    (fun (name, _) ->
+      if Hashtbl.mem seen name then false
+      else begin
+        Hashtbl.add seen name ();
+        true
+      end)
+    pairs
+
+let check ?(metrics = Telemetry.Metrics.null) m =
+  let emits = ref [] in
+  let consumes = ref [] in
+  let any = ref false in
+  let emit element name = emits := (name, element) :: !emits in
+  let consume element name = consumes := (name, element) :: !consumes in
+  let behavior element src = List.iter (emit element) (program_sends src) in
+  let opt f src =
+    match src with
+    | None -> ()
+    | Some s -> f s
+  in
+  let trigger element trg =
+    match trg with
+    | Smachine.Signal_trigger s -> consume element s
+    | Smachine.Any_trigger -> any := true
+    | Smachine.Time_trigger _ | Smachine.Completion -> ()
+  in
+  List.iter
+    (fun (sm : Smachine.t) ->
+      List.iter
+        (fun (tr : Smachine.transition) ->
+          opt (behavior tr.Smachine.tr_id) tr.Smachine.tr_effect;
+          List.iter (trigger tr.Smachine.tr_id) tr.Smachine.tr_triggers)
+        (Smachine.all_transitions sm);
+      List.iter
+        (fun v ->
+          match v with
+          | Smachine.Pseudo _ | Smachine.Final _ -> ()
+          | Smachine.State st ->
+            opt (behavior st.Smachine.st_id) st.Smachine.st_entry;
+            opt (behavior st.Smachine.st_id) st.Smachine.st_exit;
+            opt (behavior st.Smachine.st_id) st.Smachine.st_do;
+            List.iter (trigger st.Smachine.st_id) st.Smachine.st_deferred)
+        (Smachine.all_vertices sm))
+    (Model.state_machines m);
+  List.iter
+    (fun (cl : Classifier.t) ->
+      List.iter
+        (fun (op : Classifier.operation) ->
+          opt (behavior op.Classifier.op_id) op.Classifier.op_body)
+        cl.Classifier.cl_operations)
+    (Model.classifiers m);
+  List.iter
+    (fun (ac : Activityg.t) ->
+      List.iter
+        (fun node ->
+          match node with
+          | Activityg.Action a ->
+            opt
+              (behavior a.Activityg.act_head.Activityg.nd_id)
+              a.Activityg.act_body
+          | Activityg.Send_signal ev ->
+            emit ev.Activityg.ev_head.Activityg.nd_id ev.Activityg.ev_event
+          | Activityg.Accept_event ev ->
+            consume ev.Activityg.ev_head.Activityg.nd_id
+              ev.Activityg.ev_event
+          | Activityg.Call_behavior _ | Activityg.Object_node _
+          | Activityg.Initial_node _ | Activityg.Activity_final _
+          | Activityg.Flow_final _ | Activityg.Fork_node _
+          | Activityg.Join_node _ | Activityg.Decision_node _
+          | Activityg.Merge_node _ ->
+            ())
+        ac.Activityg.ac_nodes)
+    (Model.activities m);
+  let emits = List.rev !emits in
+  let consumes = List.rev !consumes in
+  Telemetry.Metrics.incr
+    ~by:(List.length emits)
+    (Telemetry.Metrics.counter metrics "dataflow.events.emitted");
+  Telemetry.Metrics.incr
+    ~by:(List.length consumes)
+    (Telemetry.Metrics.counter metrics "dataflow.events.consumed");
+  let out =
+    if emits = [] then [] (* externally-driven model: nothing to match *)
+    else begin
+      let emitted = SSet.of_list (List.map fst emits) in
+      let consumed = SSet.of_list (List.map fst consumes) in
+      let dead_letters =
+        if !any then []
+        else
+          List.filter_map
+            (fun (name, element) ->
+              if SSet.mem name consumed then None
+              else
+                Some
+                  (Finding.make ~code:"DF-05" ~element
+                     (Printf.sprintf
+                        "event %s is emitted but never consumed by any \
+                         trigger"
+                        name)))
+            (firsts emits)
+      in
+      let unfed =
+        List.filter_map
+          (fun (name, element) ->
+            if SSet.mem name emitted then None
+            else
+              Some
+                (Finding.make ~code:"DF-06" ~element
+                   (Printf.sprintf
+                      "trigger %s is never emitted by any behavior" name)))
+          (firsts consumes)
+      in
+      Finding.dedup (dead_letters @ unfed)
+    end
+  in
+  Telemetry.Metrics.incr
+    ~by:(List.length out)
+    (Telemetry.Metrics.counter metrics "dataflow.events.findings");
+  out

@@ -1,0 +1,19 @@
+(** The cross-layer event-flow pass: match [send] statements in ASL
+    behaviors (and [Send_signal] activity nodes) against statechart
+    triggers, deferred events and [Accept_event] nodes.
+
+    - [DF-05] an event some behavior emits that no trigger ever
+      consumes — the send is a dead letter.
+    - [DF-06] a trigger no behavior ever emits — the transition can
+      only fire on external stimulus.
+
+    Models that emit nothing at all are driven entirely from outside
+    (e.g. [simulate --events]); the pass stays silent on them rather
+    than flagging every trigger.  A machine with an [Any_trigger]
+    consumes every event, suppressing DF-05. *)
+
+val check : ?metrics:Telemetry.Metrics.t -> Uml.Model.t -> Finding.t list
+(** Deterministically ordered, anchored at the first emitting /
+    consuming element in model order.  Counters:
+    [dataflow.events.emitted], [dataflow.events.consumed],
+    [dataflow.events.findings]. *)

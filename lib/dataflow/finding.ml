@@ -1,0 +1,10 @@
+type t = {
+  f_code : string;
+  f_element : Uml.Ident.t option;
+  f_message : string;
+}
+
+let make ~code ?element msg =
+  { f_code = code; f_element = element; f_message = msg }
+
+let dedup fs = List.sort_uniq compare fs

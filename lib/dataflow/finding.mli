@@ -1,0 +1,18 @@
+(** A dataflow finding, neutral with respect to the lint layer.
+
+    The passes in this library report findings rather than
+    [Uml.Wfr.diagnostic]s so that severities stay owned by the lint
+    rule registry: the [lint] library lifts each finding into a
+    diagnostic whose severity comes from [Lint.Rules]. *)
+
+type t = {
+  f_code : string;  (** stable rule code, e.g. ["DF-01"] *)
+  f_element : Uml.Ident.t option;  (** anchoring model element, if any *)
+  f_message : string;
+}
+
+val make : code:string -> ?element:Uml.Ident.t -> string -> t
+
+val dedup : t list -> t list
+(** Sort by (code, element, message) and drop exact duplicates — the
+    deterministic order every pass returns. *)

@@ -1,0 +1,27 @@
+(** The netlist dataflow pass: clock-domain and reset analysis over
+    the compiled {!Dsim.Netlist} form of a design.
+
+    The design is flattened ({!Hdl.Elaborate.flatten}) and compiled
+    once; the pass then works on dense signal indices, per-process
+    read/write sets and the signal→fanout map:
+
+    - [HDL-12] a clocked process reads a signal written in a different
+      clock domain without a 2-FF synchronizer.  Clock domains are
+      seeded at sequential writes and propagated through combinational
+      processes to a fixpoint (input ports belong to no domain — they
+      are assumed synchronous to their reader).  A reader is exempt
+      when it is the first stage of a synchronizer chain: its body is
+      exactly one flop ([t := s]), and [t] feeds only sequential
+      processes of the reader's own clock.
+    - [HDL-13] a register written by a process with no reset and no
+      declared initial value whose value reaches an output port
+      through combinational logic — the output is undefined until the
+      first clock edge.
+
+    Designs with [Hdl.Check] errors, elaboration failures or netlist
+    compile failures are skipped (the HDL lint pass owns those). *)
+
+val check :
+  ?metrics:Telemetry.Metrics.t -> Hdl.Module_.design -> Finding.t list
+(** Deterministically ordered.  Counters:
+    [dataflow.netlist.seq_processes], [dataflow.netlist.findings]. *)

@@ -14,6 +14,8 @@ type comb = {
 type seq = {
   q_name : string;
   q_clock : string;
+  q_reads : int array;
+  q_writes : int array;
   q_reset : (int * body) option;
   q_body : body;
 }
@@ -337,6 +339,8 @@ let compile (m : Module_.t) =
           {
             q_name = sp.Module_.sp_name;
             q_clock = sp.Module_.sp_clock;
+            q_reads = index_set env (Stmt.read sp.Module_.sp_body);
+            q_writes = index_set env (Stmt.assigned sp.Module_.sp_body);
             q_reset =
               (match sp.Module_.sp_reset with
                | Some (rst, reset_body) ->

@@ -45,6 +45,11 @@ type comb = {
 type seq = {
   q_name : string;
   q_clock : string;  (** rising-edge clock signal name *)
+  q_reads : int array;
+      (** signal indices read anywhere in the clocked body (the reset
+          branch is excluded — clock-domain analysis cares about the
+          data path, not the reset path) *)
+  q_writes : int array;  (** signal indices assigned in the clocked body *)
   q_reset : (int * body) option;
       (** synchronous reset signal index and compiled reset body *)
   q_body : body;

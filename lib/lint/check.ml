@@ -5,19 +5,21 @@ let apply selection diags =
          Rules.enabled selection d.Uml.Wfr.diag_rule)
        diags)
 
-let model_diags m =
+let model_diags ?metrics m =
   Asl_pass.check m @ Sc_pass.check m @ Act_pass.check m @ Comp_pass.check m
+  @ Df_pass.check_model ?metrics m
 
-let check_model ?(selection = Rules.default_selection) m =
-  apply selection (model_diags m)
+let check_model ?(selection = Rules.default_selection) ?metrics m =
+  apply selection (model_diags ?metrics m)
 
-let check_design ?(selection = Rules.default_selection) design =
-  apply selection (Hdl_pass.check_design design)
+let check_design ?(selection = Rules.default_selection) ?metrics design =
+  apply selection
+    (Hdl_pass.check_design design @ Df_pass.check_design ?metrics design)
 
-let check ?(selection = Rules.default_selection) ?design m =
+let check ?(selection = Rules.default_selection) ?metrics ?design m =
   let hdl =
     match design with
     | None -> []
-    | Some d -> Hdl_pass.check_design d
+    | Some d -> Hdl_pass.check_design d @ Df_pass.check_design ?metrics d
   in
-  apply selection (model_diags m @ hdl)
+  apply selection (model_diags ?metrics m @ hdl)

@@ -3,22 +3,35 @@
     deterministically ordered report.
 
     Diagnostics reuse the {!Uml.Wfr.diagnostic} shape, so lint output
-    composes with well-formedness output in the CLI. *)
+    composes with well-formedness output in the CLI.
+
+    [metrics] (default {!Telemetry.Metrics.null}) receives the
+    dataflow tier's per-pass counters ([dataflow.asl.*],
+    [dataflow.events.*], [dataflow.netlist.*]). *)
 
 val check_model :
-  ?selection:Rules.selection -> Uml.Model.t -> Uml.Wfr.diagnostic list
-(** ASL, statechart, activity and component passes over the model.
-    Sorted by (rule, element, message). *)
+  ?selection:Rules.selection ->
+  ?metrics:Telemetry.Metrics.t ->
+  Uml.Model.t ->
+  Uml.Wfr.diagnostic list
+(** ASL, statechart, activity, component and model-level dataflow
+    passes over the model.  Sorted by (rule, element, message). *)
 
 val check_design :
-  ?selection:Rules.selection -> Hdl.Module_.design -> Uml.Wfr.diagnostic list
-(** HDL pass alone, over an already-generated netlist. *)
+  ?selection:Rules.selection ->
+  ?metrics:Telemetry.Metrics.t ->
+  Hdl.Module_.design ->
+  Uml.Wfr.diagnostic list
+(** HDL + netlist dataflow passes alone, over an already-generated
+    design. *)
 
 val check :
   ?selection:Rules.selection ->
+  ?metrics:Telemetry.Metrics.t ->
   ?design:Hdl.Module_.design ->
   Uml.Model.t ->
   Uml.Wfr.diagnostic list
-(** Model passes plus, when [design] is given, the HDL pass.  The
-    caller derives the design (e.g. {!Mda.Generate.hw_design}); [lint]
-    itself does not depend on the generators. *)
+(** Model passes plus, when [design] is given, the HDL and netlist
+    dataflow passes.  The caller derives the design (e.g.
+    {!Mda.Generate.hw_design}); [lint] itself does not depend on the
+    generators. *)

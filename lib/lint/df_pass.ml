@@ -1,0 +1,18 @@
+(* Lift dataflow findings into lint diagnostics: the registry owns the
+   severity, the dataflow library owns the analysis. *)
+
+let lift (f : Dataflow.Finding.t) =
+  match f.Dataflow.Finding.f_element with
+  | Some element ->
+    Model_info.diag ~code:f.Dataflow.Finding.f_code ~element
+      f.Dataflow.Finding.f_message
+  | None ->
+    Model_info.diag ~code:f.Dataflow.Finding.f_code
+      f.Dataflow.Finding.f_message
+
+let check_model ?metrics m =
+  List.map lift
+    (Dataflow.Asl_flow.check ?metrics m @ Dataflow.Event_flow.check ?metrics m)
+
+let check_design ?metrics design =
+  List.map lift (Dataflow.Netlist_flow.check ?metrics design)

@@ -1,0 +1,13 @@
+(** The dataflow passes ({!Dataflow.Asl_flow}, {!Dataflow.Event_flow},
+    {!Dataflow.Netlist_flow}) lifted into lint diagnostics (DF-01..06,
+    HDL-12, HDL-13). *)
+
+val check_model :
+  ?metrics:Telemetry.Metrics.t -> Uml.Model.t -> Uml.Wfr.diagnostic list
+(** ASL abstract interpretation + event-flow matching. *)
+
+val check_design :
+  ?metrics:Telemetry.Metrics.t ->
+  Hdl.Module_.design ->
+  Uml.Wfr.diagnostic list
+(** Netlist clock-domain / reset analysis. *)

@@ -58,6 +58,42 @@ let json_diag (d : Wfr.diagnostic) =
       (List.map (fun (k, v) -> Printf.sprintf "%S: %s" k v) fields)
   ^ "}"
 
+(* --- rule table (socuml rules) ---------------------------------------- *)
+
+let severity_name s =
+  match s with
+  | Wfr.Error -> "error"
+  | Wfr.Warning -> "warning"
+
+let rules_to_text () =
+  let buf = Buffer.create 1024 in
+  List.iter
+    (fun (r : Rules.rule) ->
+      Buffer.add_string buf
+        (Printf.sprintf "%-8s %-8s %s\n" r.Rules.rule_code
+           (severity_name r.Rules.rule_severity)
+           r.Rules.rule_summary))
+    Rules.all;
+  Buffer.add_string buf (Printf.sprintf "%d rules\n" (List.length Rules.all));
+  Buffer.contents buf
+
+let rules_to_json () =
+  let buf = Buffer.create 2048 in
+  Buffer.add_string buf "{\n  \"rules\": [\n";
+  Buffer.add_string buf
+    (String.concat ",\n"
+       (List.map
+          (fun (r : Rules.rule) ->
+            Printf.sprintf
+              "    {\"code\": %s, \"severity\": %s, \"summary\": %s}"
+              (json_string r.Rules.rule_code)
+              (json_string (severity_name r.Rules.rule_severity))
+              (json_string r.Rules.rule_summary))
+          Rules.all));
+  Buffer.add_string buf
+    (Printf.sprintf "\n  ],\n  \"count\": %d\n}\n" (List.length Rules.all));
+  Buffer.contents buf
+
 let to_json ?model diags =
   let buf = Buffer.create 512 in
   Buffer.add_string buf "{\n";

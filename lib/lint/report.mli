@@ -8,6 +8,16 @@ val to_text : ?model:string -> Uml.Wfr.diagnostic list -> string
 (** One {!Uml.Wfr.to_string} line per diagnostic, then a summary line
     ["N diagnostics (E errors, W warnings)"].  Ends with a newline. *)
 
+val rules_to_text : unit -> string
+(** The registered rule table ([socuml rules]): one
+    ["CODE  severity  summary"] line per rule in {!Rules.all} order,
+    then a count line.  Sourced from the registry, so it cannot drift
+    from the rules the passes enforce. *)
+
+val rules_to_json : unit -> string
+(** The same table as a JSON object [{rules: [{code, severity,
+    summary}], count}]. *)
+
 val to_json : ?model:string -> Uml.Wfr.diagnostic list -> string
 (** A JSON object with [model] (when given), [errors], [warnings] and a
     [diagnostics] array of [{severity, rule, element, message}].  Hand

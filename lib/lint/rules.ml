@@ -42,6 +42,18 @@ let registered =
     r "HDL-09" Uml.Wfr.Error "design top module missing";
     r "HDL-10" Uml.Wfr.Error "signal read or required but never driven";
     r "HDL-11" Uml.Wfr.Warning "signal neither read nor driven";
+    (* Dataflow tier (lib/dataflow): abstract interpretation of ASL,
+       netlist clock/reset analysis, cross-layer event flow. *)
+    r "DF-01" Uml.Wfr.Warning "variable may be read before initialization";
+    r "DF-02" Uml.Wfr.Warning "assigned value is never read (dead store)";
+    r "DF-03" Uml.Wfr.Warning
+      "statement unreachable under constant-folded conditions";
+    r "DF-04" Uml.Wfr.Warning "guard is provably always true or always false";
+    r "DF-05" Uml.Wfr.Warning "event is emitted but never consumed";
+    r "DF-06" Uml.Wfr.Warning "trigger is never emitted by any behavior";
+    r "HDL-12" Uml.Wfr.Error "clock-domain crossing without a synchronizer";
+    r "HDL-13" Uml.Wfr.Warning
+      "unreset register drives an output before the first clock edge";
   ]
 
 let all =

@@ -9,7 +9,12 @@
       [SM-xx] well-formedness rules in {!Uml.Wfr});
     - [ACT-xx] — activity token-flow analysis via the Petri translation;
     - [COMP-xx] — component wiring (ports, interfaces, connectors);
-    - [HDL-xx] — netlist checks lifted from {!Hdl.Check}.
+    - [HDL-xx] — netlist checks lifted from {!Hdl.Check} (01..11) and
+      the netlist dataflow pass (12..13: clock-domain crossings,
+      unreset registers);
+    - [DF-xx]  — the dataflow tier ([lib/dataflow]): ASL abstract
+      interpretation (use-before-init, dead stores, constant-folded
+      unreachability, constant guards) and cross-layer event flow.
 
     See LINT_RULES.md for the full documented table. *)
 

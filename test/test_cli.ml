@@ -134,9 +134,73 @@ let demo_roundtrip_tests =
           ]);
   ]
 
+(* Rule-selector hygiene: bogus --only/--disable strings are typos and
+   must be rejected with a one-line diagnostic before any model loads;
+   valid family selectors keep working; `socuml rules` documents the
+   accepted codes in both formats. *)
+let selector_tests =
+  let demo_model () =
+    let out = Filename.concat tmp "socuml_cli_sel" in
+    let code =
+      Sys.command
+        (Printf.sprintf "%s demo --out %s >/dev/null 2>&1"
+           (Filename.quote exe) (Filename.quote out))
+    in
+    check Alcotest.int "demo exit" 0 code;
+    Filename.concat out "demo_soc.xmi"
+  in
+  [
+    tc "lint rejects an unknown selector" (fun () ->
+        let model = demo_model () in
+        let code, stderr = run_cli [ "lint"; "--only"; "DF-99"; model ] in
+        check Alcotest.int "exit" 1 code;
+        check Alcotest.bool "one-line diagnostic" true
+          (String.trim stderr <> ""
+          && not (String.contains (String.trim stderr) '\n')));
+    tc "analyze rejects an unknown selector" (fun () ->
+        let model = demo_model () in
+        let code, stderr =
+          run_cli [ "analyze"; "--disable"; "BOGUS"; model ]
+        in
+        check Alcotest.int "exit" 1 code;
+        check Alcotest.bool "diagnostic names the selector" true
+          (String.trim stderr <> "");
+        (* rejection happens before the model is read *)
+        let code, _ =
+          run_cli
+            [ "lint"; "--only"; "NOPE";
+              Filename.concat tmp "no_such_model_socuml.xmi" ]
+        in
+        check Alcotest.int "rejected before load" 1 code);
+    tc "family selectors still work" (fun () ->
+        let model = demo_model () in
+        List.iter
+          (fun args ->
+            let code, stderr = run_cli args in
+            if code <> 0 then
+              Alcotest.failf "%s: exit %d (stderr: %s)"
+                (String.concat " " args)
+                code stderr)
+          [
+            [ "lint"; "--only"; "ASL"; model ];
+            [ "lint"; "--only"; "DF"; "--disable"; "DF-02"; model ];
+            [ "analyze"; "--only"; "SC,DF"; model ];
+          ]);
+    tc "rules prints the table in both formats" (fun () ->
+        List.iter
+          (fun args ->
+            let code, stderr = run_cli args in
+            if code <> 0 then
+              Alcotest.failf "%s: exit %d (stderr: %s)"
+                (String.concat " " args)
+                code stderr)
+          [ [ "rules" ]; [ "rules"; "--format"; "json" ] ]);
+  ]
+
 let () =
   Alcotest.run "cli"
     [
       ("corrupt inputs", corrupt_fixture_tests);
       ("healthy model", demo_roundtrip_tests);
+      ("rule selectors", selector_tests);
     ]

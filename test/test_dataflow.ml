@@ -1,0 +1,570 @@
+(* Tests for the dataflow static-analysis tier: CFG lowering, the
+   abstract-interpretation engine, the three passes (ASL, event-flow,
+   netlist clock/reset) and their lint integration.  Every new rule
+   (DF-01..DF-06, HDL-12, HDL-13) gets a positive and a negative
+   fixture. *)
+
+open Uml
+
+let tc name f = Alcotest.test_case name `Quick f
+
+let parse src =
+  match Asl.Compiled.program_result (Asl.Compiled.program src) with
+  | Ok prog -> prog
+  | Error msg -> Alcotest.failf "fixture %S does not parse: %s" src msg
+
+let codes diags =
+  List.sort_uniq compare
+    (List.map (fun (d : Wfr.diagnostic) -> d.Wfr.diag_rule) diags)
+
+let has code diags = List.mem code (codes diags)
+
+let check_has src_desc code diags =
+  Alcotest.(check bool)
+    (Printf.sprintf "%s fires %s" src_desc code)
+    true (has code diags)
+
+let check_not src_desc code diags =
+  Alcotest.(check bool)
+    (Printf.sprintf "%s does not fire %s" src_desc code)
+    false (has code diags)
+
+(* --- model fixtures ---------------------------------------------------- *)
+
+(* A two-state machine whose only behaviors are the given guard/effect
+   on the a->b transition; no sends, so the event-flow pass stays
+   silent and the ASL findings are isolated. *)
+let machine_model ?guard ?effect () =
+  Ident.reset_counter ();
+  let m = Model.create "fixture" in
+  let a = Smachine.simple_state "A" in
+  let b = Smachine.simple_state "B" in
+  let init = Smachine.pseudostate Smachine.Initial in
+  let region =
+    Smachine.region
+      [ Smachine.Pseudo init; Smachine.State a; Smachine.State b ]
+      [
+        Smachine.transition ~source:init.Smachine.ps_id
+          ~target:a.Smachine.st_id ();
+        Smachine.transition
+          ~triggers:[ Smachine.Signal_trigger "step" ]
+          ?guard ?effect ~source:a.Smachine.st_id ~target:b.Smachine.st_id ();
+      ]
+  in
+  Model.add m (Model.E_state_machine (Smachine.make "M" [ region ]));
+  m
+
+let effect_diags effect =
+  Lint.Df_pass.check_model (machine_model ~effect ())
+
+let guard_diags guard = Lint.Df_pass.check_model (machine_model ~guard ())
+
+(* An initial -> first -> second -> final activity with the two action
+   bodies supplied in node-list order (first_listed appears first in
+   [ac_nodes]) but token order second_listed-is-first when [reversed]. *)
+let activity_model ~reversed body_x body_y =
+  Ident.reset_counter ();
+  let m = Model.create "fixture" in
+  let ax = Activityg.action ~body:body_x "ax" in
+  let ay = Activityg.action ~body:body_y "ay" in
+  let start = Activityg.initial () in
+  let stop = Activityg.activity_final () in
+  let e a b =
+    Activityg.edge ~source:(Activityg.node_id a) ~target:(Activityg.node_id b)
+      ()
+  in
+  let edges =
+    if reversed then [ e start ay; e ay ax; e ax stop ]
+    else [ e start ax; e ax ay; e ay stop ]
+  in
+  Model.add m
+    (Model.E_activity (Activityg.make "Act" [ start; ax; ay; stop ] edges));
+  m
+
+(* --- CFG --------------------------------------------------------------- *)
+
+let cfg_tests =
+  [
+    tc "straight line links entry to exit" (fun () ->
+        let cfg = Dataflow.Cfg.of_program (parse "x := 1; y := x;") in
+        let r = Dataflow.Absint.analyze cfg in
+        Alcotest.(check bool) "all reachable" true
+          (Array.for_all (fun b -> b) r.Dataflow.Absint.res_reachable));
+    tc "branch successors are positional [then; else]" (fun () ->
+        let cfg =
+          Dataflow.Cfg.of_program
+            (parse "if e1 > 0 then x := 1; else x := 2; end;")
+        in
+        let branch =
+          Array.to_list cfg.Dataflow.Cfg.nodes
+          |> List.filter (fun (n : Dataflow.Cfg.node) ->
+                 match n.Dataflow.Cfg.n_kind with
+                 | Dataflow.Cfg.Branch _ -> true
+                 | Dataflow.Cfg.Entry | Dataflow.Cfg.Exit | Dataflow.Cfg.Nop
+                 | Dataflow.Cfg.Stmt _ | Dataflow.Cfg.For_head _ ->
+                   false)
+        in
+        match branch with
+        | [ b ] ->
+          Alcotest.(check int) "two successors" 2
+            (List.length b.Dataflow.Cfg.n_succs)
+        | other ->
+          Alcotest.failf "expected exactly one Branch node, got %d"
+            (List.length other));
+    tc "statements after return are unlinked" (fun () ->
+        let cfg = Dataflow.Cfg.of_program (parse "return 1; x := 2;") in
+        let r = Dataflow.Absint.analyze cfg in
+        Alcotest.(check int) "one unreachable region head" 1
+          (List.length r.Dataflow.Absint.res_unreachable));
+    tc "expr_vars dedups in first-occurrence order" (fun () ->
+        match parse "return a + b * a;" with
+        | [ Asl.Ast.Return (Some e) ] ->
+          Alcotest.(check (list string))
+            "vars" [ "a"; "b" ]
+            (Dataflow.Cfg.expr_vars e)
+        | _other -> Alcotest.fail "unexpected parse shape");
+  ]
+
+(* --- DF-01 use before initialization ----------------------------------- *)
+
+let df01_tests =
+  [
+    tc "branch-only assignment read after the branch" (fun () ->
+        check_has "maybe-uninit read" "DF-01"
+          (effect_diags "if e1 > 0 then x := 1; end; y := x; return y;"));
+    tc "both-branch assignment is definite" (fun () ->
+        check_not "definite read" "DF-01"
+          (effect_diags
+             "if e1 > 0 then x := 1; else x := 2; end; y := x; return y;"));
+    tc "event parameters count as assigned" (fun () ->
+        check_not "e1 read" "DF-01" (effect_diags "x := e1 + 1; return x;"));
+    tc "cross-action read in token order" (fun () ->
+        (* ay (token-first) reads blocks; only ax assigns it.  The
+           node-list order ax-then-ay typechecks (ASL-02 silent) — the
+           dataflow pass follows the edges instead. *)
+        check_has "reversed activity" "DF-01"
+          (Lint.Df_pass.check_model
+             (activity_model ~reversed:true "blocks := 64;"
+                "limit := blocks + 1;")));
+    tc "cross-action read in correct order" (fun () ->
+        check_not "forward activity" "DF-01"
+          (Lint.Df_pass.check_model
+             (activity_model ~reversed:false "blocks := 64;"
+                "limit := blocks + 1;")));
+  ]
+
+(* --- DF-02 dead stores ------------------------------------------------- *)
+
+let df02_tests =
+  [
+    tc "overwritten before any read" (fun () ->
+        check_has "dead first store" "DF-02"
+          (effect_diags "x := 1; x := 2; return x;"));
+    tc "value read before overwrite" (fun () ->
+        check_not "live store" "DF-02"
+          (effect_diags "x := 1; y := x; x := 2; return x + y;"));
+    tc "activity bindings outlive the action" (fun () ->
+        (* ax's binding is read by ay, and even ay's binding stays in
+           the shared store (Live_all) — no dead stores either way. *)
+        check_not "shared store" "DF-02"
+          (Lint.Df_pass.check_model
+             (activity_model ~reversed:false "blocks := 64;"
+                "limit := blocks + 1;")));
+    tc "call stores are never dead" (fun () ->
+        check_not "effectful RHS" "DF-02"
+          (effect_diags "x := compute(); x := 2; return x;"));
+  ]
+
+(* --- DF-03 unreachable under constant folding -------------------------- *)
+
+let df03_tests =
+  [
+    tc "then branch of a false constant" (fun () ->
+        check_has "folded branch" "DF-03"
+          (effect_diags "if 1 > 2 then x := 1; else x := 2; end; return x;"));
+    tc "statements after return" (fun () ->
+        check_has "after return" "DF-03" (effect_diags "return 1; x := 2;"));
+    tc "data-dependent branch is live" (fun () ->
+        check_not "live branch" "DF-03"
+          (effect_diags
+             "if e1 > 0 then x := 1; else x := 2; end; return x;"));
+    tc "only the region head is reported" (fun () ->
+        let diags = effect_diags "return 1; x := 2; y := 3; z := 4;" in
+        Alcotest.(check int) "one DF-03" 1
+          (List.length
+             (List.filter
+                (fun (d : Wfr.diagnostic) -> d.Wfr.diag_rule = "DF-03")
+                diags)));
+  ]
+
+(* --- DF-04 constant guards --------------------------------------------- *)
+
+let df04_tests =
+  [
+    tc "provably false comparison" (fun () ->
+        check_has "1 > 2" "DF-04" (guard_diags "1 > 2"));
+    tc "provably true disjunction absorbs unknowns" (fun () ->
+        check_has "or-true" "DF-04" (guard_diags "e1 < 0 or 0 < 1"));
+    tc "data-dependent guard is silent" (fun () ->
+        check_not "e1 > 0" "DF-04" (guard_diags "e1 > 0"));
+    tc "division is not folded" (fun () ->
+        check_not "division" "DF-04" (guard_diags "1 / 1 > 0"));
+  ]
+
+(* --- DF-05 / DF-06 event flow ------------------------------------------ *)
+
+let send_model ~entry ~triggers () =
+  Ident.reset_counter ();
+  let m = Model.create "fixture" in
+  let a = Smachine.simple_state ~entry "A" in
+  let b = Smachine.simple_state "B" in
+  let init = Smachine.pseudostate Smachine.Initial in
+  let region =
+    Smachine.region
+      [ Smachine.Pseudo init; Smachine.State a; Smachine.State b ]
+      [
+        Smachine.transition ~source:init.Smachine.ps_id
+          ~target:a.Smachine.st_id ();
+        Smachine.transition ~triggers ~source:a.Smachine.st_id
+          ~target:b.Smachine.st_id ();
+      ]
+  in
+  Model.add m (Model.E_state_machine (Smachine.make "M" [ region ]));
+  m
+
+let event_tests =
+  [
+    tc "emitted but never consumed" (fun () ->
+        let m =
+          send_model ~entry:"send done(1);"
+            ~triggers:[ Smachine.Signal_trigger "go" ]
+            ()
+        in
+        let diags = Lint.Df_pass.check_model m in
+        check_has "dead letter" "DF-05" diags;
+        check_has "unemitted trigger" "DF-06" diags);
+    tc "emitted and consumed is silent" (fun () ->
+        let m =
+          send_model ~entry:"send go(1);"
+            ~triggers:[ Smachine.Signal_trigger "go" ]
+            ()
+        in
+        let diags = Lint.Df_pass.check_model m in
+        check_not "matched event" "DF-05" diags;
+        check_not "matched trigger" "DF-06" diags);
+    tc "any-trigger consumes every event" (fun () ->
+        let m =
+          send_model ~entry:"send done(1);" ~triggers:[ Smachine.Any_trigger ]
+            ()
+        in
+        check_not "any-trigger" "DF-05" (Lint.Df_pass.check_model m));
+    tc "models that emit nothing are externally driven" (fun () ->
+        let m =
+          send_model ~entry:"x := 1;"
+            ~triggers:[ Smachine.Signal_trigger "toggle" ]
+            ()
+        in
+        check_not "no emissions" "DF-06" (Lint.Df_pass.check_model m));
+  ]
+
+(* --- HDL-12 / HDL-13 netlist ------------------------------------------- *)
+
+(* A two-domain design: pa (clk_a, reset) feeds a_reg to pb (clk_b).
+   [sync] adds a second clk_b flop so pb becomes a 2-FF synchronizer
+   head; [init_b]/[reset_b] close the HDL-13 hole. *)
+let cdc_design ?(sync = false) ?(init_b = false) ?(reset_b = false) () =
+  let b_sig =
+    if init_b then Hdl.Module_.signal ~init:0 "b_reg" Hdl.Htype.Bit
+    else Hdl.Module_.signal "b_reg" Hdl.Htype.Bit
+  in
+  let pb_body = [ Hdl.Stmt.Assign ("b_reg", Hdl.Expr.Ref "a_reg") ] in
+  let pb =
+    if reset_b then
+      Hdl.Module_.seq_process ~name:"pb" ~clock:"clk_b"
+        ~reset:("rst", [ Hdl.Stmt.Assign ("b_reg", Hdl.Expr.zero) ])
+        pb_body
+    else Hdl.Module_.seq_process ~name:"pb" ~clock:"clk_b" pb_body
+  in
+  let tail =
+    if sync then
+      [
+        Hdl.Module_.seq_process ~name:"pb2" ~clock:"clk_b"
+          ~reset:("rst", [ Hdl.Stmt.Assign ("b_reg2", Hdl.Expr.zero) ])
+          [ Hdl.Stmt.Assign ("b_reg2", Hdl.Expr.Ref "b_reg") ];
+        Hdl.Module_.comb_process ~name:"po"
+          [ Hdl.Stmt.Assign ("q", Hdl.Expr.Ref "b_reg2") ];
+      ]
+    else
+      [
+        Hdl.Module_.comb_process ~name:"po"
+          [ Hdl.Stmt.Assign ("q", Hdl.Expr.Ref "b_reg") ];
+      ]
+  in
+  let signals =
+    [ Hdl.Module_.signal ~init:0 "a_reg" Hdl.Htype.Bit; b_sig ]
+    @ if sync then [ Hdl.Module_.signal "b_reg2" Hdl.Htype.Bit ] else []
+  in
+  let m =
+    Hdl.Module_.make "cdc"
+      ~ports:
+        [ Hdl.Module_.input "clk_a" Hdl.Htype.Bit;
+          Hdl.Module_.input "clk_b" Hdl.Htype.Bit;
+          Hdl.Module_.input "rst" Hdl.Htype.Bit;
+          Hdl.Module_.input "din" Hdl.Htype.Bit;
+          Hdl.Module_.output "q" Hdl.Htype.Bit ]
+      ~signals
+      ~processes:
+        ([ Hdl.Module_.seq_process ~name:"pa" ~clock:"clk_a"
+             ~reset:("rst", [ Hdl.Stmt.Assign ("a_reg", Hdl.Expr.zero) ])
+             [ Hdl.Stmt.Assign ("a_reg", Hdl.Expr.Ref "din") ];
+           pb ]
+        @ tail)
+  in
+  Hdl.Module_.design ~top:"cdc" [ m ]
+
+let single_clock_design () =
+  let m =
+    Hdl.Module_.make "sc"
+      ~ports:
+        [ Hdl.Module_.input "clk" Hdl.Htype.Bit;
+          Hdl.Module_.input "rst" Hdl.Htype.Bit;
+          Hdl.Module_.input "din" Hdl.Htype.Bit;
+          Hdl.Module_.output "q" Hdl.Htype.Bit ]
+      ~signals:[ Hdl.Module_.signal ~init:0 "r" Hdl.Htype.Bit ]
+      ~processes:
+        [ Hdl.Module_.seq_process ~name:"p" ~clock:"clk"
+            ~reset:("rst", [ Hdl.Stmt.Assign ("r", Hdl.Expr.zero) ])
+            [ Hdl.Stmt.Assign ("r", Hdl.Expr.Ref "din") ];
+          Hdl.Module_.comb_process ~name:"po"
+            [ Hdl.Stmt.Assign ("q", Hdl.Expr.Ref "r") ] ]
+  in
+  Hdl.Module_.design ~top:"sc" [ m ]
+
+let netlist_tests =
+  [
+    tc "naked crossing with a comb reader" (fun () ->
+        let diags = Lint.Df_pass.check_design (cdc_design ()) in
+        check_has "naked CDC" "HDL-12" diags;
+        Alcotest.(check bool) "HDL-12 is an error" true
+          (List.exists
+             (fun (d : Wfr.diagnostic) ->
+               d.Wfr.diag_rule = "HDL-12"
+               && d.Wfr.diag_severity = Wfr.Error)
+             diags));
+    tc "2-FF synchronizer head is exempt" (fun () ->
+        check_not "synchronized CDC" "HDL-12"
+          (Lint.Df_pass.check_design (cdc_design ~sync:true ~reset_b:true ())));
+    tc "single-clock design has no crossings" (fun () ->
+        check_not "single clock" "HDL-12"
+          (Lint.Df_pass.check_design (single_clock_design ())));
+    tc "unreset register reaching an output" (fun () ->
+        check_has "undefined output" "HDL-13"
+          (Lint.Df_pass.check_design (cdc_design ())));
+    tc "declared init suppresses HDL-13" (fun () ->
+        check_not "initialized" "HDL-13"
+          (Lint.Df_pass.check_design (cdc_design ~init_b:true ())));
+    tc "reset branch suppresses HDL-13" (fun () ->
+        check_not "reset" "HDL-13"
+          (Lint.Df_pass.check_design (cdc_design ~reset_b:true ())));
+    tc "designs with HDL errors are skipped" (fun () ->
+        (* q is never driven: Hdl.Check owns that (HDL-10), the
+           dataflow pass must stay out of the way. *)
+        let m =
+          Hdl.Module_.make "broken"
+            ~ports:
+              [ Hdl.Module_.input "clk" Hdl.Htype.Bit;
+                Hdl.Module_.output "q" Hdl.Htype.Bit ]
+        in
+        Alcotest.(check int) "no findings" 0
+          (List.length
+             (Lint.Df_pass.check_design (Hdl.Module_.design ~top:"broken" [ m ]))));
+  ]
+
+(* --- lint integration -------------------------------------------------- *)
+
+let integration_tests =
+  [
+    tc "selection restricts to the DF family" (fun () ->
+        let m = machine_model ~guard:"1 > 2" ~effect:"x := 1; x := 2;" () in
+        let selection =
+          Lint.Rules.selection_of_strings ~only:[ "DF" ] ()
+        in
+        let diags = Lint.Check.check_model ~selection m in
+        Alcotest.(check bool) "only DF codes" true
+          (List.for_all
+             (fun (d : Wfr.diagnostic) ->
+               String.length d.Wfr.diag_rule >= 3
+               && String.sub d.Wfr.diag_rule 0 3 = "DF-")
+             diags);
+        Alcotest.(check bool) "DF-04 still present" true (has "DF-04" diags));
+    tc "unknown selectors are reported" (fun () ->
+        let selection =
+          Lint.Rules.selection_of_strings ~only:[ "DF-99"; "HDL" ]
+            ~disabled:[ "BOGUS" ] ()
+        in
+        Alcotest.(check (list string))
+          "typos" [ "BOGUS"; "DF-99" ]
+          (List.sort compare (Lint.Rules.unknown_selectors selection)));
+    tc "every DF rule is registered" (fun () ->
+        List.iter
+          (fun code ->
+            match Lint.Rules.find code with
+            | Some _ -> ()
+            | None -> Alcotest.failf "rule %s not registered" code)
+          [ "DF-01"; "DF-02"; "DF-03"; "DF-04"; "DF-05"; "DF-06"; "HDL-12";
+            "HDL-13" ]);
+    tc "telemetry counters record pass volume" (fun () ->
+        let metrics = Telemetry.Metrics.create () in
+        let m = machine_model ~guard:"1 > 2" ~effect:"x := 1; x := 2;" () in
+        let _diags = Lint.Check.check_model ~metrics m in
+        let v name =
+          Telemetry.Metrics.counter_value
+            (Telemetry.Metrics.counter metrics name)
+        in
+        Alcotest.(check bool) "programs counted" true
+          (v "dataflow.asl.programs" > 0);
+        Alcotest.(check bool) "guards counted" true
+          (v "dataflow.asl.guards" > 0);
+        Alcotest.(check bool) "findings counted" true
+          (v "dataflow.asl.findings" > 0));
+    tc "netlist counters record process volume" (fun () ->
+        let metrics = Telemetry.Metrics.create () in
+        let _diags =
+          Lint.Check.check_design ~metrics (cdc_design ())
+        in
+        Alcotest.(check int) "two seq processes" 2
+          (Telemetry.Metrics.counter_value
+             (Telemetry.Metrics.counter metrics
+                "dataflow.netlist.seq_processes")));
+  ]
+
+(* --- properties -------------------------------------------------------- *)
+
+(* Random ASL programs over a tiny variable pool: the analysis must be
+   total (never raise) and deterministic (same result on every run). *)
+let gen_program =
+  let open QCheck.Gen in
+  let var = oneofl [ "a"; "b"; "c" ] in
+  let gen_expr =
+    fix
+      (fun self depth ->
+        if depth = 0 then
+          oneof
+            [ map (fun n -> Asl.Ast.Int_lit n) (int_range (-8) 8);
+              map (fun x -> Asl.Ast.Var x) var;
+              map (fun b -> Asl.Ast.Bool_lit b) bool ]
+        else
+          frequency
+            [
+              (2, map (fun n -> Asl.Ast.Int_lit n) (int_range (-8) 8));
+              (2, map (fun x -> Asl.Ast.Var x) var);
+              ( 3,
+                map3
+                  (fun op a b -> Asl.Ast.Binop (op, a, b))
+                  (oneofl
+                     [ Asl.Ast.Add; Asl.Ast.Sub; Asl.Ast.Mul; Asl.Ast.Div;
+                       Asl.Ast.Lt; Asl.Ast.Le; Asl.Ast.Eq; Asl.Ast.And;
+                       Asl.Ast.Or ])
+                  (self (depth - 1))
+                  (self (depth - 1)) );
+              ( 1,
+                map (fun a -> Asl.Ast.Unop (Asl.Ast.Not, a)) (self (depth - 1))
+              );
+            ])
+      2
+  in
+  let gen_stmt =
+    fix
+      (fun self depth ->
+        let leaf =
+          oneof
+            [
+              return Asl.Ast.Skip;
+              map2 (fun x e -> Asl.Ast.Var_decl (x, e)) var gen_expr;
+              map2
+                (fun x e -> Asl.Ast.Assign (Asl.Ast.L_var x, e))
+                var gen_expr;
+              map (fun e -> Asl.Ast.Return (Some e)) gen_expr;
+              return (Asl.Ast.Return None);
+              map (fun e -> Asl.Ast.Send ("sig", [ e ], None)) gen_expr;
+            ]
+        in
+        if depth = 0 then leaf
+        else
+          frequency
+            [
+              (4, leaf);
+              ( 1,
+                map3
+                  (fun c t e -> Asl.Ast.If (c, t, e))
+                  gen_expr
+                  (list_size (int_bound 3) (self (depth - 1)))
+                  (list_size (int_bound 3) (self (depth - 1))) );
+              ( 1,
+                map2
+                  (fun c b -> Asl.Ast.While (c, b))
+                  gen_expr
+                  (list_size (int_bound 3) (self (depth - 1))) );
+              ( 1,
+                map3
+                  (fun x (lo, hi) b -> Asl.Ast.For (x, lo, hi, b))
+                  var
+                  (pair gen_expr gen_expr)
+                  (list_size (int_bound 3) (self (depth - 1))) );
+            ])
+      2
+  in
+  QCheck.Gen.list_size (int_bound 8) gen_stmt
+
+let analysis_fingerprint (r : Dataflow.Absint.result) =
+  ( r.Dataflow.Absint.res_uninit,
+    r.Dataflow.Absint.res_dead,
+    r.Dataflow.Absint.res_unreachable,
+    r.Dataflow.Absint.res_exit_assigned )
+
+let property_tests =
+  [
+    QCheck_alcotest.to_alcotest
+      (QCheck.Test.make ~name:"analysis is total on random programs"
+         ~count:500 (QCheck.make gen_program)
+         (fun prog ->
+           let cfg = Dataflow.Cfg.of_program prog in
+           let _r =
+             Dataflow.Absint.analyze ~assigned:[ "a" ]
+               ~liveout:Dataflow.Absint.Live_all cfg
+           in
+           true));
+    QCheck_alcotest.to_alcotest
+      (QCheck.Test.make ~name:"analysis is deterministic" ~count:300
+         (QCheck.make gen_program)
+         (fun prog ->
+           let run () =
+             analysis_fingerprint
+               (Dataflow.Absint.analyze (Dataflow.Cfg.of_program prog))
+           in
+           run () = run ()));
+    QCheck_alcotest.to_alcotest
+      (QCheck.Test.make ~name:"reported lists are sorted" ~count:300
+         (QCheck.make gen_program)
+         (fun prog ->
+           let r = Dataflow.Absint.analyze (Dataflow.Cfg.of_program prog) in
+           let sorted l = List.sort compare l = l in
+           sorted r.Dataflow.Absint.res_uninit
+           && sorted r.Dataflow.Absint.res_dead
+           && sorted r.Dataflow.Absint.res_unreachable
+           && sorted r.Dataflow.Absint.res_exit_assigned));
+  ]
+
+let () =
+  Alcotest.run "dataflow"
+    [
+      ("cfg", cfg_tests);
+      ("df01", df01_tests);
+      ("df02", df02_tests);
+      ("df03", df03_tests);
+      ("df04", df04_tests);
+      ("events", event_tests);
+      ("netlist", netlist_tests);
+      ("integration", integration_tests);
+      ("properties", property_tests);
+    ]

@@ -55,7 +55,111 @@ let demo_model () =
   Model.add m (Model.E_state_machine (Smachine.make "Power" [ region ]));
   (m, Iplib.Soc.design ~name:"demo_soc" instances)
 
-let () =
+(* --- dataflow defect showcase (`--dataflow`) -------------------------- *)
+
+(* A model + design deliberately exhibiting every dataflow-tier rule
+   (DF-01..DF-06, HDL-12, HDL-13) exactly where intended.  The golden
+   diff pins the report; the assertion below keeps the golden honest if
+   a pass regresses to silence. *)
+let defect_model () =
+  Ident.reset_counter ();
+  let m = Model.create "dataflow_defects" in
+  (* DF-05: `done` is emitted (entry of Off) but no trigger consumes it.
+     DF-06: `go` and `tick` trigger transitions but nothing emits them.
+     DF-04: one provably-false and one provably-true guard.
+     DF-02: `x := 1` is overwritten before any read.
+     DF-03: the then-branch is unreachable under the folded guard. *)
+  let off = Smachine.simple_state ~entry:"send done(1);" "Off" in
+  let on = Smachine.simple_state "On" in
+  let init = Smachine.pseudostate Smachine.Initial in
+  let region =
+    Smachine.region
+      [ Smachine.Pseudo init; Smachine.State off; Smachine.State on ]
+      [
+        Smachine.transition ~source:init.Smachine.ps_id
+          ~target:off.Smachine.st_id ();
+        Smachine.transition
+          ~triggers:[ Smachine.Signal_trigger "go" ]
+          ~guard:"1 > 2" ~effect:"x := 1; x := 2; return x;"
+          ~source:off.Smachine.st_id ~target:on.Smachine.st_id ();
+        Smachine.transition
+          ~triggers:[ Smachine.Signal_trigger "tick" ]
+          ~guard:"e1 < 0 or 0 < 1"
+          ~effect:"if 1 > 2 then y := 1; else y := 2; end;"
+          ~source:on.Smachine.st_id ~target:off.Smachine.st_id ();
+      ]
+  in
+  Model.add m (Model.E_state_machine (Smachine.make "Defects" [ region ]));
+  (* DF-01: `collect` reads `blocks` but only `fill` (later in token
+     order than the typechecker's node-list order) assigns it. *)
+  let fill = Activityg.action ~body:"blocks := 64;" "fill" in
+  let collect = Activityg.action ~body:"limit := blocks + 1;" "collect" in
+  let start = Activityg.initial () in
+  let stop = Activityg.activity_final () in
+  let e a b =
+    Activityg.edge ~source:(Activityg.node_id a) ~target:(Activityg.node_id b)
+      ()
+  in
+  Model.add m
+    (Model.E_activity
+       (Activityg.make "Reversed"
+          [ start; fill; collect; stop ]
+          [ e start collect; e collect fill; e fill stop ]));
+  m
+
+(* Two clock domains: [pb] samples [a_reg] from the clk_a domain on
+   clk_b.  The comb reader [po] breaks the 2-FF synchronizer exemption,
+   so HDL-12 fires; [pb] has neither reset nor init and drives the
+   output [q] through [po], so HDL-13 fires too. *)
+let defect_design () =
+  let m =
+    Hdl.Module_.make "cdc"
+      ~ports:
+        [ Hdl.Module_.input "clk_a" Hdl.Htype.Bit;
+          Hdl.Module_.input "clk_b" Hdl.Htype.Bit;
+          Hdl.Module_.input "rst" Hdl.Htype.Bit;
+          Hdl.Module_.input "din" Hdl.Htype.Bit;
+          Hdl.Module_.output "q" Hdl.Htype.Bit ]
+      ~signals:
+        [ Hdl.Module_.signal ~init:0 "a_reg" Hdl.Htype.Bit;
+          Hdl.Module_.signal "b_reg" Hdl.Htype.Bit ]
+      ~processes:
+        [ Hdl.Module_.seq_process ~name:"pa" ~clock:"clk_a"
+            ~reset:("rst", [ Hdl.Stmt.Assign ("a_reg", Hdl.Expr.zero) ])
+            [ Hdl.Stmt.Assign ("a_reg", Hdl.Expr.Ref "din") ];
+          Hdl.Module_.seq_process ~name:"pb" ~clock:"clk_b"
+            [ Hdl.Stmt.Assign ("b_reg", Hdl.Expr.Ref "a_reg") ];
+          Hdl.Module_.comb_process ~name:"po"
+            [ Hdl.Stmt.Assign ("q", Hdl.Expr.Ref "b_reg") ] ]
+  in
+  Hdl.Module_.design ~top:"cdc" [ m ]
+
+let dataflow_mode () =
+  let m = defect_model () in
+  let design = defect_design () in
+  let diags = Lint.Check.check ~design m in
+  print_string (Lint.Report.to_text ~model:"dataflow_defects" diags);
+  let again = Lint.Check.check ~design m in
+  if
+    Lint.Report.to_json ~model:"dataflow_defects" diags
+    <> Lint.Report.to_json ~model:"dataflow_defects" again
+  then complain "dataflow_defects lint report is not deterministic";
+  List.iter
+    (fun code ->
+      if
+        not
+          (List.exists
+             (fun (d : Wfr.diagnostic) -> d.Wfr.diag_rule = code)
+             diags)
+      then complain "expected rule %s to fire on the defect showcase" code)
+    [ "DF-01"; "DF-02"; "DF-03"; "DF-04"; "DF-05"; "DF-06"; "HDL-12";
+      "HDL-13" ];
+  if !failures > 0 then begin
+    Printf.eprintf "lint-demo: %d failure(s)\n" !failures;
+    exit 1
+  end
+
+let default_mode () =
   let m, design = demo_model () in
   let diags = Lint.Check.check ~design m in
   report "demo_soc" diags;
@@ -86,3 +190,7 @@ let () =
     exit 1
   end;
   print_endline "lint-demo: all models clean of lint errors"
+
+let () =
+  if Array.exists (fun a -> a = "--dataflow") Sys.argv then dataflow_mode ()
+  else default_mode ()
