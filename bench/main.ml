@@ -1245,6 +1245,82 @@ let e17_tests () =
   ]
 
 (* ------------------------------------------------------------------ *)
+(* E18: binary snapshots vs XMI — the model-load tax                   *)
+
+(* Per-call wall clock for sub-millisecond work: one call is dominated
+   by timer granularity and whichever minor GC happens to land in it,
+   so repeat until a batch spans ~20 ms and take the best of three
+   batch averages.  Import and load go through the same harness, so
+   the ratio is method-fair. *)
+let e18_time f =
+  ignore (Sys.opaque_identity (f ()));
+  let t0 = Unix.gettimeofday () in
+  ignore (Sys.opaque_identity (f ()));
+  let once = Unix.gettimeofday () -. t0 in
+  let reps = max 1 (min 2000 (int_of_float (0.02 /. Float.max 1e-6 once))) in
+  let best = ref infinity in
+  for _ = 1 to 3 do
+    let t0 = Unix.gettimeofday () in
+    for _ = 1 to reps do
+      ignore (Sys.opaque_identity (f ()))
+    done;
+    let dt = (Unix.gettimeofday () -. t0) /. float_of_int reps in
+    if dt < !best then best := dt
+  done;
+  !best
+
+let e18_report () =
+  sep "E18  snapshot load vs XMI import";
+  List.iter
+    (fun classes ->
+      let m = Workload.Gen_model.structural ~seed:3 ~classes in
+      let xmi = Xmi.Write.to_string m in
+      let snap = Snap.Write.to_string m in
+      let t_import =
+        e18_time (fun () -> ignore (Xmi.Read.model_of_string xmi))
+      in
+      let t_load =
+        e18_time (fun () -> ignore (Snap.Read.model_of_string snap))
+      in
+      let t_export = e18_time (fun () -> ignore (Xmi.Write.to_string m)) in
+      let t_pack = e18_time (fun () -> ignore (Snap.Write.to_string m)) in
+      (* speed-of-light reference: [Marshal] is an unsafe C-level loader
+         of the same graph — it bounds what any decoder can reach *)
+      let mar = Marshal.to_string m [] in
+      let t_marshal =
+        e18_time (fun () ->
+            ignore (Marshal.from_string mar 0 : Uml.Model.t))
+      in
+      let lossless = Uml.Model.equal m (Snap.Read.model_of_string snap) in
+      Printf.printf
+        "%-6d classes: import %8.3f ms -> load %8.3f ms (%6.1fx, marshal \
+         floor %6.3f ms), %7d -> %6d bytes, lossless: %b\n"
+        classes (1e3 *. t_import) (1e3 *. t_load) (t_import /. t_load)
+        (1e3 *. t_marshal) (String.length xmi) (String.length snap) lossless;
+      let key fmt = Printf.sprintf fmt classes in
+      record_f (key "e18.xmi_import_ms.classes%04d") (1e3 *. t_import);
+      record_f (key "e18.snap_load_ms.classes%04d") (1e3 *. t_load);
+      record_f (key "e18.load_speedup.classes%04d") (t_import /. t_load);
+      record_f (key "e18.marshal_load_ms.classes%04d") (1e3 *. t_marshal);
+      record_f (key "e18.export_ms.classes%04d") (1e3 *. t_export);
+      record_f (key "e18.pack_ms.classes%04d") (1e3 *. t_pack);
+      record_i (key "e18.xmi_bytes.classes%04d") (String.length xmi);
+      record_i (key "e18.snap_bytes.classes%04d") (String.length snap);
+      record_b (key "e18.roundtrip_lossless.classes%04d") lossless)
+    [ 10; 100; 1000 ]
+
+let e18_tests () =
+  let m = Workload.Gen_model.structural ~seed:3 ~classes:200 in
+  let snap = Snap.Write.to_string m in
+  [
+    Bechamel.Test.make ~name:"e18/pack-200-classes"
+      (Bechamel.Staged.stage (fun () -> ignore (Snap.Write.to_string m)));
+    Bechamel.Test.make ~name:"e18/load-200-classes"
+      (Bechamel.Staged.stage (fun () ->
+           ignore (Snap.Read.model_of_string snap)));
+  ]
+
+(* ------------------------------------------------------------------ *)
 (* Bechamel driver                                                     *)
 
 let run_bechamel tests =
@@ -1298,12 +1374,14 @@ let () =
   e15_report ();
   e16_report ();
   e17_report ();
+  e18_report ();
   if not quick then begin
     let tests =
       e1_tests () @ e2_tests () @ e2_xuml_test () @ e3_tests () @ e4_tests ()
       @ e5_tests () @ e6_tests () @ e7_tests () @ e8_tests () @ e9_tests ()
       @ e10_tests () @ e11_tests () @ e12_tests () @ e13_tests ()
       @ e14_tests () @ e15_tests () @ e16_tests () @ e17_tests ()
+      @ e18_tests ()
     in
     run_bechamel tests
   end;

@@ -12,26 +12,54 @@
      partition  partition a task graph extracted from an activity
      inject     run a deterministic fault-injection campaign across the
                 RTL, statechart and token execution engines
+     pack       convert a model to a versioned binary snapshot (.sumb)
      demo       build the demo SoC, write XMI + VHDL + VCD artifacts *)
 
 open Cmdliner
 
-(* Hostile inputs (unreadable path, truncated or corrupt XMI, a
-   directory passed as a file) must produce a one-line diagnostic and
-   exit 1 — never an exception trace. *)
+let read_file_bytes path =
+  let ic = open_in_bin path in
+  match really_input_string ic (in_channel_length ic) with
+  | data ->
+    close_in ic;
+    data
+  | exception e ->
+    close_in_noerr ic;
+    raise e
+
+(* Hostile inputs (unreadable path, truncated or corrupt XMI or
+   snapshot, a directory passed as a file) must produce a one-line
+   diagnostic and exit 1 — never an exception trace.  The format is
+   auto-detected by magic bytes, so every subcommand accepts .sumb
+   snapshots and .xmi models interchangeably. *)
 let load_model path =
   if not (Sys.file_exists path) then
     Error (Printf.sprintf "%s: no such file" path)
   else if Sys.is_directory path then
     Error (Printf.sprintf "%s: is a directory, not a model file" path)
   else
-    match Xmi.Read.read_file path with
+    match
+      let data = read_file_bytes path in
+      if Snap.Read.is_snapshot data then Snap.Read.model_of_string data
+      else Xmi.Read.model_of_string data
+    with
     | m -> Ok m
     | exception Xmi.Read.Import_error msg ->
+      Error (Printf.sprintf "cannot import %s: %s" path msg)
+    | exception Snap.Read.Import_error msg ->
       Error (Printf.sprintf "cannot import %s: %s" path msg)
     | exception Sys_error msg -> Error msg
     | exception exn ->
       Error (Printf.sprintf "cannot import %s: %s" path (Printexc.to_string exn))
+
+(* Every model-consuming subcommand funnels through this, so the load
+   path and its diagnostics can never drift between subcommands. *)
+let with_model path f =
+  match load_model path with
+  | Error msg ->
+    prerr_endline msg;
+    1
+  | Ok m -> f m
 
 (* Last-resort guard for every subcommand body: downstream failures on
    adversarial models (simulation, execution, generation) become
@@ -93,11 +121,7 @@ let format_arg =
 let validate_cmd =
   let run path format =
     guarded @@ fun () ->
-    match load_model path with
-    | Error msg ->
-      prerr_endline msg;
-      1
-    | Ok m ->
+    with_model path @@ fun m ->
       let diags = Uml.Wfr.check m in
       let soc = Profiles.Soc_profile.check m in
       let rt = Profiles.Rt_profile.check m in
@@ -223,11 +247,7 @@ let lint_cmd =
 let info_cmd =
   let run path =
     guarded @@ fun () ->
-    match load_model path with
-    | Error msg ->
-      prerr_endline msg;
-      1
-    | Ok m ->
+    with_model path @@ fun m ->
       Printf.printf "model %s: %d elements\n" (Uml.Model.name m)
         (Uml.Model.size m);
       let count label n = if n > 0 then Printf.printf "  %-16s %d\n" label n in
@@ -259,11 +279,7 @@ let language_arg =
 let gen_cmd =
   let run path lang =
     guarded @@ fun () ->
-    match load_model path with
-    | Error msg ->
-      prerr_endline msg;
-      1
-    | Ok m ->
+    with_model path @@ fun m ->
       let plat =
         match lang with
         | "vhdl" -> Mda.Platform.asic_vhdl
@@ -394,12 +410,8 @@ let rtl_arg =
 let simulate_cmd =
   let run path machine events metrics rtl =
     guarded @@ fun () ->
-    match load_model path with
-    | Error msg ->
-      prerr_endline msg;
-      1
-    | Ok m -> (
-      match choose_machine m machine with
+    with_model path @@ fun m ->
+    (match choose_machine m machine with
       | None ->
         prerr_endline "no such state machine in the model";
         1
@@ -430,12 +442,8 @@ let simulate_cmd =
 let trace_cmd =
   let run path machine events =
     guarded @@ fun () ->
-    match load_model path with
-    | Error msg ->
-      prerr_endline msg;
-      1
-    | Ok m -> (
-      match choose_machine m machine with
+    with_model path @@ fun m ->
+    (match choose_machine m machine with
       | None ->
         prerr_endline "no such state machine in the model";
         1
@@ -466,12 +474,8 @@ let budget_arg =
 let partition_cmd =
   let run path budget =
     guarded @@ fun () ->
-    match load_model path with
-    | Error msg ->
-      prerr_endline msg;
-      1
-    | Ok m -> (
-      match Uml.Model.activities m with
+    with_model path @@ fun m ->
+    (match Uml.Model.activities m with
       | [] ->
         prerr_endline "no activity in the model";
         1
@@ -583,13 +587,9 @@ let analyze_cmd =
     | Error msg ->
       prerr_endline msg;
       1
-    | Ok () -> (
-    match load_model path with
-    | Error msg ->
-      prerr_endline msg;
-      1
-    | Ok m -> (
-      match Uml.Model.activities m with
+    | Ok () ->
+    with_model path @@ fun m ->
+    (match Uml.Model.activities m with
       | [] ->
         prerr_endline "no activity in the model";
         1
@@ -641,7 +641,7 @@ let analyze_cmd =
             lint
         end;
         if metrics then print_string (Telemetry.Metrics.report reg);
-        0))
+        0)
   in
   let doc =
     "Translate the model's activities to Petri nets and analyze them \
@@ -706,11 +706,7 @@ let faults_arg =
 let inject_cmd =
   let run path machine seed faults format metrics jobs =
     guarded @@ fun () ->
-    match load_model path with
-    | Error msg ->
-      prerr_endline msg;
-      1
-    | Ok m ->
+    with_model path @@ fun m ->
       if faults < 0 then begin
         prerr_endline "--faults must be non-negative";
         1
@@ -854,6 +850,43 @@ let inject_cmd =
       const run $ model_arg $ machine_arg $ seed_arg $ faults_arg $ format_arg
       $ metrics_arg $ jobs_arg)
 
+(* --- pack ------------------------------------------------------------- *)
+
+let pack_out_arg =
+  let doc =
+    "Output snapshot path (default: the input path with its extension \
+     replaced by $(b,.sumb))."
+  in
+  Arg.(value & opt (some string) None & info [ "o"; "out" ] ~docv:"OUT" ~doc)
+
+let pack_cmd =
+  let run path out =
+    guarded @@ fun () ->
+    with_model path @@ fun m ->
+    let out =
+      match out with
+      | Some out -> out
+      | None -> Filename.remove_extension path ^ ".sumb"
+    in
+    let data = Snap.Write.to_string m in
+    let oc = open_out_bin out in
+    (match output_string oc data with
+     | () -> close_out oc
+     | exception e ->
+       close_out_noerr oc;
+       raise e);
+    Printf.printf "wrote %s (%d bytes, %d elements)\n" out
+      (String.length data) (Uml.Model.size m);
+    0
+  in
+  let doc =
+    "Pack a model into the versioned binary snapshot format \
+     ($(b,.sumb)).  Every subcommand auto-detects the format by magic \
+     bytes, so snapshots are accepted wherever an XMI model is; loading \
+     one skips the XML parse entirely."
+  in
+  Cmd.v (Cmd.info "pack" ~doc) Term.(const run $ model_arg $ pack_out_arg)
+
 let rules_cmd =
   let run format =
     guarded @@ fun () ->
@@ -875,7 +908,7 @@ let main =
     (Cmd.info "socuml" ~version:"1.0.0" ~doc)
     [
       validate_cmd; lint_cmd; info_cmd; gen_cmd; simulate_cmd; trace_cmd;
-      partition_cmd; analyze_cmd; inject_cmd; rules_cmd; demo_cmd;
+      partition_cmd; analyze_cmd; inject_cmd; pack_cmd; rules_cmd; demo_cmd;
     ]
 
 let () = exit (Cmd.eval' main)

@@ -24,9 +24,9 @@ type t = {
   mutable diags : Diagram.t list;  (** reverse order *)
 }
 
-let create name =
-  { model_name = name; order = []; index = Hashtbl.create 64; apps = [];
-    diags = [] }
+let create ?(capacity = 64) name =
+  { model_name = name; order = []; index = Hashtbl.create capacity;
+    apps = []; diags = [] }
 
 let name m = m.model_name
 let set_name m n = m.model_name <- n
@@ -92,9 +92,13 @@ let element_kind = function
 
 let add m e =
   let id = element_id e in
-  if Hashtbl.mem m.index id then
-    invalid_arg (Printf.sprintf "Model.add: duplicate identifier %s" id);
+  (* single probe instead of [mem] + [add]: [replace] hashes once, and
+     an unchanged table size afterwards means the id was already bound.
+     [add] sits on the bulk-load path, so the doubled hashing showed. *)
+  let before = Hashtbl.length m.index in
   Hashtbl.replace m.index id e;
+  if Hashtbl.length m.index = before then
+    invalid_arg (Printf.sprintf "Model.add: duplicate identifier %s" id);
   m.order <- id :: m.order
 
 let replace m e =

@@ -25,8 +25,10 @@ type element =
 
 type t
 
-val create : string -> t
-(** [create name] makes an empty model. *)
+val create : ?capacity:int -> string -> t
+(** [create name] makes an empty model.  [capacity] pre-sizes the
+    element index when the caller knows how many elements are coming
+    (bulk loaders), avoiding rehash chains during construction. *)
 
 val name : t -> string
 val set_name : t -> string -> unit
@@ -38,7 +40,9 @@ val element_kind : element -> string
     ["StateMachine"]. *)
 
 val add : t -> element -> unit
-(** @raise Invalid_argument on a duplicate identifier. *)
+(** @raise Invalid_argument on a duplicate identifier.  A model that
+    raised here is half-updated and must be discarded (every in-repo
+    caller builds a fresh model and drops it on failure). *)
 
 val replace : t -> element -> unit
 (** Replace the element with the same identifier; adds if absent.

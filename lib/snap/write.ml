@@ -1,0 +1,12 @@
+let to_string m =
+  let e = Wire.Enc.create () in
+  Codec.enc_model e m;
+  Wire.Enc.contents e
+
+let write_file m path =
+  let oc = open_out_bin path in
+  (match output_string oc (to_string m) with
+   | () -> close_out oc
+   | exception e ->
+     close_out_noerr oc;
+     raise e)

@@ -1,0 +1,10 @@
+(** Snapshot export: pack a model into the versioned binary format.
+
+    The writer is byte-deterministic: equal models (per
+    {!Uml.Model.equal}) produce identical bytes, and
+    [to_string (Read.model_of_string (to_string m))] is the identity on
+    bytes — string-table order is fixed by first use during the body
+    encode, which only depends on model content. *)
+
+val to_string : Uml.Model.t -> string
+val write_file : Uml.Model.t -> string -> unit

@@ -126,3 +126,174 @@ let get_int_opt e name =
     | None -> decode_error "bad integer attribute %s=%s" name v)
 
 let get_opt e name = Sxml.Doc.attr e name
+
+(* --- canonical enum tables ------------------------------------------- *)
+
+(* One exhaustive [_string] match per pure enum (the compiler checks
+   coverage), one canonical value list in declaration order, and a
+   derived inverse.  {!Read} uses the inverses, {!Write} the matches,
+   and the binary snapshot codec ([Snap.Codec]) uses list position as
+   its wire tag — a constructor added to the metamodel shows up here as
+   a non-exhaustive-match error, not a silent decode failure. *)
+
+let enum_of_string ~what ~to_string all s =
+  match List.find_opt (fun v -> String.equal (to_string v) s) all with
+  | Some v -> v
+  | None -> decode_error "unknown %s %s" what s
+
+let visibility_string = function
+  | Uml.Classifier.Public -> "public"
+  | Uml.Classifier.Private -> "private"
+  | Uml.Classifier.Protected -> "protected"
+  | Uml.Classifier.Package_visibility -> "package"
+
+let all_visibilities =
+  [ Uml.Classifier.Public; Uml.Classifier.Private; Uml.Classifier.Protected;
+    Uml.Classifier.Package_visibility ]
+
+let visibility_of_string s =
+  enum_of_string ~what:"visibility" ~to_string:visibility_string
+    all_visibilities s
+
+let direction_string = function
+  | Uml.Classifier.In -> "in"
+  | Uml.Classifier.Out -> "out"
+  | Uml.Classifier.Inout -> "inout"
+  | Uml.Classifier.Return -> "return"
+
+let all_directions =
+  [ Uml.Classifier.In; Uml.Classifier.Out; Uml.Classifier.Inout;
+    Uml.Classifier.Return ]
+
+let direction_of_string s =
+  enum_of_string ~what:"direction" ~to_string:direction_string all_directions s
+
+let aggregation_string = function
+  | Uml.Classifier.No_aggregation -> "none"
+  | Uml.Classifier.Shared -> "shared"
+  | Uml.Classifier.Composite -> "composite"
+
+let all_aggregations =
+  [ Uml.Classifier.No_aggregation; Uml.Classifier.Shared;
+    Uml.Classifier.Composite ]
+
+let aggregation_of_string s =
+  enum_of_string ~what:"aggregation" ~to_string:aggregation_string
+    all_aggregations s
+
+let pseudostate_kind_string = function
+  | Uml.Smachine.Initial -> "initial"
+  | Uml.Smachine.Deep_history -> "deepHistory"
+  | Uml.Smachine.Shallow_history -> "shallowHistory"
+  | Uml.Smachine.Join -> "join"
+  | Uml.Smachine.Fork -> "fork"
+  | Uml.Smachine.Junction -> "junction"
+  | Uml.Smachine.Choice -> "choice"
+  | Uml.Smachine.Entry_point -> "entryPoint"
+  | Uml.Smachine.Exit_point -> "exitPoint"
+  | Uml.Smachine.Terminate -> "terminate"
+
+let all_pseudostate_kinds =
+  [ Uml.Smachine.Initial; Uml.Smachine.Deep_history;
+    Uml.Smachine.Shallow_history; Uml.Smachine.Join; Uml.Smachine.Fork;
+    Uml.Smachine.Junction; Uml.Smachine.Choice; Uml.Smachine.Entry_point;
+    Uml.Smachine.Exit_point; Uml.Smachine.Terminate ]
+
+let pseudostate_kind_of_string s =
+  enum_of_string ~what:"pseudostate kind" ~to_string:pseudostate_kind_string
+    all_pseudostate_kinds s
+
+let transition_kind_string = function
+  | Uml.Smachine.External -> "external"
+  | Uml.Smachine.Internal -> "internal"
+  | Uml.Smachine.Local -> "local"
+
+let all_transition_kinds =
+  [ Uml.Smachine.External; Uml.Smachine.Internal; Uml.Smachine.Local ]
+
+let transition_kind_of_string s =
+  enum_of_string ~what:"transition kind" ~to_string:transition_kind_string
+    all_transition_kinds s
+
+let edge_kind_string = function
+  | Uml.Activityg.Control_flow -> "ControlFlow"
+  | Uml.Activityg.Object_flow -> "ObjectFlow"
+
+let all_edge_kinds = [ Uml.Activityg.Control_flow; Uml.Activityg.Object_flow ]
+
+let edge_kind_of_string s =
+  enum_of_string ~what:"edge type" ~to_string:edge_kind_string all_edge_kinds s
+
+let message_sort_string = function
+  | Uml.Interaction.Synch_call -> "synchCall"
+  | Uml.Interaction.Asynch_call -> "asynchCall"
+  | Uml.Interaction.Asynch_signal -> "asynchSignal"
+  | Uml.Interaction.Reply -> "reply"
+  | Uml.Interaction.Create_message -> "createMessage"
+  | Uml.Interaction.Delete_message -> "deleteMessage"
+
+let all_message_sorts =
+  [ Uml.Interaction.Synch_call; Uml.Interaction.Asynch_call;
+    Uml.Interaction.Asynch_signal; Uml.Interaction.Reply;
+    Uml.Interaction.Create_message; Uml.Interaction.Delete_message ]
+
+let message_sort_of_string s =
+  enum_of_string ~what:"message sort" ~to_string:message_sort_string
+    all_message_sorts s
+
+let connector_kind_string = function
+  | Uml.Component.Assembly -> "assembly"
+  | Uml.Component.Delegation -> "delegation"
+
+let all_connector_kinds = [ Uml.Component.Assembly; Uml.Component.Delegation ]
+
+let connector_kind_of_string s =
+  enum_of_string ~what:"connector kind" ~to_string:connector_kind_string
+    all_connector_kinds s
+
+let node_kind_string = function
+  | Uml.Deployment.Node -> "Node"
+  | Uml.Deployment.Device -> "Device"
+  | Uml.Deployment.Execution_environment -> "ExecutionEnvironment"
+
+let all_node_kinds =
+  [ Uml.Deployment.Node; Uml.Deployment.Device;
+    Uml.Deployment.Execution_environment ]
+
+let node_kind_of_string s =
+  enum_of_string ~what:"node kind" ~to_string:node_kind_string all_node_kinds s
+
+let metaclass_string = Uml.Profile.metaclass_name
+
+let all_metaclasses =
+  [ Uml.Profile.M_class; Uml.Profile.M_interface; Uml.Profile.M_component;
+    Uml.Profile.M_port; Uml.Profile.M_property; Uml.Profile.M_operation;
+    Uml.Profile.M_package; Uml.Profile.M_state_machine; Uml.Profile.M_state;
+    Uml.Profile.M_transition; Uml.Profile.M_activity; Uml.Profile.M_action;
+    Uml.Profile.M_node; Uml.Profile.M_artifact; Uml.Profile.M_connector;
+    Uml.Profile.M_any ]
+
+let metaclass_of_string s =
+  enum_of_string ~what:"metaclass" ~to_string:metaclass_string all_metaclasses
+    s
+
+let diagram_kind_string = function
+  | Uml.Diagram.Class_diagram -> "class"
+  | Uml.Diagram.Object_diagram -> "object"
+  | Uml.Diagram.Package_diagram -> "package"
+  | Uml.Diagram.Composite_structure_diagram -> "compositeStructure"
+  | Uml.Diagram.Component_diagram -> "component"
+  | Uml.Diagram.Deployment_diagram -> "deployment"
+  | Uml.Diagram.Use_case_diagram -> "useCase"
+  | Uml.Diagram.Activity_diagram -> "activity"
+  | Uml.Diagram.State_machine_diagram -> "stateMachine"
+  | Uml.Diagram.Sequence_diagram -> "sequence"
+  | Uml.Diagram.Communication_diagram -> "communication"
+  | Uml.Diagram.Interaction_overview_diagram -> "interactionOverview"
+  | Uml.Diagram.Timing_diagram -> "timing"
+
+let all_diagram_kinds = Uml.Diagram.all_kinds
+
+let diagram_kind_of_string s =
+  enum_of_string ~what:"diagram kind" ~to_string:diagram_kind_string
+    all_diagram_kinds s

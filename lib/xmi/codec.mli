@@ -32,3 +32,47 @@ val get_bool : Sxml.Doc.element -> string -> bool
 val get_int : Sxml.Doc.element -> string -> int
 val get_int_opt : Sxml.Doc.element -> string -> int option
 val get_opt : Sxml.Doc.element -> string -> string option
+
+(** {1 Canonical enum tables}
+
+    For every pure (payload-free) enum of the metamodel: the XMI
+    attribute spelling ([_string], an exhaustive match), the canonical
+    value list in declaration order ([all_]), and the derived inverse
+    ([_of_string], raising {!Decode_error} on unknown input).  {!Write}
+    and {!Read} share these, and the binary snapshot codec uses the
+    position in the [all_] list as its wire tag — so the three formats
+    can never disagree on an enum's encoding. *)
+
+val visibility_string : Uml.Classifier.visibility -> string
+val all_visibilities : Uml.Classifier.visibility list
+val visibility_of_string : string -> Uml.Classifier.visibility
+val direction_string : Uml.Classifier.direction -> string
+val all_directions : Uml.Classifier.direction list
+val direction_of_string : string -> Uml.Classifier.direction
+val aggregation_string : Uml.Classifier.aggregation -> string
+val all_aggregations : Uml.Classifier.aggregation list
+val aggregation_of_string : string -> Uml.Classifier.aggregation
+val pseudostate_kind_string : Uml.Smachine.pseudostate_kind -> string
+val all_pseudostate_kinds : Uml.Smachine.pseudostate_kind list
+val pseudostate_kind_of_string : string -> Uml.Smachine.pseudostate_kind
+val transition_kind_string : Uml.Smachine.transition_kind -> string
+val all_transition_kinds : Uml.Smachine.transition_kind list
+val transition_kind_of_string : string -> Uml.Smachine.transition_kind
+val edge_kind_string : Uml.Activityg.edge_kind -> string
+val all_edge_kinds : Uml.Activityg.edge_kind list
+val edge_kind_of_string : string -> Uml.Activityg.edge_kind
+val message_sort_string : Uml.Interaction.message_sort -> string
+val all_message_sorts : Uml.Interaction.message_sort list
+val message_sort_of_string : string -> Uml.Interaction.message_sort
+val connector_kind_string : Uml.Component.connector_kind -> string
+val all_connector_kinds : Uml.Component.connector_kind list
+val connector_kind_of_string : string -> Uml.Component.connector_kind
+val node_kind_string : Uml.Deployment.node_kind -> string
+val all_node_kinds : Uml.Deployment.node_kind list
+val node_kind_of_string : string -> Uml.Deployment.node_kind
+val metaclass_string : Uml.Profile.metaclass -> string
+val all_metaclasses : Uml.Profile.metaclass list
+val metaclass_of_string : string -> Uml.Profile.metaclass
+val diagram_kind_string : Uml.Diagram.kind -> string
+val all_diagram_kinds : Uml.Diagram.kind list
+val diagram_kind_of_string : string -> Uml.Diagram.kind

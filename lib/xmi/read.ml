@@ -17,26 +17,16 @@ let xmi_type e =
 
 (* --- classifiers ----------------------------------------------------- *)
 
-let visibility_of = function
-  | "public" -> Classifier.Public
-  | "private" -> Classifier.Private
-  | "protected" -> Classifier.Protected
-  | "package" -> Classifier.Package_visibility
-  | other -> import_error "unknown visibility %s" other
-
-let direction_of = function
-  | "in" -> Classifier.In
-  | "out" -> Classifier.Out
-  | "inout" -> Classifier.Inout
-  | "return" -> Classifier.Return
-  | other -> import_error "unknown direction %s" other
+(* enum spellings come from the canonical tables in {!Codec}; unknown
+   strings raise [Codec.Decode_error], surfaced as [Import_error] by
+   [model_of_string] *)
+let visibility_of = Codec.visibility_of_string
+let direction_of = Codec.direction_of_string
 
 let aggregation_of e =
   match Sxml.Doc.attr e "aggregation" with
-  | None | Some "none" -> Classifier.No_aggregation
-  | Some "shared" -> Classifier.Shared
-  | Some "composite" -> Classifier.Composite
-  | Some other -> import_error "unknown aggregation %s" other
+  | None -> Classifier.No_aggregation
+  | Some s -> Codec.aggregation_of_string s
 
 let property_of e =
   {
@@ -148,18 +138,7 @@ let package_of e =
 
 (* --- state machines --------------------------------------------------- *)
 
-let pseudostate_kind_of = function
-  | "initial" -> Smachine.Initial
-  | "deepHistory" -> Smachine.Deep_history
-  | "shallowHistory" -> Smachine.Shallow_history
-  | "join" -> Smachine.Join
-  | "fork" -> Smachine.Fork
-  | "junction" -> Smachine.Junction
-  | "choice" -> Smachine.Choice
-  | "entryPoint" -> Smachine.Entry_point
-  | "exitPoint" -> Smachine.Exit_point
-  | "terminate" -> Smachine.Terminate
-  | other -> import_error "unknown pseudostate kind %s" other
+let pseudostate_kind_of = Codec.pseudostate_kind_of_string
 
 let trigger_of e =
   match Codec.get_attr e "kind" with
@@ -179,10 +158,8 @@ let transition_of e =
     tr_effect = Codec.get_opt e "effect";
     tr_kind =
       (match Sxml.Doc.attr e "kind" with
-       | Some "internal" -> Smachine.Internal
-       | Some "local" -> Smachine.Local
-       | Some "external" | None -> Smachine.External
-       | Some other -> import_error "unknown transition kind %s" other);
+       | Some k -> Codec.transition_kind_of_string k
+       | None -> Smachine.External);
   }
 
 let rec region_of e =
@@ -277,11 +254,7 @@ let activity_edge_of e =
       (match Codec.get_int_opt e "weight" with
        | Some w -> w
        | None -> 1);
-    ed_kind =
-      (match xmi_type e with
-       | "ControlFlow" -> Activityg.Control_flow
-       | "ObjectFlow" -> Activityg.Object_flow
-       | other -> import_error "unknown edge type %s" other);
+    ed_kind = Codec.edge_kind_of_string (xmi_type e);
   }
 
 let activity_of e =
@@ -295,14 +268,7 @@ let activity_of e =
 
 (* --- interactions ------------------------------------------------------ *)
 
-let message_sort_of = function
-  | "synchCall" -> Interaction.Synch_call
-  | "asynchCall" -> Interaction.Asynch_call
-  | "asynchSignal" -> Interaction.Asynch_signal
-  | "reply" -> Interaction.Reply
-  | "createMessage" -> Interaction.Create_message
-  | "deleteMessage" -> Interaction.Delete_message
-  | other -> import_error "unknown message sort %s" other
+let message_sort_of = Codec.message_sort_of_string
 
 let operator_of e =
   let names () =
@@ -425,11 +391,7 @@ let component_of e =
     {
       Component.conn_id = id_of c;
       conn_name = name_of c;
-      conn_kind =
-        (match Codec.get_attr c "kind" with
-         | "assembly" -> Component.Assembly
-         | "delegation" -> Component.Delegation
-         | other -> import_error "unknown connector kind %s" other);
+      conn_kind = Codec.connector_kind_of_string (Codec.get_attr c "kind");
       conn_ends =
         List.map
           (fun en ->
@@ -489,12 +451,7 @@ let deployment_node_of kind e =
   {
     Deployment.dn_id = id_of e;
     dn_name = name_of e;
-    dn_kind =
-      (match kind with
-       | "Node" -> Deployment.Node
-       | "Device" -> Deployment.Device
-       | "ExecutionEnvironment" -> Deployment.Execution_environment
-       | other -> import_error "unknown node kind %s" other);
+    dn_kind = Codec.node_kind_of_string kind;
     dn_nested = refs_of e "nestedNode";
   }
 
@@ -522,24 +479,7 @@ let communication_path_of e =
 
 (* --- profiles ----------------------------------------------------------- *)
 
-let metaclass_of = function
-  | "Class" -> Profile.M_class
-  | "Interface" -> Profile.M_interface
-  | "Component" -> Profile.M_component
-  | "Port" -> Profile.M_port
-  | "Property" -> Profile.M_property
-  | "Operation" -> Profile.M_operation
-  | "Package" -> Profile.M_package
-  | "StateMachine" -> Profile.M_state_machine
-  | "State" -> Profile.M_state
-  | "Transition" -> Profile.M_transition
-  | "Activity" -> Profile.M_activity
-  | "Action" -> Profile.M_action
-  | "Node" -> Profile.M_node
-  | "Artifact" -> Profile.M_artifact
-  | "Connector" -> Profile.M_connector
-  | "Element" -> Profile.M_any
-  | other -> import_error "unknown metaclass %s" other
+let metaclass_of = Codec.metaclass_of_string
 
 let profile_of e =
   {
@@ -609,21 +549,7 @@ let application_of e =
         (Sxml.Doc.find_children e "tagValue");
   }
 
-let diagram_kind_of = function
-  | "class" -> Diagram.Class_diagram
-  | "object" -> Diagram.Object_diagram
-  | "package" -> Diagram.Package_diagram
-  | "compositeStructure" -> Diagram.Composite_structure_diagram
-  | "component" -> Diagram.Component_diagram
-  | "deployment" -> Diagram.Deployment_diagram
-  | "useCase" -> Diagram.Use_case_diagram
-  | "activity" -> Diagram.Activity_diagram
-  | "stateMachine" -> Diagram.State_machine_diagram
-  | "sequence" -> Diagram.Sequence_diagram
-  | "communication" -> Diagram.Communication_diagram
-  | "interactionOverview" -> Diagram.Interaction_overview_diagram
-  | "timing" -> Diagram.Timing_diagram
-  | other -> import_error "unknown diagram kind %s" other
+let diagram_kind_of = Codec.diagram_kind_of_string
 
 let diagram_of e =
   {
@@ -666,7 +592,10 @@ let of_xml doc =
 
 let model_of_string s =
   match Sxml.Parse.parse_string s with
-  | doc -> of_xml doc
+  | doc -> (
+    match of_xml doc with
+    | m -> m
+    | exception Codec.Decode_error msg -> raise (Import_error msg))
   | exception exn -> (
     match Sxml.Parse.error_message exn with
     | Some m -> raise (Import_error m)

@@ -7,22 +7,11 @@ let xtype ty = ("xmi:type", "uml:" ^ ty)
 
 (* --- classifiers ----------------------------------------------------- *)
 
-let visibility_string = function
-  | Classifier.Public -> "public"
-  | Classifier.Private -> "private"
-  | Classifier.Protected -> "protected"
-  | Classifier.Package_visibility -> "package"
-
-let direction_string = function
-  | Classifier.In -> "in"
-  | Classifier.Out -> "out"
-  | Classifier.Inout -> "inout"
-  | Classifier.Return -> "return"
-
-let aggregation_string = function
-  | Classifier.No_aggregation -> "none"
-  | Classifier.Shared -> "shared"
-  | Classifier.Composite -> "composite"
+(* enum spellings are the canonical tables in {!Codec}, shared with
+   {!Read} and the binary snapshot codec *)
+let visibility_string = Codec.visibility_string
+let direction_string = Codec.direction_string
+let aggregation_string = Codec.aggregation_string
 
 let property_xml tag (p : Classifier.property) =
   let attrs =
@@ -146,17 +135,7 @@ let package_xml (p : Pkg.t) =
 
 (* --- state machines --------------------------------------------------- *)
 
-let pseudostate_kind_string = function
-  | Smachine.Initial -> "initial"
-  | Smachine.Deep_history -> "deepHistory"
-  | Smachine.Shallow_history -> "shallowHistory"
-  | Smachine.Join -> "join"
-  | Smachine.Fork -> "fork"
-  | Smachine.Junction -> "junction"
-  | Smachine.Choice -> "choice"
-  | Smachine.Entry_point -> "entryPoint"
-  | Smachine.Exit_point -> "exitPoint"
-  | Smachine.Terminate -> "terminate"
+let pseudostate_kind_string = Codec.pseudostate_kind_string
 
 let trigger_xml (tr : Smachine.trigger) =
   let attrs =
@@ -169,12 +148,7 @@ let trigger_xml (tr : Smachine.trigger) =
   el ~attrs "trigger" []
 
 let transition_xml (t : Smachine.transition) =
-  let kind =
-    match t.Smachine.tr_kind with
-    | Smachine.External -> "external"
-    | Smachine.Internal -> "internal"
-    | Smachine.Local -> "local"
-  in
+  let kind = Codec.transition_kind_string t.Smachine.tr_kind in
   let attrs =
     [
       id_attr t.Smachine.tr_id;
@@ -290,11 +264,7 @@ let activity_node_xml (n : Activityg.node) =
   | Activityg.Merge_node _ -> head "MergeNode" [] []
 
 let activity_edge_xml (e : Activityg.edge) =
-  let kind =
-    match e.Activityg.ed_kind with
-    | Activityg.Control_flow -> "ControlFlow"
-    | Activityg.Object_flow -> "ObjectFlow"
-  in
+  let kind = Codec.edge_kind_string e.Activityg.ed_kind in
   let attrs =
     [
       xtype kind;
@@ -322,13 +292,7 @@ let activity_xml (a : Activityg.t) =
 
 (* --- interactions ------------------------------------------------------ *)
 
-let message_sort_string = function
-  | Interaction.Synch_call -> "synchCall"
-  | Interaction.Asynch_call -> "asynchCall"
-  | Interaction.Asynch_signal -> "asynchSignal"
-  | Interaction.Reply -> "reply"
-  | Interaction.Create_message -> "createMessage"
-  | Interaction.Delete_message -> "deleteMessage"
+let message_sort_string = Codec.message_sort_string
 
 let operator_attrs = function
   | Interaction.Alt -> [ ("operator", "alt") ]
@@ -450,11 +414,7 @@ let component_xml (c : Component.t) =
       "ownedPart" []
   in
   let connector_xml (conn : Component.connector) =
-    let kind =
-      match conn.Component.conn_kind with
-      | Component.Assembly -> "assembly"
-      | Component.Delegation -> "delegation"
-    in
+    let kind = Codec.connector_kind_string conn.Component.conn_kind in
     el
       ~attrs:
         [
@@ -529,10 +489,7 @@ let link_xml (l : Instance.link) =
 
 (* --- deployments ----------------------------------------------------------- *)
 
-let node_kind_string = function
-  | Deployment.Node -> "Node"
-  | Deployment.Device -> "Device"
-  | Deployment.Execution_environment -> "ExecutionEnvironment"
+let node_kind_string = Codec.node_kind_string
 
 let deployment_node_xml (n : Deployment.node) =
   el
@@ -579,7 +536,7 @@ let communication_path_xml (c : Deployment.communication_path) =
 
 (* --- profiles ----------------------------------------------------------- *)
 
-let metaclass_string (mc : Profile.metaclass) = Profile.metaclass_name mc
+let metaclass_string = Codec.metaclass_string
 
 let profile_xml (p : Profile.t) =
   el
@@ -642,20 +599,7 @@ let application_xml (a : Profile.application) =
          el ~attrs:(name_attr name :: Codec.vspec_attrs "value" v) "tagValue" [])
        a.Profile.app_values)
 
-let diagram_kind_string = function
-  | Diagram.Class_diagram -> "class"
-  | Diagram.Object_diagram -> "object"
-  | Diagram.Package_diagram -> "package"
-  | Diagram.Composite_structure_diagram -> "compositeStructure"
-  | Diagram.Component_diagram -> "component"
-  | Diagram.Deployment_diagram -> "deployment"
-  | Diagram.Use_case_diagram -> "useCase"
-  | Diagram.Activity_diagram -> "activity"
-  | Diagram.State_machine_diagram -> "stateMachine"
-  | Diagram.Sequence_diagram -> "sequence"
-  | Diagram.Communication_diagram -> "communication"
-  | Diagram.Interaction_overview_diagram -> "interactionOverview"
-  | Diagram.Timing_diagram -> "timing"
+let diagram_kind_string = Codec.diagram_kind_string
 
 let diagram_xml (d : Diagram.t) =
   el

@@ -50,6 +50,7 @@ let subcommands model =
     [ "validate"; model ]; [ "lint"; model ]; [ "info"; model ];
     [ "gen"; model; "vhdl" ]; [ "simulate"; model ]; [ "trace"; model ];
     [ "partition"; model ]; [ "analyze"; model ]; [ "inject"; model ];
+    [ "pack"; model ];
   ]
 
 let assert_graceful label model =
@@ -105,6 +106,74 @@ let corrupt_fixture_tests =
           (write_file
              (Filename.concat tmp "socuml_cli_schema.xmi")
              "<?xml version=\"1.0\"?><root><child attr=\"1\"/></root>"));
+  ]
+
+(* Binary snapshots must be exactly as hard to crash as XMI: every
+   subcommand gets the same one-line-diagnostic-and-exit-1 treatment on
+   truncated, corrupt and future-version snapshot bytes, and accepts a
+   healthy `.sumb` transparently. *)
+let snapshot_tests =
+  let packed_demo () =
+    let out = Filename.concat tmp "socuml_cli_snap" in
+    let code =
+      Sys.command
+        (Printf.sprintf "%s demo --out %s >/dev/null 2>&1"
+           (Filename.quote exe) (Filename.quote out))
+    in
+    check Alcotest.int "demo exit" 0 code;
+    let model = Filename.concat out "demo_soc.xmi" in
+    let code, stderr = run_cli [ "pack"; model ] in
+    if code <> 0 then
+      Alcotest.failf "pack: exit %d (stderr: %s)" code stderr;
+    Filename.concat out "demo_soc.sumb"
+  in
+  [
+    tc "truncated snapshot header" (fun () ->
+        assert_graceful "truncated header"
+          (write_file (Filename.concat tmp "socuml_cli_hdr.sumb") "\xd3SU"));
+    tc "future snapshot version" (fun () ->
+        let snap = read_file (packed_demo ()) in
+        let data = Bytes.of_string snap in
+        Bytes.set data 5 '\x63';
+        assert_graceful "future version"
+          (write_file
+             (Filename.concat tmp "socuml_cli_ver.sumb")
+             (Bytes.to_string data)));
+    tc "snapshot truncated mid-stream" (fun () ->
+        let snap = read_file (packed_demo ()) in
+        assert_graceful "mid-stream truncation"
+          (write_file
+             (Filename.concat tmp "socuml_cli_cut.sumb")
+             (String.sub snap 0 (String.length snap / 2))));
+    tc "snapshot with trailing bytes" (fun () ->
+        let snap = read_file (packed_demo ()) in
+        assert_graceful "trailing bytes"
+          (write_file
+             (Filename.concat tmp "socuml_cli_tail.sumb")
+             (snap ^ "\x00\x01")));
+    tc "every subcommand accepts a healthy snapshot" (fun () ->
+        let snap = packed_demo () in
+        List.iter
+          (fun args ->
+            let code, stderr = run_cli args in
+            if code <> 0 then
+              Alcotest.failf "%s: exit %d (stderr: %s)"
+                (String.concat " " args)
+                code stderr)
+          [
+            [ "validate"; snap ]; [ "lint"; snap ]; [ "info"; snap ];
+            [ "gen"; snap; "vhdl" ]; [ "simulate"; snap ];
+            [ "partition"; snap ]; [ "analyze"; snap ];
+            [ "inject"; snap; "--seed"; "1"; "--faults"; "3" ];
+          ]);
+    tc "packing a snapshot reproduces it byte-for-byte" (fun () ->
+        let snap = packed_demo () in
+        let again = Filename.concat tmp "socuml_cli_repack.sumb" in
+        let code, stderr = run_cli [ "pack"; snap; "-o"; again ] in
+        if code <> 0 then
+          Alcotest.failf "re-pack: exit %d (stderr: %s)" code stderr;
+        check Alcotest.string "identical bytes" (read_file snap)
+          (read_file again));
   ]
 
 (* A healthy model must still work after the hardening: generate the
@@ -201,6 +270,7 @@ let () =
   Alcotest.run "cli"
     [
       ("corrupt inputs", corrupt_fixture_tests);
+      ("snapshot inputs", snapshot_tests);
       ("healthy model", demo_roundtrip_tests);
       ("rule selectors", selector_tests);
     ]

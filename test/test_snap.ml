@@ -1,0 +1,476 @@
+(* Snapshot round-trip tests: a hand-built model covering every element
+   kind, a qcheck differential against the XMI path, byte-determinism of
+   the writer, and hostile-input rejection (bad magic, wrong version,
+   truncation anywhere, arbitrary byte flips). *)
+
+open Uml
+
+let tc name f = Alcotest.test_case name `Quick f
+let check = Alcotest.check
+
+(* Build a model exercising every metamodel corner the wire codec has a
+   branch for: all classifier kinds, all 10 pseudostate kinds, all
+   trigger and transition kinds, all 12 activity node kinds, both edge
+   kinds, all 6 message sorts, all 12 interaction operators, all vspec
+   literals, components with both connector kinds, all 3 deployment
+   node kinds, a stereotype extending all 16 metaclasses, and all 13
+   diagram kinds. *)
+let kitchen_sink () =
+  let m = Model.create "sink" in
+  let itf =
+    Classifier.make ~kind:Classifier.Interface
+      ~operations:
+        [
+          Classifier.operation
+            ~params:
+              [
+                Classifier.parameter "x" Dtype.Integer;
+                Classifier.parameter ~direction:Classifier.Return "r"
+                  Dtype.Boolean;
+              ]
+            "check";
+        ]
+      "IChecker"
+  in
+  Model.add m (Model.E_classifier itf);
+  let enum =
+    Classifier.make ~kind:(Classifier.Enumeration [ "Red"; "Green" ]) "Color"
+  in
+  Model.add m (Model.E_classifier enum);
+  let sig_cl = Classifier.make ~kind:Classifier.Signal "Ping" in
+  Model.add m (Model.E_classifier sig_cl);
+  Model.add m
+    (Model.E_classifier (Classifier.make ~kind:Classifier.Data_type "Fix16"));
+  Model.add m
+    (Model.E_classifier
+       (Classifier.make ~kind:Classifier.Primitive_type "word32"));
+  let actor = Classifier.make ~kind:Classifier.Actor_kind "User" in
+  Model.add m (Model.E_classifier actor);
+  let base = Classifier.make ~is_abstract:true "Base" in
+  Model.add m (Model.E_classifier base);
+  let cls =
+    Classifier.make ~is_active:true
+      ~attributes:
+        [
+          Classifier.property ~mult:Mult.optional ~default:(Vspec.of_int 3)
+            ~visibility:Classifier.Private ~is_static:true ~is_read_only:true
+            ~aggregation:Classifier.Composite "count" Dtype.Integer;
+          Classifier.property ~default:(Vspec.Real_literal 2.5)
+            ~aggregation:Classifier.Shared "gain" Dtype.Real;
+          Classifier.property ~default:(Vspec.Enum_literal "Red") "color"
+            (Dtype.Ref enum.Classifier.cl_id);
+          Classifier.property ~default:Vspec.Null_literal "label"
+            Dtype.String_type;
+          Classifier.property
+            ~default:(Vspec.Opaque_expression "a + b")
+            ~visibility:Classifier.Package_visibility "expr"
+            Dtype.Unlimited_natural;
+          Classifier.property ~default:(Vspec.of_bool true)
+            ~visibility:Classifier.Protected "flag" Dtype.Boolean;
+        ]
+      ~operations:
+        [
+          Classifier.operation ~visibility:Classifier.Protected ~is_query:true
+            ~body:"return 1;" "peek";
+        ]
+      ~receptions:
+        [
+          {
+            Classifier.recv_id = Ident.fresh ();
+            recv_signal = sig_cl.Classifier.cl_id;
+          };
+        ]
+      ~generals:[ base.Classifier.cl_id ]
+      ~realized:[ itf.Classifier.cl_id ]
+      "Widget"
+  in
+  Model.add m (Model.E_classifier cls);
+  Model.add m
+    (Model.E_association
+       (Classifier.binary_association ~name:"owns"
+          ~source:(cls.Classifier.cl_id, Mult.one, true)
+          ~target:(base.Classifier.cl_id, Mult.many, false)
+          ()));
+  Model.add m
+    (Model.E_package (Pkg.make ~owned:[ cls.Classifier.cl_id ] ~imports:[] "pkg"));
+  (* state machine with all pseudostate kinds *)
+  let mk_ps kind = Smachine.pseudostate kind in
+  let s1 =
+    Smachine.simple_state ~entry:"e();" ~exit_:"x();" ~do_:"d();"
+      ~deferred:[ Smachine.Signal_trigger "later" ]
+      "S1"
+  in
+  let s2 = Smachine.simple_state "S2" in
+  let inner_region =
+    Smachine.region ~name:"inner"
+      [ Smachine.State s2; Smachine.Pseudo (mk_ps Smachine.Shallow_history) ]
+      []
+  in
+  let comp = Smachine.composite_state "Comp" [ inner_region ] in
+  let init = mk_ps Smachine.Initial in
+  let fin = Smachine.final () in
+  let all_pseudos =
+    List.map mk_ps
+      [
+        Smachine.Deep_history; Smachine.Join; Smachine.Fork; Smachine.Junction;
+        Smachine.Choice; Smachine.Entry_point; Smachine.Exit_point;
+        Smachine.Terminate;
+      ]
+  in
+  let region =
+    Smachine.region ~name:"top"
+      (Smachine.Pseudo init :: Smachine.State s1 :: Smachine.State comp
+      :: Smachine.Final fin
+      :: List.map (fun p -> Smachine.Pseudo p) all_pseudos)
+      [
+        Smachine.transition ~source:init.Smachine.ps_id
+          ~target:s1.Smachine.st_id ();
+        Smachine.transition
+          ~triggers:
+            [
+              Smachine.Signal_trigger "go"; Smachine.Time_trigger 5;
+              Smachine.Any_trigger; Smachine.Completion;
+            ]
+          ~guard:"x > 0" ~effect:"x := x - 1;" ~kind:Smachine.Local
+          ~source:s1.Smachine.st_id ~target:comp.Smachine.st_id ();
+        Smachine.transition ~kind:Smachine.Internal ~guard:"x = 0"
+          ~source:s1.Smachine.st_id ~target:s1.Smachine.st_id ();
+      ]
+  in
+  Model.add m
+    (Model.E_state_machine
+       (Smachine.make ~context:cls.Classifier.cl_id "machine" [ region ]));
+  (* activity with every node kind *)
+  let nodes =
+    [
+      Activityg.initial ();
+      Activityg.action ~body:"x := 1;" "act";
+      Activityg.call_behavior ~behavior:(Ident.of_string "beh") "call";
+      Activityg.send_signal ~event:"ping" "send";
+      Activityg.accept_event ~event:"pong" "recv";
+      Activityg.object_node ~upper_bound:4 "buf" Dtype.Integer;
+      Activityg.fork "f";
+      Activityg.join "j";
+      Activityg.decision "d";
+      Activityg.merge "mg";
+      Activityg.flow_final ();
+      Activityg.activity_final ();
+    ]
+  in
+  let n0 = List.nth nodes 0 in
+  let n1 = List.nth nodes 1 in
+  let edges =
+    [
+      Activityg.edge ~guard:"ok" ~weight:2 ~kind:Activityg.Object_flow
+        ~source:(Activityg.node_id n0) ~target:(Activityg.node_id n1) ();
+      Activityg.edge ~kind:Activityg.Control_flow
+        ~source:(Activityg.node_id n1) ~target:(Activityg.node_id n0) ();
+    ]
+  in
+  Model.add m (Model.E_activity (Activityg.make "flow" nodes edges));
+  (* interaction: all message sorts and all combined-fragment operators *)
+  let l1 = Interaction.lifeline ~represents:cls.Classifier.cl_id "a" in
+  let l2 = Interaction.lifeline "b" in
+  let msg name sort =
+    Interaction.Message
+      (Interaction.message ~sort
+         ~arguments:[ Vspec.of_int 1; Vspec.of_string_value "s" ]
+         ~from_:l1.Interaction.ll_id ~to_:l2.Interaction.ll_id name)
+  in
+  let sorts =
+    [
+      Interaction.Synch_call; Interaction.Asynch_call;
+      Interaction.Asynch_signal; Interaction.Reply;
+      Interaction.Create_message; Interaction.Delete_message;
+    ]
+  in
+  let frag op body =
+    Interaction.Fragment
+      (Interaction.fragment op [ Interaction.operand ~guard:"g" body ])
+  in
+  let operators =
+    [
+      Interaction.Alt; Interaction.Opt; Interaction.Loop (1, Some 3);
+      Interaction.Loop (0, None); Interaction.Par; Interaction.Strict;
+      Interaction.Seq; Interaction.Break; Interaction.Critical;
+      Interaction.Neg; Interaction.Assert;
+      Interaction.Ignore [ "m1" ];
+      Interaction.Consider [ "m1"; "m2" ];
+    ]
+  in
+  let body =
+    List.mapi (fun i s -> msg (Printf.sprintf "m%d" i) s) sorts
+    @ List.map (fun op -> frag op [ msg "inner" Interaction.Reply ]) operators
+    @ [
+        Interaction.Fragment
+          (Interaction.fragment Interaction.Alt
+             [
+               Interaction.operand ~guard:"x > 0"
+                 [ frag Interaction.Opt [ msg "deep" Interaction.Synch_call ] ];
+               Interaction.operand [];
+             ]);
+      ]
+  in
+  Model.add m (Model.E_interaction (Interaction.make "seq" [ l1; l2 ] body));
+  (* use cases *)
+  let uc_base = Usecase.make "Login" in
+  Model.add m (Model.E_use_case uc_base);
+  Model.add m
+    (Model.E_use_case
+       (Usecase.make ~subject:cls.Classifier.cl_id
+          ~actors:[ actor.Classifier.cl_id ]
+          ~includes:[ uc_base.Usecase.uc_id ]
+          ~extends:[ Usecase.extend ~condition:"vip" uc_base.Usecase.uc_id ]
+          "Order"));
+  (* component with ports, parts, both connector kinds *)
+  let inner_port = Component.port ~provided:[ itf.Classifier.cl_id ] "pi" in
+  let inner_comp = Component.make ~ports:[ inner_port ] "Inner" in
+  Model.add m (Model.E_component inner_comp);
+  let outer_port =
+    Component.port ~required:[ itf.Classifier.cl_id ] ~is_behavior:true "po"
+  in
+  let p0 = Component.part "u0" inner_comp.Component.cmp_id in
+  let p1 = Component.part "u1" inner_comp.Component.cmp_id in
+  let deleg =
+    Component.delegation ~name:"d0" ~outer:outer_port.Component.port_id
+      ~inner:(Some p0.Component.part_id, inner_port.Component.port_id)
+      ()
+  in
+  let asm =
+    Component.assembly ~name:"a0"
+      ~from_:(Some p0.Component.part_id, inner_port.Component.port_id)
+      ~to_:(Some p1.Component.part_id, inner_port.Component.port_id)
+      ()
+  in
+  Model.add m
+    (Model.E_component
+       (Component.make ~ports:[ outer_port ] ~parts:[ p0; p1 ]
+          ~connectors:[ deleg; asm ] "Outer"));
+  (* instances and links *)
+  let i1 =
+    Instance.make ~classifier:cls.Classifier.cl_id
+      ~slots:
+        [
+          Instance.slot "count" [ Vspec.of_int 2 ];
+          Instance.slot "mixed"
+            [ Vspec.Real_literal (-0.5); Vspec.Bool_literal false;
+              Vspec.Null_literal ];
+        ]
+      "w1"
+  in
+  Model.add m (Model.E_instance i1);
+  let i2 = Instance.make "w2" in
+  Model.add m (Model.E_instance i2);
+  Model.add m
+    (Model.E_link (Instance.link i1.Instance.inst_id i2.Instance.inst_id));
+  (* deployment: all three node kinds *)
+  let dev = Deployment.node ~kind:Deployment.Device "board" in
+  Model.add m (Model.E_deployment_node dev);
+  let ee =
+    Deployment.node ~kind:Deployment.Execution_environment
+      ~nested:[ dev.Deployment.dn_id ] "rtos"
+  in
+  Model.add m (Model.E_deployment_node ee);
+  let host = Deployment.node ~kind:Deployment.Node "host" in
+  Model.add m (Model.E_deployment_node host);
+  let art = Deployment.artifact ~manifests:[ cls.Classifier.cl_id ] "fw.bin" in
+  Model.add m (Model.E_artifact art);
+  Model.add m
+    (Model.E_deployment
+       (Deployment.deploy ~artifact:art.Deployment.art_id
+          ~target:dev.Deployment.dn_id ()));
+  Model.add m
+    (Model.E_communication_path
+       (Deployment.communication_path dev.Deployment.dn_id
+          host.Deployment.dn_id));
+  (* profile: one stereotype extending every metaclass *)
+  let all_meta =
+    [
+      Profile.M_class; Profile.M_interface; Profile.M_component;
+      Profile.M_port; Profile.M_property; Profile.M_operation;
+      Profile.M_package; Profile.M_state_machine; Profile.M_state;
+      Profile.M_transition; Profile.M_activity; Profile.M_action;
+      Profile.M_node; Profile.M_artifact; Profile.M_connector; Profile.M_any;
+    ]
+  in
+  let ster =
+    Profile.stereotype ~extends:all_meta
+      ~tags:
+        [
+          Profile.tag ~default:(Vspec.of_int 1) "area" Dtype.Integer;
+          Profile.tag "note" Dtype.String_type;
+        ]
+      "hw"
+  in
+  Model.add m (Model.E_profile (Profile.make "soc" [ ster ]));
+  Model.add_application m
+    (Profile.apply
+       ~values:[ ("area", Vspec.of_int 42); ("note", Vspec.of_string_value "x") ]
+       ~stereotype:ster.Profile.ster_id ~element:cls.Classifier.cl_id ());
+  (* one diagram of every kind *)
+  List.iteri
+    (fun i k ->
+      Model.add_diagram m
+        (Diagram.make
+           ~elements:(if i = 0 then [ cls.Classifier.cl_id ] else [])
+           k
+           (Printf.sprintf "dg%d" i)))
+    Diagram.all_kinds;
+  m
+
+let snap_roundtrip m = Snap.Read.model_of_string (Snap.Write.to_string m)
+let xmi_roundtrip m = Xmi.Read.model_of_string (Xmi.Write.to_string m)
+
+let expect_import_error what data =
+  match Snap.Read.model_of_string data with
+  | _m -> Alcotest.failf "%s: expected Import_error" what
+  | exception Snap.Read.Import_error _ -> ()
+
+let basic_tests =
+  [
+    tc "kitchen-sink model round-trips" (fun () ->
+        let m = kitchen_sink () in
+        check Alcotest.bool "equal" true (Model.equal m (snap_roundtrip m)));
+    tc "snap and xmi paths agree on the kitchen sink" (fun () ->
+        let m = kitchen_sink () in
+        check Alcotest.bool "equal" true
+          (Model.equal (snap_roundtrip m) (xmi_roundtrip m)));
+    tc "round-trip preserves element order" (fun () ->
+        let m = kitchen_sink () in
+        let m' = snap_roundtrip m in
+        check
+          (Alcotest.list Alcotest.string)
+          "ids"
+          (List.map (fun e -> Model.element_id e) (Model.elements m))
+          (List.map (fun e -> Model.element_id e) (Model.elements m')));
+    tc "writer is deterministic" (fun () ->
+        let m = kitchen_sink () in
+        check Alcotest.string "same bytes" (Snap.Write.to_string m)
+          (Snap.Write.to_string m));
+    tc "write-read-write is the identity on bytes" (fun () ->
+        let m = kitchen_sink () in
+        let s1 = Snap.Write.to_string m in
+        let s2 = Snap.Write.to_string (Snap.Read.model_of_string s1) in
+        check Alcotest.string "same bytes" s1 s2);
+    tc "empty model round-trips" (fun () ->
+        let m = Model.create "empty" in
+        check Alcotest.bool "equal" true (Model.equal m (snap_roundtrip m)));
+    tc "snapshot is much smaller than the XMI text" (fun () ->
+        let m = kitchen_sink () in
+        let snap = String.length (Snap.Write.to_string m) in
+        let xmi = String.length (Xmi.Write.to_string m) in
+        if snap * 2 >= xmi then
+          Alcotest.failf "snapshot %d bytes vs XMI %d bytes" snap xmi);
+    tc "non-ASCII and control bytes in strings survive" (fun () ->
+        let m = Model.create "m\xc3\xa9" in
+        Model.add m
+          (Model.E_classifier
+             (Classifier.make
+                ~operations:
+                  [ Classifier.operation ~body:"a\x00b\nc\ttail" "f" ]
+                "A<B> & \"C\"'s"));
+        check Alcotest.bool "equal" true (Model.equal m (snap_roundtrip m)));
+    tc "is_snapshot distinguishes formats" (fun () ->
+        let m = Model.create "m" in
+        check Alcotest.bool "snap" true
+          (Snap.Read.is_snapshot (Snap.Write.to_string m));
+        check Alcotest.bool "xmi" false
+          (Snap.Read.is_snapshot (Xmi.Write.to_string m));
+        check Alcotest.bool "empty" false (Snap.Read.is_snapshot "");
+        check Alcotest.bool "prefix" false (Snap.Read.is_snapshot "\xd3SU"));
+    tc "rejects empty input" (fun () -> expect_import_error "empty" "");
+    tc "rejects bad magic" (fun () ->
+        expect_import_error "bad magic" "<?xml version=\"1.0\"?><xmi:XMI/>");
+    tc "rejects a future format version" (fun () ->
+        let data = Bytes.of_string (Snap.Write.to_string (kitchen_sink ())) in
+        Bytes.set data 5 '\x63';
+        expect_import_error "version 99" (Bytes.to_string data));
+    tc "rejects trailing bytes" (fun () ->
+        let data = Snap.Write.to_string (Model.create "m") in
+        expect_import_error "trailing" (data ^ "\x00"));
+    tc "rejects a hostile string-table count" (fun () ->
+        (* magic + version + varint claiming ~2^40 strings *)
+        let data = Snap.Wire.magic ^ "\x01\xff\xff\xff\xff\xff\x7f" in
+        expect_import_error "huge count" data);
+    tc "every strict prefix is rejected" (fun () ->
+        let data = Snap.Write.to_string (kitchen_sink ()) in
+        for n = 0 to String.length data - 1 do
+          expect_import_error
+            (Printf.sprintf "prefix of length %d" n)
+            (String.sub data 0 n)
+        done);
+  ]
+
+(* A generated model large enough to exercise interning but cheap enough
+   for a per-case qcheck property. *)
+let gen_model seed = Workload.Gen_model.structural ~seed ~classes:12
+
+let behavioral_model seed =
+  let m = Model.create "m" in
+  Model.add m
+    (Model.E_state_machine
+       (Workload.Gen_statechart.hierarchical ~seed ~depth:3 ~breadth:2
+          ~events:3));
+  Model.add m
+    (Model.E_activity
+       (Workload.Gen_activity.with_decisions ~seed ~size:15 ~max_width:3));
+  m
+
+let property_tests =
+  [
+    QCheck_alcotest.to_alcotest
+      (QCheck.Test.make ~name:"generated structural models round-trip"
+         ~count:20
+         QCheck.(int_range 1 10_000)
+         (fun seed ->
+           let m = gen_model seed in
+           Model.equal m (snap_roundtrip m)));
+    QCheck_alcotest.to_alcotest
+      (QCheck.Test.make ~name:"generated behavioral models round-trip"
+         ~count:20
+         QCheck.(int_range 1 10_000)
+         (fun seed ->
+           let m = behavioral_model seed in
+           Model.equal m (snap_roundtrip m)));
+    QCheck_alcotest.to_alcotest
+      (QCheck.Test.make ~name:"snap path agrees with xmi path" ~count:15
+         QCheck.(int_range 1 10_000)
+         (fun seed ->
+           let m = gen_model seed in
+           Model.equal (snap_roundtrip m) (xmi_roundtrip m)));
+    QCheck_alcotest.to_alcotest
+      (QCheck.Test.make ~name:"write-read-write is byte-identical" ~count:15
+         QCheck.(int_range 1 10_000)
+         (fun seed ->
+           let m = gen_model seed in
+           let s1 = Snap.Write.to_string m in
+           let s2 = Snap.Write.to_string (Snap.Read.model_of_string s1) in
+           String.equal s1 s2));
+    QCheck_alcotest.to_alcotest
+      (QCheck.Test.make
+         ~name:"single-byte corruption never escapes Import_error" ~count:60
+         QCheck.(triple (int_range 1 10_000) (int_range 0 1_000_000) (int_range 0 255))
+         (fun (seed, posf, byte) ->
+           let m = gen_model seed in
+           let data = Bytes.of_string (Snap.Write.to_string m) in
+           let pos = posf mod Bytes.length data in
+           Bytes.set data pos (Char.chr byte);
+           match Snap.Read.model_of_string (Bytes.to_string data) with
+           | _m -> true (* flip happened to stay well-formed *)
+           | exception Snap.Read.Import_error _ -> true
+           | exception _ -> false));
+    QCheck_alcotest.to_alcotest
+      (QCheck.Test.make ~name:"random truncation is rejected" ~count:40
+         QCheck.(pair (int_range 1 10_000) (int_range 0 1_000_000))
+         (fun (seed, posf) ->
+           let m = gen_model seed in
+           let data = Snap.Write.to_string m in
+           let n = posf mod String.length data in
+           match Snap.Read.model_of_string (String.sub data 0 n) with
+           | _m -> false
+           | exception Snap.Read.Import_error _ -> true));
+  ]
+
+let () =
+  Alcotest.run "snap"
+    [ ("roundtrip", basic_tests); ("properties", property_tests) ]
