@@ -16,6 +16,20 @@ let add_varint buf v =
   in
   go v
 
+(* LEB128 over a raw 63-bit pattern: zigzag maps |v| >= 2^61 onto
+   patterns with bit 62 (the native sign bit) set, so the loop shifts
+   with [lsr] to stay total on "negative" inputs.  Emits the same bytes
+   as [add_varint] whenever the pattern is non-negative. *)
+let add_varint63 buf v =
+  let rec go v =
+    if 0 <= v && v < 0x80 then Buffer.add_char buf (Char.chr v)
+    else begin
+      Buffer.add_char buf (Char.chr (0x80 lor (v land 0x7f)));
+      go (v lsr 7)
+    end
+  in
+  go v
+
 module Enc = struct
   type t = {
     body : Buffer.t;
@@ -41,9 +55,12 @@ module Enc = struct
   let u8 e v = Buffer.add_char e.body (Char.chr (v land 0xff))
   let varint e v = add_varint e.body v
 
-  (* zigzag: order-preserving bijection from int onto the non-negative
-     range, so small magnitudes of either sign stay short *)
-  let int e v = varint e ((v lsl 1) lxor (v asr 62))
+  (* zigzag: order-preserving bijection from int onto the 63-bit
+     pattern space, so small magnitudes of either sign stay short.
+     [v lsl 1] intentionally wraps for |v| >= 2^61 — the xor folds the
+     sign back in and [add_varint63] carries the full pattern, so every
+     int round-trips, [min_int] and [max_int] included. *)
+  let int e v = add_varint63 e.body ((v lsl 1) lxor (v asr 62))
   let bool e b = u8 e (if b then 1 else 0)
 
   let float e f =
@@ -125,10 +142,32 @@ module Dec = struct
       d.pos <- pos + 1;
       b
     end
+    else begin
+      let v = varint_loop d pos 0 0 in
+      (* bit 62 is the native sign bit: a 9-byte varint whose top
+         payload bit is set decodes negative and would sail through
+         every [<= bound] check downstream (negative list counts,
+         negative string references) — reject it here *)
+      if v < 0 then decode_error "varint overflow at byte %d" pos;
+      v
+    end
+
+  (* like [varint] but admits patterns with bit 62 set: zigzag ints
+     occupy the full 63-bit space, and the unzigzag in [int] is a
+     bijection on it, so no sign check applies *)
+  let varint63 d =
+    let pos = d.pos in
+    if pos >= d.len then
+      decode_error "truncated snapshot (input ends at byte %d)" pos;
+    let b = Char.code (String.unsafe_get d.data pos) in
+    if b < 0x80 then begin
+      d.pos <- pos + 1;
+      b
+    end
     else varint_loop d pos 0 0
 
   let int d =
-    let u = varint d in
+    let u = varint63 d in
     (u lsr 1) lxor (-(u land 1))
 
   let bool d =
@@ -146,7 +185,9 @@ module Dec = struct
 
   let raw_string d =
     let n = varint d in
-    if n < 0 || d.pos + n > d.len then
+    (* subtraction, not [d.pos + n > d.len]: the addition can wrap for
+       n near max_int and slip past the check ([varint] keeps n >= 0) *)
+    if n > d.len - d.pos then
       decode_error "truncated snapshot (string of %d bytes at byte %d)" n
         d.pos;
     let s = String.sub d.data d.pos n in
@@ -155,10 +196,12 @@ module Dec = struct
 
   let str d =
     let i = varint d in
-    if i >= Array.length d.table then
+    (* [varint] already rejects negative results; the [i < 0] leg is
+       belt-and-braces for the unsafe_get below *)
+    if i < 0 || i >= Array.length d.table then
       decode_error "string reference %d out of range (table has %d)" i
         (Array.length d.table);
-    (* in bounds by the check above; varints are non-negative *)
+    (* in bounds by the check above *)
     Array.unsafe_get d.table i
 
   (* Bulk string-table decode: one allocation per interned string makes

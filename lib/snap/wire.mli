@@ -32,7 +32,9 @@ module Enc : sig
   val u8 : t -> int -> unit
   val varint : t -> int -> unit
   val int : t -> int -> unit
-  (** Arbitrary-sign integers (zigzag + LEB128). *)
+  (** Arbitrary-sign integers: zigzag onto the full 63-bit pattern
+      space, then LEB128 — every [int] round-trips, [min_int] and
+      [max_int] included. *)
 
   val bool : t -> bool -> unit
   val float : t -> float -> unit
@@ -58,8 +60,15 @@ module Dec : sig
   val pos : t -> int
   val at_end : t -> bool
   val u8 : t -> int
+
   val varint : t -> int
+  (** Always non-negative: encodings that set bit 62 (the native sign
+      bit) raise {!Decode_error}, so counts, lengths and table indices
+      decoded through this can never go negative. *)
+
   val int : t -> int
+  (** Full-range signed int (inverse of {!Enc.int}). *)
+
   val bool : t -> bool
   val float : t -> float
   val raw_string : t -> string

@@ -392,6 +392,20 @@ let basic_tests =
         (* magic + version + varint claiming ~2^40 strings *)
         let data = Snap.Wire.magic ^ "\x01\xff\xff\xff\xff\xff\x7f" in
         expect_import_error "huge count" data);
+    tc "rejects a negative string reference (9-byte varint, bit 62)" (fun () ->
+        (* version 1, empty table; the model-name reference decodes to
+           -2^62 — previously an out-of-bounds [Array.unsafe_get] *)
+        let data =
+          Snap.Wire.magic ^ "\x01\x00" ^ String.make 8 '\x80' ^ "\x40"
+        in
+        expect_import_error "negative str ref" data);
+    tc "rejects a negative list count" (fun () ->
+        (* version 1, table ["m"], name ref 0, then an element-list
+           count of -2^62 — previously unbounded non-tail recursion *)
+        let data =
+          Snap.Wire.magic ^ "\x01\x01\x01m\x00" ^ String.make 8 '\x80' ^ "\x40"
+        in
+        expect_import_error "negative list count" data);
     tc "every strict prefix is rejected" (fun () ->
         let data = Snap.Write.to_string (kitchen_sink ()) in
         for n = 0 to String.length data - 1 do
@@ -399,6 +413,85 @@ let basic_tests =
             (Printf.sprintf "prefix of length %d" n)
             (String.sub data 0 n)
         done);
+  ]
+
+(* Wire-primitive edge cases: varint sign rejection (a 9th byte can set
+   bit 62, the native sign bit) and the full-width zigzag int path. *)
+
+let expect_decode_error what f =
+  match f () with
+  | _ -> Alcotest.failf "%s: expected Decode_error" what
+  | exception Snap.Wire.Decode_error _ -> ()
+
+(* -2^62: eight continuation bytes of payload 0, then bit 62 *)
+let neg_varint = String.make 8 '\x80' ^ "\x40"
+
+(* Encode with [Enc.int], decode back through the public header path
+   (magic + version byte + empty string table). *)
+let int_roundtrip v =
+  let e = Snap.Wire.Enc.create () in
+  Snap.Wire.Enc.int e v;
+  let d =
+    Snap.Wire.Dec.make ~pos:(String.length Snap.Wire.magic)
+      (Snap.Wire.Enc.contents e)
+  in
+  let (_ : int) = Snap.Wire.Dec.u8 d in
+  let (_ : int) = Snap.Wire.Dec.varint d in
+  Snap.Wire.Dec.int d
+
+let int_extremes =
+  [ min_int; min_int + 1; -(1 lsl 61) - 1; -(1 lsl 61); -(1 lsl 61) + 1;
+    -1; 0; 1; (1 lsl 61) - 1; 1 lsl 61; max_int - 1; max_int ]
+
+let wire_tests =
+  [
+    tc "varint rejects encodings that set bit 62" (fun () ->
+        expect_decode_error "0x80*8,0x40" (fun () ->
+            Snap.Wire.Dec.varint (Snap.Wire.Dec.make neg_varint));
+        (* all 63 bits set: decodes to -1 *)
+        expect_decode_error "0xff*8,0x7f" (fun () ->
+            Snap.Wire.Dec.varint
+              (Snap.Wire.Dec.make (String.make 8 '\xff' ^ "\x7f")));
+        (* max_int is the largest legal varint *)
+        check Alcotest.int "max_int" max_int
+          (Snap.Wire.Dec.varint
+             (Snap.Wire.Dec.make (String.make 8 '\xff' ^ "\x3f"))));
+    tc "a negative string reference raises Decode_error" (fun () ->
+        let d = Snap.Wire.Dec.make neg_varint in
+        Snap.Wire.Dec.set_table d [| "only" |];
+        expect_decode_error "str" (fun () -> Snap.Wire.Dec.str d));
+    tc "a negative list count raises Decode_error" (fun () ->
+        let d = Snap.Wire.Dec.make (neg_varint ^ String.make 64 '\x00') in
+        expect_decode_error "list" (fun () ->
+            Snap.Wire.Dec.list d Snap.Wire.Dec.u8));
+    tc "a huge string length is a Decode_error, not Invalid_argument"
+      (fun () ->
+        (* length max_int: [pos + n] would wrap past the bounds check *)
+        let d = Snap.Wire.Dec.make (String.make 8 '\xff' ^ "\x3fxyz") in
+        expect_decode_error "raw_string" (fun () ->
+            Snap.Wire.Dec.raw_string d));
+    tc "full-width ints round-trip at the wire level" (fun () ->
+        List.iter
+          (fun v -> check Alcotest.int (string_of_int v) v (int_roundtrip v))
+          int_extremes);
+    tc "int extremes survive a model snapshot and agree with XMI" (fun () ->
+        let m = Model.create "ints" in
+        Model.add m
+          (Model.E_classifier
+             (Classifier.make
+                ~attributes:
+                  (List.mapi
+                     (fun i v ->
+                       Classifier.property ~default:(Vspec.of_int v)
+                         (Printf.sprintf "a%d" i) Dtype.Integer)
+                     int_extremes)
+                "Extremes"));
+        check Alcotest.bool "snap" true (Model.equal m (snap_roundtrip m));
+        check Alcotest.bool "agree" true
+          (Model.equal (snap_roundtrip m) (xmi_roundtrip m)));
+    QCheck_alcotest.to_alcotest
+      (QCheck.Test.make ~name:"wire int round-trip over the full int range"
+         ~count:200 QCheck.int (fun v -> int_roundtrip v = v));
   ]
 
 (* A generated model large enough to exercise interning but cheap enough
@@ -473,4 +566,8 @@ let property_tests =
 
 let () =
   Alcotest.run "snap"
-    [ ("roundtrip", basic_tests); ("properties", property_tests) ]
+    [
+      ("roundtrip", basic_tests);
+      ("wire", wire_tests);
+      ("properties", property_tests);
+    ]
