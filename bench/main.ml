@@ -1321,6 +1321,84 @@ let e18_tests () =
   ]
 
 (* ------------------------------------------------------------------ *)
+(* E19: serve warm-cache requests vs cold one-shot loads               *)
+
+(* Drive the daemon exactly as a client would — one request line in,
+   one response line out — so the measured path includes JSON decode,
+   cache lookup, op execution and response encode. *)
+let e19_request daemon line =
+  match Serve.Daemon.handle_line daemon line with
+  | Some _, _ -> ()
+  | None, _ -> failwith "e19: request produced no response"
+
+(* Fresh daemon per call: every request pays the full model-load tax. *)
+let e19_cold line =
+  e18_time (fun () -> e19_request (Serve.Daemon.create ()) line)
+
+(* One daemon, primed once: every timed request hits the artifact
+   cache. *)
+let e19_warm line =
+  let daemon = Serve.Daemon.create () in
+  e19_request daemon line;
+  e18_time (fun () -> e19_request daemon line)
+
+let e19_model ~classes =
+  let m = Workload.Gen_model.structural ~seed:7 ~classes in
+  Uml.Model.add m
+    (Uml.Model.E_state_machine
+       (Workload.Gen_statechart.flat ~seed:7 ~states:48 ~events:8));
+  let xmi = Filename.temp_file "socuml_e19" ".xmi" in
+  let snap = Filename.temp_file "socuml_e19" ".sumb" in
+  Xmi.Write.write_file m xmi;
+  Snap.Write.write_file m snap;
+  (xmi, snap)
+
+let e19_report () =
+  sep "E19  serve: warm-cache requests vs cold model loads";
+  let xmi, snap = e19_model ~classes:1000 in
+  let events =
+    String.concat ","
+      (Workload.Gen_statechart.event_sequence ~seed:11 ~length:32 8)
+  in
+  let lint_line path = Printf.sprintf {|{"op":"lint","model":"%s"}|} path in
+  let sim_line path =
+    Printf.sprintf
+      {|{"op":"simulate","model":"%s","rtl":true,"events":"%s"}|} path events
+  in
+  List.iter
+    (fun (shape, line_of) ->
+      let t_cold_xmi = e19_cold (line_of xmi) in
+      let t_cold_snap = e19_cold (line_of snap) in
+      let t_warm = e19_warm (line_of xmi) in
+      Printf.printf
+        "%-14s cold xmi %8.3f ms, cold sumb %7.3f ms -> warm %7.3f ms \
+         (%6.1fx vs xmi, %8.0f req/s)\n"
+        shape (1e3 *. t_cold_xmi) (1e3 *. t_cold_snap) (1e3 *. t_warm)
+        (t_cold_xmi /. t_warm) (1. /. t_warm);
+      let key fmt = Printf.sprintf fmt shape in
+      record_f (key "e19.cold_xmi_ms.%s") (1e3 *. t_cold_xmi);
+      record_f (key "e19.cold_snap_ms.%s") (1e3 *. t_cold_snap);
+      record_f (key "e19.warm_ms.%s") (1e3 *. t_warm);
+      record_f (key "e19.warm_speedup.%s") (t_cold_xmi /. t_warm);
+      record_f (key "e19.warm_rps.%s") (1. /. t_warm))
+    [
+      ("lint-1000c", lint_line);
+      ("simulate-rtl", sim_line);
+    ];
+  Sys.remove xmi;
+  Sys.remove snap
+
+let e19_tests () =
+  let xmi, _snap = e19_model ~classes:200 in
+  let daemon = Serve.Daemon.create () in
+  let line = Printf.sprintf {|{"op":"lint","model":"%s"}|} xmi in
+  e19_request daemon line;
+  [
+    Bechamel.Test.make ~name:"e19/warm-lint-200-classes"
+      (Bechamel.Staged.stage (fun () -> e19_request daemon line));
+  ]
+
+(* ------------------------------------------------------------------ *)
 (* Bechamel driver                                                     *)
 
 let run_bechamel tests =
@@ -1375,13 +1453,14 @@ let () =
   e16_report ();
   e17_report ();
   e18_report ();
+  e19_report ();
   if not quick then begin
     let tests =
       e1_tests () @ e2_tests () @ e2_xuml_test () @ e3_tests () @ e4_tests ()
       @ e5_tests () @ e6_tests () @ e7_tests () @ e8_tests () @ e9_tests ()
       @ e10_tests () @ e11_tests () @ e12_tests () @ e13_tests ()
       @ e14_tests () @ e15_tests () @ e16_tests () @ e17_tests ()
-      @ e18_tests ()
+      @ e18_tests () @ e19_tests ()
     in
     run_bechamel tests
   end;

@@ -13,82 +13,24 @@
      inject     run a deterministic fault-injection campaign across the
                 RTL, statechart and token execution engines
      pack       convert a model to a versioned binary snapshot (.sumb)
-     demo       build the demo SoC, write XMI + VHDL + VCD artifacts *)
+     serve      long-running daemon: JSON requests over stdin or a Unix
+                socket, with a content-hash compiled-artifact cache
+     demo       build the demo SoC, write XMI + VHDL + VCD artifacts
+
+   The op bodies live in [Serve.Ops], shared verbatim with the serve
+   daemon so one-shot and daemon output are byte-identical; this file
+   is only cmdliner plumbing plus the two subcommands ([serve], [demo])
+   that are not model ops. *)
 
 open Cmdliner
 
-let read_file_bytes path =
-  let ic = open_in_bin path in
-  match really_input_string ic (in_channel_length ic) with
-  | data ->
-    close_in ic;
-    data
-  | exception e ->
-    close_in_noerr ic;
-    raise e
-
-(* Hostile inputs (unreadable path, truncated or corrupt XMI or
-   snapshot, a directory passed as a file) must produce a one-line
-   diagnostic and exit 1 — never an exception trace.  The format is
-   auto-detected by magic bytes, so every subcommand accepts .sumb
-   snapshots and .xmi models interchangeably. *)
-let load_model path =
-  if not (Sys.file_exists path) then
-    Error (Printf.sprintf "%s: no such file" path)
-  else if Sys.is_directory path then
-    Error (Printf.sprintf "%s: is a directory, not a model file" path)
-  else
-    match
-      let data = read_file_bytes path in
-      if Snap.Read.is_snapshot data then Snap.Read.model_of_string data
-      else Xmi.Read.model_of_string data
-    with
-    | m -> Ok m
-    | exception Xmi.Read.Import_error msg ->
-      Error (Printf.sprintf "cannot import %s: %s" path msg)
-    | exception Snap.Read.Import_error msg ->
-      Error (Printf.sprintf "cannot import %s: %s" path msg)
-    | exception Sys_error msg -> Error msg
-    | exception exn ->
-      Error (Printf.sprintf "cannot import %s: %s" path (Printexc.to_string exn))
-
-(* Every model-consuming subcommand funnels through this, so the load
-   path and its diagnostics can never drift between subcommands. *)
-let with_model path f =
-  match load_model path with
-  | Error msg ->
-    prerr_endline msg;
-    1
-  | Ok m -> f m
-
-(* Last-resort guard for every subcommand body: downstream failures on
-   adversarial models (simulation, execution, generation) become
-   diagnostics, not crashes. *)
-let guarded f =
-  match f () with
-  | code -> code
-  | exception Xmi.Read.Import_error msg ->
-    prerr_endline msg;
-    1
-  | exception Dsim.Sim.Simulation_error msg ->
-    prerr_endline msg;
-    1
-  | exception Statechart.Engine.Model_error msg ->
-    prerr_endline msg;
-    1
-  | exception Sys_error msg ->
-    prerr_endline msg;
-    1
-  | exception Invalid_argument msg ->
-    prerr_endline msg;
-    1
-  | exception Failure msg ->
-    prerr_endline msg;
-    1
+let sink = Serve.Ops.std_sink
+let guarded f = Serve.Ops.guarded sink f
+let with_model path f = Serve.Ops.with_artifacts sink Serve.Ops.load_artifacts path f
 
 let model_arg =
   (* deliberately a plain string: existence and file-kind checks live in
-     [load_model], so every subcommand reports bad paths the same way
+     [Serve.Load], so every subcommand reports bad paths the same way
      (one line on stderr, exit 1) instead of cmdliner's exit 124 *)
   let doc = "Input model in socuml XMI form." in
   Arg.(required & pos 0 (some string) None & info [] ~docv:"MODEL" ~doc)
@@ -99,15 +41,6 @@ let jobs_arg =
      every job count produces byte-identical output."
   in
   Arg.(value & opt int 1 & info [ "jobs"; "j" ] ~docv:"N" ~doc)
-
-(* Validate --jobs and run the body with a pool (no worker domains when
-   [jobs = 1], so the sequential paths stay exactly as before). *)
-let with_jobs jobs f =
-  if jobs < 1 then begin
-    prerr_endline "--jobs must be at least 1";
-    1
-  end
-  else Exec.Pool.with_pool ~jobs f
 
 (* --- validate ------------------------------------------------------- *)
 
@@ -121,21 +54,7 @@ let format_arg =
 let validate_cmd =
   let run path format =
     guarded @@ fun () ->
-    with_model path @@ fun m ->
-      let diags = Uml.Wfr.check m in
-      let soc = Profiles.Soc_profile.check m in
-      let rt = Profiles.Rt_profile.check m in
-      let all = diags @ soc @ rt in
-      (match format with
-       | `Json -> print_string (Lint.Report.to_json ~model:(Uml.Model.name m) all)
-       | `Text ->
-         List.iter (fun d -> print_endline (Uml.Wfr.to_string d)) all;
-         Printf.printf "%d diagnostics (%d errors, %d warnings) in %s\n"
-           (List.length all)
-           (List.length (Uml.Wfr.errors all))
-           (List.length (Uml.Wfr.warnings all))
-           (Uml.Model.name m));
-      if Uml.Wfr.errors all = [] then 0 else 1
+    with_model path @@ Serve.Ops.validate sink ~format
   in
   let doc = "Check a model against UML and SoC-profile well-formedness rules." in
   Cmd.v (Cmd.info "validate" ~doc) Term.(const run $ model_arg $ format_arg)
@@ -157,29 +76,6 @@ let no_hdl_arg =
   let doc = "Skip deriving the HDL design (disables the HDL-* rules)." in
   Arg.(value & flag & info [ "no-hdl" ] ~doc)
 
-let split_selectors values =
-  List.concat_map
-    (fun v -> List.filter (fun s -> s <> "") (String.split_on_char ',' v))
-    values
-
-let selection_of only disable =
-  let only = split_selectors only and disable = split_selectors disable in
-  Lint.Rules.selection_of_strings
-    ?only:(match only with [] -> None | l -> Some l)
-    ~disabled:disable ()
-
-(* A selector that matches no registered rule is a user error: reject
-   it up front (a silently ignored --only/--disable would lint with a
-   different rule set than the user asked for). *)
-let reject_unknown_selectors selection =
-  match Lint.Rules.unknown_selectors selection with
-  | [] -> Ok ()
-  | unknown ->
-    Error
-      (Printf.sprintf "unknown rule selector%s: %s (see `socuml rules`)"
-         (match unknown with [ _ ] -> "" | _ -> "s")
-         (String.concat ", " unknown))
-
 let models_arg =
   (* plain strings for the same reason as [model_arg] *)
   let doc = "Input models in socuml XMI form (one or more)." in
@@ -188,47 +84,8 @@ let models_arg =
 let lint_cmd =
   let run paths format only disable no_hdl jobs =
     guarded @@ fun () ->
-    let selection = selection_of only disable in
-    match reject_unknown_selectors selection with
-    | Error msg ->
-      prerr_endline msg;
-      1
-    | Ok () ->
-    (* One task per model: load, derive the HDL design (the netlist the
-       MDA flow would generate, so lint sees the same design as `gen`),
-       check, and render off-line; the rendered reports are printed in
-       input order afterwards, so multi-model output never depends on
-       the job count. *)
-    let lint_one path =
-      match load_model path with
-      | Error msg -> Error msg
-      | Ok m ->
-        let design =
-          if no_hdl then None
-          else (Mda.Generate.hw_design m).Mda.Generate.design
-        in
-        let diags = Lint.Check.check ~selection ?design m in
-        let rendered =
-          match format with
-          | `Json -> Lint.Report.to_json ~model:(Uml.Model.name m) diags
-          | `Text -> Lint.Report.to_text ~model:(Uml.Model.name m) diags
-        in
-        Ok (rendered, Uml.Wfr.errors diags <> [])
-    in
-    with_jobs jobs @@ fun pool ->
-    let results = Exec.Pool.map_list pool lint_one paths in
-    let code = ref 0 in
-    List.iter
-      (fun result ->
-        match result with
-        | Error msg ->
-          prerr_endline msg;
-          code := 1
-        | Ok (rendered, has_errors) ->
-          print_string rendered;
-          if has_errors then code := 1)
-      results;
-    !code
+    Serve.Ops.lint sink ~format ~only ~disable ~no_hdl ~jobs
+      Serve.Ops.load_artifacts paths
   in
   let doc =
     "Run whole-model static analysis: embedded ASL behaviors, statechart \
@@ -247,21 +104,7 @@ let lint_cmd =
 let info_cmd =
   let run path =
     guarded @@ fun () ->
-    with_model path @@ fun m ->
-      Printf.printf "model %s: %d elements\n" (Uml.Model.name m)
-        (Uml.Model.size m);
-      let count label n = if n > 0 then Printf.printf "  %-16s %d\n" label n in
-      count "classifiers" (List.length (Uml.Model.classifiers m));
-      count "components" (List.length (Uml.Model.components m));
-      count "state machines" (List.length (Uml.Model.state_machines m));
-      count "activities" (List.length (Uml.Model.activities m));
-      count "interactions" (List.length (Uml.Model.interactions m));
-      count "use cases" (List.length (Uml.Model.use_cases m));
-      count "packages" (List.length (Uml.Model.packages m));
-      count "profiles" (List.length (Uml.Model.profiles m));
-      count "applications" (List.length (Uml.Model.applications m));
-      count "diagrams" (List.length (Uml.Model.diagrams m));
-      0
+    with_model path @@ Serve.Ops.info sink
   in
   let doc = "Summarize a model's contents." in
   Cmd.v (Cmd.info "info" ~doc) Term.(const run $ model_arg)
@@ -279,28 +122,7 @@ let language_arg =
 let gen_cmd =
   let run path lang =
     guarded @@ fun () ->
-    with_model path @@ fun m ->
-      let plat =
-        match lang with
-        | "vhdl" -> Mda.Platform.asic_vhdl
-        | "verilog" -> Mda.Platform.fpga_verilog
-        | "systemc" -> Mda.Platform.virtual_systemc
-        | _c -> Mda.Platform.sw_c
-      in
-      let psm, trace = Mda.Mapping.to_psm plat m in
-      Printf.printf "-- PSM %s (reuse %.0f%%)\n" (Uml.Model.name psm)
-        (100. *. Mda.Transform.reuse_fraction trace);
-      (match Mda.Generate.artifacts plat psm with
-       | [] ->
-         prerr_endline "no generatable content (no compilable state machines)";
-         1
-       | artifacts ->
-         List.iter
-           (fun (file, contents) ->
-             Printf.printf "-- %s (%d lines)\n%s\n" file
-               (Mda.Generate.loc contents) contents)
-           artifacts;
-         0)
+    with_model path @@ Serve.Ops.gen sink ~lang
   in
   let doc = "Run the PIM->PSM mapping and print the generated code." in
   Cmd.v (Cmd.info "gen" ~doc) Term.(const run $ model_arg $ language_arg)
@@ -319,86 +141,8 @@ let metrics_arg =
   let doc = "Collect telemetry and print the metrics report." in
   Arg.(value & flag & info [ "metrics" ] ~doc)
 
-let split_events events =
-  if events = "" then [] else String.split_on_char ',' events
-
-let choose_machine m machine =
-  let machines = Uml.Model.state_machines m in
-  match machine with
-  | Some name ->
-    List.find_opt (fun sm -> sm.Uml.Smachine.sm_name = name) machines
-  | None -> (
-    match machines with
-    | sm :: _rest -> Some sm
-    | [] -> None)
-
-(* Run the chosen state machine on the event list; when telemetry is
-   live, also run every activity of the model so one registry covers
-   the statechart, activity and ASL engines. *)
-let run_engines_exn ?(echo = false) reg m sm names =
-  let interp = Asl.Interp.create ~metrics:reg (Asl.Store.create ()) in
-  let engine = Statechart.Engine.create ~interp ~metrics:reg sm in
-  Statechart.Engine.start engine;
-  if echo then
-    Printf.printf "start: %s\n" (Statechart.Engine.signature engine);
-  List.iter
-    (fun ev ->
-      Statechart.Engine.dispatch engine (Statechart.Event.make ev);
-      if echo then
-        Printf.printf "%s: %s\n" ev (Statechart.Engine.signature engine))
-    names;
-  if Telemetry.Metrics.live reg then
-    List.iter
-      (fun act ->
-        let exec = Activity.Exec.create ~metrics:reg act in
-        ignore (Activity.Exec.run ~seed:1 exec))
-      (Uml.Model.activities m)
-
-(* Model-level failures (bad ASL in a guard or effect, broken topology)
-   are user errors, not crashes: print the diagnostic, exit nonzero. *)
-let run_engines ?echo reg m sm names =
-  match run_engines_exn ?echo reg m sm names with
-  | () -> true
-  | exception Statechart.Engine.Model_error msg ->
-    prerr_endline msg;
-    false
-
-(* --rtl path: compile the machine to a synthesizable FSM and run the
-   event sequence as single-cycle strobes on the compiled
-   discrete-event engine, echoing the state register after each edge
-   in the same format as the statechart path. *)
-let run_rtl_exn reg sm names =
-  match Statechart.Flatten.flatten sm with
-  | Error reason ->
-    prerr_endline reason;
-    false
-  | Ok flat -> (
-    match Codegen.Fsm_compile.compile flat with
-    | Error reason ->
-      prerr_endline reason;
-      false
-    | Ok hmod ->
-      let sim = Dsim.Fast.create ~metrics:reg hmod in
-      Dsim.Fast.set_input sim "rst" 1;
-      Dsim.Fast.clock_edge sim "clk";
-      Dsim.Fast.set_input sim "rst" 0;
-      Printf.printf "start: %s\n" (Dsim.Fast.get_enum sim "state");
-      List.iter
-        (fun ev ->
-          let port = Codegen.Fsm_compile.event_input ev in
-          Dsim.Fast.set_input sim port 1;
-          Dsim.Fast.clock_edge sim "clk";
-          Dsim.Fast.set_input sim port 0;
-          Printf.printf "%s: %s\n" ev (Dsim.Fast.get_enum sim "state"))
-        names;
-      true)
-
-let run_rtl reg sm names =
-  match run_rtl_exn reg sm names with
-  | ok -> ok
-  | exception Dsim.Sim.Simulation_error msg ->
-    prerr_endline msg;
-    false
+let metrics_reg metrics =
+  if metrics then Some (Telemetry.Metrics.create ()) else None
 
 let rtl_arg =
   let doc =
@@ -410,23 +154,9 @@ let rtl_arg =
 let simulate_cmd =
   let run path machine events metrics rtl =
     guarded @@ fun () ->
-    with_model path @@ fun m ->
-    (match choose_machine m machine with
-      | None ->
-        prerr_endline "no such state machine in the model";
-        1
-      | Some sm ->
-        let reg =
-          if metrics then Telemetry.Metrics.create ()
-          else Telemetry.Metrics.null
-        in
-        let names = split_events events in
-        let ok =
-          if rtl then run_rtl reg sm names
-          else run_engines ~echo:true reg m sm names
-        in
-        if metrics then print_string (Telemetry.Metrics.report reg);
-        if ok then 0 else 1)
+    with_model path
+    @@ Serve.Ops.simulate sink ~machine ~events ~metrics:(metrics_reg metrics)
+         ~rtl
   in
   let doc =
     "Execute a state machine of the model on an event sequence, either \
@@ -442,21 +172,7 @@ let simulate_cmd =
 let trace_cmd =
   let run path machine events =
     guarded @@ fun () ->
-    with_model path @@ fun m ->
-    (match choose_machine m machine with
-      | None ->
-        prerr_endline "no such state machine in the model";
-        1
-      | Some sm ->
-        let reg = Telemetry.Metrics.create () in
-        let ok = run_engines reg m sm (split_events events) in
-        let events = Telemetry.Metrics.events reg in
-        List.iter
-          (fun ev -> print_endline (Telemetry.Metrics.render_event ev))
-          events;
-        Printf.printf "%d events recorded, %d dropped\n" (List.length events)
-          (Telemetry.Metrics.events_dropped reg);
-        if ok then 0 else 1)
+    with_model path @@ Serve.Ops.trace sink ~machine ~events
   in
   let doc =
     "Run a state machine (and the model's activities) like simulate, \
@@ -474,36 +190,7 @@ let budget_arg =
 let partition_cmd =
   let run path budget =
     guarded @@ fun () ->
-    with_model path @@ fun m ->
-    (match Uml.Model.activities m with
-      | [] ->
-        prerr_endline "no activity in the model";
-        1
-      | act :: _rest ->
-        let g = Hwsw.Taskgraph.of_activity act in
-        let greedy = Hwsw.Partition.greedy ~budget g in
-        let improved = Hwsw.Partition.improve ~budget g in
-        let all_sw =
-          (Hwsw.Schedule.run g (Hwsw.Schedule.all_sw g)).Hwsw.Schedule.makespan
-        in
-        Printf.printf "activity %s: %d tasks, all-SW makespan %d\n"
-          act.Uml.Activityg.ac_name
-          (List.length g.Hwsw.Taskgraph.tasks)
-          all_sw;
-        Printf.printf "greedy:   makespan %d, area %d (%d evals)\n"
-          greedy.Hwsw.Partition.cost greedy.Hwsw.Partition.area
-          greedy.Hwsw.Partition.evaluations;
-        Printf.printf "improved: makespan %d, area %d (%d evals)\n"
-          improved.Hwsw.Partition.cost improved.Hwsw.Partition.area
-          improved.Hwsw.Partition.evaluations;
-        List.iter
-          (fun (task, side) ->
-            Printf.printf "  %-12s %s\n" task
-              (match side with
-               | Hwsw.Schedule.Hw -> "HW"
-               | Hwsw.Schedule.Sw -> "SW"))
-          improved.Hwsw.Partition.assignment;
-        0)
+    with_model path @@ Serve.Ops.partition sink ~budget
   in
   let doc = "Extract a task graph from the model's first activity and partition it." in
   Cmd.v (Cmd.info "partition" ~doc) Term.(const run $ model_arg $ budget_arg)
@@ -582,66 +269,8 @@ let demo_cmd =
 let analyze_cmd =
   let run path metrics only disable jobs =
     guarded @@ fun () ->
-    let selection = selection_of only disable in
-    match reject_unknown_selectors selection with
-    | Error msg ->
-      prerr_endline msg;
-      1
-    | Ok () ->
-    with_model path @@ fun m ->
-    (match Uml.Model.activities m with
-      | [] ->
-        prerr_endline "no activity in the model";
-        1
-      | activities ->
-        with_jobs jobs @@ fun pool ->
-        let reg =
-          if metrics then Telemetry.Metrics.create ()
-          else Telemetry.Metrics.null
-        in
-        List.iter
-          (fun act ->
-            Printf.printf "activity %s:\n" act.Uml.Activityg.ac_name;
-            let net, m0 = Activity.Translate.to_petri act in
-            Printf.printf "  net: %d places, %d transitions\n"
-              (Petri.Net.place_count net)
-              (Petri.Net.transition_count net);
-            (match Petri.Coverability.is_bounded net m0 with
-             | Some true -> print_endline "  bounded: yes"
-             | Some false ->
-               let r = Petri.Coverability.analyse net m0 in
-               Printf.printf "  bounded: NO (unbounded places: %s)\n"
-                 (String.concat ", " r.Petri.Coverability.unbounded_places)
-             | None -> print_endline "  bounded: unknown (limit reached)");
-            let r =
-              Petri.Analysis.reachable ~limit:5000 ~metrics:reg ~pool net m0
-            in
-            Printf.printf "  reachable markings: %d%s, deadlocks: %d\n"
-              r.Petri.Analysis.state_count
-              (if r.Petri.Analysis.truncated then "+" else "")
-              (List.length r.Petri.Analysis.deadlocks);
-            let invariants = Petri.Invariant.p_invariants net in
-            Printf.printf "  P-invariants: %d\n" (List.length invariants);
-            (* dead-transition verdicts are only meaningful when the
-               state space was fully explored *)
-            if not r.Petri.Analysis.truncated then begin
-              let dead =
-                Petri.Analysis.dead_transitions ~limit:5000 ~pool net m0
-              in
-              if dead <> [] then
-                Printf.printf "  dead transitions: %s\n"
-                  (String.concat ", " dead)
-            end)
-          activities;
-        let lint = Lint.Check.check_model ~selection ~metrics:reg m in
-        if lint <> [] then begin
-          print_endline "lint:";
-          List.iter
-            (fun d -> Printf.printf "  %s\n" (Uml.Wfr.to_string d))
-            lint
-        end;
-        if metrics then print_string (Telemetry.Metrics.report reg);
-        0)
+    Serve.Ops.analyze sink ~metrics:(metrics_reg metrics) ~only ~disable
+      ~jobs Serve.Ops.load_artifacts path
   in
   let doc =
     "Translate the model's activities to Petri nets and analyze them \
@@ -654,47 +283,6 @@ let analyze_cmd =
 
 (* --- inject ------------------------------------------------------------ *)
 
-(* The signal-trigger alphabet of a machine, sorted and deduplicated —
-   the stimulus events a fault campaign perturbs. *)
-let machine_event_alphabet (sm : Uml.Smachine.t) =
-  let rec region_events (r : Uml.Smachine.region) =
-    List.concat_map
-      (fun (tr : Uml.Smachine.transition) ->
-        List.filter_map
-          (fun trg ->
-            match trg with
-            | Uml.Smachine.Signal_trigger name -> Some name
-            | Uml.Smachine.Time_trigger _ | Uml.Smachine.Any_trigger
-            | Uml.Smachine.Completion ->
-              None)
-          tr.Uml.Smachine.tr_triggers)
-      r.Uml.Smachine.rg_transitions
-    @ List.concat_map
-        (fun v ->
-          match v with
-          | Uml.Smachine.State s ->
-            List.concat_map region_events s.Uml.Smachine.st_regions
-          | Uml.Smachine.Pseudo _ | Uml.Smachine.Final _ -> [])
-        r.Uml.Smachine.rg_vertices
-  in
-  List.sort_uniq String.compare
-    (List.concat_map region_events sm.Uml.Smachine.sm_regions)
-
-(* Fault targets of a flat RTL module: every port and signal except the
-   clock and reset, with bit widths for bit-flip positions. *)
-let rtl_fault_surface (hmod : Hdl.Module_.t) =
-  let keep name = name <> "clk" && name <> "rst" in
-  List.filter_map
-    (fun (p : Hdl.Module_.port) ->
-      if keep p.Hdl.Module_.port_name then
-        Some (p.Hdl.Module_.port_name, Hdl.Htype.width p.Hdl.Module_.port_type)
-      else None)
-    hmod.Hdl.Module_.mod_ports
-  @ List.map
-      (fun (s : Hdl.Module_.signal) ->
-        (s.Hdl.Module_.sig_name, Hdl.Htype.width s.Hdl.Module_.sig_type))
-      hmod.Hdl.Module_.mod_signals
-
 let seed_arg =
   let doc = "Campaign seed (fault plan and run choices derive from it)." in
   Arg.(value & opt int 1 & info [ "seed" ] ~docv:"SEED" ~doc)
@@ -706,136 +294,9 @@ let faults_arg =
 let inject_cmd =
   let run path machine seed faults format metrics jobs =
     guarded @@ fun () ->
-    with_model path @@ fun m ->
-      if faults < 0 then begin
-        prerr_endline "--faults must be non-negative";
-        1
-      end
-      else begin
-        with_jobs jobs @@ fun pool ->
-        let reg =
-          if metrics then Telemetry.Metrics.create ()
-          else Telemetry.Metrics.null
-        in
-        let stimulus_length = 16 in
-        (* statechart + RTL domains from the chosen state machine *)
-        let sm =
-          match choose_machine m machine with
-          | Some sm when machine_event_alphabet sm <> [] -> Some sm
-          | Some _ | None -> None
-        in
-        let alphabet =
-          match sm with
-          | Some sm -> machine_event_alphabet sm
-          | None -> []
-        in
-        let events =
-          match alphabet with
-          | [] -> []
-          | alphabet ->
-            let rng = Workload.Prng.create (seed lxor 0x5bd1) in
-            List.init stimulus_length (fun _i ->
-                Workload.Prng.pick rng alphabet)
-        in
-        let sc_spec =
-          Option.map
-            (fun sm ->
-              {
-                Fault.Campaign.ss_machine = sm;
-                ss_events = events;
-                ss_budget = 1000;
-              })
-            sm
-        in
-        let rtl_spec =
-          Option.bind sm (fun sm ->
-              match Statechart.Flatten.flatten sm with
-              | Error _reason -> None
-              | Ok flat -> (
-                match Codegen.Fsm_compile.compile flat with
-                | Error _reason -> None
-                | Ok hmod ->
-                  (* one single-cycle strobe per stimulus event: clear
-                     the previous strobe, raise the current one *)
-                  let stimulus =
-                    List.mapi
-                      (fun i ev ->
-                        let clear =
-                          if i = 0 then []
-                          else
-                            [
-                              ( Codegen.Fsm_compile.event_input
-                                  (List.nth events (i - 1)),
-                                0 );
-                            ]
-                        in
-                        ( i,
-                          clear
-                          @ [ (Codegen.Fsm_compile.event_input ev, 1) ] ))
-                      events
-                  in
-                  Some
-                    {
-                      Fault.Campaign.rs_module = hmod;
-                      rs_clock = "clk";
-                      rs_reset = Some "rst";
-                      rs_stimulus = stimulus;
-                      rs_cycles = stimulus_length;
-                      rs_settle_budget = 1000;
-                    }))
-        in
-        (* token domain from the first activity *)
-        let act_spec, net_spec =
-          match Uml.Model.activities m with
-          | [] -> (None, None)
-          | act :: _rest ->
-            let net, m0 = Activity.Translate.to_petri act in
-            ( Some
-                {
-                  Fault.Campaign.ac_activity = act;
-                  ac_choice_seed = seed;
-                  ac_max_steps = 10_000;
-                },
-              Some
-                {
-                  Fault.Campaign.np_net = net;
-                  np_marking = m0;
-                  np_choice_seed = seed;
-                  np_max_steps = 10_000;
-                } )
-        in
-        let surface =
-          {
-            Fault.Plan.su_signals =
-              (match rtl_spec with
-               | Some spec ->
-                 rtl_fault_surface spec.Fault.Campaign.rs_module
-               | None -> []);
-            su_cycles = stimulus_length;
-            su_events = alphabet;
-            su_length = stimulus_length;
-            su_places =
-              (match net_spec with
-               | Some spec ->
-                 List.map
-                   (fun (p : Petri.Net.place) -> p.Petri.Net.pl_id)
-                   spec.Fault.Campaign.np_net.Petri.Net.places
-               | None -> []);
-            su_steps = 32;
-          }
-        in
-        let plan = Fault.Plan.generate ~seed ~count:faults surface in
-        let report =
-          Fault.Campaign.run ~metrics:reg ~pool ?rtl:rtl_spec
-            ?statechart:sc_spec ?activity:act_spec ?net:net_spec
-            ~label:(Uml.Model.name m) plan
-        in
-        (match format with
-         | `Text -> print_string (Fault.Campaign.to_text report)
-         | `Json -> print_string (Fault.Campaign.to_json report));
-        if metrics then print_string (Telemetry.Metrics.report reg);
-        0
-      end
+    with_model path
+    @@ Serve.Ops.inject sink ~machine ~seed ~faults ~format
+         ~metrics:(metrics_reg metrics) ~jobs
   in
   let doc =
     "Run a deterministic fault-injection campaign against the model: a \
@@ -862,22 +323,7 @@ let pack_out_arg =
 let pack_cmd =
   let run path out =
     guarded @@ fun () ->
-    with_model path @@ fun m ->
-    let out =
-      match out with
-      | Some out -> out
-      | None -> Filename.remove_extension path ^ ".sumb"
-    in
-    let data = Snap.Write.to_string m in
-    let oc = open_out_bin out in
-    (match output_string oc data with
-     | () -> close_out oc
-     | exception e ->
-       close_out_noerr oc;
-       raise e);
-    Printf.printf "wrote %s (%d bytes, %d elements)\n" out
-      (String.length data) (Uml.Model.size m);
-    0
+    with_model path @@ Serve.Ops.pack sink ~out ~path
   in
   let doc =
     "Pack a model into the versioned binary snapshot format \
@@ -902,13 +348,82 @@ let rules_cmd =
   in
   Cmd.v (Cmd.info "rules" ~doc) Term.(const run $ format_arg)
 
+(* --- serve ------------------------------------------------------------- *)
+
+let socket_arg =
+  let doc =
+    "Listen on a Unix-domain socket at $(docv) instead of serving \
+     stdin/stdout (one connection at a time; a $(b,quit) request stops \
+     the daemon)."
+  in
+  Arg.(value & opt (some string) None & info [ "socket" ] ~docv:"PATH" ~doc)
+
+let cache_entries_arg =
+  let doc = "Maximum number of models resident in the artifact cache." in
+  Arg.(value & opt int 64 & info [ "cache-entries" ] ~docv:"N" ~doc)
+
+let cache_bytes_arg =
+  let doc =
+    "Byte budget for the artifact cache (entries are charged their \
+     source-file size)."
+  in
+  Arg.(
+    value
+    & opt int (256 * 1024 * 1024)
+    & info [ "cache-bytes" ] ~docv:"BYTES" ~doc)
+
+let cache_dir_arg =
+  let doc =
+    "Persist cache entries as $(b,.sumb) snapshots under $(docv) (created \
+     if missing) and refill from them on later misses — a restarted \
+     daemon warms up without re-parsing XMI."
+  in
+  Arg.(value & opt (some string) None & info [ "cache-dir" ] ~docv:"DIR" ~doc)
+
+let asl_memo_cap_arg =
+  let doc =
+    "Cap the process-global ASL compilation memo at $(docv) entries per \
+     table (least-recently-used eviction; default 4096)."
+  in
+  Arg.(
+    value & opt (some int) None & info [ "asl-memo-cap" ] ~docv:"N" ~doc)
+
+let serve_cmd =
+  let run socket cache_entries cache_bytes cache_dir asl_cap =
+    guarded @@ fun () ->
+    (match asl_cap with
+     | Some cap -> Asl.Compiled.set_memo_cap cap
+     | None -> ());
+    let daemon =
+      Serve.Daemon.create ~max_entries:cache_entries ~max_bytes:cache_bytes
+        ?persist_dir:cache_dir ()
+    in
+    (match socket with
+     | Some path -> Serve.Daemon.serve_socket daemon path
+     | None -> Serve.Daemon.serve_channel daemon stdin stdout);
+    0
+  in
+  let doc =
+    "Run a persistent daemon: newline-delimited JSON requests mirroring \
+     the subcommands (one response line per request, output \
+     byte-identical to the one-shot CLI), with a content-hash LRU cache \
+     of loaded models and their compiled artifacts so repeated requests \
+     skip the load and lowering entirely.  See DESIGN.md for the \
+     protocol."
+  in
+  Cmd.v (Cmd.info "serve" ~doc)
+    Term.(
+      const run $ socket_arg $ cache_entries_arg $ cache_bytes_arg
+      $ cache_dir_arg $ asl_memo_cap_arg)
+
 let main =
   let doc = "UML 2.0 modeling and MDA toolchain for SoC design" in
   Cmd.group
     (Cmd.info "socuml" ~version:"1.0.0" ~doc)
     [
       validate_cmd; lint_cmd; info_cmd; gen_cmd; simulate_cmd; trace_cmd;
-      partition_cmd; analyze_cmd; inject_cmd; pack_cmd; rules_cmd; demo_cmd;
+      partition_cmd; analyze_cmd; inject_cmd; pack_cmd; rules_cmd; serve_cmd;
+      demo_cmd;
     ]
 
 let () = exit (Cmd.eval' main)

@@ -12,7 +12,14 @@
     compile/warm-up time, exactly as the parse-per-eval scheme only
     surfaced errors on evaluation.  {!Interp.eval_guard_compiled} and
     {!Interp.run_compiled} raise [Interp.Runtime_error] when handed a
-    captured error. *)
+    captured error.
+
+    Both memo tables are bounded LRU caches (default cap 4096 entries
+    each, see {!set_memo_cap}): a long-running process — notably the
+    [socuml serve] daemon — can stream arbitrarily many distinct
+    behaviors through the parser without unbounded growth.  Eviction
+    never changes a result (compiled values are pure functions of the
+    source text); it only costs a re-parse on the next miss. *)
 
 type guard
 (** A compiled boolean guard expression (or its captured parse error). *)
@@ -22,7 +29,7 @@ type program
 
 val guard : string -> guard
 (** Memoized [Parser.parse_expression]: physically the same compiled
-    value for the same source string. *)
+    value for the same source string while the entry stays resident. *)
 
 val program : string -> program
 (** Memoized [Parser.parse_program]. *)
@@ -32,8 +39,29 @@ val guard_result : guard -> (Ast.expr, string) result
 
 val program_result : program -> (Ast.program, string) result
 
-val memo_stats : unit -> int * int
-(** [(guards, programs)] currently memoized — for tests and benches. *)
+(** Lifetime statistics of the memo tables (monotonic counters are
+    process-global, never reset by eviction or {!clear_memo}). *)
+type stats = {
+  st_guards : int;  (** guard entries currently resident *)
+  st_programs : int;  (** program entries currently resident *)
+  st_cap : int;  (** per-table entry cap *)
+  st_hits : int;
+  st_misses : int;
+  st_evictions : int;
+}
+
+val memo_stats : unit -> stats
+(** Current residency, cap and lifetime hit/miss/eviction counts — for
+    tests, benches and the [socuml serve] stats endpoint. *)
+
+val memo_cap : unit -> int
+(** The per-table entry cap currently in force. *)
+
+val set_memo_cap : int -> unit
+(** Change the per-table entry cap (evicting immediately when a table
+    is over the new cap).
+    @raise Invalid_argument when the cap is below 1. *)
 
 val clear_memo : unit -> unit
-(** Drop both memo tables (benchmark cold-start measurements). *)
+(** Drop both memo tables (benchmark cold-start measurements).  The
+    lifetime counters are preserved. *)

@@ -118,9 +118,8 @@ let settle t =
   | Some order -> settle_levelized t order
   | None -> settle_worklist t
 
-let create ?(metrics = Telemetry.Metrics.null) ?(settle_budget = 1000) m =
+let of_netlist ?(metrics = Telemetry.Metrics.null) ?(settle_budget = 1000) nl =
   if settle_budget <= 0 then invalid_arg "Fast.create: settle_budget <= 0";
-  let nl = Netlist.compile m in
   let n = Array.length nl.Netlist.nl_names in
   let ncomb = Array.length nl.Netlist.nl_comb in
   let s_signals =
@@ -149,6 +148,9 @@ let create ?(metrics = Telemetry.Metrics.null) ?(settle_budget = 1000) m =
   in
   settle t;
   t
+
+let create ?metrics ?settle_budget m =
+  of_netlist ?metrics ?settle_budget (Netlist.compile m)
 
 let module_of t = t.nl.Netlist.nl_module
 

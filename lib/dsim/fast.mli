@@ -49,6 +49,17 @@ val create :
     a combinational loop prevents settling within the budget.
     @raise Invalid_argument when [settle_budget <= 0]. *)
 
+val of_netlist :
+  ?metrics:Telemetry.Metrics.t -> ?settle_budget:int -> Netlist.t -> t
+(** {!create} from an already-compiled netlist, skipping the lowering
+    entirely — the warm path of the [socuml serve] artifact cache.  The
+    netlist is shared, never mutated: simulator state lives in a
+    private copy of the value array, so any number of simulators can
+    run over one compiled netlist.
+    @raise Sim.Simulation_error when a combinational loop prevents the
+    initial settle within the budget.
+    @raise Invalid_argument when [settle_budget <= 0]. *)
+
 val module_of : t -> Hdl.Module_.t
 
 val get : t -> string -> int

@@ -27,6 +27,7 @@ val explore :
   ?limit:int ->
   ?metrics:Telemetry.Metrics.t ->
   ?pool:Exec.Pool.t ->
+  ?compiled:Compiled.t ->
   Net.t ->
   Marking.t ->
   summary
@@ -36,12 +37,16 @@ val explore :
     dead transitions should call this once instead of one query
     function per answer.  [metrics] receives the
     [petri.markings_explored] counter.  [pool] shards BFS levels across
-    domains with byte-identical results (see {!Compiled.reachable}). *)
+    domains with byte-identical results (see {!Compiled.reachable}).
+    [compiled] supplies a pre-interned form of [net] (it must be
+    [Compiled.of_net net] for the same net), skipping the interning
+    step — the warm path of the [socuml serve] artifact cache. *)
 
 val reachable :
   ?limit:int ->
   ?metrics:Telemetry.Metrics.t ->
   ?pool:Exec.Pool.t ->
+  ?compiled:Compiled.t ->
   Net.t ->
   Marking.t ->
   reach_result
@@ -74,6 +79,11 @@ val random_occurrence_sequence :
     [max_steps] were taken. *)
 
 val dead_transitions :
-  ?limit:int -> ?pool:Exec.Pool.t -> Net.t -> Marking.t -> string list
+  ?limit:int ->
+  ?pool:Exec.Pool.t ->
+  ?compiled:Compiled.t ->
+  Net.t ->
+  Marking.t ->
+  string list
 (** Transitions never enabled in the explored state space (L0-live
     check); conservative when truncated. *)

@@ -1,0 +1,202 @@
+type state =
+  | Hit
+  | Snap
+  | Miss
+
+let state_name s =
+  match s with
+  | Hit -> "hit"
+  | Snap -> "snap"
+  | Miss -> "miss"
+
+type entry = {
+  e_artifacts : Artifacts.t;
+  e_charge : int;
+  mutable e_stamp : int;
+}
+
+type stats = {
+  cs_entries : int;
+  cs_bytes : int;
+  cs_max_entries : int;
+  cs_max_bytes : int;
+  cs_hits : int;
+  cs_misses : int;
+  cs_snap_refills : int;
+  cs_evictions : int;
+  cs_persisted : int;
+}
+
+type t = {
+  lock : Mutex.t;
+  table : (string, entry) Hashtbl.t;
+  max_entries : int;
+  max_bytes : int;
+  persist_dir : string option;
+  mutable bytes : int;
+  mutable tick : int;
+  mutable hits : int;
+  mutable misses : int;
+  mutable snap_refills : int;
+  mutable evictions : int;
+  mutable persisted : int;
+}
+
+let locked t f =
+  Mutex.lock t.lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.lock) f
+
+let create ?(max_entries = 64) ?(max_bytes = 256 * 1024 * 1024) ?persist_dir
+    () =
+  if max_entries < 1 then invalid_arg "Serve.Cache.create: max_entries < 1";
+  if max_bytes < 1 then invalid_arg "Serve.Cache.create: max_bytes < 1";
+  (match persist_dir with
+   | Some dir when not (Sys.file_exists dir) -> Sys.mkdir dir 0o755
+   | Some _ | None -> ());
+  {
+    lock = Mutex.create ();
+    table = Hashtbl.create 64;
+    max_entries;
+    max_bytes;
+    persist_dir;
+    bytes = 0;
+    tick = 0;
+    hits = 0;
+    misses = 0;
+    snap_refills = 0;
+    evictions = 0;
+    persisted = 0;
+  }
+
+let next_stamp t =
+  t.tick <- t.tick + 1;
+  t.tick
+
+(* Evict least-recently-used entries until both bounds hold, but never
+   the entry inserted by the current lookup — one oversized model must
+   still be servable from cache. *)
+let enforce_bounds t ~keep =
+  let over () =
+    Hashtbl.length t.table > t.max_entries || t.bytes > t.max_bytes
+  in
+  let rec loop () =
+    if over () && Hashtbl.length t.table > 1 then begin
+      let victim = ref None in
+      Hashtbl.iter
+        (fun key e ->
+          if key <> keep then
+            match !victim with
+            | Some (_, stamp) when stamp <= e.e_stamp -> ()
+            | Some _ | None -> victim := Some (key, e.e_stamp))
+        t.table;
+      match !victim with
+      | Some (key, _stamp) ->
+        (match Hashtbl.find_opt t.table key with
+         | Some e -> t.bytes <- t.bytes - e.e_charge
+         | None -> ());
+        Hashtbl.remove t.table key;
+        t.evictions <- t.evictions + 1;
+        loop ()
+      | None -> () (* only the protected entry remains *)
+    end
+  in
+  loop ()
+
+let snap_path dir key = Filename.concat dir (key ^ ".sumb")
+
+(* A persisted snapshot is an optimization, never a correctness input:
+   any failure to read or decode it silently falls back to the source
+   bytes. *)
+let try_refill t key =
+  match t.persist_dir with
+  | None -> None
+  | Some dir -> (
+    let path = snap_path dir key in
+    if not (Sys.file_exists path) then None
+    else
+      match Load.read_file_bytes path with
+      | exception _ -> None
+      | data -> (
+        match Snap.Read.model_of_string data with
+        | m -> Some m
+        | exception _ -> None))
+
+(* Write-through persistence, atomic against concurrent readers: write
+   to a dotfile sibling and rename into place.  Failures (full disk,
+   read-only dir) are swallowed — the cache must never turn a healthy
+   request into an error. *)
+let persist t key model =
+  match t.persist_dir with
+  | None -> ()
+  | Some dir ->
+    let path = snap_path dir key in
+    if not (Sys.file_exists path) then begin
+      match
+        let tmp = Filename.concat dir ("." ^ key ^ ".tmp") in
+        let oc = open_out_bin tmp in
+        (match output_string oc (Snap.Write.to_string model) with
+         | () -> close_out oc
+         | exception e ->
+           close_out_noerr oc;
+           raise e);
+        Sys.rename tmp path
+      with
+      | () -> t.persisted <- t.persisted + 1
+      | exception _ -> ()
+    end
+
+let load t path =
+  match Load.read_bytes path with
+  | Error msg -> Error msg
+  | Ok data ->
+    let key = Digest.to_hex (Digest.string data) in
+    locked t (fun () ->
+        match Hashtbl.find_opt t.table key with
+        | Some e ->
+          e.e_stamp <- next_stamp t;
+          t.hits <- t.hits + 1;
+          Ok (e.e_artifacts, key, Hit)
+        | None ->
+          t.misses <- t.misses + 1;
+          let refilled = try_refill t key in
+          let state, model_result =
+            match refilled with
+            | Some m ->
+              t.snap_refills <- t.snap_refills + 1;
+              (Snap, Ok m)
+            | None -> (Miss, Load.model_of_bytes ~path data)
+          in
+          (match model_result with
+           | Error msg -> Error msg
+           | Ok model ->
+             let art = Artifacts.of_model model in
+             let e =
+               {
+                 e_artifacts = art;
+                 e_charge = String.length data;
+                 e_stamp = next_stamp t;
+               }
+             in
+             Hashtbl.add t.table key e;
+             t.bytes <- t.bytes + e.e_charge;
+             enforce_bounds t ~keep:key;
+             (* parsed from XMI: persist the packed form so the next
+                process (or the next post-eviction miss) refills via
+                the fast loader *)
+             if state = Miss && not (Snap.Read.is_snapshot data) then
+               persist t key model;
+             Ok (art, key, state)))
+
+let stats t =
+  locked t (fun () ->
+      {
+        cs_entries = Hashtbl.length t.table;
+        cs_bytes = t.bytes;
+        cs_max_entries = t.max_entries;
+        cs_max_bytes = t.max_bytes;
+        cs_hits = t.hits;
+        cs_misses = t.misses;
+        cs_snap_refills = t.snap_refills;
+        cs_evictions = t.evictions;
+        cs_persisted = t.persisted;
+      })

@@ -1,0 +1,60 @@
+(** Content-hash-keyed LRU cache of loaded models and their derived
+    artifacts — the heart of [socuml serve].
+
+    A lookup reads the file's bytes (cheap), hashes them, and returns
+    the resident {!Artifacts.t} on a hit — the parse and every memoized
+    lowering are skipped.  Keys are content digests, not paths: the
+    same model bytes at two paths share one entry, and editing a file
+    changes its key (stale entries age out by LRU, they are never
+    served).
+
+    Capacity is bounded twice: a maximum entry count and a byte budget,
+    where an entry is charged its source-file size (the observable,
+    reproducible proxy for the retained graph).  Inserting past either
+    bound evicts least-recently-used entries; the newest entry is never
+    evicted, so a single oversized model still caches.
+
+    With a persist directory, every entry parsed from XMI is also
+    written as [<key>.sumb]; a later process (or a later miss after
+    eviction) finds the snapshot by key and refills via the fast binary
+    loader instead of re-parsing XMI — the daemon restarts warm.
+    Corrupt or unreadable persisted snapshots are ignored (the source
+    file is authoritative).
+
+    All operations are domain-safe behind one lock. *)
+
+type t
+
+(** How a lookup was satisfied. *)
+type state =
+  | Hit  (** resident in memory *)
+  | Snap  (** miss, refilled from a persisted [<key>.sumb] snapshot *)
+  | Miss  (** miss, parsed from the source bytes *)
+
+val state_name : state -> string
+(** ["hit"], ["snap"], ["miss"] — the protocol's wire spelling. *)
+
+type stats = {
+  cs_entries : int;
+  cs_bytes : int;  (** sum of resident entry charges *)
+  cs_max_entries : int;
+  cs_max_bytes : int;
+  cs_hits : int;
+  cs_misses : int;  (** includes snapshot refills *)
+  cs_snap_refills : int;
+  cs_evictions : int;
+  cs_persisted : int;  (** snapshots written to the persist dir *)
+}
+
+val create : ?max_entries:int -> ?max_bytes:int -> ?persist_dir:string ->
+  unit -> t
+(** [max_entries] defaults to 64, [max_bytes] to 256 MiB.  When
+    [persist_dir] is given it is created if missing.
+    @raise Invalid_argument when a bound is below 1. *)
+
+val load : t -> string -> (Artifacts.t * string * state, string) result
+(** [load t path] returns the artifacts, the content key (hex digest of
+    the file bytes) and how the lookup was satisfied.  [Error] carries
+    the standard one-line {!Load} diagnostic. *)
+
+val stats : t -> stats

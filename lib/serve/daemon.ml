@@ -1,0 +1,529 @@
+type t = {
+  cache : Cache.t;
+  registry : Telemetry.Metrics.t;
+  mutable requests : int;
+  mutable protocol_errors : int;
+}
+
+let create ?max_entries ?max_bytes ?persist_dir () =
+  {
+    cache = Cache.create ?max_entries ?max_bytes ?persist_dir ();
+    registry = Telemetry.Metrics.create ();
+    requests = 0;
+    protocol_errors = 0;
+  }
+
+let max_line_bytes = 1024 * 1024
+
+(* --- request decoding ------------------------------------------------- *)
+
+let ( let* ) = Result.bind
+
+(* A typo'd field would otherwise be silently ignored and the request
+   would run with a default the user never asked for — reject it. *)
+let check_fields ~op ~allowed members =
+  let rec loop ms =
+    match ms with
+    | [] -> Ok ()
+    | (key, _) :: rest ->
+      if List.mem key allowed then loop rest
+      else Error (Printf.sprintf "unknown field %S for op %S" key op)
+  in
+  loop members
+
+let req_str obj key =
+  match Json.member key obj with
+  | None -> Error (Printf.sprintf "missing %S field" key)
+  | Some v -> (
+    match Json.to_str v with
+    | Some s -> Ok s
+    | None -> Error (Printf.sprintf "field %S must be a string" key))
+
+let opt_str obj key =
+  match Json.member key obj with
+  | None -> Ok None
+  | Some v -> (
+    match Json.to_str v with
+    | Some s -> Ok (Some s)
+    | None -> Error (Printf.sprintf "field %S must be a string" key))
+
+let str_field obj key ~default =
+  let* v = opt_str obj key in
+  Ok (Option.value v ~default)
+
+let int_field obj key ~default =
+  match Json.member key obj with
+  | None -> Ok default
+  | Some v -> (
+    match Json.to_int v with
+    | Some n -> Ok n
+    | None -> Error (Printf.sprintf "field %S must be an integer" key))
+
+let bool_field obj key ~default =
+  match Json.member key obj with
+  | None -> Ok default
+  | Some v -> (
+    match Json.to_bool v with
+    | Some b -> Ok b
+    | None -> Error (Printf.sprintf "field %S must be a boolean" key))
+
+let list_field obj key =
+  match Json.member key obj with
+  | None -> Ok []
+  | Some v -> (
+    match Json.str_list v with
+    | Some l -> Ok l
+    | None -> Error (Printf.sprintf "field %S must be a list of strings" key))
+
+let format_field obj =
+  let* s = str_field obj "format" ~default:"text" in
+  match s with
+  | "text" -> Ok `Text
+  | "json" -> Ok `Json
+  | other ->
+    Error
+      (Printf.sprintf "field \"format\" must be \"text\" or \"json\" (got %S)"
+         other)
+
+let lang_field obj =
+  let* lang = req_str obj "lang" in
+  match lang with
+  | "vhdl" | "verilog" | "systemc" | "c" -> Ok lang
+  | other ->
+    Error
+      (Printf.sprintf
+         "field \"lang\" must be one of vhdl, verilog, systemc, c (got %S)"
+         other)
+
+(* [lint] takes either ["models"] (a list) or ["model"]; every other
+   model op takes ["model"]. *)
+let models_field obj =
+  let* single = opt_str obj "model" in
+  let* many =
+    match Json.member "models" obj with
+    | None -> Ok None
+    | Some v -> (
+      match Json.str_list v with
+      | Some l -> Ok (Some l)
+      | None -> Error "field \"models\" must be a list of strings")
+  in
+  match (single, many) with
+  | Some _, Some _ -> Error "give either \"model\" or \"models\", not both"
+  | Some m, None -> Ok [ m ]
+  | None, Some [] -> Error "field \"models\" must not be empty"
+  | None, Some l -> Ok l
+  | None, None -> Error "missing \"model\" field"
+
+let id_of obj =
+  match Json.member "id" obj with
+  | None -> Ok None
+  | Some (Json.Int _ as v) -> Ok (Some v)
+  | Some (Json.Str _ as v) -> Ok (Some v)
+  | Some (Json.Null | Json.Bool _ | Json.Float _ | Json.List _ | Json.Obj _)
+    ->
+    Error "field \"id\" must be a string or integer"
+
+(* --- op execution ----------------------------------------------------- *)
+
+type outcome = {
+  oc_op : string;
+  oc_exit : int;
+  oc_cache : (string * string * Cache.state) list;
+  oc_output : string;
+  oc_error : string;
+}
+
+type action =
+  | Ran of outcome
+  | Stats
+  | Quit
+
+(* Run one op body with buffer sinks.  Model paths are pre-resolved
+   through the cache sequentially, in request order, before the body
+   runs — so the reported cache states (and the hit/miss counters) are
+   deterministic even when the body fans the models out over a pool.
+   The body then loads from the per-request snapshot, never the live
+   cache. *)
+let run_op t ~op ~paths ~metrics body =
+  let out = Buffer.create 1024 and err = Buffer.create 256 in
+  let sink =
+    { Ops.s_out = Buffer.add_string out; Ops.s_err = Buffer.add_string err }
+  in
+  let resolved = List.map (fun p -> (p, Cache.load t.cache p)) paths in
+  let cache_info =
+    List.filter_map
+      (fun (path, r) ->
+        match r with
+        | Ok (_art, key, state) -> Some (path, key, state)
+        | Error _msg -> None)
+      resolved
+  in
+  let loader path =
+    match List.assoc_opt path resolved with
+    | Some (Ok (art, _key, _state)) -> Ok art
+    | Some (Error msg) -> Error msg
+    | None -> (
+      match Cache.load t.cache path with
+      | Ok (art, _key, _state) -> Ok art
+      | Error msg -> Error msg)
+  in
+  let run reg = Ops.guarded sink (fun () -> body sink loader reg) in
+  let code =
+    if metrics then begin
+      (* satellite: per-request isolation — the response reports this
+         request's counters only; the fork merges back so daemon-level
+         totals still accumulate *)
+      let child = Telemetry.Metrics.fork t.registry in
+      let code = run (Some child) in
+      Telemetry.Metrics.merge_into ~into:t.registry child;
+      code
+    end
+    else run None
+  in
+  {
+    oc_op = op;
+    oc_exit = code;
+    oc_cache = cache_info;
+    oc_output = Buffer.contents out;
+    oc_error = Buffer.contents err;
+  }
+
+let dispatch t obj members ~op =
+  let common = [ "op"; "id" ] in
+  match op with
+  | "validate" ->
+    let* () =
+      check_fields ~op ~allowed:(common @ [ "model"; "format" ]) members
+    in
+    let* model = req_str obj "model" in
+    let* format = format_field obj in
+    Ok
+      (Ran
+         (run_op t ~op ~paths:[ model ] ~metrics:false
+            (fun sink loader _reg ->
+              Ops.with_artifacts sink loader model (Ops.validate sink ~format))))
+  | "lint" ->
+    let* () =
+      check_fields ~op
+        ~allowed:
+          (common
+          @ [ "model"; "models"; "format"; "only"; "disable"; "no_hdl";
+              "jobs" ])
+        members
+    in
+    let* models = models_field obj in
+    let* format = format_field obj in
+    let* only = list_field obj "only" in
+    let* disable = list_field obj "disable" in
+    let* no_hdl = bool_field obj "no_hdl" ~default:false in
+    let* jobs = int_field obj "jobs" ~default:1 in
+    (* mirror the CLI's ordering: unknown selectors are rejected before
+       any model is loaded, so don't pre-resolve (and fill the cache)
+       when the op will refuse to run *)
+    let paths =
+      match Ops.selection_of ~only ~disable with
+      | Ok _selection -> models
+      | Error _msg -> []
+    in
+    Ok
+      (Ran
+         (run_op t ~op ~paths ~metrics:false (fun sink loader _reg ->
+              Ops.lint sink ~format ~only ~disable ~no_hdl ~jobs loader
+                models)))
+  | "info" ->
+    let* () = check_fields ~op ~allowed:(common @ [ "model" ]) members in
+    let* model = req_str obj "model" in
+    Ok
+      (Ran
+         (run_op t ~op ~paths:[ model ] ~metrics:false
+            (fun sink loader _reg ->
+              Ops.with_artifacts sink loader model (Ops.info sink))))
+  | "gen" ->
+    let* () =
+      check_fields ~op ~allowed:(common @ [ "model"; "lang" ]) members
+    in
+    let* model = req_str obj "model" in
+    let* lang = lang_field obj in
+    Ok
+      (Ran
+         (run_op t ~op ~paths:[ model ] ~metrics:false
+            (fun sink loader _reg ->
+              Ops.with_artifacts sink loader model (Ops.gen sink ~lang))))
+  | "simulate" ->
+    let* () =
+      check_fields ~op
+        ~allowed:(common @ [ "model"; "machine"; "events"; "metrics"; "rtl" ])
+        members
+    in
+    let* model = req_str obj "model" in
+    let* machine = opt_str obj "machine" in
+    let* events = str_field obj "events" ~default:"" in
+    let* metrics = bool_field obj "metrics" ~default:false in
+    let* rtl = bool_field obj "rtl" ~default:false in
+    Ok
+      (Ran
+         (run_op t ~op ~paths:[ model ] ~metrics (fun sink loader reg ->
+              Ops.with_artifacts sink loader model
+                (Ops.simulate sink ~machine ~events ~metrics:reg ~rtl))))
+  | "trace" ->
+    let* () =
+      check_fields ~op
+        ~allowed:(common @ [ "model"; "machine"; "events" ])
+        members
+    in
+    let* model = req_str obj "model" in
+    let* machine = opt_str obj "machine" in
+    let* events = str_field obj "events" ~default:"" in
+    Ok
+      (Ran
+         (run_op t ~op ~paths:[ model ] ~metrics:false
+            (fun sink loader _reg ->
+              Ops.with_artifacts sink loader model
+                (Ops.trace sink ~machine ~events))))
+  | "partition" ->
+    let* () =
+      check_fields ~op ~allowed:(common @ [ "model"; "budget" ]) members
+    in
+    let* model = req_str obj "model" in
+    let* budget = int_field obj "budget" ~default:500 in
+    Ok
+      (Ran
+         (run_op t ~op ~paths:[ model ] ~metrics:false
+            (fun sink loader _reg ->
+              Ops.with_artifacts sink loader model
+                (Ops.partition sink ~budget))))
+  | "analyze" ->
+    let* () =
+      check_fields ~op
+        ~allowed:
+          (common @ [ "model"; "metrics"; "only"; "disable"; "jobs" ])
+        members
+    in
+    let* model = req_str obj "model" in
+    let* metrics = bool_field obj "metrics" ~default:false in
+    let* only = list_field obj "only" in
+    let* disable = list_field obj "disable" in
+    let* jobs = int_field obj "jobs" ~default:1 in
+    let paths =
+      match Ops.selection_of ~only ~disable with
+      | Ok _selection -> [ model ]
+      | Error _msg -> []
+    in
+    Ok
+      (Ran
+         (run_op t ~op ~paths ~metrics (fun sink loader reg ->
+              Ops.analyze sink ~metrics:reg ~only ~disable ~jobs loader model)))
+  | "inject" ->
+    let* () =
+      check_fields ~op
+        ~allowed:
+          (common
+          @ [ "model"; "machine"; "seed"; "faults"; "format"; "metrics";
+              "jobs" ])
+        members
+    in
+    let* model = req_str obj "model" in
+    let* machine = opt_str obj "machine" in
+    let* seed = int_field obj "seed" ~default:1 in
+    let* faults = int_field obj "faults" ~default:12 in
+    let* format = format_field obj in
+    let* metrics = bool_field obj "metrics" ~default:false in
+    let* jobs = int_field obj "jobs" ~default:1 in
+    Ok
+      (Ran
+         (run_op t ~op ~paths:[ model ] ~metrics (fun sink loader reg ->
+              Ops.with_artifacts sink loader model
+                (Ops.inject sink ~machine ~seed ~faults ~format ~metrics:reg
+                   ~jobs))))
+  | "pack" ->
+    let* () =
+      check_fields ~op ~allowed:(common @ [ "model"; "out" ]) members
+    in
+    let* model = req_str obj "model" in
+    let* out = opt_str obj "out" in
+    Ok
+      (Ran
+         (run_op t ~op ~paths:[ model ] ~metrics:false
+            (fun sink loader _reg ->
+              Ops.with_artifacts sink loader model
+                (Ops.pack sink ~out ~path:model))))
+  | "stats" ->
+    let* () = check_fields ~op ~allowed:common members in
+    Ok Stats
+  | "quit" ->
+    let* () = check_fields ~op ~allowed:common members in
+    Ok Quit
+  | other -> Error (Printf.sprintf "unknown op %S" other)
+
+(* --- response assembly ------------------------------------------------ *)
+
+let respond ~id fields =
+  let prefix =
+    match id with
+    | Some v -> [ ("id", v) ]
+    | None -> []
+  in
+  Json.to_string (Json.Obj (prefix @ fields))
+
+let protocol_error t ~id msg =
+  t.protocol_errors <- t.protocol_errors + 1;
+  respond ~id [ ("ok", Json.Bool false); ("error", Json.Str msg) ]
+
+let outcome_response ~id oc =
+  respond ~id
+    [
+      ("op", Json.Str oc.oc_op);
+      ("ok", Json.Bool (oc.oc_exit = 0));
+      ("exit", Json.Int oc.oc_exit);
+      ( "cache",
+        Json.List
+          (List.map
+             (fun (path, key, state) ->
+               Json.Obj
+                 [
+                   ("path", Json.Str path);
+                   ("key", Json.Str key);
+                   ("state", Json.Str (Cache.state_name state));
+                 ])
+             oc.oc_cache) );
+      ("output", Json.Str oc.oc_output);
+      ("error", Json.Str oc.oc_error);
+    ]
+
+let stats_response t ~id =
+  let c = Cache.stats t.cache in
+  let a = Asl.Compiled.memo_stats () in
+  respond ~id
+    [
+      ("op", Json.Str "stats");
+      ("ok", Json.Bool true);
+      ("exit", Json.Int 0);
+      ("requests", Json.Int t.requests);
+      ("protocol_errors", Json.Int t.protocol_errors);
+      ( "cache",
+        Json.Obj
+          [
+            ("entries", Json.Int c.Cache.cs_entries);
+            ("bytes", Json.Int c.Cache.cs_bytes);
+            ("max_entries", Json.Int c.Cache.cs_max_entries);
+            ("max_bytes", Json.Int c.Cache.cs_max_bytes);
+            ("hits", Json.Int c.Cache.cs_hits);
+            ("misses", Json.Int c.Cache.cs_misses);
+            ("snap_refills", Json.Int c.Cache.cs_snap_refills);
+            ("evictions", Json.Int c.Cache.cs_evictions);
+            ("persisted", Json.Int c.Cache.cs_persisted);
+          ] );
+      ( "asl_memo",
+        Json.Obj
+          [
+            ("guards", Json.Int a.Asl.Compiled.st_guards);
+            ("programs", Json.Int a.Asl.Compiled.st_programs);
+            ("cap", Json.Int a.Asl.Compiled.st_cap);
+            ("hits", Json.Int a.Asl.Compiled.st_hits);
+            ("misses", Json.Int a.Asl.Compiled.st_misses);
+            ("evictions", Json.Int a.Asl.Compiled.st_evictions);
+          ] );
+    ]
+
+(* --- the loop --------------------------------------------------------- *)
+
+let handle_line t line =
+  if String.length line > max_line_bytes then begin
+    t.requests <- t.requests + 1;
+    ( Some
+        (protocol_error t ~id:None
+           (Printf.sprintf "request line exceeds %d bytes" max_line_bytes)),
+      true )
+  end
+  else
+    let trimmed = String.trim line in
+    if trimmed = "" then (None, true)
+    else begin
+      t.requests <- t.requests + 1;
+      match Json.parse trimmed with
+      | Error e -> (Some (protocol_error t ~id:None ("invalid request: " ^ e)), true)
+      | Ok (Json.Obj members as obj) -> (
+        match id_of obj with
+        | Error msg -> (Some (protocol_error t ~id:None msg), true)
+        | Ok id -> (
+          match req_str obj "op" with
+          | Error msg -> (Some (protocol_error t ~id msg), true)
+          | Ok op -> (
+            match dispatch t obj members ~op with
+            | Error msg -> (Some (protocol_error t ~id msg), true)
+            | Ok (Ran oc) -> (Some (outcome_response ~id oc), true)
+            | Ok Stats -> (Some (stats_response t ~id), true)
+            | Ok Quit ->
+              ( Some
+                  (respond ~id
+                     [
+                       ("op", Json.Str "quit");
+                       ("ok", Json.Bool true);
+                       ("exit", Json.Int 0);
+                     ]),
+                false )
+            (* a bug below the protocol layer must not kill the daemon:
+               answer an error line and keep serving *)
+            | exception e ->
+              ( Some
+                  (protocol_error t ~id
+                     ("internal error: " ^ Printexc.to_string e)),
+                true ))))
+      | Ok
+          (( Json.Null | Json.Bool _ | Json.Int _ | Json.Float _
+           | Json.Str _ | Json.List _ ) as _v) ->
+        ( Some (protocol_error t ~id:None "request must be a JSON object"),
+          true )
+    end
+
+let serve_channel t ic oc =
+  let rec loop () =
+    match input_line ic with
+    | exception End_of_file -> ()
+    | line ->
+      let response, continue = handle_line t line in
+      (match response with
+       | Some r ->
+         output_string oc r;
+         output_char oc '\n';
+         flush oc
+       | None -> ());
+      if continue then loop ()
+  in
+  loop ()
+
+let serve_socket t path =
+  if Sys.file_exists path then Sys.remove path;
+  let sock = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Fun.protect
+    ~finally:(fun () ->
+      (try Unix.close sock with Unix.Unix_error _ -> ());
+      try Sys.remove path with Sys_error _ -> ())
+    (fun () ->
+      Unix.bind sock (Unix.ADDR_UNIX path);
+      Unix.listen sock 8;
+      let stop = ref false in
+      while not !stop do
+        let conn, _addr = Unix.accept sock in
+        let ic = Unix.in_channel_of_descr conn in
+        let oc = Unix.out_channel_of_descr conn in
+        let rec loop () =
+          match input_line ic with
+          | exception End_of_file -> ()
+          | line ->
+            let response, continue = handle_line t line in
+            (match response with
+             | Some r ->
+               output_string oc r;
+               output_char oc '\n';
+               flush oc
+             | None -> ());
+            if continue then loop () else stop := true
+        in
+        (* a dropped connection only ends this client, not the daemon *)
+        (try loop () with
+         | Sys_error _ -> ()
+         | Unix.Unix_error _ -> ());
+        (try flush oc with Sys_error _ -> ());
+        try Unix.close conn with Unix.Unix_error _ -> ()
+      done)

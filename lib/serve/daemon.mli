@@ -1,0 +1,65 @@
+(** The [socuml serve] request loop.
+
+    A daemon reads newline-delimited JSON requests — one object per
+    line — and writes exactly one JSON response line per request, in
+    order.  Model-consuming requests mirror the CLI subcommands and
+    their flags; the response embeds the op's captured stdout/stderr,
+    byte-identical to the one-shot CLI, plus per-model cache outcomes
+    from the daemon's content-hash {!Cache}.
+
+    Request shape (fields beyond these are rejected):
+
+    {v
+    {"op":"lint","models":["a.xmi","b.xmi"],"id":7,
+     "format":"json","only":["SOC-01"],"disable":[],"no_hdl":false,
+     "jobs":4,"metrics":true}
+    v}
+
+    - ["op"] (required): [validate], [lint], [info], [gen], [simulate],
+      [trace], [partition], [analyze], [inject], [pack], [stats],
+      [quit].
+    - ["id"] (optional int or string): echoed verbatim in the response.
+    - Model ops take ["model"] (and [lint] alternatively ["models"]);
+      the remaining fields are the CLI flags of the same name —
+      ["format"], ["only"], ["disable"], ["no_hdl"], ["jobs"],
+      ["machine"], ["events"], ["rtl"], ["lang"], ["budget"], ["seed"],
+      ["faults"], ["out"] — with the CLI defaults.
+    - ["metrics"]: [true] forks the daemon registry for this request
+      and appends the fork's report to the output, then merges the fork
+      back — so each response carries that request's counters only and
+      identical requests report identical metrics (DESIGN.md §serve).
+
+    Executed ops answer
+    [{"id"?,"op","ok","exit","cache":[{"path","key","state"}...],
+    "output","error"}] where [ok] is [exit = 0] and [state] is
+    ["hit"], ["snap"] or ["miss"].  Malformed lines — unparseable or
+    oversized JSON, a non-object, an unknown op, a missing or
+    ill-typed field — answer [{"id"?,"ok":false,"error":"..."}]; the
+    daemon keeps serving after every error.  [stats] reports request
+    and cache/ASL-memo counters; [quit] acknowledges and stops the
+    loop. *)
+
+type t
+
+val create :
+  ?max_entries:int -> ?max_bytes:int -> ?persist_dir:string -> unit -> t
+(** A daemon with a fresh {!Cache} (same defaults) and a live metrics
+    registry. *)
+
+val max_line_bytes : int
+(** Request-line size cap (1 MiB); longer lines answer a protocol
+    error without being parsed. *)
+
+val handle_line : t -> string -> string option * bool
+(** Process one request line.  Returns the response line (without the
+    trailing newline; [None] for blank lines, which are skipped) and
+    whether the daemon should keep serving ([false] after [quit]). *)
+
+val serve_channel : t -> in_channel -> out_channel -> unit
+(** Serve requests from the channel until EOF or [quit], flushing
+    after every response line. *)
+
+val serve_socket : t -> string -> unit
+(** Listen on a Unix-domain socket at the given path (unlinking any
+    stale socket first), serving one connection at a time; a [quit]
+    request shuts the daemon down and removes the socket. *)

@@ -1,0 +1,40 @@
+let read_file_bytes path =
+  let ic = open_in_bin path in
+  match really_input_string ic (in_channel_length ic) with
+  | data ->
+    close_in ic;
+    data
+  | exception e ->
+    close_in_noerr ic;
+    raise e
+
+let read_bytes path =
+  if not (Sys.file_exists path) then
+    Error (Printf.sprintf "%s: no such file" path)
+  else if Sys.is_directory path then
+    Error (Printf.sprintf "%s: is a directory, not a model file" path)
+  else
+    match read_file_bytes path with
+    | data -> Ok data
+    | exception Sys_error msg -> Error msg
+    | exception exn ->
+      Error (Printf.sprintf "cannot read %s: %s" path (Printexc.to_string exn))
+
+let model_of_bytes ~path data =
+  match
+    if Snap.Read.is_snapshot data then Snap.Read.model_of_string data
+    else Xmi.Read.model_of_string data
+  with
+  | m -> Ok m
+  | exception Xmi.Read.Import_error msg ->
+    Error (Printf.sprintf "cannot import %s: %s" path msg)
+  | exception Snap.Read.Import_error msg ->
+    Error (Printf.sprintf "cannot import %s: %s" path msg)
+  | exception Sys_error msg -> Error msg
+  | exception exn ->
+    Error (Printf.sprintf "cannot import %s: %s" path (Printexc.to_string exn))
+
+let load_model path =
+  match read_bytes path with
+  | Error msg -> Error msg
+  | Ok data -> model_of_bytes ~path data

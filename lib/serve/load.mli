@@ -1,0 +1,23 @@
+(** Model loading shared by the one-shot CLI and the serve daemon.
+
+    Hostile inputs (unreadable path, truncated or corrupt XMI or
+    snapshot, a directory passed as a file) must produce a one-line
+    diagnostic — never an exception trace — and the wording must be
+    identical on every path that loads a model, so the CLI subcommands
+    and the daemon's cache cannot drift apart.  The format is
+    auto-detected by magic bytes: every entry point accepts [.sumb]
+    snapshots and [.xmi] models interchangeably. *)
+
+val read_file_bytes : string -> string
+(** Whole-file read; raises like [open_in_bin]/[really_input_string]. *)
+
+val read_bytes : string -> (string, string) result
+(** The raw file contents, or the standard one-line diagnostic for a
+    missing path, a directory, or an unreadable file. *)
+
+val model_of_bytes : path:string -> string -> (Uml.Model.t, string) result
+(** Decode model bytes (snapshot or XMI, sniffed by magic).  [path]
+    only labels the diagnostic. *)
+
+val load_model : string -> (Uml.Model.t, string) result
+(** [read_bytes] then [model_of_bytes]. *)

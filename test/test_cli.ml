@@ -266,6 +266,68 @@ let selector_tests =
           [ [ "rules" ]; [ "rules"; "--format"; "json" ] ]);
   ]
 
+(* The serve daemon under the same hostile-input discipline as the
+   one-shot subcommands: every malformed request line must answer
+   exactly one JSON error line, never kill the process, and EOF must
+   end the loop cleanly.  (In-process protocol coverage lives in
+   test_serve.ml; this drives the real subprocess over a pipe.) *)
+let serve_tests =
+  let run_serve requests =
+    let req =
+      write_file
+        (Filename.concat tmp "socuml_cli_serve.req")
+        (String.concat "\n" requests ^ "\n")
+    in
+    let out = Filename.concat tmp "socuml_cli_serve.out" in
+    let code =
+      Sys.command
+        (Printf.sprintf "%s serve <%s >%s 2>/dev/null" (Filename.quote exe)
+           (Filename.quote req) (Filename.quote out))
+    in
+    let body = String.trim (read_file out) in
+    (code, if body = "" then [] else String.split_on_char '\n' body)
+  in
+  [
+    tc "hostile request lines each answer one JSON line, daemon survives"
+      (fun () ->
+        let corrupt_snap =
+          write_file
+            (Filename.concat tmp "socuml_cli_serve_bad.sumb")
+            "\xd3SUMBgarbage"
+        in
+        let oversized =
+          Printf.sprintf {|{"op":"info","model":"%s"}|}
+            (String.make (1024 * 1024 + 1) 'a')
+        in
+        let requests =
+          [
+            "garbage bytes";
+            "[1,2,3]";
+            {|{"op":"frobnicate"}|};
+            {|{"op":"info"}|};
+            {|{"op":"info","model":"/no/such/model.xmi"}|};
+            Printf.sprintf {|{"op":"validate","model":%S}|} corrupt_snap;
+            oversized;
+            "";
+            {|{"op":"stats"}|};
+            {|{"op":"quit"}|};
+          ]
+        in
+        let code, lines = run_serve requests in
+        check Alcotest.int "daemon exit" 0 code;
+        (* one response per non-blank request line *)
+        check Alcotest.int "one response per request" 9 (List.length lines);
+        List.iter
+          (fun l ->
+            check Alcotest.bool "every response is a JSON object" true
+              (String.length l > 0 && l.[0] = '{'))
+          lines);
+    tc "EOF without quit ends the loop cleanly" (fun () ->
+        let code, lines = run_serve [ {|{"op":"stats"}|} ] in
+        check Alcotest.int "daemon exit" 0 code;
+        check Alcotest.int "one response" 1 (List.length lines));
+  ]
+
 let () =
   Alcotest.run "cli"
     [
@@ -273,4 +335,5 @@ let () =
       ("snapshot inputs", snapshot_tests);
       ("healthy model", demo_roundtrip_tests);
       ("rule selectors", selector_tests);
+      ("serve protocol", serve_tests);
     ]

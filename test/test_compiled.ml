@@ -224,6 +224,82 @@ let asl_tests =
         match Asl.Interp.eval_guard_compiled interp g with
         | _b -> Alcotest.fail "expected Runtime_error"
         | exception Asl.Interp.Runtime_error _ -> ());
+    tc "memo tables are LRU-bounded" (fun () ->
+        let cap0 = Asl.Compiled.memo_cap () in
+        Fun.protect
+          ~finally:(fun () ->
+            Asl.Compiled.set_memo_cap cap0;
+            Asl.Compiled.clear_memo ())
+          (fun () ->
+            Asl.Compiled.clear_memo ();
+            Asl.Compiled.set_memo_cap 8;
+            for i = 0 to 19 do
+              ignore (Asl.Compiled.guard (Printf.sprintf "memo_x > %d" i))
+            done;
+            let s = Asl.Compiled.memo_stats () in
+            check Alcotest.int "resident entries capped" 8
+              s.Asl.Compiled.st_guards;
+            check Alcotest.int "cap reported" 8 s.Asl.Compiled.st_cap;
+            (* LRU, not FIFO: touch the oldest survivor, insert one more,
+               and the touched entry must outlive the eviction *)
+            let touched = Asl.Compiled.guard "memo_x > 12" in
+            ignore (Asl.Compiled.guard "memo_x > 20");
+            check Alcotest.bool "recently-touched entry survives" true
+              (touched == Asl.Compiled.guard "memo_x > 12")));
+    tc "memo stats count hits, misses and evictions" (fun () ->
+        let cap0 = Asl.Compiled.memo_cap () in
+        Fun.protect
+          ~finally:(fun () ->
+            Asl.Compiled.set_memo_cap cap0;
+            Asl.Compiled.clear_memo ())
+          (fun () ->
+            Asl.Compiled.clear_memo ();
+            Asl.Compiled.set_memo_cap 4;
+            let s0 = Asl.Compiled.memo_stats () in
+            ignore (Asl.Compiled.guard "memo_stats_probe > 0");
+            let s1 = Asl.Compiled.memo_stats () in
+            check Alcotest.int "first lookup is a miss"
+              (s0.Asl.Compiled.st_misses + 1) s1.Asl.Compiled.st_misses;
+            ignore (Asl.Compiled.guard "memo_stats_probe > 0");
+            let s2 = Asl.Compiled.memo_stats () in
+            check Alcotest.int "second lookup is a hit"
+              (s1.Asl.Compiled.st_hits + 1) s2.Asl.Compiled.st_hits;
+            for i = 0 to 9 do
+              ignore (Asl.Compiled.guard (Printf.sprintf "memo_churn > %d" i))
+            done;
+            let s3 = Asl.Compiled.memo_stats () in
+            check Alcotest.bool "evictions counted" true
+              (s3.Asl.Compiled.st_evictions
+               >= s2.Asl.Compiled.st_evictions + 6);
+            (* counters are lifetime: clearing drops entries, not tallies *)
+            Asl.Compiled.clear_memo ();
+            let s4 = Asl.Compiled.memo_stats () in
+            check Alcotest.int "clear drops residency" 0
+              s4.Asl.Compiled.st_guards;
+            check Alcotest.int "clear keeps counters"
+              s3.Asl.Compiled.st_misses s4.Asl.Compiled.st_misses));
+    tc "shrinking the cap evicts immediately; cap below 1 is rejected"
+      (fun () ->
+        let cap0 = Asl.Compiled.memo_cap () in
+        Fun.protect
+          ~finally:(fun () ->
+            Asl.Compiled.set_memo_cap cap0;
+            Asl.Compiled.clear_memo ())
+          (fun () ->
+            Asl.Compiled.clear_memo ();
+            Asl.Compiled.set_memo_cap 8;
+            for i = 0 to 7 do
+              ignore (Asl.Compiled.program (Printf.sprintf "return %d;" i))
+            done;
+            Asl.Compiled.set_memo_cap 3;
+            let s = Asl.Compiled.memo_stats () in
+            check Alcotest.int "programs evicted down to the new cap" 3
+              s.Asl.Compiled.st_programs;
+            check Alcotest.int "new cap in force" 3
+              (Asl.Compiled.memo_cap ());
+            match Asl.Compiled.set_memo_cap 0 with
+            | () -> Alcotest.fail "expected Invalid_argument"
+            | exception Invalid_argument _ -> ()));
     QCheck_alcotest.to_alcotest
       (QCheck.Test.make
          ~name:"eval_guard = eval_guard_compiled on random comparisons"

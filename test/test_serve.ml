@@ -1,0 +1,631 @@
+(* The serve daemon: JSON wire format, the content-hash artifact cache,
+   protocol hardening (every hostile line answers exactly one error
+   line and the daemon keeps serving), serve-vs-CLI byte-identity, and
+   per-request telemetry isolation. *)
+
+let tc name f = Alcotest.test_case name `Quick f
+let check = Alcotest.check
+
+let exe =
+  (* tests execute from the build context's test directory *)
+  let candidates =
+    [ "../bin/socuml.exe"; "_build/default/bin/socuml.exe"; "bin/socuml.exe" ]
+  in
+  match List.find_opt Sys.file_exists candidates with
+  | Some p -> p
+  | None -> Alcotest.fail "socuml.exe not found next to the test binary"
+
+let read_file path =
+  let ic = open_in_bin path in
+  let n = in_channel_length ic in
+  let s = really_input_string ic n in
+  close_in ic;
+  s
+
+let write_file path contents =
+  let oc = open_out_bin path in
+  output_string oc contents;
+  close_out oc;
+  path
+
+let tmp = Filename.get_temp_dir_name ()
+
+(* Run one CLI invocation, capturing stdout and stderr separately. *)
+let run_cli args =
+  let out = Filename.temp_file "socuml_serve" ".out" in
+  let err = Filename.temp_file "socuml_serve" ".err" in
+  let cmd =
+    Printf.sprintf "%s %s >%s 2>%s" (Filename.quote exe)
+      (String.concat " " (List.map Filename.quote args))
+      (Filename.quote out) (Filename.quote err)
+  in
+  let code = Sys.command cmd in
+  let stdout = read_file out and stderr = read_file err in
+  Sys.remove out;
+  Sys.remove err;
+  (code, stdout, stderr)
+
+(* The demo SoC on disk (built once), plus its packed snapshot. *)
+let demo_model =
+  lazy
+    (let out = Filename.concat tmp "socuml_serve_demo" in
+     let code, _, stderr = run_cli [ "demo"; "--out"; out ] in
+     if code <> 0 then Alcotest.failf "demo: exit %d (stderr: %s)" code stderr;
+     Filename.concat out "demo_soc.xmi")
+
+let demo_snapshot =
+  lazy
+    (let model = Lazy.force demo_model in
+     let snap = Filename.concat (Filename.dirname model) "demo_soc.sumb" in
+     let code, _, stderr = run_cli [ "pack"; model; "-o"; snap ] in
+     if code <> 0 then Alcotest.failf "pack: exit %d (stderr: %s)" code stderr;
+     snap)
+
+(* A tiny distinct model on disk, for cache-shape tests. *)
+let tiny_model name path =
+  let m = Uml.Model.create name in
+  Xmi.Write.write_file m path;
+  path
+
+(* An empty persist directory, wiped of any previous run's snapshots. *)
+let fresh_dir path =
+  if Sys.file_exists path then
+    Array.iter
+      (fun f -> Sys.remove (Filename.concat path f))
+      (Sys.readdir path);
+  path
+
+(* ------------------------------------------------------------------ *)
+(* JSON wire format                                                   *)
+
+let json_tests =
+  let parse_ok s =
+    match Serve.Json.parse s with
+    | Ok v -> v
+    | Error e -> Alcotest.failf "parse %S: %s" s e
+  in
+  let parse_err s =
+    match Serve.Json.parse s with
+    | Ok _v -> Alcotest.failf "parse %S: expected an error" s
+    | Error e -> e
+  in
+  [
+    tc "roundtrip of a nested value" (fun () ->
+        let v =
+          Serve.Json.Obj
+            [
+              ("a", Serve.Json.Int 1);
+              ("b", Serve.Json.List
+                 [ Serve.Json.Str "x"; Serve.Json.Null;
+                   Serve.Json.Bool true ]);
+              ("c", Serve.Json.Obj [ ("d", Serve.Json.Float 2.5) ]);
+            ]
+        in
+        let s = Serve.Json.to_string v in
+        check Alcotest.bool "roundtrips" true (parse_ok s = v));
+    tc "printer output is always one line" (fun () ->
+        let s =
+          Serve.Json.to_string
+            (Serve.Json.Obj
+               [ ("msg", Serve.Json.Str "two\nlines\twith\x01controls") ])
+        in
+        check Alcotest.bool "no raw newline" false (String.contains s '\n');
+        check Alcotest.bool "reparses" true
+          (parse_ok s
+          = Serve.Json.Obj
+              [ ("msg", Serve.Json.Str "two\nlines\twith\x01controls") ]));
+    tc "nan and infinity print as null" (fun () ->
+        check Alcotest.string "nan" "null"
+          (Serve.Json.to_string (Serve.Json.Float Float.nan));
+        check Alcotest.string "inf" "null"
+          (Serve.Json.to_string (Serve.Json.Float Float.infinity)));
+    tc "duplicate keys are rejected" (fun () ->
+        ignore (parse_err {|{"a":1,"a":2}|}));
+    tc "trailing bytes are rejected" (fun () ->
+        ignore (parse_err {|{"a":1} trailing|}));
+    tc "unterminated string is rejected" (fun () ->
+        ignore (parse_err {|{"a":"unclosed}|}));
+    tc "raw control characters in strings are rejected" (fun () ->
+        ignore (parse_err "{\"a\":\"x\ny\"}"));
+    tc "error messages name the byte offset" (fun () ->
+        let e = parse_err "[1,2,@]" in
+        check Alcotest.bool "offset named" true
+          (String.length e > 0
+          && List.exists
+               (fun i ->
+                 i + 6 <= String.length e && String.sub e i 6 = "byte 5")
+               (List.init (String.length e) Fun.id)));
+    tc "pathological nesting depth is rejected, not a stack overflow"
+      (fun () ->
+        let deep = String.make 4096 '[' in
+        ignore (parse_err deep));
+    tc "accessors decode the request shapes" (fun () ->
+        let v = parse_ok {|{"n":3,"f":4.0,"s":"x","b":true,"l":["a","b"]}|} in
+        check Alcotest.(option int) "int" (Some 3)
+          (Option.bind (Serve.Json.member "n" v) Serve.Json.to_int);
+        check Alcotest.(option int) "integral float as int" (Some 4)
+          (Option.bind (Serve.Json.member "f" v) Serve.Json.to_int);
+        check Alcotest.(option string) "str" (Some "x")
+          (Option.bind (Serve.Json.member "s" v) Serve.Json.to_str);
+        check Alcotest.(option bool) "bool" (Some true)
+          (Option.bind (Serve.Json.member "b" v) Serve.Json.to_bool);
+        check Alcotest.(option (list string)) "list" (Some [ "a"; "b" ])
+          (Option.bind (Serve.Json.member "l" v) Serve.Json.str_list);
+        check Alcotest.(option (list string)) "single str as list"
+          (Some [ "solo" ])
+          (Serve.Json.str_list (Serve.Json.Str "solo")));
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Content-hash artifact cache                                        *)
+
+let load_state cache path =
+  match Serve.Cache.load cache path with
+  | Ok (_art, _key, state) -> Serve.Cache.state_name state
+  | Error msg -> Alcotest.failf "load %s: %s" path msg
+
+let cache_tests =
+  [
+    tc "second load of the same bytes is a hit" (fun () ->
+        let p = tiny_model "m1" (Filename.concat tmp "serve_cache_a.xmi") in
+        let c = Serve.Cache.create () in
+        check Alcotest.string "cold" "miss" (load_state c p);
+        check Alcotest.string "warm" "hit" (load_state c p);
+        let s = Serve.Cache.stats c in
+        check Alcotest.int "one entry" 1 s.Serve.Cache.cs_entries;
+        check Alcotest.int "one hit" 1 s.Serve.Cache.cs_hits;
+        check Alcotest.int "one miss" 1 s.Serve.Cache.cs_misses);
+    tc "keys are content hashes, not paths" (fun () ->
+        let a = tiny_model "same" (Filename.concat tmp "serve_cache_b.xmi") in
+        let b = write_file (Filename.concat tmp "serve_cache_c.xmi")
+            (read_file a) in
+        let c = Serve.Cache.create () in
+        check Alcotest.string "first path" "miss" (load_state c a);
+        check Alcotest.string "same bytes, other path" "hit" (load_state c b);
+        check Alcotest.int "one entry"
+          1 (Serve.Cache.stats c).Serve.Cache.cs_entries);
+    tc "editing the file changes the key" (fun () ->
+        let p = tiny_model "v1" (Filename.concat tmp "serve_cache_d.xmi") in
+        let c = Serve.Cache.create () in
+        check Alcotest.string "cold" "miss" (load_state c p);
+        ignore (tiny_model "v2" p);
+        check Alcotest.string "edited file misses" "miss" (load_state c p));
+    tc "entry count bound evicts least-recently-used" (fun () ->
+        let p i =
+          tiny_model
+            (Printf.sprintf "lru%d" i)
+            (Filename.concat tmp (Printf.sprintf "serve_cache_lru%d.xmi" i))
+        in
+        let a = p 0 and b = p 1 and cc = p 2 in
+        let c = Serve.Cache.create ~max_entries:2 () in
+        check Alcotest.string "a cold" "miss" (load_state c a);
+        check Alcotest.string "b cold" "miss" (load_state c b);
+        (* touch a so b is now least recently used *)
+        check Alcotest.string "a warm" "hit" (load_state c a);
+        check Alcotest.string "c cold" "miss" (load_state c cc);
+        let s = Serve.Cache.stats c in
+        check Alcotest.int "bounded" 2 s.Serve.Cache.cs_entries;
+        check Alcotest.int "one eviction" 1 s.Serve.Cache.cs_evictions;
+        check Alcotest.string "a survived" "hit" (load_state c a);
+        check Alcotest.string "b was evicted" "miss" (load_state c b));
+    tc "byte budget evicts, but never the newest entry" (fun () ->
+        let a = tiny_model "big1" (Filename.concat tmp "serve_cache_e.xmi") in
+        let b = tiny_model "big2" (Filename.concat tmp "serve_cache_f.xmi") in
+        (* budget below one model: each insert evicts the other, the
+           just-inserted entry always stays *)
+        let c = Serve.Cache.create ~max_bytes:1 () in
+        check Alcotest.string "a cold" "miss" (load_state c a);
+        check Alcotest.int "oversized single entry kept" 1
+          (Serve.Cache.stats c).Serve.Cache.cs_entries;
+        check Alcotest.string "a resident" "hit" (load_state c a);
+        check Alcotest.string "b cold" "miss" (load_state c b);
+        let s = Serve.Cache.stats c in
+        check Alcotest.int "still one entry" 1 s.Serve.Cache.cs_entries;
+        check Alcotest.bool "eviction happened" true
+          (s.Serve.Cache.cs_evictions >= 1));
+    tc "persist dir refills a fresh cache from snapshots" (fun () ->
+        let dir = fresh_dir (Filename.concat tmp "serve_cache_persist") in
+        let p = tiny_model "persist_me"
+            (Filename.concat tmp "serve_cache_g.xmi") in
+        let c1 = Serve.Cache.create ~persist_dir:dir () in
+        check Alcotest.string "cold parse" "miss" (load_state c1 p);
+        check Alcotest.int "snapshot written" 1
+          (Serve.Cache.stats c1).Serve.Cache.cs_persisted;
+        (* a new cache (fresh process, same dir) refills from the
+           snapshot instead of re-parsing the XMI *)
+        let c2 = Serve.Cache.create ~persist_dir:dir () in
+        check Alcotest.string "warm restart" "snap" (load_state c2 p);
+        check Alcotest.int "refill counted" 1
+          (Serve.Cache.stats c2).Serve.Cache.cs_snap_refills;
+        check Alcotest.string "then resident" "hit" (load_state c2 p));
+    tc "corrupt persisted snapshots fall back to the source" (fun () ->
+        let dir = fresh_dir (Filename.concat tmp "serve_cache_persist_bad") in
+        let p = tiny_model "corrupt_snap"
+            (Filename.concat tmp "serve_cache_h.xmi") in
+        let c1 = Serve.Cache.create ~persist_dir:dir () in
+        check Alcotest.string "cold" "miss" (load_state c1 p);
+        (* corrupt every persisted snapshot in the dir *)
+        Array.iter
+          (fun f ->
+            if Filename.check_suffix f ".sumb" then
+              ignore
+                (write_file (Filename.concat dir f) "\xd3SUMBgarbage"))
+          (Sys.readdir dir);
+        let c2 = Serve.Cache.create ~persist_dir:dir () in
+        check Alcotest.string "falls back to parsing" "miss"
+          (load_state c2 p);
+        check Alcotest.int "no refill" 0
+          (Serve.Cache.stats c2).Serve.Cache.cs_snap_refills);
+    tc "snapshot sources are not re-persisted" (fun () ->
+        let dir = fresh_dir (Filename.concat tmp "serve_cache_persist_sumb") in
+        let snap = Lazy.force demo_snapshot in
+        let c = Serve.Cache.create ~persist_dir:dir () in
+        check Alcotest.string "snapshot loads" "miss" (load_state c snap);
+        check Alcotest.int "nothing persisted" 0
+          (Serve.Cache.stats c).Serve.Cache.cs_persisted);
+    tc "load errors carry the standard diagnostics" (fun () ->
+        let c = Serve.Cache.create () in
+        let missing = Filename.concat tmp "serve_cache_missing.xmi" in
+        (match Serve.Cache.load c missing with
+         | Ok _ -> Alcotest.fail "expected an error"
+         | Error msg ->
+           check Alcotest.string "missing file" (missing ^ ": no such file")
+             msg);
+        match Serve.Cache.load c tmp with
+        | Ok _ -> Alcotest.fail "expected an error"
+        | Error msg ->
+          check Alcotest.string "directory"
+            (tmp ^ ": is a directory, not a model file") msg);
+    tc "bounds below 1 are rejected" (fun () ->
+        (match Serve.Cache.create ~max_entries:0 () with
+         | _c -> Alcotest.fail "expected Invalid_argument"
+         | exception Invalid_argument _ -> ());
+        match Serve.Cache.create ~max_bytes:0 () with
+        | _c -> Alcotest.fail "expected Invalid_argument"
+        | exception Invalid_argument _ -> ());
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Daemon protocol                                                    *)
+
+(* Send one line; expect one parsed response object back. *)
+let send d line =
+  let response, continue = Serve.Daemon.handle_line d line in
+  match response with
+  | None -> Alcotest.failf "no response to %S" line
+  | Some r ->
+    check Alcotest.bool "response is one line" false (String.contains r '\n');
+    (match Serve.Json.parse r with
+     | Error e -> Alcotest.failf "unparseable response %S: %s" r e
+     | Ok v -> (v, continue))
+
+let rmember key v = Serve.Json.member key v
+
+let rstr key v =
+  match Option.bind (rmember key v) Serve.Json.to_str with
+  | Some s -> s
+  | None -> Alcotest.failf "response lacks string %S" key
+
+let rint key v =
+  match Option.bind (rmember key v) Serve.Json.to_int with
+  | Some n -> n
+  | None -> Alcotest.failf "response lacks int %S" key
+
+let rbool key v =
+  match Option.bind (rmember key v) Serve.Json.to_bool with
+  | Some b -> b
+  | None -> Alcotest.failf "response lacks bool %S" key
+
+(* The protocol-error shape: ok:false, a non-empty error, and the
+   daemon keeps serving (checked by following up with a healthy
+   request). *)
+let assert_protocol_error d line =
+  let v, continue = send d line in
+  check Alcotest.bool "ok:false" false (rbool "ok" v);
+  check Alcotest.bool "error is non-empty" true (rstr "error" v <> "");
+  check Alcotest.bool "daemon keeps serving" true continue;
+  let model = Lazy.force demo_model in
+  let v, _ = send d (Printf.sprintf {|{"op":"info","model":%S}|} model) in
+  check Alcotest.bool "healthy request still served" true (rbool "ok" v)
+
+let daemon_tests =
+  [
+    tc "blank lines are skipped without a response" (fun () ->
+        let d = Serve.Daemon.create () in
+        check Alcotest.bool "none" true
+          (fst (Serve.Daemon.handle_line d "   ") = None));
+    tc "hostile lines answer one error line each, daemon keeps serving"
+      (fun () ->
+        let d = Serve.Daemon.create () in
+        List.iter (assert_protocol_error d)
+          [
+            "garbage";
+            {|{"op":"lint","models":}|};
+            "42";
+            {|["not","an","object"]|};
+            {|{"model":"x.xmi"}|};
+            {|{"op":17}|};
+            {|{"op":"frobnicate"}|};
+            {|{"op":"info"}|};
+            {|{"op":"info","model":17}|};
+            {|{"op":"info","model":"x.xmi","bogus":1}|};
+            {|{"op":"info","model":"x.xmi","id":[3]}|};
+            {|{"op":"lint","models":[]}|};
+            {|{"op":"lint","model":"a.xmi","models":["b.xmi"]}|};
+            {|{"op":"gen","model":"x.xmi","lang":"cobol"}|};
+            {|{"op":"validate","model":"x.xmi","format":"yaml"}|};
+            {|{"op":"simulate","model":"x.xmi","rtl":"yes"}|};
+            {|{"op":"stats","model":"x.xmi"}|};
+          ]);
+    tc "oversized request lines are refused before parsing" (fun () ->
+        let d = Serve.Daemon.create () in
+        let big =
+          Printf.sprintf {|{"op":"info","model":"%s"}|}
+            (String.make (Serve.Daemon.max_line_bytes + 1) 'a')
+        in
+        assert_protocol_error d big);
+    tc "a missing model is an op failure, not a dead daemon" (fun () ->
+        let d = Serve.Daemon.create () in
+        let missing = Filename.concat tmp "serve_daemon_missing.xmi" in
+        let v, continue =
+          send d (Printf.sprintf {|{"op":"info","model":%S}|} missing)
+        in
+        check Alcotest.bool "ok:false" false (rbool "ok" v);
+        check Alcotest.int "exit 1" 1 (rint "exit" v);
+        check Alcotest.string "diagnostic on the error stream"
+          (missing ^ ": no such file\n") (rstr "error" v);
+        check Alcotest.bool "keeps serving" true continue);
+    tc "a corrupt snapshot is an op failure with one diagnostic line"
+      (fun () ->
+        let d = Serve.Daemon.create () in
+        let bad =
+          write_file
+            (Filename.concat tmp "serve_daemon_bad.sumb")
+            "\xd3SUMBgarbage"
+        in
+        let v, _ =
+          send d (Printf.sprintf {|{"op":"validate","model":%S}|} bad)
+        in
+        check Alcotest.int "exit 1" 1 (rint "exit" v);
+        let err = rstr "error" v in
+        check Alcotest.bool "one line" true
+          (String.length err > 0
+          && String.index err '\n' = String.length err - 1);
+        let model = Lazy.force demo_model in
+        let v, _ = send d (Printf.sprintf {|{"op":"info","model":%S}|} model) in
+        check Alcotest.bool "keeps serving" true (rbool "ok" v));
+    tc "ids are echoed verbatim" (fun () ->
+        let d = Serve.Daemon.create () in
+        let model = Lazy.force demo_model in
+        let v, _ =
+          send d (Printf.sprintf {|{"id":42,"op":"info","model":%S}|} model)
+        in
+        check Alcotest.int "int id" 42 (rint "id" v);
+        let v, _ =
+          send d
+            (Printf.sprintf {|{"id":"req-7","op":"info","model":%S}|} model)
+        in
+        check Alcotest.string "string id" "req-7" (rstr "id" v));
+    tc "cache states progress miss -> hit across requests" (fun () ->
+        let d = Serve.Daemon.create () in
+        let model = Lazy.force demo_model in
+        let state v =
+          match rmember "cache" v with
+          | Some (Serve.Json.List [ entry ]) -> rstr "state" entry
+          | Some _ | None -> Alcotest.fail "expected one cache entry"
+        in
+        let v, _ = send d (Printf.sprintf {|{"op":"info","model":%S}|} model) in
+        check Alcotest.string "cold" "miss" (state v);
+        let v, _ = send d (Printf.sprintf {|{"op":"info","model":%S}|} model) in
+        check Alcotest.string "warm" "hit" (state v);
+        let v, _ =
+          send d (Printf.sprintf {|{"op":"validate","model":%S}|} model)
+        in
+        check Alcotest.string "shared across ops" "hit" (state v));
+    tc "a persist dir makes the next daemon start warm" (fun () ->
+        let dir = fresh_dir (Filename.concat tmp "serve_daemon_persist") in
+        let model = Lazy.force demo_model in
+        let state v =
+          match rmember "cache" v with
+          | Some (Serve.Json.List [ entry ]) -> rstr "state" entry
+          | Some _ | None -> Alcotest.fail "expected one cache entry"
+        in
+        let d1 = Serve.Daemon.create ~persist_dir:dir () in
+        let v, _ =
+          send d1 (Printf.sprintf {|{"op":"info","model":%S}|} model)
+        in
+        check Alcotest.string "cold" "miss" (state v);
+        let d2 = Serve.Daemon.create ~persist_dir:dir () in
+        let v, _ =
+          send d2 (Printf.sprintf {|{"op":"info","model":%S}|} model)
+        in
+        check Alcotest.string "snapshot refill" "snap" (state v));
+    tc "stats reports request, cache and memo counters" (fun () ->
+        let d = Serve.Daemon.create () in
+        let model = Lazy.force demo_model in
+        ignore (send d (Printf.sprintf {|{"op":"info","model":%S}|} model));
+        ignore (send d "garbage");
+        let v, _ = send d {|{"op":"stats"}|} in
+        check Alcotest.bool "ok" true (rbool "ok" v);
+        check Alcotest.int "requests counted" 3 (rint "requests" v);
+        check Alcotest.int "protocol errors counted" 1
+          (rint "protocol_errors" v);
+        (match rmember "cache" v with
+         | Some cache ->
+           check Alcotest.int "one miss" 1 (rint "misses" cache);
+           check Alcotest.int "one entry" 1 (rint "entries" cache)
+         | None -> Alcotest.fail "no cache stats");
+        match rmember "asl_memo" v with
+        | Some memo -> ignore (rint "cap" memo)
+        | None -> Alcotest.fail "no asl_memo stats");
+    tc "quit acknowledges and stops the loop" (fun () ->
+        let d = Serve.Daemon.create () in
+        let v, continue = send d {|{"op":"quit","id":9}|} in
+        check Alcotest.bool "ok" true (rbool "ok" v);
+        check Alcotest.int "id echoed" 9 (rint "id" v);
+        check Alcotest.bool "loop stops" false continue);
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Serve-vs-CLI byte-identity                                         *)
+
+(* Run the same op one-shot and through a daemon; stdout, stderr and
+   exit code must agree byte-for-byte. *)
+let assert_differential d ~args ~request =
+  let code, stdout, stderr = run_cli args in
+  let v, _ = send d request in
+  check Alcotest.int
+    (Printf.sprintf "exit (%s)" (String.concat " " args))
+    code (rint "exit" v);
+  check Alcotest.string
+    (Printf.sprintf "stdout (%s)" (String.concat " " args))
+    stdout (rstr "output" v);
+  check Alcotest.string
+    (Printf.sprintf "stderr (%s)" (String.concat " " args))
+    stderr (rstr "error" v)
+
+let differential_tests =
+  let req fmt = Printf.sprintf fmt in
+  [
+    tc "model ops are byte-identical, cold and warm, at every job count"
+      (fun () ->
+        let model = Lazy.force demo_model in
+        let snap = Lazy.force demo_snapshot in
+        let d = Serve.Daemon.create () in
+        let cases =
+          [
+            ([ "validate"; model ],
+             req {|{"op":"validate","model":%S}|} model);
+            ([ "validate"; "--format"; "json"; model ],
+             req {|{"op":"validate","model":%S,"format":"json"}|} model);
+            ([ "lint"; model ], req {|{"op":"lint","model":%S}|} model);
+            ([ "lint"; "--jobs"; "4"; "--format"; "json"; model; snap ],
+             req {|{"op":"lint","models":[%S,%S],"jobs":4,"format":"json"}|}
+               model snap);
+            ([ "lint"; "--only"; "SC"; "--no-hdl"; model ],
+             req {|{"op":"lint","model":%S,"only":["SC"],"no_hdl":true}|}
+               model);
+            ([ "info"; model ], req {|{"op":"info","model":%S}|} model);
+            ([ "gen"; model; "vhdl" ],
+             req {|{"op":"gen","model":%S,"lang":"vhdl"}|} model);
+            ([ "simulate"; "--events"; "toggle,toggle"; model ],
+             req {|{"op":"simulate","model":%S,"events":"toggle,toggle"}|}
+               model);
+            ([ "simulate"; "--rtl"; "--events"; "toggle"; snap ],
+             req {|{"op":"simulate","model":%S,"rtl":true,"events":"toggle"}|}
+               snap);
+            ([ "simulate"; "--metrics"; "--events"; "toggle"; model ],
+             req
+               {|{"op":"simulate","model":%S,"metrics":true,"events":"toggle"}|}
+               model);
+            ([ "trace"; "--events"; "toggle"; model ],
+             req {|{"op":"trace","model":%S,"events":"toggle"}|} model);
+            ([ "partition"; model ],
+             req {|{"op":"partition","model":%S}|} model);
+            ([ "partition"; "--budget"; "2"; model ],
+             req {|{"op":"partition","model":%S,"budget":2}|} model);
+            ([ "analyze"; "--metrics"; "--jobs"; "2"; model ],
+             req {|{"op":"analyze","model":%S,"metrics":true,"jobs":2}|}
+               model);
+            ([ "inject"; "--seed"; "3"; "--faults"; "5"; model ],
+             req {|{"op":"inject","model":%S,"seed":3,"faults":5}|} model);
+            ([ "inject"; "--format"; "json"; "--jobs"; "4"; model ],
+             req {|{"op":"inject","model":%S,"format":"json","jobs":4}|}
+               model);
+          ]
+        in
+        (* twice: first pass misses the daemon cache, second is all
+           warm hits — both must match the one-shot CLI *)
+        List.iter
+          (fun (args, request) -> assert_differential d ~args ~request)
+          cases;
+        List.iter
+          (fun (args, request) -> assert_differential d ~args ~request)
+          cases);
+    tc "failure diagnostics are byte-identical" (fun () ->
+        let model = Lazy.force demo_model in
+        let missing = Filename.concat tmp "serve_diff_missing.xmi" in
+        let garbage =
+          write_file (Filename.concat tmp "serve_diff_garbage.xmi") "not xml"
+        in
+        let d = Serve.Daemon.create () in
+        List.iter
+          (fun (args, request) -> assert_differential d ~args ~request)
+          [
+            ([ "info"; missing ], req {|{"op":"info","model":%S}|} missing);
+            ([ "lint"; garbage; model ],
+             req {|{"op":"lint","models":[%S,%S]}|} garbage model);
+            ([ "lint"; "--only"; "NOPE"; model ],
+             req {|{"op":"lint","model":%S,"only":["NOPE"]}|} model);
+            ([ "analyze"; "--disable"; "BOGUS,SC"; model ],
+             req {|{"op":"analyze","model":%S,"disable":["BOGUS","SC"]}|}
+               model);
+            ([ "lint"; "--jobs"; "0"; model ],
+             req {|{"op":"lint","model":%S,"jobs":0}|} model);
+            ([ "simulate"; "--machine"; "NoSuch"; model ],
+             req {|{"op":"simulate","model":%S,"machine":"NoSuch"}|} model);
+            ([ "inject"; "--faults=-1"; model ],
+             req {|{"op":"inject","model":%S,"faults":-1}|} model);
+          ]);
+    tc "pack through the daemon writes identical snapshots" (fun () ->
+        let model = Lazy.force demo_model in
+        let out_cli = Filename.concat tmp "serve_diff_cli.sumb" in
+        let out_d = Filename.concat tmp "serve_diff_daemon.sumb" in
+        let code, _, stderr = run_cli [ "pack"; model; "-o"; out_cli ] in
+        if code <> 0 then
+          Alcotest.failf "pack: exit %d (stderr: %s)" code stderr;
+        let d = Serve.Daemon.create () in
+        let v, _ =
+          send d (req {|{"op":"pack","model":%S,"out":%S}|} model out_d)
+        in
+        check Alcotest.bool "ok" true (rbool "ok" v);
+        check Alcotest.string "identical snapshot bytes" (read_file out_cli)
+          (read_file out_d));
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Per-request telemetry isolation                                    *)
+
+let metrics_tests =
+  [
+    tc "identical metrics requests report identical counters" (fun () ->
+        let model = Lazy.force demo_model in
+        let d = Serve.Daemon.create () in
+        let request =
+          Printf.sprintf
+            {|{"op":"simulate","model":%S,"metrics":true,"events":"toggle,toggle"}|}
+            model
+        in
+        let v1, _ = send d request in
+        (* an interleaved metrics-carrying request must not leak into
+           the next one's report *)
+        ignore
+          (send d
+             (Printf.sprintf {|{"op":"analyze","model":%S,"metrics":true}|}
+                model));
+        let v2, _ = send d request in
+        check Alcotest.string "identical output" (rstr "output" v1)
+          (rstr "output" v2);
+        check Alcotest.bool "metrics present in output" true
+          (String.length (rstr "output" v1) > 0));
+    tc "metrics reports match the one-shot CLI at any cache state"
+      (fun () ->
+        let model = Lazy.force demo_model in
+        let d = Serve.Daemon.create () in
+        let args = [ "analyze"; "--metrics"; model ] in
+        let request =
+          Printf.sprintf {|{"op":"analyze","model":%S,"metrics":true}|} model
+        in
+        assert_differential d ~args ~request;
+        assert_differential d ~args ~request);
+  ]
+
+let () =
+  Alcotest.run "serve"
+    [
+      ("json", json_tests);
+      ("cache", cache_tests);
+      ("daemon", daemon_tests);
+      ("differential", differential_tests);
+      ("metrics", metrics_tests);
+    ]
