@@ -1399,6 +1399,99 @@ let e19_tests () =
   ]
 
 (* ------------------------------------------------------------------ *)
+(* E20: the cost of resilience — deadline checkpoints and hostile mix  *)
+
+(* The deadline machinery is polled at every engine checkpoint, so its
+   overhead must be measured on the exact E19 shapes it guards: a
+   never-expiring budget pays the full polling tax (fuel: one atomic
+   decrement per checkpoint; deadline: the decrement plus a
+   gettimeofday every 64th checkpoint) without ever cancelling. *)
+let e20_report () =
+  sep "E20  serve resilience: budget-check overhead, hostile-mix throughput";
+  let xmi, snap = e19_model ~classes:1000 in
+  let events =
+    String.concat ","
+      (Workload.Gen_statechart.event_sequence ~seed:11 ~length:32 8)
+  in
+  let sim_line extra =
+    Printf.sprintf
+      {|{"op":"simulate","model":"%s","rtl":true,"events":"%s"%s}|} snap
+      events extra
+  in
+  let warm line =
+    let daemon = Serve.Daemon.create () in
+    e19_request daemon line;
+    e18_time (fun () -> e19_request daemon line)
+  in
+  let t_plain = warm (sim_line "") in
+  let t_fuel = warm (sim_line {|,"fuel":1000000000|}) in
+  let t_deadline = warm (sim_line {|,"deadline_ms":3600000|}) in
+  let pct t = 100. *. ((t /. t_plain) -. 1.) in
+  Printf.printf
+    "simulate-rtl warm: unbudgeted %7.3f ms, fuel %7.3f ms (%+5.1f%%), \
+     deadline %7.3f ms (%+5.1f%%)\n"
+    (1e3 *. t_plain) (1e3 *. t_fuel) (pct t_fuel) (1e3 *. t_deadline)
+    (pct t_deadline);
+  record_f "e20.warm_ms.unbudgeted" (1e3 *. t_plain);
+  record_f "e20.warm_ms.fuel" (1e3 *. t_fuel);
+  record_f "e20.warm_ms.deadline" (1e3 *. t_deadline);
+  record_f "e20.overhead_pct.fuel" (pct t_fuel);
+  record_f "e20.overhead_pct.deadline" (pct t_deadline);
+  (* a daemon absorbing abuse must not slow down for everyone: compare
+     warm throughput on a pure valid stream against a 10%-hostile mix
+     (garbage lines, unknown ops, oversized payloads) *)
+  let valid = Printf.sprintf {|{"op":"lint","model":"%s"}|} snap in
+  let hostile =
+    [|
+      "garbage that is not json";
+      {|{"op":"frobnicate"}|};
+      Printf.sprintf {|{"op":"info","model":"%s"}|}
+        (String.make (Serve.Daemon.max_line_bytes + 1) 'x');
+    |]
+  in
+  let mix_time ~hostile_every =
+    let daemon = Serve.Daemon.create () in
+    e19_request daemon valid;
+    let i = ref 0 in
+    let batch = 10 in
+    let t =
+      e18_time (fun () ->
+          for k = 1 to batch do
+            incr i;
+            if hostile_every > 0 && k mod hostile_every = 0 then
+              e19_request daemon
+                hostile.(!i mod Array.length hostile)
+            else e19_request daemon valid
+          done)
+    in
+    t /. float_of_int batch
+  in
+  let t_pure = mix_time ~hostile_every:0 in
+  let t_mixed = mix_time ~hostile_every:10 in
+  Printf.printf
+    "lint warm stream: pure %8.0f req/s, 10%% hostile %8.0f req/s \
+     (%+5.1f%% per-request)\n"
+    (1. /. t_pure) (1. /. t_mixed)
+    (100. *. ((t_mixed /. t_pure) -. 1.));
+  record_f "e20.pure_rps" (1. /. t_pure);
+  record_f "e20.hostile_mix_rps" (1. /. t_mixed);
+  record_f "e20.hostile_mix_cost_pct" (100. *. ((t_mixed /. t_pure) -. 1.));
+  Sys.remove xmi;
+  Sys.remove snap
+
+let e20_tests () =
+  let xmi, _snap = e19_model ~classes:200 in
+  let daemon = Serve.Daemon.create () in
+  let line =
+    Printf.sprintf {|{"op":"analyze","model":"%s","fuel":1000000000}|} xmi
+  in
+  e19_request daemon line;
+  [
+    Bechamel.Test.make ~name:"e20/warm-analyze-budgeted"
+      (Bechamel.Staged.stage (fun () -> e19_request daemon line));
+  ]
+
+(* ------------------------------------------------------------------ *)
 (* Bechamel driver                                                     *)
 
 let run_bechamel tests =
@@ -1454,13 +1547,14 @@ let () =
   e17_report ();
   e18_report ();
   e19_report ();
+  e20_report ();
   if not quick then begin
     let tests =
       e1_tests () @ e2_tests () @ e2_xuml_test () @ e3_tests () @ e4_tests ()
       @ e5_tests () @ e6_tests () @ e7_tests () @ e8_tests () @ e9_tests ()
       @ e10_tests () @ e11_tests () @ e12_tests () @ e13_tests ()
       @ e14_tests () @ e15_tests () @ e16_tests () @ e17_tests ()
-      @ e18_tests () @ e19_tests ()
+      @ e18_tests () @ e19_tests () @ e20_tests ()
     in
     run_bechamel tests
   end;

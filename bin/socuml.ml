@@ -388,33 +388,105 @@ let asl_memo_cap_arg =
   Arg.(
     value & opt (some int) None & info [ "asl-memo-cap" ] ~docv:"N" ~doc)
 
+let deadline_ms_arg =
+  let doc =
+    "Server-wide wall-clock budget in milliseconds for \
+     $(b,simulate)/$(b,analyze)/$(b,inject) requests (0 disables; a \
+     request's own $(b,fuel)/$(b,deadline_ms) field overrides it).  \
+     Expired requests answer a typed $(b,timeout) error; the daemon and \
+     its caches keep serving."
+  in
+  Arg.(value & opt int 0 & info [ "deadline-ms" ] ~docv:"MS" ~doc)
+
+let max_queue_arg =
+  let doc =
+    "Bound on buffered pending request lines; lines past it are \
+     answered immediately with an $(b,overloaded) error instead of \
+     buffering without bound."
+  in
+  Arg.(value & opt int 64 & info [ "max-queue" ] ~docv:"N" ~doc)
+
+let health_check_arg =
+  let doc =
+    "Don't serve: answer one $(b,health) probe and exit.  With \
+     $(b,--socket), connects to the running daemon at that path; \
+     otherwise reports an in-process daemon built from the given flags \
+     (a configuration check)."
+  in
+  Arg.(value & flag & info [ "health-check" ] ~doc)
+
+(* One health probe against a live daemon: connect, send the op, print
+   the single response line.  Any failure (no daemon, refused, dead
+   peer) is the standard one-line diagnostic + exit 1 via [guarded]. *)
+let health_probe path =
+  let sock = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Fun.protect
+    ~finally:(fun () -> try Unix.close sock with Unix.Unix_error _ -> ())
+    (fun () ->
+      (match Unix.connect sock (Unix.ADDR_UNIX path) with
+       | () -> ()
+       | exception Unix.Unix_error (err, _, _) ->
+         failwith
+           (Printf.sprintf "cannot connect to daemon at %s: %s" path
+              (Unix.error_message err)));
+      let req = "{\"op\":\"health\"}\n" in
+      let _ = Unix.write_substring sock req 0 (String.length req) in
+      let ic = Unix.in_channel_of_descr sock in
+      match input_line ic with
+      | line ->
+        print_endline line;
+        0
+      | exception End_of_file ->
+        failwith "daemon closed the connection without answering")
+
 let serve_cmd =
-  let run socket cache_entries cache_bytes cache_dir asl_cap =
+  let run socket cache_entries cache_bytes cache_dir asl_cap deadline_ms
+      max_queue health_check =
     guarded @@ fun () ->
-    (match asl_cap with
-     | Some cap -> Asl.Compiled.set_memo_cap cap
-     | None -> ());
-    let daemon =
-      Serve.Daemon.create ~max_entries:cache_entries ~max_bytes:cache_bytes
-        ?persist_dir:cache_dir ()
-    in
-    (match socket with
-     | Some path -> Serve.Daemon.serve_socket daemon path
-     | None -> Serve.Daemon.serve_channel daemon stdin stdout);
-    0
+    if health_check && socket <> None then
+      health_probe (Option.get socket)
+    else begin
+      (match asl_cap with
+       | Some cap -> Asl.Compiled.set_memo_cap cap
+       | None -> ());
+      let deadline_ms = if deadline_ms = 0 then None else Some deadline_ms in
+      let daemon =
+        Serve.Daemon.create ~max_entries:cache_entries ~max_bytes:cache_bytes
+          ?persist_dir:cache_dir ?deadline_ms ~max_queue ()
+      in
+      if health_check then begin
+        (match Serve.Daemon.handle_line daemon "{\"op\":\"health\"}" with
+         | Some line, _ -> print_endline line
+         | None, _ -> ());
+        0
+      end
+      else begin
+        (* graceful shutdown: drain pending lines with [shutting_down],
+           flush persistence, remove the socket file *)
+        let stop _ = Serve.Daemon.request_stop daemon in
+        Sys.set_signal Sys.sigterm (Sys.Signal_handle stop);
+        Sys.set_signal Sys.sigint (Sys.Signal_handle stop);
+        (match socket with
+         | Some path -> Serve.Daemon.serve_socket daemon path
+         | None -> Serve.Daemon.serve_channel daemon stdin stdout);
+        0
+      end
+    end
   in
   let doc =
     "Run a persistent daemon: newline-delimited JSON requests mirroring \
      the subcommands (one response line per request, output \
      byte-identical to the one-shot CLI), with a content-hash LRU cache \
      of loaded models and their compiled artifacts so repeated requests \
-     skip the load and lowering entirely.  See DESIGN.md for the \
-     protocol."
+     skip the load and lowering entirely.  Per-request deadlines, \
+     overload shedding and SIGTERM/SIGINT draining are built in.  See \
+     DESIGN.md for the protocol and its error-code table."
   in
   Cmd.v (Cmd.info "serve" ~doc)
     Term.(
       const run $ socket_arg $ cache_entries_arg $ cache_bytes_arg
-      $ cache_dir_arg $ asl_memo_cap_arg)
+      $ cache_dir_arg $ asl_memo_cap_arg $ deadline_ms_arg $ max_queue_arg
+      $ health_check_arg)
 
 let main =
   let doc = "UML 2.0 modeling and MDA toolchain for SoC design" in

@@ -6,6 +6,7 @@ type t = {
   nl : Netlist.t;
   vals : int array;
   settle_budget : int;
+  budget : Exec.Budget.t;
   (* event-driven settling state: which comb processes must re-run *)
   dirty : bool array;
   mutable ndirty : int;
@@ -114,11 +115,13 @@ let settle_worklist t =
   end
 
 let settle t =
+  Exec.Budget.check t.budget;
   match t.nl.Netlist.nl_levels with
   | Some order -> settle_levelized t order
   | None -> settle_worklist t
 
-let of_netlist ?(metrics = Telemetry.Metrics.null) ?(settle_budget = 1000) nl =
+let of_netlist ?(metrics = Telemetry.Metrics.null) ?(settle_budget = 1000)
+    ?(budget = Exec.Budget.unlimited) nl =
   if settle_budget <= 0 then invalid_arg "Fast.create: settle_budget <= 0";
   let n = Array.length nl.Netlist.nl_names in
   let ncomb = Array.length nl.Netlist.nl_comb in
@@ -130,6 +133,7 @@ let of_netlist ?(metrics = Telemetry.Metrics.null) ?(settle_budget = 1000) nl =
       nl;
       vals = Array.copy nl.Netlist.nl_init;
       settle_budget;
+      budget;
       dirty = Array.make (max ncomb 1) true;
       ndirty = ncomb;
       gen = Array.make (max ncomb 1) 0;
@@ -149,8 +153,8 @@ let of_netlist ?(metrics = Telemetry.Metrics.null) ?(settle_budget = 1000) nl =
   settle t;
   t
 
-let create ?metrics ?settle_budget m =
-  of_netlist ?metrics ?settle_budget (Netlist.compile m)
+let create ?metrics ?settle_budget ?budget m =
+  of_netlist ?metrics ?settle_budget ?budget (Netlist.compile m)
 
 let module_of t = t.nl.Netlist.nl_module
 

@@ -37,20 +37,32 @@
 type t
 
 val create :
-  ?metrics:Telemetry.Metrics.t -> ?settle_budget:int -> Hdl.Module_.t -> t
+  ?metrics:Telemetry.Metrics.t ->
+  ?settle_budget:int ->
+  ?budget:Exec.Budget.t ->
+  Hdl.Module_.t ->
+  t
 (** Compile and settle.  [metrics] (default {!Telemetry.Metrics.null})
     receives the [dsim.events], [dsim.delta_cycles] and
     [dsim.skipped_evals] counters.  [settle_budget] (default 1000)
     bounds the worklist-fallback rounds per settle for cyclic comb
     graphs; exceeding it raises a [Sim.Simulation_error] that names the
-    still-unstable signals.
+    still-unstable signals.  [budget] (default
+    {!Exec.Budget.unlimited}) is checkpointed once per settle pass —
+    every [set_input]/[clock_edge]/[cycle] step, and the initial
+    settle — so a cancelled simulation unwinds with
+    {!Exec.Budget.Expired} before the next pass starts.
     @raise Sim.Simulation_error when the module has unresolved names or
     unknown enum literals (reported eagerly, at compile time), or when
     a combinational loop prevents settling within the budget.
     @raise Invalid_argument when [settle_budget <= 0]. *)
 
 val of_netlist :
-  ?metrics:Telemetry.Metrics.t -> ?settle_budget:int -> Netlist.t -> t
+  ?metrics:Telemetry.Metrics.t ->
+  ?settle_budget:int ->
+  ?budget:Exec.Budget.t ->
+  Netlist.t ->
+  t
 (** {!create} from an already-compiled netlist, skipping the lowering
     entirely — the warm path of the [socuml serve] artifact cache.  The
     netlist is shared, never mutated: simulator state lives in a

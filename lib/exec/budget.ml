@@ -1,0 +1,65 @@
+exception Expired of string
+
+type kind =
+  | Unlimited
+  | Fuel of string
+  | Deadline of { now : unit -> float; start : float; horizon : float; msg : string }
+
+type t = {
+  kind : kind;
+  remaining : int Atomic.t;
+      (* Fuel: checkpoints left.  Deadline: checkpoints until the next
+         clock consultation.  Unlimited: unused. *)
+  dead : bool Atomic.t;  (* sticky expiry flag, shared across domains *)
+}
+
+(* How many checkpoints a deadline budget runs between clock reads.
+   Engine checkpoints are micro-scale (one marking, one settle pass),
+   so consulting the clock every call would dominate; 64 keeps the
+   detection window well under a millisecond on every E19 shape. *)
+let clock_stride = 64
+
+let unlimited =
+  { kind = Unlimited; remaining = Atomic.make max_int; dead = Atomic.make false }
+
+let fuel n =
+  if n < 0 then invalid_arg "Budget.fuel: negative fuel";
+  {
+    kind = Fuel (Printf.sprintf "budget expired: fuel limit %d exhausted" n);
+    remaining = Atomic.make n;
+    dead = Atomic.make false;
+  }
+
+let deadline ~now ~ms =
+  if ms <= 0 then invalid_arg "Budget.deadline: non-positive deadline";
+  {
+    kind =
+      Deadline
+        {
+          now;
+          start = now ();
+          horizon = float_of_int ms /. 1000.;
+          msg = Printf.sprintf "budget expired: deadline %d ms exceeded" ms;
+        };
+    remaining = Atomic.make clock_stride;
+    dead = Atomic.make false;
+  }
+
+let expire t msg =
+  Atomic.set t.dead true;
+  raise (Expired msg)
+
+let check t =
+  match t.kind with
+  | Unlimited -> ()
+  | Fuel msg ->
+      if Atomic.get t.dead then raise (Expired msg)
+      else if Atomic.fetch_and_add t.remaining (-1) <= 0 then expire t msg
+  | Deadline d ->
+      if Atomic.get t.dead then raise (Expired d.msg)
+      else if Atomic.fetch_and_add t.remaining (-1) <= 0 then begin
+        Atomic.set t.remaining clock_stride;
+        if d.now () -. d.start > d.horizon then expire t d.msg
+      end
+
+let expired t = Atomic.get t.dead

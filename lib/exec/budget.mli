@@ -1,0 +1,58 @@
+(** Cooperative cancellation budgets.
+
+    A budget is a token threaded into long-running engine loops
+    ({!Petri.Compiled} exploration, {!Fault.Campaign} runs,
+    {!Dsim.Fast} settling).  The loop calls {!check} at each natural
+    checkpoint (one popped marking, one injected fault, one settle
+    pass); when the budget is exhausted, {!check} raises {!Expired}
+    and the caller unwinds with all shared state still consistent —
+    cancellation is purely cooperative, nothing is killed mid-write.
+
+    Budgets come in three flavours:
+
+    - {!unlimited} never expires (the default everywhere);
+    - {!fuel} expires after a fixed number of checkpoints — fully
+      deterministic, used by tests and the golden resilience gate;
+    - {!deadline} expires once an injected wall clock passes a
+      configured horizon.  The clock is injected as a closure so this
+      library stays dependency-free ([lib/serve] passes
+      [Unix.gettimeofday]).
+
+    State is kept in [Atomic] cells: a budget may be checked from
+    {!Pool} worker domains, and an expiry observed by one worker is
+    sticky — every subsequent {!check} on any domain raises too.
+    At [jobs=1] everything runs inline, so fuel expiry is exact and
+    replayable. *)
+
+type t
+(** A cancellation budget. *)
+
+exception Expired of string
+(** Raised by {!check} when the budget is exhausted.  The payload is a
+    deterministic one-line description of the configured limit (it
+    never embeds elapsed wall time). *)
+
+val unlimited : t
+(** The budget that never expires; {!check} is a cheap no-op. *)
+
+val fuel : int -> t
+(** [fuel n] expires at the [n+1]-th checkpoint: the first [n] calls
+    to {!check} succeed, the next raises.  Deterministic across runs
+    and job counts when checked from a single domain.
+    @raise Invalid_argument if [n < 0]. *)
+
+val deadline : now:(unit -> float) -> ms:int -> t
+(** [deadline ~now ~ms] expires once [now () -. start > ms / 1000.]
+    where [start] is sampled at creation.  To keep checkpoints cheap
+    the clock is consulted only every few dozen {!check} calls; expiry
+    is therefore detected within a small checkpoint window of the
+    horizon.  @raise Invalid_argument if [ms <= 0]. *)
+
+val check : t -> unit
+(** Checkpoint: account one unit of work and raise {!Expired} if the
+    budget is (or has become) exhausted.  Safe to call from any
+    domain. *)
+
+val expired : t -> bool
+(** [expired t] is [true] once the budget has been observed exhausted
+    (by any domain).  Never [true] for {!unlimited}. *)

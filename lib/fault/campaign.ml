@@ -39,9 +39,10 @@ let inject_rtl sim cycle faults =
           Dsim.Fast.force sim sa_signal (if sa_value = 0 then 0 else -1))
     faults
 
-let rtl_run ?(metrics = Telemetry.Metrics.null) spec faults =
+let rtl_run ?(metrics = Telemetry.Metrics.null)
+    ?(budget = Exec.Budget.unlimited) spec faults =
   match
-    Dsim.Fast.create ~metrics ~settle_budget:spec.rs_settle_budget
+    Dsim.Fast.create ~metrics ~settle_budget:spec.rs_settle_budget ~budget
       spec.rs_module
   with
   | exception Dsim.Sim.Simulation_error msg ->
@@ -59,6 +60,7 @@ let rtl_run ?(metrics = Telemetry.Metrics.null) spec faults =
         | None -> ());
        let c = ref 0 in
        while !c < spec.rs_cycles && !error = None do
+         Exec.Budget.check budget;
          let cycle = !c in
          (match List.assoc_opt cycle spec.rs_stimulus with
           | Some inputs ->
@@ -143,7 +145,8 @@ let status_string engine =
   | Statechart.Engine.Finished -> "finished"
   | Statechart.Engine.Terminated -> "terminated"
 
-let sc_run ?(metrics = Telemetry.Metrics.null) spec faults =
+let sc_run ?(metrics = Telemetry.Metrics.null)
+    ?(budget = Exec.Budget.unlimited) spec faults =
   let events = perturb_events faults spec.ss_events in
   let engine = Statechart.Engine.create ~metrics spec.ss_machine in
   let signatures = ref [] in
@@ -154,6 +157,7 @@ let sc_run ?(metrics = Telemetry.Metrics.null) spec faults =
      let rec deliver = function
        | [] -> ()
        | ev :: rest ->
+         Exec.Budget.check budget;
          Statechart.Engine.send engine (Statechart.Event.make ev);
          (match Statechart.Engine.run_bounded engine ~budget:spec.ss_budget with
           | `Quiescent _n -> ()
@@ -211,10 +215,12 @@ let inject_tokens adjust step faults =
         if dt_step = step then adjust dt_place 1)
     faults
 
-let act_run ?(metrics = Telemetry.Metrics.null) spec faults =
+let act_run ?(metrics = Telemetry.Metrics.null)
+    ?(budget = Exec.Budget.unlimited) spec faults =
   let exec = Activity.Exec.create ~metrics spec.ac_activity in
   let rng = Workload.Prng.create spec.ac_choice_seed in
   let rec loop step acc =
+    Exec.Budget.check budget;
     inject_tokens (Activity.Exec.adjust_tokens exec) step faults;
     if step >= spec.ac_max_steps then (List.rev acc, "exhausted")
     else
@@ -260,7 +266,8 @@ type net_run = {
   nr_truncated : bool;
 }
 
-let net_run ?(metrics = Telemetry.Metrics.null) spec faults =
+let net_run ?(metrics = Telemetry.Metrics.null)
+    ?(budget = Exec.Budget.unlimited) spec faults =
   let fired_counter = Telemetry.Metrics.counter metrics "petri.fired" in
   let rng = Workload.Prng.create spec.np_choice_seed in
   let marking = ref spec.np_marking in
@@ -272,6 +279,7 @@ let net_run ?(metrics = Telemetry.Metrics.null) spec faults =
       step faults
   in
   let rec loop step fired markings =
+    Exec.Budget.check budget;
     inject step;
     if step >= spec.np_max_steps then (List.rev fired, List.rev markings, false, true)
     else
@@ -354,7 +362,9 @@ type fault_result =
   | FR_runs of (string * outcome) list
   | FR_skipped of string
 
-let exec_fault ~metrics ~golden_rtl ~golden_sc ~golden_act ~golden_net fault =
+let exec_fault ~metrics ~budget ~golden_rtl ~golden_sc ~golden_act ~golden_net
+    fault =
+  Exec.Budget.check budget;
   let m_injected = Telemetry.Metrics.counter metrics "fault.injected" in
   let note domain outcome acc =
     Telemetry.Metrics.incr m_injected;
@@ -378,7 +388,7 @@ let exec_fault ~metrics ~golden_rtl ~golden_sc ~golden_act ~golden_net fault =
     | Some (spec, golden) ->
       let outcome =
         Telemetry.Metrics.span metrics "fault/run" (fun () ->
-            classify_rtl ~golden (rtl_run ~metrics spec [ f ]))
+            classify_rtl ~golden (rtl_run ~metrics ~budget spec [ f ]))
       in
       FR_runs (List.rev (note "rtl" outcome [])))
   | Plan.F_statechart f -> (
@@ -387,7 +397,7 @@ let exec_fault ~metrics ~golden_rtl ~golden_sc ~golden_act ~golden_net fault =
     | Some (spec, golden) ->
       let outcome =
         Telemetry.Metrics.span metrics "fault/run" (fun () ->
-            classify_sc ~golden (sc_run ~metrics spec [ f ]))
+            classify_sc ~golden (sc_run ~metrics ~budget spec [ f ]))
       in
       FR_runs (List.rev (note "statechart" outcome [])))
   | Plan.F_token f ->
@@ -397,7 +407,7 @@ let exec_fault ~metrics ~golden_rtl ~golden_sc ~golden_act ~golden_net fault =
      | Some (spec, golden) ->
        let outcome =
          Telemetry.Metrics.span metrics "fault/run" (fun () ->
-             classify_act ~golden (act_run ~metrics spec [ f ]))
+             classify_act ~golden (act_run ~metrics ~budget spec [ f ]))
        in
        acc := note "activity" outcome !acc);
     (match golden_net with
@@ -405,24 +415,31 @@ let exec_fault ~metrics ~golden_rtl ~golden_sc ~golden_act ~golden_net fault =
      | Some (spec, golden) ->
        let outcome =
          Telemetry.Metrics.span metrics "fault/run" (fun () ->
-             classify_net spec ~golden (net_run ~metrics spec [ f ]))
+             classify_net spec ~golden (net_run ~metrics ~budget spec [ f ]))
        in
        acc := note "petri" outcome !acc);
     if !acc = [] then FR_skipped "no token domain in this campaign"
     else FR_runs (List.rev !acc)
 
-let run ?(metrics = Telemetry.Metrics.null) ?pool ?rtl ?statechart ?activity
-    ?net ~label plan =
+let run ?(metrics = Telemetry.Metrics.null)
+    ?(budget = Exec.Budget.unlimited) ?pool ?rtl ?statechart ?activity ?net
+    ~label plan =
   (* registered up front so it reports 0 even for an empty campaign *)
   let (_ : Telemetry.Metrics.counter) =
     Telemetry.Metrics.counter metrics "fault.injected"
   in
   (* golden runs: once per supplied spec, before any injection, always
      on the caller's domain and registry *)
-  let golden_rtl = Option.map (fun s -> (s, rtl_run ~metrics s [])) rtl in
-  let golden_sc = Option.map (fun s -> (s, sc_run ~metrics s [])) statechart in
-  let golden_act = Option.map (fun s -> (s, act_run ~metrics s [])) activity in
-  let golden_net = Option.map (fun s -> (s, net_run ~metrics s [])) net in
+  let golden_rtl =
+    Option.map (fun s -> (s, rtl_run ~metrics ~budget s [])) rtl
+  in
+  let golden_sc =
+    Option.map (fun s -> (s, sc_run ~metrics ~budget s [])) statechart
+  in
+  let golden_act =
+    Option.map (fun s -> (s, act_run ~metrics ~budget s [])) activity
+  in
+  let golden_net = Option.map (fun s -> (s, net_run ~metrics ~budget s [])) net in
   let faults = Array.of_list plan.Plan.faults in
   let n = Array.length faults in
   let results = Array.make n (FR_skipped "") in
@@ -434,16 +451,16 @@ let run ?(metrics = Telemetry.Metrics.null) ?pool ?rtl ?statechart ?activity
      let forks = Array.init n (fun _ -> Telemetry.Metrics.fork metrics) in
      Exec.Pool.parallel_for p ~n (fun i ->
          results.(i) <-
-           exec_fault ~metrics:forks.(i) ~golden_rtl ~golden_sc ~golden_act
-             ~golden_net faults.(i));
+           exec_fault ~metrics:forks.(i) ~budget ~golden_rtl ~golden_sc
+             ~golden_act ~golden_net faults.(i));
      Array.iter
        (fun child -> Telemetry.Metrics.merge_into ~into:metrics child)
        forks
    | Some _ | None ->
      for i = 0 to n - 1 do
        results.(i) <-
-         exec_fault ~metrics ~golden_rtl ~golden_sc ~golden_act ~golden_net
-           faults.(i)
+         exec_fault ~metrics ~budget ~golden_rtl ~golden_sc ~golden_act
+           ~golden_net faults.(i)
      done);
   let runs = ref [] in
   let skipped = ref [] in

@@ -60,10 +60,18 @@ type rtl_run = {
 }
 
 val rtl_run :
-  ?metrics:Telemetry.Metrics.t -> rtl_spec -> Plan.rtl_fault list -> rtl_run
+  ?metrics:Telemetry.Metrics.t ->
+  ?budget:Exec.Budget.t ->
+  rtl_spec ->
+  Plan.rtl_fault list ->
+  rtl_run
 (** Execute the stimulus with the given faults injected ([[]] = golden
     run).  Bit flips are forced once after the target edge; stuck-at
-    faults are re-forced after every edge from their start cycle. *)
+    faults are re-forced after every edge from their start cycle.
+    [budget] (default {!Exec.Budget.unlimited}) is checkpointed once
+    per cycle (and per settle pass inside the simulator);
+    {!Exec.Budget.Expired} propagates — it is never folded into
+    [rr_error]. *)
 
 val classify_rtl : golden:rtl_run -> rtl_run -> outcome
 
@@ -89,9 +97,11 @@ val perturb_events : Plan.statechart_fault list -> string list -> string list
 
 val sc_run :
   ?metrics:Telemetry.Metrics.t ->
+  ?budget:Exec.Budget.t ->
   sc_spec ->
   Plan.statechart_fault list ->
   sc_run
+(** [budget] is checkpointed once per delivered event. *)
 
 val classify_sc : golden:sc_run -> sc_run -> outcome
 
@@ -110,9 +120,14 @@ type act_run = {
 }
 
 val act_run :
-  ?metrics:Telemetry.Metrics.t -> act_spec -> Plan.token_fault list -> act_run
+  ?metrics:Telemetry.Metrics.t ->
+  ?budget:Exec.Budget.t ->
+  act_spec ->
+  Plan.token_fault list ->
+  act_run
 (** Steps the activity engine one seeded choice at a time, applying
-    each token fault to the marking just before its target step. *)
+    each token fault to the marking just before its target step.
+    [budget] is checkpointed once per step. *)
 
 val classify_act : golden:act_run -> act_run -> outcome
 
@@ -134,7 +149,12 @@ type net_run = {
 }
 
 val net_run :
-  ?metrics:Telemetry.Metrics.t -> net_spec -> Plan.token_fault list -> net_run
+  ?metrics:Telemetry.Metrics.t ->
+  ?budget:Exec.Budget.t ->
+  net_spec ->
+  Plan.token_fault list ->
+  net_run
+(** [budget] is checkpointed once per step. *)
 
 val classify_net : net_spec -> golden:net_run -> net_run -> outcome
 (** Needs the spec: detection includes evaluating the net's
@@ -169,6 +189,7 @@ type totals = {
 
 val run :
   ?metrics:Telemetry.Metrics.t ->
+  ?budget:Exec.Budget.t ->
   ?pool:Exec.Pool.t ->
   ?rtl:rtl_spec ->
   ?statechart:sc_spec ->
@@ -191,7 +212,13 @@ val run :
     {!Telemetry.Metrics.fork}, and results merge back in plan order.
     The report and the metrics report are byte-identical at every job
     count (enforced by [test/test_parallel.ml] and the jobs-4 leg of
-    the [@inject-demo] golden gate). *)
+    the [@inject-demo] golden gate).
+
+    [budget] (default {!Exec.Budget.unlimited}) is checkpointed before
+    each fault and at each cycle/event/step inside the per-domain
+    runs; {!Exec.Budget.Expired} propagates to the caller (via the
+    pool's lowest-index exception rule when sharded) with no report
+    produced — the campaign is all-or-nothing under cancellation. *)
 
 val totals : report -> totals
 

@@ -26,6 +26,7 @@ type summary = {
 val explore :
   ?limit:int ->
   ?metrics:Telemetry.Metrics.t ->
+  ?budget:Exec.Budget.t ->
   ?pool:Exec.Pool.t ->
   ?compiled:Compiled.t ->
   Net.t ->
@@ -38,6 +39,8 @@ val explore :
     function per answer.  [metrics] receives the
     [petri.markings_explored] counter.  [pool] shards BFS levels across
     domains with byte-identical results (see {!Compiled.reachable}).
+    [budget] is checkpointed once per visited marking;
+    {!Exec.Budget.Expired} propagates with no summary produced.
     [compiled] supplies a pre-interned form of [net] (it must be
     [Compiled.of_net net] for the same net), skipping the interning
     step — the warm path of the [socuml serve] artifact cache. *)
@@ -45,6 +48,7 @@ val explore :
 val reachable :
   ?limit:int ->
   ?metrics:Telemetry.Metrics.t ->
+  ?budget:Exec.Budget.t ->
   ?pool:Exec.Pool.t ->
   ?compiled:Compiled.t ->
   Net.t ->
@@ -80,6 +84,7 @@ val random_occurrence_sequence :
 
 val dead_transitions :
   ?limit:int ->
+  ?budget:Exec.Budget.t ->
   ?pool:Exec.Pool.t ->
   ?compiled:Compiled.t ->
   Net.t ->

@@ -127,7 +127,7 @@ module H = Hashtbl.Make (struct
   let hash = marking_hash
 end)
 
-let reachable_seq ~limit ~metrics c m0 =
+let reachable_seq ~limit ~metrics ~budget c m0 =
   let m_explored = Telemetry.Metrics.counter metrics "petri.markings_explored" in
   let nt = Array.length c.transition_ids in
   let fired = Array.make nt false in
@@ -148,6 +148,7 @@ let reachable_seq ~limit ~metrics c m0 =
       continue := false
     end
     else begin
+      Exec.Budget.check budget;
       let m = Queue.pop queue in
       incr visited;
       Telemetry.Metrics.incr m_explored;
@@ -204,7 +205,7 @@ let expand c nt m =
    Truncation also matches: the sequential loop stops at the first pop
    attempt past [limit], so a level is cut to [limit - visited] nodes
    and the verdict is "truncated" iff nodes remained. *)
-let reachable_par ~limit ~metrics pool c m0 =
+let reachable_par ~limit ~metrics ~budget pool c m0 =
   let m_explored = Telemetry.Metrics.counter metrics "petri.markings_explored" in
   let nt = Array.length c.transition_ids in
   let fired = Array.make nt false in
@@ -227,6 +228,10 @@ let reachable_par ~limit ~metrics pool c m0 =
         results.(i) <- expand c nt level.(i));
     let next = ref [] in
     for i = 0 to take - 1 do
+      (* Budget checkpoints live in this sequential merge loop (caller
+         domain), not in the worker expansion, so fuel budgets stay
+         deterministic at every job count. *)
+      Exec.Budget.check budget;
       let any, mt, fired_tis, succs = results.(i) in
       incr visited;
       Telemetry.Metrics.incr m_explored;
@@ -253,8 +258,9 @@ let reachable_par ~limit ~metrics pool c m0 =
     r_max_tokens = !max_tokens;
   }
 
-let reachable ?(limit = 10_000) ?(metrics = Telemetry.Metrics.null) ?pool c m0
-    =
+let reachable ?(limit = 10_000) ?(metrics = Telemetry.Metrics.null)
+    ?(budget = Exec.Budget.unlimited) ?pool c m0 =
   match pool with
-  | Some p when Exec.Pool.jobs p > 1 -> reachable_par ~limit ~metrics p c m0
-  | Some _ | None -> reachable_seq ~limit ~metrics c m0
+  | Some p when Exec.Pool.jobs p > 1 ->
+      reachable_par ~limit ~metrics ~budget p c m0
+  | Some _ | None -> reachable_seq ~limit ~metrics ~budget c m0

@@ -88,6 +88,7 @@ type reach = {
 val reachable :
   ?limit:int ->
   ?metrics:Telemetry.Metrics.t ->
+  ?budget:Exec.Budget.t ->
   ?pool:Exec.Pool.t ->
   t ->
   marking ->
@@ -103,4 +104,10 @@ val reachable :
     across the pool's domains and merged back into the visited set
     sequentially, in frontier order — the result is equal to the
     single-domain exploration field for field, including BFS order and
-    the truncation verdict (enforced by [test/test_parallel.ml]). *)
+    the truncation verdict (enforced by [test/test_parallel.ml]).
+
+    [budget] (default {!Exec.Budget.unlimited}) is checkpointed once
+    per visited marking — in the sequential merge loop under [pool],
+    so fuel budgets expire at the same marking at every job count —
+    and {!Exec.Budget.Expired} propagates to the caller with the
+    exploration abandoned cleanly. *)

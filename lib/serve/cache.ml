@@ -25,6 +25,7 @@ type stats = {
   cs_snap_refills : int;
   cs_evictions : int;
   cs_persisted : int;
+  cs_quarantined : int;
 }
 
 type t = {
@@ -40,6 +41,7 @@ type t = {
   mutable snap_refills : int;
   mutable evictions : int;
   mutable persisted : int;
+  mutable quarantined : int;
 }
 
 let locked t f =
@@ -66,6 +68,7 @@ let create ?(max_entries = 64) ?(max_bytes = 256 * 1024 * 1024) ?persist_dir
     snap_refills = 0;
     evictions = 0;
     persisted = 0;
+    quarantined = 0;
   }
 
 let next_stamp t =
@@ -105,8 +108,16 @@ let enforce_bounds t ~keep =
 let snap_path dir key = Filename.concat dir (key ^ ".sumb")
 
 (* A persisted snapshot is an optimization, never a correctness input:
-   any failure to read or decode it silently falls back to the source
-   bytes. *)
+   any failure to read or decode it falls back to the source bytes.
+   The rotten file itself is quarantined — renamed to [<key>.corrupt]
+   and counted — so it is never re-read on every subsequent miss and
+   disk rot shows up in [stats] instead of hiding as a silent slow
+   path.  Runs under the cache lock (callers hold it). *)
+let quarantine t path =
+  match Sys.rename path (path ^ ".corrupt") with
+  | () -> t.quarantined <- t.quarantined + 1
+  | exception Sys_error _ -> ()
+
 let try_refill t key =
   match t.persist_dir with
   | None -> None
@@ -115,11 +126,15 @@ let try_refill t key =
     if not (Sys.file_exists path) then None
     else
       match Load.read_file_bytes path with
-      | exception _ -> None
+      | exception _ ->
+        quarantine t path;
+        None
       | data -> (
         match Snap.Read.model_of_string data with
         | m -> Some m
-        | exception _ -> None))
+        | exception _ ->
+          quarantine t path;
+          None))
 
 (* Write-through persistence, atomic against concurrent readers: write
    to a dotfile sibling and rename into place.  Failures (full disk,
@@ -199,4 +214,15 @@ let stats t =
         cs_snap_refills = t.snap_refills;
         cs_evictions = t.evictions;
         cs_persisted = t.persisted;
+        cs_quarantined = t.quarantined;
       })
+
+(* Degradation valve: drop every entry (the persisted snapshots stay —
+   they refill misses cheaply once pressure clears).  Dropped entries
+   count as evictions so the stats ledger stays monotonic. *)
+let clear t =
+  locked t (fun () ->
+      let n = Hashtbl.length t.table in
+      Hashtbl.reset t.table;
+      t.bytes <- 0;
+      t.evictions <- t.evictions + n)

@@ -18,8 +18,11 @@
     written as [<key>.sumb]; a later process (or a later miss after
     eviction) finds the snapshot by key and refills via the fast binary
     loader instead of re-parsing XMI — the daemon restarts warm.
-    Corrupt or unreadable persisted snapshots are ignored (the source
-    file is authoritative).
+    Corrupt or unreadable persisted snapshots never poison a lookup:
+    the source file stays authoritative, and the rotten file is
+    quarantined — renamed to [<key>.sumb.corrupt] and counted in
+    {!stats} — so it is inspected at most once, not re-read on every
+    miss.
 
     All operations are domain-safe behind one lock. *)
 
@@ -44,6 +47,8 @@ type stats = {
   cs_snap_refills : int;
   cs_evictions : int;
   cs_persisted : int;  (** snapshots written to the persist dir *)
+  cs_quarantined : int;
+      (** corrupt persisted snapshots renamed to [.corrupt] *)
 }
 
 val create : ?max_entries:int -> ?max_bytes:int -> ?persist_dir:string ->
@@ -58,3 +63,9 @@ val load : t -> string -> (Artifacts.t * string * state, string) result
     the standard one-line {!Load} diagnostic. *)
 
 val stats : t -> stats
+
+val clear : t -> unit
+(** Drop every resident entry (counted as evictions), keeping lifetime
+    counters and any persisted snapshots — the graceful-degradation
+    valve: after a resource crash the daemon sheds its retained graphs
+    and refills on demand, warm from the persist dir when present. *)

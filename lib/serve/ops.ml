@@ -261,13 +261,13 @@ let run_engines ?echo sink reg m sm names =
    in the same format as the statechart path.  The lowered netlist
    comes from the artifact memo, so a warm serve request skips
    flatten/FSM-compile/lowering entirely. *)
-let run_rtl_exn sink reg (art : Artifacts.t) sm names =
+let run_rtl_exn sink reg ~budget (art : Artifacts.t) sm names =
   match art.Artifacts.rtl sm with
   | Error reason ->
     errl sink reason;
     false
   | Ok nl ->
-    let sim = Dsim.Fast.of_netlist ~metrics:reg nl in
+    let sim = Dsim.Fast.of_netlist ~metrics:reg ~budget nl in
     Dsim.Fast.set_input sim "rst" 1;
     Dsim.Fast.clock_edge sim "clk";
     Dsim.Fast.set_input sim "rst" 0;
@@ -282,14 +282,15 @@ let run_rtl_exn sink reg (art : Artifacts.t) sm names =
       names;
     true
 
-let run_rtl sink reg art sm names =
-  match run_rtl_exn sink reg art sm names with
+let run_rtl sink reg ~budget art sm names =
+  match run_rtl_exn sink reg ~budget art sm names with
   | ok -> ok
   | exception Dsim.Sim.Simulation_error msg ->
     errl sink msg;
     false
 
-let simulate sink ~machine ~events ~metrics ~rtl (art : Artifacts.t) =
+let simulate ?(budget = Exec.Budget.unlimited) sink ~machine ~events ~metrics
+    ~rtl (art : Artifacts.t) =
   let m = art.Artifacts.model in
   match choose_machine m machine with
   | None ->
@@ -299,7 +300,7 @@ let simulate sink ~machine ~events ~metrics ~rtl (art : Artifacts.t) =
     let reg = metrics_reg metrics in
     let names = split_events events in
     let ok =
-      if rtl then run_rtl sink reg art sm names
+      if rtl then run_rtl sink reg ~budget art sm names
       else run_engines ~echo:true sink reg m sm names
     in
     emit_metrics sink metrics;
@@ -359,7 +360,8 @@ let partition sink ~budget (art : Artifacts.t) =
 
 (* --- analyze ------------------------------------------------------------ *)
 
-let analyze sink ~metrics ~only ~disable ~jobs (load : loader) path =
+let analyze ?(budget = Exec.Budget.unlimited) sink ~metrics ~only ~disable
+    ~jobs (load : loader) path =
   match selection_of ~only ~disable with
   | Error msg ->
     errl sink msg;
@@ -389,8 +391,8 @@ let analyze sink ~metrics ~only ~disable ~jobs (load : loader) path =
                (String.concat ", " r.Petri.Coverability.unbounded_places)
            | None -> outf sink "  bounded: unknown (limit reached)\n");
           let r =
-            Petri.Analysis.reachable ~limit:5000 ~metrics:reg ~pool ~compiled
-              net m0
+            Petri.Analysis.reachable ~limit:5000 ~metrics:reg ~budget ~pool
+              ~compiled net m0
           in
           outf sink "  reachable markings: %d%s, deadlocks: %d\n"
             r.Petri.Analysis.state_count
@@ -402,8 +404,8 @@ let analyze sink ~metrics ~only ~disable ~jobs (load : loader) path =
              state space was fully explored *)
           if not r.Petri.Analysis.truncated then begin
             let dead =
-              Petri.Analysis.dead_transitions ~limit:5000 ~pool ~compiled net
-                m0
+              Petri.Analysis.dead_transitions ~limit:5000 ~budget ~pool
+                ~compiled net m0
             in
             if dead <> [] then
               outf sink "  dead transitions: %s\n" (String.concat ", " dead)
@@ -460,8 +462,8 @@ let rtl_fault_surface (hmod : Hdl.Module_.t) =
         (s.Hdl.Module_.sig_name, Hdl.Htype.width s.Hdl.Module_.sig_type))
       hmod.Hdl.Module_.mod_signals
 
-let inject sink ~machine ~seed ~faults ~format ~metrics ~jobs
-    (art : Artifacts.t) =
+let inject ?(budget = Exec.Budget.unlimited) sink ~machine ~seed ~faults
+    ~format ~metrics ~jobs (art : Artifacts.t) =
   let m = art.Artifacts.model in
   if faults < 0 then begin
     errl sink "--faults must be non-negative";
@@ -573,8 +575,9 @@ let inject sink ~machine ~seed ~faults ~format ~metrics ~jobs
     in
     let plan = Fault.Plan.generate ~seed ~count:faults surface in
     let report =
-      Fault.Campaign.run ~metrics:reg ~pool ?rtl:rtl_spec ?statechart:sc_spec
-        ?activity:act_spec ?net:net_spec ~label:(Uml.Model.name m) plan
+      Fault.Campaign.run ~metrics:reg ~budget ~pool ?rtl:rtl_spec
+        ?statechart:sc_spec ?activity:act_spec ?net:net_spec
+        ~label:(Uml.Model.name m) plan
     in
     (match format with
      | `Text -> sink.s_out (Fault.Campaign.to_text report)

@@ -80,6 +80,7 @@ val info : sink -> Artifacts.t -> int
 val gen : sink -> lang:string -> Artifacts.t -> int
 
 val simulate :
+  ?budget:Exec.Budget.t ->
   sink ->
   machine:string option ->
   events:string ->
@@ -87,6 +88,10 @@ val simulate :
   rtl:bool ->
   Artifacts.t ->
   int
+(** [budget] (default {!Exec.Budget.unlimited}) cancels the [--rtl]
+    path cooperatively — checkpointed per settle pass;
+    {!Exec.Budget.Expired} propagates (it is deliberately outside
+    {!guarded}'s net so the daemon can answer a typed timeout). *)
 
 val trace :
   sink -> machine:string option -> events:string -> Artifacts.t -> int
@@ -94,6 +99,7 @@ val trace :
 val partition : sink -> budget:int -> Artifacts.t -> int
 
 val analyze :
+  ?budget:Exec.Budget.t ->
   sink ->
   metrics:Telemetry.Metrics.t option ->
   only:string list ->
@@ -104,9 +110,11 @@ val analyze :
   int
 (** Takes the loader (not pre-loaded artifacts) because unknown rule
     selectors must be rejected before the model is loaded, exactly as
-    the CLI orders its diagnostics. *)
+    the CLI orders its diagnostics.  [budget] is checkpointed per
+    explored marking in the Petri explorations. *)
 
 val inject :
+  ?budget:Exec.Budget.t ->
   sink ->
   machine:string option ->
   seed:int ->
@@ -116,6 +124,8 @@ val inject :
   jobs:int ->
   Artifacts.t ->
   int
+(** [budget] is checkpointed per fault and per cycle/event/step inside
+    the campaign runs. *)
 
 val pack : sink -> out:string option -> path:string -> Artifacts.t -> int
 (** [path] is the input path the default output name derives from. *)

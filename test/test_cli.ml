@@ -328,6 +328,131 @@ let serve_tests =
         check Alcotest.int "one response" 1 (List.length lines));
   ]
 
+(* ------------------------------------------------------------------ *)
+(* Daemon lifecycle: signals, socket files, health probes             *)
+
+(* Spawn [socuml serve] with the given extra args; returns the pid. *)
+let spawn_daemon args =
+  let null_in = Unix.openfile "/dev/null" [ Unix.O_RDONLY ] 0 in
+  let null_out = Unix.openfile "/dev/null" [ Unix.O_WRONLY ] 0 in
+  let pid =
+    Unix.create_process exe
+      (Array.of_list (exe :: "serve" :: args))
+      null_in null_out null_out
+  in
+  Unix.close null_in;
+  Unix.close null_out;
+  pid
+
+(* Poll for a condition with a bounded wait — daemon startup/shutdown
+   is asynchronous, so lifecycle assertions need a grace window. *)
+let wait_for ?(timeout = 5.0) what f =
+  let t0 = Unix.gettimeofday () in
+  let rec loop () =
+    if f () then ()
+    else if Unix.gettimeofday () -. t0 > timeout then
+      Alcotest.failf "timed out waiting for %s" what
+    else begin
+      Unix.sleepf 0.02;
+      loop ()
+    end
+  in
+  loop ()
+
+(* One request/response exchange against a daemon socket. *)
+let socket_request path line =
+  let sock = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Fun.protect
+    ~finally:(fun () -> try Unix.close sock with Unix.Unix_error _ -> ())
+    (fun () ->
+      Unix.connect sock (Unix.ADDR_UNIX path);
+      let msg = line ^ "\n" in
+      let _n = Unix.write_substring sock msg 0 (String.length msg) in
+      let ic = Unix.in_channel_of_descr sock in
+      input_line ic)
+
+let lifecycle_tests =
+  [
+    tc "SIGTERM drains, removes the socket file and exits 0" (fun () ->
+        let path = Filename.concat tmp "socuml_cli_sigterm.sock" in
+        if Sys.file_exists path then Sys.remove path;
+        let pid = spawn_daemon [ "--socket"; path ] in
+        wait_for "socket to appear" (fun () -> Sys.file_exists path);
+        (* the daemon serves before the signal *)
+        let resp = socket_request path {|{"op":"health"}|} in
+        check Alcotest.bool "health answered" true
+          (String.length resp > 0 && resp.[0] = '{');
+        Unix.kill pid Sys.sigterm;
+        let _pid, status = Unix.waitpid [] pid in
+        check Alcotest.bool "clean exit" true (status = Unix.WEXITED 0);
+        check Alcotest.bool "socket file removed" false
+          (Sys.file_exists path));
+    tc "a stale socket file is reclaimed on restart" (fun () ->
+        let path = Filename.concat tmp "socuml_cli_stale.sock" in
+        if Sys.file_exists path then Sys.remove path;
+        (* leave a dead socket file behind, as a crashed daemon would *)
+        let dead = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+        Unix.bind dead (Unix.ADDR_UNIX path);
+        Unix.close dead;
+        check Alcotest.bool "stale file present" true (Sys.file_exists path);
+        let pid = spawn_daemon [ "--socket"; path ] in
+        wait_for "daemon to claim the stale socket" (fun () ->
+            match socket_request path {|{"op":"health"}|} with
+            | _resp -> true
+            | exception Unix.Unix_error _ -> false
+            | exception End_of_file -> false);
+        ignore (socket_request path {|{"op":"quit"}|});
+        let _pid, status = Unix.waitpid [] pid in
+        check Alcotest.bool "clean exit" true (status = Unix.WEXITED 0);
+        check Alcotest.bool "socket removed on quit" false
+          (Sys.file_exists path));
+    tc "a live daemon's socket is never stolen" (fun () ->
+        let path = Filename.concat tmp "socuml_cli_live.sock" in
+        if Sys.file_exists path then Sys.remove path;
+        let pid = spawn_daemon [ "--socket"; path ] in
+        wait_for "daemon to listen" (fun () ->
+            match socket_request path {|{"op":"health"}|} with
+            | _resp -> true
+            | exception Unix.Unix_error _ -> false
+            | exception End_of_file -> false);
+        (* a second daemon must refuse with one diagnostic, exit 1 *)
+        let code, stderr = run_cli [ "serve"; "--socket"; path ] in
+        check Alcotest.int "second daemon refuses" 1 code;
+        check Alcotest.bool "diagnostic names the conflict" true
+          (String.length stderr > 0
+          && String.index stderr '\n' = String.length stderr - 1);
+        (* the probe one-shot reaches the live daemon *)
+        let code, _stderr =
+          run_cli [ "serve"; "--socket"; path; "--health-check" ]
+        in
+        check Alcotest.int "health probe exits 0" 0 code;
+        ignore (socket_request path {|{"op":"quit"}|});
+        ignore (Unix.waitpid [] pid));
+    tc "serve refuses to replace a non-socket file" (fun () ->
+        let path =
+          write_file (Filename.concat tmp "socuml_cli_notasock") "data"
+        in
+        let code, stderr = run_cli [ "serve"; "--socket"; path ] in
+        check Alcotest.int "exit 1" 1 code;
+        check Alcotest.bool "one-line diagnostic" true
+          (String.length stderr > 0
+          && String.index stderr '\n' = String.length stderr - 1);
+        check Alcotest.bool "file untouched" true (Sys.file_exists path));
+    tc "health-check without a socket reports in-process" (fun () ->
+        let out = Filename.concat tmp "socuml_cli_health.out" in
+        let code =
+          Sys.command
+            (Printf.sprintf "%s serve --health-check >%s 2>/dev/null"
+               (Filename.quote exe) (Filename.quote out))
+        in
+        check Alcotest.int "exit 0" 0 code;
+        let body = String.trim (read_file out) in
+        check Alcotest.bool "one JSON line" true
+          (String.length body > 0
+          && body.[0] = '{'
+          && not (String.contains body '\n')));
+  ]
+
 let () =
   Alcotest.run "cli"
     [
@@ -336,4 +461,5 @@ let () =
       ("healthy model", demo_roundtrip_tests);
       ("rule selectors", selector_tests);
       ("serve protocol", serve_tests);
+      ("serve lifecycle", lifecycle_tests);
     ]

@@ -387,10 +387,106 @@ let qcheck_explore_truncation =
          in
          summaries_equal s1 s4))
 
+(* ------------------------------------------------------------------ *)
+(* Cooperative cancellation budgets                                   *)
+
+let budget_tests =
+  [
+    tc "unlimited never expires" (fun () ->
+        let b = Exec.Budget.unlimited in
+        for _ = 1 to 10_000 do
+          Exec.Budget.check b
+        done;
+        check Alcotest.bool "not expired" false (Exec.Budget.expired b));
+    tc "fuel n allows exactly n checks" (fun () ->
+        let b = Exec.Budget.fuel 5 in
+        for _ = 1 to 5 do
+          Exec.Budget.check b
+        done;
+        check Alcotest.bool "still live" false (Exec.Budget.expired b);
+        (match Exec.Budget.check b with
+         | () -> Alcotest.fail "expected Expired"
+         | exception Exec.Budget.Expired msg ->
+           check Alcotest.string "deterministic message"
+             "budget expired: fuel limit 5 exhausted" msg);
+        check Alcotest.bool "sticky" true (Exec.Budget.expired b);
+        (* once dead, every further check raises immediately *)
+        match Exec.Budget.check b with
+        | () -> Alcotest.fail "expected Expired again"
+        | exception Exec.Budget.Expired _ -> ());
+    tc "fuel 0 expires on the first check" (fun () ->
+        match Exec.Budget.check (Exec.Budget.fuel 0) with
+        | () -> Alcotest.fail "expected Expired"
+        | exception Exec.Budget.Expired _ -> ());
+    tc "negative fuel and non-positive deadlines are rejected" (fun () ->
+        (match Exec.Budget.fuel (-1) with
+         | _b -> Alcotest.fail "expected Invalid_argument"
+         | exception Invalid_argument _ -> ());
+        match Exec.Budget.deadline ~now:(fun () -> 0.) ~ms:0 with
+        | _b -> Alcotest.fail "expected Invalid_argument"
+        | exception Invalid_argument _ -> ());
+    tc "deadline consults the injected clock, not the stride counter"
+      (fun () ->
+        let t = ref 0.0 in
+        let b = Exec.Budget.deadline ~now:(fun () -> !t) ~ms:100 in
+        (* clock frozen inside the horizon: any number of checks pass *)
+        for _ = 1 to 1000 do
+          Exec.Budget.check b
+        done;
+        check Alcotest.bool "live inside horizon" false
+          (Exec.Budget.expired b);
+        t := 0.2;
+        (* past the horizon: expires within one clock stride *)
+        match
+          for _ = 1 to 100 do
+            Exec.Budget.check b
+          done
+        with
+        | () -> Alcotest.fail "expected Expired past the horizon"
+        | exception Exec.Budget.Expired msg ->
+          check Alcotest.string "deterministic message"
+            "budget expired: deadline 100 ms exceeded" msg);
+    tc "a worker-side expiry surfaces in the caller" (fun () ->
+        let b = Exec.Budget.fuel 10 in
+        match
+          Exec.Pool.with_pool ~jobs:4 (fun pool ->
+              Exec.Pool.parallel_for pool ~n:1000 (fun _i ->
+                  Exec.Budget.check b))
+        with
+        | () -> Alcotest.fail "expected Expired"
+        | exception Exec.Budget.Expired _ ->
+          check Alcotest.bool "sticky across domains" true
+            (Exec.Budget.expired b));
+  ]
+
+let qcheck_budget_differential =
+  QCheck_alcotest.to_alcotest
+    (QCheck.Test.make ~count:30
+       ~name:"explore: fuel expiry point identical under sharding"
+       QCheck.(pair (int_range 0 100_000) (int_range 0 40))
+       (fun (seed, fuel) ->
+         let net, m0 = random_net seed in
+         let run jobs =
+           let budget = Exec.Budget.fuel fuel in
+           match
+             if jobs = 1 then Petri.Analysis.explore ~budget net m0
+             else
+               Exec.Pool.with_pool ~jobs (fun pool ->
+                   Petri.Analysis.explore ~budget ~pool net m0)
+           with
+           | s -> Ok s
+           | exception Exec.Budget.Expired msg -> Error msg
+         in
+         match (run 1, run 4) with
+         | Ok s1, Ok s4 -> summaries_equal s1 s4
+         | Error e1, Error e4 -> String.equal e1 e4
+         | Ok _, Error _ | Error _, Ok _ -> false))
+
 let () =
   Alcotest.run "parallel"
     [
       ("pool", pool_tests @ [ qcheck_map_determinism ]);
       ("campaign", campaign_pool_tests @ [ qcheck_campaign_differential ]);
       ("explore", [ qcheck_explore_differential; qcheck_explore_truncation ]);
+      ("budget", budget_tests @ [ qcheck_budget_differential ]);
     ]

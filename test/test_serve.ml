@@ -620,6 +620,238 @@ let metrics_tests =
         assert_differential d ~args ~request);
   ]
 
+(* ------------------------------------------------------------------ *)
+(* Resilience: deadlines, degradation, health, quarantine, shutdown   *)
+
+let serve_counter v key =
+  match rmember "serve" v with
+  | Some s -> rint key s
+  | None -> Alcotest.fail "stats response lacks the serve ledger"
+
+(* The ledger invariant the chaos suite holds the daemon to. *)
+let assert_ledger_reconciles v =
+  check Alcotest.int "ledger reconciles" (rint "requests" v)
+    (rint "protocol_errors" v
+    + serve_counter v "completed"
+    + serve_counter v "timeouts"
+    + serve_counter v "resource_exhausted"
+    + serve_counter v "sheds"
+    + serve_counter v "drained")
+
+let resilience_tests =
+  [
+    tc "health answers protocol version and occupancy" (fun () ->
+        let d = Serve.Daemon.create ~deadline_ms:5000 ~max_queue:7 () in
+        let model = Lazy.force demo_model in
+        ignore (send d (Printf.sprintf {|{"op":"info","model":%S}|} model));
+        let v, continue = send d {|{"op":"health","id":3}|} in
+        check Alcotest.bool "ok" true (rbool "ok" v);
+        check Alcotest.bool "keeps serving" true continue;
+        check Alcotest.int "protocol version"
+          Serve.Daemon.protocol_version (rint "protocol" v);
+        check Alcotest.int "uptime counts this request" 2
+          (rint "uptime_requests" v);
+        check Alcotest.int "configured deadline" 5000 (rint "deadline_ms" v);
+        check Alcotest.int "configured queue bound" 7 (rint "max_queue" v);
+        (match rmember "cache" v with
+         | Some cache ->
+           check Alcotest.int "one resident entry" 1 (rint "entries" cache);
+           check Alcotest.bool "bytes charged" true (rint "bytes" cache > 0)
+         | None -> Alcotest.fail "no cache occupancy");
+        match rmember "asl_memo" v with
+        | Some memo -> ignore (rint "cap" memo)
+        | None -> Alcotest.fail "no asl_memo occupancy");
+    tc "fuel expiry answers a typed timeout, warm retry is byte-identical"
+      (fun () ->
+        let model = Lazy.force demo_model in
+        let d = Serve.Daemon.create () in
+        let v, continue =
+          send d
+            (Printf.sprintf
+               {|{"op":"simulate","model":%S,"rtl":true,"fuel":2}|} model)
+        in
+        check Alcotest.bool "ok:false" false (rbool "ok" v);
+        check Alcotest.string "typed code" "timeout" (rstr "code" v);
+        check Alcotest.string "deterministic diagnostic"
+          "budget expired: fuel limit 2 exhausted\n" (rstr "error" v);
+        check Alcotest.bool "daemon keeps serving" true continue;
+        (* the expired request must not have poisoned the cache: the
+           warm retry matches the one-shot CLI byte-for-byte *)
+        assert_differential d
+          ~args:[ "simulate"; "--rtl"; model ]
+          ~request:
+            (Printf.sprintf {|{"op":"simulate","model":%S,"rtl":true}|} model);
+        let v, _ = send d {|{"op":"stats"}|} in
+        check Alcotest.int "timeout counted" 1 (serve_counter v "timeouts");
+        assert_ledger_reconciles v);
+    tc "fuel cancels analyze and inject too" (fun () ->
+        let model = Lazy.force demo_model in
+        let d = Serve.Daemon.create () in
+        List.iter
+          (fun req ->
+            let v, _ = send d req in
+            check Alcotest.string "typed code" "timeout" (rstr "code" v))
+          [
+            Printf.sprintf {|{"op":"analyze","model":%S,"fuel":1}|} model;
+            Printf.sprintf
+              {|{"op":"inject","model":%S,"faults":3,"fuel":1}|} model;
+          ];
+        let v, _ = send d {|{"op":"stats"}|} in
+        check Alcotest.int "both counted" 2 (serve_counter v "timeouts"));
+    tc "wall-clock deadline requests stay well-formed" (fun () ->
+        let model = Lazy.force demo_model in
+        let d = Serve.Daemon.create () in
+        (* can't pin whether 1 ms suffices on this machine — pin the
+           protocol: either a clean success or a typed timeout *)
+        let v, continue =
+          send d
+            (Printf.sprintf
+               {|{"op":"analyze","model":%S,"deadline_ms":1}|} model)
+        in
+        check Alcotest.bool "keeps serving" true continue;
+        (if rbool "ok" v then ()
+         else check Alcotest.string "typed code" "timeout" (rstr "code" v));
+        let v, _ = send d {|{"op":"stats"}|} in
+        assert_ledger_reconciles v);
+    tc "budget fields are validated" (fun () ->
+        let d = Serve.Daemon.create () in
+        List.iter (assert_protocol_error d)
+          [
+            {|{"op":"simulate","model":"x.xmi","fuel":3,"deadline_ms":5}|};
+            {|{"op":"analyze","model":"x.xmi","fuel":-1}|};
+            {|{"op":"inject","model":"x.xmi","deadline_ms":0}|};
+            (* only the long-running ops take budgets *)
+            {|{"op":"validate","model":"x.xmi","fuel":3}|};
+            {|{"op":"lint","model":"x.xmi","deadline_ms":5}|};
+          ]);
+    tc "degradation evicts caches, retries once, answers typed error"
+      (fun () ->
+        let d = Serve.Daemon.create () in
+        let model = Lazy.force demo_model in
+        ignore (send d (Printf.sprintf {|{"op":"info","model":%S}|} model));
+        (* first crash: caches evicted, thunk retried and succeeds *)
+        let crashes = ref 1 in
+        (match
+           Serve.Daemon.with_degradation d (fun () ->
+               if !crashes > 0 then begin
+                 decr crashes;
+                 raise Out_of_memory
+               end
+               else 42)
+         with
+         | Ok n -> check Alcotest.int "retry succeeded" 42 n
+         | Error e -> Alcotest.failf "expected recovery, got: %s" e);
+        (* the crash evicted the resident artifact cache *)
+        let v, _ = send d (Printf.sprintf {|{"op":"info","model":%S}|} model) in
+        (match rmember "cache" v with
+         | Some (Serve.Json.List [ entry ]) ->
+           check Alcotest.string "cache was evicted" "miss"
+             (rstr "state" entry)
+         | Some _ | None -> Alcotest.fail "expected one cache entry");
+        (* a double crash is a typed error, not a dead daemon *)
+        (match Serve.Daemon.with_degradation d (fun () -> raise Out_of_memory)
+         with
+         | Ok _ -> Alcotest.fail "expected Error"
+         | Error msg ->
+           check Alcotest.bool "diagnostic names the crash" true
+             (String.length msg > 0));
+        (* budget expiry passes through untouched *)
+        (match
+           Serve.Daemon.with_degradation d (fun () ->
+               raise (Exec.Budget.Expired "x"))
+         with
+         | Ok _ | Error _ -> Alcotest.fail "Expired must pass through"
+         | exception Exec.Budget.Expired _ -> ());
+        let v, _ = send d {|{"op":"stats"}|} in
+        check Alcotest.int "degradations counted" 2
+          (serve_counter v "degradations"));
+    tc "corrupt persisted snapshots are quarantined and counted" (fun () ->
+        let dir = fresh_dir (Filename.concat tmp "serve_quarantine") in
+        let p =
+          tiny_model "quarantine_me"
+            (Filename.concat tmp "serve_quarantine_src.xmi")
+        in
+        let c1 = Serve.Cache.create ~persist_dir:dir () in
+        check Alcotest.string "cold" "miss" (load_state c1 p);
+        Array.iter
+          (fun f ->
+            if Filename.check_suffix f ".sumb" then
+              ignore (write_file (Filename.concat dir f) "\xd3SUMBgarbage"))
+          (Sys.readdir dir);
+        let c2 = Serve.Cache.create ~persist_dir:dir () in
+        check Alcotest.string "falls back to parsing" "miss"
+          (load_state c2 p);
+        check Alcotest.int "quarantine counted" 1
+          (Serve.Cache.stats c2).Serve.Cache.cs_quarantined;
+        check Alcotest.bool "rotten file renamed aside" true
+          (Array.exists
+             (fun f -> Filename.check_suffix f ".corrupt")
+             (Sys.readdir dir));
+        (* the reparse self-heals: a fresh, valid snapshot replaces the
+           quarantined one, and the next cold start refills from it
+           without touching quarantine again *)
+        let c3 = Serve.Cache.create ~persist_dir:dir () in
+        check Alcotest.string "healed snapshot refills" "snap"
+          (load_state c3 p);
+        check Alcotest.int "inspected at most once" 0
+          (Serve.Cache.stats c3).Serve.Cache.cs_quarantined);
+    tc "request_stop is observable and sticky" (fun () ->
+        let d = Serve.Daemon.create () in
+        check Alcotest.bool "initially live" false
+          (Serve.Daemon.stop_requested d);
+        Serve.Daemon.request_stop d;
+        check Alcotest.bool "stopping" true (Serve.Daemon.stop_requested d);
+        Serve.Daemon.request_stop d;
+        check Alcotest.bool "idempotent" true
+          (Serve.Daemon.stop_requested d));
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Protocol boundary properties                                       *)
+
+let qcheck_depth_cap =
+  QCheck_alcotest.to_alcotest
+    (QCheck.Test.make ~count:50
+       ~name:"json: nesting accepted through depth 129, rejected past it"
+       QCheck.(int_range 1 40)
+       (fun extra ->
+         let nest n =
+           String.concat "" (List.init n (fun _ -> "["))
+           ^ String.concat "" (List.init n (fun _ -> "]"))
+         in
+         let accepted n =
+           match Serve.Json.parse (nest n) with
+           | Ok _ -> true
+           | Error _ -> false
+         in
+         accepted 129 && (not (accepted 130)) && not (accepted (129 + extra))))
+
+let qcheck_line_cap =
+  QCheck_alcotest.to_alcotest
+    (QCheck.Test.make ~count:20
+       ~name:"daemon: line cap accepts exactly-at-limit, refuses one past"
+       QCheck.(int_range 0 64)
+       (fun slack ->
+         let d = Serve.Daemon.create () in
+         (* pad a healthy request with trailing blanks (trimmed by the
+            protocol) to hit an exact byte length *)
+         let padded target =
+           let body = {|{"op":"stats"}|} in
+           body ^ String.make (target - String.length body) ' '
+         in
+         let at_limit, _ =
+           send d (padded (Serve.Daemon.max_line_bytes - slack))
+         in
+         let over, _ =
+           send d
+             (padded (Serve.Daemon.max_line_bytes + 1 + slack))
+         in
+         rbool "ok" at_limit
+         && (not (rbool "ok" over))
+         && rstr "error" over
+            = Printf.sprintf "request line exceeds %d bytes"
+                Serve.Daemon.max_line_bytes))
+
 let () =
   Alcotest.run "serve"
     [
@@ -628,4 +860,5 @@ let () =
       ("daemon", daemon_tests);
       ("differential", differential_tests);
       ("metrics", metrics_tests);
+      ("resilience", resilience_tests @ [ qcheck_depth_cap; qcheck_line_cap ]);
     ]

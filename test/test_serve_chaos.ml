@@ -1,0 +1,257 @@
+(* Seeded chaos harness for the serve daemon: random interleavings of
+   valid ops, hostile lines, oversized payloads, budget expiries, blank
+   lines and mid-run cache-dir corruption, driven through the protocol
+   layer and (separately) through a real subprocess under a tight
+   pending-queue bound.
+
+   The invariants held at every pinned seed:
+   - exactly one well-formed JSON response per non-blank request line,
+     none for blank lines;
+   - the daemon never dies: every [handle_line] returns, [continue]
+     only drops on [quit], and the subprocess always exits 0;
+   - the stats ledger reconciles: requests = protocol_errors +
+     completed + timeouts + resource_exhausted + sheds + drained;
+   - an expired or refused request never corrupts the cache — a warm
+     retry of the same op still succeeds. *)
+
+let tc name f = Alcotest.test_case name `Quick f
+let check = Alcotest.check
+
+let exe =
+  let candidates =
+    [ "../bin/socuml.exe"; "_build/default/bin/socuml.exe"; "bin/socuml.exe" ]
+  in
+  match List.find_opt Sys.file_exists candidates with
+  | Some p -> p
+  | None -> Alcotest.fail "socuml.exe not found next to the test binary"
+
+let read_file path =
+  let ic = open_in_bin path in
+  let n = in_channel_length ic in
+  let s = really_input_string ic n in
+  close_in ic;
+  s
+
+let write_file path contents =
+  let oc = open_out_bin path in
+  output_string oc contents;
+  close_out oc;
+  path
+
+let tmp = Filename.get_temp_dir_name ()
+
+let demo_model =
+  lazy
+    (let out = Filename.concat tmp "socuml_chaos_demo" in
+     let code =
+       Sys.command
+         (Printf.sprintf "%s demo --out %s >/dev/null 2>&1"
+            (Filename.quote exe) (Filename.quote out))
+     in
+     if code <> 0 then Alcotest.failf "demo: exit %d" code;
+     Filename.concat out "demo_soc.xmi")
+
+let tiny_model name path =
+  let m = Uml.Model.create name in
+  Xmi.Write.write_file m path;
+  path
+
+let fresh_dir path =
+  if Sys.file_exists path then
+    Array.iter
+      (fun f -> Sys.remove (Filename.concat path f))
+      (Sys.readdir path)
+  else Sys.mkdir path 0o755;
+  path
+
+(* The request repertoire, weighted toward cheap lines so a few hundred
+   iterations stay fast.  Oversized lines are rare (they cost 1 MiB of
+   string each); budget expiries use fuel so they are deterministic. *)
+let random_line rng ~model ~tiny ~garbage =
+  match Workload.Prng.int rng 20 with
+  | 0 | 1 | 2 -> Printf.sprintf {|{"op":"info","model":%S}|} tiny
+  | 3 | 4 -> Printf.sprintf {|{"op":"validate","model":%S}|} model
+  | 5 -> {|{"op":"stats"}|}
+  | 6 -> {|{"op":"health"}|}
+  | 7 ->
+    Printf.sprintf {|{"op":"simulate","model":%S,"rtl":true,"fuel":%d}|}
+      model
+      (Workload.Prng.int rng 3)
+  | 8 ->
+    Printf.sprintf {|{"op":"analyze","model":%S,"fuel":%d}|} model
+      (Workload.Prng.int rng 5)
+  | 9 -> Printf.sprintf {|{"op":"lint","model":%S}|} tiny
+  | 10 -> "garbage that is not json"
+  | 11 -> {|{"op":"frobnicate"}|}
+  | 12 -> {|{"op":"info"}|}
+  | 13 -> {|{"op":"info","model":"/no/such/model.xmi"}|}
+  | 14 -> Printf.sprintf {|{"op":"validate","model":%S}|} garbage
+  | 15 -> {|[1,2,3]|}
+  | 16 -> {|{"op":"simulate","model":"x.xmi","fuel":1,"deadline_ms":5}|}
+  | 17 -> "" (* blank: must produce no response *)
+  | 18 -> "   "
+  | _ ->
+    if Workload.Prng.int rng 8 = 0 then
+      (* oversized payload: refused before parsing *)
+      Printf.sprintf {|{"op":"info","model":"%s"}|}
+        (String.make (Serve.Daemon.max_line_bytes + 1) 'x')
+    else Printf.sprintf {|{"op":"gen","model":%S,"lang":"vhdl"}|} tiny
+
+let is_blank line = String.trim line = ""
+
+let rint key v =
+  match Option.bind (Serve.Json.member key v) Serve.Json.to_int with
+  | Some n -> n
+  | None -> Alcotest.failf "response lacks int %S" key
+
+let serve_counter v key =
+  match Serve.Json.member "serve" v with
+  | Some s -> rint key s
+  | None -> Alcotest.fail "stats response lacks the serve ledger"
+
+let assert_ledger_reconciles v =
+  check Alcotest.int "ledger reconciles" (rint "requests" v)
+    (rint "protocol_errors" v
+    + serve_counter v "completed"
+    + serve_counter v "timeouts"
+    + serve_counter v "resource_exhausted"
+    + serve_counter v "sheds"
+    + serve_counter v "drained")
+
+(* Corrupt every persisted snapshot in the dir, as disk rot would. *)
+let corrupt_cache_dir dir =
+  Array.iter
+    (fun f ->
+      if Filename.check_suffix f ".sumb" then
+        ignore (write_file (Filename.concat dir f) "\xd3SUMBrot"))
+    (Sys.readdir dir)
+
+(* --- protocol-level chaos: drive handle_line directly --------------- *)
+
+let protocol_chaos seed =
+  let rng = Workload.Prng.create seed in
+  let model = Lazy.force demo_model in
+  let tiny =
+    tiny_model
+      (Printf.sprintf "chaos%d" seed)
+      (Filename.concat tmp (Printf.sprintf "socuml_chaos_%d.xmi" seed))
+  in
+  let garbage =
+    write_file
+      (Filename.concat tmp (Printf.sprintf "socuml_chaos_bad_%d.xmi" seed))
+      "not xml at all"
+  in
+  let dir =
+    fresh_dir (Filename.concat tmp (Printf.sprintf "socuml_chaos_dir_%d" seed))
+  in
+  let d = Serve.Daemon.create ~max_entries:4 ~persist_dir:dir () in
+  let sent = ref 0 in
+  let n = Workload.Prng.range rng 120 200 in
+  for _i = 1 to n do
+    let line = random_line rng ~model ~tiny ~garbage in
+    (* disk rot strikes mid-run: snapshots go corrupt under the
+       daemon's feet *)
+    if Workload.Prng.int rng 25 = 0 then corrupt_cache_dir dir;
+    let response, continue = Serve.Daemon.handle_line d line in
+    check Alcotest.bool "daemon keeps serving" true continue;
+    match response with
+    | None ->
+      check Alcotest.bool "only blank lines are skipped" true (is_blank line)
+    | Some r -> (
+      incr sent;
+      check Alcotest.bool "non-blank lines are answered" false
+        (is_blank line);
+      check Alcotest.bool "response is one line" false
+        (String.contains r '\n');
+      match Serve.Json.parse r with
+      | Ok _v -> ()
+      | Error e -> Alcotest.failf "unparseable response %S: %s" r e)
+  done;
+  (* the ledger survives the assault and accounts for every line *)
+  match Serve.Daemon.handle_line d {|{"op":"stats"}|} with
+  | Some r, true -> (
+    incr sent;
+    match Serve.Json.parse r with
+    | Error e -> Alcotest.failf "unparseable stats: %s" e
+    | Ok v ->
+      check Alcotest.int "every answered line is in the ledger" !sent
+        (rint "requests" v);
+      assert_ledger_reconciles v;
+      (* chaos never corrupts the cache: a warm healthy request still
+         matches expectations *)
+      match
+        Serve.Daemon.handle_line d
+          (Printf.sprintf {|{"op":"validate","model":%S}|} model)
+      with
+      | Some r, true -> (
+        match Serve.Json.parse r with
+        | Ok v ->
+          check Alcotest.bool "healthy op after chaos" true
+            (rint "exit" v = 0)
+        | Error e -> Alcotest.failf "unparseable response: %s" e)
+      | Some _, false | None, _ -> Alcotest.fail "daemon died after chaos")
+  | Some _, false | None, _ -> Alcotest.fail "stats was not answered"
+
+(* --- transport-level chaos: a real subprocess under backpressure ---- *)
+
+let transport_chaos seed =
+  let rng = Workload.Prng.create (seed * 7919) in
+  let model = Lazy.force demo_model in
+  let tiny =
+    tiny_model
+      (Printf.sprintf "tchaos%d" seed)
+      (Filename.concat tmp (Printf.sprintf "socuml_tchaos_%d.xmi" seed))
+  in
+  let garbage =
+    write_file
+      (Filename.concat tmp (Printf.sprintf "socuml_tchaos_bad_%d.xmi" seed))
+      "still not xml"
+  in
+  let n = Workload.Prng.range rng 10 30 in
+  let lines =
+    List.init n (fun _ -> random_line rng ~model ~tiny ~garbage)
+    @ [ {|{"op":"quit"}|} ]
+  in
+  let req =
+    write_file
+      (Filename.concat tmp (Printf.sprintf "socuml_tchaos_%d.req" seed))
+      (String.concat "\n" lines ^ "\n")
+  in
+  let out = Filename.concat tmp (Printf.sprintf "socuml_tchaos_%d.out" seed) in
+  let code =
+    Sys.command
+      (Printf.sprintf "%s serve --max-queue 3 <%s >%s 2>/dev/null"
+         (Filename.quote exe) (Filename.quote req) (Filename.quote out))
+  in
+  check Alcotest.int "daemon exits 0 under backpressure" 0 code;
+  let responses =
+    List.filter
+      (fun l -> String.trim l <> "")
+      (String.split_on_char '\n' (read_file out))
+  in
+  let expected = List.length (List.filter (fun l -> not (is_blank l)) lines) in
+  check Alcotest.int "exactly one response per non-blank line" expected
+    (List.length responses);
+  List.iter
+    (fun r ->
+      match Serve.Json.parse r with
+      | Ok _ -> ()
+      | Error e -> Alcotest.failf "unparseable response %S: %s" r e)
+    responses
+
+let seeds = [ 1; 7; 42; 1234; 90210 ]
+
+let () =
+  Alcotest.run "serve_chaos"
+    [
+      ( "protocol",
+        List.map
+          (fun s -> tc (Printf.sprintf "seed %d" s) (fun () ->
+               protocol_chaos s))
+          seeds );
+      ( "transport",
+        List.map
+          (fun s -> tc (Printf.sprintf "seed %d" s) (fun () ->
+               transport_chaos s))
+          seeds );
+    ]
